@@ -1,0 +1,83 @@
+// E10 -- ablation: tree shape at fixed n.
+//
+// The virtual ring always has 2(n−1) hops, so raw circulation length is
+// shape-free -- but the root's position and the token interleaving are
+// not. The bench compares line / star / balanced / caterpillar / random
+// trees of (near-)equal size under identical load.
+#include "bench_common.hpp"
+
+namespace klex {
+namespace {
+
+bench::LoadedRun run_shape(const tree::Tree& t, std::uint64_t seed) {
+  SystemConfig config;
+  config.tree = t;
+  config.k = 2;
+  config.l = 3;
+  config.seed = seed;
+  System system(config);
+  bench::WorkloadSpec spec;
+  spec.think = proto::Dist::exponential(64);
+  spec.cs_duration = proto::Dist::exponential(32);
+  spec.need = proto::Dist::uniform(1, 2);
+  return bench::run_loaded(system, t.size(), 2, 3, spec, 50'000, 2'000'000,
+                           seed ^ 0x511A);
+}
+
+void print_shape_table() {
+  bench::print_header(
+      "E10 / ablation: tree shape at n = 15 (k=2, l=3)",
+      "the Euler tour is 2(n-1) hops for every shape; shape shifts who "
+      "waits (height changes request-to-root distances), not the ring "
+      "length");
+
+  support::Table table({"shape", "n", "height", "grants/Mtick", "mean wait",
+                        "p99 wait", "msgs/grant"});
+  struct Shape {
+    std::string name;
+    tree::Tree t;
+  };
+  support::Rng rng(41);
+  const Shape shapes[] = {
+      {"line-15", tree::line(15)},
+      {"star-15", tree::star(15)},
+      {"balanced-2x3", tree::balanced(2, 3)},
+      {"caterpillar-5x2", tree::caterpillar(5, 2)},
+      {"random-15", tree::random_tree(15, rng)},
+  };
+  for (const Shape& shape : shapes) {
+    bench::LoadedRun run = run_shape(shape.t, 8000);
+    table.add_row({shape.name, support::Table::cell(shape.t.size()),
+                   support::Table::cell(shape.t.height()),
+                   support::Table::cell(run.grants_per_mtick, 1),
+                   support::Table::cell(run.mean_wait_entries, 2),
+                   support::Table::cell(run.p99_wait_entries, 1),
+                   support::Table::cell(run.messages_per_grant, 1)});
+  }
+  table.print(std::cout, "shape sweep at fixed n");
+}
+
+void BM_ShapeThroughput(benchmark::State& state) {
+  tree::Tree t = state.range(0) == 0 ? tree::line(15) : tree::star(15);
+  SystemConfig config;
+  config.tree = t;
+  config.k = 2;
+  config.l = 3;
+  config.seed = 8100;
+  System system(config);
+  system.run_until_stabilized(10'000'000);
+  for (auto _ : state) {
+    system.run_until(system.engine().now() + 10'000);
+  }
+}
+BENCHMARK(BM_ShapeThroughput)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace klex
+
+int main(int argc, char** argv) {
+  klex::print_shape_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,170 @@
+// E3 -- Figure 3: pusher-only livelock/starvation of the large requester,
+// repaired by the priority token.
+//
+// Scenario (paper): 2-out-of-3 exclusion on the 3-process tree; r and b
+// cycle 1-unit requests while a wants 2 units. Under random scheduling
+// the paper's adversarial livelock shows up as (severe) starvation of a.
+#include "bench_common.hpp"
+
+namespace klex {
+namespace {
+
+struct Fig3Outcome {
+  std::int64_t grants_a = 0;
+  std::int64_t grants_small = 0;
+  double share_a = 0.0;  // a's grants / total grants
+  sim::SimTime oldest_wait = 0;
+};
+
+Fig3Outcome run_fig3(proto::Features features, std::uint64_t seed,
+                     sim::SimTime horizon) {
+  SystemConfig config;
+  config.tree = tree::figure3_tree();
+  config.k = 2;
+  config.l = 3;
+  config.features = features;
+  config.seed = seed;
+  System system(config);
+  verify::FairnessMonitor fairness(system.n());
+  system.add_listener(&fairness);
+
+  std::vector<proto::NodeBehavior> behaviors(3);
+  behaviors[0].think = proto::Dist::fixed(1);
+  behaviors[0].cs_duration = proto::Dist::fixed(32);
+  behaviors[0].need = proto::Dist::fixed(1);
+  behaviors[2] = behaviors[0];
+  behaviors[1].think = proto::Dist::fixed(1);
+  behaviors[1].cs_duration = proto::Dist::fixed(32);
+  behaviors[1].need = proto::Dist::fixed(2);
+
+  proto::WorkloadDriver driver(system.engine(), system, config.k, behaviors,
+                               support::Rng(seed ^ 0x9e37));
+  system.add_listener(&driver);
+  driver.begin();
+  system.run_until(horizon);
+
+  Fig3Outcome outcome;
+  outcome.grants_a = driver.grants(1);
+  outcome.grants_small = driver.grants(0) + driver.grants(2);
+  std::int64_t total = outcome.grants_a + outcome.grants_small;
+  if (total > 0) {
+    outcome.share_a = static_cast<double>(outcome.grants_a) /
+                      static_cast<double>(total);
+  }
+  outcome.oldest_wait =
+      fairness.oldest_outstanding_age(system.engine().now());
+  return outcome;
+}
+
+/// Reconstruction of the paper's exact Figure 3 cycle: lockstep delays,
+/// tokens pre-placed in the figure's channels, r/b cycling 1-unit
+/// requests (CS 5, think 2) and a requesting 2 units.
+struct ExactOutcome {
+  std::int64_t grants_a_early = 0;   // after 200k ticks
+  std::int64_t grants_a_late = 0;    // after 800k ticks
+  std::int64_t grants_small_late = 0;
+};
+
+ExactOutcome run_exact_figure3(proto::Features features) {
+  SystemConfig config;
+  config.tree = tree::figure3_tree();
+  config.k = 2;
+  config.l = 3;
+  config.features = features;
+  config.manual_tokens = true;
+  config.delays = sim::DelayModel{1, 1};
+  config.seed = 1;
+  System system(config);
+  auto& engine = system.engine();
+  engine.inject_message(1, 0, proto::make_resource());
+  engine.inject_message(1, 0, proto::make_pusher());
+  if (features.priority) {
+    engine.inject_message(1, 0, proto::make_priority());
+  }
+  engine.inject_message(0, 0, proto::make_resource());
+  engine.inject_message(0, 1, proto::make_resource());
+
+  std::vector<proto::NodeBehavior> behaviors(3);
+  behaviors[0].think = proto::Dist::fixed(2);
+  behaviors[0].cs_duration = proto::Dist::fixed(5);
+  behaviors[0].need = proto::Dist::fixed(1);
+  behaviors[2] = behaviors[0];
+  behaviors[1] = behaviors[0];
+  behaviors[1].need = proto::Dist::fixed(2);
+  proto::WorkloadDriver driver(engine, system, 2, behaviors,
+                               support::Rng(99));
+  system.add_listener(&driver);
+  driver.begin();
+
+  ExactOutcome outcome;
+  system.run_until(200'000);
+  outcome.grants_a_early = driver.grants(1);
+  system.run_until(800'000);
+  outcome.grants_a_late = driver.grants(1);
+  outcome.grants_small_late = driver.grants(0) + driver.grants(2);
+  return outcome;
+}
+
+void print_fig3_table() {
+  bench::print_header(
+      "E3 / Figure 3: livelock of the pusher-only rung (2-out-of-3, "
+      "3-node tree)",
+      "without the priority token the 2-unit requester is starved while "
+      "1-unit requesters churn; the priority token restores fairness");
+
+  support::Table exact({"rung", "grants a @200k", "grants a @800k",
+                        "grants r+b @800k", "verdict"});
+  for (const proto::Features& features :
+       {proto::Features::with_pusher(), proto::Features::with_priority()}) {
+    ExactOutcome o = run_exact_figure3(features);
+    bool livelocked = o.grants_a_late == o.grants_a_early &&
+                      o.grants_small_late > 3 * o.grants_a_late;
+    exact.add_row({features.name(),
+                   support::Table::cell(o.grants_a_early),
+                   support::Table::cell(o.grants_a_late),
+                   support::Table::cell(o.grants_small_late),
+                   livelocked ? "LIVELOCK (a frozen forever)" : "fair"});
+  }
+  exact.print(std::cout,
+              "exact Figure 3 cycle (lockstep delays, figure's initial "
+              "token placement)");
+
+  support::Table table({"rung", "seed", "grants a (need 2)",
+                        "grants r+b (need 1)", "a's share",
+                        "a's pending age at end"});
+  const proto::Features rungs[] = {proto::Features::with_pusher(),
+                                   proto::Features::with_priority(),
+                                   proto::Features::full()};
+  for (const proto::Features& features : rungs) {
+    for (std::uint64_t seed : {3ull, 5ull, 7ull}) {
+      Fig3Outcome o = run_fig3(features, seed, 400'000);
+      table.add_row({features.name(), support::Table::cell(seed),
+                     support::Table::cell(o.grants_a),
+                     support::Table::cell(o.grants_small),
+                     support::Table::cell(o.share_a, 3),
+                     support::Table::cell(o.oldest_wait)});
+    }
+  }
+  table.print(std::cout,
+              "randomized-delay runs (statistical view: the livelock "
+              "needs adversarial alignment, so random scheduling only "
+              "depresses a's share; the exact cycle above freezes it)");
+}
+
+void BM_Figure3Horizon(benchmark::State& state) {
+  for (auto _ : state) {
+    Fig3Outcome o = run_fig3(proto::Features::full(), 5, 100'000);
+    benchmark::DoNotOptimize(o);
+  }
+}
+BENCHMARK(BM_Figure3Horizon);
+
+}  // namespace
+}  // namespace klex
+
+int main(int argc, char** argv) {
+  klex::print_fig3_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E4 -- Figure 4: the virtual ring. Shape sweep of the Euler-tour length
+// and of node appearance counts (a process of degree d appears d times),
+// plus construction-time benchmarks.
+#include "bench_common.hpp"
+#include "tree/virtual_ring.hpp"
+
+namespace klex {
+namespace {
+
+void print_fig4_table() {
+  bench::print_header(
+      "E4 / Figure 4: the virtual ring (Euler tour of the oriented tree)",
+      "ring length is exactly 2(n-1); a node of degree d appears d times; "
+      "the leaf-heavy star maximizes root appearances");
+
+  support::Table table({"shape", "n", "hops", "root appearances",
+                        "max appearances", "height"});
+  support::Rng rng(17);
+  struct Row {
+    std::string name;
+    tree::Tree t;
+  };
+  std::vector<Row> rows;
+  for (int n : {4, 16, 64}) {
+    rows.push_back({"line-" + std::to_string(n), tree::line(n)});
+    rows.push_back({"star-" + std::to_string(n), tree::star(n)});
+  }
+  rows.push_back({"balanced-2x5", tree::balanced(2, 5)});
+  rows.push_back({"balanced-4x3", tree::balanced(4, 3)});
+  rows.push_back({"caterpillar-8x3", tree::caterpillar(8, 3)});
+  rows.push_back({"random-48", tree::random_tree(48, rng)});
+  for (const Row& row : rows) {
+    tree::VirtualRing ring(row.t);
+    int max_appearances = 0;
+    for (tree::NodeId v = 0; v < row.t.size(); ++v) {
+      max_appearances = std::max(max_appearances, ring.appearances(v));
+    }
+    table.add_row({row.name, support::Table::cell(row.t.size()),
+                   support::Table::cell(ring.length()),
+                   support::Table::cell(ring.appearances(tree::kRoot)),
+                   support::Table::cell(max_appearances),
+                   support::Table::cell(row.t.height())});
+  }
+  table.print(std::cout, "virtual-ring geometry by tree shape");
+}
+
+void BM_VirtualRingConstruction(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  support::Rng rng(19);
+  tree::Tree t = tree::random_tree(n, rng);
+  for (auto _ : state) {
+    tree::VirtualRing ring(t);
+    benchmark::DoNotOptimize(ring.length());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_VirtualRingConstruction)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_EulerTourHopLookup(benchmark::State& state) {
+  support::Rng rng(23);
+  tree::Tree t = tree::random_tree(256, rng);
+  tree::VirtualRing ring(t);
+  int i = 0;
+  for (auto _ : state) {
+    const tree::RingHop& hop =
+        ring.hops()[static_cast<std::size_t>(i % ring.length())];
+    benchmark::DoNotOptimize(ring.hop_after(hop.to, hop.in_channel));
+    ++i;
+  }
+}
+BENCHMARK(BM_EulerTourHopLookup);
+
+}  // namespace
+}  // namespace klex
+
+int main(int argc, char** argv) {
+  klex::print_fig4_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

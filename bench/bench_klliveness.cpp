@@ -1,0 +1,100 @@
+// E7 -- (k,ℓ)-liveness (the paper's efficiency property, Lemma 14):
+// with a set I of processes holding α units forever, requesters of at
+// most ℓ−α units are still served; requests above ℓ−α starve.
+#include "bench_common.hpp"
+
+namespace klex {
+namespace {
+
+struct LivenessCell {
+  bool residual_served = false;       // request of exactly l−α units
+  bool oversized_starved = false;     // request of l−α+1 units
+  sim::SimTime time_to_grant = 0;
+};
+
+LivenessCell run_alpha(int alpha, int l, std::uint64_t seed) {
+  SystemConfig config;
+  config.tree = tree::balanced(2, 2);  // n = 7
+  config.k = l;                        // allow any request size up to l
+  config.l = l;
+  config.seed = seed;
+  System system(config);
+  LivenessCell cell;
+  if (system.run_until_stabilized(10'000'000) == sim::kTimeInfinity) {
+    return cell;
+  }
+
+  // Forever-holder: node 1 takes α units and camps.
+  if (alpha > 0) {
+    system.request(1, alpha);
+    system.run_until(system.engine().now() + 1'000'000);
+    if (system.state_of(1) != proto::AppState::kIn) return cell;
+  }
+
+  // Maximal residual request at node 5.
+  sim::SimTime asked_at = system.engine().now();
+  system.request(5, l - alpha);
+  for (int round = 0; round < 4000; ++round) {
+    system.run_until(system.engine().now() + 500);
+    if (system.state_of(5) == proto::AppState::kIn) {
+      cell.residual_served = true;
+      cell.time_to_grant = system.engine().now() - asked_at;
+      break;
+    }
+  }
+
+  // Oversized request at node 6 (only meaningful when alpha > 0).
+  if (alpha > 0 && cell.residual_served) {
+    system.release(5);
+    system.run_until(system.engine().now() + 100'000);
+    system.request(6, std::min(l, l - alpha + 1));
+    system.run_until(system.engine().now() + 1'500'000);
+    cell.oversized_starved = system.state_of(6) == proto::AppState::kReq;
+  }
+  return cell;
+}
+
+void print_klliveness_table() {
+  bench::print_header(
+      "E7 / (k,l)-liveness: residual capacity is always usable",
+      "holders pin alpha units forever; a request of l-alpha units is "
+      "served, a request of l-alpha+1 units starves (it exceeds the "
+      "property's premise)");
+
+  const int l = 4;
+  support::Table table({"alpha (pinned)", "residual request l-alpha",
+                        "served", "ticks to grant",
+                        "oversized request starves"});
+  for (int alpha = 0; alpha < l; ++alpha) {
+    LivenessCell cell = run_alpha(alpha, l, 900 + static_cast<std::uint64_t>(alpha));
+    table.add_row(
+        {support::Table::cell(alpha), support::Table::cell(l - alpha),
+         cell.residual_served ? "YES" : "NO",
+         cell.residual_served ? support::Table::cell(cell.time_to_grant)
+                              : std::string("-"),
+         alpha > 0 ? (cell.oversized_starved ? "YES" : "NO")
+                   : std::string("n/a")});
+  }
+  table.print(std::cout, "alpha sweep (l = 4, balanced tree n = 7)");
+}
+
+void BM_ResidualGrantLatency(benchmark::State& state) {
+  int alpha = static_cast<int>(state.range(0));
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    LivenessCell cell = run_alpha(alpha, 4, 950 + trial++);
+    benchmark::DoNotOptimize(cell);
+  }
+}
+BENCHMARK(BM_ResidualGrantLatency)->Arg(0)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace klex
+
+int main(int argc, char** argv) {
+  klex::print_klliveness_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

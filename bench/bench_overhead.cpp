@@ -1,0 +1,93 @@
+// E11 -- steady-state message overhead per CS grant, by ladder rung and
+// token type. Quantifies the price of each mechanism: the pusher and
+// priority tokens circulate permanently, and the controller adds a
+// continuous census stream.
+#include "bench_common.hpp"
+
+namespace klex {
+namespace {
+
+bench::LoadedRun run_rung(proto::Features features, std::uint64_t seed) {
+  const int n = 15;
+  SystemConfig config;
+  config.tree = tree::balanced(2, 3);
+  config.k = 2;
+  config.l = 3;
+  config.features = features;
+  config.seed = seed;
+  System system(config);
+  bench::WorkloadSpec spec;
+  spec.think = proto::Dist::exponential(64);
+  spec.cs_duration = proto::Dist::exponential(32);
+  spec.need = proto::Dist::uniform(1, 2);
+  sim::SimTime warmup = features.controller ? 50'000 : 10'000;
+  return bench::run_loaded(system, n, 2, 3, spec, warmup, 2'000'000,
+                           seed ^ 0x0EAD);
+}
+
+void print_overhead_table() {
+  bench::print_header(
+      "E11: steady-state message overhead by ladder rung (n=15, k=2, l=3)",
+      "per mechanism cost: resource tokens do the work; pusher/priority "
+      "add constant background circulation; the controller adds the "
+      "census stream that buys self-stabilization");
+
+  support::Table table({"rung", "grants", "msgs/grant", "ResT", "PushT",
+                        "PrioT", "ctrl", "safety"});
+  const proto::Features rungs[] = {
+      proto::Features::with_pusher(),
+      proto::Features::with_priority(),
+      proto::Features::full(),
+  };
+  for (const proto::Features& features : rungs) {
+    bench::LoadedRun run = run_rung(features, 9000);
+    table.add_row(
+        {features.name(), support::Table::cell(run.grants),
+         support::Table::cell(run.messages_per_grant, 1),
+         support::Table::cell(run.resource_messages),
+         support::Table::cell(run.pusher_messages),
+         support::Table::cell(run.priority_messages),
+         support::Table::cell(run.control_messages),
+         run.safety_ok ? "ok" : "VIOLATED"});
+  }
+  table.print(std::cout, "message volume over a 2Mtick loaded window");
+  std::cout << "\n(the naive rung is omitted: it deadlocks under "
+               "contention, see E2)\n";
+}
+
+void BM_SteadyStateSimulation(benchmark::State& state) {
+  SystemConfig config;
+  config.tree = tree::balanced(2, 3);
+  config.k = 2;
+  config.l = 3;
+  config.seed = 9100;
+  System system(config);
+  system.run_until_stabilized(10'000'000);
+  proto::NodeBehavior behavior;
+  behavior.think = proto::Dist::exponential(64);
+  behavior.cs_duration = proto::Dist::exponential(32);
+  proto::WorkloadDriver driver(system.engine(), system, config.k,
+                               proto::uniform_behaviors(15, behavior),
+                               support::Rng(9101));
+  system.add_listener(&driver);
+  driver.begin();
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    std::uint64_t before = system.engine().messages_delivered();
+    system.run_until(system.engine().now() + 10'000);
+    delivered += system.engine().messages_delivered() - before;
+  }
+  state.counters["msgs/s"] = benchmark::Counter(
+      static_cast<double>(delivered), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SteadyStateSimulation);
+
+}  // namespace
+}  // namespace klex
+
+int main(int argc, char** argv) {
+  klex::print_overhead_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E8 -- tree protocol vs the ring baseline (the prior self-stabilizing
+// k-out-of-ℓ exclusion solutions the paper cites [2,3]).
+//
+// Same workload, same n: the ring's token loop is n hops, the tree's
+// virtual ring is 2(n−1) hops, so the ring serves with roughly half the
+// token-travel latency -- but the ring *requires* a physical ring, while
+// the tree protocol runs on any tree (and composed with a spanning tree,
+// on any rooted network). The table quantifies the latency/throughput
+// cost of that generality.
+#include "bench_common.hpp"
+#include "ring/ring_system.hpp"
+
+namespace klex {
+namespace {
+
+bench::LoadedRun run_tree(int n, int k, int l, std::uint64_t seed) {
+  SystemConfig config;
+  config.tree = tree::line(n);
+  config.k = k;
+  config.l = l;
+  config.seed = seed;
+  System system(config);
+  bench::WorkloadSpec spec;
+  spec.think = proto::Dist::exponential(64);
+  spec.cs_duration = proto::Dist::exponential(32);
+  spec.need = proto::Dist::uniform(1, k);
+  return bench::run_loaded(system, n, k, l, spec, 50'000, 2'000'000,
+                           seed ^ 0xABCD);
+}
+
+bench::LoadedRun run_ring(int n, int k, int l, std::uint64_t seed) {
+  ring::RingConfig config;
+  config.n = n;
+  config.k = k;
+  config.l = l;
+  config.seed = seed;
+  ring::RingSystem system(config);
+  bench::WorkloadSpec spec;
+  spec.think = proto::Dist::exponential(64);
+  spec.cs_duration = proto::Dist::exponential(32);
+  spec.need = proto::Dist::uniform(1, k);
+  return bench::run_loaded(system, n, k, l, spec, 50'000, 2'000'000,
+                           seed ^ 0xABCD);
+}
+
+void print_ring_vs_tree_table() {
+  bench::print_header(
+      "E8: oriented tree (this paper) vs oriented ring (prior work [2,3])",
+      "same workload and n; ring loop = n hops vs tree virtual ring = "
+      "2(n-1) hops => ring waits are roughly half; the tree buys topology "
+      "generality");
+
+  support::Table table({"n", "topology", "grants/Mtick", "mean wait",
+                        "p99 wait", "msgs/grant", "safety"});
+  for (int n : {4, 8, 16, 32}) {
+    bench::LoadedRun tree_run = run_tree(n, 2, 3, 100 + n);
+    bench::LoadedRun ring_run = run_ring(n, 2, 3, 100 + n);
+    table.add_row({support::Table::cell(n), "tree(line)",
+                   support::Table::cell(tree_run.grants_per_mtick, 1),
+                   support::Table::cell(tree_run.mean_wait_entries, 2),
+                   support::Table::cell(tree_run.p99_wait_entries, 1),
+                   support::Table::cell(tree_run.messages_per_grant, 1),
+                   tree_run.safety_ok ? "ok" : "VIOLATED"});
+    table.add_row({support::Table::cell(n), "ring",
+                   support::Table::cell(ring_run.grants_per_mtick, 1),
+                   support::Table::cell(ring_run.mean_wait_entries, 2),
+                   support::Table::cell(ring_run.p99_wait_entries, 1),
+                   support::Table::cell(ring_run.messages_per_grant, 1),
+                   ring_run.safety_ok ? "ok" : "VIOLATED"});
+  }
+  table.print(std::cout, "tree vs ring under identical load (k=2, l=3)");
+}
+
+void BM_TreeStep(benchmark::State& state) {
+  SystemConfig config;
+  config.tree = tree::line(16);
+  config.k = 2;
+  config.l = 3;
+  config.seed = 1;
+  System system(config);
+  system.run_until_stabilized(10'000'000);
+  for (auto _ : state) {
+    system.run_until(system.engine().now() + 10'000);
+  }
+}
+BENCHMARK(BM_TreeStep);
+
+void BM_RingStep(benchmark::State& state) {
+  ring::RingConfig config;
+  config.n = 16;
+  config.k = 2;
+  config.l = 3;
+  config.seed = 1;
+  ring::RingSystem system(config);
+  system.run_until_stabilized(10'000'000);
+  for (auto _ : state) {
+    system.run_until(system.engine().now() + 10'000);
+  }
+}
+BENCHMARK(BM_RingStep);
+
+}  // namespace
+}  // namespace klex
+
+int main(int argc, char** argv) {
+  klex::print_ring_vs_tree_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

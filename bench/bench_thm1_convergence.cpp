@@ -1,0 +1,118 @@
+// E6 -- Theorem 1: self-stabilization. Measures the convergence time from
+// arbitrary configurations (random in-domain memory + up to CMAX garbage
+// messages per channel) as a function of network size, shape and CMAX.
+//
+// Shape claims: convergence always happens; time grows with n (the
+// controller needs O(1) circulations of 2(n−1) hops each once a fresh myC
+// value flushes the system) and grows mildly with CMAX (a larger myC
+// domain can need more circulations to reach a fresh value).
+#include "bench_common.hpp"
+
+namespace klex {
+namespace {
+
+struct ConvergenceStats {
+  support::Histogram ticks;
+  int failures = 0;
+};
+
+ConvergenceStats measure_convergence(const tree::Tree& t, int cmax,
+                                     int trials, std::uint64_t seed_base) {
+  ConvergenceStats stats;
+  for (int trial = 0; trial < trials; ++trial) {
+    SystemConfig config;
+    config.tree = t;
+    config.k = 2;
+    config.l = 3;
+    config.cmax = cmax;
+    config.seed = seed_base + static_cast<std::uint64_t>(trial);
+    System system(config);
+    if (system.run_until_stabilized(20'000'000) == sim::kTimeInfinity) {
+      ++stats.failures;
+      continue;
+    }
+    support::Rng fault_rng(seed_base * 977 + static_cast<std::uint64_t>(trial));
+    sim::SimTime fault_at = system.engine().now();
+    system.inject_transient_fault(fault_rng);
+    sim::SimTime recovered =
+        system.run_until_stabilized(fault_at + 80'000'000);
+    if (recovered == sim::kTimeInfinity) {
+      ++stats.failures;
+    } else {
+      stats.ticks.add(static_cast<double>(recovered - fault_at));
+    }
+  }
+  return stats;
+}
+
+void print_thm1_table() {
+  bench::print_header(
+      "E6 / Theorem 1: convergence from arbitrary configurations",
+      "10 random transient faults per cell; time until the token census "
+      "is (and stays) l resource + 1 pusher + 1 priority");
+
+  support::Table table({"shape", "n", "CMAX", "recovered", "mean ticks",
+                        "p50", "max"});
+  struct Cell {
+    std::string name;
+    tree::Tree t;
+  };
+  std::vector<Cell> cells;
+  for (int n : {4, 8, 16, 32}) {
+    cells.push_back({"line-" + std::to_string(n), tree::line(n)});
+  }
+  cells.push_back({"star-16", tree::star(16)});
+  cells.push_back({"balanced-2x4 (n=31)", tree::balanced(2, 4)});
+  for (const Cell& cell : cells) {
+    for (int cmax : {0, 4}) {
+      ConvergenceStats stats =
+          measure_convergence(cell.t, cmax, 10,
+                              4000 + static_cast<std::uint64_t>(
+                                         cell.t.size() * 10 + cmax));
+      std::string recovered =
+          std::to_string(10 - stats.failures) + "/10";
+      if (stats.ticks.count() > 0) {
+        table.add_row({cell.name, support::Table::cell(cell.t.size()),
+                       support::Table::cell(cmax), recovered,
+                       support::Table::cell(stats.ticks.mean(), 0),
+                       support::Table::cell(stats.ticks.median(), 0),
+                       support::Table::cell(stats.ticks.max(), 0)});
+      } else {
+        table.add_row({cell.name, support::Table::cell(cell.t.size()),
+                       support::Table::cell(cmax), recovered, "-", "-",
+                       "-"});
+      }
+    }
+  }
+  table.print(std::cout, "convergence time after a transient fault");
+}
+
+void BM_FaultRecovery(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    SystemConfig config;
+    config.tree = tree::line(n);
+    config.k = 2;
+    config.l = 3;
+    config.seed = 6000 + trial++;
+    System system(config);
+    system.run_until_stabilized(20'000'000);
+    support::Rng fault_rng(trial * 31);
+    system.inject_transient_fault(fault_rng);
+    sim::SimTime recovered =
+        system.run_until_stabilized(system.engine().now() + 80'000'000);
+    benchmark::DoNotOptimize(recovered);
+  }
+}
+BENCHMARK(BM_FaultRecovery)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace klex
+
+int main(int argc, char** argv) {
+  klex::print_thm1_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// E5 -- Theorem 2: once stabilized, the waiting time (number of CS
+// entries by other processes between a request and its grant) is at most
+// ℓ(2n−3)² in the worst case.
+//
+// The bench sweeps n and ℓ under a greedy (think=1) workload -- the
+// adversarial pattern behind the bound -- and reports measured mean / p99
+// / max waits against the bound. The paper's shape claim: measured max
+// stays below the bound everywhere, and grows with both n and ℓ.
+#include "bench_common.hpp"
+
+namespace klex {
+namespace {
+
+struct WaitRow {
+  double mean = 0, p99 = 0, max = 0;
+  std::int64_t bound = 0;
+  std::int64_t samples = 0;
+};
+
+WaitRow measure_waits(const tree::Tree& t, int k, int l, std::uint64_t seed,
+                      sim::SimTime horizon) {
+  SystemConfig config;
+  config.tree = t;
+  config.k = k;
+  config.l = l;
+  config.seed = seed;
+  System system(config);
+  stats::WaitingTimeTracker tracker(system.n());
+  system.add_listener(&tracker);
+  system.run_until_stabilized(10'000'000);
+  tracker.reset_samples();
+
+  proto::NodeBehavior behavior;
+  behavior.think = proto::Dist::fixed(1);
+  behavior.cs_duration = proto::Dist::fixed(8);
+  behavior.need = proto::Dist::uniform(1, k);
+  proto::WorkloadDriver driver(system.engine(), system, k,
+                               proto::uniform_behaviors(system.n(), behavior),
+                               support::Rng(seed ^ 0x7A17));
+  system.add_listener(&driver);
+  driver.begin();
+  system.run_until(system.engine().now() + horizon);
+
+  WaitRow row;
+  row.bound = stats::theorem2_bound(t.size(), l);
+  row.samples = static_cast<std::int64_t>(tracker.waits().count());
+  if (row.samples > 0) {
+    row.mean = tracker.waits().mean();
+    row.p99 = tracker.waits().p99();
+    row.max = tracker.waits().max();
+  }
+  return row;
+}
+
+void print_thm2_table() {
+  bench::print_header(
+      "E5 / Theorem 2: waiting time <= l(2n-3)^2 after stabilization",
+      "measured waits (CS entries by others) vs the analytical bound; "
+      "greedy requesters on a line (worst diameter)");
+
+  support::Table table({"n", "l", "k", "samples", "mean", "p99", "max",
+                        "bound l(2n-3)^2", "max/bound"});
+  for (int n : {3, 7, 15, 31}) {
+    for (int l : {1, 2, 4, 8}) {
+      int k = std::min(2, l);
+      WaitRow row = measure_waits(tree::line(n), k, l, 1000 + n + l,
+                                  1'500'000);
+      table.add_row(
+          {support::Table::cell(n), support::Table::cell(l),
+           support::Table::cell(k), support::Table::cell(row.samples),
+           support::Table::cell(row.mean, 1),
+           support::Table::cell(row.p99, 1), support::Table::cell(row.max, 0),
+           support::Table::cell(row.bound),
+           support::Table::cell(row.bound > 0
+                                    ? row.max / static_cast<double>(row.bound)
+                                    : 0.0,
+                                3)});
+    }
+  }
+  table.print(std::cout, "waiting time vs Theorem 2 bound (line trees)");
+
+  support::Table shapes({"shape", "n", "l", "mean", "max",
+                         "bound", "max/bound"});
+  struct Shape {
+    const char* name;
+    tree::Tree t;
+  };
+  const Shape shape_rows[] = {
+      {"line-15", tree::line(15)},
+      {"star-15", tree::star(15)},
+      {"balanced-2x3 (n=15)", tree::balanced(2, 3)},
+  };
+  for (const Shape& s : shape_rows) {
+    WaitRow row = measure_waits(s.t, 2, 4, 77, 1'500'000);
+    shapes.add_row({s.name, support::Table::cell(s.t.size()),
+                    support::Table::cell(4),
+                    support::Table::cell(row.mean, 1),
+                    support::Table::cell(row.max, 0),
+                    support::Table::cell(row.bound),
+                    support::Table::cell(
+                        row.max / static_cast<double>(row.bound), 3)});
+  }
+  shapes.print(std::cout, "same n, different shapes (bound is shape-free)");
+}
+
+void BM_GreedyWorkloadStep(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  SystemConfig config;
+  config.tree = tree::line(n);
+  config.k = 2;
+  config.l = 4;
+  config.seed = 31;
+  System system(config);
+  system.run_until_stabilized(10'000'000);
+  proto::NodeBehavior behavior;
+  behavior.think = proto::Dist::fixed(1);
+  behavior.cs_duration = proto::Dist::fixed(8);
+  proto::WorkloadDriver driver(system.engine(), system, config.k,
+                               proto::uniform_behaviors(n, behavior),
+                               support::Rng(32));
+  system.add_listener(&driver);
+  driver.begin();
+  for (auto _ : state) {
+    system.run_until(system.engine().now() + 10'000);
+  }
+  state.counters["grants"] =
+      benchmark::Counter(static_cast<double>(driver.total_grants()));
+}
+BENCHMARK(BM_GreedyWorkloadStep)->Arg(7)->Arg(31);
+
+}  // namespace
+}  // namespace klex
+
+int main(int argc, char** argv) {
+  klex::print_thm2_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Section 5 composition: k-out-of-ℓ exclusion on an arbitrary rooted
+// network, via a self-stabilizing BFS spanning tree.
+//
+// "The main interest in dealing with an oriented tree is that solutions
+//  on the oriented tree can be directly mapped to solutions for arbitrary
+//  rooted networks by composing the protocol with a spanning tree
+//  construction." -- paper, Section 5.
+//
+// The demo builds a 4x4 mesh (as in a datacenter pod or a sensor grid),
+// runs the spanning-tree layer until it converges to the BFS tree, then
+// runs the exclusion protocol on the extracted oriented tree.
+#include <iostream>
+
+#include "api/system.hpp"
+#include "proto/workload.hpp"
+#include "stree/spanning_tree.hpp"
+
+int main() {
+  std::cout << "== phase 1: build the mesh and its spanning tree ==\n";
+  klex::stree::SpanningTreeSystem::Config stree_config;
+  stree_config.graph = klex::stree::grid(4, 4);
+  stree_config.seed = 5;
+  klex::stree::SpanningTreeSystem stree(std::move(stree_config));
+
+  klex::sim::SimTime converged = stree.run_until_converged(2'000'000);
+  std::cout << "  BFS spanning tree converged at t=" << converged << "\n";
+
+  auto extracted = stree.try_extract_tree();
+  if (!extracted.has_value()) {
+    std::cerr << "spanning tree extraction failed\n";
+    return 1;
+  }
+  std::cout << "  extracted oriented tree (height " << extracted->height()
+            << ", " << extracted->leaf_count() << " leaves):\n"
+            << extracted->to_dot();
+
+  std::cout << "== phase 2: k-out-of-l exclusion on the extracted tree ==\n";
+  klex::SystemConfig config;
+  config.tree = *extracted;
+  config.k = 2;
+  config.l = 5;
+  config.seed = 6;
+  klex::System system(config);
+  system.run_until_stabilized(2'000'000);
+
+  klex::proto::NodeBehavior behavior;
+  behavior.think = klex::proto::Dist::exponential(128);
+  behavior.cs_duration = klex::proto::Dist::exponential(64);
+  behavior.need = klex::proto::Dist::uniform(1, 2);
+  klex::proto::WorkloadDriver driver(
+      system.engine(), system, config.k,
+      klex::proto::uniform_behaviors(system.n(), behavior),
+      klex::support::Rng(8));
+  system.add_listener(&driver);
+  driver.begin();
+  system.run_until(system.engine().now() + 2'000'000);
+
+  std::cout << "  " << driver.total_grants()
+            << " critical sections served on the mesh; census intact = "
+            << (system.token_counts_correct() ? "yes" : "no") << "\n";
+
+  std::cout << "== phase 3: survive a fault in the spanning-tree layer ==\n";
+  klex::support::Rng fault_rng(9);
+  stree.inject_transient_fault(fault_rng);
+  klex::sim::SimTime reconverged =
+      stree.run_until_converged(stree.engine().now() + 5'000'000);
+  std::cout << "  spanning tree re-converged at t=" << reconverged
+            << " after corruption; same BFS tree extracted = "
+            << ((stree.try_extract_tree().has_value() &&
+                 *stree.try_extract_tree() == *extracted)
+                    ? "yes"
+                    : "no (another BFS tree)")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Heterogeneous bandwidth allocation -- the paper's motivating scenario
+// ("requests may vary from 1 to k units of a given resource, e.g.
+// bandwidth for audio or video streaming").
+//
+// A distribution tree of media relays shares l = 8 bandwidth slots.
+// Audio sessions need 1 slot, SD video 2, HD video 4 (k = 4). The demo
+// runs a mixed workload and prints per-class grant counts and latencies,
+// showing large requests are not starved by small ones (the priority
+// token at work).
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "api/system.hpp"
+#include "proto/workload.hpp"
+#include "support/histogram.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+/// Tracks grant latency per request size (class).
+class ClassTracker : public klex::proto::Listener {
+ public:
+  void on_request(klex::proto::NodeId node, int need,
+                  klex::sim::SimTime at) override {
+    pending_[node] = {need, at};
+  }
+  void on_enter_cs(klex::proto::NodeId node, int /*need*/,
+                   klex::sim::SimTime at) override {
+    auto it = pending_.find(node);
+    if (it == pending_.end()) return;
+    auto [need, asked_at] = it->second;
+    pending_.erase(it);
+    latency_[need].add(static_cast<double>(at - asked_at));
+  }
+
+  const std::map<int, klex::support::Histogram>& latency() const {
+    return latency_;
+  }
+
+ private:
+  std::map<klex::proto::NodeId, std::pair<int, klex::sim::SimTime>> pending_;
+  std::map<int, klex::support::Histogram> latency_;
+};
+
+}  // namespace
+
+int main() {
+  klex::SystemConfig config;
+  config.tree = klex::tree::balanced(3, 2);  // 13 relays
+  config.k = 4;                              // HD video needs 4 slots
+  config.l = 8;                              // 8 bandwidth slots total
+  config.seed = 2026;
+  klex::System system(config);
+  system.run_until_stabilized(2'000'000);
+
+  ClassTracker classes;
+  system.add_listener(&classes);
+
+  // Mixed workload: nodes 1-4 run audio (1 slot), 5-8 SD video (2 slots),
+  // 9-12 HD video (4 slots). Session lengths are exponential.
+  std::vector<klex::proto::NodeBehavior> behaviors(
+      static_cast<std::size_t>(system.n()));
+  behaviors[0].active = false;  // the root relay only forwards
+  for (klex::proto::NodeId v = 1; v < system.n(); ++v) {
+    auto& b = behaviors[static_cast<std::size_t>(v)];
+    b.think = klex::proto::Dist::exponential(200);
+    b.cs_duration = klex::proto::Dist::exponential(400);
+    b.need = klex::proto::Dist::fixed(v <= 4 ? 1 : (v <= 8 ? 2 : 4));
+  }
+  klex::proto::WorkloadDriver driver(system.engine(), system, config.k,
+                                     behaviors, klex::support::Rng(7));
+  system.add_listener(&driver);
+  driver.begin();
+
+  const klex::sim::SimTime horizon = 5'000'000;
+  system.run_until(system.engine().now() + horizon);
+
+  klex::support::Table table(
+      {"class", "slots", "grants", "mean latency", "p99 latency"});
+  const char* names[] = {"", "audio", "SD video", "", "HD video"};
+  for (const auto& [need, hist] : classes.latency()) {
+    table.add_row({names[need], klex::support::Table::cell(need),
+                   klex::support::Table::cell(hist.count()),
+                   klex::support::Table::cell(hist.mean(), 0),
+                   klex::support::Table::cell(hist.p99(), 0)});
+  }
+  table.print(std::cout, "bandwidth allocation by traffic class (l = 8)");
+  std::cout << "\nHD sessions (4 of 8 slots each) are served despite the "
+               "audio churn:\nthe priority token protects large requests "
+               "from the pusher.\n";
+  return 0;
+}

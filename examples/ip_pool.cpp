@@ -1,0 +1,63 @@
+// IP address pool (ℓ-exclusion special case) -- the paper's other
+// motivating example: "in ℓ-exclusion, ℓ units of a same resource (e.g.,
+// a pool of IP addresses) can be allocated".
+//
+// With k = 1 the protocol degenerates to ℓ-exclusion: every request asks
+// for exactly one address. The demo leases addresses from a pool of 6
+// across a 20-node access tree and prints utilization over time.
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "api/system.hpp"
+#include "proto/workload.hpp"
+#include "stats/throughput.hpp"
+#include "support/table.hpp"
+
+int main() {
+  klex::support::Rng shape_rng(11);
+  klex::SystemConfig config;
+  config.tree = klex::tree::random_tree_bounded_degree(20, 4, shape_rng);
+  config.k = 1;  // one address per client: l-exclusion
+  config.l = 6;  // pool of 6 addresses
+  config.seed = 33;
+  klex::System system(config);
+  system.run_until_stabilized(2'000'000);
+
+  klex::stats::ThroughputTracker throughput(system.n());
+  system.add_listener(&throughput);
+
+  klex::proto::NodeBehavior lease;
+  lease.think = klex::proto::Dist::exponential(300);     // between leases
+  lease.cs_duration = klex::proto::Dist::exponential(600);  // lease length
+  lease.need = klex::proto::Dist::fixed(1);
+  klex::proto::WorkloadDriver driver(
+      system.engine(), system, config.k,
+      klex::proto::uniform_behaviors(system.n(), lease),
+      klex::support::Rng(34));
+  system.add_listener(&driver);
+  driver.begin();
+
+  throughput.start_window(system.engine().now());
+  klex::support::Table table(
+      {"t (ticks)", "leases granted", "addresses in use", "pool utilization"});
+  for (int epoch = 1; epoch <= 8; ++epoch) {
+    system.run_until(system.engine().now() + 500'000);
+    int in_use = 0;
+    for (klex::proto::NodeId v = 0; v < system.n(); ++v) {
+      if (system.state_of(v) == klex::proto::AppState::kIn) ++in_use;
+    }
+    table.add_row(
+        {klex::support::Table::cell(system.engine().now()),
+         klex::support::Table::cell(driver.total_grants()),
+         klex::support::Table::cell(in_use),
+         klex::support::Table::cell(
+             throughput.mean_utilization(system.engine().now(), config.l),
+             2)});
+  }
+  table.print(std::cout, "DHCP-style address pool (l = 6, 20 clients)");
+
+  std::cout << "\npool never oversubscribes: census intact = "
+            << std::boolalpha << system.token_counts_correct() << "\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: run the self-stabilizing k-out-of-ℓ exclusion protocol on a
+// small oriented tree, make a request, enter/exit the critical section.
+//
+//   $ ./examples/quickstart
+//
+// This is the smallest end-to-end use of the library: build a tree, make
+// a System, let the controller bootstrap the token population, then use
+// the paper's application interface (request / EnterCS / release).
+#include <iostream>
+
+#include "api/system.hpp"
+
+int main() {
+  // The paper's running example: the 8-node tree of Figures 1/2/4.
+  //          r(0)
+  //         /    \
+  //       a(1)   d(4)
+  //       /  \   / | \
+  //     b(2) c(3) e f g
+  klex::SystemConfig config;
+  config.tree = klex::tree::figure1_tree();
+  config.k = 2;  // any process may ask for up to 2 units
+  config.l = 3;  // 3 units of the shared resource exist
+  config.seed = 42;
+
+  klex::System system(config);
+  std::cout << "tree (" << system.n() << " processes):\n"
+            << system.topology().to_dot() << "\n";
+
+  // The root's controller bootstraps the token population: it counts zero
+  // tokens on its first census and mints exactly l resource tokens, one
+  // pusher and one priority token.
+  klex::sim::SimTime stabilized = system.run_until_stabilized(1'000'000);
+  std::cout << "stabilized at t=" << stabilized << ": census "
+            << system.census().resource() << " resource / "
+            << system.census().pusher << " pusher / "
+            << system.census().priority() << " priority\n";
+
+  // Node 3 (process c, a leaf) wants 2 units.
+  system.request(3, 2);
+  std::cout << "t=" << system.engine().now()
+            << ": node 3 requested 2 units\n";
+
+  // Run until the request is granted (tokens reach the node via the
+  // depth-first virtual ring).
+  while (system.state_of(3) != klex::proto::AppState::kIn) {
+    system.run_until(system.engine().now() + 100);
+  }
+  std::cout << "t=" << system.engine().now()
+            << ": node 3 entered its critical section holding 2 units\n";
+
+  // ... the application uses the units, then releases.
+  system.run_until(system.engine().now() + 500);
+  system.release(3);
+  system.run_until(system.engine().now() + 10'000);
+  std::cout << "t=" << system.engine().now()
+            << ": node 3 released; census is "
+            << (system.token_counts_correct() ? "intact" : "BROKEN") << "\n";
+  return 0;
+}

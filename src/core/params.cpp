@@ -1,0 +1,21 @@
+#include "core/params.hpp"
+
+#include "support/check.hpp"
+
+namespace klex::core {
+
+std::int32_t myc_modulus(int n, int cmax) {
+  KLEX_REQUIRE(n >= 2, "protocol needs n >= 2");
+  KLEX_REQUIRE(cmax >= 0, "CMAX must be non-negative");
+  // Domain [0 .. 2(n−1)(CMAX+1)] inclusive.
+  return 2 * (n - 1) * (cmax + 1) + 1;
+}
+
+sim::SimTime default_timeout(int n, sim::SimTime max_delay) {
+  KLEX_REQUIRE(n >= 2, "protocol needs n >= 2");
+  // One circulation takes at most 2(n−1) hops; x4 headroom plus a floor
+  // keeps spurious timeouts (which cost a wasted duplicate token) rare.
+  return 4 * static_cast<sim::SimTime>(2 * (n - 1)) * max_delay + 64;
+}
+
+}  // namespace klex::core

@@ -1,0 +1,56 @@
+// Protocol parameters for the k-out-of-ℓ exclusion processes.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/app.hpp"
+#include "sim/time.hpp"
+
+namespace klex::core {
+
+struct Params {
+  /// Maximum units one request may ask for (1 <= k <= l).
+  int k = 1;
+  /// Total resource units ℓ.
+  int l = 1;
+  /// CMAX: bound on the number of arbitrary messages initially in each
+  /// channel (paper Section 2). Sizes the myC counter domain
+  /// [0 .. 2(n−1)(CMAX+1)].
+  int cmax = 4;
+  /// Which rungs of the protocol ladder are enabled.
+  proto::Features features = proto::Features::full();
+  /// Root timeout period for controller retransmission; 0 = derived by the
+  /// harness from the network size and the channel delay bound ("assumed
+  /// sufficiently large to prevent congestion", paper Section 3).
+  sim::SimTime timeout_period = 0;
+  /// Mint ℓ resource tokens (+ pusher + priority per features) at startup.
+  /// Mandatory for non-controller variants (nothing else creates tokens);
+  /// optional for the full protocol (a legitimate-start configuration).
+  bool seed_tokens = false;
+
+  // -- fidelity ablations (see DESIGN.md §1.1) -------------------------------
+
+  /// Use the arXiv pseudocode's pusher guard verbatim
+  /// ((Prio ≠ ⊥) ∧ ...) instead of the prose semantics ((Prio = ⊥) ∧ ...).
+  /// Reintroduces the Figure 2 deadlock; kept for the regression test that
+  /// documents the deviation.
+  bool literal_pusher_guard = false;
+  /// Use the arXiv pseudocode's literal priority-token census accounting:
+  /// SPrio is incremented only when a HELD priority token that arrived on
+  /// channel Δr−1 is released (Alg. 1 lines 93-95); the immediate-forward
+  /// path (lines 38-39) is uncounted. With this accounting, a surplus
+  /// priority token circulating while the root's own priority token is
+  /// pinned by a pending request is never detected (see DESIGN.md §1.1).
+  /// When false (default), loop completions are counted at arrival.
+  bool omit_prio_wrap_count = false;
+};
+
+/// Modulus of the myC counter domain: 2(n−1)(CMAX+1) + 1 values.
+std::int32_t myc_modulus(int n, int cmax);
+
+/// Default controller timeout: comfortably above one full controller
+/// circulation (2(n−1) hops at max delay), so in legitimate executions the
+/// timeout never fires (the valid token restarts it first).
+sim::SimTime default_timeout(int n, sim::SimTime max_delay);
+
+}  // namespace klex::core

@@ -1,0 +1,215 @@
+#include "core/process_base.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace klex::core {
+
+KlProcessBase::KlProcessBase(Params params, int degree, std::int32_t modulus,
+                             proto::Listener* listener)
+    : params_(params),
+      degree_(degree),
+      myc_modulus_(modulus),
+      rset_(degree, params.k),
+      listener_(listener) {
+  KLEX_REQUIRE(degree_ >= 1, "every process has at least one channel");
+  KLEX_REQUIRE(myc_modulus_ >= 1, "bad myC modulus");
+  KLEX_REQUIRE(params_.k >= 1 && params_.k <= params_.l,
+               "need 1 <= k <= l, got k=", params_.k, " l=", params_.l);
+  KLEX_REQUIRE(listener_ != nullptr, "listener required");
+}
+
+std::int32_t KlProcessBase::sat_add(std::int32_t value, std::int32_t delta,
+                                    std::int32_t max_value) {
+  return std::min(value + delta, max_value);
+}
+
+void KlProcessBase::on_message(int channel, const sim::Message& msg) {
+  KLEX_CHECK(channel >= 0 && channel < degree_, "bad delivery channel");
+  if (!proto::is_protocol_message(msg)) {
+    return;  // arbitrary junk: no handler matches, message disappears
+  }
+  switch (proto::type_of(msg)) {
+    case proto::TokenType::kResource:
+      handle_resource(channel);
+      break;
+    case proto::TokenType::kPusher:
+      if (params_.features.pusher) handle_pusher(channel);
+      break;
+    case proto::TokenType::kPriority:
+      if (params_.features.priority) handle_priority(channel);
+      break;
+    case proto::TokenType::kControl:
+      if (params_.features.controller) handle_control(channel,
+                                                      proto::ctrl_of(msg));
+      break;
+  }
+  // Bottom of the "repeat forever" loop: the guarded application actions.
+  post_step();
+}
+
+// -- token handlers (Algorithm 1 lines 9-41 / Algorithm 2 lines 8-31) --------
+
+void KlProcessBase::handle_resource(int channel) {
+  if (!accepting_tokens()) return;  // root in Reset: token erased
+  note_resource_arrival(channel);   // root: loop-completion census
+  if (state_ == proto::AppState::kReq && rset_.size() < need_) {
+    rset_.insert(channel);  // reserve, remembering the arrival channel
+  } else {
+    forward_resource(channel);
+  }
+}
+
+void KlProcessBase::handle_pusher(int channel) {
+  if (!accepting_tokens()) return;
+  bool release_reserved;
+  if (params_.literal_pusher_guard) {
+    // The arXiv pseudocode guard, verbatim (Alg. 1 line 21 / Alg. 2 line
+    // 17). Contradicts the prose; kept only for the regression test.
+    release_reserved = (prio_ != kNoPrio) &&
+                       (state_ != proto::AppState::kReq ||
+                        rset_.size() < need_) &&
+                       (state_ != proto::AppState::kIn);
+  } else {
+    // Prose semantics (Section 3): the pusher makes a process drop its
+    // reserved tokens unless it is in its CS, enabled to enter it, or
+    // protected by the priority token.
+    release_reserved = (prio_ == kNoPrio) &&
+                       (state_ != proto::AppState::kIn) &&
+                       !(state_ == proto::AppState::kReq &&
+                         rset_.size() >= need_);
+  }
+  if (release_reserved) {
+    release_all_reserved();
+  }
+  forward_pusher(channel);
+}
+
+void KlProcessBase::handle_priority(int channel) {
+  if (!accepting_tokens()) return;
+  note_priority_arrival(channel);  // root: loop-completion census
+  if (prio_ == kNoPrio) {
+    prio_ = channel;  // hold it until the local request is satisfied
+  } else {
+    forward_priority(channel);
+  }
+}
+
+// -- forwarding with root wrap accounting -------------------------------------
+
+void KlProcessBase::forward_resource(int in_channel) {
+  send(next_channel(in_channel), proto::make_resource());
+}
+
+void KlProcessBase::forward_pusher(int in_channel) {
+  note_pusher_wrap(in_channel);
+  send(next_channel(in_channel), proto::make_pusher());
+}
+
+void KlProcessBase::forward_priority(int in_channel) {
+  send(next_channel(in_channel), proto::make_priority());
+}
+
+void KlProcessBase::release_all_reserved() {
+  rset_.for_each([this](int label, int multiplicity) {
+    for (int i = 0; i < multiplicity; ++i) {
+      forward_resource(label);
+    }
+  });
+  rset_.clear();
+}
+
+void KlProcessBase::erase_local_tokens() {
+  rset_.clear();
+  prio_ = kNoPrio;
+}
+
+// -- bottom-of-loop actions ---------------------------------------------------
+
+void KlProcessBase::post_step() {
+  // (State = Req) ∧ (|RSet| >= Need): enter the critical section.
+  if (state_ == proto::AppState::kReq && rset_.size() >= need_) {
+    state_ = proto::AppState::kIn;
+    release_pending_ = false;
+    listener_->on_enter_cs(id(), need_, now());
+  }
+  // (State = In) ∧ ReleaseCS(): leave the CS, releasing reserved tokens.
+  if (state_ == proto::AppState::kIn && release_pending_) {
+    release_all_reserved();
+    state_ = proto::AppState::kOut;
+    release_pending_ = false;
+    listener_->on_exit_cs(id(), now());
+  }
+  // (Prio ≠ ⊥) ∧ (State ≠ Req ∨ |RSet| >= Need): pass the priority token on.
+  if (prio_ != kNoPrio && (state_ != proto::AppState::kReq ||
+                           rset_.size() >= need_)) {
+    int held = prio_;
+    prio_ = kNoPrio;
+    note_priority_release(held);  // literal-pseudocode census mode only
+    forward_priority(held);
+  }
+}
+
+// -- application interface ----------------------------------------------------
+
+void KlProcessBase::request(int need) {
+  KLEX_REQUIRE(state_ == proto::AppState::kOut,
+               "request() requires State = Out (transition table, Sec. 2)");
+  KLEX_REQUIRE(need >= 0 && need <= params_.k,
+               "need must be in 0..k, got ", need);
+  need_ = need;
+  state_ = proto::AppState::kReq;
+  listener_->on_request(id(), need, now());
+  post_step();  // a zero-unit request (or leftover tokens) may grant now
+}
+
+void KlProcessBase::release() {
+  KLEX_REQUIRE(state_ == proto::AppState::kIn,
+               "release() requires State = In");
+  release_pending_ = true;
+  post_step();
+}
+
+// -- introspection / faults ---------------------------------------------------
+
+proto::LocalSnapshot KlProcessBase::snapshot() const {
+  proto::LocalSnapshot snap;
+  snap.state = state_;
+  snap.need = need_;
+  snap.rset_size = rset_.size();
+  snap.holds_priority = prio_ != kNoPrio;
+  snap.myc = myc_;
+  snap.succ = succ_;
+  return snap;
+}
+
+void KlProcessBase::corrupt(support::Rng& rng) {
+  myc_ = static_cast<std::int32_t>(
+      rng.next_below(static_cast<std::uint64_t>(myc_modulus_)));
+  succ_ = static_cast<int>(rng.next_below(
+      static_cast<std::uint64_t>(degree_)));
+  rset_.clear();
+  int reserved = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(params_.k + 1)));
+  for (int i = 0; i < reserved; ++i) {
+    rset_.insert(static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(degree_))));
+  }
+  need_ = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(params_.k + 1)));
+  switch (rng.next_below(3)) {
+    case 0: state_ = proto::AppState::kOut; break;
+    case 1: state_ = proto::AppState::kReq; break;
+    default: state_ = proto::AppState::kIn; break;
+  }
+  if (params_.features.priority && rng.next_bool(0.5)) {
+    prio_ = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(degree_)));
+  } else {
+    prio_ = kNoPrio;
+  }
+  release_pending_ = rng.next_bool(0.5);
+}
+
+}  // namespace klex::core

@@ -1,0 +1,127 @@
+// Shared machinery of the paper's Algorithms 1 (root) and 2 (non-root).
+//
+// Both algorithms handle the resource / pusher / priority tokens almost
+// identically; the differences are:
+//   * the root guards every token handler with ¬Reset (tokens received
+//     during a reset circulation are erased);
+//   * the root counts tokens that wrap around the virtual ring (a token
+//     received on channel Δr−1 is retransmitted on channel 0, i.e. starts
+//     a new circulation) in its SToken / SPush / SPrio counters.
+// Those two differences are the virtual hooks accepting_tokens() and
+// note_*_wrap(). The bottom-of-loop guarded actions (CS entry, CS exit,
+// priority release -- lines 78-98 of Algorithm 1 / 62-76 of Algorithm 2)
+// are shared verbatim in post_step().
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "proto/app.hpp"
+#include "proto/messages.hpp"
+#include "sim/engine.hpp"
+#include "support/fixed_multiset.hpp"
+#include "support/rng.hpp"
+
+namespace klex::core {
+
+/// Prio = ⊥ (no priority token held).
+inline constexpr int kNoPrio = -1;
+
+class KlProcessBase : public sim::Process,
+                      public proto::ExclusionParticipant {
+ public:
+  /// `degree` is Δp (channels 0..degree−1 must be connected before the
+  /// simulation starts); `modulus` is the myC domain size.
+  KlProcessBase(Params params, int degree, std::int32_t modulus,
+                proto::Listener* listener);
+
+  // -- sim::Process ----------------------------------------------------------
+  void on_message(int channel, const sim::Message& msg) final;
+
+  // -- proto::ExclusionParticipant -------------------------------------------
+  void request(int need) final;
+  void release() final;
+  proto::AppState app_state() const final { return state_; }
+  int need() const final { return need_; }
+  proto::LocalSnapshot snapshot() const override;
+  void corrupt(support::Rng& rng) override;
+
+  int degree() const { return degree_; }
+  const Params& params() const { return params_; }
+
+  /// Exposed for direct-manipulation tests: the reserved-token multiset.
+  const support::FixedMultiset& rset() const { return rset_; }
+
+ protected:
+  /// Token handlers shared by Algorithms 1 and 2.
+  void handle_resource(int channel);
+  void handle_pusher(int channel);
+  void handle_priority(int channel);
+
+  /// ctrl handling differs fundamentally between root and non-root.
+  virtual void handle_control(int channel, const proto::CtrlFields& f) = 0;
+
+  /// Root: ¬Reset. Non-root: always true.
+  virtual bool accepting_tokens() const { return true; }
+
+  /// Root census hooks (no-ops at non-root processes).
+  ///
+  /// The root counts tokens that complete a loop of the virtual ring in
+  /// SToken/SPush/SPrio. The arXiv pseudocode performs the increment when
+  /// the token is *forwarded* from channel Δr−1, but that accounting has
+  /// two holes when the root itself requests (DESIGN.md §1.1): a token the
+  /// root RESERVES from channel Δr−1 mid-circulation is never counted in
+  /// the ending circulation (spurious deficit => an extra token is minted,
+  /// transiently breaking safety), and a reserved token RELEASED later is
+  /// counted twice (once via the PT field at the wrap, once at release =>
+  /// spurious reset). We therefore count loop completions at *arrival*:
+  /// every ResT/PrioT the root receives on channel Δr−1 is counted exactly
+  /// once, whether it is then reserved, held or forwarded. Release paths
+  /// do not count. PushT is never stored, so its forward-time count is
+  /// equivalent and kept per the pseudocode.
+  virtual void note_resource_arrival(int in_channel) { (void)in_channel; }
+  virtual void note_priority_arrival(int in_channel) { (void)in_channel; }
+  virtual void note_priority_release(int held_channel) {
+    (void)held_channel;
+  }
+  virtual void note_pusher_wrap(int in_channel) { (void)in_channel; }
+
+  /// Forwards a token received on `in_channel` to (in_channel+1) mod Δ.
+  void forward_resource(int in_channel);
+  void forward_pusher(int in_channel);
+  void forward_priority(int in_channel);
+
+  /// Releases every reserved token back into circulation (RSet ← ∅).
+  void release_all_reserved();
+
+  /// Bottom-of-loop guarded actions (enter CS / exit CS / release PrioT).
+  void post_step();
+
+  /// Erase reserved tokens and the held priority token (reset visitation).
+  void erase_local_tokens();
+
+  int next_channel(int channel) const { return (channel + 1) % degree_; }
+
+  static std::int32_t sat_add(std::int32_t value, std::int32_t delta,
+                              std::int32_t max_value);
+
+  proto::Listener& listener() const { return *listener_; }
+
+  Params params_;
+  int degree_;
+  std::int32_t myc_modulus_;
+
+  // Protocol variables (paper names in comments).
+  std::int32_t myc_ = 0;                // myC
+  int succ_ = 0;                        // Succ
+  support::FixedMultiset rset_;         // RSet
+  int need_ = 0;                        // Need
+  proto::AppState state_ = proto::AppState::kOut;  // State
+  int prio_ = kNoPrio;                  // Prio (−1 = ⊥)
+  bool release_pending_ = false;        // ReleaseCS() latch
+
+ private:
+  proto::Listener* listener_;
+};
+
+}  // namespace klex::core

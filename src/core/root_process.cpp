@@ -1,0 +1,186 @@
+#include "core/root_process.hpp"
+
+#include "support/check.hpp"
+
+namespace klex::core {
+
+RootProcess::RootProcess(Params params, int degree, std::int32_t modulus,
+                         proto::Listener* listener)
+    : KlProcessBase(params, degree, modulus, listener) {}
+
+void RootProcess::on_start() {
+  if (params_.seed_tokens) {
+    mint_tokens(params_.l, params_.features.pusher,
+                params_.features.priority);
+  }
+  if (params_.features.controller) {
+    // Equivalent to an immediate TimeOut(): bootstraps the first
+    // controller circulation without waiting a full period.
+    on_timeout();
+  }
+}
+
+void RootProcess::on_timer(int timer_id) {
+  if (timer_id == kTimeoutTimer) on_timeout();
+}
+
+void RootProcess::on_timeout() {
+  // Alg. 1 lines 99-102: send ⟨ctrl, myC, Reset, 0, 0⟩ to Succ.
+  send_control(proto::CtrlFields{myc_, reset_, 0, 0});
+  restart_timer();
+}
+
+void RootProcess::restart_timer() {
+  KLEX_CHECK(params_.timeout_period > 0, "timeout period must be set");
+  set_timer(kTimeoutTimer, params_.timeout_period);
+}
+
+void RootProcess::send_control(const proto::CtrlFields& f) {
+  send(succ_, proto::make_ctrl(f));
+}
+
+void RootProcess::mint_tokens(int resource_count, bool pusher,
+                              bool priority) {
+  if (priority) {
+    send(0, proto::make_priority());
+    listener().on_tokens_minted(
+        static_cast<std::int32_t>(proto::TokenType::kPriority), 1, now());
+  }
+  for (int i = 0; i < resource_count; ++i) {
+    send(0, proto::make_resource());
+  }
+  if (resource_count > 0) {
+    listener().on_tokens_minted(
+        static_cast<std::int32_t>(proto::TokenType::kResource),
+        resource_count, now());
+  }
+  if (pusher) {
+    send(0, proto::make_pusher());
+    listener().on_tokens_minted(
+        static_cast<std::int32_t>(proto::TokenType::kPusher), 1, now());
+  }
+}
+
+void RootProcess::note_resource_arrival(int in_channel) {
+  // Arrival-time version of Alg. 1 lines 14-16: a resource token received
+  // on channel Δr−1 completed a loop of the virtual ring. Counting here
+  // (rather than on forward/release as the pseudocode does) covers tokens
+  // the root reserves, and avoids double-counting ones it releases --
+  // see the note in process_base.hpp and DESIGN.md §1.1.
+  if (in_channel == degree_ - 1) {
+    stoken_ = sat_add(stoken_, 1, params_.l + 1);
+  }
+}
+
+void RootProcess::note_pusher_wrap(int in_channel) {
+  // Alg. 1 lines 30-32 (the pusher is never stored, so forward-time
+  // counting is already arrival-time counting).
+  if (in_channel == degree_ - 1) {
+    spush_ = sat_add(spush_, 1, 2);
+  }
+}
+
+void RootProcess::note_priority_arrival(int in_channel) {
+  // Arrival-time count for the priority token. Disabled in the
+  // omit_prio_wrap_count ablation, which reproduces the arXiv pseudocode's
+  // literal accounting (count only at release, lines 93-95; the
+  // immediate-forward path lines 38-39 is uncounted).
+  if (params_.omit_prio_wrap_count) return;
+  if (in_channel == degree_ - 1) {
+    sprio_ = sat_add(sprio_, 1, 2);
+  }
+}
+
+void RootProcess::note_priority_release(int held_channel) {
+  // Literal-pseudocode mode only (Alg. 1 lines 93-95).
+  if (!params_.omit_prio_wrap_count) return;
+  if (held_channel == degree_ - 1) {
+    sprio_ = sat_add(sprio_, 1, 2);
+  }
+}
+
+void RootProcess::handle_control(int channel, const proto::CtrlFields& f) {
+  // Alg. 1 line 43: valid iff from Succ with a matching flag value.
+  if (channel != succ_ || myc_ != f.c) {
+    return;  // invalid: the root ignores it (no retransmission)
+  }
+  succ_ = next_channel(succ_);
+
+  std::int32_t pt = f.pt;
+  std::int32_t ppr = f.ppr;
+
+  if (succ_ == 0) {
+    // The controller finished a full DFS circulation (lines 45-68).
+    myc_ = static_cast<std::int32_t>((myc_ + 1) % myc_modulus_);
+
+    int resource_census = pt + stoken_;
+    int priority_census = ppr + sprio_;
+    int pusher_census = spush_;
+    reset_ = (resource_census > params_.l) || (priority_census > 1) ||
+             (pusher_census > 1);
+    listener().on_circulation_end(resource_census, pusher_census,
+                                  priority_census, reset_, now());
+    if (reset_) {
+      erase_local_tokens();  // RSet ← ∅, Prio ← ⊥ (lines 49-50)
+    } else {
+      // Top up deficits (lines 52-61).
+      if (priority_census < 1) {
+        send(0, proto::make_priority());
+        listener().on_tokens_minted(
+            static_cast<std::int32_t>(proto::TokenType::kPriority), 1,
+            now());
+      }
+      int created = 0;
+      while (pt + stoken_ < params_.l) {
+        send(0, proto::make_resource());
+        stoken_ = sat_add(stoken_, 1, params_.l + 1);
+        ++created;
+      }
+      if (created > 0) {
+        listener().on_tokens_minted(
+            static_cast<std::int32_t>(proto::TokenType::kResource), created,
+            now());
+      }
+      if (pusher_census < 1) {
+        send(0, proto::make_pusher());
+        listener().on_tokens_minted(
+            static_cast<std::int32_t>(proto::TokenType::kPusher), 1, now());
+      }
+    }
+    // Lines 63-67: zero the census for the next circulation.
+    stoken_ = 0;
+    sprio_ = 0;
+    spush_ = 0;
+    pt = 0;
+    ppr = 0;
+  }
+
+  // Lines 69-72: the controller passes the root's reserved tokens that
+  // arrived on the channel it just came from.
+  pt = sat_add(pt, rset_.count(channel), params_.l + 1);
+  if (prio_ == channel) {
+    ppr = sat_add(ppr, 1, 2);
+  }
+  send_control(proto::CtrlFields{myc_, reset_, pt, ppr});
+  restart_timer();
+}
+
+proto::LocalSnapshot RootProcess::snapshot() const {
+  proto::LocalSnapshot snap = KlProcessBase::snapshot();
+  snap.reset = reset_;
+  snap.stoken = stoken_;
+  snap.spush = spush_;
+  snap.sprio = sprio_;
+  return snap;
+}
+
+void RootProcess::corrupt(support::Rng& rng) {
+  KlProcessBase::corrupt(rng);
+  reset_ = rng.next_bool(0.5);
+  stoken_ = static_cast<std::int32_t>(
+      rng.next_below(static_cast<std::uint64_t>(params_.l + 2)));
+  spush_ = static_cast<std::int32_t>(rng.next_below(3));
+  sprio_ = static_cast<std::int32_t>(rng.next_below(3));
+}
+
+}  // namespace klex::core

@@ -1,0 +1,59 @@
+// Algorithm 1: the root process r.
+//
+// The root drives self-stabilization: it originates controller
+// circulations (and re-originates them on timeout), tallies the global
+// token census (SToken/SPush/SPrio for tokens it relaunches around the
+// virtual ring, plus the PT/PPr fields accumulated by the controller),
+// and at the end of each circulation either tops the network up to
+// exactly ℓ resource tokens, one pusher and one priority token, or --
+// when there are too many of anything -- runs a reset circulation that
+// erases every token before minting a fresh legitimate population.
+#pragma once
+
+#include "core/process_base.hpp"
+
+namespace klex::core {
+
+class RootProcess : public KlProcessBase {
+ public:
+  RootProcess(Params params, int degree, std::int32_t modulus,
+              proto::Listener* listener);
+
+  void on_start() override;
+  void on_timer(int timer_id) override;
+
+  proto::LocalSnapshot snapshot() const override;
+  void corrupt(support::Rng& rng) override;
+
+  bool in_reset() const { return reset_; }
+
+ protected:
+  void handle_control(int channel, const proto::CtrlFields& f) override;
+
+  bool accepting_tokens() const override { return !reset_; }
+
+  void note_resource_arrival(int in_channel) override;
+  void note_priority_arrival(int in_channel) override;
+  void note_priority_release(int held_channel) override;
+  void note_pusher_wrap(int in_channel) override;
+
+ private:
+  static constexpr int kTimeoutTimer = 0;
+
+  /// Mints the full legitimate token population into channel 0 (used at
+  /// seeded starts and at the end of a reset circulation).
+  void mint_tokens(int resource_count, bool pusher, bool priority);
+
+  void send_control(const proto::CtrlFields& f);
+  void restart_timer();
+
+  /// TimeOut(): retransmit the controller (Alg. 1 lines 99-102).
+  void on_timeout();
+
+  bool reset_ = false;          // Reset
+  std::int32_t stoken_ = 0;     // SToken ∈ [0..ℓ+1]
+  std::int32_t spush_ = 0;      // SPush ∈ [0..2]
+  std::int32_t sprio_ = 0;      // SPrio ∈ [0..2]
+};
+
+}  // namespace klex::core

@@ -1,0 +1,53 @@
+#include "proto/app.hpp"
+
+#include "support/check.hpp"
+
+namespace klex::proto {
+
+const char* app_state_name(AppState state) {
+  switch (state) {
+    case AppState::kOut: return "Out";
+    case AppState::kReq: return "Req";
+    case AppState::kIn: return "In";
+  }
+  return "?";
+}
+
+void ListenerSet::add(Listener* listener) {
+  KLEX_REQUIRE(listener != nullptr, "null listener");
+  listeners_.push_back(listener);
+}
+
+void ListenerSet::on_request(NodeId node, int need, sim::SimTime at) {
+  for (Listener* l : listeners_) l->on_request(node, need, at);
+}
+
+void ListenerSet::on_enter_cs(NodeId node, int need, sim::SimTime at) {
+  for (Listener* l : listeners_) l->on_enter_cs(node, need, at);
+}
+
+void ListenerSet::on_exit_cs(NodeId node, sim::SimTime at) {
+  for (Listener* l : listeners_) l->on_exit_cs(node, at);
+}
+
+void ListenerSet::on_circulation_end(int resource, int pusher, int priority,
+                                     bool reset_decided, sim::SimTime at) {
+  for (Listener* l : listeners_) {
+    l->on_circulation_end(resource, pusher, priority, reset_decided, at);
+  }
+}
+
+void ListenerSet::on_tokens_minted(std::int32_t token_type, int count,
+                                   sim::SimTime at) {
+  for (Listener* l : listeners_) l->on_tokens_minted(token_type, count, at);
+}
+
+const char* Features::name() const {
+  if (!pusher && !priority && !controller) return "naive";
+  if (pusher && !priority && !controller) return "pusher";
+  if (pusher && priority && !controller) return "pusher+priority";
+  if (pusher && priority && controller) return "full";
+  return "custom";
+}
+
+}  // namespace klex::proto

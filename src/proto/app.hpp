@@ -1,0 +1,140 @@
+// The application-facing interface of a k-out-of-ℓ exclusion process,
+// taken verbatim from the paper (Section 2, "Interface"):
+//
+//   State ∈ {Req, In, Out}  -- Out→Req is the application's move (request()),
+//                              Req→In and In→Out are the protocol's moves.
+//   Need ∈ {0..k}           -- units currently requested.
+//   EnterCS()               -- protocol→application upcall; here surfaced as
+//                              Listener::on_enter_cs.
+//   ReleaseCS()             -- application→protocol predicate; here the
+//                              application calls release(), which makes the
+//                              predicate hold until the protocol acts on it.
+//
+// Every exclusion protocol in this repository (tree ladder variants, ring
+// baseline) implements ExclusionParticipant so workloads, monitors and
+// statistics are protocol-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "support/rng.hpp"
+
+namespace klex::proto {
+
+using NodeId = std::int32_t;
+
+enum class AppState : std::int8_t { kOut = 0, kReq = 1, kIn = 2 };
+
+const char* app_state_name(AppState state);
+
+/// Introspection snapshot of one process's protocol variables; used by the
+/// global token census, the verifiers and the debug traces.
+struct LocalSnapshot {
+  AppState state = AppState::kOut;
+  int need = 0;
+  int rset_size = 0;        // |RSet| = reserved resource tokens
+  bool holds_priority = false;  // Prio ≠ ⊥
+  bool reset = false;       // root only; false elsewhere
+  std::int32_t myc = 0;     // counter-flushing flag value
+  int succ = 0;             // DFS successor pointer
+  int stoken = 0;           // root only: SToken
+  int spush = 0;            // root only: SPush
+  int sprio = 0;            // root only: SPrio
+};
+
+/// Protocol-side surface every exclusion process implements.
+class ExclusionParticipant {
+ public:
+  virtual ~ExclusionParticipant() = default;
+
+  /// Application move Out→Req: request `need` units (0 <= need <= k).
+  /// Precondition: app_state() == kOut (other transitions are forbidden by
+  /// the paper's interface).
+  virtual void request(int need) = 0;
+
+  /// Application signals the end of its critical section; the protocol's
+  /// ReleaseCS() predicate holds from this call until the protocol
+  /// performs In→Out. Precondition: app_state() == kIn.
+  virtual void release() = 0;
+
+  virtual AppState app_state() const = 0;
+  virtual int need() const = 0;
+
+  virtual LocalSnapshot snapshot() const = 0;
+
+  /// Transient fault: overwrite every protocol variable with a uniformly
+  /// random in-domain value. (Channel corruption is done by the harness.)
+  virtual void corrupt(support::Rng& rng) = 0;
+};
+
+/// Protocol lifecycle events, delivered synchronously at simulation time.
+/// Implementations must not re-enter the engine (they may schedule()).
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  virtual void on_request(NodeId node, int need, sim::SimTime at) {
+    (void)node; (void)need; (void)at;
+  }
+  /// The protocol granted the request: State switched Req→In (EnterCS()).
+  virtual void on_enter_cs(NodeId node, int need, sim::SimTime at) {
+    (void)node; (void)need; (void)at;
+  }
+  /// State switched In→Out; the reserved units re-entered circulation.
+  virtual void on_exit_cs(NodeId node, sim::SimTime at) {
+    (void)node; (void)at;
+  }
+  /// Root only: a controller circulation terminated with the given census.
+  virtual void on_circulation_end(int resource, int pusher, int priority,
+                                  bool reset_decided, sim::SimTime at) {
+    (void)resource; (void)pusher; (void)priority; (void)reset_decided;
+    (void)at;
+  }
+  /// Root minted `count` tokens of `type` at the end of a circulation.
+  virtual void on_tokens_minted(std::int32_t token_type, int count,
+                                sim::SimTime at) {
+    (void)token_type; (void)count; (void)at;
+  }
+};
+
+/// Fans a Listener event out to many listeners.
+class ListenerSet : public Listener {
+ public:
+  void add(Listener* listener);
+
+  void on_request(NodeId node, int need, sim::SimTime at) override;
+  void on_enter_cs(NodeId node, int need, sim::SimTime at) override;
+  void on_exit_cs(NodeId node, sim::SimTime at) override;
+  void on_circulation_end(int resource, int pusher, int priority,
+                          bool reset_decided, sim::SimTime at) override;
+  void on_tokens_minted(std::int32_t token_type, int count,
+                        sim::SimTime at) override;
+
+ private:
+  std::vector<Listener*> listeners_;
+};
+
+/// The protocol ladder of Section 3: the paper builds the algorithm
+/// incrementally, and each rung is a meaningful (mis)behaving protocol:
+///   naive          -- ℓ circulating resource tokens only (deadlocks, Fig 2)
+///   pusher         -- + pusher token (no deadlock, but livelocks, Fig 3)
+///   pusher+priority-- + priority token (correct, but not fault-tolerant)
+///   full           -- + controller (self-stabilizing; Algorithms 1 & 2)
+struct Features {
+  bool pusher = true;
+  bool priority = true;
+  bool controller = true;
+
+  static Features naive() { return {false, false, false}; }
+  static Features with_pusher() { return {true, false, false}; }
+  static Features with_priority() { return {true, true, false}; }
+  static Features full() { return {true, true, true}; }
+
+  const char* name() const;
+
+  friend bool operator==(const Features&, const Features&) = default;
+};
+
+}  // namespace klex::proto

@@ -1,0 +1,29 @@
+#include "proto/census.hpp"
+
+#include "proto/messages.hpp"
+
+namespace klex::proto {
+
+TokenCensus take_census(
+    const sim::Engine& engine,
+    const std::vector<const ExclusionParticipant*>& participants) {
+  TokenCensus census;
+  engine.for_each_in_flight(
+      [&census](const sim::ChannelInfo&, const sim::Message& msg) {
+        if (!is_protocol_message(msg)) return;
+        switch (type_of(msg)) {
+          case TokenType::kResource: ++census.free_resource; break;
+          case TokenType::kPusher: ++census.pusher; break;
+          case TokenType::kPriority: ++census.free_priority; break;
+          case TokenType::kControl: ++census.control; break;
+        }
+      });
+  for (const ExclusionParticipant* participant : participants) {
+    LocalSnapshot snap = participant->snapshot();
+    census.reserved_resource += snap.rset_size;
+    if (snap.holds_priority) ++census.held_priority;
+  }
+  return census;
+}
+
+}  // namespace klex::proto

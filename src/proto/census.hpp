@@ -1,0 +1,42 @@
+// Global token census: the ground truth the controller's distributed
+// census (Lemmas 3-5) is checked against.
+//
+// A resource token is either *free* (a ⟨ResT⟩ in some channel) or
+// *reserved* (an entry of some process's RSet). A priority token is free
+// (⟨PrioT⟩ in a channel) or held (Prio ≠ ⊥ at some process). Pusher and
+// controller tokens are never stored, so they are exactly the in-flight
+// messages of their type. The census therefore needs the simulator's
+// channel contents plus every process's LocalSnapshot.
+#pragma once
+
+#include <vector>
+
+#include "proto/app.hpp"
+#include "sim/engine.hpp"
+
+namespace klex::proto {
+
+struct TokenCensus {
+  int free_resource = 0;
+  int reserved_resource = 0;
+  int pusher = 0;
+  int free_priority = 0;
+  int held_priority = 0;
+  int control = 0;
+
+  int resource() const { return free_resource + reserved_resource; }
+  int priority() const { return free_priority + held_priority; }
+
+  /// True when the network carries exactly the legitimate token
+  /// population: ℓ resource tokens, one pusher, one priority token.
+  bool correct(int l) const {
+    return resource() == l && pusher == 1 && priority() == 1;
+  }
+};
+
+/// Counts every token in channels and process states.
+TokenCensus take_census(
+    const sim::Engine& engine,
+    const std::vector<const ExclusionParticipant*>& participants);
+
+}  // namespace klex::proto

@@ -1,0 +1,106 @@
+#include "proto/messages.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace klex::proto {
+
+const char* token_type_name(TokenType type) {
+  switch (type) {
+    case TokenType::kResource: return "ResT";
+    case TokenType::kPusher: return "PushT";
+    case TokenType::kPriority: return "PrioT";
+    case TokenType::kControl: return "ctrl";
+  }
+  return "?";
+}
+
+sim::Message make_resource() {
+  sim::Message msg;
+  msg.type = static_cast<std::int32_t>(TokenType::kResource);
+  return msg;
+}
+
+sim::Message make_pusher() {
+  sim::Message msg;
+  msg.type = static_cast<std::int32_t>(TokenType::kPusher);
+  return msg;
+}
+
+sim::Message make_priority() {
+  sim::Message msg;
+  msg.type = static_cast<std::int32_t>(TokenType::kPriority);
+  return msg;
+}
+
+sim::Message make_ctrl(const CtrlFields& fields) {
+  sim::Message msg;
+  msg.type = static_cast<std::int32_t>(TokenType::kControl);
+  msg.f0 = fields.c;
+  msg.f1 = fields.r ? 1 : 0;
+  msg.f2 = fields.pt;
+  msg.f3 = fields.ppr;
+  return msg;
+}
+
+bool is_protocol_message(const sim::Message& msg) {
+  return msg.type >= static_cast<std::int32_t>(TokenType::kResource) &&
+         msg.type <= static_cast<std::int32_t>(TokenType::kControl);
+}
+
+TokenType type_of(const sim::Message& msg) {
+  KLEX_CHECK(is_protocol_message(msg), "not a protocol message: type ",
+             msg.type);
+  return static_cast<TokenType>(msg.type);
+}
+
+CtrlFields ctrl_of(const sim::Message& msg) {
+  KLEX_CHECK(type_of(msg) == TokenType::kControl, "not a ctrl message");
+  CtrlFields fields;
+  fields.c = msg.f0;
+  fields.r = msg.f1 != 0;
+  fields.pt = msg.f2;
+  fields.ppr = msg.f3;
+  return fields;
+}
+
+sim::Message random_message(const MessageDomains& domains,
+                            support::Rng& rng) {
+  KLEX_CHECK(domains.myc_modulus >= 1, "bad myC modulus");
+  KLEX_CHECK(domains.l >= 1, "bad l");
+  switch (rng.next_below(4)) {
+    case 0: return make_resource();
+    case 1: return make_pusher();
+    case 2: return make_priority();
+    default: {
+      CtrlFields fields;
+      fields.c = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(domains.myc_modulus)));
+      fields.r = rng.next_bool(0.5);
+      fields.pt = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(domains.l + 2)));
+      fields.ppr = static_cast<std::int32_t>(rng.next_below(3));
+      return make_ctrl(fields);
+    }
+  }
+}
+
+std::string to_string(const sim::Message& msg) {
+  if (!is_protocol_message(msg)) {
+    std::ostringstream out;
+    out << "raw(type=" << msg.type << ")";
+    return out.str();
+  }
+  TokenType type = type_of(msg);
+  if (type != TokenType::kControl) {
+    return token_type_name(type);
+  }
+  CtrlFields fields = ctrl_of(msg);
+  std::ostringstream out;
+  out << "ctrl(C=" << fields.c << ",R=" << (fields.r ? 1 : 0)
+      << ",PT=" << fields.pt << ",PPr=" << fields.ppr << ")";
+  return out.str();
+}
+
+}  // namespace klex::proto

@@ -1,0 +1,67 @@
+// Protocol message codec (the paper's four token types, Section 3).
+//
+//   ⟨ResT⟩                 -- resource token, one per resource unit (ℓ total)
+//   ⟨PushT⟩                -- pusher token (deadlock breaker, 1 total)
+//   ⟨PrioT⟩                -- priority token (livelock breaker, 1 total)
+//   ⟨ctrl, C, R, PT, PPr⟩  -- controller (self-stabilization census/reset)
+//
+// The codec maps these onto the simulator's POD Message. It also produces
+// *arbitrary* messages (random type, fields drawn from their full domains)
+// for transient-fault injection: the paper assumes channels may initially
+// contain up to CMAX arbitrary messages of these forms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/message.hpp"
+#include "support/rng.hpp"
+
+namespace klex::proto {
+
+enum class TokenType : std::int32_t {
+  kResource = 1,
+  kPusher = 2,
+  kPriority = 3,
+  kControl = 4,
+};
+
+const char* token_type_name(TokenType type);
+
+/// Decoded fields of a ⟨ctrl, C, R, PT, PPr⟩ message.
+struct CtrlFields {
+  std::int32_t c = 0;    // counter-flushing flag value
+  bool r = false;        // reset flag
+  std::int32_t pt = 0;   // passed resource tokens (saturating at ℓ+1)
+  std::int32_t ppr = 0;  // passed priority tokens (saturating at 2)
+};
+
+sim::Message make_resource();
+sim::Message make_pusher();
+sim::Message make_priority();
+sim::Message make_ctrl(const CtrlFields& fields);
+
+/// True if `msg.type` is one of the four protocol types.
+bool is_protocol_message(const sim::Message& msg);
+
+TokenType type_of(const sim::Message& msg);
+CtrlFields ctrl_of(const sim::Message& msg);
+
+/// Domains used to draw arbitrary (corrupted) messages.
+struct MessageDomains {
+  std::int32_t myc_modulus = 1;  // myC ∈ [0, myc_modulus)
+  std::int32_t l = 1;            // PT ∈ [0, l+1]
+};
+
+/// Draws a uniformly random well-formed protocol message (any of the four
+/// types; ctrl fields uniform over their domains). Transient faults are
+/// modeled as channels pre-loaded with such messages: an adversarial
+/// message not of one of these forms would simply be ignored by every
+/// handler, so well-formed garbage is the strongest corruption.
+sim::Message random_message(const MessageDomains& domains,
+                            support::Rng& rng);
+
+/// Debug rendering, e.g. "ctrl(C=3,R=1,PT=2,PPr=0)".
+std::string to_string(const sim::Message& msg);
+
+}  // namespace klex::proto

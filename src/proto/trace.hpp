@@ -1,0 +1,87 @@
+// Token movement tracing (used to regenerate Figure 1: the DFS
+// circulation path of a token through the oriented tree).
+//
+// TokenTrace records, for a chosen token type, the sequence of
+// (node, channel) delivery events. On a network carrying a single token
+// of that type, the recorded node sequence IS the token's path, which
+// tests compare against the Euler tour of tree::VirtualRing.
+#pragma once
+
+#include <vector>
+
+#include "proto/messages.hpp"
+#include "sim/engine.hpp"
+
+namespace klex::proto {
+
+class TokenTrace : public sim::SimObserver {
+ public:
+  /// Records deliveries of messages whose type equals `type`.
+  explicit TokenTrace(TokenType type) : type_(type) {}
+
+  void on_deliver(sim::SimTime at, sim::NodeId to, int channel,
+                  const sim::Message& msg) override {
+    if (is_protocol_message(msg) && type_of(msg) == type_) {
+      Visit visit;
+      visit.at = at;
+      visit.node = to;
+      visit.channel = channel;
+      visits_.push_back(visit);
+    }
+  }
+
+  struct Visit {
+    sim::SimTime at = 0;
+    sim::NodeId node = 0;
+    int channel = 0;
+  };
+
+  const std::vector<Visit>& visits() const { return visits_; }
+
+  /// Just the node sequence.
+  std::vector<sim::NodeId> node_sequence() const {
+    std::vector<sim::NodeId> nodes;
+    nodes.reserve(visits_.size());
+    for (const Visit& visit : visits_) nodes.push_back(visit.node);
+    return nodes;
+  }
+
+  void clear() { visits_.clear(); }
+
+ private:
+  TokenType type_;
+  std::vector<Visit> visits_;
+};
+
+/// Counts sent messages by protocol type (message-overhead accounting).
+class MessageCounter : public sim::SimObserver {
+ public:
+  void on_send(sim::SimTime, sim::NodeId, int,
+               const sim::Message& msg) override {
+    if (!is_protocol_message(msg)) return;
+    switch (type_of(msg)) {
+      case TokenType::kResource: ++resource_; break;
+      case TokenType::kPusher: ++pusher_; break;
+      case TokenType::kPriority: ++priority_; break;
+      case TokenType::kControl: ++control_; break;
+    }
+  }
+
+  std::uint64_t resource() const { return resource_; }
+  std::uint64_t pusher() const { return pusher_; }
+  std::uint64_t priority() const { return priority_; }
+  std::uint64_t control() const { return control_; }
+  std::uint64_t total() const {
+    return resource_ + pusher_ + priority_ + control_;
+  }
+
+  void reset() { resource_ = pusher_ = priority_ = control_ = 0; }
+
+ private:
+  std::uint64_t resource_ = 0;
+  std::uint64_t pusher_ = 0;
+  std::uint64_t priority_ = 0;
+  std::uint64_t control_ = 0;
+};
+
+}  // namespace klex::proto

@@ -1,0 +1,161 @@
+#include "proto/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace klex::proto {
+
+std::uint64_t Dist::sample(support::Rng& rng) const {
+  double value = 0.0;
+  switch (kind) {
+    case Kind::kFixed:
+      value = a;
+      break;
+    case Kind::kUniform: {
+      KLEX_CHECK(b >= a, "uniform distribution needs b >= a");
+      value = a + rng.next_double() * (b - a);
+      break;
+    }
+    case Kind::kExponential:
+      value = a > 0.0 ? rng.next_exponential(a) : 0.0;
+      break;
+  }
+  if (value < 0.0) value = 0.0;
+  return static_cast<std::uint64_t>(std::llround(value));
+}
+
+std::vector<NodeBehavior> uniform_behaviors(int n,
+                                            const NodeBehavior& proto) {
+  KLEX_REQUIRE(n >= 0, "negative node count");
+  return std::vector<NodeBehavior>(static_cast<std::size_t>(n), proto);
+}
+
+WorkloadDriver::WorkloadDriver(sim::Engine& engine, RequestPort& port, int k,
+                               std::vector<NodeBehavior> behaviors,
+                               support::Rng rng)
+    : engine_(engine), port_(port), k_(k), rng_(rng) {
+  KLEX_REQUIRE(k_ >= 1, "k must be >= 1");
+  nodes_.reserve(behaviors.size());
+  for (auto& behavior : behaviors) {
+    NodeState state;
+    state.behavior = behavior;
+    nodes_.push_back(state);
+  }
+}
+
+void WorkloadDriver::begin() {
+  for (NodeId node = 0; node < static_cast<NodeId>(nodes_.size()); ++node) {
+    if (nodes_[static_cast<std::size_t>(node)].behavior.active) {
+      schedule_request(node);
+    }
+  }
+}
+
+void WorkloadDriver::schedule_request(NodeId node) {
+  NodeState& state = nodes_[static_cast<std::size_t>(node)];
+  if (state.cycle_scheduled || state.waiting_grant) return;
+  if (state.behavior.max_requests >= 0 &&
+      state.issued >= state.behavior.max_requests) {
+    return;
+  }
+  state.cycle_scheduled = true;
+  sim::SimTime delay = state.behavior.think.sample(rng_);
+  engine_.schedule(delay, [this, node] { issue_request(node); });
+}
+
+void WorkloadDriver::issue_request(NodeId node) {
+  NodeState& state = nodes_[static_cast<std::size_t>(node)];
+  state.cycle_scheduled = false;
+  if (port_.state_of(node) != AppState::kOut) {
+    // The protocol is busy with a (possibly corruption-induced) request;
+    // try again after another think time.
+    schedule_request(node);
+    return;
+  }
+  int need = static_cast<int>(state.behavior.need.sample(rng_));
+  need = std::clamp(need, 1, k_);
+  state.waiting_grant = true;
+  ++state.issued;
+  port_.request(node, need);
+}
+
+void WorkloadDriver::schedule_release(NodeId node) {
+  NodeState& state = nodes_[static_cast<std::size_t>(node)];
+  if (state.release_scheduled) return;
+  if (state.behavior.hold_forever) return;  // the set I never releases
+  state.release_scheduled = true;
+  sim::SimTime duration = state.behavior.cs_duration.sample(rng_);
+  engine_.schedule(duration, [this, node] {
+    NodeState& inner = nodes_[static_cast<std::size_t>(node)];
+    inner.release_scheduled = false;
+    if (port_.state_of(node) == AppState::kIn) {
+      port_.release(node);
+    }
+  });
+}
+
+void WorkloadDriver::on_enter_cs(NodeId node, int /*need*/,
+                                 sim::SimTime /*at*/) {
+  NodeState& state = nodes_[static_cast<std::size_t>(node)];
+  if (state.waiting_grant) {
+    state.waiting_grant = false;
+    ++state.granted;
+  }
+  // Spurious entries (corrupted State=Req) are released like normal ones so
+  // the system cannot wedge on a phantom critical section.
+  schedule_release(node);
+}
+
+void WorkloadDriver::on_exit_cs(NodeId node, sim::SimTime /*at*/) {
+  NodeState& state = nodes_[static_cast<std::size_t>(node)];
+  if (state.behavior.active) {
+    schedule_request(node);
+  }
+  (void)state;
+}
+
+void WorkloadDriver::resync() {
+  for (NodeId node = 0; node < static_cast<NodeId>(nodes_.size()); ++node) {
+    NodeState& state = nodes_[static_cast<std::size_t>(node)];
+    AppState app = port_.state_of(node);
+    if (app == AppState::kIn && !state.release_scheduled) {
+      schedule_release(node);
+    }
+    if (app == AppState::kOut) {
+      state.waiting_grant = false;
+      if (state.behavior.active) schedule_request(node);
+    }
+  }
+}
+
+std::int64_t WorkloadDriver::requests_issued(NodeId node) const {
+  return nodes_[static_cast<std::size_t>(node)].issued;
+}
+
+std::int64_t WorkloadDriver::grants(NodeId node) const {
+  return nodes_[static_cast<std::size_t>(node)].granted;
+}
+
+std::int64_t WorkloadDriver::total_requests() const {
+  std::int64_t total = 0;
+  for (const NodeState& state : nodes_) total += state.issued;
+  return total;
+}
+
+std::int64_t WorkloadDriver::total_grants() const {
+  std::int64_t total = 0;
+  for (const NodeState& state : nodes_) total += state.granted;
+  return total;
+}
+
+int WorkloadDriver::outstanding() const {
+  int count = 0;
+  for (const NodeState& state : nodes_) {
+    if (state.waiting_grant) ++count;
+  }
+  return count;
+}
+
+}  // namespace klex::proto

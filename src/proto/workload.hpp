@@ -1,0 +1,117 @@
+// Workload generation: the "application" side of the paper's interface.
+//
+// The paper's application issues requests (Out→Req with a Need in 1..k),
+// runs its critical section for a finite but unbounded time, and releases.
+// WorkloadDriver models that as a closed loop per process:
+//
+//   think ~ D_think  →  request(need ~ D_need)  →  [wait for grant]
+//        →  critical section ~ D_cs  →  release  →  think ...
+//
+// Per-node behaviors cover the paper's experimental scenarios:
+//   * inactive nodes (never request) -- non-requesters that just relay;
+//   * hold_forever nodes -- the set I of the (k,ℓ)-liveness definition,
+//     which enter the CS once and never leave;
+//   * bounded request budgets -- one-shot scenarios such as Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/app.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace klex::proto {
+
+/// A non-negative integer-valued distribution for times and needs.
+struct Dist {
+  enum class Kind { kFixed, kUniform, kExponential };
+
+  Kind kind = Kind::kFixed;
+  double a = 0.0;  // fixed value / lower bound / mean
+  double b = 0.0;  // upper bound (uniform only)
+
+  static Dist fixed(double value) { return {Kind::kFixed, value, value}; }
+  static Dist uniform(double lo, double hi) {
+    return {Kind::kUniform, lo, hi};
+  }
+  static Dist exponential(double mean) {
+    return {Kind::kExponential, mean, mean};
+  }
+
+  /// Samples and rounds to the nearest non-negative integer.
+  std::uint64_t sample(support::Rng& rng) const;
+};
+
+/// Per-node workload behavior.
+struct NodeBehavior {
+  bool active = true;          // issues requests at all
+  bool hold_forever = false;   // never releases once in CS (set I)
+  Dist think = Dist::fixed(64);       // delay between exit and next request
+  Dist cs_duration = Dist::fixed(32); // critical-section length
+  Dist need = Dist::fixed(1);         // units per request (clamped to 1..k)
+  std::int64_t max_requests = -1;     // -1 = unlimited
+};
+
+/// Uniform behavior helpers.
+std::vector<NodeBehavior> uniform_behaviors(int n, const NodeBehavior& proto);
+
+/// The surface a protocol harness exposes to the workload.
+class RequestPort {
+ public:
+  virtual ~RequestPort() = default;
+  virtual void request(NodeId node, int need) = 0;
+  virtual void release(NodeId node) = 0;
+  virtual AppState state_of(NodeId node) const = 0;
+};
+
+/// Closed-loop workload driver. Register it as a protocol Listener and
+/// call begin() after the engine is wired.
+class WorkloadDriver : public Listener {
+ public:
+  WorkloadDriver(sim::Engine& engine, RequestPort& port, int k,
+                 std::vector<NodeBehavior> behaviors, support::Rng rng);
+
+  /// Schedules the initial think time of every active node.
+  void begin();
+
+  /// After transient-fault injection the driver's bookkeeping may disagree
+  /// with the (corrupted) protocol state; resync() re-establishes the
+  /// closed loop: schedules a release for nodes stuck In, and a fresh
+  /// request cycle for idle active nodes.
+  void resync();
+
+  // Listener:
+  void on_enter_cs(NodeId node, int need, sim::SimTime at) override;
+  void on_exit_cs(NodeId node, sim::SimTime at) override;
+
+  std::int64_t requests_issued(NodeId node) const;
+  std::int64_t grants(NodeId node) const;
+  std::int64_t total_requests() const;
+  std::int64_t total_grants() const;
+
+  /// Nodes with a request issued but not yet granted.
+  int outstanding() const;
+
+ private:
+  struct NodeState {
+    NodeBehavior behavior;
+    std::int64_t issued = 0;
+    std::int64_t granted = 0;
+    bool waiting_grant = false;    // request() done, grant pending
+    bool release_scheduled = false;
+    bool cycle_scheduled = false;  // a think/request callback is pending
+  };
+
+  void schedule_request(NodeId node);
+  void issue_request(NodeId node);
+  void schedule_release(NodeId node);
+
+  sim::Engine& engine_;
+  RequestPort& port_;
+  int k_;
+  std::vector<NodeState> nodes_;
+  support::Rng rng_;
+};
+
+}  // namespace klex::proto

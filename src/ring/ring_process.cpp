@@ -1,0 +1,322 @@
+#include "ring/ring_process.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace klex::ring {
+
+std::int32_t ring_myc_modulus(int n, int cmax) {
+  KLEX_REQUIRE(n >= 2, "ring needs n >= 2");
+  KLEX_REQUIRE(cmax >= 0, "CMAX must be non-negative");
+  return n * (cmax + 1) + 1;
+}
+
+// ---------------------------------------------------------------------------
+// RingProcessBase
+// ---------------------------------------------------------------------------
+
+RingProcessBase::RingProcessBase(core::Params params, std::int32_t modulus,
+                                 proto::Listener* listener)
+    : params_(params),
+      myc_modulus_(modulus),
+      rset_(1, params.k),
+      listener_(listener) {
+  KLEX_REQUIRE(params_.k >= 1 && params_.k <= params_.l, "need 1 <= k <= l");
+  KLEX_REQUIRE(listener_ != nullptr, "listener required");
+}
+
+std::int32_t RingProcessBase::sat_add(std::int32_t value, std::int32_t delta,
+                                      std::int32_t max_value) {
+  return std::min(value + delta, max_value);
+}
+
+void RingProcessBase::on_message(int channel, const sim::Message& msg) {
+  KLEX_CHECK(channel == 0, "ring processes receive on channel 0 only");
+  if (!proto::is_protocol_message(msg)) return;
+  switch (proto::type_of(msg)) {
+    case proto::TokenType::kResource:
+      handle_resource();
+      break;
+    case proto::TokenType::kPusher:
+      if (params_.features.pusher) handle_pusher();
+      break;
+    case proto::TokenType::kPriority:
+      if (params_.features.priority) handle_priority();
+      break;
+    case proto::TokenType::kControl:
+      if (params_.features.controller) handle_control(proto::ctrl_of(msg));
+      break;
+  }
+  post_step();
+}
+
+bool RingProcessBase::pusher_releases_reserved() const {
+  return (prio_ == kNoPrio) && (state_ != proto::AppState::kIn) &&
+         !(state_ == proto::AppState::kReq && rset_.size() >= need_);
+}
+
+void RingProcessBase::release_all_reserved() {
+  int count = rset_.size();
+  for (int i = 0; i < count; ++i) {
+    note_resource_forward();
+    forward(proto::make_resource());
+  }
+  rset_.clear();
+}
+
+void RingProcessBase::erase_local_tokens() {
+  rset_.clear();
+  prio_ = kNoPrio;
+}
+
+void RingProcessBase::post_step() {
+  if (state_ == proto::AppState::kReq && rset_.size() >= need_) {
+    state_ = proto::AppState::kIn;
+    release_pending_ = false;
+    listener_->on_enter_cs(id(), need_, now());
+  }
+  if (state_ == proto::AppState::kIn && release_pending_) {
+    release_all_reserved();
+    state_ = proto::AppState::kOut;
+    release_pending_ = false;
+    listener_->on_exit_cs(id(), now());
+  }
+  if (prio_ != kNoPrio && (state_ != proto::AppState::kReq ||
+                           rset_.size() >= need_)) {
+    prio_ = kNoPrio;
+    note_priority_forward();
+    forward(proto::make_priority());
+  }
+}
+
+void RingProcessBase::request(int need) {
+  KLEX_REQUIRE(state_ == proto::AppState::kOut,
+               "request() requires State = Out");
+  KLEX_REQUIRE(need >= 0 && need <= params_.k, "need must be in 0..k");
+  need_ = need;
+  state_ = proto::AppState::kReq;
+  listener_->on_request(id(), need, now());
+  post_step();
+}
+
+void RingProcessBase::release() {
+  KLEX_REQUIRE(state_ == proto::AppState::kIn,
+               "release() requires State = In");
+  release_pending_ = true;
+  post_step();
+}
+
+proto::LocalSnapshot RingProcessBase::snapshot() const {
+  proto::LocalSnapshot snap;
+  snap.state = state_;
+  snap.need = need_;
+  snap.rset_size = rset_.size();
+  snap.holds_priority = prio_ != kNoPrio;
+  snap.myc = myc_;
+  return snap;
+}
+
+void RingProcessBase::corrupt(support::Rng& rng) {
+  myc_ = static_cast<std::int32_t>(
+      rng.next_below(static_cast<std::uint64_t>(myc_modulus_)));
+  rset_.clear();
+  int reserved = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(params_.k + 1)));
+  for (int i = 0; i < reserved; ++i) rset_.insert(0);
+  need_ = static_cast<int>(
+      rng.next_below(static_cast<std::uint64_t>(params_.k + 1)));
+  switch (rng.next_below(3)) {
+    case 0: state_ = proto::AppState::kOut; break;
+    case 1: state_ = proto::AppState::kReq; break;
+    default: state_ = proto::AppState::kIn; break;
+  }
+  prio_ = (params_.features.priority && rng.next_bool(0.5)) ? 0 : kNoPrio;
+  release_pending_ = rng.next_bool(0.5);
+}
+
+// ---------------------------------------------------------------------------
+// RingRootProcess
+// ---------------------------------------------------------------------------
+
+RingRootProcess::RingRootProcess(core::Params params, std::int32_t modulus,
+                                 proto::Listener* listener)
+    : RingProcessBase(params, modulus, listener) {}
+
+void RingRootProcess::on_start() {
+  if (params_.seed_tokens) {
+    if (params_.features.priority) forward(proto::make_priority());
+    for (int i = 0; i < params_.l; ++i) forward(proto::make_resource());
+    if (params_.features.pusher) forward(proto::make_pusher());
+  }
+  if (params_.features.controller) on_timeout();
+}
+
+void RingRootProcess::on_timer(int timer_id) {
+  if (timer_id == kTimeoutTimer) on_timeout();
+}
+
+void RingRootProcess::on_timeout() {
+  forward(proto::make_ctrl(proto::CtrlFields{myc_, reset_, 0, 0}));
+  restart_timer();
+}
+
+void RingRootProcess::restart_timer() {
+  KLEX_CHECK(params_.timeout_period > 0, "timeout period must be set");
+  set_timer(kTimeoutTimer, params_.timeout_period);
+}
+
+void RingRootProcess::forward_resource_counting() {
+  stoken_ = sat_add(stoken_, 1, params_.l + 1);
+  forward(proto::make_resource());
+}
+
+void RingRootProcess::note_resource_forward() {
+  stoken_ = sat_add(stoken_, 1, params_.l + 1);
+}
+
+void RingRootProcess::note_priority_forward() {
+  sprio_ = sat_add(sprio_, 1, 2);
+}
+
+void RingRootProcess::handle_resource() {
+  if (reset_) return;  // erased
+  if (state_ == proto::AppState::kReq && rset_.size() < need_) {
+    rset_.insert(0);
+  } else {
+    forward_resource_counting();
+  }
+}
+
+void RingRootProcess::handle_pusher() {
+  if (reset_) return;
+  if (pusher_releases_reserved()) {
+    release_all_reserved();
+  }
+  spush_ = sat_add(spush_, 1, 2);
+  forward(proto::make_pusher());
+}
+
+void RingRootProcess::handle_priority() {
+  if (reset_) return;
+  if (prio_ == kNoPrio) {
+    prio_ = 0;
+  } else {
+    sprio_ = sat_add(sprio_, 1, 2);
+    forward(proto::make_priority());
+  }
+}
+
+void RingRootProcess::handle_control(const proto::CtrlFields& f) {
+  if (f.c != myc_) return;  // stale duplicate or garbage: absorbed
+  // The controller completed a loop of the ring.
+  myc_ = static_cast<std::int32_t>((myc_ + 1) % myc_modulus_);
+
+  // The controller passes the root's own reserved tokens at loop end.
+  std::int32_t pt = sat_add(f.pt, rset_.size(), params_.l + 1);
+  std::int32_t ppr = f.ppr;
+  if (prio_ != kNoPrio) ppr = sat_add(ppr, 1, 2);
+
+  int resource_census = pt + stoken_;
+  int priority_census = ppr + sprio_;
+  int pusher_census = spush_;
+  reset_ = (resource_census > params_.l) || (priority_census > 1) ||
+           (pusher_census > 1);
+  listener().on_circulation_end(resource_census, pusher_census,
+                                priority_census, reset_, now());
+  if (reset_) {
+    erase_local_tokens();
+  } else {
+    if (priority_census < 1) {
+      forward(proto::make_priority());
+      listener().on_tokens_minted(
+          static_cast<std::int32_t>(proto::TokenType::kPriority), 1, now());
+    }
+    int created = 0;
+    while (pt + stoken_ < params_.l) {
+      forward_resource_counting();
+      ++created;
+    }
+    if (created > 0) {
+      listener().on_tokens_minted(
+          static_cast<std::int32_t>(proto::TokenType::kResource), created,
+          now());
+    }
+    if (pusher_census < 1) {
+      forward(proto::make_pusher());
+      listener().on_tokens_minted(
+          static_cast<std::int32_t>(proto::TokenType::kPusher), 1, now());
+    }
+  }
+  stoken_ = 0;
+  sprio_ = 0;
+  spush_ = 0;
+  forward(proto::make_ctrl(proto::CtrlFields{myc_, reset_, 0, 0}));
+  restart_timer();
+}
+
+proto::LocalSnapshot RingRootProcess::snapshot() const {
+  proto::LocalSnapshot snap = RingProcessBase::snapshot();
+  snap.reset = reset_;
+  snap.stoken = stoken_;
+  snap.spush = spush_;
+  snap.sprio = sprio_;
+  return snap;
+}
+
+void RingRootProcess::corrupt(support::Rng& rng) {
+  RingProcessBase::corrupt(rng);
+  reset_ = rng.next_bool(0.5);
+  stoken_ = static_cast<std::int32_t>(
+      rng.next_below(static_cast<std::uint64_t>(params_.l + 2)));
+  spush_ = static_cast<std::int32_t>(rng.next_below(3));
+  sprio_ = static_cast<std::int32_t>(rng.next_below(3));
+}
+
+// ---------------------------------------------------------------------------
+// RingMemberProcess
+// ---------------------------------------------------------------------------
+
+RingMemberProcess::RingMemberProcess(core::Params params,
+                                     std::int32_t modulus,
+                                     proto::Listener* listener)
+    : RingProcessBase(params, modulus, listener) {}
+
+void RingMemberProcess::handle_resource() {
+  if (state_ == proto::AppState::kReq && rset_.size() < need_) {
+    rset_.insert(0);
+  } else {
+    forward(proto::make_resource());
+  }
+}
+
+void RingMemberProcess::handle_pusher() {
+  if (pusher_releases_reserved()) {
+    release_all_reserved();
+  }
+  forward(proto::make_pusher());
+}
+
+void RingMemberProcess::handle_priority() {
+  if (prio_ == kNoPrio) {
+    prio_ = 0;
+  } else {
+    forward(proto::make_priority());
+  }
+}
+
+void RingMemberProcess::handle_control(const proto::CtrlFields& f) {
+  if (f.c == myc_) {
+    // Duplicate: flush it through unchanged; it will die at the root.
+    forward(proto::make_ctrl(f));
+    return;
+  }
+  myc_ = f.c;
+  if (f.r) erase_local_tokens();
+  std::int32_t pt = sat_add(f.pt, rset_.size(), params_.l + 1);
+  std::int32_t ppr = f.ppr;
+  if (prio_ != kNoPrio) ppr = sat_add(ppr, 1, 2);
+  forward(proto::make_ctrl(proto::CtrlFields{myc_, f.r, pt, ppr}));
+}
+
+}  // namespace klex::ring

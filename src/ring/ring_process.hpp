@@ -1,0 +1,143 @@
+// Baseline: token-based self-stabilizing k-out-of-ℓ exclusion on an
+// oriented unidirectional ring, in the style the paper cites as prior
+// work (Datta, Hadid & Villain [2,3], with the Hadid-Villain "controller"
+// [8] for stabilization).
+//
+// Structure mirrors the tree protocol with the ring as the (physical)
+// token path: every process receives from its predecessor on channel 0
+// and sends to its successor on channel 0. The root
+//   * counts every resource/pusher/priority token it forwards (each
+//     forward starts a new loop of the ring) in SToken/SPush/SPrio,
+//   * originates numbered controller circulations (counter flushing with
+//     flag domain n(CMAX+1)+1) that accumulate the reserved-token counts
+//     (PT/PPr) of the processes they pass,
+//   * tops up or resets the token population exactly like Algorithm 1.
+// A non-root process adopts a controller whose flag differs from myC
+// (counting its reserved tokens into PT) and flushes duplicates through
+// unchanged; duplicates die at the root.
+//
+// The interesting comparison against the tree protocol: the ring's token
+// loop has n hops versus the tree's 2(n−1) virtual-ring hops, but a ring
+// needs the physical ring topology, while the tree protocol runs on any
+// tree (and hence, composed with a spanning tree, on any rooted network).
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "proto/app.hpp"
+#include "proto/messages.hpp"
+#include "sim/engine.hpp"
+#include "support/fixed_multiset.hpp"
+
+namespace klex::ring {
+
+/// myC flag domain for the ring: n(CMAX+1) + 1 values.
+std::int32_t ring_myc_modulus(int n, int cmax);
+
+class RingProcessBase : public sim::Process,
+                        public proto::ExclusionParticipant {
+ public:
+  RingProcessBase(core::Params params, std::int32_t modulus,
+                  proto::Listener* listener);
+
+  void on_message(int channel, const sim::Message& msg) final;
+
+  // -- proto::ExclusionParticipant -------------------------------------------
+  void request(int need) final;
+  void release() final;
+  proto::AppState app_state() const final { return state_; }
+  int need() const final { return need_; }
+  proto::LocalSnapshot snapshot() const override;
+  void corrupt(support::Rng& rng) override;
+
+ protected:
+  static constexpr int kNoPrio = -1;
+
+  virtual void handle_resource() = 0;
+  virtual void handle_pusher() = 0;
+  virtual void handle_priority() = 0;
+  virtual void handle_control(const proto::CtrlFields& f) = 0;
+
+  /// Sends to the ring successor.
+  void forward(const sim::Message& msg) { send(0, msg); }
+
+  /// Root overrides: every token the root forwards starts a new ring loop
+  /// and must be counted (SToken/SPrio).
+  virtual void note_resource_forward() {}
+  virtual void note_priority_forward() {}
+
+  void release_all_reserved();
+  void post_step();
+  void erase_local_tokens();
+
+  /// The pusher release guard (prose semantics; shared with the tree).
+  bool pusher_releases_reserved() const;
+
+  static std::int32_t sat_add(std::int32_t value, std::int32_t delta,
+                              std::int32_t max_value);
+
+  proto::Listener& listener() const { return *listener_; }
+
+  core::Params params_;
+  std::int32_t myc_modulus_;
+
+  std::int32_t myc_ = 0;
+  support::FixedMultiset rset_;  // all tokens arrive on channel 0
+  int need_ = 0;
+  proto::AppState state_ = proto::AppState::kOut;
+  int prio_ = kNoPrio;  // kNoPrio or 0
+  bool release_pending_ = false;
+
+ private:
+  proto::Listener* listener_;
+};
+
+class RingRootProcess : public RingProcessBase {
+ public:
+  RingRootProcess(core::Params params, std::int32_t modulus,
+                  proto::Listener* listener);
+
+  void on_start() override;
+  void on_timer(int timer_id) override;
+
+  proto::LocalSnapshot snapshot() const override;
+  void corrupt(support::Rng& rng) override;
+
+  bool in_reset() const { return reset_; }
+
+ protected:
+  void handle_resource() override;
+  void handle_pusher() override;
+  void handle_priority() override;
+  void handle_control(const proto::CtrlFields& f) override;
+
+  void note_resource_forward() override;
+  void note_priority_forward() override;
+
+ private:
+  static constexpr int kTimeoutTimer = 0;
+
+  void on_timeout();
+  void restart_timer();
+  void forward_resource_counting();
+
+  bool reset_ = false;
+  std::int32_t stoken_ = 0;
+  std::int32_t spush_ = 0;
+  std::int32_t sprio_ = 0;
+};
+
+class RingMemberProcess : public RingProcessBase {
+ public:
+  RingMemberProcess(core::Params params, std::int32_t modulus,
+                    proto::Listener* listener);
+
+ protected:
+  void handle_resource() override;
+  void handle_pusher() override;
+  void handle_priority() override;
+  void handle_control(const proto::CtrlFields& f) override;
+};
+
+}  // namespace klex::ring

@@ -1,0 +1,71 @@
+// RingSystem: harness for the ring baseline, mirroring klex::System so
+// workloads, monitors and benchmarks can drive either protocol through
+// the same RequestPort / Listener interfaces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/app.hpp"
+#include "proto/census.hpp"
+#include "proto/workload.hpp"
+#include "ring/ring_process.hpp"
+#include "sim/engine.hpp"
+
+namespace klex::ring {
+
+struct RingConfig {
+  int n = 2;  // ring size (node 0 is the root)
+  int k = 1;
+  int l = 1;
+  proto::Features features = proto::Features::full();
+  int cmax = 4;
+  sim::DelayModel delays{};
+  sim::SimTime timeout_period = 0;  // 0 = derived (n hops per loop)
+  std::uint64_t seed = support::Rng::kDefaultSeed;
+  bool seed_tokens = false;
+};
+
+class RingSystem : public proto::RequestPort {
+ public:
+  explicit RingSystem(RingConfig config);
+
+  RingSystem(const RingSystem&) = delete;
+  RingSystem& operator=(const RingSystem&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const sim::Engine& engine() const { return engine_; }
+  int n() const { return config_.n; }
+  int k() const { return config_.k; }
+  int l() const { return config_.l; }
+
+  RingProcessBase& node(proto::NodeId id);
+  const RingProcessBase& node(proto::NodeId id) const;
+
+  void add_listener(proto::Listener* listener);
+  void add_observer(sim::SimObserver* observer);
+
+  // -- proto::RequestPort ------------------------------------------------------
+  void request(proto::NodeId node, int need) override;
+  void release(proto::NodeId node) override;
+  proto::AppState state_of(proto::NodeId node) const override;
+
+  void run_until(sim::SimTime t);
+  sim::SimTime run_until_stabilized(sim::SimTime deadline,
+                                    sim::SimTime poll = 64,
+                                    int consecutive = 3);
+
+  proto::TokenCensus census() const;
+  bool token_counts_correct() const;
+
+  void inject_transient_fault(support::Rng& rng);
+
+ private:
+  RingConfig config_;
+  proto::ListenerSet listeners_;
+  sim::Engine engine_;
+  std::vector<RingProcessBase*> nodes_;
+  std::vector<const proto::ExclusionParticipant*> participants_;
+};
+
+}  // namespace klex::ring

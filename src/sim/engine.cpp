@@ -1,0 +1,314 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace klex::sim {
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+void Process::send(int channel, const Message& msg) {
+  KLEX_CHECK(engine_ != nullptr, "process not registered with an engine");
+  engine_->send_from(id_, channel, msg);
+}
+
+void Process::set_timer(int timer_id, SimTime delay) {
+  KLEX_CHECK(engine_ != nullptr, "process not registered with an engine");
+  engine_->set_timer_for(id_, timer_id, delay);
+}
+
+void Process::cancel_timer(int timer_id) {
+  KLEX_CHECK(engine_ != nullptr, "process not registered with an engine");
+  engine_->cancel_timer_for(id_, timer_id);
+}
+
+SimTime Process::now() const {
+  KLEX_CHECK(engine_ != nullptr, "process not registered with an engine");
+  return engine_->now();
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(DelayModel delays, std::uint64_t seed)
+    : delays_(delays), rng_(seed) {
+  KLEX_REQUIRE(delays_.min_delay >= 1, "min_delay must be >= 1");
+  KLEX_REQUIRE(delays_.max_delay >= delays_.min_delay,
+               "max_delay must be >= min_delay");
+}
+
+NodeId Engine::add_process(std::unique_ptr<Process> process) {
+  KLEX_REQUIRE(process != nullptr, "null process");
+  KLEX_REQUIRE(!started_, "cannot add processes after start");
+  NodeId id = static_cast<NodeId>(processes_.size());
+  process->engine_ = this;
+  process->id_ = id;
+  processes_.push_back(std::move(process));
+  channel_lookup_.emplace_back();
+  timer_generations_.emplace_back();
+  return id;
+}
+
+void Engine::connect(NodeId from, int from_channel, NodeId to,
+                     int to_channel) {
+  KLEX_REQUIRE(from >= 0 && from < process_count(), "bad from node");
+  KLEX_REQUIRE(to >= 0 && to < process_count(), "bad to node");
+  KLEX_REQUIRE(from_channel >= 0, "bad from channel");
+  KLEX_REQUIRE(to_channel >= 0, "bad to channel");
+
+  auto& lookup = channel_lookup_[static_cast<std::size_t>(from)];
+  if (static_cast<int>(lookup.size()) <= from_channel) {
+    lookup.resize(static_cast<std::size_t>(from_channel) + 1, -1);
+  }
+  KLEX_REQUIRE(lookup[static_cast<std::size_t>(from_channel)] == -1,
+               "channel (", from, ",", from_channel, ") already connected");
+
+  DirectedChannel channel;
+  channel.info = ChannelInfo{from, from_channel, to, to_channel};
+  lookup[static_cast<std::size_t>(from_channel)] =
+      static_cast<int>(channels_.size());
+  channels_.push_back(std::move(channel));
+}
+
+Process& Engine::process(NodeId id) {
+  KLEX_REQUIRE(id >= 0 && id < process_count(), "bad node id ", id);
+  return *processes_[static_cast<std::size_t>(id)];
+}
+
+const Process& Engine::process(NodeId id) const {
+  KLEX_REQUIRE(id >= 0 && id < process_count(), "bad node id ", id);
+  return *processes_[static_cast<std::size_t>(id)];
+}
+
+void Engine::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& process : processes_) {
+    process->on_start();
+  }
+}
+
+int Engine::channel_index_of(NodeId from, int from_channel) const {
+  KLEX_CHECK(from >= 0 && from < process_count(), "bad node ", from);
+  const auto& lookup = channel_lookup_[static_cast<std::size_t>(from)];
+  KLEX_CHECK(from_channel >= 0 &&
+                 from_channel < static_cast<int>(lookup.size()) &&
+                 lookup[static_cast<std::size_t>(from_channel)] != -1,
+             "channel (", from, ",", from_channel, ") is not connected");
+  return lookup[static_cast<std::size_t>(from_channel)];
+}
+
+void Engine::send_from(NodeId from, int channel, const Message& msg) {
+  int index = channel_index_of(from, channel);
+  DirectedChannel& dc = channels_[static_cast<std::size_t>(index)];
+
+  SimTime delay =
+      delays_.min_delay +
+      static_cast<SimTime>(rng_.next_below(
+          delays_.max_delay - delays_.min_delay + 1));
+  // FIFO: the delivery may not overtake earlier traffic on this channel.
+  SimTime deliver_at = std::max(now_ + delay, dc.last_scheduled);
+  dc.last_scheduled = deliver_at;
+  dc.in_flight.push_back(msg);
+
+  Event event;
+  event.at = deliver_at;
+  event.kind = EventKind::kDelivery;
+  event.channel_index = index;
+  event.msg = msg;
+  push_event(std::move(event));
+
+  ++messages_sent_;
+  ++in_flight_;
+  for (SimObserver* obs : observers_) {
+    obs->on_send(now_, from, channel, msg);
+  }
+}
+
+void Engine::set_timer_for(NodeId node, int timer_id, SimTime delay) {
+  KLEX_REQUIRE(node >= 0 && node < process_count(), "bad node ", node);
+  KLEX_REQUIRE(timer_id >= 0 && timer_id < 16, "timer ids must be small");
+  auto& generations = timer_generations_[static_cast<std::size_t>(node)];
+  if (static_cast<int>(generations.size()) <= timer_id) {
+    generations.resize(static_cast<std::size_t>(timer_id) + 1, 0);
+  }
+  std::uint64_t generation = ++generations[static_cast<std::size_t>(timer_id)];
+
+  Event event;
+  event.at = now_ + delay;
+  event.kind = EventKind::kTimer;
+  event.node = node;
+  event.timer_id = timer_id;
+  event.generation = generation;
+  push_event(std::move(event));
+}
+
+void Engine::cancel_timer_for(NodeId node, int timer_id) {
+  KLEX_REQUIRE(node >= 0 && node < process_count(), "bad node ", node);
+  auto& generations = timer_generations_[static_cast<std::size_t>(node)];
+  if (timer_id >= 0 && timer_id < static_cast<int>(generations.size())) {
+    ++generations[static_cast<std::size_t>(timer_id)];  // invalidate pending
+  }
+}
+
+void Engine::schedule(SimTime delay, std::function<void()> fn) {
+  Event event;
+  event.at = now_ + delay;
+  event.kind = EventKind::kCallback;
+  event.callback =
+      std::make_shared<std::function<void()>>(std::move(fn));
+  push_event(std::move(event));
+  ++pending_callbacks_;
+}
+
+void Engine::inject_message(NodeId from, int from_channel,
+                            const Message& msg) {
+  // Identical to send_from but without observer traffic accounting as a
+  // protocol send: the message "was already in the channel" (arbitrary
+  // initial content). It still obeys FIFO and delay bounds.
+  int index = channel_index_of(from, from_channel);
+  DirectedChannel& dc = channels_[static_cast<std::size_t>(index)];
+  SimTime delay =
+      delays_.min_delay +
+      static_cast<SimTime>(rng_.next_below(
+          delays_.max_delay - delays_.min_delay + 1));
+  SimTime deliver_at = std::max(now_ + delay, dc.last_scheduled);
+  dc.last_scheduled = deliver_at;
+  dc.in_flight.push_back(msg);
+
+  Event event;
+  event.at = deliver_at;
+  event.kind = EventKind::kDelivery;
+  event.channel_index = index;
+  event.msg = msg;
+  push_event(std::move(event));
+  ++in_flight_;
+}
+
+void Engine::clear_channels() {
+  // In-flight deliveries are invalidated by emptying the channel deques;
+  // dispatch() drops delivery events whose channel deque is exhausted.
+  for (DirectedChannel& dc : channels_) {
+    in_flight_ -= dc.in_flight.size();
+    dc.in_flight.clear();
+  }
+}
+
+void Engine::for_each_in_flight(
+    const std::function<void(const ChannelInfo&, const Message&)>& fn) const {
+  for (const DirectedChannel& dc : channels_) {
+    for (const Message& msg : dc.in_flight) {
+      fn(dc.info, msg);
+    }
+  }
+}
+
+int Engine::channel_backlog(NodeId from, int from_channel) const {
+  int index = channel_index_of(from, from_channel);
+  return static_cast<int>(
+      channels_[static_cast<std::size_t>(index)].in_flight.size());
+}
+
+void Engine::push_event(Event event) {
+  event.seq = next_seq_++;
+  queue_.push(std::move(event));
+}
+
+void Engine::dispatch(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kDelivery: {
+      DirectedChannel& dc =
+          channels_[static_cast<std::size_t>(event.channel_index)];
+      if (dc.in_flight.empty()) {
+        // The channel was cleared by fault injection after this delivery
+        // was scheduled; the message no longer exists.
+        return;
+      }
+      // FIFO: the head of the deque is exactly this event's message
+      // (delivery times per channel are monotone, ties keep send order).
+      Message msg = dc.in_flight.front();
+      dc.in_flight.pop_front();
+      --in_flight_;
+      ++messages_delivered_;
+      NodeId to = dc.info.to;
+      int channel = dc.info.to_channel;
+      processes_[static_cast<std::size_t>(to)]->on_message(channel, msg);
+      // Observers run after the handler: they then see a consistent
+      // configuration boundary (the message has been fully absorbed,
+      // stored or forwarded), which global-invariant checkers rely on.
+      for (SimObserver* obs : observers_) {
+        obs->on_deliver(now_, to, channel, msg);
+      }
+      return;
+    }
+    case EventKind::kTimer: {
+      const auto& generations =
+          timer_generations_[static_cast<std::size_t>(event.node)];
+      if (event.timer_id >= static_cast<int>(generations.size()) ||
+          generations[static_cast<std::size_t>(event.timer_id)] !=
+              event.generation) {
+        return;  // stale (rearmed or cancelled)
+      }
+      processes_[static_cast<std::size_t>(event.node)]->on_timer(
+          event.timer_id);
+      return;
+    }
+    case EventKind::kCallback: {
+      --pending_callbacks_;
+      (*event.callback)();
+      return;
+    }
+  }
+}
+
+bool Engine::step() {
+  start();
+  if (queue_.empty()) return false;
+  Event event = queue_.top();
+  queue_.pop();
+  KLEX_CHECK(event.at >= now_, "event queue went backwards");
+  now_ = event.at;
+  ++events_executed_;
+  dispatch(event);
+  return true;
+}
+
+void Engine::run_until(SimTime t) {
+  start();
+  while (!queue_.empty() && queue_.top().at <= t) {
+    step();
+  }
+  now_ = std::max(now_, t);
+}
+
+std::uint64_t Engine::run_events(std::uint64_t max_events) {
+  start();
+  std::uint64_t executed = 0;
+  while (executed < max_events && step()) {
+    ++executed;
+  }
+  return executed;
+}
+
+bool Engine::run_until_message_quiescence(std::uint64_t max_events) {
+  start();
+  std::uint64_t executed = 0;
+  // Quiescent when no message is in flight and no workload callback is
+  // pending. Timer events are deliberately excluded: variants without the
+  // controller set no timers, and for the full protocol the root's timeout
+  // keeps the system live forever (so this method only makes sense for the
+  // ladder variants and for drained workloads).
+  while (in_flight_ > 0 || pending_callbacks_ > 0) {
+    if (executed >= max_events) return false;
+    if (!step()) return in_flight_ == 0 && pending_callbacks_ == 0;
+    ++executed;
+  }
+  return true;
+}
+
+}  // namespace klex::sim

@@ -1,0 +1,255 @@
+// Discrete-event simulation engine for asynchronous message-passing
+// systems (the paper's model of computation, Section 2).
+//
+// The engine owns:
+//   * the event queue (ordered by time, ties broken by insertion order, so
+//     runs are bit-reproducible from the seed);
+//   * the directed FIFO channels between process channel endpoints;
+//   * the registered processes and their timers.
+//
+// Model properties implemented here:
+//   * Asynchrony   -- every message gets an independent random delay drawn
+//     from [min_delay, max_delay]; process steps are triggered by
+//     deliveries, so relative process speeds are unbounded but fair.
+//   * Reliable FIFO channels -- delivery times per channel are forced to be
+//     monotone, and ties preserve send order.
+//   * Bounded initial channel content -- fault injection can preload each
+//     channel with up to CMAX arbitrary messages (see inject_garbage()).
+//
+// Single-threaded by design: determinism and introspection (global token
+// census) matter more than parallel speed at these network sizes, and one
+// engine instance per thread parallelizes experiments trivially.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+#include "support/rng.hpp"
+
+namespace klex::sim {
+
+using NodeId = std::int32_t;
+
+class Engine;
+
+/// Base class for a simulated process (one per tree node).
+///
+/// Handlers run atomically: all sends performed inside a handler are
+/// timestamped with the same "now". Subclasses implement the paper's
+/// per-message actions in on_message() and the root's TimeOut() in
+/// on_timer().
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// A message arrived on local channel `channel`.
+  virtual void on_message(int channel, const Message& msg) = 0;
+
+  /// Timer `timer_id` (set via set_timer) fired.
+  virtual void on_timer(int timer_id) { (void)timer_id; }
+
+  /// Called once when the simulation starts, before any delivery.
+  virtual void on_start() {}
+
+  NodeId id() const { return id_; }
+
+ protected:
+  Engine& engine() const { return *engine_; }
+
+  /// Sends `msg` on local channel `channel` (must be connected).
+  void send(int channel, const Message& msg);
+
+  /// (Re)arms timer `timer_id` to fire after `delay` ticks; a timer that
+  /// was already armed is implicitly cancelled (generation bump).
+  void set_timer(int timer_id, SimTime delay);
+
+  /// Disarms timer `timer_id` if armed.
+  void cancel_timer(int timer_id);
+
+  /// Current simulated time.
+  SimTime now() const;
+
+ private:
+  friend class Engine;
+  Engine* engine_ = nullptr;
+  NodeId id_ = -1;
+};
+
+/// Uniform-integer message delay model. delays are drawn from
+/// [min_delay, max_delay] per message (then clamped for FIFO order).
+struct DelayModel {
+  SimTime min_delay = 1;
+  SimTime max_delay = 16;
+};
+
+/// Observation points, used by the stats and verification layers.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  virtual void on_send(SimTime at, NodeId from, int channel,
+                       const Message& msg) {
+    (void)at; (void)from; (void)channel; (void)msg;
+  }
+  virtual void on_deliver(SimTime at, NodeId to, int channel,
+                          const Message& msg) {
+    (void)at; (void)to; (void)channel; (void)msg;
+  }
+};
+
+/// Identifies a directed channel for census iteration.
+struct ChannelInfo {
+  NodeId from = -1;
+  int from_channel = -1;
+  NodeId to = -1;
+  int to_channel = -1;
+};
+
+class Engine {
+ public:
+  explicit Engine(DelayModel delays = {},
+                  std::uint64_t seed = support::Rng::kDefaultSeed);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // -- topology wiring ------------------------------------------------------
+
+  /// Registers `process` as node `id() == index of registration`.
+  /// Returns the id. All processes must be added before connect().
+  NodeId add_process(std::unique_ptr<Process> process);
+
+  /// Creates the directed FIFO channel from (`from`, `from_channel`) to
+  /// (`to`, `to_channel`). Both directions of a link are two calls.
+  void connect(NodeId from, int from_channel, NodeId to, int to_channel);
+
+  int process_count() const { return static_cast<int>(processes_.size()); }
+
+  Process& process(NodeId id);
+  const Process& process(NodeId id) const;
+
+  // -- execution ------------------------------------------------------------
+
+  /// Calls on_start() on every process (once); implicit in the run methods.
+  void start();
+
+  /// Executes a single event. Returns false if the queue was empty.
+  bool step();
+
+  /// Runs until simulated time exceeds `t` (events at exactly `t` are
+  /// still executed) or the queue empties.
+  void run_until(SimTime t);
+
+  /// Runs at most `max_events` events; returns the number executed.
+  std::uint64_t run_events(std::uint64_t max_events);
+
+  /// Runs until no *message* deliveries are pending (timer events may
+  /// remain) or `max_events` have been executed. Returns true if message
+  /// quiescence was reached -- how deadlocks (Figure 2) are detected.
+  bool run_until_message_quiescence(std::uint64_t max_events);
+
+  SimTime now() const { return now_; }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of in-flight (sent, not yet delivered) messages.
+  std::uint64_t in_flight_messages() const { return in_flight_; }
+
+  // -- sends / timers (used by Process) --------------------------------------
+
+  void send_from(NodeId from, int channel, const Message& msg);
+  void set_timer_for(NodeId node, int timer_id, SimTime delay);
+  void cancel_timer_for(NodeId node, int timer_id);
+
+  /// Schedules `fn` to run at now() + delay as a standalone event (used by
+  /// workloads / applications to model request arrivals and CS completion).
+  void schedule(SimTime delay, std::function<void()> fn);
+
+  // -- fault injection / census ----------------------------------------------
+
+  /// Appends `msg` to the channel (`from`,`from_channel`) as if it had been
+  /// sent now; used to preload channels with arbitrary initial content.
+  void inject_message(NodeId from, int from_channel, const Message& msg);
+
+  /// Drops every in-flight message from all channels (part of "transient
+  /// fault" injection before re-seeding channels with garbage).
+  void clear_channels();
+
+  /// Invokes `fn(info, msg)` for every in-flight message, in channel order
+  /// then FIFO order. The basis of the global token census.
+  void for_each_in_flight(
+      const std::function<void(const ChannelInfo&, const Message&)>& fn) const;
+
+  /// Per-channel in-flight count for (from, from_channel).
+  int channel_backlog(NodeId from, int from_channel) const;
+
+  void add_observer(SimObserver* observer) { observers_.push_back(observer); }
+
+  support::Rng& rng() { return rng_; }
+
+ private:
+  enum class EventKind : std::uint8_t { kDelivery, kTimer, kCallback };
+
+  struct Event {
+    SimTime at = 0;
+    std::uint64_t seq = 0;
+    EventKind kind = EventKind::kDelivery;
+    // Delivery:
+    std::int32_t channel_index = -1;
+    Message msg{};
+    // Timer:
+    NodeId node = -1;
+    std::int32_t timer_id = -1;
+    std::uint64_t generation = 0;
+    // Callback:
+    std::shared_ptr<std::function<void()>> callback;
+  };
+
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct DirectedChannel {
+    ChannelInfo info;
+    SimTime last_scheduled = 0;
+    std::deque<Message> in_flight;
+  };
+
+  int channel_index_of(NodeId from, int from_channel) const;
+  void dispatch(const Event& event);
+  void push_event(Event event);
+
+  DelayModel delays_;
+  support::Rng rng_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<DirectedChannel> channels_;
+  // channel_lookup_[node][out_channel] -> index into channels_, or -1.
+  std::vector<std::vector<int>> channel_lookup_;
+  // timer_generation_[node][timer_id] (timer ids are small and dense).
+  std::vector<std::vector<std::uint64_t>> timer_generations_;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::vector<SimObserver*> observers_;
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t pending_callbacks_ = 0;
+};
+
+}  // namespace klex::sim

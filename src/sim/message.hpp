@@ -1,0 +1,25 @@
+// Wire message representation.
+//
+// The simulator is protocol-agnostic: a message is a small POD with a
+// protocol-defined discriminator and four integer fields. The paper's
+// messages fit comfortably: ⟨ResT⟩, ⟨PushT⟩ and ⟨PrioT⟩ carry no values,
+// and ⟨ctrl, C, R, PT, PPr⟩ carries four (the counter C, the reset flag R
+// and the two token counts). Keeping the type POD lets the event queue
+// store messages inline with zero heap traffic.
+#pragma once
+
+#include <cstdint>
+
+namespace klex::sim {
+
+struct Message {
+  std::int32_t type = 0;
+  std::int32_t f0 = 0;
+  std::int32_t f1 = 0;
+  std::int32_t f2 = 0;
+  std::int32_t f3 = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace klex::sim

@@ -1,0 +1,19 @@
+// Simulated time.
+//
+// Time is a dimensionless 64-bit tick count: the model is asynchronous, so
+// only the relative ordering of events matters, and integer ticks keep the
+// simulation exactly reproducible (no floating-point scheduling drift).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace klex::sim {
+
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kTimeZero = 0;
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::max();
+
+}  // namespace klex::sim

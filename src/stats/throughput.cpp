@@ -1,0 +1,74 @@
+#include "stats/throughput.hpp"
+
+#include "support/check.hpp"
+
+namespace klex::stats {
+
+ThroughputTracker::ThroughputTracker(int n) {
+  KLEX_REQUIRE(n >= 1, "bad n");
+  held_units_.assign(static_cast<std::size_t>(n), 0);
+  held_since_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void ThroughputTracker::start_window(sim::SimTime at) {
+  window_start_ = at;
+  entries_ = 0;
+  units_granted_ = 0;
+  unit_time_done_ = 0.0;
+  // Holds in progress restart their accounting at the window edge.
+  for (std::size_t i = 0; i < held_since_.size(); ++i) {
+    if (held_units_[i] > 0) held_since_[i] = at;
+  }
+}
+
+void ThroughputTracker::on_enter_cs(proto::NodeId node, int need,
+                                    sim::SimTime at) {
+  std::size_t index = static_cast<std::size_t>(node);
+  KLEX_CHECK(index < held_units_.size(), "unknown node ", node);
+  ++entries_;
+  units_granted_ += need;
+  held_units_[index] = need;
+  held_since_[index] = at;
+}
+
+void ThroughputTracker::on_exit_cs(proto::NodeId node, sim::SimTime at) {
+  std::size_t index = static_cast<std::size_t>(node);
+  KLEX_CHECK(index < held_units_.size(), "unknown node ", node);
+  if (held_units_[index] > 0) {
+    sim::SimTime since = std::max(held_since_[index], window_start_);
+    if (at > since) {
+      unit_time_done_ += static_cast<double>(held_units_[index]) *
+                         static_cast<double>(at - since);
+    }
+    held_units_[index] = 0;
+  }
+}
+
+double ThroughputTracker::unit_time(sim::SimTime now) const {
+  double total = unit_time_done_;
+  for (std::size_t i = 0; i < held_units_.size(); ++i) {
+    if (held_units_[i] > 0) {
+      sim::SimTime since = std::max(held_since_[i], window_start_);
+      if (now > since) {
+        total += static_cast<double>(held_units_[i]) *
+                 static_cast<double>(now - since);
+      }
+    }
+  }
+  return total;
+}
+
+double ThroughputTracker::entries_per_mtick(sim::SimTime now) const {
+  if (now <= window_start_) return 0.0;
+  return static_cast<double>(entries_) * 1e6 /
+         static_cast<double>(now - window_start_);
+}
+
+double ThroughputTracker::mean_utilization(sim::SimTime now, int l) const {
+  KLEX_REQUIRE(l >= 1, "bad l");
+  if (now <= window_start_) return 0.0;
+  return unit_time(now) /
+         (static_cast<double>(l) * static_cast<double>(now - window_start_));
+}
+
+}  // namespace klex::stats

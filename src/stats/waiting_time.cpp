@@ -1,0 +1,41 @@
+#include "stats/waiting_time.hpp"
+
+#include "support/check.hpp"
+
+namespace klex::stats {
+
+WaitingTimeTracker::WaitingTimeTracker(int n) {
+  KLEX_REQUIRE(n >= 1, "bad n");
+  snapshot_at_request_.assign(static_cast<std::size_t>(n), kNone);
+}
+
+void WaitingTimeTracker::on_request(proto::NodeId node, int /*need*/,
+                                    sim::SimTime /*at*/) {
+  std::size_t index = static_cast<std::size_t>(node);
+  KLEX_CHECK(index < snapshot_at_request_.size(), "unknown node ", node);
+  snapshot_at_request_[index] = entries_;
+}
+
+void WaitingTimeTracker::on_enter_cs(proto::NodeId node, int /*need*/,
+                                     sim::SimTime /*at*/) {
+  std::size_t index = static_cast<std::size_t>(node);
+  KLEX_CHECK(index < snapshot_at_request_.size(), "unknown node ", node);
+  if (snapshot_at_request_[index] != kNone) {
+    waits_.add(static_cast<double>(entries_ - snapshot_at_request_[index]));
+    snapshot_at_request_[index] = kNone;
+  }
+  ++entries_;
+}
+
+void WaitingTimeTracker::reset_samples() {
+  waits_ = support::Histogram{};
+}
+
+std::int64_t theorem2_bound(int n, int l) {
+  KLEX_REQUIRE(n >= 2, "bad n");
+  KLEX_REQUIRE(l >= 1, "bad l");
+  std::int64_t span = 2 * static_cast<std::int64_t>(n) - 3;
+  return static_cast<std::int64_t>(l) * span * span;
+}
+
+}  // namespace klex::stats

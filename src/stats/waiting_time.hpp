@@ -1,0 +1,49 @@
+// The paper's waiting-time metric (Section 2):
+//
+//   "The waiting time is the maximum number of times that all processes
+//    can enter the critical section before some process p, starting from
+//    the moment p requests the critical section."
+//
+// WaitingTimeTracker keeps a global CS-entry counter; a request snapshots
+// it, and the grant records how many entries (by any process -- the
+// requester cannot enter meanwhile) happened in between. Theorem 2 bounds
+// this by ℓ(2n−3)² after stabilization; bench_thm2_waiting_time sweeps
+// the measured maximum against that bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/app.hpp"
+#include "support/histogram.hpp"
+
+namespace klex::stats {
+
+class WaitingTimeTracker : public proto::Listener {
+ public:
+  explicit WaitingTimeTracker(int n);
+
+  void on_request(proto::NodeId node, int need, sim::SimTime at) override;
+  void on_enter_cs(proto::NodeId node, int need, sim::SimTime at) override;
+
+  /// Waiting times in "CS entries by other processes" (the paper's unit).
+  const support::Histogram& waits() const { return waits_; }
+
+  /// Discards samples collected so far (e.g. from a warmup phase) but
+  /// keeps the entry counter and outstanding snapshots coherent.
+  void reset_samples();
+
+  std::int64_t global_entries() const { return entries_; }
+
+ private:
+  static constexpr std::int64_t kNone = -1;
+
+  std::int64_t entries_ = 0;
+  std::vector<std::int64_t> snapshot_at_request_;
+  support::Histogram waits_;
+};
+
+/// Theorem 2's worst-case bound, ℓ(2n−3)².
+std::int64_t theorem2_bound(int n, int l);
+
+}  // namespace klex::stats

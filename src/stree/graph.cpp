@@ -1,0 +1,155 @@
+#include "stree/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace klex::stree {
+
+Graph Graph::from_edges(
+    int n, const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  KLEX_REQUIRE(n >= 1, "graph needs n >= 1");
+  Graph g;
+  g.adjacency_.assign(static_cast<std::size_t>(n), {});
+  for (const auto& [a, b] : edges) {
+    KLEX_REQUIRE(a >= 0 && a < n && b >= 0 && b < n,
+                 "edge (", a, ",", b, ") out of range");
+    KLEX_REQUIRE(a != b, "self-loop at ", a);
+    KLEX_REQUIRE(!g.has_edge(a, b), "parallel edge (", a, ",", b, ")");
+    g.adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    g.adjacency_[static_cast<std::size_t>(b)].push_back(a);
+    ++g.edge_count_;
+  }
+  for (auto& row : g.adjacency_) std::sort(row.begin(), row.end());
+
+  // Connectivity check.
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  int reached = 1;
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : g.adjacency_[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++reached;
+        frontier.push(v);
+      }
+    }
+  }
+  KLEX_REQUIRE(reached == n, "graph is disconnected: reached ", reached,
+               " of ", n);
+
+  // Reverse-channel table.
+  g.reverse_.assign(static_cast<std::size_t>(n), {});
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& row = g.adjacency_[static_cast<std::size_t>(v)];
+    auto& rev = g.reverse_[static_cast<std::size_t>(v)];
+    rev.resize(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto& peer = g.adjacency_[static_cast<std::size_t>(row[c])];
+      auto it = std::find(peer.begin(), peer.end(), v);
+      KLEX_CHECK(it != peer.end(), "adjacency tables inconsistent");
+      rev[c] = static_cast<int>(it - peer.begin());
+    }
+  }
+  return g;
+}
+
+int Graph::degree(NodeId v) const {
+  KLEX_REQUIRE(v >= 0 && v < size(), "node ", v, " out of range");
+  return static_cast<int>(adjacency_[static_cast<std::size_t>(v)].size());
+}
+
+NodeId Graph::neighbor(NodeId v, int channel) const {
+  KLEX_REQUIRE(v >= 0 && v < size(), "node ", v, " out of range");
+  KLEX_REQUIRE(channel >= 0 && channel < degree(v), "bad channel");
+  return adjacency_[static_cast<std::size_t>(v)]
+                   [static_cast<std::size_t>(channel)];
+}
+
+int Graph::reverse_channel(NodeId v, int channel) const {
+  KLEX_REQUIRE(v >= 0 && v < size(), "node ", v, " out of range");
+  KLEX_REQUIRE(channel >= 0 && channel < degree(v), "bad channel");
+  return reverse_[static_cast<std::size_t>(v)]
+                 [static_cast<std::size_t>(channel)];
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  if (a < 0 || a >= size()) return false;
+  const auto& row = adjacency_[static_cast<std::size_t>(a)];
+  return std::find(row.begin(), row.end(), b) != row.end();
+}
+
+Graph random_connected(int n, int extra_edges, support::Rng& rng) {
+  KLEX_REQUIRE(n >= 1, "graph needs n >= 1");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v < n; ++v) {
+    edges.emplace_back(
+        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v))),
+        v);
+  }
+  std::int64_t max_extra =
+      static_cast<std::int64_t>(n) * (n - 1) / 2 - (n - 1);
+  int budget = static_cast<int>(
+      std::min<std::int64_t>(extra_edges, max_extra));
+  Graph probe = Graph::from_edges(n, edges);
+  int added = 0;
+  int attempts = 0;
+  while (added < budget && attempts < budget * 64 + 64) {
+    ++attempts;
+    NodeId a = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    NodeId b = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    if (a == b) continue;
+    bool duplicate = false;
+    for (const auto& [x, y] : edges) {
+      if ((x == a && y == b) || (x == b && y == a)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    edges.emplace_back(a, b);
+    ++added;
+  }
+  (void)probe;
+  return Graph::from_edges(n, edges);
+}
+
+Graph grid(int w, int h) {
+  KLEX_REQUIRE(w >= 1 && h >= 1, "grid needs positive dimensions");
+  auto id = [w](int x, int y) { return static_cast<NodeId>(y * w + x); };
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) edges.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < h) edges.emplace_back(id(x, y), id(x, y + 1));
+    }
+  }
+  return Graph::from_edges(w * h, edges);
+}
+
+Graph cycle_graph(int n) {
+  KLEX_REQUIRE(n >= 3, "cycle needs n >= 3");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    edges.emplace_back(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete_graph(int n) {
+  KLEX_REQUIRE(n >= 1, "complete graph needs n >= 1");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace klex::stree

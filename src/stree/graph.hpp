@@ -1,0 +1,57 @@
+// Undirected rooted graphs: the input domain of the spanning-tree layer.
+//
+// The paper (Section 5) notes that the tree protocol extends to arbitrary
+// rooted networks by composing it with a self-stabilizing spanning-tree
+// construction [1,4]. Graph provides the arbitrary rooted network; node 0
+// is the distinguished root. Channels at each node are indexed by the
+// adjacency order, mirroring the tree's local channel labeling.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace klex::stree {
+
+using NodeId = std::int32_t;
+
+class Graph {
+ public:
+  /// Builds a graph on n nodes from an undirected edge list. Parallel
+  /// edges and self-loops are rejected; the graph must be connected.
+  static Graph from_edges(int n,
+                          const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  int size() const { return static_cast<int>(adjacency_.size()); }
+  int degree(NodeId v) const;
+  NodeId neighbor(NodeId v, int channel) const;
+  /// Channel at neighbor(v, channel) pointing back to v.
+  int reverse_channel(NodeId v, int channel) const;
+  int edge_count() const { return edge_count_; }
+
+  bool has_edge(NodeId a, NodeId b) const;
+
+ private:
+  Graph() = default;
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::vector<int>> reverse_;
+  int edge_count_ = 0;
+};
+
+/// Connected random graph: a random spanning tree plus `extra_edges`
+/// additional random non-parallel edges.
+Graph random_connected(int n, int extra_edges, support::Rng& rng);
+
+/// w × h grid graph (rook moves of distance 1), root at corner (0,0).
+Graph grid(int w, int h);
+
+/// Cycle on n nodes (the weakest connectivity beyond a tree).
+Graph cycle_graph(int n);
+
+/// Complete graph on n nodes.
+Graph complete_graph(int n);
+
+}  // namespace klex::stree

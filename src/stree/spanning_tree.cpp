@@ -1,0 +1,202 @@
+#include "stree/spanning_tree.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace klex::stree {
+
+sim::Message make_beacon(std::int64_t epoch, std::int32_t dist) {
+  sim::Message msg;
+  msg.type = kBeaconType;
+  // Epochs are split across two 32-bit fields.
+  msg.f0 = static_cast<std::int32_t>(epoch & 0xffffffff);
+  msg.f1 = static_cast<std::int32_t>((epoch >> 32) & 0xffffffff);
+  msg.f2 = dist;
+  return msg;
+}
+
+namespace {
+
+std::int64_t epoch_of(const sim::Message& msg) {
+  return static_cast<std::int64_t>(static_cast<std::uint32_t>(msg.f0)) |
+         (static_cast<std::int64_t>(msg.f1) << 32);
+}
+
+}  // namespace
+
+SpanningTreeProcess::SpanningTreeProcess(bool is_root, int degree, int n,
+                                         sim::SimTime beacon_period)
+    : is_root_(is_root), degree_(degree), n_(n),
+      beacon_period_(beacon_period) {
+  KLEX_REQUIRE(degree_ >= 1, "isolated node");
+  KLEX_REQUIRE(n_ >= 1, "bad n");
+  KLEX_REQUIRE(beacon_period_ >= 1, "bad beacon period");
+  if (!is_root_) dist_ = static_cast<std::int32_t>(n_);  // "infinity"
+}
+
+void SpanningTreeProcess::on_start() {
+  if (is_root_) {
+    on_timer(kBeaconTimer);
+  }
+}
+
+void SpanningTreeProcess::on_timer(int timer_id) {
+  if (timer_id != kBeaconTimer || !is_root_) return;
+  ++epoch_;
+  dist_ = 0;
+  parent_ = -1;
+  broadcast(epoch_, 0);
+  set_timer(kBeaconTimer, beacon_period_);
+}
+
+void SpanningTreeProcess::broadcast(std::int64_t epoch, std::int32_t dist) {
+  for (int c = 0; c < degree_; ++c) {
+    send(c, make_beacon(epoch, dist));
+  }
+}
+
+void SpanningTreeProcess::on_message(int channel, const sim::Message& msg) {
+  if (msg.type != kBeaconType) return;  // foreign traffic: ignore
+  if (is_root_) return;  // the root's values are constants per epoch
+  std::int64_t epoch = epoch_of(msg);
+  std::int32_t dist = msg.f2;
+  if (dist < 0 || dist >= n_) return;  // garbage distance
+  std::int32_t candidate = dist + 1;
+  bool better = (epoch > epoch_) || (epoch == epoch_ && candidate < dist_);
+  if (!better) return;
+  epoch_ = epoch;
+  dist_ = candidate;
+  parent_ = channel;
+  broadcast(epoch_, dist_);
+}
+
+void SpanningTreeProcess::corrupt(support::Rng& rng) {
+  epoch_ = static_cast<std::int64_t>(rng.next_below(16));
+  dist_ = static_cast<std::int32_t>(
+      rng.next_below(static_cast<std::uint64_t>(n_) + 1));
+  if (is_root_) {
+    dist_ = 0;
+    parent_ = -1;
+  } else {
+    parent_ = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(degree_)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpanningTreeSystem
+// ---------------------------------------------------------------------------
+
+SpanningTreeSystem::SpanningTreeSystem(Config config)
+    : config_(std::move(config)),
+      engine_(config_.delays, config_.seed) {
+  const Graph& g = config_.graph;
+  KLEX_REQUIRE(g.size() >= 2, "spanning tree needs n >= 2");
+  for (NodeId v = 0; v < g.size(); ++v) {
+    auto process = std::make_unique<SpanningTreeProcess>(
+        v == 0, g.degree(v), g.size(), config_.beacon_period);
+    nodes_.push_back(process.get());
+    engine_.add_process(std::move(process));
+  }
+  for (NodeId v = 0; v < g.size(); ++v) {
+    for (int c = 0; c < g.degree(v); ++c) {
+      engine_.connect(v, c, g.neighbor(v, c), g.reverse_channel(v, c));
+    }
+  }
+}
+
+void SpanningTreeSystem::run_until(sim::SimTime t) { engine_.run_until(t); }
+
+const SpanningTreeProcess& SpanningTreeSystem::node(NodeId v) const {
+  KLEX_REQUIRE(v >= 0 && v < config_.graph.size(), "bad node ", v);
+  return *nodes_[static_cast<std::size_t>(v)];
+}
+
+std::vector<NodeId> SpanningTreeSystem::parent_ids() const {
+  const Graph& g = config_.graph;
+  std::vector<NodeId> parents(static_cast<std::size_t>(g.size()),
+                              tree::kNoParent);
+  for (NodeId v = 1; v < g.size(); ++v) {
+    int channel = nodes_[static_cast<std::size_t>(v)]->parent_channel();
+    if (channel < 0 || channel >= g.degree(v)) return {};
+    parents[static_cast<std::size_t>(v)] = g.neighbor(v, channel);
+  }
+  return parents;
+}
+
+bool SpanningTreeSystem::converged() const {
+  const Graph& g = config_.graph;
+  std::vector<NodeId> parents = parent_ids();
+  if (parents.empty()) return false;
+
+  // Exact BFS distances by reference computation.
+  std::vector<int> bfs(static_cast<std::size_t>(g.size()), -1);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  bfs[0] = 0;
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (int c = 0; c < g.degree(u); ++c) {
+      NodeId v = g.neighbor(u, c);
+      if (bfs[static_cast<std::size_t>(v)] == -1) {
+        bfs[static_cast<std::size_t>(v)] =
+            bfs[static_cast<std::size_t>(u)] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  for (NodeId v = 1; v < g.size(); ++v) {
+    const SpanningTreeProcess& p = *nodes_[static_cast<std::size_t>(v)];
+    if (p.dist() != bfs[static_cast<std::size_t>(v)]) return false;
+    NodeId parent = parents[static_cast<std::size_t>(v)];
+    if (bfs[static_cast<std::size_t>(parent)] + 1 !=
+        bfs[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+sim::SimTime SpanningTreeSystem::run_until_converged(sim::SimTime deadline,
+                                                     sim::SimTime poll) {
+  KLEX_REQUIRE(poll > 0, "poll must be positive");
+  while (engine_.now() < deadline) {
+    engine_.run_until(engine_.now() + poll);
+    if (converged()) return engine_.now();
+  }
+  return sim::kTimeInfinity;
+}
+
+std::optional<tree::Tree> SpanningTreeSystem::try_extract_tree() const {
+  std::vector<NodeId> parents = parent_ids();
+  if (parents.empty()) return std::nullopt;
+  try {
+    return tree::Tree::from_parents(std::move(parents));
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // pointers do not currently form a tree
+  }
+}
+
+void SpanningTreeSystem::inject_transient_fault(support::Rng& rng) {
+  engine_.clear_channels();
+  for (SpanningTreeProcess* process : nodes_) {
+    process->corrupt(rng);
+  }
+  const Graph& g = config_.graph;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    for (int c = 0; c < g.degree(v); ++c) {
+      if (rng.next_bool(0.5)) {
+        engine_.inject_message(
+            v, c,
+            make_beacon(static_cast<std::int64_t>(rng.next_below(16)),
+                        static_cast<std::int32_t>(rng.next_below(
+                            static_cast<std::uint64_t>(g.size())))));
+      }
+    }
+  }
+}
+
+}  // namespace klex::stree

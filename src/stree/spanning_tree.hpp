@@ -1,0 +1,130 @@
+// Self-stabilizing BFS spanning-tree construction on arbitrary rooted
+// graphs (message-passing), providing the substrate for the paper's §5
+// extension: "solutions on the oriented tree can be directly mapped to
+// solutions for arbitrary rooted networks by composing the protocol with
+// a spanning tree construction [1,4]".
+//
+// Design: epoch-stamped BFS beaconing.
+//   * The root periodically starts a new epoch: it sends ⟨beacon, e, 0⟩
+//     to every neighbor with a strictly increasing epoch number e.
+//   * A non-root process keeps (epoch, dist, parent). On ⟨beacon, e, d⟩
+//     from channel q it adopts lexicographically better information:
+//     a newer epoch always wins; within the same epoch a smaller d+1
+//     wins. On adoption it rebroadcasts ⟨beacon, e, dist⟩.
+//   * dist is clamped to n (any claimed distance >= n is garbage).
+//
+// Stabilization argument (the standard one for rooted BFS with a source
+// of freshness): corrupted state can only reference epochs the root has
+// already passed; once the root begins a fresh epoch -- one larger than
+// every value in the system, guaranteed after finitely many periods since
+// epochs in channels are bounded in count -- the wave of that epoch
+// installs exact BFS distances and parents within one traversal, and
+// every later epoch re-confirms them. Unlike the exclusion protocol this
+// layer uses an unbounded epoch counter; the paper's own reference [9]
+// (Katz & Perry) justifies the unbounded-counter variant, and 64-bit
+// epochs never wrap in practice. This trade-off is documented in
+// DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "stree/graph.hpp"
+#include "support/rng.hpp"
+#include "tree/tree.hpp"
+
+namespace klex::stree {
+
+/// Message type tag for beacons (outside the exclusion protocol's range).
+inline constexpr std::int32_t kBeaconType = 100;
+
+sim::Message make_beacon(std::int64_t epoch, std::int32_t dist);
+
+class SpanningTreeProcess : public sim::Process {
+ public:
+  /// `n` bounds legal distances; `beacon_period` only matters at the root.
+  SpanningTreeProcess(bool is_root, int degree, int n,
+                      sim::SimTime beacon_period);
+
+  void on_start() override;
+  void on_message(int channel, const sim::Message& msg) override;
+  void on_timer(int timer_id) override;
+
+  /// Channel index of the current parent (-1 at the root or before any
+  /// beacon was accepted).
+  int parent_channel() const { return parent_; }
+  std::int32_t dist() const { return dist_; }
+  std::int64_t epoch() const { return epoch_; }
+
+  /// Transient fault: randomize dist/parent/epoch. The epoch corruption
+  /// window is small (the unbounded-counter simplification recovers from a
+  /// corrupted epoch only after the root passes it, so an adversarially
+  /// huge epoch would stall recovery for an unrealistically long simulated
+  /// time; bounding corruption mirrors the bounded-channel assumption the
+  /// exclusion protocol makes for the same reason).
+  void corrupt(support::Rng& rng);
+
+ private:
+  static constexpr int kBeaconTimer = 0;
+
+  void broadcast(std::int64_t epoch, std::int32_t dist);
+
+  bool is_root_;
+  int degree_;
+  int n_;
+  sim::SimTime beacon_period_;
+
+  std::int64_t epoch_ = 0;
+  std::int32_t dist_ = 0;
+  int parent_ = -1;
+};
+
+/// Harness: runs the construction on a graph and extracts the tree.
+class SpanningTreeSystem {
+ public:
+  struct Config {
+    Graph graph = cycle_graph(3);
+    sim::DelayModel delays{};
+    sim::SimTime beacon_period = 256;
+    std::uint64_t seed = support::Rng::kDefaultSeed;
+  };
+
+  explicit SpanningTreeSystem(Config config);
+
+  SpanningTreeSystem(const SpanningTreeSystem&) = delete;
+  SpanningTreeSystem& operator=(const SpanningTreeSystem&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const Graph& graph() const { return config_.graph; }
+
+  void run_until(sim::SimTime t);
+
+  /// True when the parent pointers form a tree on all nodes with exact
+  /// BFS distances.
+  bool converged() const;
+
+  /// Runs until converged() (checked every `poll`) or deadline; returns
+  /// the convergence time or kTimeInfinity.
+  sim::SimTime run_until_converged(sim::SimTime deadline,
+                                   sim::SimTime poll = 64);
+
+  /// Extracts the oriented tree (parent pointers as node ids); empty when
+  /// the current pointers do not form a tree rooted at 0.
+  std::optional<tree::Tree> try_extract_tree() const;
+
+  /// Randomizes every process's variables and channel contents.
+  void inject_transient_fault(support::Rng& rng);
+
+  const SpanningTreeProcess& node(NodeId v) const;
+
+ private:
+  std::vector<NodeId> parent_ids() const;
+
+  Config config_;
+  sim::Engine engine_;
+  std::vector<SpanningTreeProcess*> nodes_;
+};
+
+}  // namespace klex::stree

@@ -1,0 +1,32 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace klex::support::detail {
+
+namespace {
+
+std::string compose(const char* kind, const char* expr, const char* file,
+                    int line, const std::string& msg) {
+  std::ostringstream out;
+  out << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    out << " -- " << msg;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void raise_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  throw CheckFailure(compose("KLEX_CHECK", expr, file, line, msg));
+}
+
+void raise_requirement_failure(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  throw std::invalid_argument(
+      compose("KLEX_REQUIRE", expr, file, line, msg));
+}
+
+}  // namespace klex::support::detail

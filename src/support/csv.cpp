@@ -1,0 +1,51 @@
+#include "support/csv.hpp"
+
+#include <stdexcept>
+
+#include "support/check.hpp"
+
+namespace klex::support {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> columns)
+    : out_(path), columns_(columns.size()) {
+  if (!out_.is_open()) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  KLEX_REQUIRE(columns_ > 0, "CSV schema needs at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i != 0) out_ << ",";
+    out_ << escape(columns[i]);
+  }
+  out_ << "\n";
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  KLEX_REQUIRE(cells.size() == columns_, "CSV row has ", cells.size(),
+               " cells, expected ", columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ",";
+    out_ << escape(cells[i]);
+  }
+  out_ << "\n";
+  ++rows_;
+}
+
+void CsvWriter::flush() { out_.flush(); }
+
+}  // namespace klex::support

@@ -1,0 +1,34 @@
+// CSV file writer for experiment outputs.
+//
+// Benchmarks can optionally dump the rows they print as CSV files so
+// that plots/tables can be regenerated outside the binary. The writer is
+// append-only with a fixed schema declared up front, mirroring Table.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace klex::support {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row immediately.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Appends a data row; must match the declared column count.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Flushes buffered rows to disk.
+  void flush();
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace klex::support

@@ -1,0 +1,90 @@
+// FixedMultiset: a bounded multiset of small non-negative integer labels.
+//
+// Models the paper's RSet variable: "a multiset of at most k values taken
+// in [0 .. Δp − 1]" (Algorithms 1 & 2, variable declarations). The labels
+// are channel indices, so the label domain is tiny and dense; we store
+// per-label multiplicities in a small inline array.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/small_vec.hpp"
+
+namespace klex::support {
+
+class FixedMultiset {
+ public:
+  FixedMultiset() = default;
+
+  /// `label_domain` = number of distinct labels (Δp); `max_size` = k.
+  FixedMultiset(int label_domain, int max_size)
+      : max_size_(max_size) {
+    KLEX_REQUIRE(label_domain >= 0, "label domain must be non-negative");
+    KLEX_REQUIRE(max_size >= 0, "max size must be non-negative");
+    counts_.reserve(static_cast<std::size_t>(label_domain));
+    for (int i = 0; i < label_domain; ++i) counts_.push_back(0);
+  }
+
+  /// Total number of stored elements, |RSet|.
+  int size() const { return size_; }
+
+  bool empty() const { return size_ == 0; }
+
+  /// Capacity bound k; inserting beyond it is a contract violation.
+  int max_size() const { return max_size_; }
+
+  /// Number of distinct labels in the domain (Δp).
+  int label_domain() const { return static_cast<int>(counts_.size()); }
+
+  /// Multiplicity of `label` -- the paper's |RSet|_q notation.
+  int count(int label) const {
+    KLEX_CHECK(label >= 0 && label < label_domain(),
+               "label ", label, " outside domain ", label_domain());
+    return counts_[static_cast<std::size_t>(label)];
+  }
+
+  /// Inserts one occurrence of `label`. Requires size() < max_size().
+  void insert(int label) {
+    KLEX_CHECK(size_ < max_size_, "multiset is full (k = ", max_size_, ")");
+    KLEX_CHECK(label >= 0 && label < label_domain(),
+               "label ", label, " outside domain ", label_domain());
+    ++counts_[static_cast<std::size_t>(label)];
+    ++size_;
+  }
+
+  /// Removes one occurrence of `label`; it must be present.
+  void erase_one(int label) {
+    KLEX_CHECK(count(label) > 0, "label ", label, " not present");
+    --counts_[static_cast<std::size_t>(label)];
+    --size_;
+  }
+
+  /// Empties the multiset (the paper's `RSet <- emptyset`).
+  void clear() {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] = 0;
+    size_ = 0;
+  }
+
+  /// Calls `fn(label, multiplicity)` for every label with multiplicity > 0.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (int label = 0; label < label_domain(); ++label) {
+      int c = counts_[static_cast<std::size_t>(label)];
+      if (c > 0) fn(label, c);
+    }
+  }
+
+  friend bool operator==(const FixedMultiset& a, const FixedMultiset& b) {
+    return a.size_ == b.size_ && a.counts_ == b.counts_;
+  }
+
+ private:
+  SmallVec<std::int32_t, 8> counts_;
+  int size_ = 0;
+  int max_size_ = 0;
+};
+
+}  // namespace klex::support

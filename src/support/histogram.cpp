@@ -1,0 +1,107 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace klex::support {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Summary::min() const {
+  KLEX_CHECK(count_ > 0, "min of empty summary");
+  return min_;
+}
+
+double Summary::max() const {
+  KLEX_CHECK(count_ > 0, "max of empty summary");
+  return max_;
+}
+
+double Summary::mean() const {
+  KLEX_CHECK(count_ > 0, "mean of empty summary");
+  return mean_;
+}
+
+double Summary::variance() const {
+  KLEX_CHECK(count_ > 0, "variance of empty summary");
+  if (count_ == 1) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::add(double x) {
+  summary_.add(x);
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Histogram::merge(const Histogram& other) {
+  summary_.merge(other.summary_);
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+void Histogram::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::quantile(double q) const {
+  KLEX_CHECK(!samples_.empty(), "quantile of empty histogram");
+  KLEX_CHECK(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  sort_if_needed();
+  if (samples_.size() == 1) return samples_[0];
+  double rank = q * static_cast<double>(samples_.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Histogram::digest() const {
+  std::ostringstream out;
+  if (count() == 0) {
+    out << "n=0";
+    return out.str();
+  }
+  out << "n=" << count() << " mean=" << mean() << " p50=" << median()
+      << " p99=" << p99() << " max=" << max();
+  return out.str();
+}
+
+}  // namespace klex::support

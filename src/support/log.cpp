@@ -1,0 +1,37 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace klex::support {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+void Log::set_sink(std::ostream* sink) { g_sink = sink; }
+
+void Log::write(LogLevel level, const std::string& message) {
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out << "[" << log_level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace klex::support

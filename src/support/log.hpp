@@ -1,0 +1,57 @@
+// Minimal leveled logger for the simulator.
+//
+// Logging in a discrete-event simulator must be cheap when disabled (the
+// hot loop delivers millions of messages) and deterministic in content, so
+// the logger formats lazily behind a level check and never includes wall
+// clock timestamps -- callers pass the simulated time instead.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace klex::support {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* log_level_name(LogLevel level);
+
+/// Process-wide logger configuration. Not thread-safe by design: the
+/// simulator is single-threaded; benchmarks set the level once up front.
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Redirects output (default: std::cerr). Pass nullptr to restore.
+  static void set_sink(std::ostream* sink);
+
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+
+  static void write(LogLevel level, const std::string& message);
+};
+
+}  // namespace klex::support
+
+#define KLEX_LOG(level_enum, ...)                                        \
+  do {                                                                   \
+    if (::klex::support::Log::enabled(level_enum)) {                     \
+      std::ostringstream klex_log_stream;                                \
+      klex_log_stream << __VA_ARGS__;                                    \
+      ::klex::support::Log::write(level_enum, klex_log_stream.str());    \
+    }                                                                    \
+  } while (false)
+
+#define KLEX_TRACE(...) KLEX_LOG(::klex::support::LogLevel::kTrace, __VA_ARGS__)
+#define KLEX_DEBUG(...) KLEX_LOG(::klex::support::LogLevel::kDebug, __VA_ARGS__)
+#define KLEX_INFO(...) KLEX_LOG(::klex::support::LogLevel::kInfo, __VA_ARGS__)
+#define KLEX_WARN(...) KLEX_LOG(::klex::support::LogLevel::kWarn, __VA_ARGS__)
+#define KLEX_ERROR(...) KLEX_LOG(::klex::support::LogLevel::kError, __VA_ARGS__)

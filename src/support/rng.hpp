@@ -1,0 +1,83 @@
+// Deterministic, fast pseudo-random number generation for simulations.
+//
+// The simulator must be bit-for-bit reproducible from a seed across
+// platforms, so we avoid std::mt19937/std::uniform_int_distribution (whose
+// outputs are implementation-defined for some distributions) and implement
+// xoshiro256** with an explicit splitmix64 seeding sequence, plus exact
+// rejection-sampled bounded integers and standard real/exponential/geometric
+// helpers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace klex::support {
+
+/// splitmix64 step; used for seeding and for hashing seeds into streams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 generator (Blackman & Vigna), UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = kDefaultSeed);
+
+  /// Seed used when none is supplied; arbitrary non-zero constant.
+  static constexpr std::uint64_t kDefaultSeed = 0x9E3779B97F4A7C15ull;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) with rejection sampling (no modulo bias).
+  /// `bound` must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index; requires non-empty size.
+  std::size_t pick_index(std::size_t size);
+
+  /// Derives an independent child generator; child streams produced with
+  /// distinct tags are statistically independent of each other and of the
+  /// parent's future output.
+  Rng split(std::uint64_t tag);
+
+  /// Exposes the internal state, for tests of reproducibility.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace klex::support

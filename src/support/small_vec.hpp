@@ -1,0 +1,189 @@
+// SmallVec<T, N>: a vector with inline storage for up to N elements.
+//
+// Simulation messages and per-process token reservations are tiny (a
+// handful of integers); storing them inline avoids per-message heap
+// traffic in the event loop, which dominates simulator throughput.
+// Falls back to heap storage beyond N. Only the operations the
+// simulator needs are provided; T must be trivially copyable or at
+// least nothrow-movable for the simple grow path used here.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace klex::support {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVec(const SmallVec& other) { assign_from(other); }
+
+  SmallVec(SmallVec&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear_storage();
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVec() { clear_storage(); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) {
+    KLEX_CHECK(i < size_, "SmallVec index ", i, " out of range ", size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    KLEX_CHECK(i < size_, "SmallVec index ", i, " out of range ", size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    KLEX_CHECK(size_ > 0, "pop_back on empty SmallVec");
+    data_[--size_].~T();
+  }
+
+  /// Removes the element at `index` preserving order.
+  void erase_at(std::size_t index) {
+    KLEX_CHECK(index < size_, "erase_at index out of range");
+    for (std::size_t i = index + 1; i < size_; ++i) {
+      data_[i - 1] = std::move(data_[i]);
+    }
+    pop_back();
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t wanted) {
+    if (wanted > capacity_) grow(wanted);
+  }
+
+  bool uses_inline_storage() const {
+    return data_ == reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  void grow(std::size_t wanted) {
+    std::size_t new_capacity = std::max<std::size_t>(wanted, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    release_heap();
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void assign_from(const SmallVec& other) {
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T(other.data_[i]);
+    }
+    size_ = other.size_;
+  }
+
+  void move_from(SmallVec&& other) {
+    if (!other.uses_inline_storage()) {
+      // Steal the heap buffer.
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = reinterpret_cast<T*>(other.inline_storage_);
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    reserve(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+    }
+    size_ = other.size_;
+    other.clear();
+  }
+
+  void release_heap() {
+    if (!uses_inline_storage()) {
+      ::operator delete(static_cast<void*>(data_));
+    }
+  }
+
+  void clear_storage() {
+    clear();
+    release_heap();
+    data_ = reinterpret_cast<T*>(inline_storage_);
+    capacity_ = N;
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = reinterpret_cast<T*>(inline_storage_);
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace klex::support

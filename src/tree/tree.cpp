@@ -1,0 +1,266 @@
+#include "tree/tree.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace klex::tree {
+
+Tree Tree::from_parents(std::vector<NodeId> parents) {
+  KLEX_REQUIRE(!parents.empty(), "tree must have at least one node");
+  int n = static_cast<int>(parents.size());
+  KLEX_REQUIRE(parents[0] == kNoParent, "node 0 must be the root");
+
+  Tree t;
+  t.parents_ = std::move(parents);
+  t.children_.assign(static_cast<std::size_t>(n), {});
+  for (NodeId v = 1; v < n; ++v) {
+    NodeId p = t.parents_[static_cast<std::size_t>(v)];
+    KLEX_REQUIRE(p >= 0 && p < n, "node ", v, " has invalid parent ", p);
+    KLEX_REQUIRE(p != v, "node ", v, " is its own parent");
+    t.children_[static_cast<std::size_t>(p)].push_back(v);
+  }
+  for (auto& kids : t.children_) {
+    std::sort(kids.begin(), kids.end());
+  }
+
+  // Connectivity / acyclicity: BFS from the root must reach every node.
+  t.depth_.assign(static_cast<std::size_t>(n), -1);
+  std::queue<NodeId> frontier;
+  frontier.push(kRoot);
+  t.depth_[kRoot] = 0;
+  int reached = 1;
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : t.children_[static_cast<std::size_t>(u)]) {
+      KLEX_REQUIRE(t.depth_[static_cast<std::size_t>(v)] == -1,
+                   "node ", v, " reached twice; parent vector is not a tree");
+      t.depth_[static_cast<std::size_t>(v)] =
+          t.depth_[static_cast<std::size_t>(u)] + 1;
+      ++reached;
+      frontier.push(v);
+    }
+  }
+  KLEX_REQUIRE(reached == n,
+               "parent vector is disconnected: reached ", reached, " of ", n);
+
+  // Channel tables: non-root channel 0 = parent, then children in order;
+  // root channels = children in order.
+  t.neighbors_.assign(static_cast<std::size_t>(n), {});
+  t.reverse_.assign(static_cast<std::size_t>(n), {});
+  for (NodeId p = 0; p < n; ++p) {
+    auto& nb = t.neighbors_[static_cast<std::size_t>(p)];
+    if (p != kRoot) nb.push_back(t.parents_[static_cast<std::size_t>(p)]);
+    for (NodeId c : t.children_[static_cast<std::size_t>(p)]) nb.push_back(c);
+  }
+  for (NodeId p = 0; p < n; ++p) {
+    auto& rev = t.reverse_[static_cast<std::size_t>(p)];
+    const auto& nb = t.neighbors_[static_cast<std::size_t>(p)];
+    rev.resize(nb.size());
+    for (std::size_t c = 0; c < nb.size(); ++c) {
+      NodeId q = nb[c];
+      const auto& qnb = t.neighbors_[static_cast<std::size_t>(q)];
+      auto it = std::find(qnb.begin(), qnb.end(), p);
+      KLEX_CHECK(it != qnb.end(), "channel tables inconsistent");
+      rev[c] = static_cast<int>(it - qnb.begin());
+    }
+  }
+  return t;
+}
+
+int Tree::degree(NodeId p) const {
+  KLEX_REQUIRE(p >= 0 && p < size(), "node ", p, " out of range");
+  return static_cast<int>(neighbors_[static_cast<std::size_t>(p)].size());
+}
+
+NodeId Tree::parent(NodeId p) const {
+  KLEX_REQUIRE(p >= 0 && p < size(), "node ", p, " out of range");
+  return parents_[static_cast<std::size_t>(p)];
+}
+
+const std::vector<NodeId>& Tree::children(NodeId p) const {
+  KLEX_REQUIRE(p >= 0 && p < size(), "node ", p, " out of range");
+  return children_[static_cast<std::size_t>(p)];
+}
+
+NodeId Tree::neighbor(NodeId p, int c) const {
+  KLEX_REQUIRE(p >= 0 && p < size(), "node ", p, " out of range");
+  KLEX_REQUIRE(c >= 0 && c < degree(p), "channel ", c, " out of range at ", p);
+  return neighbors_[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)];
+}
+
+int Tree::reverse_channel(NodeId p, int c) const {
+  KLEX_REQUIRE(p >= 0 && p < size(), "node ", p, " out of range");
+  KLEX_REQUIRE(c >= 0 && c < degree(p), "channel ", c, " out of range at ", p);
+  return reverse_[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)];
+}
+
+int Tree::channel_to(NodeId p, NodeId q) const {
+  KLEX_REQUIRE(p >= 0 && p < size(), "node ", p, " out of range");
+  const auto& nb = neighbors_[static_cast<std::size_t>(p)];
+  auto it = std::find(nb.begin(), nb.end(), q);
+  KLEX_REQUIRE(it != nb.end(), "nodes ", p, " and ", q, " are not adjacent");
+  return static_cast<int>(it - nb.begin());
+}
+
+int Tree::depth(NodeId p) const {
+  KLEX_REQUIRE(p >= 0 && p < size(), "node ", p, " out of range");
+  return depth_[static_cast<std::size_t>(p)];
+}
+
+int Tree::leaf_count() const {
+  int leaves = 0;
+  for (NodeId v = 0; v < size(); ++v) {
+    if (is_leaf(v)) ++leaves;
+  }
+  return leaves;
+}
+
+int Tree::height() const {
+  int h = 0;
+  for (NodeId v = 0; v < size(); ++v) h = std::max(h, depth(v));
+  return h;
+}
+
+std::vector<NodeId> Tree::dfs_preorder() const {
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(size()));
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  stack.emplace_back(kRoot, 0);
+  order.push_back(kRoot);
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    const auto& kids = children(node);
+    if (next_child == kids.size()) {
+      stack.pop_back();
+      continue;
+    }
+    NodeId child = kids[next_child++];
+    order.push_back(child);
+    stack.emplace_back(child, 0);
+  }
+  return order;
+}
+
+std::string Tree::to_dot() const {
+  std::ostringstream out;
+  out << "digraph tree {\n  rankdir=TB;\n";
+  out << "  0 [label=\"r\", shape=doublecircle];\n";
+  for (NodeId v = 1; v < size(); ++v) {
+    out << "  " << v << " [shape=circle];\n";
+  }
+  for (NodeId p = 0; p < size(); ++p) {
+    for (NodeId c : children(p)) {
+      out << "  " << p << " -> " << c << " [label=\"" << channel_to(p, c)
+          << "/" << channel_to(c, p) << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+Tree line(int n) {
+  KLEX_REQUIRE(n >= 1, "line needs n >= 1");
+  std::vector<NodeId> parents(static_cast<std::size_t>(n));
+  parents[0] = kNoParent;
+  for (NodeId v = 1; v < n; ++v) parents[static_cast<std::size_t>(v)] = v - 1;
+  return Tree::from_parents(std::move(parents));
+}
+
+Tree star(int n) {
+  KLEX_REQUIRE(n >= 1, "star needs n >= 1");
+  std::vector<NodeId> parents(static_cast<std::size_t>(n));
+  parents[0] = kNoParent;
+  for (NodeId v = 1; v < n; ++v) parents[static_cast<std::size_t>(v)] = kRoot;
+  return Tree::from_parents(std::move(parents));
+}
+
+Tree balanced(int arity, int height) {
+  KLEX_REQUIRE(arity >= 1, "balanced needs arity >= 1");
+  KLEX_REQUIRE(height >= 0, "balanced needs height >= 0");
+  std::vector<NodeId> parents{kNoParent};
+  std::vector<NodeId> level{kRoot};
+  for (int d = 0; d < height; ++d) {
+    std::vector<NodeId> next;
+    for (NodeId p : level) {
+      for (int i = 0; i < arity; ++i) {
+        NodeId v = static_cast<NodeId>(parents.size());
+        parents.push_back(p);
+        next.push_back(v);
+      }
+    }
+    level = std::move(next);
+  }
+  return Tree::from_parents(std::move(parents));
+}
+
+Tree caterpillar(int spine_len, int legs) {
+  KLEX_REQUIRE(spine_len >= 1, "caterpillar needs spine_len >= 1");
+  KLEX_REQUIRE(legs >= 0, "caterpillar needs legs >= 0");
+  std::vector<NodeId> parents{kNoParent};
+  NodeId prev_spine = kRoot;
+  for (int s = 1; s < spine_len; ++s) {
+    NodeId v = static_cast<NodeId>(parents.size());
+    parents.push_back(prev_spine);
+    prev_spine = v;
+  }
+  // Re-walk the spine to attach legs (spine nodes are 0..spine_len-1 in
+  // creation order thanks to the loop above).
+  for (NodeId s = 0; s < spine_len; ++s) {
+    for (int j = 0; j < legs; ++j) {
+      parents.push_back(s);
+    }
+  }
+  return Tree::from_parents(std::move(parents));
+}
+
+Tree random_tree(int n, support::Rng& rng) {
+  KLEX_REQUIRE(n >= 1, "random_tree needs n >= 1");
+  std::vector<NodeId> parents(static_cast<std::size_t>(n));
+  parents[0] = kNoParent;
+  for (NodeId v = 1; v < n; ++v) {
+    parents[static_cast<std::size_t>(v)] =
+        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v)));
+  }
+  return Tree::from_parents(std::move(parents));
+}
+
+Tree random_tree_bounded_degree(int n, int max_degree, support::Rng& rng) {
+  KLEX_REQUIRE(n >= 1, "random_tree_bounded_degree needs n >= 1");
+  KLEX_REQUIRE(max_degree >= 2, "max_degree must be >= 2");
+  std::vector<NodeId> parents(static_cast<std::size_t>(n));
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  parents[0] = kNoParent;
+  std::vector<NodeId> eligible{kRoot};
+  for (NodeId v = 1; v < n; ++v) {
+    KLEX_CHECK(!eligible.empty(), "no eligible parent left");
+    std::size_t idx = rng.pick_index(eligible.size());
+    NodeId p = eligible[idx];
+    parents[static_cast<std::size_t>(v)] = p;
+    ++degree[static_cast<std::size_t>(p)];
+    ++degree[static_cast<std::size_t>(v)];  // v's channel to its parent
+    // A node whose degree hit the bound can no longer take children.
+    if (degree[static_cast<std::size_t>(p)] >= max_degree) {
+      eligible[idx] = eligible.back();
+      eligible.pop_back();
+    }
+    if (degree[static_cast<std::size_t>(v)] < max_degree) {
+      eligible.push_back(v);
+    }
+  }
+  return Tree::from_parents(std::move(parents));
+}
+
+Tree figure1_tree() {
+  // r=0, a=1, b=2, c=3, d=4, e=5, f=6, g=7.
+  return Tree::from_parents({kNoParent, 0, 1, 1, 0, 4, 4, 4});
+}
+
+Tree figure3_tree() {
+  return Tree::from_parents({kNoParent, 0, 0});
+}
+
+}  // namespace klex::tree

@@ -1,0 +1,121 @@
+// Oriented tree topology (the paper's network model, Section 2).
+//
+// An oriented tree has a distinguished root process r; every non-root
+// process knows which neighbor is its parent. Channels incident to a
+// process p are locally labeled 0..Δp−1, and -- as the paper's figures
+// assume -- every non-root process labels the channel to its parent 0.
+// Children channels follow in ascending child-id order, which fixes the
+// DFS order the tokens traverse (Figure 1).
+//
+// Tree is an immutable value type; all protocol layers consume it by
+// const reference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace klex::tree {
+
+using NodeId = std::int32_t;
+
+inline constexpr NodeId kRoot = 0;
+inline constexpr NodeId kNoParent = -1;
+
+class Tree {
+ public:
+  /// Builds a tree from a parent vector: parents[0] must be kNoParent,
+  /// parents[v] < v is NOT required, but the graph must be a tree rooted
+  /// at node 0. Throws std::invalid_argument on malformed input.
+  static Tree from_parents(std::vector<NodeId> parents);
+
+  /// Number of processes n (>= 1).
+  int size() const { return static_cast<int>(parents_.size()); }
+
+  /// Degree Δp = number of incident channels of `p`.
+  int degree(NodeId p) const;
+
+  /// Parent of `p`, or kNoParent for the root.
+  NodeId parent(NodeId p) const;
+
+  /// Children of `p` in channel order.
+  const std::vector<NodeId>& children(NodeId p) const;
+
+  /// Neighbor of `p` reached through channel `c` (0 <= c < degree(p)).
+  NodeId neighbor(NodeId p, int c) const;
+
+  /// Channel label at `neighbor(p, c)` of the reverse channel back to `p`.
+  int reverse_channel(NodeId p, int c) const;
+
+  /// Channel label at `p` leading to neighbor `q`; q must be adjacent.
+  int channel_to(NodeId p, NodeId q) const;
+
+  /// Depth of `p` (root has depth 0).
+  int depth(NodeId p) const;
+
+  /// Number of leaves.
+  int leaf_count() const;
+
+  /// Height of the tree (max depth).
+  int height() const;
+
+  bool is_leaf(NodeId p) const { return children(p).empty(); }
+
+  /// Nodes in DFS preorder following channel order (the token visit order).
+  std::vector<NodeId> dfs_preorder() const;
+
+  /// Graphviz DOT rendering with channel labels, for documentation.
+  std::string to_dot() const;
+
+  friend bool operator==(const Tree& a, const Tree& b) {
+    return a.parents_ == b.parents_;
+  }
+
+ private:
+  Tree() = default;
+
+  std::vector<NodeId> parents_;
+  std::vector<std::vector<NodeId>> children_;
+  // neighbors_[p][c] = neighbor through channel c;
+  // reverse_[p][c] = channel at that neighbor pointing back to p.
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<std::vector<int>> reverse_;
+  std::vector<int> depth_;
+};
+
+// ---------------------------------------------------------------------------
+// Generators. All return trees rooted at node 0.
+// ---------------------------------------------------------------------------
+
+/// Path r - 1 - 2 - ... - (n-1); the worst-case diameter shape.
+Tree line(int n);
+
+/// Root with n-1 leaf children; the best-case diameter shape.
+Tree star(int n);
+
+/// Complete `arity`-ary tree of the given height (height 0 = single node,
+/// but n >= 2 is required by the protocol, so height >= 1 in practice).
+Tree balanced(int arity, int height);
+
+/// Spine of `spine_len` nodes, each spine node with `legs` leaf children.
+Tree caterpillar(int spine_len, int legs);
+
+/// Uniformly random recursive tree on n nodes: node v attaches to a
+/// uniformly random earlier node.
+Tree random_tree(int n, support::Rng& rng);
+
+/// Random tree with maximum degree bound (>= 2).
+Tree random_tree_bounded_degree(int n, int max_degree, support::Rng& rng);
+
+/// The 8-node example of the paper's Figures 1, 2 and 4:
+/// r(0) has children a(1) and d(4); a has children b(2), c(3);
+/// d has children e(5), f(6), g(7). Euler tour:
+/// r a b a c a r d e d f d g d (r).
+Tree figure1_tree();
+
+/// The 3-node example of the paper's Figure 3: r(0) with children a(1), b(2).
+Tree figure3_tree();
+
+}  // namespace klex::tree

@@ -1,0 +1,96 @@
+#include "tree/virtual_ring.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace klex::tree {
+
+VirtualRing::VirtualRing(const Tree& tree) {
+  KLEX_REQUIRE(tree.size() >= 2, "virtual ring needs n >= 2");
+  int n = tree.size();
+  send_index_.assign(static_cast<std::size_t>(n), {});
+  for (NodeId v = 0; v < n; ++v) {
+    send_index_[static_cast<std::size_t>(v)].assign(
+        static_cast<std::size_t>(tree.degree(v)), -1);
+  }
+
+  NodeId current = kRoot;
+  int out_channel = 0;
+  do {
+    RingHop hop;
+    hop.from = current;
+    hop.out_channel = out_channel;
+    hop.to = tree.neighbor(current, out_channel);
+    hop.in_channel = tree.reverse_channel(current, out_channel);
+    KLEX_CHECK(send_index_[static_cast<std::size_t>(current)]
+                          [static_cast<std::size_t>(out_channel)] == -1,
+               "Euler tour revisited a directed edge; tree is malformed");
+    send_index_[static_cast<std::size_t>(current)]
+               [static_cast<std::size_t>(out_channel)] =
+        static_cast<int>(hops_.size());
+    hops_.push_back(hop);
+    current = hop.to;
+    out_channel = (hop.in_channel + 1) % tree.degree(current);
+  } while (!(current == kRoot && out_channel == 0));
+
+  KLEX_CHECK(length() == 2 * (n - 1),
+             "Euler tour length ", length(), " != 2(n-1) = ", 2 * (n - 1));
+}
+
+const RingHop& VirtualRing::hop_after(NodeId node, int in_channel) const {
+  // The forwarding rule: arrived on in_channel => departs on
+  // (in_channel + 1) mod degree.
+  const auto& sends = send_index_[static_cast<std::size_t>(node)];
+  int out = (in_channel + 1) % static_cast<int>(sends.size());
+  int idx = sends[static_cast<std::size_t>(out)];
+  KLEX_CHECK(idx >= 0, "no hop recorded for node ", node, " channel ", out);
+  return hops_[static_cast<std::size_t>(idx)];
+}
+
+std::vector<NodeId> VirtualRing::visit_sequence() const {
+  std::vector<NodeId> seq;
+  seq.reserve(hops_.size() + 1);
+  seq.push_back(kRoot);
+  for (const RingHop& hop : hops_) seq.push_back(hop.to);
+  // The tour closes at the root; drop the final repeat of the root so the
+  // sequence length equals the number of process appearances, 2(n−1).
+  seq.pop_back();
+  return seq;
+}
+
+int VirtualRing::appearances(NodeId node) const {
+  int count = 0;
+  for (NodeId v : visit_sequence()) {
+    if (v == node) ++count;
+  }
+  return count;
+}
+
+int VirtualRing::position_of_send(NodeId node, int out_channel) const {
+  const auto& sends = send_index_[static_cast<std::size_t>(node)];
+  KLEX_REQUIRE(out_channel >= 0 &&
+                   out_channel < static_cast<int>(sends.size()),
+               "channel out of range");
+  return sends[static_cast<std::size_t>(out_channel)];
+}
+
+int VirtualRing::forward_distance(int pos_a, int pos_b) const {
+  int len = length();
+  KLEX_REQUIRE(pos_a >= 0 && pos_a < len, "pos_a out of range");
+  KLEX_REQUIRE(pos_b >= 0 && pos_b < len, "pos_b out of range");
+  return (pos_b - pos_a + len) % len;
+}
+
+std::string VirtualRing::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  for (NodeId v : visit_sequence()) {
+    if (!first) out << " ";
+    first = false;
+    out << v;
+  }
+  return out.str();
+}
+
+}  // namespace klex::tree

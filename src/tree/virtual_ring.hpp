@@ -1,0 +1,72 @@
+// The virtual ring induced by DFS token circulation (paper Figure 4).
+//
+// Tokens obey one forwarding rule: a token received on channel i is
+// retransmitted on channel (i+1) mod Δp. Starting from the root's channel
+// 0, this rule walks the Euler tour of the tree: every tree edge is
+// traversed exactly once in each direction, so the ring has 2(n−1) hops
+// and a process of degree d appears d times.
+//
+// VirtualRing materializes that tour so tests and benchmarks can check
+// that simulated tokens follow it, and so the waiting-time analysis
+// (Theorem 2) can be evaluated against the ring length.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace klex::tree {
+
+/// One hop of the virtual ring: process `from` sends on its channel
+/// `out_channel`, and the token arrives at `to` on channel `in_channel`.
+struct RingHop {
+  NodeId from = 0;
+  int out_channel = 0;
+  NodeId to = 0;
+  int in_channel = 0;
+
+  friend bool operator==(const RingHop&, const RingHop&) = default;
+};
+
+class VirtualRing {
+ public:
+  /// Computes the tour for a tree with n >= 2 nodes (a single node has no
+  /// channels and hence no ring).
+  explicit VirtualRing(const Tree& tree);
+
+  /// Number of hops, always 2(n−1).
+  int length() const { return static_cast<int>(hops_.size()); }
+
+  const std::vector<RingHop>& hops() const { return hops_; }
+
+  /// The hop performed by `node` when it forwards a token that arrived on
+  /// `in_channel` (for the root, the "arrival" on channel Δr−1 wraps to a
+  /// send on channel 0).
+  const RingHop& hop_after(NodeId node, int in_channel) const;
+
+  /// Sequence of processes visited, starting at the root (the node column
+  /// of `hops().to`, prefixed with the root). A node of degree d appears d
+  /// times; total visits = 2(n−1).
+  std::vector<NodeId> visit_sequence() const;
+
+  /// Number of appearances of `node` on the ring (= its degree).
+  int appearances(NodeId node) const;
+
+  /// Position (0-based hop index) at which the hop leaving `node` via
+  /// `out_channel` occurs; used to compute ring distances.
+  int position_of_send(NodeId node, int out_channel) const;
+
+  /// Hop distance from send position a to send position b going forward.
+  int forward_distance(int pos_a, int pos_b) const;
+
+  /// Human-readable tour, e.g. "r a b a c a r d e d f d g d" with node ids.
+  std::string to_string() const;
+
+ private:
+  std::vector<RingHop> hops_;
+  // send_index_[node][out_channel] = hop index.
+  std::vector<std::vector<int>> send_index_;
+};
+
+}  // namespace klex::tree

@@ -1,0 +1,37 @@
+#include "verify/conservation.hpp"
+
+#include "support/check.hpp"
+
+namespace klex::verify {
+
+ConservationChecker::ConservationChecker(
+    int l, std::function<proto::TokenCensus()> census_fn)
+    : l_(l), census_fn_(std::move(census_fn)) {
+  KLEX_REQUIRE(l_ >= 1, "bad l");
+  KLEX_REQUIRE(census_fn_ != nullptr, "census function required");
+}
+
+void ConservationChecker::arm() { armed_ = true; }
+
+void ConservationChecker::disarm() { armed_ = false; }
+
+void ConservationChecker::on_deliver(sim::SimTime at, sim::NodeId /*to*/,
+                                     int /*channel*/,
+                                     const sim::Message& /*msg*/) {
+  if (!armed_ || checking_) return;
+  checking_ = true;
+  proto::TokenCensus census = census_fn_();
+  ++events_checked_;
+  if (!census.correct(l_)) {
+    if (deviations_.size() < 256) {
+      deviations_.push_back(Deviation{at, census.resource(), census.pusher,
+                                      census.priority()});
+    } else {
+      // Keep only the first window of deviations; existence is what
+      // matters for the tests.
+    }
+  }
+  checking_ = false;
+}
+
+}  // namespace klex::verify

@@ -1,0 +1,25 @@
+#include "verify/convergence.hpp"
+
+#include "support/check.hpp"
+
+namespace klex::verify {
+
+ConvergenceTracker::ConvergenceTracker(int l) : l_(l) {
+  KLEX_REQUIRE(l >= 1, "bad l");
+}
+
+void ConvergenceTracker::poll(const proto::TokenCensus& census,
+                              sim::SimTime now) {
+  ++polls_;
+  bool correct = census.correct(l_);
+  currently_correct_ = correct;
+  if (!correct) {
+    ++incorrect_polls_;
+    last_incorrect_ = now;
+    convergence_time_ = sim::kTimeInfinity;
+  } else if (convergence_time_ == sim::kTimeInfinity) {
+    convergence_time_ = now;
+  }
+}
+
+}  // namespace klex::verify

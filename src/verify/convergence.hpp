@@ -1,0 +1,55 @@
+// Convergence tracking for Theorem 1 experiments.
+//
+// Self-stabilization is a property about suffixes: from any initial
+// configuration the execution must reach a point after which the
+// specification holds forever. Finite experiments approximate "forever"
+// by a long horizon: ConvergenceTracker polls the global token census and
+// records the LAST time it was wrong; if the census was correct for the
+// whole remaining horizon, the convergence time is the first poll after
+// that last-wrong point. Combined with SafetyMonitor::last_violation_time
+// this gives the "stabilization clock" reported by bench_thm1_convergence.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/census.hpp"
+#include "sim/time.hpp"
+
+namespace klex::verify {
+
+class ConvergenceTracker {
+ public:
+  explicit ConvergenceTracker(int l);
+
+  /// Feed one census observation at simulated time `now` (non-decreasing).
+  void poll(const proto::TokenCensus& census, sim::SimTime now);
+
+  std::uint64_t polls() const { return polls_; }
+  std::uint64_t incorrect_polls() const { return incorrect_polls_; }
+
+  /// Whether the most recent poll saw a correct census.
+  bool currently_correct() const { return currently_correct_; }
+
+  /// Time of the last incorrect poll (0 if every poll was correct).
+  sim::SimTime last_incorrect_time() const { return last_incorrect_; }
+
+  /// Time of the first correct poll after the last incorrect one;
+  /// kTimeInfinity when the census has never been observed correct.
+  sim::SimTime convergence_time() const { return convergence_time_; }
+
+  /// True when at least one poll was correct and no incorrect poll
+  /// followed it.
+  bool converged() const {
+    return convergence_time_ != sim::kTimeInfinity;
+  }
+
+ private:
+  int l_;
+  std::uint64_t polls_ = 0;
+  std::uint64_t incorrect_polls_ = 0;
+  bool currently_correct_ = false;
+  sim::SimTime last_incorrect_ = 0;
+  sim::SimTime convergence_time_ = sim::kTimeInfinity;
+};
+
+}  // namespace klex::verify

@@ -1,0 +1,64 @@
+#include "verify/fairness_monitor.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace klex::verify {
+
+FairnessMonitor::FairnessMonitor(int n) {
+  KLEX_REQUIRE(n >= 1, "bad n");
+  outstanding_since_.assign(static_cast<std::size_t>(n), kNone);
+}
+
+void FairnessMonitor::on_request(proto::NodeId node, int /*need*/,
+                                 sim::SimTime at) {
+  std::size_t index = static_cast<std::size_t>(node);
+  KLEX_CHECK(index < outstanding_since_.size(), "unknown node ", node);
+  outstanding_since_[index] = at;
+  ++requests_;
+}
+
+void FairnessMonitor::on_enter_cs(proto::NodeId node, int /*need*/,
+                                  sim::SimTime at) {
+  std::size_t index = static_cast<std::size_t>(node);
+  KLEX_CHECK(index < outstanding_since_.size(), "unknown node ", node);
+  if (outstanding_since_[index] != kNone) {
+    latency_.add(static_cast<double>(at - outstanding_since_[index]));
+    outstanding_since_[index] = kNone;
+    ++grants_;
+  }
+  // Entries without a recorded request (corruption-induced) are ignored.
+}
+
+sim::SimTime FairnessMonitor::oldest_outstanding_age(sim::SimTime now) const {
+  sim::SimTime oldest = 0;
+  for (sim::SimTime since : outstanding_since_) {
+    if (since != kNone && now >= since) {
+      oldest = std::max(oldest, now - since);
+    }
+  }
+  return oldest;
+}
+
+proto::NodeId FairnessMonitor::most_starved_node() const {
+  proto::NodeId node = -1;
+  sim::SimTime earliest = kNone;
+  for (std::size_t i = 0; i < outstanding_since_.size(); ++i) {
+    if (outstanding_since_[i] != kNone && outstanding_since_[i] < earliest) {
+      earliest = outstanding_since_[i];
+      node = static_cast<proto::NodeId>(i);
+    }
+  }
+  return node;
+}
+
+int FairnessMonitor::outstanding_count() const {
+  int count = 0;
+  for (sim::SimTime since : outstanding_since_) {
+    if (since != kNone) ++count;
+  }
+  return count;
+}
+
+}  // namespace klex::verify

@@ -1,0 +1,50 @@
+// Fairness / starvation monitoring.
+//
+// The paper's fairness property: "if a process requests at most k
+// resource units, then its request is eventually satisfied." A finite
+// experiment checks the contrapositive signal: a request outstanding for
+// an entire (long) horizon while other processes keep entering the CS is
+// starvation -- exactly what the Figure 3 livelock bench demonstrates for
+// the pusher-only rung, and what must NOT happen for the priority rung.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/app.hpp"
+#include "sim/time.hpp"
+#include "support/histogram.hpp"
+
+namespace klex::verify {
+
+class FairnessMonitor : public proto::Listener {
+ public:
+  explicit FairnessMonitor(int n);
+
+  void on_request(proto::NodeId node, int need, sim::SimTime at) override;
+  void on_enter_cs(proto::NodeId node, int need, sim::SimTime at) override;
+
+  /// Age of the oldest outstanding request at time `now` (0 when none).
+  sim::SimTime oldest_outstanding_age(sim::SimTime now) const;
+
+  /// Node with the oldest outstanding request, or -1.
+  proto::NodeId most_starved_node() const;
+
+  int outstanding_count() const;
+
+  /// Grant latencies (simulated time from request to CS entry).
+  const support::Histogram& grant_latency() const { return latency_; }
+
+  std::int64_t grants() const { return grants_; }
+  std::int64_t requests() const { return requests_; }
+
+ private:
+  static constexpr sim::SimTime kNone = sim::kTimeInfinity;
+
+  std::vector<sim::SimTime> outstanding_since_;
+  support::Histogram latency_;
+  std::int64_t grants_ = 0;
+  std::int64_t requests_ = 0;
+};
+
+}  // namespace klex::verify

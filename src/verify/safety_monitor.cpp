@@ -1,0 +1,69 @@
+#include "verify/safety_monitor.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace klex::verify {
+
+SafetyMonitor::SafetyMonitor(int n, int k, int l) : k_(k), l_(l) {
+  KLEX_REQUIRE(n >= 1, "bad n");
+  KLEX_REQUIRE(k >= 1 && k <= l, "need 1 <= k <= l");
+  usage_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void SafetyMonitor::record(sim::SimTime at, std::string what) {
+  last_violation_ = at;
+  // Cap stored violations: convergence runs can violate safety freely
+  // before stabilizing, and we only need existence + last time.
+  if (violations_.size() < 1024) {
+    violations_.push_back(Violation{at, std::move(what)});
+  }
+}
+
+void SafetyMonitor::on_enter_cs(proto::NodeId node, int need,
+                                sim::SimTime at) {
+  std::size_t index = static_cast<std::size_t>(node);
+  KLEX_CHECK(index < usage_.size(), "unknown node ", node);
+  ++total_entries_;
+  if (usage_[index] != 0) {
+    std::ostringstream what;
+    what << "node " << node << " entered CS while already in CS";
+    record(at, what.str());
+    units_in_use_ -= usage_[index];  // replace, do not double-count
+  }
+  usage_[index] = need;
+  units_in_use_ += need;
+  if (need > k_) {
+    std::ostringstream what;
+    what << "node " << node << " uses " << need << " > k = " << k_;
+    record(at, what.str());
+  }
+  if (units_in_use_ > l_) {
+    std::ostringstream what;
+    what << "total units in use " << units_in_use_ << " > l = " << l_;
+    record(at, what.str());
+  }
+}
+
+void SafetyMonitor::on_exit_cs(proto::NodeId node, sim::SimTime /*at*/) {
+  std::size_t index = static_cast<std::size_t>(node);
+  KLEX_CHECK(index < usage_.size(), "unknown node ", node);
+  units_in_use_ -= usage_[index];
+  usage_[index] = 0;
+}
+
+void SafetyMonitor::forget() {
+  for (int& units : usage_) units = 0;
+  units_in_use_ = 0;
+}
+
+int SafetyMonitor::in_cs_count() const {
+  int count = 0;
+  for (int units : usage_) {
+    if (units > 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace klex::verify

@@ -1,0 +1,67 @@
+// Safety monitor: checks the paper's safety property online.
+//
+//   "At any given time, each resource unit is used by at most one process,
+//    each process uses at most k resource units, and at most ℓ resource
+//    units are used."
+//
+// In the token model, unit-exclusivity is structural (a token is a
+// message or an RSet entry, never both); what can be violated -- before
+// stabilization -- are the aggregate bounds: more than ℓ units in use, or
+// one process using more than k. The monitor tracks CS entries/exits as a
+// protocol Listener and records every violation with its time, so
+// convergence experiments can report the last-violation clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proto/app.hpp"
+
+namespace klex::verify {
+
+class SafetyMonitor : public proto::Listener {
+ public:
+  SafetyMonitor(int n, int k, int l);
+
+  void on_enter_cs(proto::NodeId node, int need, sim::SimTime at) override;
+  void on_exit_cs(proto::NodeId node, sim::SimTime at) override;
+
+  struct Violation {
+    sim::SimTime at = 0;
+    std::string what;
+  };
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool any_violation() const { return !violations_.empty(); }
+
+  /// Time of the most recent violation (0 when none occurred).
+  sim::SimTime last_violation_time() const { return last_violation_; }
+
+  /// Drops the current holdings bookkeeping (but keeps the violation
+  /// history). Call after injecting a transient fault: corruption
+  /// invalidates who-holds-what, and carrying pre-fault holdings across
+  /// the fault would report phantom violations.
+  void forget();
+
+  /// Number of processes currently inside their critical section.
+  int in_cs_count() const;
+
+  /// Total resource units currently in use.
+  int units_in_use() const { return units_in_use_; }
+
+  std::int64_t total_entries() const { return total_entries_; }
+
+ private:
+  void record(sim::SimTime at, std::string what);
+
+  int k_;
+  int l_;
+  std::vector<int> usage_;  // units held per node (0 when not in CS)
+  int units_in_use_ = 0;
+  std::int64_t total_entries_ = 0;
+  std::vector<Violation> violations_;
+  sim::SimTime last_violation_ = 0;
+};
+
+}  // namespace klex::verify

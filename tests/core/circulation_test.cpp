@@ -1,0 +1,137 @@
+// Figure 1: depth-first token circulation on oriented trees.
+//
+// A single resource token with no requesters must visit processes in
+// exactly the Euler-tour order of the virtual ring (Figure 4), forever.
+#include <gtest/gtest.h>
+
+#include "api/system.hpp"
+#include "proto/trace.hpp"
+#include "tree/virtual_ring.hpp"
+
+namespace klex {
+namespace {
+
+std::vector<proto::NodeId> expected_deliveries(const tree::Tree& t,
+                                               std::size_t count) {
+  tree::VirtualRing ring(t);
+  std::vector<proto::NodeId> expected;
+  expected.reserve(count);
+  std::size_t i = 0;
+  while (expected.size() < count) {
+    expected.push_back(
+        ring.hops()[i % static_cast<std::size_t>(ring.length())].to);
+    ++i;
+  }
+  return expected;
+}
+
+void check_dfs_circulation(const tree::Tree& t) {
+  SystemConfig config;
+  config.tree = t;
+  config.k = 1;
+  config.l = 1;
+  config.features = proto::Features::naive();  // just the token, no noise
+  config.seed = 17;
+  System system(config);
+
+  proto::TokenTrace trace(proto::TokenType::kResource);
+  system.add_observer(&trace);
+  system.run_until(200'000);
+
+  // Expect several full circulations.
+  ASSERT_GE(trace.visits().size(),
+            static_cast<std::size_t>(3 * 2 * (t.size() - 1)));
+  std::vector<proto::NodeId> expected =
+      expected_deliveries(t, trace.visits().size());
+  EXPECT_EQ(trace.node_sequence(), expected);
+}
+
+TEST(Circulation, Figure1TreeFollowsEulerTour) {
+  check_dfs_circulation(tree::figure1_tree());
+}
+
+TEST(Circulation, LineFollowsEulerTour) {
+  check_dfs_circulation(tree::line(6));
+}
+
+TEST(Circulation, StarFollowsEulerTour) {
+  check_dfs_circulation(tree::star(7));
+}
+
+TEST(Circulation, BalancedTreeFollowsEulerTour) {
+  check_dfs_circulation(tree::balanced(2, 3));
+}
+
+TEST(Circulation, RandomTreeFollowsEulerTour) {
+  support::Rng rng(23);
+  for (int trial = 0; trial < 3; ++trial) {
+    check_dfs_circulation(tree::random_tree(12, rng));
+  }
+}
+
+TEST(Circulation, MultipleTokensEachFollowTheRing) {
+  // With l > 1 tokens and no requesters, deliveries interleave, but each
+  // node still only ever receives tokens on ring channels, and the count
+  // per node is proportional to its degree.
+  SystemConfig config;
+  config.tree = tree::figure1_tree();
+  config.k = 1;
+  config.l = 4;
+  config.features = proto::Features::naive();
+  config.seed = 29;
+  System system(config);
+
+  proto::TokenTrace trace(proto::TokenType::kResource);
+  system.add_observer(&trace);
+  system.run_until(100'000);
+
+  tree::VirtualRing ring(config.tree);
+  std::vector<std::int64_t> visits(static_cast<std::size_t>(config.tree.size()), 0);
+  for (const auto& visit : trace.visits()) {
+    ++visits[static_cast<std::size_t>(visit.node)];
+  }
+  // Visit frequency proportional to ring appearances (= degree).
+  double per_appearance =
+      static_cast<double>(trace.visits().size()) / ring.length();
+  for (proto::NodeId v = 0; v < config.tree.size(); ++v) {
+    double expected = per_appearance * ring.appearances(v);
+    EXPECT_NEAR(static_cast<double>(visits[static_cast<std::size_t>(v)]),
+                expected, expected * 0.25 + 4)
+        << "node " << v;
+  }
+}
+
+TEST(Circulation, ReservedTokenResumesItsPath) {
+  // A token reserved at a requester must -- after release -- continue
+  // around the ring from where it stopped (RSet remembers the arrival
+  // channel).
+  SystemConfig config;
+  config.tree = tree::figure1_tree();
+  config.k = 1;
+  config.l = 1;
+  config.features = proto::Features::naive();
+  config.seed = 31;
+  System system(config);
+
+  proto::TokenTrace trace(proto::TokenType::kResource);
+  system.add_observer(&trace);
+
+  // Node 4 (d) grabs the token on its first pass, holds through a CS, and
+  // releases.
+  system.request(4, 1);
+  system.run_until(50'000);
+  ASSERT_EQ(system.state_of(4), proto::AppState::kIn);
+  std::size_t visits_before = trace.visits().size();
+  system.release(4);
+  system.run_until(150'000);
+  ASSERT_GT(trace.visits().size(), visits_before);
+
+  // The entire delivery sequence (including the pause) must still be the
+  // Euler tour order.
+  std::vector<proto::NodeId> expected =
+      expected_deliveries(config.tree, trace.visits().size());
+  EXPECT_EQ(trace.node_sequence(), expected);
+}
+
+}  // namespace
+}  // namespace klex

@@ -1,0 +1,205 @@
+// Controller behavior (the self-stabilization machinery): bootstrap
+// minting, census correctness, surplus reset, deficit top-up, timeout
+// recovery, and counter wrap-around.
+#include <gtest/gtest.h>
+
+#include "api/system.hpp"
+#include "proto/messages.hpp"
+
+namespace klex {
+namespace {
+
+/// Listener recording circulation summaries and mint events.
+class ControllerLog : public proto::Listener {
+ public:
+  struct Circulation {
+    int resource;
+    int pusher;
+    int priority;
+    bool reset;
+  };
+
+  void on_circulation_end(int resource, int pusher, int priority,
+                          bool reset, sim::SimTime) override {
+    circulations.push_back({resource, pusher, priority, reset});
+    if (reset) ++resets;
+  }
+
+  void on_tokens_minted(std::int32_t type, int count, sim::SimTime) override {
+    if (type == static_cast<std::int32_t>(proto::TokenType::kResource)) {
+      resources_minted += count;
+    }
+    ++mint_events;
+  }
+
+  std::vector<Circulation> circulations;
+  int resets = 0;
+  int resources_minted = 0;
+  int mint_events = 0;
+};
+
+SystemConfig base_config(int l = 4, int k = 2) {
+  SystemConfig config;
+  config.tree = tree::figure1_tree();
+  config.k = k;
+  config.l = l;
+  config.seed = 71;
+  return config;
+}
+
+TEST(Controller, BootstrapMintsExactPopulation) {
+  SystemConfig config = base_config();
+  System system(config);
+  ControllerLog log;
+  system.add_listener(&log);
+
+  sim::SimTime t = system.run_until_stabilized(2'000'000);
+  ASSERT_NE(t, sim::kTimeInfinity);
+  proto::TokenCensus census = system.census();
+  EXPECT_EQ(census.resource(), 4);
+  EXPECT_EQ(census.pusher, 1);
+  EXPECT_EQ(census.priority(), 1);
+  EXPECT_GE(log.mint_events, 1);
+  EXPECT_GE(log.resources_minted, 4);
+}
+
+TEST(Controller, CensusStaysCorrectOverManyCirculations) {
+  System system(base_config());
+  ControllerLog log;
+  system.add_listener(&log);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+
+  std::size_t circulations_at_stabilization = log.circulations.size();
+  system.run_until(system.engine().now() + 2'000'000);
+  ASSERT_GT(log.circulations.size(), circulations_at_stabilization + 10);
+
+  // Every post-stabilization circulation must census exactly l/1/1 and
+  // never decide a reset.
+  for (std::size_t i = circulations_at_stabilization + 1;
+       i < log.circulations.size(); ++i) {
+    EXPECT_EQ(log.circulations[i].resource, 4) << "circulation " << i;
+    EXPECT_EQ(log.circulations[i].pusher, 1) << "circulation " << i;
+    EXPECT_EQ(log.circulations[i].priority, 1) << "circulation " << i;
+    EXPECT_FALSE(log.circulations[i].reset) << "circulation " << i;
+  }
+}
+
+TEST(Controller, SurplusTriggersResetAndRecovers) {
+  System system(base_config());
+  ControllerLog log;
+  system.add_listener(&log);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+
+  // Duplicate resource tokens appear (e.g. after a transient fault).
+  for (int i = 0; i < 3; ++i) {
+    system.engine().inject_message(0, 0, proto::make_resource());
+  }
+  EXPECT_FALSE(system.token_counts_correct());
+
+  int resets_before = log.resets;
+  ASSERT_NE(system.run_until_stabilized(system.engine().now() + 4'000'000),
+            sim::kTimeInfinity);
+  EXPECT_GT(log.resets, resets_before) << "surplus must force a reset";
+  EXPECT_TRUE(system.token_counts_correct());
+}
+
+TEST(Controller, SurplusPusherDetected) {
+  System system(base_config());
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  system.engine().inject_message(0, 0, proto::make_pusher());
+  ASSERT_NE(system.run_until_stabilized(system.engine().now() + 4'000'000),
+            sim::kTimeInfinity);
+  EXPECT_EQ(system.census().pusher, 1);
+}
+
+TEST(Controller, SurplusPriorityDetected) {
+  System system(base_config());
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  system.engine().inject_message(0, 0, proto::make_priority());
+  ASSERT_NE(system.run_until_stabilized(system.engine().now() + 4'000'000),
+            sim::kTimeInfinity);
+  EXPECT_EQ(system.census().priority(), 1);
+}
+
+TEST(Controller, DeficitToppedUpWithoutReset) {
+  System system(base_config());
+  ControllerLog log;
+  system.add_listener(&log);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+
+  // Wipe every in-flight token (controller included): pure deficit.
+  system.engine().clear_channels();
+  EXPECT_FALSE(system.token_counts_correct());
+
+  int resets_before = log.resets;
+  ASSERT_NE(system.run_until_stabilized(system.engine().now() + 4'000'000),
+            sim::kTimeInfinity);
+  // Deficits are repaired by minting, not by resetting. (A reset may still
+  // occur if leftover reserved state makes counts ambiguous, but with no
+  // requesters the recovery must be reset-free.)
+  EXPECT_EQ(log.resets, resets_before);
+  EXPECT_TRUE(system.token_counts_correct());
+}
+
+TEST(Controller, TimeoutRecoversLostController) {
+  // Same as above but the point is the controller itself died with the
+  // channels: only the root's TimeOut() can restart circulation.
+  System system(base_config());
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  system.engine().clear_channels();
+  ASSERT_EQ(system.census().control, 0);
+  ASSERT_NE(system.run_until_stabilized(system.engine().now() + 8'000'000),
+            sim::kTimeInfinity);
+  EXPECT_TRUE(system.token_counts_correct());
+}
+
+TEST(Controller, CounterWrapsWithoutIncident) {
+  // Tiny myC domain: n=2, CMAX=0 gives modulus 2(n−1)(CMAX+1)+1 = 3, so
+  // the counter wraps every 3 circulations. Long runs must stay correct.
+  SystemConfig config;
+  config.tree = tree::line(2);
+  config.k = 1;
+  config.l = 2;
+  config.cmax = 0;
+  config.seed = 73;
+  System system(config);
+  ControllerLog log;
+  system.add_listener(&log);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  system.run_until(system.engine().now() + 3'000'000);
+  EXPECT_GT(log.circulations.size(), 50u);
+  EXPECT_TRUE(system.token_counts_correct());
+}
+
+TEST(Controller, SeededStartSkipsMinting) {
+  // seed_tokens starts the network in a legitimate configuration; the
+  // controller must confirm it without resetting (spurious first-census
+  // effects may top up, but the population must converge to l/1/1).
+  SystemConfig config = base_config();
+  config.seed_tokens = true;
+  System system(config);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  EXPECT_TRUE(system.token_counts_correct());
+}
+
+TEST(Controller, WorksOnTwoNodeTree) {
+  SystemConfig config;
+  config.tree = tree::line(2);
+  config.k = 1;
+  config.l = 1;
+  config.seed = 79;
+  System system(config);
+  ASSERT_NE(system.run_until_stabilized(1'000'000), sim::kTimeInfinity);
+  system.request(1, 1);
+  system.run_until(system.engine().now() + 100'000);
+  EXPECT_EQ(system.state_of(1), proto::AppState::kIn);
+}
+
+TEST(Controller, SingleNodeTreeRejected) {
+  SystemConfig config;
+  config.tree = tree::line(1);
+  EXPECT_THROW(System{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace klex

@@ -1,0 +1,124 @@
+// Figure 2: the naive protocol (resource tokens only) deadlocks when
+// requests oversubscribe the token pool; the pusher rung does not.
+#include <gtest/gtest.h>
+
+#include "api/system.hpp"
+#include "verify/fairness_monitor.hpp"
+
+namespace klex {
+namespace {
+
+/// The paper's Figure 2 scenario: ℓ=5, k=3, and the four requesters
+/// a(3), b(2), c(2), d(2) ask for 9 > 5 units in total.
+SystemConfig figure2_config(proto::Features features, std::uint64_t seed) {
+  SystemConfig config;
+  config.tree = tree::figure1_tree();
+  config.k = 3;
+  config.l = 5;
+  config.features = features;
+  config.seed = seed;
+  return config;
+}
+
+void issue_figure2_requests(System& system) {
+  system.request(1, 3);  // a
+  system.request(2, 2);  // b
+  system.request(3, 2);  // c
+  system.request(4, 2);  // d
+}
+
+TEST(Deadlock, NaiveVariantQuiescesWithStarvedRequesters) {
+  System system(figure2_config(proto::Features::naive(), 41));
+  issue_figure2_requests(system);
+
+  // All tokens end up reserved by unsatisfiable requesters: the network
+  // reaches message quiescence (nothing moves ever again).
+  bool quiescent = system.run_until_message_quiescence(1'000'000);
+  ASSERT_TRUE(quiescent) << "naive run did not quiesce";
+
+  int stuck = 0;
+  int reserved = 0;
+  for (proto::NodeId v = 0; v < system.n(); ++v) {
+    auto snap = system.node(v).snapshot();
+    if (snap.state == proto::AppState::kReq) ++stuck;
+    reserved += snap.rset_size;
+  }
+  EXPECT_GT(stuck, 0) << "someone must be starved";
+  // Every token is reserved somewhere (possibly by processes that entered
+  // their CS and hold units forever since nothing releases them here).
+  EXPECT_EQ(system.census().free_resource, 0);
+  EXPECT_EQ(reserved, 5);
+}
+
+TEST(Deadlock, NaiveDeadlockAcrossSeeds) {
+  // The deadlock is schedule-independent: whatever the interleaving, 9
+  // requested units > 5 tokens with no pusher means the system wedges.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    System system(figure2_config(proto::Features::naive(), seed));
+    issue_figure2_requests(system);
+    ASSERT_TRUE(system.run_until_message_quiescence(1'000'000))
+        << "seed " << seed;
+    int stuck = 0;
+    for (proto::NodeId v = 0; v < system.n(); ++v) {
+      if (system.state_of(v) == proto::AppState::kReq) ++stuck;
+    }
+    EXPECT_GT(stuck, 0) << "seed " << seed;
+  }
+}
+
+TEST(Deadlock, PusherRungServesEveryRequesterEventually) {
+  // Same scenario, pusher enabled, and processes release after their CS:
+  // every request must eventually be granted.
+  System system(figure2_config(proto::Features::with_pusher(), 43));
+  verify::FairnessMonitor fairness(system.n());
+  system.add_listener(&fairness);
+  issue_figure2_requests(system);
+
+  // Closed loop: whenever someone is In, release after a while.
+  std::vector<bool> served(static_cast<std::size_t>(system.n()), false);
+  for (int round = 0; round < 4000; ++round) {
+    system.run_until(system.engine().now() + 200);
+    for (proto::NodeId v = 0; v < system.n(); ++v) {
+      if (system.state_of(v) == proto::AppState::kIn) {
+        served[static_cast<std::size_t>(v)] = true;
+        system.release(v);
+      }
+    }
+    if (served[1] && served[2] && served[3] && served[4]) break;
+  }
+  EXPECT_TRUE(served[1]) << "a (needs 3) starved";
+  EXPECT_TRUE(served[2]) << "b starved";
+  EXPECT_TRUE(served[3]) << "c starved";
+  EXPECT_TRUE(served[4]) << "d starved";
+  EXPECT_EQ(fairness.outstanding_count(), 0);
+}
+
+TEST(Deadlock, PusherKeepsTokensMoving) {
+  // Unlike the naive rung, the pusher rung never reaches message
+  // quiescence in the Figure 2 scenario: the pusher itself keeps
+  // circulating.
+  System system(figure2_config(proto::Features::with_pusher(), 47));
+  issue_figure2_requests(system);
+  bool quiescent = system.run_until_message_quiescence(500'000);
+  EXPECT_FALSE(quiescent);
+}
+
+TEST(Deadlock, FullProtocolAlsoServesFigure2) {
+  System system(figure2_config(proto::Features::full(), 53));
+  issue_figure2_requests(system);
+  std::vector<bool> served(static_cast<std::size_t>(system.n()), false);
+  for (int round = 0; round < 6000; ++round) {
+    system.run_until(system.engine().now() + 200);
+    for (proto::NodeId v = 0; v < system.n(); ++v) {
+      if (system.state_of(v) == proto::AppState::kIn) {
+        served[static_cast<std::size_t>(v)] = true;
+        system.release(v);
+      }
+    }
+    if (served[1] && served[2] && served[3] && served[4]) break;
+  }
+  EXPECT_TRUE(served[1] && served[2] && served[3] && served[4]);
+}
+
+}  // namespace
+}  // namespace klex

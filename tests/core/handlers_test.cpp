@@ -1,0 +1,600 @@
+// White-box tests of Algorithms 1 and 2 at message level: every handler
+// is driven directly through a bare engine with probe neighbors, and the
+// exact sends, counter updates and state transitions are asserted.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/member_process.hpp"
+#include "core/root_process.hpp"
+#include "proto/messages.hpp"
+#include "sim/engine.hpp"
+
+namespace klex::core {
+namespace {
+
+/// Neighbor stub that records deliveries and can send into the process
+/// under test.
+class Probe : public sim::Process {
+ public:
+  void on_message(int channel, const sim::Message& msg) override {
+    (void)channel;
+    received.push_back(msg);
+  }
+  std::vector<sim::Message> received;
+};
+
+/// Listener recording protocol events.
+class EventLog : public proto::Listener {
+ public:
+  void on_enter_cs(proto::NodeId, int, sim::SimTime) override { ++enters; }
+  void on_exit_cs(proto::NodeId, sim::SimTime) override { ++exits; }
+  void on_circulation_end(int resource, int pusher, int priority, bool reset,
+                          sim::SimTime) override {
+    ++circulations;
+    last_resource = resource;
+    last_pusher = pusher;
+    last_priority = priority;
+    last_reset = reset;
+  }
+  void on_tokens_minted(std::int32_t type, int count, sim::SimTime) override {
+    if (type == static_cast<std::int32_t>(proto::TokenType::kResource)) {
+      resources_minted += count;
+    }
+    if (type == static_cast<std::int32_t>(proto::TokenType::kPusher)) {
+      pushers_minted += count;
+    }
+    if (type == static_cast<std::int32_t>(proto::TokenType::kPriority)) {
+      priorities_minted += count;
+    }
+  }
+  int enters = 0, exits = 0, circulations = 0;
+  int last_resource = -1, last_pusher = -1, last_priority = -1;
+  bool last_reset = false;
+  int resources_minted = 0, pushers_minted = 0, priorities_minted = 0;
+};
+
+/// Process under test with `degree` probe neighbors on channels 0..deg-1.
+template <typename ProcessT>
+struct Harness {
+  Harness(Params params, int degree, std::int32_t modulus) {
+    engine = std::make_unique<sim::Engine>(sim::DelayModel{1, 1}, 1);
+    auto process = std::make_unique<ProcessT>(params, degree, modulus, &log);
+    dut = process.get();
+    engine->add_process(std::move(process));
+    for (int c = 0; c < degree; ++c) {
+      auto probe = std::make_unique<Probe>();
+      probes.push_back(probe.get());
+      sim::NodeId id = engine->add_process(std::move(probe));
+      engine->connect(0, c, id, 0);
+      engine->connect(id, 0, 0, c);
+    }
+    engine->start();
+    // Swallow the root's bootstrap controller (on_start acts as an
+    // immediate timeout when the controller feature is on) so tests see
+    // only the traffic they cause.
+    engine->run_until(64);
+    for (Probe* probe : probes) probe->received.clear();
+  }
+
+  /// Delivers `msg` to the DUT on channel `c` and runs to quiescence of
+  /// plain message traffic (no timers are involved in these tests).
+  void deliver(int c, const sim::Message& msg) {
+    engine->send_from(static_cast<sim::NodeId>(1 + c), 0, msg);
+    engine->run_until(engine->now() + 64);
+  }
+
+  /// Messages probe `c` received since the last call.
+  std::vector<sim::Message> drain(int c) {
+    auto out = std::move(probes[static_cast<std::size_t>(c)]->received);
+    probes[static_cast<std::size_t>(c)]->received.clear();
+    return out;
+  }
+
+  EventLog log;
+  std::unique_ptr<sim::Engine> engine;
+  ProcessT* dut = nullptr;
+  std::vector<Probe*> probes;
+};
+
+Params basic_params(int k, int l, proto::Features features) {
+  Params params;
+  params.k = k;
+  params.l = l;
+  params.features = features;
+  params.timeout_period = 1'000'000;  // never fires within a test
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Resource-token handling (Alg. 1 lines 9-19 / Alg. 2 lines 8-15)
+// ---------------------------------------------------------------------------
+
+TEST(RootHandlers, NonRequesterForwardsTokenToNextChannel) {
+  Harness<RootProcess> h(basic_params(1, 2, proto::Features::naive()), 2, 5);
+  h.deliver(0, proto::make_resource());
+  EXPECT_EQ(h.drain(1).size(), 1u);  // (0+1) mod 2 = 1
+  EXPECT_TRUE(h.drain(0).empty());
+  EXPECT_EQ(h.dut->snapshot().stoken, 0);  // channel 0 is not a wrap
+}
+
+TEST(RootHandlers, WrapFromLastChannelCountsSToken) {
+  Harness<RootProcess> h(basic_params(1, 2, proto::Features::naive()), 2, 5);
+  h.deliver(1, proto::make_resource());
+  EXPECT_EQ(h.drain(0).size(), 1u);  // (1+1) mod 2 = 0
+  EXPECT_EQ(h.dut->snapshot().stoken, 1);
+}
+
+TEST(RootHandlers, STokenSaturatesAtLPlusOne) {
+  Harness<RootProcess> h(basic_params(1, 2, proto::Features::naive()), 2, 5);
+  for (int i = 0; i < 6; ++i) h.deliver(1, proto::make_resource());
+  EXPECT_EQ(h.dut->snapshot().stoken, 3);  // l + 1 = 3
+}
+
+TEST(RootHandlers, RequesterReservesUpToNeedThenForwards) {
+  Harness<RootProcess> h(basic_params(2, 3, proto::Features::naive()), 2, 5);
+  h.dut->request(2);
+  h.deliver(0, proto::make_resource());
+  EXPECT_EQ(h.dut->rset().size(), 1);
+  EXPECT_EQ(h.dut->app_state(), proto::AppState::kReq);
+  h.deliver(1, proto::make_resource());
+  EXPECT_EQ(h.dut->rset().size(), 2);
+  EXPECT_EQ(h.dut->app_state(), proto::AppState::kIn);  // |RSet| >= Need
+  EXPECT_EQ(h.log.enters, 1);
+  // A third token is surplus: forwarded.
+  h.deliver(0, proto::make_resource());
+  EXPECT_EQ(h.drain(1).size(), 1u);
+  EXPECT_EQ(h.dut->rset().size(), 2);
+}
+
+TEST(RootHandlers, ReservationFromLastChannelStillCounted) {
+  // The arrival-time census fix: a token the root RESERVES from channel
+  // Δr−1 must still be counted as completing a loop.
+  Harness<RootProcess> h(basic_params(1, 2, proto::Features::naive()), 2, 5);
+  h.dut->request(1);
+  h.deliver(1, proto::make_resource());
+  EXPECT_EQ(h.dut->rset().size(), 1);
+  EXPECT_EQ(h.dut->snapshot().stoken, 1);
+}
+
+TEST(RootHandlers, ReleaseResumesTokensOnStoredChannels) {
+  Harness<RootProcess> h(basic_params(2, 3, proto::Features::naive()), 2, 5);
+  h.dut->request(2);
+  h.deliver(0, proto::make_resource());
+  h.deliver(1, proto::make_resource());
+  ASSERT_EQ(h.dut->app_state(), proto::AppState::kIn);
+  int stoken_before = h.dut->snapshot().stoken;
+  h.drain(0);
+  h.drain(1);
+  h.dut->release();
+  h.engine->run_until(h.engine->now() + 64);
+  // Token reserved from channel 0 resumes on channel 1 and vice versa.
+  EXPECT_EQ(h.drain(1).size(), 1u);
+  EXPECT_EQ(h.drain(0).size(), 1u);
+  EXPECT_EQ(h.dut->app_state(), proto::AppState::kOut);
+  EXPECT_EQ(h.log.exits, 1);
+  // Release does NOT recount the wrap (arrival already did).
+  EXPECT_EQ(h.dut->snapshot().stoken, stoken_before);
+}
+
+TEST(MemberHandlers, LeafBouncesTokenBackToParent) {
+  Harness<MemberProcess> h(basic_params(1, 2, proto::Features::naive()), 1,
+                           5);
+  h.deliver(0, proto::make_resource());
+  EXPECT_EQ(h.drain(0).size(), 1u);  // (0+1) mod 1 = 0
+}
+
+TEST(MemberHandlers, JunkMessagesAreAbsorbed) {
+  Harness<MemberProcess> h(basic_params(1, 2, proto::Features::full()), 2,
+                           5);
+  sim::Message junk;
+  junk.type = 999;
+  h.deliver(0, junk);
+  EXPECT_TRUE(h.drain(0).empty());
+  EXPECT_TRUE(h.drain(1).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pusher handling (Alg. 1 lines 20-34 / Alg. 2 lines 16-24)
+// ---------------------------------------------------------------------------
+
+TEST(RootHandlers, PusherForcesUnsatisfiedRequesterToRelease) {
+  Harness<RootProcess> h(basic_params(2, 3, proto::Features::with_pusher()),
+                         2, 5);
+  h.dut->request(2);
+  h.deliver(0, proto::make_resource());
+  ASSERT_EQ(h.dut->rset().size(), 1);
+  h.drain(1);
+  h.deliver(0, proto::make_pusher());
+  EXPECT_EQ(h.dut->rset().size(), 0);
+  // Released ResT (from channel 0 -> channel 1) plus the forwarded PushT.
+  auto channel1 = h.drain(1);
+  ASSERT_EQ(channel1.size(), 2u);
+  EXPECT_EQ(proto::type_of(channel1[0]), proto::TokenType::kResource);
+  EXPECT_EQ(proto::type_of(channel1[1]), proto::TokenType::kPusher);
+}
+
+TEST(RootHandlers, PusherSparesEnabledAndInCsProcesses) {
+  Harness<RootProcess> h(basic_params(1, 3, proto::Features::with_pusher()),
+                         2, 5);
+  h.dut->request(1);
+  h.deliver(0, proto::make_resource());
+  ASSERT_EQ(h.dut->app_state(), proto::AppState::kIn);
+  h.drain(0);
+  h.drain(1);
+  h.deliver(1, proto::make_pusher());
+  EXPECT_EQ(h.dut->rset().size(), 1);  // kept
+  EXPECT_EQ(h.drain(0).size(), 1u);    // pusher forwarded (1+1)%2=0
+  EXPECT_EQ(h.dut->snapshot().spush, 1);  // wrap counted
+}
+
+TEST(RootHandlers, PusherSparesPriorityHolder) {
+  Harness<RootProcess> h(
+      basic_params(2, 3, proto::Features::with_priority()), 2, 5);
+  h.dut->request(2);
+  h.deliver(0, proto::make_priority());  // held: unsatisfied requester
+  ASSERT_TRUE(h.dut->snapshot().holds_priority);
+  h.deliver(0, proto::make_resource());
+  ASSERT_EQ(h.dut->rset().size(), 1);
+  h.deliver(0, proto::make_pusher());
+  EXPECT_EQ(h.dut->rset().size(), 1);  // protected by Prio
+}
+
+TEST(RootHandlers, SPushSaturatesAtTwo) {
+  Harness<RootProcess> h(basic_params(1, 3, proto::Features::with_pusher()),
+                         2, 5);
+  for (int i = 0; i < 4; ++i) h.deliver(1, proto::make_pusher());
+  EXPECT_EQ(h.dut->snapshot().spush, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Priority handling (Alg. 1 lines 35-41, 92-98 / Alg. 2 lines 25-31, 73-76)
+// ---------------------------------------------------------------------------
+
+TEST(RootHandlers, NonRequesterHoldsAndImmediatelyReleasesPriority) {
+  Harness<RootProcess> h(
+      basic_params(1, 2, proto::Features::with_priority()), 2, 5);
+  h.deliver(1, proto::make_priority());
+  // Held in the handler, released by the bottom-of-loop action: sent to
+  // (1+1) mod 2 = 0, counted as a wrap on arrival.
+  EXPECT_FALSE(h.dut->snapshot().holds_priority);
+  EXPECT_EQ(h.drain(0).size(), 1u);
+  EXPECT_EQ(h.dut->snapshot().sprio, 1);
+}
+
+TEST(RootHandlers, UnsatisfiedRequesterPinsPriority) {
+  Harness<RootProcess> h(
+      basic_params(2, 3, proto::Features::with_priority()), 2, 5);
+  h.dut->request(2);
+  h.deliver(0, proto::make_priority());
+  EXPECT_TRUE(h.dut->snapshot().holds_priority);
+  EXPECT_TRUE(h.drain(0).empty());
+  EXPECT_TRUE(h.drain(1).empty());
+  // Satisfying the request releases it: received from 0 -> sent to 1.
+  h.deliver(0, proto::make_resource());
+  h.deliver(0, proto::make_resource());
+  ASSERT_EQ(h.dut->app_state(), proto::AppState::kIn);
+  EXPECT_FALSE(h.dut->snapshot().holds_priority);
+  auto channel1 = h.drain(1);
+  bool prio_out = false;
+  for (const auto& msg : channel1) {
+    if (proto::type_of(msg) == proto::TokenType::kPriority) prio_out = true;
+  }
+  EXPECT_TRUE(prio_out);
+}
+
+TEST(RootHandlers, SecondPriorityTokenForwardedWithArrivalCount) {
+  Harness<RootProcess> h(
+      basic_params(2, 3, proto::Features::with_priority()), 2, 5);
+  h.dut->request(2);
+  h.deliver(0, proto::make_priority());  // pinned
+  ASSERT_TRUE(h.dut->snapshot().holds_priority);
+  h.deliver(1, proto::make_priority());  // surplus, arrives on Δ−1
+  EXPECT_EQ(h.drain(0).size(), 1u);      // forwarded (1+1)%2=0
+  EXPECT_EQ(h.dut->snapshot().sprio, 1);  // arrival-time count
+}
+
+TEST(RootHandlers, OmitFlagReproducesLiteralPriorityAccounting) {
+  Params params = basic_params(2, 3, proto::Features::with_priority());
+  params.omit_prio_wrap_count = true;
+  Harness<RootProcess> h(params, 2, 5);
+  h.dut->request(2);
+  h.deliver(0, proto::make_priority());
+  h.deliver(1, proto::make_priority());  // immediate forward: uncounted
+  EXPECT_EQ(h.dut->snapshot().sprio, 0);
+  // Release path of a held token that arrived on Δ−1 IS counted
+  // (Alg. 1 lines 93-95): re-pin from channel 1, then satisfy.
+  h.deliver(0, proto::make_resource());
+  h.deliver(0, proto::make_resource());  // satisfied: releases Prio(ch 0)
+  EXPECT_EQ(h.dut->snapshot().sprio, 0);  // ch 0 is not Δ−1: uncounted
+}
+
+// ---------------------------------------------------------------------------
+// Controller handling, root side (Alg. 1 lines 42-76, 99-102)
+// ---------------------------------------------------------------------------
+
+Params full_params() {
+  Params params = basic_params(2, 3, proto::Features::full());
+  return params;
+}
+
+TEST(RootControl, ValidCtrlAdvancesSuccAndCountsOwnRset) {
+  Harness<RootProcess> h(full_params(), 2, 5);
+  // succ = 0, myC = 0. Root holds a reserved token from channel 0.
+  h.dut->request(2);
+  h.deliver(0, proto::make_resource());
+  ASSERT_EQ(h.dut->rset().size(), 1);
+
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{0, false, 0, 0}));
+  EXPECT_EQ(h.dut->snapshot().succ, 1);
+  auto out = h.drain(1);
+  ASSERT_EQ(out.size(), 1u);
+  proto::CtrlFields fields = proto::ctrl_of(out[0]);
+  EXPECT_EQ(fields.c, 0);         // same circulation
+  EXPECT_EQ(fields.pt, 1);        // |RSet|_0 passed
+  EXPECT_FALSE(fields.r);
+}
+
+TEST(RootControl, InvalidCtrlIgnored) {
+  Harness<RootProcess> h(full_params(), 2, 5);
+  // Wrong channel (succ = 0, arrives on 1).
+  h.deliver(1, proto::make_ctrl(proto::CtrlFields{0, false, 0, 0}));
+  EXPECT_TRUE(h.drain(0).empty());
+  EXPECT_TRUE(h.drain(1).empty());
+  EXPECT_EQ(h.dut->snapshot().succ, 0);
+  // Wrong flag value.
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{3, false, 0, 0}));
+  EXPECT_TRUE(h.drain(0).empty());
+  EXPECT_EQ(h.dut->snapshot().succ, 0);
+}
+
+TEST(RootControl, CirculationEndMintsDeficit) {
+  Harness<RootProcess> h(full_params(), 2, 5);
+  // Walk the controller through both channels: 0 then 1 (wrap).
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{0, false, 0, 0}));
+  h.drain(1);
+  h.deliver(1, proto::make_ctrl(proto::CtrlFields{0, false, 0, 0}));
+  // Census read 0 resource / 0 pusher / 0 priority: mint l + 1 + 1.
+  EXPECT_EQ(h.log.circulations, 1);
+  EXPECT_EQ(h.log.last_resource, 0);
+  EXPECT_FALSE(h.log.last_reset);
+  EXPECT_EQ(h.log.resources_minted, 3);
+  EXPECT_EQ(h.log.pushers_minted, 1);
+  EXPECT_EQ(h.log.priorities_minted, 1);
+  EXPECT_EQ(h.dut->snapshot().myc, 1);  // incremented mod 5
+  // Everything minted into channel 0, followed by the new ctrl.
+  auto out = h.drain(0);
+  ASSERT_EQ(out.size(), 6u);  // prio + 3 res + push + ctrl
+  EXPECT_EQ(proto::type_of(out.back()), proto::TokenType::kControl);
+  EXPECT_EQ(proto::ctrl_of(out.back()).c, 1);
+}
+
+TEST(RootControl, CirculationEndDecidesResetOnSurplus) {
+  Harness<RootProcess> h(full_params(), 2, 5);
+  h.dut->request(2);
+  h.deliver(0, proto::make_resource());  // root reserves 1
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{0, false, 0, 0}));
+  h.drain(0);
+  h.drain(1);
+  // Return with PT = 4 > l = 3 (surplus seen in the subtrees).
+  h.deliver(1, proto::make_ctrl(proto::CtrlFields{0, false, 4, 0}));
+  EXPECT_TRUE(h.log.last_reset);
+  EXPECT_TRUE(h.dut->in_reset());
+  EXPECT_EQ(h.dut->rset().size(), 0);  // erased (lines 49-50)
+  EXPECT_EQ(h.log.resources_minted, 0);
+  auto out = h.drain(0);
+  ASSERT_EQ(out.size(), 1u);  // only the reset-marked ctrl
+  EXPECT_TRUE(proto::ctrl_of(out[0]).r);
+}
+
+TEST(RootControl, ResetRootErasesArrivingTokens) {
+  Harness<RootProcess> h(full_params(), 2, 5);
+  // Drive into reset as above.
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{0, false, 0, 0}));
+  h.drain(1);
+  h.deliver(1, proto::make_ctrl(proto::CtrlFields{0, false, 4, 0}));
+  h.drain(0);
+  ASSERT_TRUE(h.dut->in_reset());
+  // Tokens received during the reset circulation disappear.
+  h.deliver(0, proto::make_resource());
+  h.deliver(1, proto::make_pusher());
+  h.deliver(0, proto::make_priority());
+  EXPECT_TRUE(h.drain(0).empty());
+  EXPECT_TRUE(h.drain(1).empty());
+  EXPECT_EQ(h.dut->snapshot().stoken, 0);
+}
+
+TEST(RootControl, ResetCirculationEndRestoresPopulation) {
+  Harness<RootProcess> h(full_params(), 2, 5);
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{0, false, 0, 0}));
+  h.drain(1);
+  h.deliver(1, proto::make_ctrl(proto::CtrlFields{0, false, 4, 0}));
+  h.drain(0);
+  ASSERT_TRUE(h.dut->in_reset());
+  // Walk the reset circulation: myC is now 1.
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{1, true, 0, 0}));
+  h.drain(1);
+  h.deliver(1, proto::make_ctrl(proto::CtrlFields{1, true, 0, 0}));
+  EXPECT_FALSE(h.dut->in_reset());
+  EXPECT_EQ(h.log.resources_minted, 3);
+  EXPECT_EQ(h.log.pushers_minted, 1);
+  EXPECT_EQ(h.log.priorities_minted, 1);
+}
+
+TEST(RootControl, MycWrapsAroundModulus) {
+  Harness<RootProcess> h(full_params(), 1, 3);  // degree 1: every valid
+                                                // ctrl wraps; modulus 3
+  for (int i = 0; i < 7; ++i) {
+    std::int32_t myc = h.dut->snapshot().myc;
+    h.deliver(0, proto::make_ctrl(proto::CtrlFields{myc, false, 3, 1}));
+    h.drain(0);
+    EXPECT_EQ(h.dut->snapshot().myc, (myc + 1) % 3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Controller handling, member side (Alg. 2 lines 32-60)
+// ---------------------------------------------------------------------------
+
+TEST(MemberControl, FreshFlagFromParentStartsVisit) {
+  Harness<MemberProcess> h(full_params(), 3, 5);  // parent + 2 children
+  h.dut->request(1);
+  h.deliver(1, proto::make_resource());  // reserve from channel 1
+  ASSERT_EQ(h.dut->rset().size(), 1);
+
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  EXPECT_EQ(h.dut->snapshot().myc, 2);
+  EXPECT_EQ(h.dut->snapshot().succ, 1);  // min(1, Δ−1)
+  auto out = h.drain(1);
+  ASSERT_EQ(out.size(), 1u);
+  proto::CtrlFields fields = proto::ctrl_of(out[0]);
+  EXPECT_EQ(fields.c, 2);
+  EXPECT_EQ(fields.pt, 0);  // reserved token is from channel 1, ctrl from 0
+}
+
+TEST(MemberControl, ReturnFromSubtreeAdvancesSucc) {
+  Harness<MemberProcess> h(full_params(), 3, 5);
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  h.drain(1);
+  ASSERT_EQ(h.dut->snapshot().succ, 1);
+  // Comes back from child 1 with the same flag: advance to child 2.
+  h.deliver(1, proto::make_ctrl(proto::CtrlFields{2, false, 1, 0}));
+  EXPECT_EQ(h.dut->snapshot().succ, 2);
+  auto out = h.drain(2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(proto::ctrl_of(out[0]).pt, 1);  // PT flows through
+  // Back from child 2: wraps to parent (succ = 0).
+  h.deliver(2, proto::make_ctrl(proto::CtrlFields{2, false, 1, 0}));
+  EXPECT_EQ(h.dut->snapshot().succ, 0);
+  EXPECT_EQ(h.drain(0).size(), 1u);
+}
+
+TEST(MemberControl, CountsReservedTokensOnMatchingChannel) {
+  Harness<MemberProcess> h(full_params(), 3, 5);
+  h.dut->request(2);
+  h.deliver(1, proto::make_resource());
+  h.deliver(1, proto::make_resource());
+  ASSERT_EQ(h.dut->app_state(), proto::AppState::kIn);
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  h.drain(1);
+  // Return from channel 1 where both tokens were received: PT += 2.
+  h.deliver(1, proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  auto out = h.drain(2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(proto::ctrl_of(out[0]).pt, 2);
+}
+
+TEST(MemberControl, DuplicateFromParentRetransmittedToPreventDeadlock) {
+  Harness<MemberProcess> h(full_params(), 3, 5);
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  h.drain(1);
+  // Same flag from the parent again: Ok (retransmit to Succ), per the
+  // pseudocode it still contributes |RSet|_0.
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  EXPECT_EQ(h.drain(1).size(), 1u);
+  EXPECT_EQ(h.dut->snapshot().succ, 1);  // unchanged
+}
+
+TEST(MemberControl, InvalidFromChildIgnored) {
+  Harness<MemberProcess> h(full_params(), 3, 5);
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  h.drain(1);
+  // Wrong child (succ is 1, this comes from 2).
+  h.deliver(2, proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  EXPECT_TRUE(h.drain(0).empty());
+  EXPECT_TRUE(h.drain(1).empty());
+  EXPECT_TRUE(h.drain(2).empty());
+  // Wrong flag from the right child.
+  h.deliver(1, proto::make_ctrl(proto::CtrlFields{4, false, 0, 0}));
+  EXPECT_TRUE(h.drain(2).empty());
+  EXPECT_EQ(h.dut->snapshot().succ, 1);
+}
+
+TEST(MemberControl, ResetFlagErasesLocalTokens) {
+  Harness<MemberProcess> h(full_params(), 3, 5);
+  h.dut->request(2);
+  h.deliver(1, proto::make_resource());
+  h.deliver(2, proto::make_priority());
+  ASSERT_EQ(h.dut->rset().size(), 1);
+  ASSERT_TRUE(h.dut->snapshot().holds_priority);
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{2, true, 0, 0}));
+  EXPECT_EQ(h.dut->rset().size(), 0);
+  EXPECT_FALSE(h.dut->snapshot().holds_priority);
+  auto out = h.drain(1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(proto::ctrl_of(out[0]).r);  // R forwarded
+}
+
+TEST(MemberControl, PtSaturatesAtLPlusOne) {
+  Harness<MemberProcess> h(full_params(), 2, 5);
+  h.dut->request(2);
+  h.deliver(1, proto::make_resource());
+  h.deliver(1, proto::make_resource());
+  // Incoming PT already at the cap l+1 = 4.
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{2, false, 4, 0}));
+  h.drain(1);
+  h.deliver(1, proto::make_ctrl(proto::CtrlFields{2, false, 4, 0}));
+  auto out = h.drain(0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(proto::ctrl_of(out[0]).pt, 4);  // min(4 + 2, l+1)
+}
+
+TEST(MemberControl, HeldPriorityCountedIntoPpr) {
+  Harness<MemberProcess> h(full_params(), 2, 5);
+  h.dut->request(2);
+  h.deliver(1, proto::make_priority());  // pinned, Prio = 1
+  ASSERT_TRUE(h.dut->snapshot().holds_priority);
+  h.deliver(0, proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  h.drain(1);
+  h.deliver(1, proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  auto out = h.drain(0);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(proto::ctrl_of(out[0]).ppr, 1);  // Prio == arrival channel
+}
+
+// ---------------------------------------------------------------------------
+// Application interface contract
+// ---------------------------------------------------------------------------
+
+TEST(AppInterface, ForbiddenTransitionsThrow) {
+  Harness<MemberProcess> h(basic_params(2, 3, proto::Features::naive()), 2,
+                           5);
+  EXPECT_THROW(h.dut->release(), std::invalid_argument);  // Out -> ?
+  h.dut->request(1);
+  EXPECT_THROW(h.dut->request(1), std::invalid_argument);  // Req -> Req
+  EXPECT_THROW(h.dut->release(), std::invalid_argument);   // Req -> Out
+  h.deliver(0, proto::make_resource());
+  ASSERT_EQ(h.dut->app_state(), proto::AppState::kIn);
+  EXPECT_THROW(h.dut->request(1), std::invalid_argument);  // In -> Req
+}
+
+TEST(AppInterface, NeedBoundsEnforced) {
+  Harness<MemberProcess> h(basic_params(2, 3, proto::Features::naive()), 2,
+                           5);
+  EXPECT_THROW(h.dut->request(3), std::invalid_argument);   // > k
+  EXPECT_THROW(h.dut->request(-1), std::invalid_argument);  // < 0
+  h.dut->request(0);  // zero-unit requests grant immediately
+  EXPECT_EQ(h.dut->app_state(), proto::AppState::kIn);
+}
+
+TEST(AppInterface, CorruptKeepsVariablesInDomain) {
+  Harness<RootProcess> h(full_params(), 3, 7);
+  support::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    h.dut->corrupt(rng);
+    proto::LocalSnapshot snap = h.dut->snapshot();
+    EXPECT_GE(snap.myc, 0);
+    EXPECT_LT(snap.myc, 7);
+    EXPECT_GE(snap.succ, 0);
+    EXPECT_LT(snap.succ, 3);
+    EXPECT_LE(snap.rset_size, 2);   // k
+    EXPECT_LE(snap.need, 2);        // k
+    EXPECT_LE(snap.stoken, 4);      // l + 1
+    EXPECT_LE(snap.spush, 2);
+    EXPECT_LE(snap.sprio, 2);
+  }
+}
+
+}  // namespace
+}  // namespace klex::core

@@ -1,0 +1,110 @@
+// (k,ℓ)-liveness -- the paper's efficiency property (Section 2, proved in
+// Lemma 14): if a set I of processes holds α units in their critical
+// sections forever, and every requester outside I asks for at most ℓ − α
+// units, then some outside requester is eventually served.
+#include <gtest/gtest.h>
+
+#include "api/system.hpp"
+#include "proto/workload.hpp"
+
+namespace klex {
+namespace {
+
+TEST(KlLiveness, RequestersProceedDespiteForeverHolders) {
+  // ℓ = 4, k = 3 on the Figure 1 tree. I = {b, c} holding 1 unit each
+  // forever (α = 2). Outside requesters ask for ≤ ℓ − α = 2 units.
+  SystemConfig config;
+  config.tree = tree::figure1_tree();
+  config.k = 3;
+  config.l = 4;
+  config.seed = 301;
+  System system(config);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+
+  // The forever-holders enter their CS and never leave.
+  system.request(2, 1);  // b
+  system.request(3, 1);  // c
+  system.run_until(system.engine().now() + 400'000);
+  ASSERT_EQ(system.state_of(2), proto::AppState::kIn);
+  ASSERT_EQ(system.state_of(3), proto::AppState::kIn);
+
+  // Outside requesters cycle 2-unit requests; all must make progress.
+  std::vector<proto::NodeBehavior> behaviors(
+      static_cast<std::size_t>(system.n()));
+  for (auto& b : behaviors) b.active = false;
+  for (proto::NodeId v : {5, 6, 7}) {  // e, f, g
+    auto& b = behaviors[static_cast<std::size_t>(v)];
+    b.active = true;
+    b.think = proto::Dist::fixed(16);
+    b.cs_duration = proto::Dist::fixed(64);
+    b.need = proto::Dist::fixed(2);
+  }
+  proto::WorkloadDriver driver(system.engine(), system, config.k, behaviors,
+                               support::Rng(302));
+  system.add_listener(&driver);
+  driver.begin();
+  system.run_until(system.engine().now() + 3'000'000);
+
+  for (proto::NodeId v : {5, 6, 7}) {
+    EXPECT_GT(driver.grants(v), 5) << "node " << v << " starved";
+  }
+  // And the holders are still in their critical sections.
+  EXPECT_EQ(system.state_of(2), proto::AppState::kIn);
+  EXPECT_EQ(system.state_of(3), proto::AppState::kIn);
+}
+
+TEST(KlLiveness, AlphaSweepServesMaximalRequests) {
+  // For each α in 0..ℓ−1 pin α units in a forever-holder and check a
+  // requester of exactly ℓ − α units is served.
+  const int l = 3;
+  for (int alpha = 0; alpha < l; ++alpha) {
+    SystemConfig config;
+    config.tree = tree::line(4);
+    config.k = 3;
+    config.l = l;
+    config.seed = 400 + static_cast<std::uint64_t>(alpha);
+    System system(config);
+    ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity)
+        << "alpha " << alpha;
+
+    if (alpha > 0) {
+      system.request(1, alpha);
+      system.run_until(system.engine().now() + 400'000);
+      ASSERT_EQ(system.state_of(1), proto::AppState::kIn) << "alpha " << alpha;
+    }
+    system.request(3, l - alpha);
+    system.run_until(system.engine().now() + 2'000'000);
+    EXPECT_EQ(system.state_of(3), proto::AppState::kIn)
+        << "alpha " << alpha << ": maximal residual request starved";
+  }
+}
+
+TEST(KlLiveness, OversizedResidualRequestMayStarveButOthersProceed) {
+  // Complement of the property: a requester asking MORE than ℓ − α units
+  // cannot be served while I holds; requests within the bound still are.
+  SystemConfig config;
+  config.tree = tree::line(4);
+  config.k = 3;
+  config.l = 3;
+  config.seed = 500;
+  System system(config);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+
+  system.request(1, 2);  // forever-holder: α = 2
+  system.run_until(system.engine().now() + 400'000);
+  ASSERT_EQ(system.state_of(1), proto::AppState::kIn);
+
+  system.request(2, 3);  // 3 > ℓ − α = 1: cannot be satisfied
+  system.request(3, 1);  // within the bound... but see below
+  system.run_until(system.engine().now() + 2'000'000);
+  EXPECT_EQ(system.state_of(2), proto::AppState::kReq);
+  // Note: node 2 holds the priority token forever once it gets it, and
+  // the (k,ℓ)-liveness premise (every outside request ≤ ℓ − α) is
+  // violated, so node 3 is NOT guaranteed service -- the paper's property
+  // makes no promise here. We only assert the oversized request starves
+  // while the holder keeps its units.
+  EXPECT_EQ(system.state_of(1), proto::AppState::kIn);
+}
+
+}  // namespace
+}  // namespace klex

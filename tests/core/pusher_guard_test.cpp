@@ -1,0 +1,120 @@
+// Documents the DESIGN.md §1.1 deviation: the arXiv pseudocode's pusher
+// guard (Alg. 1 line 21 / Alg. 2 line 17) reads (Prio ≠ ⊥) ∧ ..., which
+// contradicts the prose ("a process that holds the priority token does
+// not release its reserved resource tokens"). Under the literal guard a
+// requester that does NOT hold the priority token never drops its
+// reserved tokens, so the pusher cannot break the Figure 2 deadlock.
+#include <gtest/gtest.h>
+
+#include "api/system.hpp"
+
+namespace klex {
+namespace {
+
+SystemConfig figure2_config(bool literal_guard, std::uint64_t seed) {
+  SystemConfig config;
+  config.tree = tree::figure1_tree();
+  config.k = 3;
+  config.l = 5;
+  config.features = proto::Features::with_pusher();
+  config.literal_pusher_guard = literal_guard;
+  config.seed = seed;
+  return config;
+}
+
+/// Runs the Figure 2 oversubscription scenario with releases, returning
+/// how many of the four requesters were ever served within the horizon.
+int serve_figure2(System& system, int rounds) {
+  system.request(1, 3);
+  system.request(2, 2);
+  system.request(3, 2);
+  system.request(4, 2);
+  std::vector<bool> served(static_cast<std::size_t>(system.n()), false);
+  for (int round = 0; round < rounds; ++round) {
+    system.run_until(system.engine().now() + 200);
+    for (proto::NodeId v = 1; v <= 4; ++v) {
+      if (system.state_of(v) == proto::AppState::kIn) {
+        served[static_cast<std::size_t>(v)] = true;
+        system.release(v);
+      }
+    }
+    if (served[1] && served[2] && served[3] && served[4]) break;
+  }
+  int count = 0;
+  for (proto::NodeId v = 1; v <= 4; ++v) {
+    if (served[static_cast<std::size_t>(v)]) ++count;
+  }
+  return count;
+}
+
+TEST(PusherGuard, ProseGuardBreaksTheDeadlock) {
+  for (std::uint64_t seed : {101ull, 102ull, 103ull}) {
+    System system(figure2_config(/*literal_guard=*/false, seed));
+    EXPECT_EQ(serve_figure2(system, 4000), 4) << "seed " << seed;
+  }
+}
+
+TEST(PusherGuard, LiteralGuardWedgesFigure2) {
+  // With the pusher-only rung nobody ever holds the priority token
+  // (there is none), so the literal guard (Prio ≠ ⊥ ∧ ...) never releases
+  // anything: the pusher degenerates to a no-op and the Figure 2 token
+  // absorption persists exactly as in the naive rung -- all 5 tokens end
+  // up reserved at unsatisfiable requesters and never move again.
+  for (std::uint64_t seed : {101ull, 102ull, 103ull}) {
+    System system(figure2_config(/*literal_guard=*/true, seed));
+    system.request(1, 3);
+    system.request(2, 2);
+    system.request(3, 2);
+    system.request(4, 2);
+    system.run_until(400'000);
+
+    proto::TokenCensus census = system.census();
+    EXPECT_EQ(census.free_resource, 0) << "seed " << seed;
+    EXPECT_EQ(census.reserved_resource, 5) << "seed " << seed;
+    int stuck = 0;
+    for (proto::NodeId v = 0; v < system.n(); ++v) {
+      if (system.state_of(v) == proto::AppState::kReq) ++stuck;
+    }
+    EXPECT_GT(stuck, 0) << "seed " << seed;
+
+    // No resource token moves over a long late window (while the pusher
+    // keeps circulating uselessly).
+    std::uint64_t delivered_before = system.engine().messages_delivered();
+    proto::TokenCensus before = system.census();
+    system.run_until(system.engine().now() + 400'000);
+    EXPECT_GT(system.engine().messages_delivered(), delivered_before)
+        << "pusher should still circulate";
+    proto::TokenCensus after = system.census();
+    EXPECT_EQ(after.free_resource, 0) << "seed " << seed;
+    EXPECT_EQ(before.reserved_resource, after.reserved_resource);
+  }
+}
+
+TEST(PusherGuard, LiteralGuardMakesPusherANoOpForTokenMotion) {
+  // Under the literal guard, pusher arrivals at token-holding
+  // non-priority processes leave every RSet untouched: once the
+  // oversubscribed requesters (7 > 5 units) have absorbed all tokens,
+  // the reservation pattern is frozen forever.
+  SystemConfig config = figure2_config(/*literal_guard=*/true, 104);
+  System system(config);
+  system.request(1, 3);
+  system.request(3, 2);
+  system.request(4, 2);
+  system.run_until(400'000);
+  ASSERT_EQ(system.census().free_resource, 0);
+
+  std::vector<int> before;
+  for (proto::NodeId v = 0; v < system.n(); ++v) {
+    before.push_back(system.node(v).snapshot().rset_size);
+  }
+  // Many more pusher circulations change nothing.
+  system.run_until(system.engine().now() + 400'000);
+  for (proto::NodeId v = 0; v < system.n(); ++v) {
+    EXPECT_EQ(system.node(v).snapshot().rset_size,
+              before[static_cast<std::size_t>(v)])
+        << "node " << v << " reservation moved";
+  }
+}
+
+}  // namespace
+}  // namespace klex

@@ -1,0 +1,162 @@
+// Theorem 1: self-stabilization. From arbitrary configurations (random
+// in-domain process memory + up to CMAX arbitrary messages per channel)
+// the system converges to exactly ℓ resource tokens, one pusher, one
+// priority token, and thereafter serves requests safely and fairly.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "api/system.hpp"
+#include "proto/workload.hpp"
+#include "verify/convergence.hpp"
+#include "verify/safety_monitor.hpp"
+
+namespace klex {
+namespace {
+
+struct Shape {
+  const char* name;
+  tree::Tree (*make)();
+};
+
+tree::Tree make_fig1() { return tree::figure1_tree(); }
+tree::Tree make_line() { return tree::line(7); }
+tree::Tree make_star() { return tree::star(7); }
+tree::Tree make_balanced() { return tree::balanced(2, 3); }
+
+using StabilizationParam = std::tuple<int, std::uint64_t>;
+
+class StabilizationTest
+    : public ::testing::TestWithParam<StabilizationParam> {};
+
+TEST_P(StabilizationTest, ConvergesFromArbitraryConfiguration) {
+  static const Shape kShapes[] = {
+      {"figure1", &make_fig1},
+      {"line7", &make_line},
+      {"star7", &make_star},
+      {"balanced", &make_balanced},
+  };
+  const Shape& shape = kShapes[std::get<0>(GetParam())];
+  std::uint64_t seed = std::get<1>(GetParam());
+
+  SystemConfig config;
+  config.tree = shape.make();
+  config.k = 2;
+  config.l = 3;
+  config.cmax = 3;
+  config.seed = seed;
+  System system(config);
+
+  // Let it boot normally first, then smash it.
+  ASSERT_NE(system.run_until_stabilized(4'000'000), sim::kTimeInfinity)
+      << shape.name;
+
+  support::Rng fault_rng(seed ^ 0xF417);
+  system.inject_transient_fault(fault_rng);
+
+  sim::SimTime recovered =
+      system.run_until_stabilized(system.engine().now() + 30'000'000);
+  ASSERT_NE(recovered, sim::kTimeInfinity)
+      << shape.name << " seed " << seed << " never re-stabilized";
+
+  // The census must hold over an extended suffix.
+  verify::ConvergenceTracker tracker(config.l);
+  for (int poll = 0; poll < 200; ++poll) {
+    system.run_until(system.engine().now() + 512);
+    tracker.poll(system.census(), system.engine().now());
+  }
+  EXPECT_TRUE(tracker.converged()) << shape.name;
+  EXPECT_EQ(tracker.incorrect_polls(), 0u)
+      << shape.name << ": census regressed after stabilization";
+}
+
+TEST_P(StabilizationTest, ServesRequestsAfterRecovery) {
+  static const Shape kShapes[] = {
+      {"figure1", &make_fig1},
+      {"line7", &make_line},
+      {"star7", &make_star},
+      {"balanced", &make_balanced},
+  };
+  const Shape& shape = kShapes[std::get<0>(GetParam())];
+  std::uint64_t seed = std::get<1>(GetParam());
+
+  SystemConfig config;
+  config.tree = shape.make();
+  config.k = 2;
+  config.l = 3;
+  config.seed = seed * 31 + 7;
+  System system(config);
+
+  verify::SafetyMonitor safety(system.n(), config.k, config.l);
+  system.add_listener(&safety);
+
+  proto::NodeBehavior behavior;
+  behavior.think = proto::Dist::exponential(64);
+  behavior.cs_duration = proto::Dist::exponential(32);
+  behavior.need = proto::Dist::uniform(1, 2);
+  proto::WorkloadDriver driver(system.engine(), system, config.k,
+                               proto::uniform_behaviors(system.n(), behavior),
+                               support::Rng(seed ^ 0xAB));
+  system.add_listener(&driver);
+  driver.begin();
+
+  system.run_until(500'000);
+  support::Rng fault_rng(seed ^ 0x5AFE);
+  system.inject_transient_fault(fault_rng);
+  driver.resync();
+  safety.forget();  // corruption invalidated who-holds-what
+
+  sim::SimTime recovered =
+      system.run_until_stabilized(system.engine().now() + 30'000'000);
+  ASSERT_NE(recovered, sim::kTimeInfinity) << shape.name;
+
+  // Let corruption-era grants drain (safety is an *eventual* property; a
+  // grant decided just before the census settled may land just after it).
+  system.run_until(system.engine().now() + 500'000);
+  std::size_t violations_after_settle = safety.violations().size();
+  std::int64_t grants_at_recovery = driver.total_grants();
+
+  // Post-recovery probe: requests keep being granted, no new violations.
+  system.run_until(system.engine().now() + 2'000'000);
+  EXPECT_GT(driver.total_grants(), grants_at_recovery + 5)
+      << shape.name << ": no progress after recovery";
+  EXPECT_EQ(safety.violations().size(), violations_after_settle)
+      << shape.name << ": safety violated after stabilization";
+}
+
+std::string stabilization_param_name(
+    const ::testing::TestParamInfo<StabilizationParam>& info) {
+  static const char* kNames[] = {"figure1", "line7", "star7", "balanced"};
+  return std::string(kNames[std::get<0>(info.param)]) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSeeds, StabilizationTest,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})),
+    stabilization_param_name);
+
+TEST(Stabilization, RepeatedFaultsAlwaysRecover) {
+  SystemConfig config;
+  config.tree = tree::balanced(2, 2);
+  config.k = 2;
+  config.l = 4;
+  config.seed = 1234;
+  System system(config);
+  support::Rng fault_rng(77);
+
+  for (int fault = 0; fault < 5; ++fault) {
+    ASSERT_NE(system.run_until_stabilized(system.engine().now() + 30'000'000),
+              sim::kTimeInfinity)
+        << "fault round " << fault;
+    system.inject_transient_fault(fault_rng);
+  }
+  ASSERT_NE(system.run_until_stabilized(system.engine().now() + 30'000'000),
+            sim::kTimeInfinity);
+  EXPECT_TRUE(system.token_counts_correct());
+}
+
+}  // namespace
+}  // namespace klex

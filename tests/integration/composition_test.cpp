@@ -1,0 +1,76 @@
+// Section 5 composition: arbitrary rooted network → self-stabilizing BFS
+// spanning tree → k-out-of-ℓ exclusion on the extracted oriented tree.
+#include <gtest/gtest.h>
+
+#include "api/system.hpp"
+#include "proto/workload.hpp"
+#include "stree/spanning_tree.hpp"
+#include "verify/safety_monitor.hpp"
+
+namespace klex {
+namespace {
+
+tree::Tree spanning_tree_of(stree::Graph g, std::uint64_t seed) {
+  stree::SpanningTreeSystem::Config config;
+  config.graph = std::move(g);
+  config.seed = seed;
+  stree::SpanningTreeSystem system(std::move(config));
+  EXPECT_NE(system.run_until_converged(4'000'000), sim::kTimeInfinity);
+  auto extracted = system.try_extract_tree();
+  EXPECT_TRUE(extracted.has_value());
+  return *extracted;
+}
+
+void exercise_exclusion_on(tree::Tree t, std::uint64_t seed) {
+  SystemConfig config;
+  config.tree = std::move(t);
+  config.k = 2;
+  config.l = 3;
+  config.seed = seed;
+  System system(config);
+  verify::SafetyMonitor safety(system.n(), config.k, config.l);
+  system.add_listener(&safety);
+  ASSERT_NE(system.run_until_stabilized(4'000'000), sim::kTimeInfinity);
+
+  proto::NodeBehavior behavior;
+  behavior.think = proto::Dist::exponential(64);
+  behavior.cs_duration = proto::Dist::exponential(32);
+  behavior.need = proto::Dist::uniform(1, 2);
+  proto::WorkloadDriver driver(system.engine(), system, config.k,
+                               proto::uniform_behaviors(system.n(), behavior),
+                               support::Rng(seed ^ 0x51));
+  system.add_listener(&driver);
+  driver.begin();
+  system.run_until(system.engine().now() + 2'000'000);
+
+  EXPECT_GT(driver.total_grants(), 30);
+  EXPECT_FALSE(safety.any_violation());
+  EXPECT_TRUE(system.token_counts_correct());
+}
+
+TEST(Composition, GridNetwork) {
+  exercise_exclusion_on(spanning_tree_of(stree::grid(3, 3), 81), 82);
+}
+
+TEST(Composition, CycleNetwork) {
+  exercise_exclusion_on(spanning_tree_of(stree::cycle_graph(8), 83), 84);
+}
+
+TEST(Composition, RandomNetworks) {
+  support::Rng rng(85);
+  for (int trial = 0; trial < 3; ++trial) {
+    stree::Graph g = stree::random_connected(12, 8, rng);
+    exercise_exclusion_on(spanning_tree_of(std::move(g), 86 + trial),
+                          90 + trial);
+  }
+}
+
+TEST(Composition, CompleteNetworkYieldsStarLikeTree) {
+  tree::Tree t = spanning_tree_of(stree::complete_graph(6), 95);
+  // BFS from the root of a complete graph puts every node at depth 1.
+  EXPECT_EQ(t.height(), 1);
+  exercise_exclusion_on(std::move(t), 96);
+}
+
+}  // namespace
+}  // namespace klex

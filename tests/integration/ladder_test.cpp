@@ -1,0 +1,104 @@
+// The protocol ladder of Section 3 as observable behavior differences.
+#include <gtest/gtest.h>
+
+#include "api/system.hpp"
+#include "proto/workload.hpp"
+
+namespace klex {
+namespace {
+
+std::int64_t grants_under(proto::Features features, std::uint64_t seed) {
+  SystemConfig config;
+  config.tree = tree::balanced(2, 2);
+  config.k = 2;
+  config.l = 3;
+  config.features = features;
+  config.seed = seed;
+  System system(config);
+  if (features.controller) {
+    EXPECT_NE(system.run_until_stabilized(4'000'000), sim::kTimeInfinity);
+  }
+  proto::NodeBehavior behavior;
+  behavior.think = proto::Dist::exponential(64);
+  behavior.cs_duration = proto::Dist::exponential(32);
+  behavior.need = proto::Dist::uniform(1, 2);
+  proto::WorkloadDriver driver(system.engine(), system, config.k,
+                               proto::uniform_behaviors(system.n(), behavior),
+                               support::Rng(seed ^ 0xCAFE));
+  system.add_listener(&driver);
+  driver.begin();
+  system.run_until(system.engine().now() + 2'000'000);
+  return driver.total_grants();
+}
+
+TEST(Ladder, AllRungsWithPusherMakeProgress) {
+  EXPECT_GT(grants_under(proto::Features::with_pusher(), 61), 50);
+  EXPECT_GT(grants_under(proto::Features::with_priority(), 62), 50);
+  EXPECT_GT(grants_under(proto::Features::full(), 63), 50);
+}
+
+TEST(Ladder, FeatureNamesAreStable) {
+  EXPECT_STREQ(proto::Features::naive().name(), "naive");
+  EXPECT_STREQ(proto::Features::with_pusher().name(), "pusher");
+  EXPECT_STREQ(proto::Features::with_priority().name(), "pusher+priority");
+  EXPECT_STREQ(proto::Features::full().name(), "full");
+}
+
+TEST(Ladder, ControllerRequiresLowerRungs) {
+  SystemConfig config;
+  config.tree = tree::line(3);
+  config.features = proto::Features{false, false, true};
+  EXPECT_THROW(System{config}, std::invalid_argument);
+}
+
+TEST(Ladder, NonControllerRungsSeedTokensImplicitly) {
+  SystemConfig config;
+  config.tree = tree::line(3);
+  config.k = 1;
+  config.l = 2;
+  config.features = proto::Features::with_priority();
+  config.seed_tokens = false;  // forced on internally
+  System system(config);
+  system.run_until(50'000);
+  EXPECT_EQ(system.census().resource(), 2);
+  EXPECT_EQ(system.census().pusher, 1);
+  EXPECT_EQ(system.census().priority(), 1);
+}
+
+TEST(Ladder, NonControllerRungsCannotRecoverFromTokenLoss) {
+  // Sanity check of WHY the controller exists: the pusher+priority rung
+  // cannot replace lost tokens.
+  SystemConfig config;
+  config.tree = tree::line(3);
+  config.k = 1;
+  config.l = 2;
+  config.features = proto::Features::with_priority();
+  config.seed = 64;
+  System system(config);
+  system.run_until(50'000);
+  system.engine().clear_channels();  // all free tokens gone
+  system.run_until(system.engine().now() + 500'000);
+  EXPECT_EQ(system.census().resource(), 0);
+  // A request now starves forever.
+  system.request(1, 1);
+  system.run_until(system.engine().now() + 500'000);
+  EXPECT_EQ(system.state_of(1), proto::AppState::kReq);
+}
+
+TEST(Ladder, FullRungRecoversFromTheSameLoss) {
+  SystemConfig config;
+  config.tree = tree::line(3);
+  config.k = 1;
+  config.l = 2;
+  config.features = proto::Features::full();
+  config.seed = 65;
+  System system(config);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  system.engine().clear_channels();
+  system.request(1, 1);
+  system.run_until(system.engine().now() + 4'000'000);
+  EXPECT_EQ(system.state_of(1), proto::AppState::kIn);
+}
+
+}  // namespace
+}  // namespace klex

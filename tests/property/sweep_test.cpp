@@ -1,0 +1,111 @@
+// Property sweep: invariants that must hold across the whole parameter
+// space (tree shape × size × k × ℓ × seed).
+//
+//   P1 Token conservation -- once stabilized, every census reads exactly
+//      ℓ/1/1 at every poll.
+//   P2 Safety -- no safety violation after stabilization.
+//   P3 Progress -- the workload keeps being granted.
+//   P4 RSet bound -- no process ever reserves more than k tokens.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "api/system.hpp"
+#include "proto/workload.hpp"
+#include "verify/safety_monitor.hpp"
+
+namespace klex {
+namespace {
+
+using SweepParam = std::tuple<int /*shape*/, int /*kl*/, std::uint64_t>;
+
+tree::Tree make_shape(int shape, std::uint64_t seed) {
+  switch (shape) {
+    case 0: return tree::line(6);
+    case 1: return tree::star(8);
+    case 2: return tree::balanced(2, 3);
+    case 3: return tree::caterpillar(4, 2);
+    default: {
+      support::Rng rng(seed * 131 + 7);
+      return tree::random_tree(9, rng);
+    }
+  }
+}
+
+std::pair<int, int> make_kl(int kl) {
+  switch (kl) {
+    case 0: return {1, 1};   // mutual exclusion
+    case 1: return {1, 4};   // ℓ-exclusion
+    case 2: return {2, 3};
+    default: return {3, 5};
+  }
+}
+
+class SweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SweepTest, StabilizedInvariantsHold) {
+  auto [shape, kl, seed] = GetParam();
+  auto [k, l] = make_kl(kl);
+
+  SystemConfig config;
+  config.tree = make_shape(shape, seed);
+  config.k = k;
+  config.l = l;
+  config.seed = seed;
+  System system(config);
+
+  verify::SafetyMonitor safety(system.n(), k, l);
+  system.add_listener(&safety);
+
+  sim::SimTime stabilized = system.run_until_stabilized(6'000'000);
+  ASSERT_NE(stabilized, sim::kTimeInfinity);
+
+  proto::NodeBehavior behavior;
+  behavior.think = proto::Dist::exponential(48);
+  behavior.cs_duration = proto::Dist::exponential(24);
+  behavior.need = proto::Dist::uniform(1, k);
+  proto::WorkloadDriver driver(system.engine(), system, k,
+                               proto::uniform_behaviors(system.n(), behavior),
+                               support::Rng(seed ^ 0x5EED));
+  system.add_listener(&driver);
+  driver.begin();
+
+  // P1 + P4: poll censuses and RSet bounds through the loaded run.
+  for (int poll = 0; poll < 60; ++poll) {
+    system.run_until(system.engine().now() + 20'000);
+    proto::TokenCensus census = system.census();
+    ASSERT_TRUE(census.correct(l))
+        << "poll " << poll << ": census " << census.resource() << "/"
+        << census.pusher << "/" << census.priority();
+    for (proto::NodeId v = 0; v < system.n(); ++v) {
+      ASSERT_LE(system.node(v).snapshot().rset_size, k)
+          << "node " << v << " over-reserved";
+    }
+  }
+
+  // P2: no safety violations post-stabilization (the monitor only saw the
+  // loaded phase, which is entirely post-stabilization).
+  EXPECT_FALSE(safety.any_violation());
+
+  // P3: progress.
+  EXPECT_GT(driver.total_grants(), 10);
+}
+
+std::string sweep_param_name(
+    const ::testing::TestParamInfo<SweepParam>& info) {
+  static const char* kShapes[] = {"line", "star", "balanced", "caterpillar",
+                                  "random"};
+  auto [shape, kl, seed] = info.param;
+  auto [k, l] = make_kl(kl);
+  return std::string(kShapes[shape]) + "_k" + std::to_string(k) + "l" +
+         std::to_string(l) + "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesKlSeeds, SweepTest,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 4),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2})),
+    sweep_param_name);
+
+}  // namespace
+}  // namespace klex

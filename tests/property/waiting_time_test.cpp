@@ -1,0 +1,101 @@
+// Theorem 2 as a testable property: after stabilization, the measured
+// waiting time (CS entries by others between a request and its grant)
+// never exceeds ℓ(2n−3)².
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "api/system.hpp"
+#include "proto/workload.hpp"
+#include "stats/waiting_time.hpp"
+
+namespace klex {
+namespace {
+
+using Param = std::tuple<int /*shape*/, std::uint64_t /*seed*/>;
+
+class WaitingTimeBoundTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(WaitingTimeBoundTest, MeasuredWaitStaysUnderTheorem2Bound) {
+  auto [shape, seed] = GetParam();
+  tree::Tree t = shape == 0   ? tree::line(6)
+                 : shape == 1 ? tree::star(7)
+                              : tree::balanced(2, 2);
+  const int k = 2;
+  const int l = 3;
+
+  SystemConfig config;
+  config.tree = t;
+  config.k = k;
+  config.l = l;
+  config.seed = seed;
+  System system(config);
+
+  stats::WaitingTimeTracker tracker(system.n());
+  system.add_listener(&tracker);
+  ASSERT_NE(system.run_until_stabilized(6'000'000), sim::kTimeInfinity);
+  tracker.reset_samples();  // measure only the stabilized phase
+
+  // Greedy workload: every process re-requests immediately -- the
+  // adversarial pattern behind the worst case.
+  proto::NodeBehavior behavior;
+  behavior.think = proto::Dist::fixed(1);
+  behavior.cs_duration = proto::Dist::fixed(8);
+  behavior.need = proto::Dist::uniform(1, k);
+  proto::WorkloadDriver driver(system.engine(), system, k,
+                               proto::uniform_behaviors(system.n(), behavior),
+                               support::Rng(seed ^ 0x7A17));
+  system.add_listener(&driver);
+  driver.begin();
+  system.run_until(system.engine().now() + 3'000'000);
+
+  ASSERT_GT(tracker.waits().count(), 100u);
+  std::int64_t bound = stats::theorem2_bound(t.size(), l);
+  EXPECT_LE(tracker.waits().max(), static_cast<double>(bound))
+      << "waiting time exceeded the Theorem 2 bound";
+}
+
+std::string waiting_param_name(const ::testing::TestParamInfo<Param>& info) {
+  static const char* kShapes[] = {"line6", "star7", "balanced"};
+  return std::string(kShapes[std::get<0>(info.param)]) + "_s" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesSeeds, WaitingTimeBoundTest,
+    ::testing::Combine(::testing::Range(0, 3),
+                       ::testing::Values(std::uint64_t{3}, std::uint64_t{5},
+                                         std::uint64_t{8})),
+    waiting_param_name);
+
+TEST(WaitingTimeBound, BoundIsNotVacuous) {
+  // The measured maximum should be well under the quadratic bound but
+  // non-zero: requests do wait behind other entries.
+  SystemConfig config;
+  config.tree = tree::line(5);
+  config.k = 2;
+  config.l = 2;
+  config.seed = 99;
+  System system(config);
+  stats::WaitingTimeTracker tracker(system.n());
+  system.add_listener(&tracker);
+  ASSERT_NE(system.run_until_stabilized(4'000'000), sim::kTimeInfinity);
+  tracker.reset_samples();
+
+  proto::NodeBehavior behavior;
+  behavior.think = proto::Dist::fixed(1);
+  behavior.cs_duration = proto::Dist::fixed(8);
+  behavior.need = proto::Dist::fixed(2);
+  proto::WorkloadDriver driver(system.engine(), system, config.k,
+                               proto::uniform_behaviors(system.n(), behavior),
+                               support::Rng(100));
+  system.add_listener(&driver);
+  driver.begin();
+  system.run_until(system.engine().now() + 2'000'000);
+
+  ASSERT_GT(tracker.waits().count(), 50u);
+  EXPECT_GT(tracker.waits().max(), 0.0);
+}
+
+}  // namespace
+}  // namespace klex

@@ -1,0 +1,84 @@
+#include "proto/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "proto/messages.hpp"
+#include "sim/engine.hpp"
+
+namespace klex::proto {
+namespace {
+
+/// Minimal participant with settable snapshot values.
+class FakeParticipant : public ExclusionParticipant {
+ public:
+  void request(int) override {}
+  void release() override {}
+  AppState app_state() const override { return AppState::kOut; }
+  int need() const override { return 0; }
+  LocalSnapshot snapshot() const override { return snap; }
+  void corrupt(support::Rng&) override {}
+
+  LocalSnapshot snap;
+};
+
+class Sink : public sim::Process {
+ public:
+  void on_message(int, const sim::Message&) override {}
+};
+
+TEST(Census, CountsInFlightByType) {
+  sim::Engine engine;
+  engine.add_process(std::make_unique<Sink>());
+  engine.add_process(std::make_unique<Sink>());
+  engine.connect(0, 0, 1, 0);
+  engine.inject_message(0, 0, make_resource());
+  engine.inject_message(0, 0, make_resource());
+  engine.inject_message(0, 0, make_pusher());
+  engine.inject_message(0, 0, make_priority());
+  engine.inject_message(0, 0, make_ctrl(CtrlFields{}));
+  sim::Message junk;
+  junk.type = 999;
+  engine.inject_message(0, 0, junk);
+
+  TokenCensus census = take_census(engine, {});
+  EXPECT_EQ(census.free_resource, 2);
+  EXPECT_EQ(census.pusher, 1);
+  EXPECT_EQ(census.free_priority, 1);
+  EXPECT_EQ(census.control, 1);
+  EXPECT_EQ(census.reserved_resource, 0);
+  EXPECT_EQ(census.resource(), 2);
+}
+
+TEST(Census, CountsReservedAndHeld) {
+  sim::Engine engine;
+  FakeParticipant a, b;
+  a.snap.rset_size = 3;
+  a.snap.holds_priority = true;
+  b.snap.rset_size = 1;
+  TokenCensus census = take_census(engine, {&a, &b});
+  EXPECT_EQ(census.reserved_resource, 4);
+  EXPECT_EQ(census.held_priority, 1);
+  EXPECT_EQ(census.resource(), 4);
+  EXPECT_EQ(census.priority(), 1);
+}
+
+TEST(Census, CorrectPredicate) {
+  TokenCensus census;
+  census.free_resource = 2;
+  census.reserved_resource = 1;
+  census.pusher = 1;
+  census.held_priority = 1;
+  EXPECT_TRUE(census.correct(3));
+  EXPECT_FALSE(census.correct(2));
+  EXPECT_FALSE(census.correct(4));
+  census.pusher = 2;
+  EXPECT_FALSE(census.correct(3));
+  census.pusher = 1;
+  census.free_priority = 1;  // two priority tokens now
+  EXPECT_FALSE(census.correct(3));
+}
+
+}  // namespace
+}  // namespace klex::proto

@@ -1,0 +1,101 @@
+#include "proto/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace klex::proto {
+namespace {
+
+TEST(Messages, PlainTokensRoundTrip) {
+  EXPECT_EQ(type_of(make_resource()), TokenType::kResource);
+  EXPECT_EQ(type_of(make_pusher()), TokenType::kPusher);
+  EXPECT_EQ(type_of(make_priority()), TokenType::kPriority);
+}
+
+TEST(Messages, CtrlFieldsRoundTrip) {
+  CtrlFields fields;
+  fields.c = 123;
+  fields.r = true;
+  fields.pt = 6;
+  fields.ppr = 2;
+  sim::Message msg = make_ctrl(fields);
+  EXPECT_EQ(type_of(msg), TokenType::kControl);
+  CtrlFields back = ctrl_of(msg);
+  EXPECT_EQ(back.c, 123);
+  EXPECT_TRUE(back.r);
+  EXPECT_EQ(back.pt, 6);
+  EXPECT_EQ(back.ppr, 2);
+}
+
+TEST(Messages, CtrlOfNonCtrlThrows) {
+  EXPECT_THROW(ctrl_of(make_resource()), support::CheckFailure);
+}
+
+TEST(Messages, NonProtocolDetected) {
+  sim::Message junk;
+  junk.type = 77;
+  EXPECT_FALSE(is_protocol_message(junk));
+  EXPECT_TRUE(is_protocol_message(make_pusher()));
+  sim::Message zero;
+  EXPECT_FALSE(is_protocol_message(zero));
+}
+
+TEST(Messages, RandomMessagesAreWellFormed) {
+  support::Rng rng(3);
+  MessageDomains domains;
+  domains.myc_modulus = 29;
+  domains.l = 5;
+  bool saw_ctrl = false;
+  for (int i = 0; i < 500; ++i) {
+    sim::Message msg = random_message(domains, rng);
+    ASSERT_TRUE(is_protocol_message(msg));
+    if (type_of(msg) == TokenType::kControl) {
+      saw_ctrl = true;
+      CtrlFields fields = ctrl_of(msg);
+      EXPECT_GE(fields.c, 0);
+      EXPECT_LT(fields.c, 29);
+      EXPECT_GE(fields.pt, 0);
+      EXPECT_LE(fields.pt, 6);  // l + 1
+      EXPECT_GE(fields.ppr, 0);
+      EXPECT_LE(fields.ppr, 2);
+    }
+  }
+  EXPECT_TRUE(saw_ctrl);
+}
+
+TEST(Messages, RandomMessagesCoverAllTypes) {
+  support::Rng rng(9);
+  MessageDomains domains;
+  domains.myc_modulus = 5;
+  domains.l = 2;
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (int i = 0; i < 1000; ++i) {
+    ++counts[static_cast<int>(type_of(random_message(domains, rng)))];
+  }
+  for (int t = 1; t <= 4; ++t) {
+    EXPECT_GT(counts[t], 100) << "type " << t << " under-represented";
+  }
+}
+
+TEST(Messages, ToStringReadable) {
+  EXPECT_EQ(to_string(make_resource()), "ResT");
+  EXPECT_EQ(to_string(make_pusher()), "PushT");
+  EXPECT_EQ(to_string(make_priority()), "PrioT");
+  CtrlFields fields;
+  fields.c = 3;
+  fields.r = true;
+  fields.pt = 2;
+  EXPECT_EQ(to_string(make_ctrl(fields)), "ctrl(C=3,R=1,PT=2,PPr=0)");
+  sim::Message junk;
+  junk.type = 42;
+  EXPECT_EQ(to_string(junk), "raw(type=42)");
+}
+
+TEST(Messages, TokenTypeNames) {
+  EXPECT_STREQ(token_type_name(TokenType::kResource), "ResT");
+  EXPECT_STREQ(token_type_name(TokenType::kControl), "ctrl");
+}
+
+}  // namespace
+}  // namespace klex::proto

@@ -1,0 +1,199 @@
+#include "proto/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace klex::proto {
+namespace {
+
+/// RequestPort that grants instantly (or on demand) without a protocol.
+class FakePort : public RequestPort {
+ public:
+  explicit FakePort(int n) : states(static_cast<std::size_t>(n),
+                                    AppState::kOut) {}
+
+  void request(NodeId node, int need) override {
+    states[static_cast<std::size_t>(node)] = AppState::kReq;
+    last_need = need;
+    ++requests;
+  }
+
+  void release(NodeId node) override {
+    states[static_cast<std::size_t>(node)] = AppState::kOut;
+    ++releases;
+  }
+
+  AppState state_of(NodeId node) const override {
+    return states[static_cast<std::size_t>(node)];
+  }
+
+  /// Simulates the protocol granting node's request.
+  void grant(NodeId node, WorkloadDriver& driver, sim::SimTime at) {
+    states[static_cast<std::size_t>(node)] = AppState::kIn;
+    driver.on_enter_cs(node, last_need, at);
+  }
+
+  std::vector<AppState> states;
+  int last_need = 0;
+  int requests = 0;
+  int releases = 0;
+};
+
+TEST(Dist, FixedSamplesConstant) {
+  support::Rng rng(1);
+  Dist d = Dist::fixed(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.sample(rng), 42u);
+}
+
+TEST(Dist, UniformWithinBounds) {
+  support::Rng rng(2);
+  Dist d = Dist::uniform(10, 20);
+  for (int i = 0; i < 500; ++i) {
+    auto v = d.sample(rng);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Dist, ExponentialNonNegative) {
+  support::Rng rng(3);
+  Dist d = Dist::exponential(50);
+  double total = 0;
+  for (int i = 0; i < 5000; ++i) total += static_cast<double>(d.sample(rng));
+  EXPECT_NEAR(total / 5000, 50.0, 5.0);
+}
+
+TEST(Dist, NegativeFixedClampsToZero) {
+  support::Rng rng(4);
+  EXPECT_EQ(Dist::fixed(-5).sample(rng), 0u);
+}
+
+TEST(Workload, ClosedLoopIssuesAndReissues) {
+  sim::Engine engine;
+  FakePort port(2);
+  NodeBehavior behavior;
+  behavior.think = Dist::fixed(10);
+  behavior.cs_duration = Dist::fixed(5);
+  WorkloadDriver driver(engine, port, 1, uniform_behaviors(2, behavior),
+                        support::Rng(7));
+  driver.begin();
+  engine.run_until(10);
+  EXPECT_EQ(port.requests, 2);
+  EXPECT_EQ(driver.outstanding(), 2);
+
+  // Grant node 0; driver schedules its release after cs_duration.
+  port.grant(0, driver, engine.now());
+  EXPECT_EQ(driver.outstanding(), 1);
+  EXPECT_EQ(driver.grants(0), 1);
+  engine.run_until(engine.now() + 5);
+  EXPECT_EQ(port.releases, 1);
+  // After release + think the driver must re-request.
+  driver.on_exit_cs(0, engine.now());
+  engine.run_until(engine.now() + 10);
+  EXPECT_EQ(driver.requests_issued(0), 2);
+}
+
+TEST(Workload, MaxRequestsStopsCycle) {
+  sim::Engine engine;
+  FakePort port(1);
+  NodeBehavior behavior;
+  behavior.think = Dist::fixed(1);
+  behavior.cs_duration = Dist::fixed(1);
+  behavior.max_requests = 3;
+  WorkloadDriver driver(engine, port, 1, {behavior}, support::Rng(8));
+  driver.begin();
+  for (int round = 0; round < 10; ++round) {
+    engine.run_until(engine.now() + 2);
+    if (port.state_of(0) == AppState::kReq) {
+      port.grant(0, driver, engine.now());
+      engine.run_until(engine.now() + 2);
+      driver.on_exit_cs(0, engine.now());
+    }
+  }
+  EXPECT_EQ(driver.requests_issued(0), 3);
+}
+
+TEST(Workload, InactiveNodesNeverRequest) {
+  sim::Engine engine;
+  FakePort port(2);
+  NodeBehavior active;
+  NodeBehavior inactive;
+  inactive.active = false;
+  WorkloadDriver driver(engine, port, 1, {active, inactive},
+                        support::Rng(9));
+  driver.begin();
+  engine.run_until(1000);
+  EXPECT_EQ(driver.requests_issued(0), 1);
+  EXPECT_EQ(driver.requests_issued(1), 0);
+}
+
+TEST(Workload, HoldForeverNeverReleases) {
+  sim::Engine engine;
+  FakePort port(1);
+  NodeBehavior behavior;
+  behavior.hold_forever = true;
+  behavior.think = Dist::fixed(1);
+  WorkloadDriver driver(engine, port, 1, {behavior}, support::Rng(10));
+  driver.begin();
+  engine.run_until(5);
+  port.grant(0, driver, engine.now());
+  engine.run_until(engine.now() + 10000);
+  EXPECT_EQ(port.releases, 0);
+}
+
+TEST(Workload, NeedClampedToK) {
+  sim::Engine engine;
+  FakePort port(1);
+  NodeBehavior behavior;
+  behavior.think = Dist::fixed(1);
+  behavior.need = Dist::fixed(99);
+  WorkloadDriver driver(engine, port, 3, {behavior}, support::Rng(11));
+  driver.begin();
+  engine.run_until(5);
+  EXPECT_EQ(port.last_need, 3);
+}
+
+TEST(Workload, ResyncSchedulesReleaseForStuckIn) {
+  sim::Engine engine;
+  FakePort port(1);
+  NodeBehavior behavior;
+  behavior.cs_duration = Dist::fixed(7);
+  WorkloadDriver driver(engine, port, 1, {behavior}, support::Rng(12));
+  // Simulate corruption: node is In but the driver never saw an entry.
+  port.states[0] = AppState::kIn;
+  driver.resync();
+  engine.run_until(20);
+  EXPECT_EQ(port.releases, 1);
+}
+
+TEST(Workload, ResyncRestartsIdleActiveNodes) {
+  sim::Engine engine;
+  FakePort port(1);
+  NodeBehavior behavior;
+  behavior.think = Dist::fixed(3);
+  WorkloadDriver driver(engine, port, 1, {behavior}, support::Rng(13));
+  // No begin(): resync alone must start the loop for an Out node.
+  driver.resync();
+  engine.run_until(10);
+  EXPECT_EQ(driver.requests_issued(0), 1);
+}
+
+TEST(Workload, TotalsAggregate) {
+  sim::Engine engine;
+  FakePort port(3);
+  NodeBehavior behavior;
+  behavior.think = Dist::fixed(1);
+  WorkloadDriver driver(engine, port, 1, uniform_behaviors(3, behavior),
+                        support::Rng(14));
+  driver.begin();
+  engine.run_until(5);
+  EXPECT_EQ(driver.total_requests(), 3);
+  port.grant(1, driver, engine.now());
+  EXPECT_EQ(driver.total_grants(), 1);
+}
+
+}  // namespace
+}  // namespace klex::proto

@@ -1,0 +1,232 @@
+// White-box tests of the ring baseline's handlers, mirroring the tree's
+// handler tests: exact sends and counter updates per message.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "proto/messages.hpp"
+#include "ring/ring_process.hpp"
+#include "sim/engine.hpp"
+
+namespace klex::ring {
+namespace {
+
+class Probe : public sim::Process {
+ public:
+  void on_message(int, const sim::Message& msg) override {
+    received.push_back(msg);
+  }
+  std::vector<sim::Message> received;
+};
+
+class EventLog : public proto::Listener {
+ public:
+  void on_circulation_end(int resource, int pusher, int priority, bool reset,
+                          sim::SimTime) override {
+    ++circulations;
+    last_resource = resource;
+    last_pusher = pusher;
+    last_priority = priority;
+    last_reset = reset;
+  }
+  int circulations = 0;
+  int last_resource = -1, last_pusher = -1, last_priority = -1;
+  bool last_reset = false;
+};
+
+/// DUT on a 2-node ring: probe -> dut -> probe (successor).
+template <typename ProcessT>
+struct Harness {
+  Harness(core::Params params, std::int32_t modulus) {
+    engine = std::make_unique<sim::Engine>(sim::DelayModel{1, 1}, 1);
+    auto process = std::make_unique<ProcessT>(params, modulus, &log);
+    dut = process.get();
+    engine->add_process(std::move(process));    // node 0
+    auto succ = std::make_unique<Probe>();
+    successor = succ.get();
+    engine->add_process(std::move(succ));       // node 1
+    engine->connect(0, 0, 1, 0);                // dut -> successor
+    engine->connect(1, 0, 0, 0);                // pred(=probe) -> dut
+    engine->start();
+    engine->run_until(64);                      // swallow bootstrap
+    successor->received.clear();
+  }
+
+  void deliver(const sim::Message& msg) {
+    engine->send_from(1, 0, msg);
+    engine->run_until(engine->now() + 64);
+  }
+
+  std::vector<sim::Message> drain() {
+    auto out = std::move(successor->received);
+    successor->received.clear();
+    return out;
+  }
+
+  EventLog log;
+  std::unique_ptr<sim::Engine> engine;
+  ProcessT* dut = nullptr;
+  Probe* successor = nullptr;
+};
+
+core::Params ring_params(int k, int l, proto::Features features) {
+  core::Params params;
+  params.k = k;
+  params.l = l;
+  params.features = features;
+  params.timeout_period = 1'000'000;
+  return params;
+}
+
+TEST(RingRoot, ForwardedResourceCountsSToken) {
+  Harness<RingRootProcess> h(ring_params(1, 2, proto::Features::naive()), 5);
+  h.deliver(proto::make_resource());
+  EXPECT_EQ(h.drain().size(), 1u);
+  EXPECT_EQ(h.dut->snapshot().stoken, 1);
+}
+
+TEST(RingRoot, ReservedResourceNotCountedUntilCirculationEnd) {
+  // Unlike the tree (whose controller misses root reservations without
+  // the arrival-count fix), the ring's circulation-end includes the
+  // root's whole RSet, so reservations must NOT be counted at arrival.
+  Harness<RingRootProcess> h(ring_params(1, 2, proto::Features::naive()), 5);
+  h.dut->request(1);
+  h.deliver(proto::make_resource());
+  EXPECT_EQ(h.dut->snapshot().rset_size, 1);
+  EXPECT_EQ(h.dut->snapshot().stoken, 0);
+}
+
+TEST(RingRoot, ReleaseCountsForwardedTokens) {
+  Harness<RingRootProcess> h(ring_params(2, 3, proto::Features::naive()), 5);
+  h.dut->request(2);
+  h.deliver(proto::make_resource());
+  h.deliver(proto::make_resource());
+  ASSERT_EQ(h.dut->app_state(), proto::AppState::kIn);
+  h.drain();
+  h.dut->release();
+  h.engine->run_until(h.engine->now() + 64);
+  EXPECT_EQ(h.drain().size(), 2u);
+  EXPECT_EQ(h.dut->snapshot().stoken, 2);  // both start new loops
+}
+
+TEST(RingRoot, CirculationEndCountsOwnRset) {
+  Harness<RingRootProcess> h(ring_params(2, 3, proto::Features::full()), 5);
+  h.dut->request(2);
+  h.deliver(proto::make_resource());
+  ASSERT_EQ(h.dut->snapshot().rset_size, 1);
+  // Controller returns with PT=2 from the rest of the ring: resource
+  // census = 2 + rset(1) + stoken(0) = 3 = l: no reset, no resource mint.
+  // (No pusher passed the root this loop, so SPush=0 and the root tops
+  // the pusher up -- that is the deficit path working as intended.)
+  h.deliver(proto::make_ctrl(proto::CtrlFields{0, false, 2, 1}));
+  EXPECT_EQ(h.log.circulations, 1);
+  EXPECT_EQ(h.log.last_resource, 3);
+  EXPECT_FALSE(h.log.last_reset);
+  auto out = h.drain();
+  ASSERT_EQ(out.size(), 2u);  // minted pusher + the next controller
+  EXPECT_EQ(proto::type_of(out[0]), proto::TokenType::kPusher);
+  EXPECT_EQ(proto::ctrl_of(out[1]).c, 1);
+  EXPECT_EQ(proto::ctrl_of(out[1]).pt, 0);  // fresh census
+}
+
+TEST(RingRoot, StaleControllerAbsorbed) {
+  Harness<RingRootProcess> h(ring_params(1, 2, proto::Features::full()), 5);
+  h.deliver(proto::make_ctrl(proto::CtrlFields{3, false, 0, 0}));  // wrong c
+  EXPECT_TRUE(h.drain().empty());
+  EXPECT_EQ(h.log.circulations, 0);
+}
+
+TEST(RingRoot, SurplusTriggersReset) {
+  Harness<RingRootProcess> h(ring_params(1, 2, proto::Features::full()), 5);
+  h.deliver(proto::make_ctrl(proto::CtrlFields{0, false, 3, 1}));
+  EXPECT_TRUE(h.log.last_reset);
+  EXPECT_TRUE(h.dut->in_reset());
+  // Tokens arriving during reset are erased.
+  h.deliver(proto::make_resource());
+  auto out = h.drain();
+  ASSERT_EQ(out.size(), 1u);  // only the reset controller went out
+  EXPECT_TRUE(proto::ctrl_of(out[0]).r);
+}
+
+TEST(RingRoot, ResetEndRestoresPopulation) {
+  Harness<RingRootProcess> h(ring_params(1, 2, proto::Features::full()), 5);
+  h.deliver(proto::make_ctrl(proto::CtrlFields{0, false, 3, 1}));  // reset
+  h.drain();
+  h.deliver(proto::make_ctrl(proto::CtrlFields{1, true, 0, 0}));   // returns
+  EXPECT_FALSE(h.dut->in_reset());
+  auto out = h.drain();
+  // priority + 2 resource + pusher + controller.
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(proto::type_of(out[0]), proto::TokenType::kPriority);
+  EXPECT_EQ(proto::type_of(out.back()), proto::TokenType::kControl);
+}
+
+TEST(RingMember, TokensReserveOrForward) {
+  Harness<RingMemberProcess> h(ring_params(1, 2, proto::Features::naive()),
+                               5);
+  h.deliver(proto::make_resource());
+  EXPECT_EQ(h.drain().size(), 1u);  // non-requester forwards
+  h.dut->request(1);
+  h.deliver(proto::make_resource());
+  EXPECT_TRUE(h.drain().empty());   // reserved
+  EXPECT_EQ(h.dut->app_state(), proto::AppState::kIn);
+}
+
+TEST(RingMember, FreshControllerAdoptsAndCounts) {
+  Harness<RingMemberProcess> h(ring_params(2, 3, proto::Features::full()),
+                               5);
+  h.dut->request(2);
+  h.deliver(proto::make_resource());
+  h.deliver(proto::make_priority());
+  ASSERT_TRUE(h.dut->snapshot().holds_priority);
+  h.deliver(proto::make_ctrl(proto::CtrlFields{2, false, 1, 0}));
+  EXPECT_EQ(h.dut->snapshot().myc, 2);
+  auto out = h.drain();
+  ASSERT_EQ(out.size(), 1u);
+  proto::CtrlFields fields = proto::ctrl_of(out[0]);
+  EXPECT_EQ(fields.pt, 2);   // 1 incoming + 1 reserved
+  EXPECT_EQ(fields.ppr, 1);  // held priority counted
+}
+
+TEST(RingMember, DuplicateControllerFlushedThroughUnchanged) {
+  Harness<RingMemberProcess> h(ring_params(2, 3, proto::Features::full()),
+                               5);
+  h.dut->request(2);
+  h.deliver(proto::make_resource());
+  h.deliver(proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  h.drain();
+  // Same flag again: a duplicate; forwarded verbatim, nothing counted.
+  h.deliver(proto::make_ctrl(proto::CtrlFields{2, false, 0, 0}));
+  auto out = h.drain();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(proto::ctrl_of(out[0]).pt, 0);
+}
+
+TEST(RingMember, ResetFlagErasesTokens) {
+  Harness<RingMemberProcess> h(ring_params(2, 3, proto::Features::full()),
+                               5);
+  h.dut->request(2);
+  h.deliver(proto::make_resource());
+  h.deliver(proto::make_priority());
+  h.deliver(proto::make_ctrl(proto::CtrlFields{4, true, 0, 0}));
+  EXPECT_EQ(h.dut->snapshot().rset_size, 0);
+  EXPECT_FALSE(h.dut->snapshot().holds_priority);
+}
+
+TEST(RingMember, PusherReleasesUnprotectedReservations) {
+  Harness<RingMemberProcess> h(
+      ring_params(2, 3, proto::Features::with_pusher()), 5);
+  h.dut->request(2);
+  h.deliver(proto::make_resource());
+  ASSERT_EQ(h.dut->snapshot().rset_size, 1);
+  h.deliver(proto::make_pusher());
+  EXPECT_EQ(h.dut->snapshot().rset_size, 0);
+  auto out = h.drain();
+  ASSERT_EQ(out.size(), 2u);  // released ResT + forwarded PushT
+  EXPECT_EQ(proto::type_of(out[0]), proto::TokenType::kResource);
+  EXPECT_EQ(proto::type_of(out[1]), proto::TokenType::kPusher);
+}
+
+}  // namespace
+}  // namespace klex::ring

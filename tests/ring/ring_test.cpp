@@ -1,0 +1,152 @@
+// Ring baseline: the same token machinery on an oriented ring.
+#include <gtest/gtest.h>
+
+#include "proto/workload.hpp"
+#include "ring/ring_system.hpp"
+#include "verify/safety_monitor.hpp"
+
+namespace klex::ring {
+namespace {
+
+TEST(RingModulus, FollowsFormula) {
+  EXPECT_EQ(ring_myc_modulus(4, 0), 5);
+  EXPECT_EQ(ring_myc_modulus(4, 3), 17);
+  EXPECT_THROW(ring_myc_modulus(1, 0), std::invalid_argument);
+}
+
+TEST(Ring, BootstrapMintsPopulation) {
+  RingConfig config;
+  config.n = 6;
+  config.k = 2;
+  config.l = 3;
+  config.seed = 21;
+  RingSystem system(config);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  proto::TokenCensus census = system.census();
+  EXPECT_EQ(census.resource(), 3);
+  EXPECT_EQ(census.pusher, 1);
+  EXPECT_EQ(census.priority(), 1);
+}
+
+TEST(Ring, SingleRequestGranted) {
+  RingConfig config;
+  config.n = 5;
+  config.k = 2;
+  config.l = 2;
+  config.seed = 22;
+  RingSystem system(config);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  system.request(3, 2);
+  system.run_until(system.engine().now() + 200'000);
+  EXPECT_EQ(system.state_of(3), proto::AppState::kIn);
+  system.release(3);
+  system.run_until(system.engine().now() + 10'000);
+  EXPECT_EQ(system.state_of(3), proto::AppState::kOut);
+  EXPECT_TRUE(system.token_counts_correct());
+}
+
+TEST(Ring, WorkloadRunsSafely) {
+  RingConfig config;
+  config.n = 8;
+  config.k = 2;
+  config.l = 4;
+  config.seed = 23;
+  RingSystem system(config);
+  verify::SafetyMonitor safety(config.n, config.k, config.l);
+  system.add_listener(&safety);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+
+  proto::NodeBehavior behavior;
+  behavior.think = proto::Dist::exponential(32);
+  behavior.cs_duration = proto::Dist::exponential(24);
+  behavior.need = proto::Dist::uniform(1, 2);
+  proto::WorkloadDriver driver(system.engine(), system, config.k,
+                               proto::uniform_behaviors(config.n, behavior),
+                               support::Rng(24));
+  system.add_listener(&driver);
+  driver.begin();
+  system.run_until(system.engine().now() + 2'000'000);
+
+  EXPECT_GT(driver.total_grants(), 50);
+  EXPECT_FALSE(safety.any_violation());
+  EXPECT_TRUE(system.token_counts_correct());
+}
+
+TEST(Ring, RecoversFromTransientFault) {
+  RingConfig config;
+  config.n = 6;
+  config.k = 2;
+  config.l = 3;
+  config.cmax = 3;
+  config.seed = 25;
+  RingSystem system(config);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+
+  support::Rng fault_rng(26);
+  for (int fault = 0; fault < 3; ++fault) {
+    system.inject_transient_fault(fault_rng);
+    ASSERT_NE(
+        system.run_until_stabilized(system.engine().now() + 20'000'000),
+        sim::kTimeInfinity)
+        << "fault " << fault;
+    EXPECT_TRUE(system.token_counts_correct());
+  }
+}
+
+TEST(Ring, SurplusResourcePurged) {
+  RingConfig config;
+  config.n = 5;
+  config.k = 1;
+  config.l = 2;
+  config.seed = 27;
+  RingSystem system(config);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  system.engine().inject_message(2, 0, proto::make_resource());
+  system.engine().inject_message(3, 0, proto::make_resource());
+  ASSERT_NE(system.run_until_stabilized(system.engine().now() + 10'000'000),
+            sim::kTimeInfinity);
+  EXPECT_EQ(system.census().resource(), 2);
+}
+
+TEST(Ring, SeededStartWorks) {
+  RingConfig config;
+  config.n = 4;
+  config.k = 1;
+  config.l = 1;
+  config.seed_tokens = true;
+  config.seed = 28;
+  RingSystem system(config);
+  ASSERT_NE(system.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  system.request(2, 1);
+  system.run_until(system.engine().now() + 100'000);
+  EXPECT_EQ(system.state_of(2), proto::AppState::kIn);
+}
+
+TEST(Ring, NonControllerLadderAlsoServes) {
+  RingConfig config;
+  config.n = 5;
+  config.k = 2;
+  config.l = 3;
+  config.features = proto::Features::with_priority();
+  config.seed = 29;
+  RingSystem system(config);
+  system.request(1, 2);
+  system.request(4, 2);
+  system.run_until(400'000);
+  int served = (system.state_of(1) == proto::AppState::kIn ? 1 : 0) +
+               (system.state_of(4) == proto::AppState::kIn ? 1 : 0);
+  EXPECT_GE(served, 1);
+}
+
+TEST(Ring, RejectsBadConfig) {
+  RingConfig config;
+  config.n = 1;
+  EXPECT_THROW(RingSystem{config}, std::invalid_argument);
+  config.n = 3;
+  config.k = 3;
+  config.l = 2;
+  EXPECT_THROW(RingSystem{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace klex::ring

@@ -1,0 +1,300 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace klex::sim {
+namespace {
+
+/// Records deliveries; optionally echoes each message back.
+class Recorder : public Process {
+ public:
+  explicit Recorder(bool echo = false) : echo_(echo) {}
+
+  void on_message(int channel, const Message& msg) override {
+    deliveries.push_back({now(), channel, msg});
+    if (echo_ && msg.f0 > 0) {
+      Message reply = msg;
+      --reply.f0;
+      send(channel, reply);
+    }
+  }
+
+  void on_timer(int timer_id) override { timer_fires.push_back(timer_id); }
+
+  struct Delivery {
+    SimTime at;
+    int channel;
+    Message msg;
+  };
+
+  std::vector<Delivery> deliveries;
+  std::vector<int> timer_fires;
+
+  using Process::cancel_timer;
+  using Process::send;
+  using Process::set_timer;
+
+ private:
+  bool echo_;
+};
+
+Message tagged(std::int32_t tag) {
+  Message msg;
+  msg.type = 1;
+  msg.f0 = tag;
+  return msg;
+}
+
+/// Two nodes connected in both directions on channel 0.
+struct Pair {
+  explicit Pair(DelayModel delays = {}, std::uint64_t seed = 1)
+      : engine(delays, seed) {
+    auto p0 = std::make_unique<Recorder>();
+    auto p1 = std::make_unique<Recorder>();
+    a = p0.get();
+    b = p1.get();
+    engine.add_process(std::move(p0));
+    engine.add_process(std::move(p1));
+    engine.connect(0, 0, 1, 0);
+    engine.connect(1, 0, 0, 0);
+  }
+  Engine engine;
+  Recorder* a;
+  Recorder* b;
+};
+
+TEST(Engine, DeliversMessages) {
+  Pair net;
+  net.engine.start();
+  net.a->send(0, tagged(7));
+  net.engine.run_until(1000);
+  ASSERT_EQ(net.b->deliveries.size(), 1u);
+  EXPECT_EQ(net.b->deliveries[0].msg.f0, 7);
+  EXPECT_EQ(net.b->deliveries[0].channel, 0);
+}
+
+TEST(Engine, FifoOrderPreserved) {
+  Pair net(DelayModel{1, 64}, 3);
+  net.engine.start();
+  for (std::int32_t i = 0; i < 100; ++i) net.a->send(0, tagged(i));
+  net.engine.run_until(100000);
+  ASSERT_EQ(net.b->deliveries.size(), 100u);
+  for (std::int32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(net.b->deliveries[static_cast<std::size_t>(i)].msg.f0, i)
+        << "FIFO violated at position " << i;
+  }
+}
+
+TEST(Engine, DelayWithinBounds) {
+  Pair net(DelayModel{5, 9}, 11);
+  net.engine.start();
+  net.a->send(0, tagged(1));
+  net.engine.run_until(100);
+  ASSERT_EQ(net.b->deliveries.size(), 1u);
+  EXPECT_GE(net.b->deliveries[0].at, 5u);
+  EXPECT_LE(net.b->deliveries[0].at, 9u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Pair net(DelayModel{1, 16}, seed);
+    net.engine.start();
+    for (std::int32_t i = 0; i < 50; ++i) net.a->send(0, tagged(i));
+    net.engine.run_until(100000);
+    std::vector<SimTime> times;
+    for (const auto& d : net.b->deliveries) times.push_back(d.at);
+    return times;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Engine, PingPongTerminates) {
+  Pair net;
+  net.engine.start();
+  // Echo 10 bounces.
+  auto echo_pair = Pair(DelayModel{1, 4}, 5);
+  // Rebuild with echo processes.
+  Engine engine(DelayModel{1, 4}, 5);
+  auto p0 = std::make_unique<Recorder>(true);
+  auto p1 = std::make_unique<Recorder>(true);
+  Recorder* a = p0.get();
+  Recorder* b = p1.get();
+  engine.add_process(std::move(p0));
+  engine.add_process(std::move(p1));
+  engine.connect(0, 0, 1, 0);
+  engine.connect(1, 0, 0, 0);
+  engine.start();
+  a->send(0, tagged(9));  // 9 echoes follow
+  EXPECT_TRUE(engine.run_until_message_quiescence(10000));
+  EXPECT_EQ(engine.messages_delivered(), 10u);
+  EXPECT_EQ(a->deliveries.size() + b->deliveries.size(), 10u);
+  (void)echo_pair;
+}
+
+TEST(Engine, TimerFiresOnce) {
+  Pair net;
+  net.engine.start();
+  net.a->set_timer(2, 50);
+  net.engine.run_until(200);
+  ASSERT_EQ(net.a->timer_fires.size(), 1u);
+  EXPECT_EQ(net.a->timer_fires[0], 2);
+}
+
+TEST(Engine, TimerRearmInvalidatesPrevious) {
+  Pair net;
+  net.engine.start();
+  net.a->set_timer(0, 100);
+  net.a->set_timer(0, 500);  // rearm before first fire
+  net.engine.run_until(300);
+  EXPECT_TRUE(net.a->timer_fires.empty());
+  net.engine.run_until(600);
+  EXPECT_EQ(net.a->timer_fires.size(), 1u);
+}
+
+TEST(Engine, TimerCancel) {
+  Pair net;
+  net.engine.start();
+  net.a->set_timer(1, 100);
+  net.a->cancel_timer(1);
+  net.engine.run_until(1000);
+  EXPECT_TRUE(net.a->timer_fires.empty());
+}
+
+TEST(Engine, ScheduledCallbacksRun) {
+  Pair net;
+  net.engine.start();
+  int fired = 0;
+  net.engine.schedule(10, [&fired] { ++fired; });
+  net.engine.schedule(20, [&fired] { ++fired; });
+  net.engine.run_until(15);
+  EXPECT_EQ(fired, 1);
+  net.engine.run_until(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, InFlightAccounting) {
+  Pair net;
+  net.engine.start();
+  net.a->send(0, tagged(1));
+  net.a->send(0, tagged(2));
+  EXPECT_EQ(net.engine.in_flight_messages(), 2u);
+  net.engine.run_until(100000);
+  EXPECT_EQ(net.engine.in_flight_messages(), 0u);
+  EXPECT_EQ(net.engine.messages_sent(), 2u);
+  EXPECT_EQ(net.engine.messages_delivered(), 2u);
+}
+
+TEST(Engine, ForEachInFlightSeesQueuedMessages) {
+  Pair net;
+  net.engine.start();
+  net.a->send(0, tagged(5));
+  int seen = 0;
+  net.engine.for_each_in_flight(
+      [&seen](const ChannelInfo& info, const Message& msg) {
+        ++seen;
+        EXPECT_EQ(info.from, 0);
+        EXPECT_EQ(info.to, 1);
+        EXPECT_EQ(msg.f0, 5);
+      });
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(net.engine.channel_backlog(0, 0), 1);
+  EXPECT_EQ(net.engine.channel_backlog(1, 0), 0);
+}
+
+TEST(Engine, ClearChannelsDropsMessages) {
+  Pair net;
+  net.engine.start();
+  net.a->send(0, tagged(1));
+  net.a->send(0, tagged(2));
+  net.engine.clear_channels();
+  EXPECT_EQ(net.engine.in_flight_messages(), 0u);
+  net.engine.run_until(100000);
+  EXPECT_TRUE(net.b->deliveries.empty());
+}
+
+TEST(Engine, InjectMessageBehavesLikeSend) {
+  Pair net;
+  net.engine.start();
+  net.engine.inject_message(0, 0, tagged(33));
+  net.engine.run_until(1000);
+  ASSERT_EQ(net.b->deliveries.size(), 1u);
+  EXPECT_EQ(net.b->deliveries[0].msg.f0, 33);
+  // Injection is not counted as a protocol send.
+  EXPECT_EQ(net.engine.messages_sent(), 0u);
+  EXPECT_EQ(net.engine.messages_delivered(), 1u);
+}
+
+TEST(Engine, InjectionPreservesFifoWithSends) {
+  Pair net(DelayModel{1, 32}, 7);
+  net.engine.start();
+  net.engine.inject_message(0, 0, tagged(100));
+  net.a->send(0, tagged(101));
+  net.engine.inject_message(0, 0, tagged(102));
+  net.engine.run_until(10000);
+  ASSERT_EQ(net.b->deliveries.size(), 3u);
+  EXPECT_EQ(net.b->deliveries[0].msg.f0, 100);
+  EXPECT_EQ(net.b->deliveries[1].msg.f0, 101);
+  EXPECT_EQ(net.b->deliveries[2].msg.f0, 102);
+}
+
+TEST(Engine, ObserverSeesTraffic) {
+  class Counter : public SimObserver {
+   public:
+    void on_send(SimTime, NodeId, int, const Message&) override { ++sends; }
+    void on_deliver(SimTime, NodeId, int, const Message&) override {
+      ++delivers;
+    }
+    int sends = 0;
+    int delivers = 0;
+  };
+  Pair net;
+  Counter counter;
+  net.engine.add_observer(&counter);
+  net.engine.start();
+  net.a->send(0, tagged(1));
+  net.engine.run_until(1000);
+  EXPECT_EQ(counter.sends, 1);
+  EXPECT_EQ(counter.delivers, 1);
+}
+
+TEST(Engine, RunEventsBudget) {
+  Pair net;
+  net.engine.start();
+  for (int i = 0; i < 10; ++i) net.a->send(0, tagged(i));
+  EXPECT_EQ(net.engine.run_events(4), 4u);
+  EXPECT_EQ(net.b->deliveries.size(), 4u);
+}
+
+TEST(Engine, ConnectValidation) {
+  Engine engine;
+  engine.add_process(std::make_unique<Recorder>());
+  engine.add_process(std::make_unique<Recorder>());
+  engine.connect(0, 0, 1, 0);
+  EXPECT_THROW(engine.connect(0, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(engine.connect(5, 0, 1, 0), std::invalid_argument);
+}
+
+TEST(Engine, BadDelayModelRejected) {
+  EXPECT_THROW(Engine(DelayModel{0, 5}), std::invalid_argument);
+  EXPECT_THROW(Engine(DelayModel{6, 5}), std::invalid_argument);
+}
+
+TEST(Engine, TimeAdvancesMonotonically) {
+  Pair net(DelayModel{1, 8}, 13);
+  net.engine.start();
+  for (int i = 0; i < 20; ++i) net.a->send(0, tagged(i));
+  SimTime last = 0;
+  while (net.engine.step()) {
+    EXPECT_GE(net.engine.now(), last);
+    last = net.engine.now();
+  }
+}
+
+}  // namespace
+}  // namespace klex::sim

@@ -1,0 +1,31 @@
+// End-to-end smoke test: the full protocol on a small tree grants a
+// simple request and the token population is correct.
+#include <gtest/gtest.h>
+
+#include "api/system.hpp"
+#include "tree/tree.hpp"
+
+namespace klex {
+namespace {
+
+TEST(Smoke, SingleRequestIsGranted) {
+  SystemConfig config;
+  config.tree = tree::figure1_tree();
+  config.k = 2;
+  config.l = 3;
+  config.seed = 1;
+  System system(config);
+
+  // Let the controller bootstrap the token population.
+  sim::SimTime stabilized = system.run_until_stabilized(1'000'000);
+  ASSERT_NE(stabilized, sim::kTimeInfinity) << "never stabilized";
+  EXPECT_TRUE(system.token_counts_correct());
+
+  system.request(3, 2);
+  EXPECT_EQ(system.state_of(3), proto::AppState::kReq);
+  system.run_until(system.engine().now() + 200'000);
+  EXPECT_EQ(system.state_of(3), proto::AppState::kIn);
+}
+
+}  // namespace
+}  // namespace klex

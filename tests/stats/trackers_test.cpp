@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "stats/throughput.hpp"
+#include "stats/waiting_time.hpp"
+
+namespace klex::stats {
+namespace {
+
+TEST(WaitingTime, CountsEntriesByOthers) {
+  WaitingTimeTracker tracker(3);
+  // Node 0 requests; nodes 1 and 2 enter twice before node 0 gets in.
+  tracker.on_request(0, 1, 0);
+  tracker.on_enter_cs(1, 1, 5);
+  tracker.on_enter_cs(2, 1, 7);
+  tracker.on_enter_cs(1, 1, 12);
+  tracker.on_enter_cs(0, 1, 20);
+  ASSERT_EQ(tracker.waits().count(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.waits().max(), 3.0);
+  EXPECT_EQ(tracker.global_entries(), 4);
+}
+
+TEST(WaitingTime, ZeroWaitWhenImmediatelyServed) {
+  WaitingTimeTracker tracker(2);
+  tracker.on_request(1, 1, 0);
+  tracker.on_enter_cs(1, 1, 1);
+  EXPECT_DOUBLE_EQ(tracker.waits().max(), 0.0);
+}
+
+TEST(WaitingTime, EntryWithoutRequestIgnoredForSamples) {
+  WaitingTimeTracker tracker(2);
+  tracker.on_enter_cs(0, 1, 1);  // corruption-induced
+  EXPECT_EQ(tracker.waits().count(), 0u);
+  EXPECT_EQ(tracker.global_entries(), 1);
+}
+
+TEST(WaitingTime, ResetSamplesKeepsCounter) {
+  WaitingTimeTracker tracker(2);
+  tracker.on_request(0, 1, 0);
+  tracker.on_enter_cs(0, 1, 1);
+  tracker.reset_samples();
+  EXPECT_EQ(tracker.waits().count(), 0u);
+  EXPECT_EQ(tracker.global_entries(), 1);
+  // In-flight requests spanning the reset still produce a sample.
+  tracker.on_request(1, 1, 2);
+  tracker.on_enter_cs(0, 1, 3);
+  tracker.on_enter_cs(1, 1, 4);
+  EXPECT_EQ(tracker.waits().count(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.waits().max(), 1.0);
+}
+
+TEST(WaitingTime, Theorem2BoundFormula) {
+  EXPECT_EQ(theorem2_bound(2, 1), 1);        // (2·2−3)² = 1
+  EXPECT_EQ(theorem2_bound(3, 1), 9);        // 3² = 9
+  EXPECT_EQ(theorem2_bound(8, 5), 5 * 169);  // 13²·5
+  EXPECT_THROW(theorem2_bound(1, 1), std::invalid_argument);
+}
+
+TEST(Throughput, CountsEntriesAndUnits) {
+  ThroughputTracker tracker(2);
+  tracker.start_window(0);
+  tracker.on_enter_cs(0, 2, 10);
+  tracker.on_exit_cs(0, 30);  // 2 units × 20 ticks
+  tracker.on_enter_cs(1, 1, 20);
+  EXPECT_EQ(tracker.entries(), 2);
+  EXPECT_EQ(tracker.units_granted(), 3);
+  // At t=50: done 40 + in-progress 1 × 30.
+  EXPECT_DOUBLE_EQ(tracker.unit_time(50), 70.0);
+}
+
+TEST(Throughput, RatesOverWindow) {
+  ThroughputTracker tracker(1);
+  tracker.start_window(1000);
+  tracker.on_enter_cs(0, 2, 1100);
+  tracker.on_exit_cs(0, 1200);
+  // 1 entry over 1000 ticks = 1000 entries per mtick.
+  EXPECT_DOUBLE_EQ(tracker.entries_per_mtick(2000), 1000.0);
+  // Utilization: 200 unit-ticks over (1000 ticks × l=2) = 0.1.
+  EXPECT_DOUBLE_EQ(tracker.mean_utilization(2000, 2), 0.1);
+}
+
+TEST(Throughput, WindowRestartDiscardsHistory) {
+  ThroughputTracker tracker(1);
+  tracker.start_window(0);
+  tracker.on_enter_cs(0, 1, 10);
+  tracker.on_exit_cs(0, 20);
+  tracker.start_window(100);
+  EXPECT_EQ(tracker.entries(), 0);
+  EXPECT_DOUBLE_EQ(tracker.unit_time(200), 0.0);
+}
+
+TEST(Throughput, HoldSpanningWindowEdgeCountsFromEdge) {
+  ThroughputTracker tracker(1);
+  tracker.start_window(0);
+  tracker.on_enter_cs(0, 2, 10);
+  tracker.start_window(100);  // hold in progress
+  EXPECT_DOUBLE_EQ(tracker.unit_time(150), 2.0 * 50);
+}
+
+TEST(Throughput, EmptyWindowRatesAreZero) {
+  ThroughputTracker tracker(1);
+  tracker.start_window(100);
+  EXPECT_DOUBLE_EQ(tracker.entries_per_mtick(100), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_utilization(50, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace klex::stats

@@ -1,0 +1,75 @@
+#include "stree/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace klex::stree {
+namespace {
+
+TEST(Graph, FromEdgesBasics) {
+  Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, RejectsMalformedInput) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(2, {{0, 1}, {1, 0}}),
+               std::invalid_argument);  // parallel
+  EXPECT_THROW(Graph::from_edges(2, {{0, 5}}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(3, {{0, 1}}), std::invalid_argument);  // disconnected
+}
+
+TEST(Graph, ReverseChannelRoundTrip) {
+  Graph g = grid(3, 3);
+  for (NodeId v = 0; v < g.size(); ++v) {
+    for (int c = 0; c < g.degree(v); ++c) {
+      NodeId q = g.neighbor(v, c);
+      EXPECT_EQ(g.neighbor(q, g.reverse_channel(v, c)), v);
+    }
+  }
+}
+
+TEST(Graph, GridShape) {
+  Graph g = grid(4, 3);
+  EXPECT_EQ(g.size(), 12);
+  EXPECT_EQ(g.edge_count(), 3 * 3 + 4 * 2);  // horizontal + vertical
+  EXPECT_EQ(g.degree(0), 2);   // corner
+  EXPECT_EQ(g.degree(5), 4);   // interior
+}
+
+TEST(Graph, CycleShape) {
+  Graph g = cycle_graph(5);
+  EXPECT_EQ(g.edge_count(), 5);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+}
+
+TEST(Graph, CompleteShape) {
+  Graph g = complete_graph(5);
+  EXPECT_EQ(g.edge_count(), 10);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Graph, RandomConnectedIsConnectedWithExtras) {
+  support::Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = random_connected(20, 15, rng);
+    EXPECT_EQ(g.size(), 20);
+    EXPECT_GE(g.edge_count(), 19);
+    EXPECT_LE(g.edge_count(), 19 + 15);
+  }
+}
+
+TEST(Graph, RandomConnectedExtraBudgetClamped) {
+  support::Rng rng(32);
+  // n=3 has at most 3 edges; asking for 100 extras must not throw.
+  Graph g = random_connected(3, 100, rng);
+  EXPECT_LE(g.edge_count(), 3);
+}
+
+}  // namespace
+}  // namespace klex::stree

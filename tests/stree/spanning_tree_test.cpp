@@ -1,0 +1,99 @@
+#include "stree/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stree/graph.hpp"
+#include "tree/tree.hpp"
+
+namespace klex::stree {
+namespace {
+
+SpanningTreeSystem::Config config_for(Graph g, std::uint64_t seed) {
+  SpanningTreeSystem::Config config;
+  config.graph = std::move(g);
+  config.seed = seed;
+  return config;
+}
+
+TEST(SpanningTree, ConvergesOnCycle) {
+  SpanningTreeSystem system(config_for(cycle_graph(7), 51));
+  EXPECT_NE(system.run_until_converged(1'000'000), sim::kTimeInfinity);
+}
+
+TEST(SpanningTree, ConvergesOnGrid) {
+  SpanningTreeSystem system(config_for(grid(4, 4), 52));
+  ASSERT_NE(system.run_until_converged(2'000'000), sim::kTimeInfinity);
+  // BFS distances on the grid: node (x, y) has distance x + y.
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(system.node(y * 4 + x).dist(), x + y);
+    }
+  }
+}
+
+TEST(SpanningTree, ConvergesOnRandomGraphs) {
+  support::Rng rng(53);
+  for (int trial = 0; trial < 5; ++trial) {
+    SpanningTreeSystem system(
+        config_for(random_connected(15, 10, rng), 54 + trial));
+    EXPECT_NE(system.run_until_converged(2'000'000), sim::kTimeInfinity)
+        << "trial " << trial;
+  }
+}
+
+TEST(SpanningTree, ExtractedTreeIsValidAndBfs) {
+  Graph g = grid(3, 3);
+  SpanningTreeSystem system(config_for(g, 55));
+  ASSERT_NE(system.run_until_converged(2'000'000), sim::kTimeInfinity);
+  auto extracted = system.try_extract_tree();
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(extracted->size(), 9);
+  // Tree depth equals BFS distance.
+  for (tree::NodeId v = 0; v < extracted->size(); ++v) {
+    EXPECT_EQ(extracted->depth(v), system.node(v).dist());
+  }
+}
+
+TEST(SpanningTree, RecoversFromTransientFault) {
+  SpanningTreeSystem system(config_for(grid(4, 3), 56));
+  ASSERT_NE(system.run_until_converged(2'000'000), sim::kTimeInfinity);
+  support::Rng fault_rng(57);
+  for (int fault = 0; fault < 3; ++fault) {
+    system.inject_transient_fault(fault_rng);
+    EXPECT_NE(
+        system.run_until_converged(system.engine().now() + 5'000'000),
+        sim::kTimeInfinity)
+        << "fault " << fault;
+  }
+}
+
+TEST(SpanningTree, TreeInputYieldsThatTree) {
+  // On a graph that is already a tree the unique spanning tree is the
+  // graph itself.
+  Graph g = Graph::from_edges(5, {{0, 1}, {0, 2}, {1, 3}, {1, 4}});
+  SpanningTreeSystem system(config_for(g, 58));
+  ASSERT_NE(system.run_until_converged(1'000'000), sim::kTimeInfinity);
+  auto extracted = system.try_extract_tree();
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(extracted->parent(1), 0);
+  EXPECT_EQ(extracted->parent(2), 0);
+  EXPECT_EQ(extracted->parent(3), 1);
+  EXPECT_EQ(extracted->parent(4), 1);
+}
+
+TEST(SpanningTree, BeaconCodecRoundTrip) {
+  sim::Message msg = make_beacon(0x1234567890ll, 42);
+  EXPECT_EQ(msg.type, kBeaconType);
+  // Round-trip through the private decoding is exercised by delivery; here
+  // check the fields are split as documented.
+  EXPECT_EQ(msg.f2, 42);
+}
+
+TEST(SpanningTree, RejectsTrivialGraphs) {
+  SpanningTreeSystem::Config config;
+  config.graph = Graph::from_edges(1, {});
+  EXPECT_THROW(SpanningTreeSystem{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace klex::stree

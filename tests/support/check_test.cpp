@@ -1,0 +1,55 @@
+#include "support/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace klex::support {
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(KLEX_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(KLEX_REQUIRE(true, "fine"));
+}
+
+TEST(Check, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(KLEX_CHECK(false), CheckFailure);
+}
+
+TEST(Check, FailingRequireThrowsInvalidArgument) {
+  EXPECT_THROW(KLEX_REQUIRE(false), std::invalid_argument);
+}
+
+TEST(Check, MessageIncludesExpressionAndValues) {
+  try {
+    int x = 41;
+    KLEX_CHECK(x == 42, "x was ", x);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("x == 42"), std::string::npos);
+    EXPECT_NE(what.find("x was 41"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, RequireMessageFormatting) {
+  try {
+    KLEX_REQUIRE(false, "need ", 1, " <= k <= ", 5);
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("need 1 <= k <= 5"), std::string::npos);
+  }
+}
+
+TEST(Check, SideEffectsInConditionEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&calls] {
+    ++calls;
+    return true;
+  };
+  KLEX_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace klex::support

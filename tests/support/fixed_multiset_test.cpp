@@ -1,0 +1,100 @@
+#include "support/fixed_multiset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace klex::support {
+namespace {
+
+TEST(FixedMultiset, StartsEmpty) {
+  FixedMultiset set(4, 3);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0);
+  EXPECT_EQ(set.max_size(), 3);
+  EXPECT_EQ(set.label_domain(), 4);
+}
+
+TEST(FixedMultiset, InsertAndCount) {
+  FixedMultiset set(3, 5);
+  set.insert(0);
+  set.insert(2);
+  set.insert(2);
+  EXPECT_EQ(set.size(), 3);
+  EXPECT_EQ(set.count(0), 1);
+  EXPECT_EQ(set.count(1), 0);
+  EXPECT_EQ(set.count(2), 2);
+}
+
+TEST(FixedMultiset, MultiplicityBeyondOne) {
+  // RSet is a multiset: the paper stresses it can contain duplicates
+  // (several tokens received from the same channel).
+  FixedMultiset set(1, 4);
+  for (int i = 0; i < 4; ++i) set.insert(0);
+  EXPECT_EQ(set.count(0), 4);
+  EXPECT_EQ(set.size(), 4);
+}
+
+TEST(FixedMultiset, InsertBeyondCapacityThrows) {
+  FixedMultiset set(2, 1);
+  set.insert(0);
+  EXPECT_THROW(set.insert(1), CheckFailure);
+}
+
+TEST(FixedMultiset, InsertOutOfDomainThrows) {
+  FixedMultiset set(2, 4);
+  EXPECT_THROW(set.insert(2), CheckFailure);
+  EXPECT_THROW(set.insert(-1), CheckFailure);
+}
+
+TEST(FixedMultiset, EraseOne) {
+  FixedMultiset set(2, 4);
+  set.insert(1);
+  set.insert(1);
+  set.erase_one(1);
+  EXPECT_EQ(set.count(1), 1);
+  set.erase_one(1);
+  EXPECT_EQ(set.count(1), 0);
+  EXPECT_THROW(set.erase_one(1), CheckFailure);
+}
+
+TEST(FixedMultiset, ClearResets) {
+  FixedMultiset set(3, 3);
+  set.insert(0);
+  set.insert(1);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.count(0), 0);
+  set.insert(2);  // still usable
+  EXPECT_EQ(set.size(), 1);
+}
+
+TEST(FixedMultiset, ForEachVisitsNonZeroLabels) {
+  FixedMultiset set(4, 6);
+  set.insert(1);
+  set.insert(3);
+  set.insert(3);
+  int visited = 0, total = 0;
+  set.for_each([&](int label, int mult) {
+    ++visited;
+    total += mult;
+    EXPECT_TRUE(label == 1 || label == 3);
+  });
+  EXPECT_EQ(visited, 2);
+  EXPECT_EQ(total, 3);
+}
+
+TEST(FixedMultiset, EqualityComparesContents) {
+  FixedMultiset a(2, 3), b(2, 3);
+  EXPECT_TRUE(a == b);
+  a.insert(0);
+  EXPECT_FALSE(a == b);
+  b.insert(0);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(FixedMultiset, ZeroCapacityAllowsNothing) {
+  FixedMultiset set(2, 0);
+  EXPECT_THROW(set.insert(0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace klex::support

@@ -1,0 +1,115 @@
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace klex::support {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of the classic dataset: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Summary, SingleSampleVarianceZero) {
+  Summary s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, EmptyAccessorsThrow) {
+  Summary s;
+  EXPECT_THROW(s.mean(), CheckFailure);
+  EXPECT_THROW(s.min(), CheckFailure);
+  EXPECT_THROW(s.max(), CheckFailure);
+  EXPECT_THROW(s.variance(), CheckFailure);
+}
+
+TEST(Summary, MergeMatchesCombinedStream) {
+  Summary all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptySides) {
+  Summary a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+TEST(Histogram, ExactQuantilesSmall) {
+  Histogram h;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.0);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h;
+  h.add(0.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 7.5);
+}
+
+TEST(Histogram, QuantileValidation) {
+  Histogram h;
+  EXPECT_THROW(h.quantile(0.5), CheckFailure);  // empty
+  h.add(1.0);
+  EXPECT_THROW(h.quantile(-0.1), CheckFailure);
+  EXPECT_THROW(h.quantile(1.1), CheckFailure);
+}
+
+TEST(Histogram, AddAfterQuantileStaysSorted) {
+  Histogram h;
+  h.add(5.0);
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.median(), 3.0);
+  h.add(9.0);  // forces re-sort
+  EXPECT_DOUBLE_EQ(h.median(), 5.0);
+}
+
+TEST(Histogram, MergeCombinesSamples) {
+  Histogram a, b;
+  a.add(1.0);
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.median(), 3.0);
+}
+
+TEST(Histogram, DigestMentionsCount) {
+  Histogram h;
+  EXPECT_EQ(h.digest(), "n=0");
+  h.add(2.0);
+  EXPECT_NE(h.digest().find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace klex::support

@@ -1,0 +1,180 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace klex::support {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b()) << "diverged at step " << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(9);
+  EXPECT_THROW(rng.next_below(0), CheckFailure);
+}
+
+TEST(Rng, NextBelowCoversSmallRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.next_below(8)];
+  }
+  for (int c : counts) {
+    // Expected 10000 per bucket; allow 6% deviation.
+    EXPECT_NEAR(c, kDraws / 8, kDraws / 8 * 0.06);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    std::int64_t v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextInSinglePoint) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.next_in(5, 5), 5);
+  }
+}
+
+TEST(Rng, NextInInvalidThrows) {
+  Rng rng(13);
+  EXPECT_THROW(rng.next_in(2, 1), CheckFailure);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+    EXPECT_FALSE(rng.next_bool(-1.0));
+    EXPECT_TRUE(rng.next_bool(2.0));
+  }
+}
+
+TEST(Rng, NextBoolFrequency) {
+  Rng rng(23);
+  int heads = 0;
+  const int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.next_bool(0.25)) ++heads;
+  }
+  EXPECT_NEAR(heads, kDraws / 4, kDraws * 0.02);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(29);
+  double total = 0.0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.next_exponential(10.0);
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total / kDraws, 10.0, 0.3);
+}
+
+TEST(Rng, ExponentialRequiresPositiveMean) {
+  Rng rng(29);
+  EXPECT_THROW(rng.next_exponential(0.0), CheckFailure);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> original = values;
+  rng.shuffle(values);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(31);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(37);
+  Rng child1 = parent.split(1);
+  Rng child2 = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1() == child2()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, PickIndexBounds) {
+  Rng rng(41);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(rng.pick_index(7), 7u);
+  }
+  EXPECT_THROW(rng.pick_index(0), CheckFailure);
+}
+
+TEST(Splitmix, DeterministicSequence) {
+  std::uint64_t s1 = 99, s2 = 99;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+}  // namespace
+}  // namespace klex::support

@@ -1,0 +1,141 @@
+#include "support/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace klex::support {
+namespace {
+
+TEST(SmallVec, StartsEmptyInline) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_TRUE(v.uses_inline_storage());
+}
+
+TEST(SmallVec, PushWithinInlineCapacity) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_TRUE(v.uses_inline_storage());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, SpillsToHeapBeyondInline) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_FALSE(v.uses_inline_storage());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, InitializerList) {
+  SmallVec<int, 3> v{5, 6, 7, 8};
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.front(), 5);
+  EXPECT_EQ(v.back(), 8);
+}
+
+TEST(SmallVec, CopyPreservesContents) {
+  SmallVec<std::string, 2> v{"a", "b", "c"};
+  SmallVec<std::string, 2> copy(v);
+  EXPECT_EQ(copy, v);
+  copy.push_back("d");
+  EXPECT_NE(copy, v);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(SmallVec, CopyAssignReplaces) {
+  SmallVec<int, 2> a{1, 2, 3};
+  SmallVec<int, 2> b{9};
+  b = a;
+  EXPECT_EQ(b, a);
+}
+
+TEST(SmallVec, MoveStealsHeapBuffer) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  const int* data = v.data();
+  SmallVec<int, 2> moved(std::move(v));
+  EXPECT_EQ(moved.data(), data);  // buffer stolen, no copy
+  EXPECT_EQ(moved.size(), 20u);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVec, MoveInlineCopiesElements) {
+  SmallVec<std::string, 4> v{"x", "y"};
+  SmallVec<std::string, 4> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], "x");
+}
+
+TEST(SmallVec, PopBackAndClear) {
+  SmallVec<int, 4> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_THROW(v.pop_back(), CheckFailure);
+}
+
+TEST(SmallVec, EraseAtPreservesOrder) {
+  SmallVec<int, 4> v{10, 20, 30, 40};
+  v.erase_at(1);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 30);
+  EXPECT_EQ(v[2], 40);
+  EXPECT_THROW(v.erase_at(3), CheckFailure);
+}
+
+TEST(SmallVec, OutOfRangeIndexThrows) {
+  SmallVec<int, 4> v{1};
+  EXPECT_THROW(v[1], CheckFailure);
+}
+
+TEST(SmallVec, ReserveKeepsContents) {
+  SmallVec<int, 2> v{1, 2};
+  v.reserve(100);
+  EXPECT_GE(v.capacity(), 100u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+}
+
+TEST(SmallVec, IterationMatchesIndexing) {
+  SmallVec<int, 4> v{3, 1, 4, 1, 5};
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 14);
+}
+
+TEST(SmallVec, EqualityIsElementwise) {
+  SmallVec<int, 2> a{1, 2, 3};
+  SmallVec<int, 8> b_same_inline{1, 2, 3};
+  EXPECT_TRUE(a == (SmallVec<int, 2>{1, 2, 3}));
+  EXPECT_FALSE(a == (SmallVec<int, 2>{1, 2}));
+  (void)b_same_inline;
+}
+
+TEST(SmallVec, NonTrivialDestructorsRun) {
+  // Counts constructions/destructions to detect leaks of heap-spilled
+  // elements.
+  static int live = 0;
+  struct Probe {
+    Probe() { ++live; }
+    Probe(const Probe&) { ++live; }
+    Probe(Probe&&) noexcept { ++live; }
+    ~Probe() { --live; }
+  };
+  {
+    SmallVec<Probe, 2> v;
+    for (int i = 0; i < 9; ++i) v.emplace_back();
+    EXPECT_EQ(live, 9);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+}  // namespace
+}  // namespace klex::support

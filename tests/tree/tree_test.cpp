@@ -1,0 +1,166 @@
+#include "tree/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace klex::tree {
+namespace {
+
+TEST(Tree, LineShape) {
+  Tree t = line(5);
+  EXPECT_EQ(t.size(), 5);
+  EXPECT_EQ(t.parent(0), kNoParent);
+  for (NodeId v = 1; v < 5; ++v) EXPECT_EQ(t.parent(v), v - 1);
+  EXPECT_EQ(t.degree(0), 1);
+  EXPECT_EQ(t.degree(2), 2);
+  EXPECT_EQ(t.degree(4), 1);
+  EXPECT_EQ(t.height(), 4);
+  EXPECT_EQ(t.leaf_count(), 1);
+}
+
+TEST(Tree, StarShape) {
+  Tree t = star(6);
+  EXPECT_EQ(t.degree(0), 5);
+  for (NodeId v = 1; v < 6; ++v) {
+    EXPECT_EQ(t.parent(v), 0);
+    EXPECT_EQ(t.degree(v), 1);
+    EXPECT_TRUE(t.is_leaf(v));
+  }
+  EXPECT_EQ(t.height(), 1);
+  EXPECT_EQ(t.leaf_count(), 5);
+}
+
+TEST(Tree, BalancedBinaryCounts) {
+  Tree t = balanced(2, 3);  // 1 + 2 + 4 + 8 = 15 nodes
+  EXPECT_EQ(t.size(), 15);
+  EXPECT_EQ(t.height(), 3);
+  EXPECT_EQ(t.leaf_count(), 8);
+  EXPECT_EQ(t.children(0).size(), 2u);
+}
+
+TEST(Tree, CaterpillarCounts) {
+  Tree t = caterpillar(4, 2);  // 4 spine nodes + 8 legs
+  EXPECT_EQ(t.size(), 12);
+  // Every spine node (including the tail) has legs, so the leaves are
+  // exactly the 8 legs.
+  EXPECT_EQ(t.leaf_count(), 8);
+  EXPECT_EQ(t.height(), 4);  // spine depth 3 + one leg
+}
+
+TEST(Tree, ParentChannelIsZeroForNonRoot) {
+  // The paper's labeling convention: every non-root process labels the
+  // channel to its parent 0 (Figure 1).
+  Tree t = figure1_tree();
+  for (NodeId v = 1; v < t.size(); ++v) {
+    EXPECT_EQ(t.neighbor(v, 0), t.parent(v))
+        << "node " << v << " channel 0 must lead to its parent";
+  }
+}
+
+TEST(Tree, ReverseChannelRoundTrip) {
+  Tree t = figure1_tree();
+  for (NodeId v = 0; v < t.size(); ++v) {
+    for (int c = 0; c < t.degree(v); ++c) {
+      NodeId q = t.neighbor(v, c);
+      int back = t.reverse_channel(v, c);
+      EXPECT_EQ(t.neighbor(q, back), v);
+      EXPECT_EQ(t.channel_to(q, v), back);
+    }
+  }
+}
+
+TEST(Tree, Figure1Shape) {
+  Tree t = figure1_tree();
+  EXPECT_EQ(t.size(), 8);
+  EXPECT_EQ(t.children(0), (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(t.children(1), (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(t.children(4), (std::vector<NodeId>{5, 6, 7}));
+  EXPECT_EQ(t.degree(0), 2);
+  EXPECT_EQ(t.degree(1), 3);
+  EXPECT_EQ(t.degree(4), 4);
+}
+
+TEST(Tree, Figure3Shape) {
+  Tree t = figure3_tree();
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(t.degree(0), 2);
+  EXPECT_TRUE(t.is_leaf(1));
+  EXPECT_TRUE(t.is_leaf(2));
+}
+
+TEST(Tree, DfsPreorderFollowsChannelOrder) {
+  Tree t = figure1_tree();
+  EXPECT_EQ(t.dfs_preorder(),
+            (std::vector<NodeId>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Tree, DepthsAreConsistent) {
+  Tree t = balanced(3, 2);
+  EXPECT_EQ(t.depth(0), 0);
+  for (NodeId v = 1; v < t.size(); ++v) {
+    EXPECT_EQ(t.depth(v), t.depth(t.parent(v)) + 1);
+  }
+}
+
+TEST(Tree, RandomTreeIsValid) {
+  support::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = random_tree(30, rng);
+    EXPECT_EQ(t.size(), 30);
+    // Every node reachable; depth consistency implies validity.
+    for (NodeId v = 1; v < t.size(); ++v) {
+      EXPECT_EQ(t.depth(v), t.depth(t.parent(v)) + 1);
+    }
+  }
+}
+
+TEST(Tree, RandomBoundedDegreeRespectsBound) {
+  support::Rng rng(6);
+  for (int bound : {2, 3, 5}) {
+    Tree t = random_tree_bounded_degree(40, bound, rng);
+    for (NodeId v = 0; v < t.size(); ++v) {
+      EXPECT_LE(t.degree(v), bound);
+    }
+  }
+}
+
+TEST(Tree, FromParentsValidation) {
+  EXPECT_THROW(Tree::from_parents({}), std::invalid_argument);
+  EXPECT_THROW(Tree::from_parents({0}), std::invalid_argument);  // root has parent
+  EXPECT_THROW(Tree::from_parents({kNoParent, 5}), std::invalid_argument);
+  EXPECT_THROW(Tree::from_parents({kNoParent, 1}), std::invalid_argument);
+  // Cycle 1<->2 disconnected from the root.
+  EXPECT_THROW(Tree::from_parents({kNoParent, 2, 1}), std::invalid_argument);
+}
+
+TEST(Tree, SingleNodeIsAllowedAtTreeLevel) {
+  Tree t = line(1);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.degree(0), 0);
+  EXPECT_EQ(t.leaf_count(), 1);
+}
+
+TEST(Tree, DotExportMentionsEveryEdge) {
+  Tree t = figure3_tree();
+  std::string dot = t.to_dot();
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 2"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Tree, EqualityByShape) {
+  EXPECT_TRUE(line(4) == line(4));
+  EXPECT_FALSE(line(4) == star(4));
+}
+
+TEST(Tree, OutOfRangeAccessorsThrow) {
+  Tree t = line(3);
+  EXPECT_THROW(t.degree(3), std::invalid_argument);
+  EXPECT_THROW(t.neighbor(0, 5), std::invalid_argument);
+  EXPECT_THROW(t.channel_to(0, 2), std::invalid_argument);  // not adjacent
+}
+
+}  // namespace
+}  // namespace klex::tree

@@ -1,0 +1,117 @@
+#include "tree/virtual_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tree/tree.hpp"
+
+namespace klex::tree {
+namespace {
+
+TEST(VirtualRing, LengthIsTwiceEdges) {
+  for (int n : {2, 3, 5, 9, 17}) {
+    EXPECT_EQ(VirtualRing(line(n)).length(), 2 * (n - 1));
+    EXPECT_EQ(VirtualRing(star(n)).length(), 2 * (n - 1));
+  }
+  EXPECT_EQ(VirtualRing(balanced(2, 3)).length(), 2 * 14);
+}
+
+TEST(VirtualRing, Figure4VisitSequence) {
+  // The paper's Figure 4 tour: r a b a c a r d e d f d g d.
+  VirtualRing ring(figure1_tree());
+  std::vector<NodeId> expected{0, 1, 2, 1, 3, 1, 0, 4, 5, 4, 6, 4, 7, 4};
+  EXPECT_EQ(ring.visit_sequence(), expected);
+}
+
+TEST(VirtualRing, AppearancesEqualDegree) {
+  Tree t = figure1_tree();
+  VirtualRing ring(t);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_EQ(ring.appearances(v), t.degree(v)) << "node " << v;
+  }
+}
+
+TEST(VirtualRing, EveryDirectedEdgeOnce) {
+  Tree t = balanced(3, 2);
+  VirtualRing ring(t);
+  std::map<std::pair<NodeId, int>, int> seen;
+  for (const RingHop& hop : ring.hops()) {
+    ++seen[{hop.from, hop.out_channel}];
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), ring.length());
+  for (const auto& [edge, count] : seen) {
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(VirtualRing, HopsAreChained) {
+  Tree t = figure1_tree();
+  VirtualRing ring(t);
+  const auto& hops = ring.hops();
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    // The next hop leaves the node the previous hop arrived at, on the
+    // channel after the arrival channel.
+    EXPECT_EQ(hops[i + 1].from, hops[i].to);
+    EXPECT_EQ(hops[i + 1].out_channel,
+              (hops[i].in_channel + 1) % t.degree(hops[i].to));
+  }
+  // And the tour closes at the root on channel 0.
+  EXPECT_EQ(hops.front().from, kRoot);
+  EXPECT_EQ(hops.front().out_channel, 0);
+  EXPECT_EQ(hops.back().to, kRoot);
+  EXPECT_EQ((hops.back().in_channel + 1) % t.degree(kRoot), 0);
+}
+
+TEST(VirtualRing, HopAfterMatchesRule) {
+  Tree t = figure1_tree();
+  VirtualRing ring(t);
+  // Node 1 (a) has degree 3: arriving on channel 0 (from parent r) it
+  // forwards on channel 1 (towards b = node 2).
+  const RingHop& hop = ring.hop_after(1, 0);
+  EXPECT_EQ(hop.from, 1);
+  EXPECT_EQ(hop.out_channel, 1);
+  EXPECT_EQ(hop.to, 2);
+  // Arriving on its last channel (2, from c) it wraps to channel 0
+  // (back to the parent).
+  const RingHop& wrap = ring.hop_after(1, 2);
+  EXPECT_EQ(wrap.out_channel, 0);
+  EXPECT_EQ(wrap.to, 0);
+}
+
+TEST(VirtualRing, ForwardDistance) {
+  VirtualRing ring(line(4));  // length 6
+  EXPECT_EQ(ring.forward_distance(0, 0), 0);
+  EXPECT_EQ(ring.forward_distance(0, 3), 3);
+  EXPECT_EQ(ring.forward_distance(4, 1), 3);  // wraps around
+  EXPECT_THROW(ring.forward_distance(-1, 0), std::invalid_argument);
+  EXPECT_THROW(ring.forward_distance(0, 6), std::invalid_argument);
+}
+
+TEST(VirtualRing, PositionOfSend) {
+  Tree t = figure1_tree();
+  VirtualRing ring(t);
+  EXPECT_EQ(ring.position_of_send(0, 0), 0);  // root's first hop
+  for (const RingHop& hop : ring.hops()) {
+    int pos = ring.position_of_send(hop.from, hop.out_channel);
+    EXPECT_EQ(ring.hops()[static_cast<std::size_t>(pos)], hop);
+  }
+}
+
+TEST(VirtualRing, TwoNodeTree) {
+  VirtualRing ring(line(2));
+  EXPECT_EQ(ring.length(), 2);
+  EXPECT_EQ(ring.visit_sequence(), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(VirtualRing, SingleNodeRejected) {
+  EXPECT_THROW(VirtualRing(line(1)), std::invalid_argument);
+}
+
+TEST(VirtualRing, ToStringListsVisits) {
+  VirtualRing ring(figure3_tree());
+  EXPECT_EQ(ring.to_string(), "0 1 0 2");
+}
+
+}  // namespace
+}  // namespace klex::tree

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "proto/census.hpp"
+#include "verify/convergence.hpp"
+#include "verify/fairness_monitor.hpp"
+#include "verify/safety_monitor.hpp"
+
+namespace klex::verify {
+namespace {
+
+TEST(SafetyMonitor, CleanRunHasNoViolations) {
+  SafetyMonitor monitor(3, 2, 4);
+  monitor.on_enter_cs(0, 2, 10);
+  monitor.on_enter_cs(1, 2, 11);
+  EXPECT_EQ(monitor.units_in_use(), 4);
+  EXPECT_EQ(monitor.in_cs_count(), 2);
+  monitor.on_exit_cs(0, 20);
+  monitor.on_exit_cs(1, 21);
+  EXPECT_EQ(monitor.units_in_use(), 0);
+  EXPECT_FALSE(monitor.any_violation());
+  EXPECT_EQ(monitor.total_entries(), 2);
+}
+
+TEST(SafetyMonitor, DetectsOverL) {
+  SafetyMonitor monitor(3, 2, 3);
+  monitor.on_enter_cs(0, 2, 5);
+  monitor.on_enter_cs(1, 2, 6);  // 4 > 3
+  ASSERT_TRUE(monitor.any_violation());
+  EXPECT_EQ(monitor.last_violation_time(), 6u);
+  EXPECT_NE(monitor.violations()[0].what.find("> l"), std::string::npos);
+}
+
+TEST(SafetyMonitor, DetectsOverK) {
+  SafetyMonitor monitor(2, 2, 5);
+  monitor.on_enter_cs(0, 3, 7);  // 3 > k = 2
+  ASSERT_TRUE(monitor.any_violation());
+  EXPECT_NE(monitor.violations()[0].what.find("> k"), std::string::npos);
+}
+
+TEST(SafetyMonitor, DetectsDoubleEntry) {
+  SafetyMonitor monitor(2, 2, 5);
+  monitor.on_enter_cs(0, 1, 3);
+  monitor.on_enter_cs(0, 1, 4);
+  ASSERT_TRUE(monitor.any_violation());
+  EXPECT_EQ(monitor.units_in_use(), 1);  // no double counting
+}
+
+TEST(SafetyMonitor, RecoversAccountingAfterViolation) {
+  SafetyMonitor monitor(2, 2, 2);
+  monitor.on_enter_cs(0, 2, 1);
+  monitor.on_enter_cs(1, 2, 2);  // violation
+  monitor.on_exit_cs(0, 3);
+  monitor.on_exit_cs(1, 4);
+  EXPECT_EQ(monitor.units_in_use(), 0);
+}
+
+TEST(ConvergenceTracker, TracksLastIncorrect) {
+  ConvergenceTracker tracker(2);
+  proto::TokenCensus bad;  // zero tokens
+  proto::TokenCensus good;
+  good.free_resource = 2;
+  good.pusher = 1;
+  good.free_priority = 1;
+
+  tracker.poll(bad, 10);
+  EXPECT_FALSE(tracker.converged());
+  tracker.poll(good, 20);
+  EXPECT_TRUE(tracker.converged());
+  EXPECT_EQ(tracker.convergence_time(), 20u);
+  tracker.poll(good, 30);
+  EXPECT_EQ(tracker.convergence_time(), 20u);  // stays at first correct
+  tracker.poll(bad, 40);                        // regression!
+  EXPECT_FALSE(tracker.converged());
+  EXPECT_EQ(tracker.last_incorrect_time(), 40u);
+  tracker.poll(good, 50);
+  EXPECT_EQ(tracker.convergence_time(), 50u);
+  EXPECT_EQ(tracker.polls(), 5u);
+  EXPECT_EQ(tracker.incorrect_polls(), 2u);
+}
+
+TEST(FairnessMonitor, TracksLatencies) {
+  FairnessMonitor monitor(2);
+  monitor.on_request(0, 1, 100);
+  monitor.on_request(1, 1, 110);
+  EXPECT_EQ(monitor.outstanding_count(), 2);
+  EXPECT_EQ(monitor.most_starved_node(), 0);
+  EXPECT_EQ(monitor.oldest_outstanding_age(150), 50u);
+
+  monitor.on_enter_cs(0, 1, 160);
+  EXPECT_EQ(monitor.outstanding_count(), 1);
+  EXPECT_EQ(monitor.grants(), 1);
+  EXPECT_DOUBLE_EQ(monitor.grant_latency().max(), 60.0);
+  EXPECT_EQ(monitor.most_starved_node(), 1);
+}
+
+TEST(FairnessMonitor, SpuriousEntryIgnored) {
+  FairnessMonitor monitor(2);
+  monitor.on_enter_cs(1, 1, 50);  // no request recorded
+  EXPECT_EQ(monitor.grants(), 0);
+  EXPECT_EQ(monitor.grant_latency().count(), 0u);
+}
+
+TEST(FairnessMonitor, NoOutstandingMeansZeroAge) {
+  FairnessMonitor monitor(2);
+  EXPECT_EQ(monitor.oldest_outstanding_age(1000), 0u);
+  EXPECT_EQ(monitor.most_starved_node(), -1);
+}
+
+}  // namespace
+}  // namespace klex::verify

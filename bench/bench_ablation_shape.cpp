@@ -9,21 +9,6 @@
 namespace klex {
 namespace {
 
-bench::LoadedRun run_shape(const tree::Tree& t, std::uint64_t seed) {
-  SystemConfig config;
-  config.tree = t;
-  config.k = 2;
-  config.l = 3;
-  config.seed = seed;
-  System system(config);
-  bench::WorkloadSpec spec;
-  spec.think = proto::Dist::exponential(64);
-  spec.cs_duration = proto::Dist::exponential(32);
-  spec.need = proto::Dist::uniform(1, 2);
-  return bench::run_loaded(system, t.size(), 2, 3, spec, 50'000, 2'000'000,
-                           seed ^ 0x511A);
-}
-
 void print_shape_table() {
   bench::print_header(
       "E10 / ablation: tree shape at n = 15 (k=2, l=3)",
@@ -31,30 +16,24 @@ void print_shape_table() {
       "waits (height changes request-to-root distances), not the ring "
       "length");
 
-  support::Table table({"shape", "n", "height", "grants/Mtick", "mean wait",
-                        "p99 wait", "msgs/grant"});
-  struct Shape {
-    std::string name;
-    tree::Tree t;
+  exp::ScenarioSpec spec;
+  spec.name = "ablation_shape";
+  spec.topologies = {
+      exp::TopologySpec::tree_line(15),
+      exp::TopologySpec::tree_star(15),
+      exp::TopologySpec::tree_balanced(2, 3),
+      exp::TopologySpec::tree_caterpillar(5, 2),
+      exp::TopologySpec::tree_random(15, 41),
   };
-  support::Rng rng(41);
-  const Shape shapes[] = {
-      {"line-15", tree::line(15)},
-      {"star-15", tree::star(15)},
-      {"balanced-2x3", tree::balanced(2, 3)},
-      {"caterpillar-5x2", tree::caterpillar(5, 2)},
-      {"random-15", tree::random_tree(15, rng)},
-  };
-  for (const Shape& shape : shapes) {
-    bench::LoadedRun run = run_shape(shape.t, 8000);
-    table.add_row({shape.name, support::Table::cell(shape.t.size()),
-                   support::Table::cell(shape.t.height()),
-                   support::Table::cell(run.grants_per_mtick, 1),
-                   support::Table::cell(run.mean_wait_entries, 2),
-                   support::Table::cell(run.p99_wait_entries, 1),
-                   support::Table::cell(run.messages_per_grant, 1)});
-  }
-  table.print(std::cout, "shape sweep at fixed n");
+  spec.kl = {{2, 3}};
+  spec.workload.think = proto::Dist::exponential(64);
+  spec.workload.cs_duration = proto::Dist::exponential(32);
+  spec.workload.need = proto::Dist::uniform(1, 2);
+  spec.warmup = 50'000;
+  spec.horizon = 2'000'000;
+  spec.seeds = 3;
+  spec.base_seed = 8000;
+  bench::run_scenario(spec);
 }
 
 void BM_ShapeThroughput(benchmark::State& state) {

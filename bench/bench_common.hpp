@@ -2,10 +2,15 @@
 //
 // Every bench binary regenerates one artifact of the paper (a figure, a
 // theorem, or a design-ablation table listed in DESIGN.md §4): it prints
-// the experiment table to stdout, then runs its google-benchmark timing
-// section. Absolute numbers are simulator-dependent; the tables are about
-// the paper's *shape* claims (who wins, by what factor, where the
-// crossovers are).
+// the experiment table to stdout, runs its google-benchmark timing
+// section, and -- for the benches ported to exp::ExperimentRunner --
+// writes the machine-readable BENCH_<scenario>.json artifact that tracks
+// the perf trajectory across PRs. Absolute numbers are
+// simulator-dependent; the tables are about the paper's *shape* claims
+// (who wins, by what factor, where the crossovers are).
+//
+// All measurement goes through exp::ExperimentRunner::run_point -- the
+// benches declare scenarios; none of them hand-rolls a driver loop.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -15,6 +20,8 @@
 #include <vector>
 
 #include "api/system.hpp"
+#include "api/system_base.hpp"
+#include "exp/runner.hpp"
 #include "proto/trace.hpp"
 #include "proto/workload.hpp"
 #include "stats/throughput.hpp"
@@ -25,91 +32,60 @@
 
 namespace klex::bench {
 
-/// Result of one loaded run of a system (tree or ring) under a uniform
-/// closed-loop workload.
-struct LoadedRun {
-  std::int64_t grants = 0;
-  std::int64_t requests = 0;
-  double grants_per_mtick = 0.0;
-  double mean_wait_entries = 0.0;   // paper's waiting-time unit
-  double max_wait_entries = 0.0;
-  double p99_wait_entries = 0.0;
-  double messages_per_grant = 0.0;
-  std::uint64_t control_messages = 0;
-  std::uint64_t resource_messages = 0;
-  std::uint64_t pusher_messages = 0;
-  std::uint64_t priority_messages = 0;
-  bool safety_ok = true;
-  sim::SimTime stabilization_time = 0;
-};
-
-/// Uniform workload description used across the comparison benches.
-struct WorkloadSpec {
-  proto::Dist think = proto::Dist::exponential(64);
-  proto::Dist cs_duration = proto::Dist::exponential(32);
-  proto::Dist need = proto::Dist::fixed(1);
-};
-
-/// Runs `system`-like harnesses (anything with engine()/add_listener()/
-/// RequestPort) under the workload for `horizon` ticks after `warmup`.
-template <typename SystemT>
-LoadedRun run_loaded(SystemT& system, int n, int k, int l,
-                     const WorkloadSpec& spec, sim::SimTime warmup,
-                     sim::SimTime horizon, std::uint64_t workload_seed) {
-  stats::WaitingTimeTracker waits(n);
-  verify::SafetyMonitor safety(n, k, l);
-  proto::MessageCounter messages;
-  system.add_listener(&waits);
-  system.add_listener(&safety);
-  system.add_observer(&messages);
-
-  LoadedRun result;
-  result.stabilization_time =
-      system.run_until_stabilized(warmup == 0 ? 10'000'000 : warmup * 100);
-  system.run_until(system.engine().now() + warmup);
-
-  std::vector<proto::NodeBehavior> behaviors(static_cast<std::size_t>(n));
-  for (auto& b : behaviors) {
-    b.think = spec.think;
-    b.cs_duration = spec.cs_duration;
-    b.need = spec.need;
-  }
-  proto::WorkloadDriver driver(system.engine(), system, k, behaviors,
-                               support::Rng(workload_seed));
-  system.add_listener(&driver);
-  driver.begin();
-
-  waits.reset_samples();
-  messages.reset();
-  sim::SimTime window_start = system.engine().now();
-  system.run_until(window_start + horizon);
-
-  result.grants = driver.total_grants();
-  result.requests = driver.total_requests();
-  result.grants_per_mtick =
-      static_cast<double>(result.grants) * 1e6 / static_cast<double>(horizon);
-  if (waits.waits().count() > 0) {
-    result.mean_wait_entries = waits.waits().mean();
-    result.max_wait_entries = waits.waits().max();
-    result.p99_wait_entries = waits.waits().p99();
-  }
-  if (result.grants > 0) {
-    result.messages_per_grant = static_cast<double>(messages.total()) /
-                                static_cast<double>(result.grants);
-  }
-  result.control_messages = messages.control();
-  result.resource_messages = messages.resource();
-  result.pusher_messages = messages.pusher();
-  result.priority_messages = messages.priority();
-  result.safety_ok = !safety.any_violation();
-  return result;
-}
-
 inline void print_header(const std::string& id, const std::string& claim) {
   std::cout << "\n################################################\n"
             << "# " << id << "\n"
             << "# " << claim << "\n"
             << "################################################\n";
+}
+
+/// Per-run results plus the cross-seed aggregates, computed once.
+struct ScenarioOutput {
+  std::vector<exp::RunResult> results;
+  std::vector<exp::Aggregate> aggregates;
+};
+
+/// Prints the aggregate table for `output` under the scenario's name.
+inline void print_aggregate_table(const exp::ScenarioSpec& spec,
+                                  const ScenarioOutput& output,
+                                  int threads) {
+  support::Table table({"topology", "k", "l", "runs", "stabilized",
+                        "mean stab time", "grants/Mtick", "mean wait",
+                        "msgs/grant", "safe", "sum events/s"});
+  for (const exp::Aggregate& cell : output.aggregates) {
+    table.add_row({cell.topology, support::Table::cell(cell.k),
+                   support::Table::cell(cell.l),
+                   support::Table::cell(cell.runs),
+                   support::Table::cell(cell.stabilized_runs),
+                   support::Table::cell(cell.mean_stabilization_time, 0),
+                   support::Table::cell(cell.mean_grants_per_mtick, 1),
+                   support::Table::cell(cell.mean_wait_entries, 2),
+                   support::Table::cell(cell.mean_messages_per_grant, 1),
+                   support::Table::cell(cell.safe_runs),
+                   support::Table::cell(cell.total_events_per_sec, 0)});
+  }
+  table.print(std::cout,
+              "scenario '" + spec.name + "' (" + std::to_string(threads) +
+                  " threads)");
+}
+
+/// Runs `spec` across all cores and prints the per-cell aggregate table;
+/// when `emit_json` is set, also writes BENCH_<spec.name>.json into the
+/// current working directory (mirroring exactly the aggregates that were
+/// printed).
+inline ScenarioOutput run_scenario(const exp::ScenarioSpec& spec,
+                                   bool emit_json = true) {
+  exp::ExperimentRunner runner;
+  ScenarioOutput output;
+  output.results = runner.run(spec);
+  output.aggregates = exp::ExperimentRunner::aggregate(output.results);
+  print_aggregate_table(spec, output, runner.threads());
+  if (emit_json) {
+    std::string path =
+        exp::write_json_file(spec, output.results, output.aggregates);
+    std::cout << "wrote " << path << "\n";
+  }
+  return output;
 }
 
 }  // namespace klex::bench

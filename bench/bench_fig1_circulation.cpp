@@ -82,6 +82,28 @@ void print_figure1_table() {
   table.print(std::cout, "virtual-ring length law");
 }
 
+// Machine-readable artifact: the same circulation workload as a declarative
+// scenario across tree shapes, fanned over seeds on all cores. The JSON
+// records events/sec and the engine's allocation counters, so the perf
+// trajectory of the event core is tracked PR over PR.
+void emit_circulation_scenario() {
+  exp::ScenarioSpec spec;
+  spec.name = "fig1_circulation";
+  spec.topologies = {
+      exp::TopologySpec::tree_figure1(),
+      exp::TopologySpec::tree_line(32),
+      exp::TopologySpec::tree_star(32),
+      exp::TopologySpec::tree_balanced(2, 5),
+      exp::TopologySpec::tree_caterpillar(8, 3),
+  };
+  spec.kl = {{1, 4}};
+  spec.workload.think = proto::Dist::exponential(64);
+  spec.workload.cs_duration = proto::Dist::exponential(32);
+  spec.seeds = 4;
+  spec.base_seed = 13;
+  bench::run_scenario(spec);
+}
+
 void BM_TokenCirculation(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   SystemConfig config;
@@ -108,6 +130,7 @@ BENCHMARK(BM_TokenCirculation)->Arg(8)->Arg(32)->Arg(128);
 
 int main(int argc, char** argv) {
   klex::print_figure1_table();
+  klex::emit_circulation_scenario();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -78,6 +78,24 @@ void print_klliveness_table() {
   table.print(std::cout, "alpha sweep (l = 4, balanced tree n = 7)");
 }
 
+// Machine-readable artifact: the liveness operating points (k = l, the
+// property's premise) under load, with a transient-fault phase so the
+// JSON also tracks recovery times.
+void emit_klliveness_scenario() {
+  exp::ScenarioSpec spec;
+  spec.name = "klliveness";
+  spec.topologies = {exp::TopologySpec::tree_balanced(2, 2)};
+  spec.kl = {{4, 4}, {2, 4}};
+  spec.workload.think = proto::Dist::exponential(64);
+  spec.workload.cs_duration = proto::Dist::exponential(32);
+  spec.workload.need = proto::Dist::uniform(1, 4);
+  spec.horizon = 1'000'000;
+  spec.inject_fault = true;
+  spec.seeds = 3;
+  spec.base_seed = 900;
+  bench::run_scenario(spec);
+}
+
 void BM_ResidualGrantLatency(benchmark::State& state) {
   int alpha = static_cast<int>(state.range(0));
   std::uint64_t trial = 0;
@@ -94,6 +112,7 @@ BENCHMARK(BM_ResidualGrantLatency)->Arg(0)->Arg(2)
 
 int main(int argc, char** argv) {
   klex::print_klliveness_table();
+  klex::emit_klliveness_scenario();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,22 +7,23 @@
 namespace klex {
 namespace {
 
-bench::LoadedRun run_rung(proto::Features features, std::uint64_t seed) {
-  const int n = 15;
-  SystemConfig config;
-  config.tree = tree::balanced(2, 3);
-  config.k = 2;
-  config.l = 3;
-  config.features = features;
-  config.seed = seed;
-  System system(config);
-  bench::WorkloadSpec spec;
-  spec.think = proto::Dist::exponential(64);
-  spec.cs_duration = proto::Dist::exponential(32);
-  spec.need = proto::Dist::uniform(1, 2);
-  sim::SimTime warmup = features.controller ? 50'000 : 10'000;
-  return bench::run_loaded(system, n, 2, 3, spec, warmup, 2'000'000,
-                           seed ^ 0x0EAD);
+exp::RunResult run_rung(proto::Features features, std::uint64_t seed) {
+  exp::ScenarioSpec spec;
+  spec.name = "overhead_rung";  // table-only; no JSON for single rungs
+  spec.topologies = {exp::TopologySpec::tree_balanced(2, 3)};  // n = 15
+  spec.kl = {{2, 3}};
+  spec.features = features;
+  spec.workload.think = proto::Dist::exponential(64);
+  spec.workload.cs_duration = proto::Dist::exponential(32);
+  spec.workload.need = proto::Dist::uniform(1, 2);
+  spec.warmup = features.controller ? 50'000 : 10'000;
+  spec.horizon = 2'000'000;
+  exp::RunPoint point;
+  point.topology = spec.topologies[0];
+  point.k = 2;
+  point.l = 3;
+  point.seed = seed;
+  return exp::ExperimentRunner::run_point(spec, point);
 }
 
 void print_overhead_table() {
@@ -40,7 +41,7 @@ void print_overhead_table() {
       proto::Features::full(),
   };
   for (const proto::Features& features : rungs) {
-    bench::LoadedRun run = run_rung(features, 9000);
+    exp::RunResult run = run_rung(features, 9000);
     table.add_row(
         {features.name(), support::Table::cell(run.grants),
          support::Table::cell(run.messages_per_grant, 1),
@@ -53,6 +54,28 @@ void print_overhead_table() {
   table.print(std::cout, "message volume over a 2Mtick loaded window");
   std::cout << "\n(the naive rung is omitted: it deadlocks under "
                "contention, see E2)\n";
+}
+
+// Machine-readable artifact: the full-protocol overhead across tree
+// shapes and (k,l) operating points, including per-token-type message
+// counts in every run record.
+void emit_overhead_scenario() {
+  exp::ScenarioSpec spec;
+  spec.name = "overhead";
+  spec.topologies = {
+      exp::TopologySpec::tree_balanced(2, 3),
+      exp::TopologySpec::tree_line(15),
+      exp::TopologySpec::tree_star(15),
+  };
+  spec.kl = {{2, 3}, {2, 5}};
+  spec.workload.think = proto::Dist::exponential(64);
+  spec.workload.cs_duration = proto::Dist::exponential(32);
+  spec.workload.need = proto::Dist::uniform(1, 2);
+  spec.warmup = 50'000;
+  spec.horizon = 2'000'000;
+  spec.seeds = 3;
+  spec.base_seed = 9000;
+  bench::run_scenario(spec);
 }
 
 void BM_SteadyStateSimulation(benchmark::State& state) {
@@ -87,6 +110,7 @@ BENCHMARK(BM_SteadyStateSimulation);
 
 int main(int argc, char** argv) {
   klex::print_overhead_table();
+  klex::emit_overhead_scenario();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

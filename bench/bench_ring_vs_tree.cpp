@@ -1,46 +1,39 @@
 // E8 -- tree protocol vs the ring baseline (the prior self-stabilizing
-// k-out-of-ℓ exclusion solutions the paper cites [2,3]).
+// k-out-of-ℓ exclusion solutions the paper cites [2,3]), plus the
+// spanning-tree composition on a mesh (what the generality buys).
 //
 // Same workload, same n: the ring's token loop is n hops, the tree's
 // virtual ring is 2(n−1) hops, so the ring serves with roughly half the
 // token-travel latency -- but the ring *requires* a physical ring, while
 // the tree protocol runs on any tree (and composed with a spanning tree,
 // on any rooted network). The table quantifies the latency/throughput
-// cost of that generality.
+// cost of that generality. All three topologies run through the same
+// SystemBase path in the experiment runner; there is no per-topology
+// driver code left here.
 #include "bench_common.hpp"
 #include "ring/ring_system.hpp"
 
 namespace klex {
 namespace {
 
-bench::LoadedRun run_tree(int n, int k, int l, std::uint64_t seed) {
-  SystemConfig config;
-  config.tree = tree::line(n);
-  config.k = k;
-  config.l = l;
-  config.seed = seed;
-  System system(config);
-  bench::WorkloadSpec spec;
-  spec.think = proto::Dist::exponential(64);
-  spec.cs_duration = proto::Dist::exponential(32);
-  spec.need = proto::Dist::uniform(1, k);
-  return bench::run_loaded(system, n, k, l, spec, 50'000, 2'000'000,
-                           seed ^ 0xABCD);
-}
-
-bench::LoadedRun run_ring(int n, int k, int l, std::uint64_t seed) {
-  ring::RingConfig config;
-  config.n = n;
-  config.k = k;
-  config.l = l;
-  config.seed = seed;
-  ring::RingSystem system(config);
-  bench::WorkloadSpec spec;
-  spec.think = proto::Dist::exponential(64);
-  spec.cs_duration = proto::Dist::exponential(32);
-  spec.need = proto::Dist::uniform(1, k);
-  return bench::run_loaded(system, n, k, l, spec, 50'000, 2'000'000,
-                           seed ^ 0xABCD);
+exp::ScenarioSpec ring_vs_tree_scenario() {
+  exp::ScenarioSpec spec;
+  spec.name = "ring_vs_tree";
+  for (int n : {4, 8, 16, 32}) {
+    spec.topologies.push_back(exp::TopologySpec::tree_line(n));
+    spec.topologies.push_back(exp::TopologySpec::ring(n));
+  }
+  // The composition rung: a 4x4 mesh driven over its BFS spanning tree.
+  spec.topologies.push_back(exp::TopologySpec::graph_grid(4, 4));
+  spec.kl = {{2, 3}};
+  spec.workload.think = proto::Dist::exponential(64);
+  spec.workload.cs_duration = proto::Dist::exponential(32);
+  spec.workload.need = proto::Dist::uniform(1, 2);
+  spec.warmup = 50'000;
+  spec.horizon = 2'000'000;
+  spec.seeds = 4;
+  spec.base_seed = 100;
+  return spec;
 }
 
 void print_ring_vs_tree_table() {
@@ -48,27 +41,8 @@ void print_ring_vs_tree_table() {
       "E8: oriented tree (this paper) vs oriented ring (prior work [2,3])",
       "same workload and n; ring loop = n hops vs tree virtual ring = "
       "2(n-1) hops => ring waits are roughly half; the tree buys topology "
-      "generality");
-
-  support::Table table({"n", "topology", "grants/Mtick", "mean wait",
-                        "p99 wait", "msgs/grant", "safety"});
-  for (int n : {4, 8, 16, 32}) {
-    bench::LoadedRun tree_run = run_tree(n, 2, 3, 100 + n);
-    bench::LoadedRun ring_run = run_ring(n, 2, 3, 100 + n);
-    table.add_row({support::Table::cell(n), "tree(line)",
-                   support::Table::cell(tree_run.grants_per_mtick, 1),
-                   support::Table::cell(tree_run.mean_wait_entries, 2),
-                   support::Table::cell(tree_run.p99_wait_entries, 1),
-                   support::Table::cell(tree_run.messages_per_grant, 1),
-                   tree_run.safety_ok ? "ok" : "VIOLATED"});
-    table.add_row({support::Table::cell(n), "ring",
-                   support::Table::cell(ring_run.grants_per_mtick, 1),
-                   support::Table::cell(ring_run.mean_wait_entries, 2),
-                   support::Table::cell(ring_run.p99_wait_entries, 1),
-                   support::Table::cell(ring_run.messages_per_grant, 1),
-                   ring_run.safety_ok ? "ok" : "VIOLATED"});
-  }
-  table.print(std::cout, "tree vs ring under identical load (k=2, l=3)");
+      "generality (see the grid composition row)");
+  bench::run_scenario(ring_vs_tree_scenario());
 }
 
 void BM_TreeStep(benchmark::State& state) {

@@ -58,24 +58,43 @@ void print_thm2_table() {
       "measured waits (CS entries by others) vs the analytical bound; "
       "greedy requesters on a line (worst diameter)");
 
-  support::Table table({"n", "l", "k", "samples", "mean", "p99", "max",
-                        "bound l(2n-3)^2", "max/bound"});
+  // The n x l sweep as one declarative grid, fanned across all cores.
+  exp::ScenarioSpec spec;
+  spec.name = "thm2_waiting_time";
   for (int n : {3, 7, 15, 31}) {
-    for (int l : {1, 2, 4, 8}) {
-      int k = std::min(2, l);
-      WaitRow row = measure_waits(tree::line(n), k, l, 1000 + n + l,
-                                  1'500'000);
-      table.add_row(
-          {support::Table::cell(n), support::Table::cell(l),
-           support::Table::cell(k), support::Table::cell(row.samples),
-           support::Table::cell(row.mean, 1),
-           support::Table::cell(row.p99, 1), support::Table::cell(row.max, 0),
-           support::Table::cell(row.bound),
-           support::Table::cell(row.bound > 0
-                                    ? row.max / static_cast<double>(row.bound)
-                                    : 0.0,
-                                3)});
+    spec.topologies.push_back(exp::TopologySpec::tree_line(n));
+  }
+  spec.kl.clear();
+  for (int l : {1, 2, 4, 8}) {
+    spec.kl.emplace_back(std::min(2, l), l);
+  }
+  spec.workload.think = proto::Dist::fixed(1);       // greedy requesters
+  spec.workload.cs_duration = proto::Dist::fixed(8);
+  spec.workload.need = proto::Dist::uniform(1, 2);   // clamped to 1..k
+  spec.warmup = 0;
+  spec.horizon = 1'500'000;
+  spec.seeds = 2;
+  spec.base_seed = 1000;
+  bench::ScenarioOutput output = bench::run_scenario(spec);
+
+  support::Table table({"n", "l", "k", "max wait", "bound l(2n-3)^2",
+                        "max/bound"});
+  for (const exp::Aggregate& cell : output.aggregates) {
+    // Every topology here is a line of some n.
+    int n = 0;
+    for (const exp::RunResult& run : output.results) {
+      if (run.topology == cell.topology) { n = run.n; break; }
     }
+    std::int64_t bound = stats::theorem2_bound(n, cell.l);
+    table.add_row(
+        {support::Table::cell(n), support::Table::cell(cell.l),
+         support::Table::cell(cell.k),
+         support::Table::cell(cell.max_wait_entries, 0),
+         support::Table::cell(bound),
+         support::Table::cell(
+             bound > 0 ? cell.max_wait_entries / static_cast<double>(bound)
+                       : 0.0,
+             3)});
   }
   table.print(std::cout, "waiting time vs Theorem 2 bound (line trees)");
 

@@ -1,0 +1,63 @@
+#include "api/graph_system.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace klex {
+
+namespace {
+
+core::Params make_params(const GraphSystemConfig& config) {
+  core::Params params;
+  params.k = config.k;
+  params.l = config.l;
+  params.cmax = config.cmax;
+  params.features = config.features;
+  params.seed_tokens = config.seed_tokens;
+  params.timeout_period = config.timeout_period;
+  return SystemBase::finalize_params(
+      params, /*manual_tokens=*/false,
+      core::default_timeout(config.graph.size(), config.delays.max_delay));
+}
+
+}  // namespace
+
+tree::Tree GraphSystem::run_spanning_phase(const GraphSystemConfig& config,
+                                           sim::SimTime& converged_at) {
+  KLEX_REQUIRE(config.graph.size() >= 2, "the protocol requires n >= 2");
+  stree::SpanningTreeSystem::Config stree_config;
+  stree_config.graph = config.graph;
+  stree_config.delays = config.delays;
+  stree_config.beacon_period = config.beacon_period;
+  // A derived stream: the exclusion engine reuses config.seed, and the two
+  // phases must not share a delay sequence.
+  stree_config.seed = support::Rng(config.seed).split(0x5742454eu)();
+  stree::SpanningTreeSystem stree(std::move(stree_config));
+  converged_at = stree.run_until_converged(config.spanning_tree_deadline);
+  KLEX_REQUIRE(converged_at != sim::kTimeInfinity,
+               "spanning tree did not converge before the deadline (",
+               config.spanning_tree_deadline, " ticks)");
+  auto extracted = stree.try_extract_tree();
+  KLEX_CHECK(extracted.has_value(),
+             "converged spanning tree must extract as an oriented tree");
+  return *std::move(extracted);
+}
+
+GraphSystem::GraphSystem(GraphSystemConfig config)
+    : SystemBase(make_params(config), config.delays, config.seed),
+      config_(std::move(config)),
+      overlay_(run_spanning_phase(config_, stree_converged_at_)) {
+  nodes_ = build_tree_protocol(overlay_);
+}
+
+core::KlProcessBase& GraphSystem::node(NodeId id) {
+  KLEX_REQUIRE(id >= 0 && id < n(), "bad node id ", id);
+  return *nodes_[static_cast<std::size_t>(id)];
+}
+
+core::RootProcess& GraphSystem::root() {
+  return static_cast<core::RootProcess&>(node(tree::kRoot));
+}
+
+}  // namespace klex

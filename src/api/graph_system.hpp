@@ -1,0 +1,71 @@
+// klex::GraphSystem -- k-out-of-ℓ exclusion on an arbitrary connected
+// rooted network (the paper's Section 5 extension).
+//
+// "Solutions on the oriented tree can be directly mapped to solutions for
+//  arbitrary rooted networks by composing the protocol with a spanning
+//  tree construction." -- paper, Section 5.
+//
+// GraphSystem performs that composition behind the SystemBase interface:
+//   1. it runs the self-stabilizing BFS spanning-tree layer (src/stree/)
+//      over the input graph until the tree converges,
+//   2. it extracts the oriented tree and runs Algorithms 1 & 2 over it --
+//      every tree edge is a graph edge, so the simulated channels
+//      correspond one-to-one to physical links of the network.
+// Node ids are graph node ids throughout (node 0 is the root).
+#pragma once
+
+#include <cstdint>
+
+#include "api/system_base.hpp"
+#include "stree/graph.hpp"
+#include "stree/spanning_tree.hpp"
+#include "tree/tree.hpp"
+
+namespace klex {
+
+struct GraphSystemConfig {
+  /// The arbitrary connected network; node 0 is the distinguished root.
+  stree::Graph graph = stree::cycle_graph(3);
+  int k = 1;
+  int l = 1;
+  proto::Features features = proto::Features::full();
+  int cmax = 4;
+  sim::DelayModel delays{};
+  sim::SimTime timeout_period = 0;  // 0 derives a safe default
+  std::uint64_t seed = support::Rng::kDefaultSeed;
+  bool seed_tokens = false;
+
+  /// Spanning-tree construction phase (its own engine, derived seed).
+  sim::SimTime beacon_period = 256;
+  sim::SimTime spanning_tree_deadline = 4'000'000;
+};
+
+class GraphSystem : public SystemBase {
+ public:
+  explicit GraphSystem(GraphSystemConfig config);
+
+  const stree::Graph& graph() const { return config_.graph; }
+
+  /// The BFS spanning tree the protocol runs over.
+  const tree::Tree& overlay_tree() const { return overlay_; }
+
+  /// Convergence time of the spanning-tree phase (its own clock).
+  sim::SimTime spanning_tree_converged_at() const {
+    return stree_converged_at_;
+  }
+
+  core::KlProcessBase& node(NodeId id);
+  core::RootProcess& root();
+
+ private:
+  /// Runs the spanning-tree phase; records the convergence time.
+  static tree::Tree run_spanning_phase(const GraphSystemConfig& config,
+                                       sim::SimTime& converged_at);
+
+  GraphSystemConfig config_;
+  sim::SimTime stree_converged_at_ = 0;
+  tree::Tree overlay_;  // initialized after stree_converged_at_
+  std::vector<core::KlProcessBase*> nodes_;  // owned by engine
+};
+
+}  // namespace klex

@@ -15,57 +15,18 @@ core::Params make_params(const SystemConfig& config) {
   params.seed_tokens = config.seed_tokens;
   params.literal_pusher_guard = config.literal_pusher_guard;
   params.omit_prio_wrap_count = config.omit_prio_wrap_count;
-  params.timeout_period =
-      config.timeout_period != 0
-          ? config.timeout_period
-          : core::default_timeout(config.tree.size(),
-                                  config.delays.max_delay);
-  if (!params.features.controller && !config.manual_tokens) {
-    // Without the controller nothing else mints tokens.
-    params.seed_tokens = true;
-  }
-  if (config.manual_tokens) {
-    params.seed_tokens = false;
-  }
-  return params;
+  params.timeout_period = config.timeout_period;
+  return SystemBase::finalize_params(
+      params, config.manual_tokens,
+      core::default_timeout(config.tree.size(), config.delays.max_delay));
 }
 
 }  // namespace
 
 System::System(SystemConfig config)
-    : config_(std::move(config)),
-      params_(make_params(config_)),
-      engine_(config_.delays, config_.seed) {
-  KLEX_REQUIRE(config_.tree.size() >= 2,
-               "the protocol requires n >= 2 (see DESIGN.md)");
-  KLEX_REQUIRE(config_.k >= 1 && config_.k <= config_.l,
-               "need 1 <= k <= l");
-  KLEX_REQUIRE(!config_.features.controller ||
-                   (config_.features.pusher && config_.features.priority),
-               "the self-stabilizing rung requires pusher and priority");
-
-  std::int32_t modulus = core::myc_modulus(config_.tree.size(),
-                                           config_.cmax);
-  for (tree::NodeId v = 0; v < config_.tree.size(); ++v) {
-    std::unique_ptr<core::KlProcessBase> process;
-    if (v == tree::kRoot) {
-      process = std::make_unique<core::RootProcess>(
-          params_, config_.tree.degree(v), modulus, &listeners_);
-    } else {
-      process = std::make_unique<core::MemberProcess>(
-          params_, config_.tree.degree(v), modulus, &listeners_);
-    }
-    nodes_.push_back(process.get());
-    participants_.push_back(process.get());
-    NodeId assigned = engine_.add_process(std::move(process));
-    KLEX_CHECK(assigned == v, "engine ids must match tree ids");
-  }
-  for (tree::NodeId v = 0; v < config_.tree.size(); ++v) {
-    for (int c = 0; c < config_.tree.degree(v); ++c) {
-      engine_.connect(v, c, config_.tree.neighbor(v, c),
-                      config_.tree.reverse_channel(v, c));
-    }
-  }
+    : SystemBase(make_params(config), config.delays, config.seed),
+      config_(std::move(config)) {
+  nodes_ = build_tree_protocol(config_.tree);
 }
 
 core::KlProcessBase& System::node(NodeId id) {
@@ -80,78 +41,6 @@ const core::KlProcessBase& System::node(NodeId id) const {
 
 core::RootProcess& System::root() {
   return static_cast<core::RootProcess&>(node(tree::kRoot));
-}
-
-void System::add_listener(proto::Listener* listener) {
-  listeners_.add(listener);
-}
-
-void System::add_observer(sim::SimObserver* observer) {
-  engine_.add_observer(observer);
-}
-
-void System::request(NodeId node_id, int need) {
-  node(node_id).request(need);
-}
-
-void System::release(NodeId node_id) { node(node_id).release(); }
-
-proto::AppState System::state_of(NodeId node_id) const {
-  return node(node_id).app_state();
-}
-
-void System::run_until(sim::SimTime t) { engine_.run_until(t); }
-
-bool System::run_until_message_quiescence(std::uint64_t max_events) {
-  return engine_.run_until_message_quiescence(max_events);
-}
-
-sim::SimTime System::run_until_stabilized(sim::SimTime deadline,
-                                          sim::SimTime poll,
-                                          int consecutive) {
-  KLEX_REQUIRE(poll > 0, "poll interval must be positive");
-  KLEX_REQUIRE(consecutive >= 1, "need at least one confirming poll");
-  int streak = 0;
-  sim::SimTime first_correct = sim::kTimeInfinity;
-  while (engine_.now() < deadline) {
-    engine_.run_until(engine_.now() + poll);
-    if (token_counts_correct()) {
-      if (streak == 0) first_correct = engine_.now();
-      ++streak;
-      if (streak >= consecutive) return first_correct;
-    } else {
-      streak = 0;
-      first_correct = sim::kTimeInfinity;
-    }
-  }
-  return sim::kTimeInfinity;
-}
-
-proto::TokenCensus System::census() const {
-  return proto::take_census(engine_, participants_);
-}
-
-bool System::token_counts_correct() const {
-  return census().correct(config_.l);
-}
-
-void System::inject_transient_fault(support::Rng& rng) {
-  engine_.clear_channels();
-  for (core::KlProcessBase* process : nodes_) {
-    process->corrupt(rng);
-  }
-  proto::MessageDomains domains;
-  domains.myc_modulus = core::myc_modulus(n(), config_.cmax);
-  domains.l = config_.l;
-  for (tree::NodeId v = 0; v < n(); ++v) {
-    for (int c = 0; c < config_.tree.degree(v); ++c) {
-      int garbage = static_cast<int>(rng.next_below(
-          static_cast<std::uint64_t>(config_.cmax) + 1));
-      for (int i = 0; i < garbage; ++i) {
-        engine_.inject_message(v, c, proto::random_message(domains, rng));
-      }
-    }
-  }
 }
 
 }  // namespace klex

@@ -1,9 +1,9 @@
-// klex::System -- the library's top-level entry point.
+// klex::System -- the tree-topology entry point.
 //
-// Wires an oriented tree, the protocol processes (Algorithms 1 & 2 at the
-// configured ladder rung), the discrete-event engine and the listener
-// fan-out into one object, and implements the application-side
-// RequestPort. Typical use (see examples/quickstart.cpp):
+// Wires an oriented tree and the protocol processes (Algorithms 1 & 2 at
+// the configured ladder rung) over the shared SystemBase runtime (engine,
+// listener fan-out, census, fault injection, run loops). Typical use (see
+// examples/quickstart.cpp):
 //
 //   klex::SystemConfig config;
 //   config.tree = klex::tree::balanced(2, 3);
@@ -15,21 +15,15 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
+#include "api/system_base.hpp"
 #include "core/member_process.hpp"
 #include "core/params.hpp"
 #include "core/root_process.hpp"
-#include "proto/app.hpp"
-#include "proto/census.hpp"
-#include "proto/workload.hpp"
-#include "sim/engine.hpp"
 #include "tree/tree.hpp"
 
 namespace klex {
-
-using NodeId = proto::NodeId;
 
 struct SystemConfig {
   /// The oriented tree (n >= 2); node 0 is the root.
@@ -60,66 +54,20 @@ struct SystemConfig {
   bool omit_prio_wrap_count = false;
 };
 
-class System : public proto::RequestPort {
+class System : public SystemBase {
  public:
   explicit System(SystemConfig config);
 
-  // Non-copyable (processes hold pointers into the system).
-  System(const System&) = delete;
-  System& operator=(const System&) = delete;
-
-  // -- accessors --------------------------------------------------------------
-  sim::Engine& engine() { return engine_; }
-  const sim::Engine& engine() const { return engine_; }
   const tree::Tree& topology() const { return config_.tree; }
-  int n() const { return config_.tree.size(); }
-  int k() const { return config_.k; }
-  int l() const { return config_.l; }
   const SystemConfig& config() const { return config_; }
 
   core::KlProcessBase& node(NodeId id);
   const core::KlProcessBase& node(NodeId id) const;
   core::RootProcess& root();
 
-  /// Registers a protocol listener (may be called at any time).
-  void add_listener(proto::Listener* listener);
-
-  /// Registers a simulator observer (message sends/deliveries).
-  void add_observer(sim::SimObserver* observer);
-
-  // -- proto::RequestPort ------------------------------------------------------
-  void request(NodeId node, int need) override;
-  void release(NodeId node) override;
-  proto::AppState state_of(NodeId node) const override;
-
-  // -- execution ---------------------------------------------------------------
-  void run_until(sim::SimTime t);
-  bool run_until_message_quiescence(std::uint64_t max_events);
-
-  /// Runs the simulation, polling the census every `poll` ticks, until the
-  /// token population is correct for `consecutive` consecutive polls or
-  /// `deadline` passes. Returns the time of the first of the consecutive
-  /// correct polls, or kTimeInfinity if the deadline was hit.
-  sim::SimTime run_until_stabilized(sim::SimTime deadline,
-                                    sim::SimTime poll = 64,
-                                    int consecutive = 3);
-
-  // -- observation / faults ------------------------------------------------------
-  proto::TokenCensus census() const;
-  bool token_counts_correct() const;
-
-  /// Transient fault: randomizes every process's protocol variables
-  /// in-domain and replaces every channel's content with up to CMAX
-  /// arbitrary well-formed messages.
-  void inject_transient_fault(support::Rng& rng);
-
  private:
   SystemConfig config_;
-  core::Params params_;
-  proto::ListenerSet listeners_;
-  sim::Engine engine_;
-  std::vector<core::KlProcessBase*> nodes_;  // owned by engine_
-  std::vector<const proto::ExclusionParticipant*> participants_;
+  std::vector<core::KlProcessBase*> nodes_;  // owned by engine
 };
 
 }  // namespace klex

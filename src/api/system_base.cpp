@@ -1,0 +1,143 @@
+#include "api/system_base.hpp"
+
+#include "support/check.hpp"
+
+namespace klex {
+
+SystemBase::SystemBase(core::Params params, sim::DelayModel delays,
+                       std::uint64_t seed)
+    : params_(params), engine_(delays, seed) {
+  KLEX_REQUIRE(params_.k >= 1 && params_.k <= params_.l,
+               "need 1 <= k <= l");
+}
+
+core::Params SystemBase::finalize_params(core::Params params,
+                                         bool manual_tokens,
+                                         sim::SimTime derived_timeout) {
+  if (params.timeout_period == 0) params.timeout_period = derived_timeout;
+  if (!params.features.controller && !manual_tokens) {
+    // Without the controller nothing else mints tokens.
+    params.seed_tokens = true;
+  }
+  if (manual_tokens) params.seed_tokens = false;
+  return params;
+}
+
+void SystemBase::connect_nodes(NodeId from, int from_channel, NodeId to,
+                               int to_channel) {
+  engine_.connect(from, from_channel, to, to_channel);
+  out_channels_.emplace_back(from, from_channel);
+}
+
+std::vector<core::KlProcessBase*> SystemBase::build_tree_protocol(
+    const tree::Tree& tree) {
+  KLEX_REQUIRE(tree.size() >= 2,
+               "the protocol requires n >= 2 (see DESIGN.md)");
+  KLEX_REQUIRE(!params_.features.controller ||
+                   (params_.features.pusher && params_.features.priority),
+               "the self-stabilizing rung requires pusher and priority");
+
+  std::vector<core::KlProcessBase*> nodes;
+  std::int32_t modulus = core::myc_modulus(tree.size(), params_.cmax);
+  for (tree::NodeId v = 0; v < tree.size(); ++v) {
+    std::unique_ptr<core::KlProcessBase> process;
+    if (v == tree::kRoot) {
+      process = std::make_unique<core::RootProcess>(
+          params_, tree.degree(v), modulus, &listeners_);
+    } else {
+      process = std::make_unique<core::MemberProcess>(
+          params_, tree.degree(v), modulus, &listeners_);
+    }
+    nodes.push_back(add_node(std::move(process)));
+    KLEX_CHECK(nodes.back()->id() == v, "engine ids must match tree ids");
+  }
+  for (tree::NodeId v = 0; v < tree.size(); ++v) {
+    for (int c = 0; c < tree.degree(v); ++c) {
+      connect_nodes(v, c, tree.neighbor(v, c), tree.reverse_channel(v, c));
+    }
+  }
+  return nodes;
+}
+
+void SystemBase::add_listener(proto::Listener* listener) {
+  listeners_.add(listener);
+}
+
+void SystemBase::add_observer(sim::SimObserver* observer) {
+  engine_.add_observer(observer);
+}
+
+void SystemBase::request(NodeId node, int need) {
+  KLEX_REQUIRE(node >= 0 && node < n(), "bad node id ", node);
+  participants_[static_cast<std::size_t>(node)]->request(need);
+}
+
+void SystemBase::release(NodeId node) {
+  KLEX_REQUIRE(node >= 0 && node < n(), "bad node id ", node);
+  participants_[static_cast<std::size_t>(node)]->release();
+}
+
+proto::AppState SystemBase::state_of(NodeId node) const {
+  KLEX_REQUIRE(node >= 0 && node < n(), "bad node id ", node);
+  return participants_[static_cast<std::size_t>(node)]->app_state();
+}
+
+void SystemBase::run_until(sim::SimTime t) { engine_.run_until(t); }
+
+bool SystemBase::run_until_message_quiescence(std::uint64_t max_events) {
+  return engine_.run_until_message_quiescence(max_events);
+}
+
+sim::SimTime SystemBase::run_until_stabilized(sim::SimTime deadline,
+                                              sim::SimTime poll,
+                                              int consecutive) {
+  KLEX_REQUIRE(poll > 0, "poll interval must be positive");
+  KLEX_REQUIRE(consecutive >= 1, "need at least one confirming poll");
+  int streak = 0;
+  sim::SimTime first_correct = sim::kTimeInfinity;
+  while (engine_.now() < deadline) {
+    engine_.run_until(engine_.now() + poll);
+    if (token_counts_correct()) {
+      if (streak == 0) first_correct = engine_.now();
+      ++streak;
+      if (streak >= consecutive) return first_correct;
+    } else {
+      streak = 0;
+      first_correct = sim::kTimeInfinity;
+    }
+  }
+  return sim::kTimeInfinity;
+}
+
+proto::TokenCensus SystemBase::census() const {
+  return proto::take_census(engine_, census_participants_);
+}
+
+proto::MessageDomains SystemBase::message_domains() const {
+  proto::MessageDomains domains;
+  domains.myc_modulus = core::myc_modulus(n(), params_.cmax);
+  domains.l = params_.l;
+  return domains;
+}
+
+bool SystemBase::token_counts_correct() const {
+  return census().correct(params_.l);
+}
+
+void SystemBase::inject_transient_fault(support::Rng& rng) {
+  engine_.clear_channels();
+  for (proto::ExclusionParticipant* participant : participants_) {
+    participant->corrupt(rng);
+  }
+  proto::MessageDomains domains = message_domains();
+  for (const auto& [node, channel] : out_channels_) {
+    int garbage = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(params_.cmax) + 1));
+    for (int i = 0; i < garbage; ++i) {
+      engine_.inject_message(node, channel,
+                             proto::random_message(domains, rng));
+    }
+  }
+}
+
+}  // namespace klex

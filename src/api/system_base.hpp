@@ -1,0 +1,132 @@
+// klex::SystemBase -- the topology-generic exclusion runtime.
+//
+// Every harness in this repository (the tree protocol, the ring baseline,
+// and the spanning-tree composition on arbitrary graphs) wires the same
+// machinery around a protocol: a deterministic engine, a listener fan-out,
+// the global token census, transient-fault injection and the run /
+// stabilize loops. SystemBase owns all of that once; a concrete system
+// only builds its processes and channels and answers message_domains()
+// for garbage injection.
+//
+// Everything a workload, monitor or experiment needs is on this base, so
+// the exp::ExperimentRunner (and anything else) can drive any topology
+// through one pointer type.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/member_process.hpp"
+#include "core/params.hpp"
+#include "core/root_process.hpp"
+#include "proto/app.hpp"
+#include "proto/census.hpp"
+#include "proto/messages.hpp"
+#include "proto/workload.hpp"
+#include "sim/engine.hpp"
+#include "tree/tree.hpp"
+
+namespace klex {
+
+using NodeId = proto::NodeId;
+
+class SystemBase : public proto::RequestPort {
+ public:
+  ~SystemBase() override = default;
+
+  // Non-copyable (processes hold pointers into the system).
+  SystemBase(const SystemBase&) = delete;
+  SystemBase& operator=(const SystemBase&) = delete;
+
+  // -- accessors --------------------------------------------------------------
+  sim::Engine& engine() { return engine_; }
+  const sim::Engine& engine() const { return engine_; }
+  int n() const { return static_cast<int>(participants_.size()); }
+  int k() const { return params_.k; }
+  int l() const { return params_.l; }
+  const core::Params& params() const { return params_; }
+
+  /// Registers a protocol listener (may be called at any time).
+  void add_listener(proto::Listener* listener);
+
+  /// Registers a simulator observer (message sends/deliveries).
+  void add_observer(sim::SimObserver* observer);
+
+  // -- proto::RequestPort ------------------------------------------------------
+  void request(NodeId node, int need) override;
+  void release(NodeId node) override;
+  proto::AppState state_of(NodeId node) const override;
+
+  // -- execution ---------------------------------------------------------------
+  void run_until(sim::SimTime t);
+  bool run_until_message_quiescence(std::uint64_t max_events);
+
+  /// Runs the simulation, polling the census every `poll` ticks, until the
+  /// token population is correct for `consecutive` consecutive polls or
+  /// `deadline` passes. Returns the time of the first of the consecutive
+  /// correct polls, or kTimeInfinity if the deadline was hit.
+  sim::SimTime run_until_stabilized(sim::SimTime deadline,
+                                    sim::SimTime poll = 64,
+                                    int consecutive = 3);
+
+  // -- observation / faults ------------------------------------------------------
+  proto::TokenCensus census() const;
+  bool token_counts_correct() const;
+
+  /// Transient fault: randomizes every process's protocol variables
+  /// in-domain and replaces every channel's content with up to CMAX
+  /// arbitrary well-formed messages.
+  void inject_transient_fault(support::Rng& rng);
+
+  /// Applies the harness-side parameter defaults shared by every topology:
+  /// derives the controller timeout when unset and forces token seeding for
+  /// non-controller rungs (nothing else would mint tokens) unless the
+  /// caller wants to place tokens by hand.
+  static core::Params finalize_params(core::Params params, bool manual_tokens,
+                                      sim::SimTime derived_timeout);
+
+ protected:
+  SystemBase(core::Params params, sim::DelayModel delays, std::uint64_t seed);
+
+  /// Registers a process that participates in the exclusion protocol; the
+  /// engine id is the registration index. Returns a raw pointer (the
+  /// engine owns the process).
+  template <typename ProcessT>
+  ProcessT* add_node(std::unique_ptr<ProcessT> process) {
+    ProcessT* raw = process.get();
+    participants_.push_back(raw);
+    census_participants_.push_back(raw);
+    engine_.add_process(std::move(process));
+    return raw;
+  }
+
+  /// connect() plus out-channel bookkeeping for fault injection: garbage
+  /// is later injected per out-channel in registration order, which keeps
+  /// the rng draw order identical to the historical per-topology loops.
+  void connect_nodes(NodeId from, int from_channel, NodeId to, int to_channel);
+
+  /// Builds the paper's tree protocol (Algorithms 1 & 2) over `tree` and
+  /// wires every channel; shared by the tree system and the spanning-tree
+  /// composition. Engine ids equal tree node ids.
+  std::vector<core::KlProcessBase*> build_tree_protocol(
+      const tree::Tree& tree);
+
+  /// Domains for random_message() during transient-fault injection.
+  /// The default covers the tree-protocol topologies (myC domain of
+  /// 2(n−1)(CMAX+1)+1 values); the ring overrides with its n(CMAX+1)+1
+  /// domain.
+  virtual proto::MessageDomains message_domains() const;
+
+  core::Params params_;
+  proto::ListenerSet listeners_;
+  sim::Engine engine_;
+  std::vector<proto::ExclusionParticipant*> participants_;
+  // The same pointers as const, prebuilt because census() runs every
+  // stabilization poll.
+  std::vector<const proto::ExclusionParticipant*> census_participants_;
+  std::vector<std::pair<sim::NodeId, int>> out_channels_;
+};
+
+}  // namespace klex

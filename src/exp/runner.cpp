@@ -1,0 +1,372 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <thread>
+#include <tuple>
+
+#include "proto/trace.hpp"
+#include "stats/waiting_time.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+#include "verify/safety_monitor.hpp"
+
+namespace klex::exp {
+
+ExperimentRunner::ExperimentRunner(int threads) : threads_(threads) {
+  KLEX_REQUIRE(threads >= 0, "negative thread count");
+  if (threads_ == 0) {
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads_ <= 0) threads_ = 1;
+  }
+}
+
+std::vector<RunPoint> ExperimentRunner::expand(const ScenarioSpec& spec) {
+  KLEX_REQUIRE(!spec.topologies.empty(), "scenario has no topologies");
+  KLEX_REQUIRE(!spec.kl.empty(), "scenario has no (k,l) pairs");
+  KLEX_REQUIRE(spec.seeds >= 1, "scenario needs at least one seed");
+  std::vector<RunPoint> points;
+  points.reserve(spec.topologies.size() * spec.kl.size() *
+                 static_cast<std::size_t>(spec.seeds));
+  for (const TopologySpec& topology : spec.topologies) {
+    for (const auto& [k, l] : spec.kl) {
+      for (int s = 0; s < spec.seeds; ++s) {
+        RunPoint point;
+        point.topology = topology;
+        point.k = k;
+        point.l = l;
+        point.seed = spec.base_seed + static_cast<std::uint64_t>(s);
+        points.push_back(point);
+      }
+    }
+  }
+  return points;
+}
+
+RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
+                                      const RunPoint& point) {
+  RunResult result;
+  result.topology = point.topology.name();
+  result.k = point.k;
+  result.l = point.l;
+  result.seed = point.seed;
+
+  std::unique_ptr<SystemBase> system =
+      make_system(point.topology, point.k, point.l, spec.features, spec.cmax,
+                  spec.delays, point.seed);
+  result.n = system->n();
+
+  // The wall clock starts after construction so events_per_sec measures
+  // the exclusion engine only (GraphSystem's constructor simulates a
+  // whole spanning-tree engine that is invisible to engine().stats()).
+  auto wall_start = std::chrono::steady_clock::now();
+
+  stats::WaitingTimeTracker waits(result.n);
+  verify::SafetyMonitor safety(result.n, point.k, point.l);
+  proto::MessageCounter messages;
+  system->add_listener(&waits);
+  system->add_listener(&safety);
+  system->add_observer(&messages);
+
+  // Phase 1: stabilize, then settle through the warmup window.
+  sim::SimTime stabilized = system->run_until_stabilized(
+      spec.stabilize_deadline);
+  result.stabilized = stabilized != sim::kTimeInfinity;
+  result.stabilization_time = stabilized;
+  system->run_until(system->engine().now() + spec.warmup);
+
+  // Phase 2: closed-loop workload over the measurement window.
+  std::vector<proto::NodeBehavior> behaviors(
+      static_cast<std::size_t>(result.n));
+  for (auto& behavior : behaviors) {
+    behavior.think = spec.workload.think;
+    behavior.cs_duration = spec.workload.cs_duration;
+    behavior.need = spec.workload.need;
+  }
+  proto::WorkloadDriver driver(system->engine(), *system, point.k, behaviors,
+                               support::Rng(point.seed ^ 0xABCDull));
+  system->add_listener(&driver);
+  driver.begin();
+
+  waits.reset_samples();
+  messages.reset();
+  sim::SimTime window_start = system->engine().now();
+  std::uint64_t events_before = system->engine().events_executed();
+  system->run_until(window_start + spec.horizon);
+
+  result.grants = driver.total_grants();
+  result.requests = driver.total_requests();
+  result.grants_per_mtick = static_cast<double>(result.grants) * 1e6 /
+                            static_cast<double>(spec.horizon);
+  if (waits.waits().count() > 0) {
+    result.mean_wait_entries = waits.waits().mean();
+    result.max_wait_entries = waits.waits().max();
+    result.p99_wait_entries = waits.waits().p99();
+  }
+  if (result.grants > 0) {
+    result.messages_per_grant = static_cast<double>(messages.total()) /
+                                static_cast<double>(result.grants);
+  }
+  result.control_messages = messages.control();
+  result.resource_messages = messages.resource();
+  result.pusher_messages = messages.pusher();
+  result.priority_messages = messages.priority();
+  // Snapshotted before any fault injection: self-stabilization only
+  // guarantees eventual safety, so transient violations while
+  // re-stabilizing are expected and must not read as regressions; the
+  // event count likewise covers the measurement window alone.
+  result.safety_ok = !safety.any_violation();
+  result.events_executed = system->engine().events_executed() - events_before;
+
+  // Phase 3 (optional): transient fault + recovery.
+  if (spec.inject_fault) {
+    result.fault_injected = true;
+    support::Rng fault_rng(point.seed ^ 0xFA17ull);
+    sim::SimTime fault_at = system->engine().now();
+    system->inject_transient_fault(fault_rng);
+    driver.resync();
+    sim::SimTime recovered = system->run_until_stabilized(
+        fault_at + spec.recovery_deadline);
+    result.recovered = recovered != sim::kTimeInfinity;
+    // Elapsed since the fault, so runs with different warmups/horizons
+    // stay comparable.
+    result.recovery_time = result.recovered ? recovered - fault_at : 0;
+  }
+
+  result.engine_stats = system->engine().stats();
+
+  auto wall_end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (result.wall_seconds > 0.0) {
+    result.events_per_sec =
+        static_cast<double>(result.engine_stats.events_executed) /
+        result.wall_seconds;
+  }
+  return result;
+}
+
+std::vector<RunResult> ExperimentRunner::run(const ScenarioSpec& spec) const {
+  std::vector<RunPoint> points = expand(spec);
+  std::vector<RunResult> results(points.size());
+
+  int workers = std::min<int>(threads_, static_cast<int>(points.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      results[i] = run_point(spec, points[i]);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&spec, &points, &results, &next] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      results[i] = run_point(spec, points[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+  return results;
+}
+
+std::vector<Aggregate> ExperimentRunner::aggregate(
+    const std::vector<RunResult>& results) {
+  // Keyed by (topology, k, l), in first-appearance order.
+  std::map<std::tuple<std::string, int, int>, std::size_t> index;
+  std::vector<Aggregate> cells;
+  for (const RunResult& run : results) {
+    auto key = std::tuple{run.topology, run.k, run.l};
+    auto [it, inserted] = index.try_emplace(key, cells.size());
+    if (inserted) {
+      Aggregate cell;
+      cell.topology = run.topology;
+      cell.k = run.k;
+      cell.l = run.l;
+      cells.push_back(cell);
+    }
+    Aggregate& cell = cells[it->second];
+    ++cell.runs;
+    if (run.stabilized) {
+      ++cell.stabilized_runs;
+      double t = static_cast<double>(run.stabilization_time);
+      cell.mean_stabilization_time += t;
+      cell.max_stabilization_time = std::max(cell.max_stabilization_time, t);
+    }
+    if (run.safety_ok) ++cell.safe_runs;
+    cell.mean_grants_per_mtick += run.grants_per_mtick;
+    cell.mean_wait_entries += run.mean_wait_entries;
+    cell.max_wait_entries =
+        std::max(cell.max_wait_entries, run.max_wait_entries);
+    cell.mean_messages_per_grant += run.messages_per_grant;
+    cell.total_events_per_sec += run.events_per_sec;
+  }
+  for (Aggregate& cell : cells) {
+    if (cell.stabilized_runs > 0) {
+      cell.mean_stabilization_time /= cell.stabilized_runs;
+    }
+    if (cell.runs > 0) {
+      cell.mean_grants_per_mtick /= cell.runs;
+      cell.mean_wait_entries /= cell.runs;
+      cell.mean_messages_per_grant /= cell.runs;
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+void write_dist(support::JsonWriter& json, const proto::Dist& dist) {
+  json.begin_object();
+  switch (dist.kind) {
+    case proto::Dist::Kind::kFixed:
+      json.field("kind", "fixed").field("value", dist.a);
+      break;
+    case proto::Dist::Kind::kUniform:
+      json.field("kind", "uniform").field("lo", dist.a).field("hi", dist.b);
+      break;
+    case proto::Dist::Kind::kExponential:
+      json.field("kind", "exponential").field("mean", dist.a);
+      break;
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const ScenarioSpec& spec,
+                const std::vector<RunResult>& results) {
+  write_json(out, spec, results, ExperimentRunner::aggregate(results));
+}
+
+void write_json(std::ostream& out, const ScenarioSpec& spec,
+                const std::vector<RunResult>& results,
+                const std::vector<Aggregate>& aggregates) {
+  support::JsonWriter json(out);
+  json.begin_object();
+  json.field("scenario", spec.name);
+
+  json.key("spec").begin_object();
+  json.key("topologies").begin_array();
+  for (const TopologySpec& topology : spec.topologies) {
+    json.value(topology.name());
+  }
+  json.end_array();
+  json.key("kl").begin_array();
+  for (const auto& [k, l] : spec.kl) {
+    json.begin_object().field("k", k).field("l", l).end_object();
+  }
+  json.end_array();
+  json.field("features", spec.features.name());
+  json.field("cmax", spec.cmax);
+  json.key("delays").begin_object();
+  json.field("min", spec.delays.min_delay);
+  json.field("max", spec.delays.max_delay);
+  json.end_object();
+  json.key("workload").begin_object();
+  json.key("think");
+  write_dist(json, spec.workload.think);
+  json.key("cs_duration");
+  write_dist(json, spec.workload.cs_duration);
+  json.key("need");
+  write_dist(json, spec.workload.need);
+  json.end_object();
+  json.field("warmup", spec.warmup);
+  json.field("horizon", spec.horizon);
+  json.field("stabilize_deadline", spec.stabilize_deadline);
+  json.field("inject_fault", spec.inject_fault);
+  json.field("seeds", spec.seeds);
+  json.field("base_seed", spec.base_seed);
+  json.end_object();  // spec
+
+  json.key("runs").begin_array();
+  for (const RunResult& run : results) {
+    json.begin_object();
+    json.field("topology", run.topology);
+    json.field("n", run.n);
+    json.field("k", run.k);
+    json.field("l", run.l);
+    json.field("seed", run.seed);
+    json.field("stabilized", run.stabilized);
+    if (run.stabilized) {
+      json.field("stabilization_time", run.stabilization_time);
+    }
+    if (run.fault_injected) {
+      json.field("recovered", run.recovered);
+      if (run.recovered) json.field("recovery_time", run.recovery_time);
+    }
+    json.field("grants", run.grants);
+    json.field("requests", run.requests);
+    json.field("grants_per_mtick", run.grants_per_mtick);
+    json.field("mean_wait_entries", run.mean_wait_entries);
+    json.field("max_wait_entries", run.max_wait_entries);
+    json.field("p99_wait_entries", run.p99_wait_entries);
+    json.field("messages_per_grant", run.messages_per_grant);
+    json.field("control_messages", run.control_messages);
+    json.field("resource_messages", run.resource_messages);
+    json.field("pusher_messages", run.pusher_messages);
+    json.field("priority_messages", run.priority_messages);
+    json.field("safety_ok", run.safety_ok);
+    json.field("events_executed", run.events_executed);
+    json.field("wall_seconds", run.wall_seconds);
+    json.field("events_per_sec", run.events_per_sec);
+    json.key("engine").begin_object();
+    json.field("callbacks_scheduled", run.engine_stats.callbacks_scheduled);
+    json.field("callback_slots_created",
+               run.engine_stats.callback_slots_created);
+    json.field("max_heap_size", run.engine_stats.max_heap_size);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();  // runs
+
+  json.key("aggregates").begin_array();
+  for (const Aggregate& cell : aggregates) {
+    json.begin_object();
+    json.field("topology", cell.topology);
+    json.field("k", cell.k);
+    json.field("l", cell.l);
+    json.field("runs", cell.runs);
+    json.field("stabilized_runs", cell.stabilized_runs);
+    json.field("safe_runs", cell.safe_runs);
+    json.field("mean_stabilization_time", cell.mean_stabilization_time);
+    json.field("max_stabilization_time", cell.max_stabilization_time);
+    json.field("mean_grants_per_mtick", cell.mean_grants_per_mtick);
+    json.field("mean_wait_entries", cell.mean_wait_entries);
+    json.field("max_wait_entries", cell.max_wait_entries);
+    json.field("mean_messages_per_grant", cell.mean_messages_per_grant);
+    json.field("total_events_per_sec", cell.total_events_per_sec);
+    json.end_object();
+  }
+  json.end_array();  // aggregates
+
+  json.end_object();
+  out << '\n';
+}
+
+std::string write_json_file(const ScenarioSpec& spec,
+                            const std::vector<RunResult>& results,
+                            const std::vector<Aggregate>& aggregates,
+                            const std::string& directory) {
+  KLEX_REQUIRE(!spec.name.empty(), "scenario needs a name");
+  std::string path = directory + "/BENCH_" + spec.name + ".json";
+  std::ofstream out(path);
+  KLEX_REQUIRE(out.good(), "cannot open ", path, " for writing");
+  write_json(out, spec, results, aggregates);
+  return path;
+}
+
+std::string write_json_file(const ScenarioSpec& spec,
+                            const std::vector<RunResult>& results,
+                            const std::string& directory) {
+  return write_json_file(spec, results, ExperimentRunner::aggregate(results),
+                         directory);
+}
+
+}  // namespace klex::exp

@@ -1,0 +1,133 @@
+// ExperimentRunner: fans a ScenarioSpec out over its
+// topology × (k,ℓ) × seed grid across worker threads and aggregates the
+// results.
+//
+// Parallelism model: the engine is single-threaded by design; one engine
+// per thread parallelizes experiments trivially (sim/engine.hpp). Every
+// grid point therefore constructs its own SystemBase (own engine, own
+// rng) inside the worker, so runs are bit-identical regardless of thread
+// count or scheduling -- only wall-clock fields vary.
+//
+// Output: run() returns per-point results; write_json() /
+// write_json_file() emit the machine-readable artifact
+// (BENCH_<scenario>.json) that tracks the perf trajectory across PRs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace klex::exp {
+
+/// One expanded grid point.
+struct RunPoint {
+  TopologySpec topology;
+  int k = 1;
+  int l = 1;
+  std::uint64_t seed = 1;
+};
+
+/// Everything measured in one run of one grid point.
+struct RunResult {
+  std::string topology;
+  int n = 0;
+  int k = 1;
+  int l = 1;
+  std::uint64_t seed = 1;
+
+  // Stabilization / recovery.
+  bool stabilized = false;
+  sim::SimTime stabilization_time = 0;
+  bool fault_injected = false;
+  bool recovered = false;
+  /// Elapsed ticks from fault injection to re-stabilization.
+  sim::SimTime recovery_time = 0;
+
+  // Workload window.
+  std::int64_t grants = 0;
+  std::int64_t requests = 0;
+  double grants_per_mtick = 0.0;
+  double mean_wait_entries = 0.0;  // paper's waiting-time unit
+  double max_wait_entries = 0.0;
+  double p99_wait_entries = 0.0;
+  double messages_per_grant = 0.0;
+  std::uint64_t control_messages = 0;
+  std::uint64_t resource_messages = 0;
+  std::uint64_t pusher_messages = 0;
+  std::uint64_t priority_messages = 0;
+  bool safety_ok = true;
+
+  // Simulator performance (wall clock; the only non-deterministic fields).
+  std::uint64_t events_executed = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  sim::EngineStats engine_stats{};
+};
+
+/// Cross-seed aggregate for one (topology, k, l) cell.
+struct Aggregate {
+  std::string topology;
+  int k = 1;
+  int l = 1;
+  int runs = 0;
+  int stabilized_runs = 0;
+  int safe_runs = 0;
+  double mean_stabilization_time = 0.0;
+  double max_stabilization_time = 0.0;
+  double mean_grants_per_mtick = 0.0;
+  double mean_wait_entries = 0.0;
+  double max_wait_entries = 0.0;
+  double mean_messages_per_grant = 0.0;
+  double total_events_per_sec = 0.0;  // sum of per-run rates
+};
+
+class ExperimentRunner {
+ public:
+  /// `threads` = 0 uses the hardware concurrency.
+  explicit ExperimentRunner(int threads = 0);
+
+  int threads() const { return threads_; }
+
+  /// Expands the grid (topologies × kl × seeds, seed-major last so
+  /// neighboring points differ only in seed).
+  static std::vector<RunPoint> expand(const ScenarioSpec& spec);
+
+  /// Executes one grid point (used by the workers; exposed for tests and
+  /// for benches that want a single run).
+  static RunResult run_point(const ScenarioSpec& spec,
+                             const RunPoint& point);
+
+  /// Runs every grid point across the worker threads; results are in
+  /// expand() order.
+  std::vector<RunResult> run(const ScenarioSpec& spec) const;
+
+  /// Groups results by (topology, k, l) and averages across seeds.
+  static std::vector<Aggregate> aggregate(
+      const std::vector<RunResult>& results);
+
+ private:
+  int threads_;
+};
+
+/// Writes the scenario + per-run results + aggregates as one JSON object.
+/// The two-argument-results form is for callers that computed the
+/// aggregates already (the JSON must mirror exactly what they reported).
+void write_json(std::ostream& out, const ScenarioSpec& spec,
+                const std::vector<RunResult>& results,
+                const std::vector<Aggregate>& aggregates);
+void write_json(std::ostream& out, const ScenarioSpec& spec,
+                const std::vector<RunResult>& results);
+
+/// Writes BENCH_<spec.name>.json into `directory`; returns the path.
+std::string write_json_file(const ScenarioSpec& spec,
+                            const std::vector<RunResult>& results,
+                            const std::vector<Aggregate>& aggregates,
+                            const std::string& directory = ".");
+std::string write_json_file(const ScenarioSpec& spec,
+                            const std::vector<RunResult>& results,
+                            const std::string& directory = ".");
+
+}  // namespace klex::exp

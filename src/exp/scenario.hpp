@@ -1,0 +1,126 @@
+// Declarative experiment scenarios.
+//
+// A ScenarioSpec names a family of runs: a grid of topologies × (k,ℓ)
+// pairs × seeds, one workload shape, and the measurement windows. The
+// ExperimentRunner expands the grid, builds one SystemBase per point
+// (tree, ring, or arbitrary graph -- the runtime unification is what
+// makes this a single code path) and executes the points in parallel.
+//
+// TopologySpec is a value description, not a topology: the topology is
+// materialized per run so that every run owns its engine (one engine per
+// thread, as sim/engine.hpp promises).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/system_base.hpp"
+#include "proto/app.hpp"
+#include "proto/workload.hpp"
+#include "sim/engine.hpp"
+
+namespace klex::exp {
+
+struct TopologySpec {
+  enum class Kind {
+    kTreeLine,
+    kTreeStar,
+    kTreeBalanced,     // a = arity, b = height
+    kTreeCaterpillar,  // a = spine length, b = legs per spine node
+    kTreeRandom,       // a = topology seed
+    kTreeFigure1,
+    kRing,
+    kGraphGrid,        // a = width, b = height
+    kGraphCycle,
+    kGraphRandom,      // a = extra edges, b = topology seed
+    kGraphComplete,
+  };
+
+  Kind kind = Kind::kTreeLine;
+  int n = 8;   // node count (derived for grid/balanced/caterpillar shapes)
+  int a = 0;
+  int b = 0;
+
+  static TopologySpec tree_line(int n) { return {Kind::kTreeLine, n, 0, 0}; }
+  static TopologySpec tree_star(int n) { return {Kind::kTreeStar, n, 0, 0}; }
+  static TopologySpec tree_balanced(int arity, int height) {
+    return {Kind::kTreeBalanced, 0, arity, height};
+  }
+  static TopologySpec tree_caterpillar(int spine, int legs) {
+    return {Kind::kTreeCaterpillar, 0, spine, legs};
+  }
+  static TopologySpec tree_random(int n, int topo_seed) {
+    return {Kind::kTreeRandom, n, topo_seed, 0};
+  }
+  static TopologySpec tree_figure1() { return {Kind::kTreeFigure1, 8, 0, 0}; }
+  static TopologySpec ring(int n) { return {Kind::kRing, n, 0, 0}; }
+  static TopologySpec graph_grid(int w, int h) {
+    return {Kind::kGraphGrid, 0, w, h};
+  }
+  static TopologySpec graph_cycle(int n) {
+    return {Kind::kGraphCycle, n, 0, 0};
+  }
+  static TopologySpec graph_random(int n, int extra_edges, int topo_seed) {
+    return {Kind::kGraphRandom, n, extra_edges, topo_seed};
+  }
+  static TopologySpec graph_complete(int n) {
+    return {Kind::kGraphComplete, n, 0, 0};
+  }
+
+  /// Human/JSON-facing name, e.g. "tree:line(n=16)" or "graph:grid(4x4)".
+  std::string name() const;
+
+  /// Node count of the materialized topology.
+  int node_count() const;
+};
+
+/// Uniform closed-loop workload shape shared by every node of a run.
+struct WorkloadShape {
+  proto::Dist think = proto::Dist::exponential(64);
+  proto::Dist cs_duration = proto::Dist::exponential(32);
+  proto::Dist need = proto::Dist::fixed(1);  // clamped to 1..k per run
+};
+
+struct ScenarioSpec {
+  /// Scenario id; the JSON artifact is written to BENCH_<name>.json.
+  std::string name;
+
+  std::vector<TopologySpec> topologies;
+  /// (k, ℓ) grid; every pair runs on every topology.
+  std::vector<std::pair<int, int>> kl = {{1, 1}};
+
+  proto::Features features = proto::Features::full();
+  int cmax = 4;
+  sim::DelayModel delays{};
+
+  WorkloadShape workload{};
+  /// Extra settle time after stabilization before measuring.
+  sim::SimTime warmup = 50'000;
+  /// Measurement window length (simulated ticks).
+  sim::SimTime horizon = 2'000'000;
+  /// Deadline for the initial stabilization phase.
+  sim::SimTime stabilize_deadline = 10'000'000;
+
+  /// When set, a transient fault is injected after the measurement window
+  /// and the recovery time is recorded.
+  bool inject_fault = false;
+  sim::SimTime recovery_deadline = 40'000'000;
+
+  /// Seeds base_seed, base_seed+1, ... base_seed+seeds-1.
+  int seeds = 4;
+  std::uint64_t base_seed = 1;
+};
+
+/// Materializes one grid point as a runnable system. This is the payoff
+/// of the SystemBase unification: trees, rings and arbitrary graphs come
+/// back behind one pointer.
+std::unique_ptr<SystemBase> make_system(const TopologySpec& topology, int k,
+                                        int l,
+                                        const proto::Features& features,
+                                        int cmax, sim::DelayModel delays,
+                                        std::uint64_t seed);
+
+}  // namespace klex::exp

@@ -16,39 +16,33 @@ core::Params make_params(const RingConfig& config) {
   params.cmax = config.cmax;
   params.features = config.features;
   params.seed_tokens = config.seed_tokens;
-  params.timeout_period =
-      config.timeout_period != 0
-          ? config.timeout_period
-          : 4 * static_cast<sim::SimTime>(config.n) *
-                    config.delays.max_delay + 64;
-  if (!params.features.controller) params.seed_tokens = true;
-  return params;
+  params.timeout_period = config.timeout_period;
+  return klex::SystemBase::finalize_params(
+      params, /*manual_tokens=*/false,
+      4 * static_cast<sim::SimTime>(config.n) * config.delays.max_delay + 64);
 }
 
 }  // namespace
 
 RingSystem::RingSystem(RingConfig config)
-    : config_(config), engine_(config.delays, config.seed) {
+    : SystemBase(make_params(config), config.delays, config.seed),
+      config_(config) {
   KLEX_REQUIRE(config_.n >= 2, "ring needs n >= 2");
-  KLEX_REQUIRE(config_.k >= 1 && config_.k <= config_.l, "need 1 <= k <= l");
 
-  core::Params params = make_params(config_);
   std::int32_t modulus = ring_myc_modulus(config_.n, config_.cmax);
   for (int v = 0; v < config_.n; ++v) {
     std::unique_ptr<RingProcessBase> process;
     if (v == 0) {
-      process = std::make_unique<RingRootProcess>(params, modulus,
+      process = std::make_unique<RingRootProcess>(params_, modulus,
                                                   &listeners_);
     } else {
-      process = std::make_unique<RingMemberProcess>(params, modulus,
+      process = std::make_unique<RingMemberProcess>(params_, modulus,
                                                     &listeners_);
     }
-    nodes_.push_back(process.get());
-    participants_.push_back(process.get());
-    engine_.add_process(std::move(process));
+    nodes_.push_back(add_node(std::move(process)));
   }
   for (int v = 0; v < config_.n; ++v) {
-    engine_.connect(v, 0, (v + 1) % config_.n, 0);
+    connect_nodes(v, 0, (v + 1) % config_.n, 0);
   }
 }
 
@@ -62,69 +56,11 @@ const RingProcessBase& RingSystem::node(proto::NodeId id) const {
   return *nodes_[static_cast<std::size_t>(id)];
 }
 
-void RingSystem::add_listener(proto::Listener* listener) {
-  listeners_.add(listener);
-}
-
-void RingSystem::add_observer(sim::SimObserver* observer) {
-  engine_.add_observer(observer);
-}
-
-void RingSystem::request(proto::NodeId node_id, int need) {
-  node(node_id).request(need);
-}
-
-void RingSystem::release(proto::NodeId node_id) { node(node_id).release(); }
-
-proto::AppState RingSystem::state_of(proto::NodeId node_id) const {
-  return node(node_id).app_state();
-}
-
-void RingSystem::run_until(sim::SimTime t) { engine_.run_until(t); }
-
-sim::SimTime RingSystem::run_until_stabilized(sim::SimTime deadline,
-                                              sim::SimTime poll,
-                                              int consecutive) {
-  KLEX_REQUIRE(poll > 0, "poll interval must be positive");
-  int streak = 0;
-  sim::SimTime first_correct = sim::kTimeInfinity;
-  while (engine_.now() < deadline) {
-    engine_.run_until(engine_.now() + poll);
-    if (token_counts_correct()) {
-      if (streak == 0) first_correct = engine_.now();
-      ++streak;
-      if (streak >= consecutive) return first_correct;
-    } else {
-      streak = 0;
-      first_correct = sim::kTimeInfinity;
-    }
-  }
-  return sim::kTimeInfinity;
-}
-
-proto::TokenCensus RingSystem::census() const {
-  return proto::take_census(engine_, participants_);
-}
-
-bool RingSystem::token_counts_correct() const {
-  return census().correct(config_.l);
-}
-
-void RingSystem::inject_transient_fault(support::Rng& rng) {
-  engine_.clear_channels();
-  for (RingProcessBase* process : nodes_) {
-    process->corrupt(rng);
-  }
+proto::MessageDomains RingSystem::message_domains() const {
   proto::MessageDomains domains;
   domains.myc_modulus = ring_myc_modulus(config_.n, config_.cmax);
   domains.l = config_.l;
-  for (int v = 0; v < config_.n; ++v) {
-    int garbage = static_cast<int>(
-        rng.next_below(static_cast<std::uint64_t>(config_.cmax) + 1));
-    for (int i = 0; i < garbage; ++i) {
-      engine_.inject_message(v, 0, proto::random_message(domains, rng));
-    }
-  }
+  return domains;
 }
 
 }  // namespace klex::ring

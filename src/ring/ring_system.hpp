@@ -1,16 +1,14 @@
-// RingSystem: harness for the ring baseline, mirroring klex::System so
-// workloads, monitors and benchmarks can drive either protocol through
-// the same RequestPort / Listener interfaces.
+// RingSystem: harness for the ring baseline, built on the shared
+// SystemBase runtime so workloads, monitors, benchmarks and the
+// experiment runner can drive either protocol through the same
+// RequestPort / Listener interfaces.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "proto/app.hpp"
-#include "proto/census.hpp"
-#include "proto/workload.hpp"
+#include "api/system_base.hpp"
 #include "ring/ring_process.hpp"
-#include "sim/engine.hpp"
 
 namespace klex::ring {
 
@@ -26,46 +24,19 @@ struct RingConfig {
   bool seed_tokens = false;
 };
 
-class RingSystem : public proto::RequestPort {
+class RingSystem : public SystemBase {
  public:
   explicit RingSystem(RingConfig config);
-
-  RingSystem(const RingSystem&) = delete;
-  RingSystem& operator=(const RingSystem&) = delete;
-
-  sim::Engine& engine() { return engine_; }
-  const sim::Engine& engine() const { return engine_; }
-  int n() const { return config_.n; }
-  int k() const { return config_.k; }
-  int l() const { return config_.l; }
 
   RingProcessBase& node(proto::NodeId id);
   const RingProcessBase& node(proto::NodeId id) const;
 
-  void add_listener(proto::Listener* listener);
-  void add_observer(sim::SimObserver* observer);
-
-  // -- proto::RequestPort ------------------------------------------------------
-  void request(proto::NodeId node, int need) override;
-  void release(proto::NodeId node) override;
-  proto::AppState state_of(proto::NodeId node) const override;
-
-  void run_until(sim::SimTime t);
-  sim::SimTime run_until_stabilized(sim::SimTime deadline,
-                                    sim::SimTime poll = 64,
-                                    int consecutive = 3);
-
-  proto::TokenCensus census() const;
-  bool token_counts_correct() const;
-
-  void inject_transient_fault(support::Rng& rng);
+ protected:
+  proto::MessageDomains message_domains() const override;
 
  private:
   RingConfig config_;
-  proto::ListenerSet listeners_;
-  sim::Engine engine_;
-  std::vector<RingProcessBase*> nodes_;
-  std::vector<const proto::ExclusionParticipant*> participants_;
+  std::vector<RingProcessBase*> nodes_;  // owned by engine
 };
 
 }  // namespace klex::ring

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/check.hpp"
 #include "support/log.hpp"
@@ -32,6 +33,48 @@ SimTime Process::now() const {
 }
 
 // ---------------------------------------------------------------------------
+// Engine::EventHeap
+// ---------------------------------------------------------------------------
+
+void Engine::EventHeap::push(const Event& event) {
+  // Hole-based sift-up: bubble the hole to the insertion point, one copy
+  // per level (a std::push_heap-style swap chain does ~3x the stores).
+  std::size_t hole = heap_.size();
+  heap_.resize(hole + 1);
+  while (hole > 0) {
+    std::size_t parent = (hole - 1) / 2;
+    if (!event.before(heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = event;
+}
+
+void Engine::EventHeap::pop() {
+  KLEX_CHECK(!heap_.empty(), "pop on an empty event heap");
+  std::size_t last = heap_.size() - 1;
+  if (last == 0) {
+    heap_.clear();
+    return;
+  }
+  // Move the last element's value down from the root hole.
+  const Event moved = heap_[last];
+  heap_.pop_back();
+  std::size_t hole = 0;
+  std::size_t half = last / 2;  // first index without children
+  while (hole < half) {
+    std::size_t child = 2 * hole + 1;
+    if (child + 1 < last && heap_[child + 1].before(heap_[child])) {
+      ++child;
+    }
+    if (!heap_[child].before(moved)) break;
+    heap_[hole] = heap_[child];
+    hole = child;
+  }
+  heap_[hole] = moved;
+}
+
+// ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
@@ -50,7 +93,7 @@ NodeId Engine::add_process(std::unique_ptr<Process> process) {
   process->id_ = id;
   processes_.push_back(std::move(process));
   channel_lookup_.emplace_back();
-  timer_generations_.emplace_back();
+  timer_generations_.resize(timer_generations_.size() + kMaxTimers, 0);
   return id;
 }
 
@@ -103,10 +146,8 @@ int Engine::channel_index_of(NodeId from, int from_channel) const {
   return lookup[static_cast<std::size_t>(from_channel)];
 }
 
-void Engine::send_from(NodeId from, int channel, const Message& msg) {
-  int index = channel_index_of(from, channel);
-  DirectedChannel& dc = channels_[static_cast<std::size_t>(index)];
-
+void Engine::schedule_delivery(int channel_index, const Message& msg) {
+  DirectedChannel& dc = channels_[static_cast<std::size_t>(channel_index)];
   SimTime delay =
       delays_.min_delay +
       static_cast<SimTime>(rng_.next_below(
@@ -119,12 +160,16 @@ void Engine::send_from(NodeId from, int channel, const Message& msg) {
   Event event;
   event.at = deliver_at;
   event.kind = EventKind::kDelivery;
-  event.channel_index = index;
-  event.msg = msg;
-  push_event(std::move(event));
-
-  ++messages_sent_;
+  event.target = channel_index;
+  event.payload = dc.epoch;
+  push_event(event);
   ++in_flight_;
+}
+
+void Engine::send_from(NodeId from, int channel, const Message& msg) {
+  int index = channel_index_of(from, channel);
+  schedule_delivery(index, msg);
+  ++messages_sent_;
   for (SimObserver* obs : observers_) {
     obs->on_send(now_, from, channel, msg);
   }
@@ -132,38 +177,49 @@ void Engine::send_from(NodeId from, int channel, const Message& msg) {
 
 void Engine::set_timer_for(NodeId node, int timer_id, SimTime delay) {
   KLEX_REQUIRE(node >= 0 && node < process_count(), "bad node ", node);
-  KLEX_REQUIRE(timer_id >= 0 && timer_id < 16, "timer ids must be small");
-  auto& generations = timer_generations_[static_cast<std::size_t>(node)];
-  if (static_cast<int>(generations.size()) <= timer_id) {
-    generations.resize(static_cast<std::size_t>(timer_id) + 1, 0);
-  }
-  std::uint64_t generation = ++generations[static_cast<std::size_t>(timer_id)];
+  KLEX_REQUIRE(timer_id >= 0 && timer_id < kMaxTimers,
+               "timer ids must be small");
+  std::uint64_t& generation =
+      timer_generations_[static_cast<std::size_t>(node) * kMaxTimers +
+                         static_cast<std::size_t>(timer_id)];
+  ++generation;  // invalidates any pending firing of this timer
 
   Event event;
   event.at = now_ + delay;
   event.kind = EventKind::kTimer;
-  event.node = node;
-  event.timer_id = timer_id;
-  event.generation = generation;
-  push_event(std::move(event));
+  event.target = node;
+  event.timer_id = static_cast<std::uint8_t>(timer_id);
+  event.payload = generation;
+  push_event(event);
 }
 
 void Engine::cancel_timer_for(NodeId node, int timer_id) {
   KLEX_REQUIRE(node >= 0 && node < process_count(), "bad node ", node);
-  auto& generations = timer_generations_[static_cast<std::size_t>(node)];
-  if (timer_id >= 0 && timer_id < static_cast<int>(generations.size())) {
-    ++generations[static_cast<std::size_t>(timer_id)];  // invalidate pending
+  if (timer_id >= 0 && timer_id < kMaxTimers) {
+    ++timer_generations_[static_cast<std::size_t>(node) * kMaxTimers +
+                         static_cast<std::size_t>(timer_id)];
   }
 }
 
 void Engine::schedule(SimTime delay, std::function<void()> fn) {
+  std::uint32_t slot;
+  if (!callback_free_slots_.empty()) {
+    slot = callback_free_slots_.back();
+    callback_free_slots_.pop_back();
+    callback_slab_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(callback_slab_.size());
+    callback_slab_.push_back(std::move(fn));
+    ++callback_slots_created_;
+  }
+
   Event event;
   event.at = now_ + delay;
   event.kind = EventKind::kCallback;
-  event.callback =
-      std::make_shared<std::function<void()>>(std::move(fn));
-  push_event(std::move(event));
+  event.payload = slot;
+  push_event(event);
   ++pending_callbacks_;
+  ++callbacks_scheduled_;
 }
 
 void Engine::inject_message(NodeId from, int from_channel,
@@ -172,30 +228,20 @@ void Engine::inject_message(NodeId from, int from_channel,
   // protocol send: the message "was already in the channel" (arbitrary
   // initial content). It still obeys FIFO and delay bounds.
   int index = channel_index_of(from, from_channel);
-  DirectedChannel& dc = channels_[static_cast<std::size_t>(index)];
-  SimTime delay =
-      delays_.min_delay +
-      static_cast<SimTime>(rng_.next_below(
-          delays_.max_delay - delays_.min_delay + 1));
-  SimTime deliver_at = std::max(now_ + delay, dc.last_scheduled);
-  dc.last_scheduled = deliver_at;
-  dc.in_flight.push_back(msg);
-
-  Event event;
-  event.at = deliver_at;
-  event.kind = EventKind::kDelivery;
-  event.channel_index = index;
-  event.msg = msg;
-  push_event(std::move(event));
-  ++in_flight_;
+  schedule_delivery(index, msg);
 }
 
 void Engine::clear_channels() {
-  // In-flight deliveries are invalidated by emptying the channel deques;
-  // dispatch() drops delivery events whose channel deque is exhausted.
+  // Bumping the epoch orphans every pending delivery event of this
+  // channel (dispatch drops them), so the FIFO clock can restart: without
+  // the reset, post-fault traffic would inherit pre-fault last_scheduled
+  // clamps, and without the epoch a stale event would deliver post-fault
+  // traffic earlier than its sampled delay.
   for (DirectedChannel& dc : channels_) {
     in_flight_ -= dc.in_flight.size();
     dc.in_flight.clear();
+    ++dc.epoch;
+    dc.last_scheduled = 0;
   }
 }
 
@@ -214,21 +260,35 @@ int Engine::channel_backlog(NodeId from, int from_channel) const {
       channels_[static_cast<std::size_t>(index)].in_flight.size());
 }
 
+EngineStats Engine::stats() const {
+  EngineStats stats;
+  stats.events_executed = events_executed_;
+  stats.messages_sent = messages_sent_;
+  stats.messages_delivered = messages_delivered_;
+  stats.callbacks_scheduled = callbacks_scheduled_;
+  stats.callback_slots_created = callback_slots_created_;
+  stats.max_heap_size = max_heap_size_;
+  return stats;
+}
+
 void Engine::push_event(Event event) {
   event.seq = next_seq_++;
-  queue_.push(std::move(event));
+  queue_.push(event);
+  max_heap_size_ = std::max(max_heap_size_,
+                            static_cast<std::uint64_t>(queue_.size()));
 }
 
 void Engine::dispatch(const Event& event) {
   switch (event.kind) {
     case EventKind::kDelivery: {
       DirectedChannel& dc =
-          channels_[static_cast<std::size_t>(event.channel_index)];
-      if (dc.in_flight.empty()) {
+          channels_[static_cast<std::size_t>(event.target)];
+      if (event.payload != dc.epoch) {
         // The channel was cleared by fault injection after this delivery
         // was scheduled; the message no longer exists.
         return;
       }
+      KLEX_CHECK(!dc.in_flight.empty(), "delivery event without a message");
       // FIFO: the head of the deque is exactly this event's message
       // (delivery times per channel are monotone, ties keep send order).
       Message msg = dc.in_flight.front();
@@ -247,20 +307,23 @@ void Engine::dispatch(const Event& event) {
       return;
     }
     case EventKind::kTimer: {
-      const auto& generations =
-          timer_generations_[static_cast<std::size_t>(event.node)];
-      if (event.timer_id >= static_cast<int>(generations.size()) ||
-          generations[static_cast<std::size_t>(event.timer_id)] !=
-              event.generation) {
+      if (timer_generations_[static_cast<std::size_t>(event.target) *
+                                 kMaxTimers +
+                             static_cast<std::size_t>(event.timer_id)] !=
+          event.payload) {
         return;  // stale (rearmed or cancelled)
       }
-      processes_[static_cast<std::size_t>(event.node)]->on_timer(
+      processes_[static_cast<std::size_t>(event.target)]->on_timer(
           event.timer_id);
       return;
     }
     case EventKind::kCallback: {
       --pending_callbacks_;
-      (*event.callback)();
+      std::uint32_t slot = static_cast<std::uint32_t>(event.payload);
+      std::function<void()> fn = std::move(callback_slab_[slot]);
+      callback_slab_[slot] = nullptr;
+      callback_free_slots_.push_back(slot);
+      fn();
       return;
     }
   }

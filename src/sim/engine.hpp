@@ -25,7 +25,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/message.hpp"
@@ -108,6 +107,22 @@ struct ChannelInfo {
   int from_channel = -1;
   NodeId to = -1;
   int to_channel = -1;
+};
+
+/// Event-core counters, exposed for benchmarks: the experiment output
+/// records them so perf regressions (per-event heap allocations creeping
+/// back in) are visible in the BENCH_*.json trajectory.
+struct EngineStats {
+  std::uint64_t events_executed = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  /// Callbacks scheduled over the run.
+  std::uint64_t callbacks_scheduled = 0;
+  /// Slab slots ever constructed; stays flat once the slab warms up
+  /// (callback scheduling then does zero slot allocations).
+  std::uint64_t callback_slots_created = 0;
+  /// High-water mark of the event heap.
+  std::uint64_t max_heap_size = 0;
 };
 
 class Engine {
@@ -194,40 +209,70 @@ class Engine {
 
   support::Rng& rng() { return rng_; }
 
+  /// Event-core counters (see EngineStats).
+  EngineStats stats() const;
+
+  /// Timer ids must lie in [0, kMaxTimers).
+  static constexpr int kMaxTimers = 16;
+
  private:
   enum class EventKind : std::uint8_t { kDelivery, kTimer, kCallback };
 
+  // One inline 32-byte record per pending event -- no heap payloads. A
+  // delivery does not carry its Message: per-channel delivery times are
+  // monotone with ties in send order, so the message is always the head
+  // of the channel's in-flight deque at dispatch time. clear_channels()
+  // bumps the channel epoch, which orphans every pending delivery event
+  // of the old epoch -- post-fault traffic keeps its sampled delays
+  // instead of being pulled forward by stale events.
   struct Event {
     SimTime at = 0;
-    std::uint64_t seq = 0;
+    std::uint64_t seq = 0;       // insertion order; ties on `at` keep it
+    std::uint64_t payload = 0;   // timer generation / callback slot /
+                                 // channel epoch (delivery)
+    std::int32_t target = -1;    // channel index (delivery) / node (timer)
+    std::uint8_t timer_id = 0;   // < kMaxTimers
     EventKind kind = EventKind::kDelivery;
-    // Delivery:
-    std::int32_t channel_index = -1;
-    Message msg{};
-    // Timer:
-    NodeId node = -1;
-    std::int32_t timer_id = -1;
-    std::uint64_t generation = 0;
-    // Callback:
-    std::shared_ptr<std::function<void()>> callback;
-  };
 
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+    bool before(const Event& other) const {
+      if (at != other.at) return at < other.at;
+      return seq < other.seq;
     }
+  };
+  static_assert(sizeof(Event) == 32, "the event core stores events inline;"
+                " keep the record one 32-byte slot");
+
+  /// Min-heap on (at, seq) over a flat vector. Versus std::priority_queue:
+  /// hole-based sifting (one copy per level instead of a swap), an
+  /// in-place pop that never copies the extracted element twice, and a
+  /// high-water mark for the stats. The (at, seq) key is a total order,
+  /// so heap extraction order is deterministic.
+  class EventHeap {
+   public:
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+    const Event& top() const { return heap_.front(); }
+    void push(const Event& event);
+    /// Removes the top event; `top()` must have been consumed first.
+    void pop();
+
+   private:
+    std::vector<Event> heap_;
   };
 
   struct DirectedChannel {
     ChannelInfo info;
     SimTime last_scheduled = 0;
+    // Bumped by clear_channels(); delivery events from older epochs are
+    // stale and dropped at dispatch.
+    std::uint64_t epoch = 0;
     std::deque<Message> in_flight;
   };
 
   int channel_index_of(NodeId from, int from_channel) const;
   void dispatch(const Event& event);
   void push_event(Event event);
+  void schedule_delivery(int channel_index, const Message& msg);
 
   DelayModel delays_;
   support::Rng rng_;
@@ -239,10 +284,19 @@ class Engine {
   std::vector<DirectedChannel> channels_;
   // channel_lookup_[node][out_channel] -> index into channels_, or -1.
   std::vector<std::vector<int>> channel_lookup_;
-  // timer_generation_[node][timer_id] (timer ids are small and dense).
-  std::vector<std::vector<std::uint64_t>> timer_generations_;
+  // Flat [node * kMaxTimers + timer_id] -> generation; sized with the
+  // processes, so the staleness check in dispatch is one indexed load.
+  std::vector<std::uint64_t> timer_generations_;
 
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  EventHeap queue_;
+  std::uint64_t max_heap_size_ = 0;
+
+  // Callback slab: slots are recycled through a free list, so steady-state
+  // scheduling constructs no new slots (the std::function's own capture
+  // allocation, if any, is the caller's).
+  std::vector<std::function<void()>> callback_slab_;
+  std::vector<std::uint32_t> callback_free_slots_;
+
   std::vector<SimObserver*> observers_;
 
   std::uint64_t messages_sent_ = 0;
@@ -250,6 +304,8 @@ class Engine {
   std::uint64_t events_executed_ = 0;
   std::uint64_t in_flight_ = 0;
   std::uint64_t pending_callbacks_ = 0;
+  std::uint64_t callbacks_scheduled_ = 0;
+  std::uint64_t callback_slots_created_ = 0;
 };
 
 }  // namespace klex::sim

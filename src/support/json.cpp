@@ -1,0 +1,188 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace klex::support {
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent) {
+  KLEX_REQUIRE(indent_ >= 0, "negative indent");
+}
+
+void JsonWriter::newline() {
+  if (indent_ == 0) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < scopes_.size(); ++i) {
+    for (int s = 0; s < indent_; ++s) out_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  KLEX_CHECK(!root_done_, "JSON root value already complete");
+  if (scopes_.empty()) return;  // the root value itself
+  if (scopes_.back() == Scope::kObject) {
+    KLEX_CHECK(key_pending_, "object member written without a key");
+    key_pending_ = false;
+    return;
+  }
+  if (counts_.back() > 0) out_ << ',';
+  newline();
+  ++counts_.back();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  scopes_.push_back(Scope::kObject);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  KLEX_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject,
+             "end_object outside an object");
+  KLEX_CHECK(!key_pending_, "dangling key at end_object");
+  bool had_members = counts_.back() > 0;
+  scopes_.pop_back();
+  counts_.pop_back();
+  if (had_members) newline();
+  out_ << '}';
+  if (scopes_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  scopes_.push_back(Scope::kArray);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  KLEX_CHECK(!scopes_.empty() && scopes_.back() == Scope::kArray,
+             "end_array outside an array");
+  bool had_members = counts_.back() > 0;
+  scopes_.pop_back();
+  counts_.pop_back();
+  if (had_members) newline();
+  out_ << ']';
+  if (scopes_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  KLEX_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject,
+             "key outside an object");
+  KLEX_CHECK(!key_pending_, "two keys in a row");
+  if (counts_.back() > 0) out_ << ',';
+  newline();
+  ++counts_.back();
+  write_escaped(name);
+  out_ << ':';
+  if (indent_ > 0) out_ << ' ';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  write_escaped(text);
+  if (scopes_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+  if (scopes_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ << number;
+  if (scopes_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ << number;
+  if (scopes_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    out_ << "null";  // JSON has no Inf/NaN
+  } else {
+    char buffer[32];
+    // %.17g round-trips any double; trim to %.12g for readability first
+    // and fall back when that loses information.
+    std::snprintf(buffer, sizeof(buffer), "%.12g", number);
+    if (std::strtod(buffer, nullptr) != number) {
+      std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+    }
+    out_ << buffer;
+  }
+  if (scopes_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  if (scopes_.empty()) root_done_ = true;
+  return *this;
+}
+
+bool JsonWriter::done() const { return root_done_; }
+
+void JsonWriter::write_escaped(std::string_view text) {
+  out_ << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\b': out_ << "\\b"; break;
+      case '\f': out_ << "\\f"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out_ << buffer;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+std::string json_quote(std::string_view text) {
+  std::ostringstream out;
+  JsonWriter writer(out, 0);
+  writer.value(text);
+  return out.str();
+}
+
+}  // namespace klex::support

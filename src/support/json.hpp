@@ -1,0 +1,70 @@
+// Minimal streaming JSON writer for machine-readable experiment output.
+//
+// The benchmark/experiment artifacts (BENCH_*.json) must be stable,
+// diffable and parseable by any downstream tooling, so the writer is
+// strict: correct string escaping, shortest-round-trip doubles, explicit
+// object/array nesting (misuse trips a KLEX_CHECK rather than emitting
+// malformed JSON). No reader is provided -- the repository only produces
+// JSON.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace klex::support {
+
+class JsonWriter {
+ public:
+  /// Writes to `out`; `indent` spaces per nesting level (0 = compact).
+  explicit JsonWriter(std::ostream& out, int indent = 2);
+
+  /// The root value must be exactly one object or array.
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Inside an object: names the next value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(bool flag);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(double number);  // non-finite values encode as null
+  JsonWriter& null();
+
+  /// Convenience: key() + value().
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once the root value is complete.
+  bool done() const;
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void newline();
+  void write_escaped(std::string_view text);
+
+  std::ostream& out_;
+  int indent_;
+  std::vector<Scope> scopes_;
+  std::vector<int> counts_;
+  bool key_pending_ = false;
+  bool root_done_ = false;
+};
+
+/// Escapes `text` as a standalone JSON string literal (with quotes).
+std::string json_quote(std::string_view text);
+
+}  // namespace klex::support

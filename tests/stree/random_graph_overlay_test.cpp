@@ -1,0 +1,127 @@
+// Spanning-tree extraction on random connected graphs: the properties
+// GraphSystem depends on. The existing spanning_tree_test checks
+// convergence; these tests check the *extracted overlay* on many random
+// topologies -- every overlay edge is a physical link, depths are exact
+// BFS distances, and extraction is deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "stree/graph.hpp"
+#include "stree/spanning_tree.hpp"
+#include "support/rng.hpp"
+
+namespace klex::stree {
+namespace {
+
+std::vector<int> bfs_distances(const Graph& g) {
+  std::vector<int> dist(static_cast<std::size_t>(g.size()), -1);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  dist[0] = 0;
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (int c = 0; c < g.degree(u); ++c) {
+      NodeId v = g.neighbor(u, c);
+      if (dist[static_cast<std::size_t>(v)] == -1) {
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(RandomGraphOverlay, ExtractedTreesAreBfsTreesOfPhysicalLinks) {
+  support::Rng topo_rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    int n = 8 + static_cast<int>(topo_rng.next_below(17));  // 8..24
+    int extra = static_cast<int>(topo_rng.next_below(10));
+    Graph g = random_connected(n, extra, topo_rng);
+
+    SpanningTreeSystem::Config config;
+    config.graph = g;
+    config.seed = 400 + static_cast<std::uint64_t>(trial);
+    SpanningTreeSystem system(std::move(config));
+    ASSERT_NE(system.run_until_converged(4'000'000), sim::kTimeInfinity)
+        << "trial " << trial << " n=" << n << " extra=" << extra;
+
+    auto extracted = system.try_extract_tree();
+    ASSERT_TRUE(extracted.has_value()) << "trial " << trial;
+    ASSERT_EQ(extracted->size(), g.size());
+
+    std::vector<int> dist = bfs_distances(g);
+    for (tree::NodeId v = 1; v < extracted->size(); ++v) {
+      EXPECT_TRUE(g.has_edge(v, extracted->parent(v)))
+          << "overlay edge " << v << "-" << extracted->parent(v)
+          << " is not a physical link (trial " << trial << ")";
+      EXPECT_EQ(extracted->depth(v), dist[static_cast<std::size_t>(v)])
+          << "node " << v << " depth is not its BFS distance (trial "
+          << trial << ")";
+    }
+  }
+}
+
+TEST(RandomGraphOverlay, ExtractionIsDeterministicPerSeed) {
+  support::Rng topo_rng(19);
+  Graph g = random_connected(14, 8, topo_rng);
+  auto extract = [&g](std::uint64_t seed) {
+    SpanningTreeSystem::Config config;
+    config.graph = g;
+    config.seed = seed;
+    SpanningTreeSystem system(std::move(config));
+    EXPECT_NE(system.run_until_converged(4'000'000), sim::kTimeInfinity);
+    auto tree = system.try_extract_tree();
+    EXPECT_TRUE(tree.has_value());
+    return *tree;
+  };
+  EXPECT_EQ(extract(5), extract(5));
+}
+
+TEST(RandomGraphOverlay, RecoversAfterFaultOnRandomGraphs) {
+  support::Rng topo_rng(23);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = random_connected(12, 5, topo_rng);
+    SpanningTreeSystem::Config config;
+    config.graph = g;
+    config.seed = 700 + static_cast<std::uint64_t>(trial);
+    SpanningTreeSystem system(std::move(config));
+    ASSERT_NE(system.run_until_converged(4'000'000), sim::kTimeInfinity);
+
+    support::Rng fault_rng(900 + static_cast<std::uint64_t>(trial));
+    system.inject_transient_fault(fault_rng);
+    EXPECT_NE(system.run_until_converged(system.engine().now() + 8'000'000),
+              sim::kTimeInfinity)
+        << "trial " << trial << " never re-converged";
+    EXPECT_TRUE(system.try_extract_tree().has_value());
+  }
+}
+
+TEST(RandomGraphOverlay, DenseAndSparseExtremes) {
+  // The two ends GraphSystem must handle: a bare cycle (tree + 1 edge)
+  // and a complete graph (every pair adjacent, star overlay).
+  SpanningTreeSystem::Config sparse;
+  sparse.graph = cycle_graph(16);
+  sparse.seed = 3;
+  SpanningTreeSystem sparse_system(std::move(sparse));
+  ASSERT_NE(sparse_system.run_until_converged(4'000'000),
+            sim::kTimeInfinity);
+  auto sparse_tree = sparse_system.try_extract_tree();
+  ASSERT_TRUE(sparse_tree.has_value());
+  EXPECT_EQ(sparse_tree->height(), 8);  // both arcs meet opposite the root
+
+  SpanningTreeSystem::Config dense;
+  dense.graph = complete_graph(10);
+  dense.seed = 4;
+  SpanningTreeSystem dense_system(std::move(dense));
+  ASSERT_NE(dense_system.run_until_converged(4'000'000), sim::kTimeInfinity);
+  auto dense_tree = dense_system.try_extract_tree();
+  ASSERT_TRUE(dense_tree.has_value());
+  EXPECT_EQ(dense_tree->height(), 1);  // every node adjacent to the root
+}
+
+}  // namespace
+}  // namespace klex::stree

@@ -1,0 +1,110 @@
+// Randomized differential coverage for the support containers the
+// protocol state machines (and now GraphSystem's overlay wiring) lean on:
+// FixedMultiset models RSet, SmallVec backs it and the per-node tables.
+// Each container is driven with a long random operation sequence and
+// checked against the obvious reference container after every step.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/fixed_multiset.hpp"
+#include "support/rng.hpp"
+#include "support/small_vec.hpp"
+
+namespace klex::support {
+namespace {
+
+TEST(FixedMultisetStress, MatchesReferenceMultiset) {
+  const int kDomain = 6;
+  const int kMaxSize = 8;
+  Rng rng(2024);
+  FixedMultiset mine(kDomain, kMaxSize);
+  std::multiset<int> reference;
+
+  for (int step = 0; step < 5000; ++step) {
+    std::uint64_t op = rng.next_below(10);
+    if (op < 5 && mine.size() < kMaxSize) {
+      int label = static_cast<int>(rng.next_below(kDomain));
+      mine.insert(label);
+      reference.insert(label);
+    } else if (op < 8 && !reference.empty()) {
+      // Erase a uniformly random present element.
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(rng.next_below(reference.size())));
+      mine.erase_one(*it);
+      reference.erase(it);
+    } else if (op == 8) {
+      mine.clear();
+      reference.clear();
+    }
+
+    ASSERT_EQ(mine.size(), static_cast<int>(reference.size())) << step;
+    int total = 0;
+    for (int label = 0; label < kDomain; ++label) {
+      ASSERT_EQ(mine.count(label),
+                static_cast<int>(reference.count(label)))
+          << "label " << label << " at step " << step;
+      total += mine.count(label);
+    }
+    ASSERT_EQ(total, mine.size()) << step;
+    int visited = 0;
+    mine.for_each([&](int label, int multiplicity) {
+      EXPECT_EQ(multiplicity, mine.count(label));
+      EXPECT_GT(multiplicity, 0);
+      visited += multiplicity;
+    });
+    ASSERT_EQ(visited, mine.size()) << step;
+  }
+}
+
+TEST(SmallVecStress, MatchesReferenceVectorAcrossSpillBoundary) {
+  Rng rng(77);
+  SmallVec<int, 4> mine;
+  std::vector<int> reference;
+
+  for (int step = 0; step < 5000; ++step) {
+    std::uint64_t op = rng.next_below(10);
+    if (op < 5) {
+      int value = static_cast<int>(rng.next_below(1000));
+      mine.push_back(value);
+      reference.push_back(value);
+    } else if (op < 7 && !reference.empty()) {
+      mine.pop_back();
+      reference.pop_back();
+    } else if (op < 9 && !reference.empty()) {
+      std::size_t index = rng.pick_index(reference.size());
+      mine.erase_at(index);
+      reference.erase(reference.begin() + static_cast<long>(index));
+    } else if (op == 9 && reference.size() > 16) {
+      // Shrink back below the inline capacity; later pushes re-cross the
+      // spill boundary, the historically bug-prone transition.
+      mine.clear();
+      reference.clear();
+    }
+
+    ASSERT_EQ(mine.size(), reference.size()) << step;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(mine[i], reference[i]) << "index " << i << " step " << step;
+    }
+  }
+}
+
+TEST(SmallVecStress, ReserveNeverShrinksAndKeepsContents) {
+  Rng rng(31);
+  SmallVec<int, 2> vec;
+  std::vector<int> reference;
+  for (int round = 0; round < 100; ++round) {
+    int value = static_cast<int>(rng.next_below(100));
+    vec.push_back(value);
+    reference.push_back(value);
+    vec.reserve(rng.next_below(64));
+    ASSERT_GE(vec.capacity(), vec.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(vec[i], reference[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace klex::support

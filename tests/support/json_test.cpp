@@ -1,0 +1,98 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace klex::support {
+namespace {
+
+std::string compact(const std::function<void(JsonWriter&)>& build) {
+  std::ostringstream out;
+  JsonWriter json(out, 0);
+  build(json);
+  return out.str();
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(compact([](JsonWriter& j) { j.begin_object().end_object(); }),
+            "{}");
+  EXPECT_EQ(compact([](JsonWriter& j) { j.begin_array().end_array(); }),
+            "[]");
+}
+
+TEST(JsonWriter, ObjectFields) {
+  std::string text = compact([](JsonWriter& j) {
+    j.begin_object()
+        .field("name", "klex")
+        .field("n", 8)
+        .field("ok", true)
+        .field("rate", 1.5)
+        .end_object();
+  });
+  EXPECT_EQ(text, "{\"name\":\"klex\",\"n\":8,\"ok\":true,\"rate\":1.5}");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  std::string text = compact([](JsonWriter& j) {
+    j.begin_object();
+    j.key("runs").begin_array();
+    j.begin_object().field("seed", std::uint64_t{7}).end_object();
+    j.value(3);
+    j.end_array();
+    j.end_object();
+  });
+  EXPECT_EQ(text, "{\"runs\":[{\"seed\":7},3]}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  std::string text = compact([](JsonWriter& j) {
+    j.begin_array().value("a\"b\\c\nd\te").end_array();
+  });
+  EXPECT_EQ(text, "[\"a\\\"b\\\\c\\nd\\te\"]");
+  EXPECT_EQ(json_quote("ctrl\x01"), "\"ctrl\\u0001\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::string text = compact([](JsonWriter& j) {
+    j.begin_array()
+        .value(std::nan(""))
+        .value(std::numeric_limits<double>::infinity())
+        .end_array();
+  });
+  EXPECT_EQ(text, "[null,null]");
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  double value = 0.1 + 0.2;  // 0.30000000000000004
+  std::string text =
+      compact([&](JsonWriter& j) { j.begin_array().value(value).end_array(); });
+  double parsed = std::strtod(text.c_str() + 1, nullptr);
+  EXPECT_EQ(parsed, value);
+}
+
+TEST(JsonWriter, MisuseTrips) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  EXPECT_THROW(json.value(1), CheckFailure);       // value without key
+  EXPECT_THROW(json.end_array(), CheckFailure);    // wrong scope
+  json.key("a");
+  EXPECT_THROW(json.key("b"), CheckFailure);       // two keys in a row
+}
+
+TEST(JsonWriter, IndentedOutput) {
+  std::ostringstream out;
+  JsonWriter json(out, 2);
+  json.begin_object().field("a", 1).end_object();
+  EXPECT_EQ(out.str(), "{\n  \"a\": 1\n}");
+  EXPECT_TRUE(json.done());
+}
+
+}  // namespace
+}  // namespace klex::support

@@ -90,7 +90,7 @@ void emit_klliveness_scenario() {
   spec.workload.cs_duration = proto::Dist::exponential(32);
   spec.workload.need = proto::Dist::uniform(1, 4);
   spec.horizon = 1'000'000;
-  spec.inject_fault = true;
+  spec.fault = exp::ScenarioSpec::FaultKind::kTransient;
   spec.seeds = 3;
   spec.base_seed = 900;
   bench::run_scenario(spec);

@@ -1,0 +1,133 @@
+// E-scale -- stabilization-detection scaling (the ROADMAP's headline
+// scale item).
+//
+// run_until_stabilized used to poll the full token census every 64 ticks:
+// O(channels + n) per poll. The phase that exposes this is deficit-fault
+// recovery (ScenarioSpec::FaultKind::kChannelWipe): after the wipe the
+// network goes almost silent until the root timeout (which scales with n)
+// restarts circulation, so the old loop burned O(n) polls x O(n) walk =
+// O(n^2) detection work over an O(n)-event recovery. With the incremental
+// census the predicate is a couple of integer compares per *event*, so
+// recovery wall-time per node stays flat across the sweep -- the table
+// below prints exactly that quotient, and BENCH_scale.json carries the
+// events/sec and walk/allocation counters into the perf trajectory that
+// tools/bench_diff.py gates in CI.
+//
+// The sweep spans n = 128 .. 32768 (two-and-a-half orders of magnitude).
+// KLEX_SCALE_MAX_N caps it for smoke runs (CI uses 2048).
+#include "bench_common.hpp"
+
+#include <cstdlib>
+
+#include "exp/scenario.hpp"
+
+namespace klex {
+namespace {
+
+std::vector<int> sweep_sizes() {
+  std::vector<int> sizes = {128, 512, 2048, 8192, 32768};
+  if (const char* cap = std::getenv("KLEX_SCALE_MAX_N")) {
+    int max_n = std::atoi(cap);
+    std::erase_if(sizes, [max_n](int n) { return n > max_n; });
+  }
+  return sizes;
+}
+
+exp::ScenarioSpec scale_spec() {
+  exp::ScenarioSpec spec;
+  spec.name = "scale";
+  for (int n : sweep_sizes()) {
+    spec.topologies.push_back(exp::TopologySpec::tree_random(n, 5));
+  }
+  spec.kl = {{2, 4}};
+  spec.seeds = 2;
+  spec.base_seed = 17;
+  // Detection, not steady-state throughput, is under test: a short
+  // workload window keeps the non-detection phases negligible at every n,
+  // and the channel-wipe fault makes the recovery detection-dominated
+  // (idle wait for the O(n) root timeout, one circulation, a mint).
+  spec.warmup = 1'000;
+  spec.horizon = 50'000;
+  spec.stabilize_deadline = 2'000'000'000;
+  spec.fault = exp::ScenarioSpec::FaultKind::kChannelWipe;
+  spec.recovery_deadline = 2'000'000'000;
+  return spec;
+}
+
+void emit_scale_scenario() {
+  bench::print_header(
+      "E-scale: stabilization detection cost vs network size",
+      "incremental census => run_until_stabilized wall-time per node flat "
+      "from n=10^2 to n>=10^4");
+
+  exp::ScenarioSpec spec = scale_spec();
+  bench::ScenarioOutput output = bench::run_scenario(spec);
+
+  support::Table table({"topology", "n", "seed", "recovery (sim)", "events",
+                        "census walks", "wall ms", "wall us/node",
+                        "events/s"});
+  for (const exp::RunResult& run : output.results) {
+    table.add_row(
+        {run.topology, support::Table::cell(run.n),
+         support::Table::cell(static_cast<int>(run.seed)),
+         support::Table::cell(static_cast<double>(run.recovery_time), 0),
+         support::Table::cell(
+             static_cast<double>(run.engine_stats.events_executed), 0),
+         support::Table::cell(
+             static_cast<double>(run.engine_stats.in_flight_walks), 0),
+         support::Table::cell(run.wall_seconds * 1e3, 2),
+         support::Table::cell(run.wall_seconds * 1e6 / run.n, 3),
+         support::Table::cell(run.events_per_sec, 0)});
+  }
+  table.print(std::cout, "detection scaling (flat wall us/node = O(1) "
+                         "per-event detection)");
+}
+
+// Timing section: repeated wipe -> re-stabilize cycles on one system, the
+// pure detection path (no workload, no garbage). Wall time per cycle is
+// O(events in one recovery) with the incremental census; the poll loop
+// made it O(n * recovery-sim-time / poll).
+void BM_WipeRecoveryDetection(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::unique_ptr<SystemBase> system = exp::make_system(
+      exp::TopologySpec::tree_random(n, 5), 2, 4, proto::Features::full(),
+      4, sim::DelayModel{}, 21);
+  sim::SimTime stabilized = system->run_until_stabilized(2'000'000'000);
+  KLEX_CHECK(stabilized != sim::kTimeInfinity, "bench system must boot");
+  for (auto _ : state) {
+    system->engine().clear_channels();
+    sim::SimTime recovered = system->run_until_stabilized(
+        system->engine().now() + 2'000'000'000);
+    benchmark::DoNotOptimize(recovered);
+    KLEX_CHECK(recovered != sim::kTimeInfinity, "recovery must succeed");
+  }
+  // kIsRate|kInvert reports elapsed seconds per node-iteration; the SI
+  // prefix in the output supplies the scale (expect a few hundred nano).
+  state.counters["time_per_node"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+// KLEX_SCALE_MAX_N caps the timing section too, so smoke runs never build
+// the large systems at all.
+void scale_bm_args(benchmark::internal::Benchmark* bench) {
+  bool any = false;
+  for (int n : sweep_sizes()) {
+    if (n <= 8192) {
+      bench->Arg(n);
+      any = true;
+    }
+  }
+  if (!any) bench->Arg(128);
+}
+BENCHMARK(BM_WipeRecoveryDetection)->Apply(scale_bm_args);
+
+}  // namespace
+}  // namespace klex
+
+int main(int argc, char** argv) {
+  klex::emit_scale_scenario();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -6,7 +6,7 @@ namespace klex {
 
 SystemBase::SystemBase(core::Params params, sim::DelayModel delays,
                        std::uint64_t seed)
-    : params_(params), engine_(delays, seed) {
+    : params_(params), engine_(delays, seed), tracker_(&engine_, params.l) {
   KLEX_REQUIRE(params_.k >= 1 && params_.k <= params_.l,
                "need 1 <= k <= l");
 }
@@ -91,25 +91,47 @@ bool SystemBase::run_until_message_quiescence(std::uint64_t max_events) {
 sim::SimTime SystemBase::run_until_stabilized(sim::SimTime deadline,
                                               sim::SimTime poll,
                                               int consecutive) {
-  KLEX_REQUIRE(poll > 0, "poll interval must be positive");
-  KLEX_REQUIRE(consecutive >= 1, "need at least one confirming poll");
-  int streak = 0;
-  sim::SimTime first_correct = sim::kTimeInfinity;
-  while (engine_.now() < deadline) {
-    engine_.run_until(engine_.now() + poll);
-    if (token_counts_correct()) {
-      if (streak == 0) first_correct = engine_.now();
-      ++streak;
-      if (streak >= consecutive) return first_correct;
-    } else {
-      streak = 0;
-      first_correct = sim::kTimeInfinity;
+  KLEX_REQUIRE(poll > 0, "confirmation granularity must be positive");
+  KLEX_REQUIRE(consecutive >= 1, "need a non-empty confirmation window");
+  const sim::SimTime window = poll * static_cast<sim::SimTime>(consecutive);
+
+  // Event-driven detection: every event that could move the census goes
+  // through the engine's per-type counters or a participant delta, so
+  // probing the O(1) predicate once per executed event observes every
+  // correct<->incorrect edge at its exact simulated time. `correct_since`
+  // is the start of the current correct stretch; a stretch that survives
+  // `window` ticks is confirmed and reported at its transition edge.
+  engine_.start();  // on_start() may mint tokens; count them before probing
+  bool correct = tracker_.correct();
+  sim::SimTime correct_since = correct ? engine_.now() : sim::kTimeInfinity;
+  for (;;) {
+    if (correct) {
+      if (engine_.now() >= correct_since + window) return correct_since;
+      if (correct_since + window > deadline) break;  // cannot confirm in time
+      if (engine_.next_event_time() > correct_since + window) {
+        // Nothing is scheduled inside the window, so nothing can break it:
+        // advance the clock to the confirmation point without stepping.
+        engine_.run_until(correct_since + window);
+        return correct_since;
+      }
+    } else if (engine_.next_event_time() > deadline) {
+      break;  // queue drained (or idle) past the deadline, still incorrect
     }
+    if (!correct && engine_.now() >= deadline) break;
+    engine_.step();
+    bool now_correct = tracker_.correct();
+    if (now_correct && !correct) correct_since = engine_.now();
+    correct = now_correct;
   }
+  // Failure: leave the clock at the deadline like the poll loop did, so
+  // callers that retry with a later deadline resume from a known point.
+  if (engine_.now() < deadline) engine_.run_until(deadline);
   return sim::kTimeInfinity;
 }
 
-proto::TokenCensus SystemBase::census() const {
+proto::TokenCensus SystemBase::census() const { return tracker_.counts(); }
+
+proto::TokenCensus SystemBase::census_oracle() const {
   return proto::take_census(engine_, census_participants_);
 }
 
@@ -120,9 +142,7 @@ proto::MessageDomains SystemBase::message_domains() const {
   return domains;
 }
 
-bool SystemBase::token_counts_correct() const {
-  return census().correct(params_.l);
-}
+bool SystemBase::token_counts_correct() const { return tracker_.correct(); }
 
 void SystemBase::inject_transient_fault(support::Rng& rng) {
   engine_.clear_channels();

@@ -63,17 +63,31 @@ class SystemBase : public proto::RequestPort {
   void run_until(sim::SimTime t);
   bool run_until_message_quiescence(std::uint64_t max_events);
 
-  /// Runs the simulation, polling the census every `poll` ticks, until the
-  /// token population is correct for `consecutive` consecutive polls or
-  /// `deadline` passes. Returns the time of the first of the consecutive
-  /// correct polls, or kTimeInfinity if the deadline was hit.
+  /// Runs the simulation until the token population has been correct for a
+  /// confirmation window of `poll * consecutive` ticks, or `deadline`
+  /// passes. Detection is event-driven over the incremental census: the
+  /// correct/incorrect edge is re-evaluated (a few integer compares, no
+  /// walk) after every event, and the returned time is the exact simulated
+  /// time of the census transition that started the confirmed-correct
+  /// stretch -- not a poll-grid rounding of it. Returns kTimeInfinity if
+  /// the window cannot complete by `deadline` (the clock is still advanced
+  /// to the deadline, like the historical poll loop).
+  ///
+  /// The (poll, consecutive) pair is kept from the polling era so existing
+  /// call sites confirm over the same ~poll*consecutive horizon they
+  /// always did; they no longer quantize the reported time.
   sim::SimTime run_until_stabilized(sim::SimTime deadline,
                                     sim::SimTime poll = 64,
                                     int consecutive = 3);
 
   // -- observation / faults ------------------------------------------------------
+  /// O(1): assembled from the incrementally maintained tracker.
   proto::TokenCensus census() const;
+  /// O(channels + n) full-walk oracle; tests cross-check it against
+  /// census(), production loops should never need it.
+  proto::TokenCensus census_oracle() const;
   bool token_counts_correct() const;
+  const proto::CensusTracker& census_tracker() const { return tracker_; }
 
   /// Transient fault: randomizes every process's protocol variables
   /// in-domain and replaces every channel's content with up to CMAX
@@ -98,6 +112,9 @@ class SystemBase : public proto::RequestPort {
     ProcessT* raw = process.get();
     participants_.push_back(raw);
     census_participants_.push_back(raw);
+    // Pristine at registration (empty RSet, Prio = ⊥), so the tracker's
+    // zero-initialized aggregate is exact from the first delta on.
+    raw->attach_deltas(&tracker_);
     engine_.add_process(std::move(process));
     return raw;
   }
@@ -122,9 +139,11 @@ class SystemBase : public proto::RequestPort {
   core::Params params_;
   proto::ListenerSet listeners_;
   sim::Engine engine_;
+  // Incremental census (engine per-type counters + participant deltas);
+  // declared after engine_ so it can hold a pointer to it at construction.
+  proto::CensusTracker tracker_;
   std::vector<proto::ExclusionParticipant*> participants_;
-  // The same pointers as const, prebuilt because census() runs every
-  // stabilization poll.
+  // The same pointers as const, prebuilt for the full-walk census oracle.
   std::vector<const proto::ExclusionParticipant*> census_participants_;
   std::vector<std::pair<sim::NodeId, int>> out_channels_;
 };

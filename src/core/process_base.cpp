@@ -56,6 +56,7 @@ void KlProcessBase::handle_resource(int channel) {
   note_resource_arrival(channel);   // root: loop-completion census
   if (state_ == proto::AppState::kReq && rset_.size() < need_) {
     rset_.insert(channel);  // reserve, remembering the arrival channel
+    notify_reserved_delta(1);
   } else {
     forward_resource(channel);
   }
@@ -91,6 +92,7 @@ void KlProcessBase::handle_priority(int channel) {
   note_priority_arrival(channel);  // root: loop-completion census
   if (prio_ == kNoPrio) {
     prio_ = channel;  // hold it until the local request is satisfied
+    notify_priority_delta(1);
   } else {
     forward_priority(channel);
   }
@@ -117,11 +119,14 @@ void KlProcessBase::release_all_reserved() {
       forward_resource(label);
     }
   });
+  notify_reserved_delta(-rset_.size());
   rset_.clear();
 }
 
 void KlProcessBase::erase_local_tokens() {
+  notify_reserved_delta(-rset_.size());
   rset_.clear();
+  if (prio_ != kNoPrio) notify_priority_delta(-1);
   prio_ = kNoPrio;
 }
 
@@ -146,6 +151,7 @@ void KlProcessBase::post_step() {
                            rset_.size() >= need_)) {
     int held = prio_;
     prio_ = kNoPrio;
+    notify_priority_delta(-1);
     note_priority_release(held);  // literal-pseudocode census mode only
     forward_priority(held);
   }
@@ -185,6 +191,8 @@ proto::LocalSnapshot KlProcessBase::snapshot() const {
 }
 
 void KlProcessBase::corrupt(support::Rng& rng) {
+  const int reserved_before = rset_.size();
+  const bool held_before = prio_ != kNoPrio;
   myc_ = static_cast<std::int32_t>(
       rng.next_below(static_cast<std::uint64_t>(myc_modulus_)));
   succ_ = static_cast<int>(rng.next_below(
@@ -210,6 +218,8 @@ void KlProcessBase::corrupt(support::Rng& rng) {
     prio_ = kNoPrio;
   }
   release_pending_ = rng.next_bool(0.5);
+  notify_reserved_delta(rset_.size() - reserved_before);
+  notify_priority_delta((prio_ != kNoPrio ? 1 : 0) - (held_before ? 1 : 0));
 }
 
 }  // namespace klex::core

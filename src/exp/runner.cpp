@@ -121,13 +121,19 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   result.safety_ok = !safety.any_violation();
   result.events_executed = system->engine().events_executed() - events_before;
 
-  // Phase 3 (optional): transient fault + recovery.
-  if (spec.inject_fault) {
+  // Phase 3 (optional): fault + recovery.
+  if (spec.fault != ScenarioSpec::FaultKind::kNone) {
     result.fault_injected = true;
-    support::Rng fault_rng(point.seed ^ 0xFA17ull);
     sim::SimTime fault_at = system->engine().now();
-    system->inject_transient_fault(fault_rng);
-    driver.resync();
+    if (spec.fault == ScenarioSpec::FaultKind::kTransient) {
+      support::Rng fault_rng(point.seed ^ 0xFA17ull);
+      system->inject_transient_fault(fault_rng);
+      driver.resync();  // corruption invalidated the driver's bookkeeping
+    } else {
+      // Channel wipe: process state (and the driver's view of it) is
+      // intact, only the in-flight tokens are lost.
+      system->engine().clear_channels();
+    }
     sim::SimTime recovered = system->run_until_stabilized(
         fault_at + spec.recovery_deadline);
     result.recovered = recovered != sim::kTimeInfinity;
@@ -280,7 +286,17 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
   json.field("warmup", spec.warmup);
   json.field("horizon", spec.horizon);
   json.field("stabilize_deadline", spec.stabilize_deadline);
-  json.field("inject_fault", spec.inject_fault);
+  switch (spec.fault) {
+    case ScenarioSpec::FaultKind::kNone:
+      json.field("fault", "none");
+      break;
+    case ScenarioSpec::FaultKind::kTransient:
+      json.field("fault", "transient");
+      break;
+    case ScenarioSpec::FaultKind::kChannelWipe:
+      json.field("fault", "channel_wipe");
+      break;
+  }
   json.field("seeds", spec.seeds);
   json.field("base_seed", spec.base_seed);
   json.end_object();  // spec
@@ -321,6 +337,7 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.field("callback_slots_created",
                run.engine_stats.callback_slots_created);
     json.field("max_heap_size", run.engine_stats.max_heap_size);
+    json.field("in_flight_walks", run.engine_stats.in_flight_walks);
     json.end_object();
     json.end_object();
   }

@@ -104,9 +104,19 @@ struct ScenarioSpec {
   /// Deadline for the initial stabilization phase.
   sim::SimTime stabilize_deadline = 10'000'000;
 
-  /// When set, a transient fault is injected after the measurement window
-  /// and the recovery time is recorded.
-  bool inject_fault = false;
+  /// Post-measurement fault phase.
+  ///   kTransient   -- the paper's transient fault: every process variable
+  ///                   randomized in-domain, channels wiped then preloaded
+  ///                   with up to CMAX garbage messages each. Recovery is
+  ///                   protocol-dominated (surplus tokens must drain
+  ///                   through a reset).
+  ///   kChannelWipe -- pure deficit fault: all in-flight messages lost,
+  ///                   process state intact. Recovery is detection-
+  ///                   dominated (idle wait for the root timeout, one
+  ///                   circulation, a mint) -- the stabilization-detection
+  ///                   scaling bench measures this one.
+  enum class FaultKind { kNone, kTransient, kChannelWipe };
+  FaultKind fault = FaultKind::kNone;
   sim::SimTime recovery_deadline = 40'000'000;
 
   /// Seeds base_seed, base_seed+1, ... base_seed+seeds-1.

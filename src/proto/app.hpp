@@ -44,6 +44,23 @@ struct LocalSnapshot {
   int sprio = 0;            // root only: SPrio
 };
 
+/// Receives increments/decrements of a participant's token-holding state
+/// the moment it changes. This is the participant half of the incremental
+/// token census (proto::CensusTracker): instead of snapshotting every
+/// process per poll, the census integrates these deltas. Deltas are
+/// exhaustive -- every mutation of RSet or Prio, including transient-fault
+/// corruption, reports through here.
+class ParticipantDeltaSink {
+ public:
+  virtual ~ParticipantDeltaSink() = default;
+
+  /// |RSet| changed by `delta` (reserved resource tokens).
+  virtual void on_reserved_delta(int delta) = 0;
+
+  /// The process started (+1) or stopped (-1) holding the priority token.
+  virtual void on_priority_delta(int delta) = 0;
+};
+
 /// Protocol-side surface every exclusion process implements.
 class ExclusionParticipant {
  public:
@@ -67,6 +84,24 @@ class ExclusionParticipant {
   /// Transient fault: overwrite every protocol variable with a uniformly
   /// random in-domain value. (Channel corruption is done by the harness.)
   virtual void corrupt(support::Rng& rng) = 0;
+
+  /// Attaches the (single) delta sink. The sink must start from this
+  /// participant's current snapshot() -- attaching at construction time
+  /// (all counts zero) is the usual way to keep that trivial. Detach with
+  /// nullptr. Unattached participants pay one predictable branch per
+  /// state change and no indirect call.
+  void attach_deltas(ParticipantDeltaSink* sink) { deltas_ = sink; }
+
+ protected:
+  void notify_reserved_delta(int delta) {
+    if (deltas_ != nullptr && delta != 0) deltas_->on_reserved_delta(delta);
+  }
+  void notify_priority_delta(int delta) {
+    if (deltas_ != nullptr && delta != 0) deltas_->on_priority_delta(delta);
+  }
+
+ private:
+  ParticipantDeltaSink* deltas_ = nullptr;
 };
 
 /// Protocol lifecycle events, delivered synchronously at simulation time.

@@ -1,6 +1,7 @@
 #include "proto/census.hpp"
 
 #include "proto/messages.hpp"
+#include "support/check.hpp"
 
 namespace klex::proto {
 
@@ -23,6 +24,38 @@ TokenCensus take_census(
     census.reserved_resource += snap.rset_size;
     if (snap.holds_priority) ++census.held_priority;
   }
+  return census;
+}
+
+CensusTracker::CensusTracker(const sim::Engine* engine, int l)
+    : engine_(engine), l_(l) {
+  KLEX_REQUIRE(engine_ != nullptr, "tracker needs an engine");
+  KLEX_REQUIRE(l_ >= 1, "need l >= 1");
+}
+
+void CensusTracker::resync(
+    const std::vector<const ExclusionParticipant*>& participants) {
+  reserved_resource_ = 0;
+  held_priority_ = 0;
+  for (const ExclusionParticipant* participant : participants) {
+    LocalSnapshot snap = participant->snapshot();
+    reserved_resource_ += snap.rset_size;
+    if (snap.holds_priority) ++held_priority_;
+  }
+}
+
+TokenCensus CensusTracker::counts() const {
+  auto in_flight = [this](TokenType type) {
+    return static_cast<int>(
+        engine_->in_flight_of_type(static_cast<std::int32_t>(type)));
+  };
+  TokenCensus census;
+  census.free_resource = in_flight(TokenType::kResource);
+  census.reserved_resource = reserved_resource_;
+  census.pusher = in_flight(TokenType::kPusher);
+  census.free_priority = in_flight(TokenType::kPriority);
+  census.held_priority = held_priority_;
+  census.control = in_flight(TokenType::kControl);
   return census;
 }
 

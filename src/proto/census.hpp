@@ -5,13 +5,25 @@
 // *reserved* (an entry of some process's RSet). A priority token is free
 // (⟨PrioT⟩ in a channel) or held (Prio ≠ ⊥ at some process). Pusher and
 // controller tokens are never stored, so they are exactly the in-flight
-// messages of their type. The census therefore needs the simulator's
-// channel contents plus every process's LocalSnapshot.
+// messages of their type.
+//
+// Two implementations of the same count:
+//   * CensusTracker -- the incrementally maintained invariant. The free
+//     half comes from the engine's inline per-type in-flight counters
+//     (updated on send/inject/deliver/clear); the stored half integrates
+//     ParticipantDeltaSink deltas. counts() and correct() are O(1), so
+//     stabilization detection costs a couple of integer compares per
+//     event instead of an O(channels + n) walk per poll.
+//   * take_census -- the full-walk debug oracle: walks every in-flight
+//     deque and snapshots every participant. Tests cross-check the
+//     tracker against it after every event batch; production loops never
+//     call it (EngineStats::in_flight_walks proves that).
 #pragma once
 
 #include <vector>
 
 #include "proto/app.hpp"
+#include "proto/messages.hpp"
 #include "sim/engine.hpp"
 
 namespace klex::proto {
@@ -34,9 +46,53 @@ struct TokenCensus {
   }
 };
 
-/// Counts every token in channels and process states.
+/// Counts every token in channels and process states (full walk; the
+/// debug oracle the incremental CensusTracker is checked against).
 TokenCensus take_census(
     const sim::Engine& engine,
     const std::vector<const ExclusionParticipant*>& participants);
+
+/// Incrementally maintained global token census; see the file comment.
+class CensusTracker final : public ParticipantDeltaSink {
+ public:
+  /// `engine` must outlive the tracker. `l` is the legitimate resource
+  /// population. The aggregate starts at zero, matching participants that
+  /// attach in their pristine state (empty RSet, Prio = ⊥); use resync()
+  /// when attaching to a system that already holds tokens.
+  CensusTracker(const sim::Engine* engine, int l);
+
+  // -- ParticipantDeltaSink ---------------------------------------------------
+  void on_reserved_delta(int delta) override { reserved_resource_ += delta; }
+  void on_priority_delta(int delta) override { held_priority_ += delta; }
+
+  /// Re-derives the participant half from snapshots (one O(n) walk; used
+  /// when the sink is attached to already-running participants).
+  void resync(const std::vector<const ExclusionParticipant*>& participants);
+
+  /// The full census, assembled in O(1) from the engine's per-type
+  /// counters and the integrated deltas.
+  TokenCensus counts() const;
+
+  /// The legitimacy predicate (ℓ resource tokens, one pusher, one
+  /// priority token) as a handful of integer compares -- no walk.
+  bool correct() const {
+    return static_cast<int>(engine_->in_flight_of_type(
+               static_cast<std::int32_t>(TokenType::kResource))) +
+                   reserved_resource_ == l_ &&
+           engine_->in_flight_of_type(
+               static_cast<std::int32_t>(TokenType::kPusher)) == 1 &&
+           static_cast<int>(engine_->in_flight_of_type(
+               static_cast<std::int32_t>(TokenType::kPriority))) +
+                   held_priority_ == 1;
+  }
+
+  int l() const { return l_; }
+
+ private:
+  const sim::Engine* engine_;
+  int l_;
+  int reserved_resource_ = 0;
+  int held_priority_ = 0;
+};
 
 }  // namespace klex::proto

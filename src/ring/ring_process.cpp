@@ -62,11 +62,14 @@ void RingProcessBase::release_all_reserved() {
     note_resource_forward();
     forward(proto::make_resource());
   }
+  notify_reserved_delta(-count);
   rset_.clear();
 }
 
 void RingProcessBase::erase_local_tokens() {
+  notify_reserved_delta(-rset_.size());
   rset_.clear();
+  if (prio_ != kNoPrio) notify_priority_delta(-1);
   prio_ = kNoPrio;
 }
 
@@ -85,6 +88,7 @@ void RingProcessBase::post_step() {
   if (prio_ != kNoPrio && (state_ != proto::AppState::kReq ||
                            rset_.size() >= need_)) {
     prio_ = kNoPrio;
+    notify_priority_delta(-1);
     note_priority_forward();
     forward(proto::make_priority());
   }
@@ -118,6 +122,8 @@ proto::LocalSnapshot RingProcessBase::snapshot() const {
 }
 
 void RingProcessBase::corrupt(support::Rng& rng) {
+  const int reserved_before = rset_.size();
+  const bool held_before = prio_ != kNoPrio;
   myc_ = static_cast<std::int32_t>(
       rng.next_below(static_cast<std::uint64_t>(myc_modulus_)));
   rset_.clear();
@@ -133,6 +139,8 @@ void RingProcessBase::corrupt(support::Rng& rng) {
   }
   prio_ = (params_.features.priority && rng.next_bool(0.5)) ? 0 : kNoPrio;
   release_pending_ = rng.next_bool(0.5);
+  notify_reserved_delta(rset_.size() - reserved_before);
+  notify_priority_delta((prio_ != kNoPrio ? 1 : 0) - (held_before ? 1 : 0));
 }
 
 // ---------------------------------------------------------------------------
@@ -183,6 +191,7 @@ void RingRootProcess::handle_resource() {
   if (reset_) return;  // erased
   if (state_ == proto::AppState::kReq && rset_.size() < need_) {
     rset_.insert(0);
+    notify_reserved_delta(1);
   } else {
     forward_resource_counting();
   }
@@ -201,6 +210,7 @@ void RingRootProcess::handle_priority() {
   if (reset_) return;
   if (prio_ == kNoPrio) {
     prio_ = 0;
+    notify_priority_delta(1);
   } else {
     sprio_ = sat_add(sprio_, 1, 2);
     forward(proto::make_priority());
@@ -285,6 +295,7 @@ RingMemberProcess::RingMemberProcess(core::Params params,
 void RingMemberProcess::handle_resource() {
   if (state_ == proto::AppState::kReq && rset_.size() < need_) {
     rset_.insert(0);
+    notify_reserved_delta(1);
   } else {
     forward(proto::make_resource());
   }
@@ -300,6 +311,7 @@ void RingMemberProcess::handle_pusher() {
 void RingMemberProcess::handle_priority() {
   if (prio_ == kNoPrio) {
     prio_ = 0;
+    notify_priority_delta(1);
   } else {
     forward(proto::make_priority());
   }

@@ -156,6 +156,7 @@ void Engine::schedule_delivery(int channel_index, const Message& msg) {
   SimTime deliver_at = std::max(now_ + delay, dc.last_scheduled);
   dc.last_scheduled = deliver_at;
   dc.in_flight.push_back(msg);
+  ++in_flight_by_type_[type_bucket(msg.type)];
 
   Event event;
   event.at = deliver_at;
@@ -170,8 +171,18 @@ void Engine::send_from(NodeId from, int channel, const Message& msg) {
   int index = channel_index_of(from, channel);
   schedule_delivery(index, msg);
   ++messages_sent_;
+  if (!observers_.empty()) notify_send(from, channel, msg);
+}
+
+void Engine::notify_send(NodeId from, int channel, const Message& msg) {
   for (SimObserver* obs : observers_) {
     obs->on_send(now_, from, channel, msg);
+  }
+}
+
+void Engine::notify_deliver(NodeId to, int channel, const Message& msg) {
+  for (SimObserver* obs : observers_) {
+    obs->on_deliver(now_, to, channel, msg);
   }
 }
 
@@ -243,15 +254,9 @@ void Engine::clear_channels() {
     ++dc.epoch;
     dc.last_scheduled = 0;
   }
-}
-
-void Engine::for_each_in_flight(
-    const std::function<void(const ChannelInfo&, const Message&)>& fn) const {
-  for (const DirectedChannel& dc : channels_) {
-    for (const Message& msg : dc.in_flight) {
-      fn(dc.info, msg);
-    }
-  }
+  // All channels are now empty: the per-type census counters reset as one
+  // write instead of a decrement per dropped message.
+  in_flight_by_type_.fill(0);
 }
 
 int Engine::channel_backlog(NodeId from, int from_channel) const {
@@ -268,6 +273,7 @@ EngineStats Engine::stats() const {
   stats.callbacks_scheduled = callbacks_scheduled_;
   stats.callback_slots_created = callback_slots_created_;
   stats.max_heap_size = max_heap_size_;
+  stats.in_flight_walks = in_flight_walks_;
   return stats;
 }
 
@@ -293,6 +299,7 @@ void Engine::dispatch(const Event& event) {
       // (delivery times per channel are monotone, ties keep send order).
       Message msg = dc.in_flight.front();
       dc.in_flight.pop_front();
+      --in_flight_by_type_[type_bucket(msg.type)];
       --in_flight_;
       ++messages_delivered_;
       NodeId to = dc.info.to;
@@ -301,9 +308,7 @@ void Engine::dispatch(const Event& event) {
       // Observers run after the handler: they then see a consistent
       // configuration boundary (the message has been fully absorbed,
       // stored or forwarded), which global-invariant checkers rely on.
-      for (SimObserver* obs : observers_) {
-        obs->on_deliver(now_, to, channel, msg);
-      }
+      if (!observers_.empty()) notify_deliver(to, channel, msg);
       return;
     }
     case EventKind::kTimer: {

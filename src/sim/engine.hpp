@@ -21,6 +21,7 @@
 // engine instance per thread parallelizes experiments trivially.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -123,6 +124,11 @@ struct EngineStats {
   std::uint64_t callback_slots_created = 0;
   /// High-water mark of the event heap.
   std::uint64_t max_heap_size = 0;
+  /// Full in-flight walks (for_each_in_flight calls). The incremental
+  /// census keeps this at zero during run_until_stabilized; the counter is
+  /// in the BENCH_*.json trajectory so O(channels) polling cannot silently
+  /// creep back into a hot loop.
+  std::uint64_t in_flight_walks = 0;
 };
 
 class Engine {
@@ -170,6 +176,13 @@ class Engine {
 
   SimTime now() const { return now_; }
 
+  /// Timestamp of the earliest pending event, or kTimeInfinity if the
+  /// queue is empty. Lets callers prove "nothing can happen before t"
+  /// without executing anything (event-driven stabilization detection).
+  SimTime next_event_time() const {
+    return queue_.empty() ? kTimeInfinity : queue_.top().at;
+  }
+
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t events_executed() const { return events_executed_; }
@@ -198,9 +211,30 @@ class Engine {
   void clear_channels();
 
   /// Invokes `fn(info, msg)` for every in-flight message, in channel order
-  /// then FIFO order. The basis of the global token census.
-  void for_each_in_flight(
-      const std::function<void(const ChannelInfo&, const Message&)>& fn) const;
+  /// then FIFO order. Statically dispatched (no std::function / virtual
+  /// call per message) -- this is the debug-oracle census walk, and it is
+  /// counted in EngineStats::in_flight_walks so hot loops can prove they
+  /// never take it.
+  template <typename Fn>
+  void for_each_in_flight(Fn&& fn) const {
+    ++in_flight_walks_;
+    for (const DirectedChannel& dc : channels_) {
+      for (const Message& msg : dc.in_flight) {
+        fn(dc.info, msg);
+      }
+    }
+  }
+
+  /// Number of in-flight messages whose `type` equals `type`, maintained
+  /// inline on the send/inject/deliver/clear paths (no walk, no callback).
+  /// Exact for 0 <= type < kTrackedMessageTypes (covers every protocol
+  /// token type); out-of-range types alias the junk bucket 0.
+  std::uint64_t in_flight_of_type(std::int32_t type) const {
+    return in_flight_by_type_[type_bucket(type)];
+  }
+
+  /// Per-type counters are exact for types in [0, kTrackedMessageTypes).
+  static constexpr std::int32_t kTrackedMessageTypes = 8;
 
   /// Per-channel in-flight count for (from, from_channel).
   int channel_backlog(NodeId from, int from_channel) const;
@@ -269,10 +303,23 @@ class Engine {
     std::deque<Message> in_flight;
   };
 
+  static std::size_t type_bucket(std::int32_t type) {
+    // Types outside [0, kTrackedMessageTypes) alias the junk bucket 0;
+    // protocol types live in 1..4, so they are always exact. The cast
+    // folds the negative range into one unsigned compare.
+    std::uint32_t t = static_cast<std::uint32_t>(type);
+    return t < static_cast<std::uint32_t>(kTrackedMessageTypes) ? t : 0u;
+  }
+
   int channel_index_of(NodeId from, int from_channel) const;
   void dispatch(const Event& event);
   void push_event(Event event);
   void schedule_delivery(int channel_index, const Message& msg);
+  // Observer fan-out, out of line: the hot send/deliver paths only test
+  // observers_.empty(), so unmonitored runs pay no indirect call (and no
+  // loop setup) per event.
+  void notify_send(NodeId from, int channel, const Message& msg);
+  void notify_deliver(NodeId to, int channel, const Message& msg);
 
   DelayModel delays_;
   support::Rng rng_;
@@ -290,6 +337,11 @@ class Engine {
 
   EventHeap queue_;
   std::uint64_t max_heap_size_ = 0;
+
+  // In-flight message count per type bucket, the channel half of the
+  // incremental token census (proto::CensusTracker reads these).
+  std::array<std::uint64_t, kTrackedMessageTypes> in_flight_by_type_{};
+  mutable std::uint64_t in_flight_walks_ = 0;
 
   // Callback slab: slots are recycled through a free list, so steady-state
   // scheduling constructs no new slots (the std::function's own capture

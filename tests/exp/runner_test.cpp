@@ -81,7 +81,7 @@ TEST(ExperimentRunner, FaultPhaseRecovers) {
   ScenarioSpec spec = small_scenario();
   spec.topologies = {TopologySpec::tree_line(5)};
   spec.seeds = 1;
-  spec.inject_fault = true;
+  spec.fault = ScenarioSpec::FaultKind::kTransient;
   std::vector<RunResult> results = ExperimentRunner(1).run(spec);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].fault_injected);
@@ -90,6 +90,21 @@ TEST(ExperimentRunner, FaultPhaseRecovers) {
   // Elapsed-since-fault, not an absolute timestamp: the fault fires after
   // stabilization + warmup + horizon (> 300k ticks), while recovery on a
   // 5-node line takes a few thousand.
+  EXPECT_LT(results[0].recovery_time, 300'000u);
+}
+
+TEST(ExperimentRunner, ChannelWipeFaultRecovers) {
+  ScenarioSpec spec = small_scenario();
+  spec.topologies = {TopologySpec::tree_line(5)};
+  spec.seeds = 1;
+  spec.fault = ScenarioSpec::FaultKind::kChannelWipe;
+  std::vector<RunResult> results = ExperimentRunner(1).run(spec);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].fault_injected);
+  EXPECT_TRUE(results[0].recovered);
+  // Deficit-only: the root timeout restarts circulation, the mint repairs
+  // the population; recovery must not need a reset-length drain.
+  EXPECT_GT(results[0].recovery_time, 0u);
   EXPECT_LT(results[0].recovery_time, 300'000u);
 }
 

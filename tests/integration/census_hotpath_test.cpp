@@ -1,0 +1,65 @@
+// The incremental-census hot path must be walk-free and allocation-free:
+// a steady-state run_until_stabilized may not take a single full census
+// walk (EngineStats::in_flight_walks) nor construct a single callback
+// slot. The full-walk oracle stays available -- and is counted -- for
+// debugging and differential tests.
+#include <gtest/gtest.h>
+
+#include "api/system.hpp"
+
+namespace klex {
+namespace {
+
+SystemConfig hotpath_config() {
+  SystemConfig config;
+  config.tree = tree::balanced(2, 3);
+  config.k = 2;
+  config.l = 4;
+  config.seed = 99;
+  return config;
+}
+
+TEST(CensusHotPath, StabilizationDetectionDoesZeroWalks) {
+  System system(hotpath_config());
+  // Cold start through bootstrap: detection itself must never walk.
+  ASSERT_NE(system.run_until_stabilized(4'000'000), sim::kTimeInfinity);
+  sim::EngineStats stats = system.engine().stats();
+  EXPECT_EQ(stats.in_flight_walks, 0u);
+  EXPECT_EQ(stats.callback_slots_created, 0u);  // no workload, no slots
+  EXPECT_GT(stats.events_executed, 0u);
+}
+
+TEST(CensusHotPath, SteadyStateRedetectionDoesZeroWalksOrSlots) {
+  System system(hotpath_config());
+  ASSERT_NE(system.run_until_stabilized(4'000'000), sim::kTimeInfinity);
+  system.run_until(system.engine().now() + 500'000);  // deep steady state
+
+  sim::EngineStats before = system.engine().stats();
+  // Re-detection over an already-correct census: confirms after the
+  // window, still at O(1) per event.
+  ASSERT_NE(system.run_until_stabilized(system.engine().now() + 1'000'000),
+            sim::kTimeInfinity);
+  sim::EngineStats after = system.engine().stats();
+  EXPECT_EQ(after.in_flight_walks, before.in_flight_walks);
+  EXPECT_EQ(after.callback_slots_created, before.callback_slots_created);
+  EXPECT_EQ(after.callbacks_scheduled, before.callbacks_scheduled);
+}
+
+TEST(CensusHotPath, OracleWalksAreCountedButOptIn) {
+  System system(hotpath_config());
+  ASSERT_NE(system.run_until_stabilized(4'000'000), sim::kTimeInfinity);
+  sim::EngineStats before = system.engine().stats();
+
+  proto::TokenCensus tracked = system.census();      // O(1), no walk
+  EXPECT_EQ(system.engine().stats().in_flight_walks, before.in_flight_walks);
+
+  proto::TokenCensus oracle = system.census_oracle();  // full walk, counted
+  EXPECT_EQ(system.engine().stats().in_flight_walks,
+            before.in_flight_walks + 1);
+  EXPECT_EQ(tracked.resource(), oracle.resource());
+  EXPECT_EQ(tracked.pusher, oracle.pusher);
+  EXPECT_EQ(tracked.priority(), oracle.priority());
+}
+
+}  // namespace
+}  // namespace klex

@@ -1,0 +1,92 @@
+// Regression test for the poll-granularity bug: run_until_stabilized used
+// to poll the census every `poll` ticks and report the first *poll* that
+// saw it correct, so the returned time was quantized up to a full poll
+// interval late. The event-driven rewrite must return the exact simulated
+// time of the census transition. The runs below are hand-traced: the
+// harness injects the final missing token at a chosen off-grid instant,
+// which is the moment the census (which counts in-flight messages from
+// the send) becomes correct.
+#include <gtest/gtest.h>
+
+#include "api/system.hpp"
+#include "proto/messages.hpp"
+
+namespace klex {
+namespace {
+
+TEST(StabilizationTime, ReportsExactOffGridTransitionTime) {
+  // No controller and manual tokens: nothing mints, so the census is
+  // wrong (0/0/0 of 1/1/1) until this test injects tokens by hand.
+  SystemConfig config;
+  config.tree = tree::line(2);
+  config.k = 1;
+  config.l = 1;
+  config.features = proto::Features::with_priority();
+  config.manual_tokens = true;
+  config.seed = 5;
+  System system(config);
+
+  // Two of three token kinds from the start ...
+  system.engine().inject_message(0, 0, proto::make_pusher());
+  system.engine().inject_message(0, 0, proto::make_priority());
+  // ... and the last resource token appears at t = 137, off the 64-tick
+  // poll grid (the polling loop would have reported 192).
+  const sim::SimTime kTransition = 137;
+  system.engine().schedule(kTransition, [&system] {
+    system.engine().inject_message(0, 0, proto::make_resource());
+  });
+
+  sim::SimTime reported =
+      system.run_until_stabilized(/*deadline=*/10'000, /*poll=*/64,
+                                  /*consecutive=*/3);
+  EXPECT_EQ(reported, kTransition);
+  EXPECT_NE(reported % 64, 0u) << "a poll-grid answer means quantization";
+  // Confirmation (the 192-tick window) costs simulated time, but the
+  // *reported* stabilization instant is the transition edge itself.
+  EXPECT_GE(system.engine().now(), kTransition + 3 * 64);
+}
+
+TEST(StabilizationTime, LegitimateStartReportsTimeZero) {
+  // Seeded controller-free rung: the root mints the exact population
+  // during on_start(), i.e. the census is correct from t = 0 and nothing
+  // ever disturbs it (no controller to re-mint). The poll loop reported
+  // 64 (its first poll); the edge consumer must report 0. (The *full*
+  // protocol does not qualify: its first circulation ends before the
+  // seeded tokens complete a loop, reads a zero census, and mints a
+  // duplicate population that takes a reset to drain.)
+  SystemConfig config;
+  config.tree = tree::balanced(2, 2);
+  config.k = 2;
+  config.l = 3;
+  config.features = proto::Features::with_priority();
+  config.seed = 8;
+  System system(config);
+
+  EXPECT_EQ(system.run_until_stabilized(1'000'000), 0u);
+  EXPECT_TRUE(system.token_counts_correct());
+}
+
+TEST(StabilizationTime, WindowThatCannotFitBeforeDeadlineFails) {
+  SystemConfig config;
+  config.tree = tree::line(2);
+  config.k = 1;
+  config.l = 1;
+  config.features = proto::Features::with_priority();
+  config.manual_tokens = true;
+  config.seed = 5;
+  System system(config);
+  system.engine().inject_message(0, 0, proto::make_pusher());
+  system.engine().inject_message(0, 0, proto::make_priority());
+  system.engine().schedule(137, [&system] {
+    system.engine().inject_message(0, 0, proto::make_resource());
+  });
+
+  // The census turns correct at 137, but the 192-tick confirmation window
+  // cannot complete before the deadline at 200: not stabilized.
+  EXPECT_EQ(system.run_until_stabilized(/*deadline=*/200), sim::kTimeInfinity);
+  // The clock still lands on the deadline, like the poll loop left it.
+  EXPECT_EQ(system.engine().now(), 200u);
+}
+
+}  // namespace
+}  // namespace klex

@@ -20,6 +20,9 @@ class FakeParticipant : public ExclusionParticipant {
   LocalSnapshot snapshot() const override { return snap; }
   void corrupt(support::Rng&) override {}
 
+  void emit_reserved(int delta) { notify_reserved_delta(delta); }
+  void emit_priority(int delta) { notify_priority_delta(delta); }
+
   LocalSnapshot snap;
 };
 
@@ -62,6 +65,78 @@ TEST(Census, CountsReservedAndHeld) {
   EXPECT_EQ(census.held_priority, 1);
   EXPECT_EQ(census.resource(), 4);
   EXPECT_EQ(census.priority(), 1);
+}
+
+TEST(CensusTracker, ReadsEngineCountersWithoutWalking) {
+  sim::Engine engine;
+  engine.add_process(std::make_unique<Sink>());
+  engine.add_process(std::make_unique<Sink>());
+  engine.connect(0, 0, 1, 0);
+  CensusTracker tracker(&engine, /*l=*/2);
+
+  engine.inject_message(0, 0, make_resource());
+  engine.inject_message(0, 0, make_resource());
+  engine.inject_message(0, 0, make_pusher());
+  engine.inject_message(0, 0, make_priority());
+  engine.inject_message(0, 0, make_ctrl(CtrlFields{}));
+  sim::Message junk;
+  junk.type = 999;
+  engine.inject_message(0, 0, junk);
+
+  TokenCensus census = tracker.counts();
+  EXPECT_EQ(census.free_resource, 2);
+  EXPECT_EQ(census.pusher, 1);
+  EXPECT_EQ(census.free_priority, 1);
+  EXPECT_EQ(census.control, 1);
+  EXPECT_TRUE(tracker.correct());
+  EXPECT_EQ(engine.stats().in_flight_walks, 0u);
+
+  // Deliveries (into a sink that drops everything) drain the counters.
+  engine.run_until(1'000);
+  EXPECT_EQ(tracker.counts().free_resource, 0);
+  EXPECT_EQ(tracker.counts().pusher, 0);
+  EXPECT_FALSE(tracker.correct());
+
+  // clear_channels() zeroes the channel half in one shot.
+  engine.inject_message(0, 0, make_resource());
+  EXPECT_EQ(tracker.counts().free_resource, 1);
+  engine.clear_channels();
+  EXPECT_EQ(tracker.counts().free_resource, 0);
+}
+
+TEST(CensusTracker, IntegratesParticipantDeltasAndResyncs) {
+  sim::Engine engine;
+  CensusTracker tracker(&engine, /*l=*/3);
+  FakeParticipant a;
+  a.attach_deltas(&tracker);
+
+  a.emit_reserved(2);
+  a.emit_priority(1);
+  EXPECT_EQ(tracker.counts().reserved_resource, 2);
+  EXPECT_EQ(tracker.counts().held_priority, 1);
+  a.emit_reserved(-2);
+  a.emit_priority(-1);
+  EXPECT_EQ(tracker.counts().reserved_resource, 0);
+  EXPECT_EQ(tracker.counts().held_priority, 0);
+
+  // resync() rebuilds the participant half from snapshots, for sinks
+  // attached to already-running systems.
+  a.snap.rset_size = 3;
+  a.snap.holds_priority = true;
+  tracker.resync({&a});
+  EXPECT_EQ(tracker.counts().reserved_resource, 3);
+  EXPECT_EQ(tracker.counts().held_priority, 1);
+}
+
+TEST(CensusTracker, DetachedParticipantNotifiesNothing) {
+  sim::Engine engine;
+  CensusTracker tracker(&engine, /*l=*/1);
+  FakeParticipant a;
+  a.attach_deltas(&tracker);
+  a.emit_reserved(1);
+  a.attach_deltas(nullptr);
+  a.emit_reserved(5);  // dropped: no sink attached
+  EXPECT_EQ(tracker.counts().reserved_resource, 1);
 }
 
 TEST(Census, CorrectPredicate) {

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json artifacts between two commits / build trees.
+
+Usage:
+    tools/bench_diff.py BASELINE_DIR CURRENT_DIR [options]
+
+Both directories hold BENCH_<scenario>.json files written by
+exp::write_json_file (bench/baselines/ keeps the committed baselines; a
+build directory holds the freshly produced ones). For every scenario
+present on both sides the tool compares:
+
+  * throughput: per-aggregate-cell total_events_per_sec (keyed by
+    topology, k, l). A drop of more than --rate-tolerance is a
+    REGRESSION. Wall-clock rates vary between machines, so CI calls this
+    with a generous tolerance while same-machine commit-to-commit runs
+    use the strict default.
+  * allocation / walk counters: per-run engine.callback_slots_created and
+    engine.in_flight_walks (keyed by topology, k, l, seed). These are
+    bit-deterministic per seed, so any growth beyond --counter-tolerance
+    plus --counter-slack means per-event allocations or O(channels)
+    census walks crept back into a hot path: REGRESSION.
+
+Cells or scenarios present on one side only are reported but never fail
+the run (short/smoke sweeps are strict subsets of the committed full
+sweeps). Exit status: 0 = clean, 1 = at least one regression, 2 = usage
+or data error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RATE_FIELD = "total_events_per_sec"
+COUNTER_FIELDS = ("callback_slots_created", "in_flight_walks")
+
+
+def load_benches(directory):
+    benches = {}
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: cannot read {path}: {err}", file=sys.stderr)
+            sys.exit(2)
+        benches[data.get("scenario", path.stem)] = data
+    return benches
+
+
+def aggregate_cells(data):
+    return {
+        (cell["topology"], cell["k"], cell["l"]): cell
+        for cell in data.get("aggregates", [])
+    }
+
+
+def run_cells(data):
+    return {
+        (run["topology"], run["k"], run["l"], run["seed"]): run
+        for run in data.get("runs", [])
+    }
+
+
+def fmt_key(key):
+    if len(key) == 4:
+        return f"{key[0]} k={key[1]} l={key[2]} seed={key[3]}"
+    return f"{key[0]} k={key[1]} l={key[2]}"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", help="directory with baseline BENCH_*.json")
+    parser.add_argument("current", help="directory with current BENCH_*.json")
+    parser.add_argument(
+        "--rate-tolerance",
+        type=float,
+        default=0.10,
+        help="max fractional events/sec drop before failing (default 0.10)",
+    )
+    parser.add_argument(
+        "--rate-advisory",
+        action="store_true",
+        help="report events/sec drops but do not fail on them (for "
+        "cross-machine comparisons where only the deterministic "
+        "counters are trustworthy)",
+    )
+    parser.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=0.10,
+        help="max fractional growth of deterministic counters (default 0.10)",
+    )
+    parser.add_argument(
+        "--counter-slack",
+        type=int,
+        default=2,
+        help="absolute growth allowed on tiny counters (default 2)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="restrict to these scenario names (repeatable)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benches(args.baseline)
+    current = load_benches(args.current)
+    if not baseline:
+        print(f"error: no BENCH_*.json under {args.baseline}", file=sys.stderr)
+        sys.exit(2)
+    if not current:
+        print(f"error: no BENCH_*.json under {args.current}", file=sys.stderr)
+        sys.exit(2)
+
+    names = sorted(set(baseline) & set(current))
+    if args.scenario:
+        names = [n for n in names if n in set(args.scenario)]
+    for name in sorted(set(baseline) ^ set(current)):
+        side = "baseline" if name in baseline else "current"
+        print(f"note: scenario '{name}' only in {side}; skipped")
+    if not names:
+        print("error: no scenario present on both sides", file=sys.stderr)
+        sys.exit(2)
+
+    regressions = 0
+    for name in names:
+        base_cells = aggregate_cells(baseline[name])
+        cur_cells = aggregate_cells(current[name])
+        shared = sorted(set(base_cells) & set(cur_cells))
+        for key in sorted(set(base_cells) - set(cur_cells)):
+            print(f"note: [{name}] {fmt_key(key)} missing from current; skipped")
+        print(f"== scenario '{name}': {len(shared)} aggregate cell(s) ==")
+        for key in shared:
+            base_rate = base_cells[key].get(RATE_FIELD, 0.0)
+            cur_rate = cur_cells[key].get(RATE_FIELD, 0.0)
+            if base_rate > 0:
+                change = cur_rate / base_rate - 1.0
+                status = "ok"
+                if change < -args.rate_tolerance:
+                    if args.rate_advisory:
+                        status = "slow(adv)"
+                    else:
+                        status = "REGRESSION"
+                        regressions += 1
+                print(
+                    f"  {status:>10}  {fmt_key(key)}: events/s "
+                    f"{base_rate:,.0f} -> {cur_rate:,.0f} ({change:+.1%})"
+                )
+
+        base_runs = run_cells(baseline[name])
+        cur_runs = run_cells(current[name])
+        for key in sorted(set(base_runs) & set(cur_runs)):
+            base_engine = base_runs[key].get("engine", {})
+            cur_engine = cur_runs[key].get("engine", {})
+            for field in COUNTER_FIELDS:
+                if field not in base_engine or field not in cur_engine:
+                    continue
+                base_v = base_engine[field]
+                cur_v = cur_engine[field]
+                limit = base_v * (1.0 + args.counter_tolerance) + args.counter_slack
+                if cur_v > limit:
+                    regressions += 1
+                    print(
+                        f"  REGRESSION  {fmt_key(key)}: engine.{field} "
+                        f"{base_v} -> {cur_v} (limit {limit:.0f})"
+                    )
+
+    if regressions:
+        print(f"\n{regressions} regression(s) beyond tolerance")
+        return 1
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,9 +26,9 @@ void print_shape_table() {
       exp::TopologySpec::tree_random(15, 41),
   };
   spec.kl = {{2, 3}};
-  spec.workload.think = proto::Dist::exponential(64);
-  spec.workload.cs_duration = proto::Dist::exponential(32);
-  spec.workload.need = proto::Dist::uniform(1, 2);
+  spec.workload.base.think = proto::Dist::exponential(64);
+  spec.workload.base.cs_duration = proto::Dist::exponential(32);
+  spec.workload.base.need = proto::Dist::uniform(1, 2);
   spec.warmup = 50'000;
   spec.horizon = 2'000'000;
   spec.seeds = 3;

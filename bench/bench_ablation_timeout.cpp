@@ -5,6 +5,7 @@
 // floods the network with duplicate controllers (counted as control
 // messages per grant and spurious resets); a long period slows recovery
 // after the controller is lost.
+#include "api/workload_driver.hpp"
 #include "bench_common.hpp"
 
 namespace klex {
@@ -46,10 +47,9 @@ TimeoutCell run_with_timeout(sim::SimTime period, std::uint64_t seed) {
   proto::NodeBehavior behavior;
   behavior.think = proto::Dist::exponential(64);
   behavior.cs_duration = proto::Dist::exponential(32);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(n, behavior),
                                support::Rng(seed ^ 0xF00D));
-  system.add_listener(&driver);
   driver.begin();
   messages.reset();
   resets.resets = 0;

@@ -19,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "api/builder.hpp"
 #include "api/system.hpp"
 #include "api/system_base.hpp"
+#include "api/workload_driver.hpp"
 #include "exp/runner.hpp"
 #include "proto/trace.hpp"
 #include "proto/workload.hpp"
@@ -49,11 +51,11 @@ struct ScenarioOutput {
 inline void print_aggregate_table(const exp::ScenarioSpec& spec,
                                   const ScenarioOutput& output,
                                   int threads) {
-  support::Table table({"topology", "k", "l", "runs", "stabilized",
+  support::Table table({"topology", "rung", "k", "l", "runs", "stabilized",
                         "mean stab time", "grants/Mtick", "mean wait",
                         "msgs/grant", "safe", "sum events/s"});
   for (const exp::Aggregate& cell : output.aggregates) {
-    table.add_row({cell.topology, support::Table::cell(cell.k),
+    table.add_row({cell.topology, cell.features, support::Table::cell(cell.k),
                    support::Table::cell(cell.l),
                    support::Table::cell(cell.runs),
                    support::Table::cell(cell.stabilized_runs),

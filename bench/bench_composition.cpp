@@ -5,6 +5,7 @@
 // bench measures (a) the spanning-tree layer's convergence time across
 // graph families and sizes, and (b) end-to-end allocation on the
 // extracted trees.
+#include "api/workload_driver.hpp"
 #include "bench_common.hpp"
 #include "stree/spanning_tree.hpp"
 
@@ -42,10 +43,9 @@ CompositionRow run_composition(stree::Graph graph, std::uint64_t seed) {
   behavior.think = proto::Dist::exponential(96);
   behavior.cs_duration = proto::Dist::exponential(48);
   behavior.need = proto::Dist::uniform(1, 2);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(seed ^ 0xC1));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + 1'000'000);
   row.grants = driver.total_grants();

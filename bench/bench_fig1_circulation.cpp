@@ -97,8 +97,8 @@ void emit_circulation_scenario() {
       exp::TopologySpec::tree_caterpillar(8, 3),
   };
   spec.kl = {{1, 4}};
-  spec.workload.think = proto::Dist::exponential(64);
-  spec.workload.cs_duration = proto::Dist::exponential(32);
+  spec.workload.base.think = proto::Dist::exponential(64);
+  spec.workload.base.cs_duration = proto::Dist::exponential(32);
   spec.seeds = 4;
   spec.base_seed = 13;
   bench::run_scenario(spec);

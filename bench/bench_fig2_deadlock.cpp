@@ -3,123 +3,133 @@
 //
 // Scenario (verbatim from the paper): the 8-node tree, ℓ=5, k=3, with
 // requesters a(3), b(2), c(2), d(2) -- 9 units requested, 5 available.
+//
+// The whole experiment is one declarative ScenarioSpec: the requesters
+// are behavior classes pinned to the paper's nodes, the ladder rungs are
+// the features grid, and exp::ExperimentRunner executes every
+// (rung × seed) cell. A wedged rung shows up as requesters still
+// outstanding when the window closes and a grant count that stops early.
 #include "bench_common.hpp"
 
 namespace klex {
 namespace {
 
-struct Fig2Outcome {
-  bool quiescent = false;      // nothing will ever move again
-  int stuck_requesters = 0;    // State = Req forever
-  int free_tokens = 0;
-  int served = 0;              // requesters that ever entered their CS
-  std::uint64_t events = 0;
-};
+/// The paper's oversubscribed workload on the Figure 1 tree: four
+/// near-simultaneous one-shot requests for 9 of the 5 available units.
+/// When `hold_forever` is set the requesters camp in their critical
+/// sections (the paper's Figure 2 state); otherwise each releases after
+/// its CS -- and the naive rung can still wedge forever on partial
+/// reservations, which is Figure 2's point.
+exp::ScenarioSpec fig2_spec(bool hold_forever) {
+  exp::ScenarioSpec spec;
+  spec.name = "fig2_deadlock";
+  spec.topologies = {exp::TopologySpec::tree_figure1()};
+  spec.features = {proto::Features::naive(), proto::Features::with_pusher(),
+                   proto::Features::full()};
+  spec.kl = {{3, 5}};
+  spec.workload.base.active = false;  // everyone else relays
+  auto requester = [&](std::string name, proto::NodeId node, int need) {
+    proto::BehaviorClass cls = proto::BehaviorClass::budgeted(
+        std::move(name), /*count=*/-1, need, /*budget=*/1);
+    cls.nodes = {node};
+    cls.behavior.hold_forever = hold_forever;
+    cls.behavior.think = proto::Dist::fixed(16);
+    cls.behavior.cs_duration = proto::Dist::fixed(200);
+    return cls;
+  };
+  spec.workload.classes = {requester("a", 1, 3), requester("b", 2, 2),
+                           requester("c", 3, 2), requester("d", 4, 2)};
+  spec.warmup = 20'000;
+  spec.horizon = 800'000;
+  spec.seeds = 6;
+  spec.base_seed = 43;
+  return spec;
+}
 
-Fig2Outcome run_fig2(proto::Features features, std::uint64_t seed,
-                     bool release_after_cs) {
-  SystemConfig config;
-  config.tree = tree::figure1_tree();
-  config.k = 3;
-  config.l = 5;
-  config.features = features;
-  config.seed = seed;
-  System system(config);
-  if (features.controller) {
-    system.run_until_stabilized(4'000'000);
+int requesters_served(const exp::RunResult& run) {
+  int served = 0;
+  for (const exp::ClassResult& cls : run.classes) {
+    if (cls.name == "base") continue;
+    if (cls.grants > 0 || cls.holding_at_end > 0) ++served;
   }
-  system.request(1, 3);
-  system.request(2, 2);
-  system.request(3, 2);
-  system.request(4, 2);
-
-  std::vector<bool> served(static_cast<std::size_t>(system.n()), false);
-  Fig2Outcome outcome;
-  if (!release_after_cs) {
-    outcome.quiescent = system.run_until_message_quiescence(2'000'000);
-  } else {
-    for (int round = 0; round < 4000; ++round) {
-      system.run_until(system.engine().now() + 200);
-      for (proto::NodeId v = 1; v <= 4; ++v) {
-        if (system.state_of(v) == proto::AppState::kIn) {
-          served[static_cast<std::size_t>(v)] = true;
-          system.release(v);
-        }
-      }
-      if (served[1] && served[2] && served[3] && served[4]) break;
-    }
-  }
-  for (proto::NodeId v = 1; v <= 4; ++v) {
-    if (system.state_of(v) == proto::AppState::kIn) {
-      served[static_cast<std::size_t>(v)] = true;
-    }
-    if (system.state_of(v) == proto::AppState::kReq) {
-      ++outcome.stuck_requesters;
-    }
-    if (served[static_cast<std::size_t>(v)]) ++outcome.served;
-  }
-  outcome.free_tokens = system.census().free_resource;
-  outcome.events = system.engine().events_executed();
-  return outcome;
+  return served;
 }
 
 void print_fig2_table() {
   bench::print_header(
       "E2 / Figure 2: oversubscription deadlock (l=5, k=3, needs 3+2+2+2)",
-      "naive rung wedges (quiescent, starved requesters); pusher/full "
-      "rungs serve everyone once holders release");
+      "naive rung wedges (starved requesters, grants stop); pusher/full "
+      "rungs serve everyone on every schedule");
 
-  support::Table hold({"rung", "quiescent (no release)", "stuck",
-                       "free tokens", "served"});
+  // Requests held forever: the paper's Figure 2 state. Every rung can
+  // only admit a prefix of the 9 requested units (capacity is exhausted);
+  // the rung contrast is quiescence -- the naive rung's tokens are all
+  // captured in reservations, so nothing moves ever again, while the
+  // pusher/full rungs keep their auxiliary tokens circulating. The same
+  // results become the machine-readable artifact (the naive runs pin
+  // quiescent_at_end=true, the deadlock signature).
+  exp::ExperimentRunner runner;
+  exp::ScenarioSpec held_spec = fig2_spec(true);
+  std::vector<exp::RunResult> held = runner.run(held_spec);
+  std::vector<exp::Aggregate> held_cells =
+      exp::ExperimentRunner::aggregate(held);
+  bench::print_aggregate_table(held_spec, {held, held_cells},
+                               runner.threads());
+  std::cout << "wrote "
+            << exp::write_json_file(held_spec, held, held_cells) << "\n";
+
+  support::Table hold({"rung", "quiescent (deadlocked)", "served of 4",
+                       "stuck", "grants"});
+  for (const exp::RunResult& run : held) {
+    if (run.seed != 43) continue;  // the historical single-seed snapshot
+    hold.add_row({run.features,
+                  run.quiescent_at_end ? "YES (deadlock)" : "no",
+                  support::Table::cell(requesters_served(run)),
+                  support::Table::cell(run.outstanding_at_end),
+                  support::Table::cell(run.grants)});
+  }
+  hold.print(std::cout, "requests held forever (paper's Figure 2 state)");
+
+  // Requests released after each CS: one-shot requesters that free their
+  // units. All four can be served sequentially on lucky interleavings
+  // even at the naive rung; the pusher rungs serve everyone on EVERY
+  // schedule.
+  std::vector<exp::RunResult> cycled = runner.run(fig2_spec(false));
   support::Table cycle({"rung", "served of 4: min over 6 seeds",
                         "max over 6 seeds", "all served in every run"});
-  struct Rung {
-    const char* name;
-    proto::Features features;
-  };
-  const Rung rungs[] = {
-      {"naive", proto::Features::naive()},
-      {"pusher", proto::Features::with_pusher()},
-      {"full", proto::Features::full()},
-  };
-  for (const Rung& rung : rungs) {
-    Fig2Outcome held = run_fig2(rung.features, 41, false);
-    hold.add_row({rung.name, held.quiescent ? "YES (deadlock)" : "no",
-                  support::Table::cell(held.stuck_requesters),
-                  support::Table::cell(held.free_tokens),
-                  support::Table::cell(held.served)});
-    // The naive rung can serve the four requesters sequentially on lucky
-    // interleavings even with releases; sweep seeds to show the contrast:
-    // the pusher rungs serve everyone on EVERY schedule.
+  for (const proto::Features& features :
+       {proto::Features::naive(), proto::Features::with_pusher(),
+        proto::Features::full()}) {
     int min_served = 4, max_served = 0;
-    for (std::uint64_t seed = 43; seed < 49; ++seed) {
-      Fig2Outcome cycled = run_fig2(rung.features, seed, true);
-      min_served = std::min(min_served, cycled.served);
-      max_served = std::max(max_served, cycled.served);
+    for (const exp::RunResult& run : cycled) {
+      if (run.features != features.name()) continue;
+      int served = requesters_served(run);
+      min_served = std::min(min_served, served);
+      max_served = std::max(max_served, served);
     }
-    cycle.add_row({rung.name, support::Table::cell(min_served),
+    cycle.add_row({features.name(), support::Table::cell(min_served),
                    support::Table::cell(max_served),
                    min_served == 4 ? "YES" : "NO"});
   }
-  hold.print(std::cout, "requests held forever (paper's Figure 2 state)");
   cycle.print(std::cout, "requests released after each CS (6 seeds)");
 }
 
 void BM_DeadlockDetection(benchmark::State& state) {
-  // Time until the naive rung visibly wedges (message quiescence).
+  // Time until the naive rung visibly wedges (message quiescence) from
+  // the paper's held-forever state.
   for (auto _ : state) {
-    SystemConfig config;
-    config.tree = tree::figure1_tree();
-    config.k = 3;
-    config.l = 5;
-    config.features = proto::Features::naive();
-    config.seed = 41;
-    System system(config);
-    system.request(1, 3);
-    system.request(2, 2);
-    system.request(3, 2);
-    system.request(4, 2);
-    bool quiescent = system.run_until_message_quiescence(2'000'000);
+    std::unique_ptr<SystemBase> system =
+        SystemBuilder()
+            .topology(TopologySpec::tree_figure1())
+            .kl(3, 5)
+            .features(proto::Features::naive())
+            .seed(41)
+            .build();
+    system->request(1, 3);
+    system->request(2, 2);
+    system->request(3, 2);
+    system->request(4, 2);
+    bool quiescent = system->run_until_message_quiescence(2'000'000);
     benchmark::DoNotOptimize(quiescent);
   }
 }

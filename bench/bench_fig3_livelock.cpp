@@ -4,6 +4,7 @@
 // Scenario (paper): 2-out-of-3 exclusion on the 3-process tree; r and b
 // cycle 1-unit requests while a wants 2 units. Under random scheduling
 // the paper's adversarial livelock shows up as (severe) starvation of a.
+#include "api/workload_driver.hpp"
 #include "bench_common.hpp"
 
 namespace klex {
@@ -37,9 +38,9 @@ Fig3Outcome run_fig3(proto::Features features, std::uint64_t seed,
   behaviors[1].cs_duration = proto::Dist::fixed(32);
   behaviors[1].need = proto::Dist::fixed(2);
 
-  proto::WorkloadDriver driver(system.engine(), system, config.k, behaviors,
+  WorkloadDriver driver(system.engine(), system.clients(),
+                               behaviors,
                                support::Rng(seed ^ 0x9e37));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(horizon);
 
@@ -91,9 +92,9 @@ ExactOutcome run_exact_figure3(proto::Features features) {
   behaviors[2] = behaviors[0];
   behaviors[1] = behaviors[0];
   behaviors[1].need = proto::Dist::fixed(2);
-  proto::WorkloadDriver driver(engine, system, 2, behaviors,
+  WorkloadDriver driver(engine, system.clients(),
+                               behaviors,
                                support::Rng(99));
-  system.add_listener(&driver);
   driver.begin();
 
   ExactOutcome outcome;

@@ -2,6 +2,7 @@
 // token type. Quantifies the price of each mechanism: the pusher and
 // priority tokens circulate permanently, and the controller adds a
 // continuous census stream.
+#include "api/workload_driver.hpp"
 #include "bench_common.hpp"
 
 namespace klex {
@@ -12,10 +13,10 @@ exp::RunResult run_rung(proto::Features features, std::uint64_t seed) {
   spec.name = "overhead_rung";  // table-only; no JSON for single rungs
   spec.topologies = {exp::TopologySpec::tree_balanced(2, 3)};  // n = 15
   spec.kl = {{2, 3}};
-  spec.features = features;
-  spec.workload.think = proto::Dist::exponential(64);
-  spec.workload.cs_duration = proto::Dist::exponential(32);
-  spec.workload.need = proto::Dist::uniform(1, 2);
+  spec.features = {features};
+  spec.workload.base.think = proto::Dist::exponential(64);
+  spec.workload.base.cs_duration = proto::Dist::exponential(32);
+  spec.workload.base.need = proto::Dist::uniform(1, 2);
   spec.warmup = features.controller ? 50'000 : 10'000;
   spec.horizon = 2'000'000;
   exp::RunPoint point;
@@ -68,9 +69,9 @@ void emit_overhead_scenario() {
       exp::TopologySpec::tree_star(15),
   };
   spec.kl = {{2, 3}, {2, 5}};
-  spec.workload.think = proto::Dist::exponential(64);
-  spec.workload.cs_duration = proto::Dist::exponential(32);
-  spec.workload.need = proto::Dist::uniform(1, 2);
+  spec.workload.base.think = proto::Dist::exponential(64);
+  spec.workload.base.cs_duration = proto::Dist::exponential(32);
+  spec.workload.base.need = proto::Dist::uniform(1, 2);
   spec.warmup = 50'000;
   spec.horizon = 2'000'000;
   spec.seeds = 3;
@@ -89,10 +90,9 @@ void BM_SteadyStateSimulation(benchmark::State& state) {
   proto::NodeBehavior behavior;
   behavior.think = proto::Dist::exponential(64);
   behavior.cs_duration = proto::Dist::exponential(32);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(15, behavior),
                                support::Rng(9101));
-  system.add_listener(&driver);
   driver.begin();
   std::uint64_t delivered = 0;
   for (auto _ : state) {

@@ -26,9 +26,9 @@ exp::ScenarioSpec ring_vs_tree_scenario() {
   // The composition rung: a 4x4 mesh driven over its BFS spanning tree.
   spec.topologies.push_back(exp::TopologySpec::graph_grid(4, 4));
   spec.kl = {{2, 3}};
-  spec.workload.think = proto::Dist::exponential(64);
-  spec.workload.cs_duration = proto::Dist::exponential(32);
-  spec.workload.need = proto::Dist::uniform(1, 2);
+  spec.workload.base.think = proto::Dist::exponential(64);
+  spec.workload.base.cs_duration = proto::Dist::exponential(32);
+  spec.workload.base.need = proto::Dist::uniform(1, 2);
   spec.warmup = 50'000;
   spec.horizon = 2'000'000;
   spec.seeds = 4;

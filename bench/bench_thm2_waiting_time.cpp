@@ -6,6 +6,7 @@
 // adversarial pattern behind the bound -- and reports measured mean / p99
 // / max waits against the bound. The paper's shape claim: measured max
 // stays below the bound everywhere, and grows with both n and ℓ.
+#include "api/workload_driver.hpp"
 #include "bench_common.hpp"
 
 namespace klex {
@@ -34,10 +35,9 @@ WaitRow measure_waits(const tree::Tree& t, int k, int l, std::uint64_t seed,
   behavior.think = proto::Dist::fixed(1);
   behavior.cs_duration = proto::Dist::fixed(8);
   behavior.need = proto::Dist::uniform(1, k);
-  proto::WorkloadDriver driver(system.engine(), system, k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(seed ^ 0x7A17));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + horizon);
 
@@ -68,9 +68,9 @@ void print_thm2_table() {
   for (int l : {1, 2, 4, 8}) {
     spec.kl.emplace_back(std::min(2, l), l);
   }
-  spec.workload.think = proto::Dist::fixed(1);       // greedy requesters
-  spec.workload.cs_duration = proto::Dist::fixed(8);
-  spec.workload.need = proto::Dist::uniform(1, 2);   // clamped to 1..k
+  spec.workload.base.think = proto::Dist::fixed(1);       // greedy requesters
+  spec.workload.base.cs_duration = proto::Dist::fixed(8);
+  spec.workload.base.need = proto::Dist::uniform(1, 2);   // clamped to 1..k
   spec.warmup = 0;
   spec.horizon = 1'500'000;
   spec.seeds = 2;
@@ -134,10 +134,9 @@ void BM_GreedyWorkloadStep(benchmark::State& state) {
   proto::NodeBehavior behavior;
   behavior.think = proto::Dist::fixed(1);
   behavior.cs_duration = proto::Dist::fixed(8);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(n, behavior),
                                support::Rng(32));
-  system.add_listener(&driver);
   driver.begin();
   for (auto _ : state) {
     system.run_until(system.engine().now() + 10'000);

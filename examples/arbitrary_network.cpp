@@ -6,24 +6,31 @@
 //  rooted networks by composing the protocol with a spanning tree
 //  construction." -- paper, Section 5.
 //
-// klex::GraphSystem performs the whole composition: give it any
-// connected graph (here a 4x4 mesh, as in a datacenter pod or a sensor
-// grid) and it converges the spanning-tree layer, extracts the oriented
-// tree, and runs the exclusion protocol over it -- behind the same
-// SystemBase interface as the plain tree and ring harnesses.
+// SystemBuilder performs the whole composition: give it any connected
+// graph (here a 4x4 mesh, as in a datacenter pod or a sensor grid) and it
+// converges the spanning-tree layer, extracts the oriented tree, and runs
+// the exclusion protocol over it -- behind the same SystemBase interface
+// as the plain tree and ring harnesses.
 #include <iostream>
 
+#include "api/builder.hpp"
 #include "api/graph_system.hpp"
-#include "proto/workload.hpp"
 
 int main() {
   std::cout << "== phase 1: compose the mesh with its spanning tree ==\n";
-  klex::GraphSystemConfig config;
-  config.graph = klex::stree::grid(4, 4);
-  config.k = 2;
-  config.l = 5;
-  config.seed = 6;
-  klex::GraphSystem system(std::move(config));
+  klex::proto::WorkloadSpec workload;
+  workload.base.think = klex::proto::Dist::exponential(128);
+  workload.base.cs_duration = klex::proto::Dist::exponential(64);
+  workload.base.need = klex::proto::Dist::uniform(1, 2);
+
+  klex::Session session = klex::SystemBuilder()
+                              .topology(klex::TopologySpec::graph_grid(4, 4))
+                              .kl(2, 5)
+                              .seed(6)
+                              .workload(workload)
+                              .fault(klex::FaultKind::kTransient)
+                              .build_session();
+  auto& system = dynamic_cast<klex::GraphSystem&>(*session.system);
   std::cout << "  BFS spanning tree converged at t="
             << system.spanning_tree_converged_at() << "\n"
             << "  extracted oriented tree (height "
@@ -33,27 +40,16 @@ int main() {
 
   std::cout << "== phase 2: k-out-of-l exclusion on the mesh ==\n";
   system.run_until_stabilized(2'000'000);
-
-  klex::proto::NodeBehavior behavior;
-  behavior.think = klex::proto::Dist::exponential(128);
-  behavior.cs_duration = klex::proto::Dist::exponential(64);
-  behavior.need = klex::proto::Dist::uniform(1, 2);
-  klex::proto::WorkloadDriver driver(
-      system.engine(), system, system.k(),
-      klex::proto::uniform_behaviors(system.n(), behavior),
-      klex::support::Rng(8));
-  system.add_listener(&driver);
-  driver.begin();
+  session.begin_workload();
   system.run_until(system.engine().now() + 2'000'000);
 
-  std::cout << "  " << driver.total_grants()
+  std::cout << "  " << session.driver->total_grants()
             << " critical sections served on the mesh; census intact = "
             << (system.token_counts_correct() ? "yes" : "no") << "\n";
 
   std::cout << "== phase 3: survive a transient fault ==\n";
   klex::support::Rng fault_rng(9);
-  system.inject_transient_fault(fault_rng);
-  driver.resync();
+  session.apply_planned_fault(fault_rng);  // inject + resync the sessions
   klex::sim::SimTime recovered =
       system.run_until_stabilized(system.engine().now() + 30'000'000);
   if (recovered == klex::sim::kTimeInfinity) {

@@ -3,16 +3,16 @@
 // bandwidth for audio or video streaming").
 //
 // A distribution tree of media relays shares l = 8 bandwidth slots.
-// Audio sessions need 1 slot, SD video 2, HD video 4 (k = 4). The demo
-// runs a mixed workload and prints per-class grant counts and latencies,
-// showing large requests are not starved by small ones (the priority
-// token at work).
+// Audio sessions need 1 slot, SD video 2, HD video 4 (k = 4). The mixed
+// workload is three named behavior classes flowing through the builder
+// into per-node behaviors; the demo prints per-class grant counts and
+// latencies, showing large requests are not starved by small ones (the
+// priority token at work).
 #include <iostream>
 #include <map>
 #include <vector>
 
-#include "api/system.hpp"
-#include "proto/workload.hpp"
+#include "api/builder.hpp"
 #include "support/histogram.hpp"
 #include "support/table.hpp"
 
@@ -43,35 +43,41 @@ class ClassTracker : public klex::proto::Listener {
   std::map<int, klex::support::Histogram> latency_;
 };
 
+klex::proto::BehaviorClass traffic_class(const char* name, int first_node,
+                                         int slots) {
+  klex::proto::BehaviorClass cls;
+  cls.name = name;
+  for (int v = first_node; v < first_node + 4; ++v) cls.nodes.push_back(v);
+  cls.behavior.think = klex::proto::Dist::exponential(200);
+  cls.behavior.cs_duration = klex::proto::Dist::exponential(400);
+  cls.behavior.need = klex::proto::Dist::fixed(slots);
+  return cls;
+}
+
 }  // namespace
 
 int main() {
-  klex::SystemConfig config;
-  config.tree = klex::tree::balanced(3, 2);  // 13 relays
-  config.k = 4;                              // HD video needs 4 slots
-  config.l = 8;                              // 8 bandwidth slots total
-  config.seed = 2026;
-  klex::System system(config);
+  // Mixed workload: nodes 1-4 run audio (1 slot), 5-8 SD video (2 slots),
+  // 9-12 HD video (4 slots); the root relay (node 0) only forwards.
+  klex::proto::WorkloadSpec workload;
+  workload.base.active = false;
+  workload.classes = {traffic_class("audio", 1, 1),
+                      traffic_class("SD video", 5, 2),
+                      traffic_class("HD video", 9, 4)};
+
+  klex::Session session =
+      klex::SystemBuilder()
+          .topology(klex::TopologySpec::tree_balanced(3, 2))  // 13 relays
+          .kl(4, 8)  // HD video needs 4 of the 8 slots
+          .seed(2026)
+          .workload(workload)
+          .build_session();
+  klex::SystemBase& system = *session.system;
   system.run_until_stabilized(2'000'000);
 
   ClassTracker classes;
   system.add_listener(&classes);
-
-  // Mixed workload: nodes 1-4 run audio (1 slot), 5-8 SD video (2 slots),
-  // 9-12 HD video (4 slots). Session lengths are exponential.
-  std::vector<klex::proto::NodeBehavior> behaviors(
-      static_cast<std::size_t>(system.n()));
-  behaviors[0].active = false;  // the root relay only forwards
-  for (klex::proto::NodeId v = 1; v < system.n(); ++v) {
-    auto& b = behaviors[static_cast<std::size_t>(v)];
-    b.think = klex::proto::Dist::exponential(200);
-    b.cs_duration = klex::proto::Dist::exponential(400);
-    b.need = klex::proto::Dist::fixed(v <= 4 ? 1 : (v <= 8 ? 2 : 4));
-  }
-  klex::proto::WorkloadDriver driver(system.engine(), system, config.k,
-                                     behaviors, klex::support::Rng(7));
-  system.add_listener(&driver);
-  driver.begin();
+  session.begin_workload();
 
   const klex::sim::SimTime horizon = 5'000'000;
   system.run_until(system.engine().now() + horizon);

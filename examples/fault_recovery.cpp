@@ -2,17 +2,21 @@
 // randomized, channels refilled with garbage) into a running allocation
 // system and watch the protocol repair itself.
 //
+// The whole scenario is one declarative build: topology × params ×
+// workload × fault plan. After the fault, Session::apply_planned_fault
+// resyncs every client session with the corrupted protocol state
+// (revoked leases, phantom critical sections) before recovery is timed.
+//
 // Prints a timeline: healthy operation, the fault, the corrupted census,
 // the controller's reset/top-up recovery, and the return to service.
 #include <iostream>
 
-#include "api/system.hpp"
-#include "proto/workload.hpp"
+#include "api/builder.hpp"
 #include "verify/safety_monitor.hpp"
 
 namespace {
 
-void print_census(const klex::System& system, const char* tag) {
+void print_census(const klex::SystemBase& system, const char* tag) {
   klex::proto::TokenCensus census = system.census();
   std::cout << "  t=" << system.engine().now() << " [" << tag << "] "
             << census.resource() << " resource (" << census.free_resource
@@ -24,15 +28,23 @@ void print_census(const klex::System& system, const char* tag) {
 }  // namespace
 
 int main() {
-  klex::SystemConfig config;
-  config.tree = klex::tree::balanced(2, 3);  // 15 processes
-  config.k = 2;
-  config.l = 4;
-  config.cmax = 4;
-  config.seed = 99;
-  klex::System system(config);
+  klex::proto::WorkloadSpec workload;
+  workload.base.think = klex::proto::Dist::exponential(64);
+  workload.base.cs_duration = klex::proto::Dist::exponential(48);
+  workload.base.need = klex::proto::Dist::uniform(1, 2);
 
-  klex::verify::SafetyMonitor safety(system.n(), config.k, config.l);
+  klex::Session session =
+      klex::SystemBuilder()
+          .topology(klex::TopologySpec::tree_balanced(2, 3))  // 15 processes
+          .kl(2, 4)
+          .cmax(4)
+          .seed(99)
+          .workload(workload)
+          .fault(klex::FaultKind::kTransient)
+          .build_session();
+  klex::SystemBase& system = *session.system;
+
+  klex::verify::SafetyMonitor safety(system.n(), system.k(), system.l());
   system.add_listener(&safety);
 
   std::cout << "== phase 1: bootstrap ==\n";
@@ -41,26 +53,16 @@ int main() {
             << "\n";
   print_census(system, "healthy");
 
-  klex::proto::NodeBehavior behavior;
-  behavior.think = klex::proto::Dist::exponential(64);
-  behavior.cs_duration = klex::proto::Dist::exponential(48);
-  behavior.need = klex::proto::Dist::uniform(1, 2);
-  klex::proto::WorkloadDriver driver(
-      system.engine(), system, config.k,
-      klex::proto::uniform_behaviors(system.n(), behavior),
-      klex::support::Rng(100));
-  system.add_listener(&driver);
-  driver.begin();
+  session.begin_workload();
   system.run_until(system.engine().now() + 500'000);
   std::cout << "== phase 2: loaded operation ==\n  "
-            << driver.total_grants() << " grants so far, safety "
+            << session.driver->total_grants() << " grants so far, safety "
             << (safety.any_violation() ? "VIOLATED" : "clean") << "\n";
   print_census(system, "healthy");
 
   std::cout << "== phase 3: transient fault ==\n";
   klex::support::Rng fault_rng(101);
-  system.inject_transient_fault(fault_rng);
-  driver.resync();
+  session.apply_planned_fault(fault_rng);  // inject + resync the sessions
   safety.forget();
   print_census(system, "CORRUPTED");
 
@@ -71,10 +73,10 @@ int main() {
             << (recovered - fault_at) << " ticks after the fault\n";
   print_census(system, "recovered");
 
-  std::int64_t grants_at_recovery = driver.total_grants();
+  std::int64_t grants_at_recovery = session.driver->total_grants();
   system.run_until(system.engine().now() + 500'000);
   std::cout << "== phase 5: back in service ==\n  "
-            << (driver.total_grants() - grants_at_recovery)
+            << (session.driver->total_grants() - grants_at_recovery)
             << " grants since recovery; census intact = "
             << (system.token_counts_correct() ? "yes" : "no") << "\n";
   return 0;

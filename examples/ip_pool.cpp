@@ -4,39 +4,36 @@
 //
 // With k = 1 the protocol degenerates to ℓ-exclusion: every request asks
 // for exactly one address. The demo leases addresses from a pool of 6
-// across a 20-node access tree and prints utilization over time.
+// across a 20-node access tree -- the builder wires the whole session
+// (system + per-node lease workload) -- and prints utilization over time.
 #include <iomanip>
 #include <iostream>
-#include <vector>
 
-#include "api/system.hpp"
-#include "proto/workload.hpp"
+#include "api/builder.hpp"
 #include "stats/throughput.hpp"
 #include "support/table.hpp"
 
 int main() {
   klex::support::Rng shape_rng(11);
-  klex::SystemConfig config;
-  config.tree = klex::tree::random_tree_bounded_degree(20, 4, shape_rng);
-  config.k = 1;  // one address per client: l-exclusion
-  config.l = 6;  // pool of 6 addresses
-  config.seed = 33;
-  klex::System system(config);
+  klex::proto::WorkloadSpec lease_workload;
+  lease_workload.base.think = klex::proto::Dist::exponential(300);  // idle
+  lease_workload.base.cs_duration =
+      klex::proto::Dist::exponential(600);  // lease length
+  lease_workload.base.need = klex::proto::Dist::fixed(1);
+
+  klex::Session session =
+      klex::SystemBuilder()
+          .tree(klex::tree::random_tree_bounded_degree(20, 4, shape_rng))
+          .kl(1, 6)  // one address per client, pool of 6: l-exclusion
+          .seed(33)
+          .workload(lease_workload)
+          .build_session();
+  klex::SystemBase& system = *session.system;
   system.run_until_stabilized(2'000'000);
 
   klex::stats::ThroughputTracker throughput(system.n());
   system.add_listener(&throughput);
-
-  klex::proto::NodeBehavior lease;
-  lease.think = klex::proto::Dist::exponential(300);     // between leases
-  lease.cs_duration = klex::proto::Dist::exponential(600);  // lease length
-  lease.need = klex::proto::Dist::fixed(1);
-  klex::proto::WorkloadDriver driver(
-      system.engine(), system, config.k,
-      klex::proto::uniform_behaviors(system.n(), lease),
-      klex::support::Rng(34));
-  system.add_listener(&driver);
-  driver.begin();
+  session.begin_workload();
 
   throughput.start_window(system.engine().now());
   klex::support::Table table(
@@ -45,14 +42,14 @@ int main() {
     system.run_until(system.engine().now() + 500'000);
     int in_use = 0;
     for (klex::proto::NodeId v = 0; v < system.n(); ++v) {
-      if (system.state_of(v) == klex::proto::AppState::kIn) ++in_use;
+      if (session.driver->holding(v)) ++in_use;
     }
     table.add_row(
         {klex::support::Table::cell(system.engine().now()),
-         klex::support::Table::cell(driver.total_grants()),
+         klex::support::Table::cell(session.driver->total_grants()),
          klex::support::Table::cell(in_use),
          klex::support::Table::cell(
-             throughput.mean_utilization(system.engine().now(), config.l),
+             throughput.mean_utilization(system.engine().now(), system.l()),
              2)});
   }
   table.print(std::cout, "DHCP-style address pool (l = 6, 20 clients)");

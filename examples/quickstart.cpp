@@ -1,14 +1,16 @@
 // Quickstart: run the self-stabilizing k-out-of-ℓ exclusion protocol on a
-// small oriented tree, make a request, enter/exit the critical section.
+// small oriented tree, acquire units through the lease-based client API,
+// enter/exit the critical section.
 //
 //   $ ./examples/quickstart
 //
-// This is the smallest end-to-end use of the library: build a tree, make
-// a System, let the controller bootstrap the token population, then use
-// the paper's application interface (request / EnterCS / release).
+// This is the smallest end-to-end use of the library: declare the system
+// with SystemBuilder, let the controller bootstrap the token population,
+// then drive one node's session with Client::acquire -- the grant arrives
+// as an RAII Lease that returns the units when it goes out of scope.
 #include <iostream>
 
-#include "api/system.hpp"
+#include "api/builder.hpp"
 
 int main() {
   // The paper's running example: the 8-node tree of Figures 1/2/4.
@@ -17,44 +19,52 @@ int main() {
   //       a(1)   d(4)
   //       /  \   / | \
   //     b(2) c(3) e f g
-  klex::SystemConfig config;
-  config.tree = klex::tree::figure1_tree();
-  config.k = 2;  // any process may ask for up to 2 units
-  config.l = 3;  // 3 units of the shared resource exist
-  config.seed = 42;
-
-  klex::System system(config);
-  std::cout << "tree (" << system.n() << " processes):\n"
-            << system.topology().to_dot() << "\n";
+  auto system = klex::SystemBuilder()
+                    .topology(klex::TopologySpec::tree_figure1())
+                    .kl(2, 3)  // requests up to 2 units, 3 units exist
+                    .seed(42)
+                    .build();
+  std::cout << "system with " << system->n() << " processes, k="
+            << system->k() << ", l=" << system->l() << "\n";
 
   // The root's controller bootstraps the token population: it counts zero
   // tokens on its first census and mints exactly l resource tokens, one
   // pusher and one priority token.
-  klex::sim::SimTime stabilized = system.run_until_stabilized(1'000'000);
+  klex::sim::SimTime stabilized = system->run_until_stabilized(1'000'000);
   std::cout << "stabilized at t=" << stabilized << ": census "
-            << system.census().resource() << " resource / "
-            << system.census().pusher << " pusher / "
-            << system.census().priority() << " priority\n";
+            << system->census().resource() << " resource / "
+            << system->census().pusher << " pusher / "
+            << system->census().priority() << " priority\n";
 
-  // Node 3 (process c, a leaf) wants 2 units.
-  system.request(3, 2);
-  std::cout << "t=" << system.engine().now()
+  // Node 3 (process c, a leaf) wants 2 units. The session object owns the
+  // request lifecycle; the grant arrives as a Lease.
+  klex::Client& c = system->clients().at(3);
+  klex::Lease cs_lease;
+  c.acquire(2)
+      .on_granted([&](klex::Lease lease) {
+        std::cout << "t=" << system->engine().now() << ": node 3 entered "
+                  << "its critical section holding " << lease.units()
+                  << " units\n";
+        cs_lease = std::move(lease);
+      })
+      .on_denied([&](klex::DenyReason reason) {
+        std::cout << "denied: " << klex::deny_reason_name(reason) << "\n";
+      });
+  std::cout << "t=" << system->engine().now()
             << ": node 3 requested 2 units\n";
 
-  // Run until the request is granted (tokens reach the node via the
-  // depth-first virtual ring).
-  while (system.state_of(3) != klex::proto::AppState::kIn) {
-    system.run_until(system.engine().now() + 100);
+  // Run until the tokens reach the node via the depth-first virtual ring.
+  while (!cs_lease.active()) {
+    system->run_until(system->engine().now() + 100);
   }
-  std::cout << "t=" << system.engine().now()
-            << ": node 3 entered its critical section holding 2 units\n";
 
-  // ... the application uses the units, then releases.
-  system.run_until(system.engine().now() + 500);
-  system.release(3);
-  system.run_until(system.engine().now() + 10'000);
-  std::cout << "t=" << system.engine().now()
+  // ... the application uses the units, then the lease releases them.
+  system->run_until(system->engine().now() + 500);
+  cs_lease.release();  // or simply let the Lease go out of scope
+  system->run_until(system->engine().now() + 10'000);
+  std::cout << "t=" << system->engine().now()
             << ": node 3 released; census is "
-            << (system.token_counts_correct() ? "intact" : "BROKEN") << "\n";
+            << (system->token_counts_correct() ? "intact" : "BROKEN")
+            << "\n";
   return 0;
 }

@@ -1,0 +1,268 @@
+#include "api/builder.hpp"
+
+#include <utility>
+
+#include "api/graph_system.hpp"
+#include "api/system.hpp"
+#include "ring/ring_system.hpp"
+#include "support/check.hpp"
+
+namespace klex {
+
+namespace {
+
+// Derived rng streams: the system seed drives delays and faults; the
+// workload materialization and the driver must not share its sequence.
+constexpr std::uint64_t kClassSalt = 0xC1A55ull;
+constexpr std::uint64_t kDriverSalt = 0xABCDull;
+
+}  // namespace
+
+void Session::begin_workload() {
+  KLEX_REQUIRE(driver != nullptr,
+               "session has no workload (SystemBuilder::workload not set)");
+  driver->begin();
+}
+
+void Session::apply_planned_fault(support::Rng& rng) {
+  switch (planned_fault) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kTransient:
+      system->inject_transient_fault(rng);
+      // Corruption invalidated the sessions' view of the protocol.
+      if (driver != nullptr) driver->resync();
+      return;
+    case FaultKind::kChannelWipe:
+      // Process state (and the sessions' view of it) is intact; only the
+      // in-flight tokens are lost.
+      system->engine().clear_channels();
+      return;
+  }
+}
+
+SystemBuilder& SystemBuilder::topology(const TopologySpec& spec) {
+  KLEX_REQUIRE(topo_kind_ == TopoKind::kUnset, "topology already set");
+  topo_kind_ = TopoKind::kSpec;
+  spec_ = spec;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::tree(tree::Tree t) {
+  KLEX_REQUIRE(topo_kind_ == TopoKind::kUnset, "topology already set");
+  topo_kind_ = TopoKind::kTree;
+  tree_ = std::move(t);
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::graph(stree::Graph g) {
+  KLEX_REQUIRE(topo_kind_ == TopoKind::kUnset, "topology already set");
+  topo_kind_ = TopoKind::kGraph;
+  graph_ = std::move(g);
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::kl(int k, int l) {
+  k_ = k;
+  l_ = l;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::features(proto::Features f) {
+  features_ = f;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::cmax(int c) {
+  cmax_ = c;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::delays(sim::DelayModel d) {
+  delays_ = d;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::timeout_period(sim::SimTime t) {
+  timeout_period_ = t;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::seed(std::uint64_t s) {
+  seed_ = s;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::seed_tokens(bool on) {
+  seed_tokens_ = on;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::manual_tokens(bool on) {
+  manual_tokens_ = on;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::literal_pusher_guard(bool on) {
+  literal_pusher_guard_ = on;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::omit_prio_wrap_count(bool on) {
+  omit_prio_wrap_count_ = on;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::misuse_policy(MisusePolicy policy) {
+  misuse_policy_ = policy;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::beacon_period(sim::SimTime t) {
+  beacon_period_ = t;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::spanning_tree_deadline(sim::SimTime t) {
+  spanning_tree_deadline_ = t;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::workload(proto::WorkloadSpec spec) {
+  workload_ = std::move(spec);
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::fault(FaultKind kind) {
+  fault_ = kind;
+  return *this;
+}
+
+std::unique_ptr<SystemBase> SystemBuilder::build() const {
+  KLEX_REQUIRE(topo_kind_ != TopoKind::kUnset,
+               "SystemBuilder needs a topology");
+
+  auto make_tree_system =
+      [this](tree::Tree t) -> std::unique_ptr<SystemBase> {
+    SystemConfig config;
+    config.tree = std::move(t);
+    config.k = k_;
+    config.l = l_;
+    config.features = features_;
+    config.cmax = cmax_;
+    config.delays = delays_;
+    config.timeout_period = timeout_period_;
+    config.seed = seed_;
+    config.seed_tokens = seed_tokens_;
+    config.manual_tokens = manual_tokens_;
+    config.literal_pusher_guard = literal_pusher_guard_;
+    config.omit_prio_wrap_count = omit_prio_wrap_count_;
+    return std::make_unique<System>(std::move(config));
+  };
+  auto make_graph_system =
+      [this](stree::Graph g) -> std::unique_ptr<SystemBase> {
+    GraphSystemConfig config;
+    config.graph = std::move(g);
+    config.k = k_;
+    config.l = l_;
+    config.features = features_;
+    config.cmax = cmax_;
+    config.delays = delays_;
+    config.timeout_period = timeout_period_;
+    config.seed = seed_;
+    config.seed_tokens = seed_tokens_;
+    config.beacon_period = beacon_period_;
+    config.spanning_tree_deadline = spanning_tree_deadline_;
+    return std::make_unique<GraphSystem>(std::move(config));
+  };
+  auto make_ring_system = [this](int n) -> std::unique_ptr<SystemBase> {
+    ring::RingConfig config;
+    config.n = n;
+    config.k = k_;
+    config.l = l_;
+    config.features = features_;
+    config.cmax = cmax_;
+    config.delays = delays_;
+    config.timeout_period = timeout_period_;
+    config.seed = seed_;
+    config.seed_tokens = seed_tokens_;
+    return std::make_unique<ring::RingSystem>(config);
+  };
+
+  std::unique_ptr<SystemBase> system;
+  switch (topo_kind_) {
+    case TopoKind::kUnset:
+      KLEX_CHECK(false, "unreachable");
+      break;
+    case TopoKind::kTree:
+      system = make_tree_system(*tree_);
+      break;
+    case TopoKind::kGraph:
+      system = make_graph_system(*graph_);
+      break;
+    case TopoKind::kSpec: {
+      using Kind = TopologySpec::Kind;
+      switch (spec_.kind) {
+        case Kind::kTreeLine:
+          system = make_tree_system(tree::line(spec_.n));
+          break;
+        case Kind::kTreeStar:
+          system = make_tree_system(tree::star(spec_.n));
+          break;
+        case Kind::kTreeBalanced:
+          system = make_tree_system(tree::balanced(spec_.a, spec_.b));
+          break;
+        case Kind::kTreeCaterpillar:
+          system = make_tree_system(tree::caterpillar(spec_.a, spec_.b));
+          break;
+        case Kind::kTreeRandom: {
+          support::Rng topo_rng(static_cast<std::uint64_t>(spec_.a));
+          system = make_tree_system(tree::random_tree(spec_.n, topo_rng));
+          break;
+        }
+        case Kind::kTreeFigure1:
+          system = make_tree_system(tree::figure1_tree());
+          break;
+        case Kind::kRing:
+          system = make_ring_system(spec_.n);
+          break;
+        case Kind::kGraphGrid:
+          system = make_graph_system(stree::grid(spec_.a, spec_.b));
+          break;
+        case Kind::kGraphCycle:
+          system = make_graph_system(stree::cycle_graph(spec_.n));
+          break;
+        case Kind::kGraphRandom: {
+          support::Rng topo_rng(static_cast<std::uint64_t>(spec_.b));
+          system = make_graph_system(
+              stree::random_connected(spec_.n, spec_.a, topo_rng));
+          break;
+        }
+        case Kind::kGraphComplete:
+          system = make_graph_system(stree::complete_graph(spec_.n));
+          break;
+      }
+      break;
+    }
+  }
+  KLEX_CHECK(system != nullptr, "builder produced no system");
+  system->set_misuse_policy(misuse_policy_);
+  return system;
+}
+
+Session SystemBuilder::build_session() const {
+  Session session;
+  session.system = build();
+  session.planned_fault = fault_;
+  if (workload_.has_value()) {
+    support::Rng class_rng(seed_ ^ kClassSalt);
+    session.workload =
+        proto::materialize(*workload_, session.system->n(), class_rng);
+    session.driver = std::make_unique<WorkloadDriver>(
+        session.system->engine(), session.system->clients(),
+        session.workload.behaviors, support::Rng(seed_ ^ kDriverSalt));
+  }
+  return session;
+}
+
+}  // namespace klex

@@ -1,0 +1,137 @@
+// klex::SystemBuilder -- the one declarative construction path.
+//
+// Every scenario in this repository is a point in the same space:
+// a topology (tree / ring / arbitrary graph), the protocol parameters
+// (k, ℓ, ladder rung, CMAX, delays, seed), a workload (base behavior +
+// named behavior classes), and a fault plan. SystemBuilder names each
+// axis once and materializes the whole point:
+//
+//   auto system = klex::SystemBuilder()
+//                     .topology(klex::TopologySpec::tree_balanced(2, 3))
+//                     .kl(2, 5)
+//                     .seed(42)
+//                     .build();
+//
+//   klex::Session session = klex::SystemBuilder()
+//                               .topology(klex::TopologySpec::ring(16))
+//                               .kl(2, 3)
+//                               .workload(spec)   // classes → NodeBehaviors
+//                               .fault(klex::FaultKind::kTransient)
+//                               .build_session();
+//
+// The exp::ExperimentRunner, every bench and every example construct
+// systems exclusively through this builder; SystemConfig /
+// GraphSystemConfig / ring::RingConfig remain as the topology-specific
+// spellings underneath it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "api/client.hpp"
+#include "api/system_base.hpp"
+#include "api/topology.hpp"
+#include "api/workload_driver.hpp"
+#include "proto/workload.hpp"
+#include "stree/graph.hpp"
+#include "tree/tree.hpp"
+
+namespace klex {
+
+/// Post-measurement fault plans.
+///   kTransient   -- the paper's transient fault: every process variable
+///                   randomized in-domain, channels wiped then preloaded
+///                   with up to CMAX garbage messages each. Recovery is
+///                   protocol-dominated (surplus tokens must drain
+///                   through a reset).
+///   kChannelWipe -- pure deficit fault: all in-flight messages lost,
+///                   process state intact. Recovery is detection-
+///                   dominated (idle wait for the root timeout, one
+///                   circulation, a mint).
+enum class FaultKind { kNone, kTransient, kChannelWipe };
+
+/// A built system together with its materialized workload: the driver is
+/// wired over the system's Client sessions but not yet started (call
+/// begin_workload() once the measurement should begin).
+struct Session {
+  std::unique_ptr<SystemBase> system;
+  proto::MaterializedWorkload workload;
+  std::unique_ptr<WorkloadDriver> driver;  // null without a workload()
+  FaultKind planned_fault = FaultKind::kNone;
+
+  void begin_workload();
+
+  /// Executes the planned fault (and, for transient faults, resyncs the
+  /// driver's sessions with the corrupted protocol state). No-op for
+  /// FaultKind::kNone.
+  void apply_planned_fault(support::Rng& rng);
+};
+
+class SystemBuilder {
+ public:
+  // -- topology (exactly one) --------------------------------------------------
+  SystemBuilder& topology(const TopologySpec& spec);
+  /// An explicit oriented tree (shapes outside the TopologySpec families,
+  /// e.g. tree::random_tree_bounded_degree).
+  SystemBuilder& tree(tree::Tree t);
+  /// An explicit connected graph, run over its BFS spanning tree.
+  SystemBuilder& graph(stree::Graph g);
+
+  // -- protocol parameters -----------------------------------------------------
+  SystemBuilder& kl(int k, int l);
+  SystemBuilder& features(proto::Features f);
+  SystemBuilder& cmax(int c);
+  SystemBuilder& delays(sim::DelayModel d);
+  SystemBuilder& timeout_period(sim::SimTime t);
+  SystemBuilder& seed(std::uint64_t s);
+  SystemBuilder& seed_tokens(bool on = true);
+  SystemBuilder& manual_tokens(bool on = true);
+  SystemBuilder& literal_pusher_guard(bool on = true);
+  SystemBuilder& omit_prio_wrap_count(bool on = true);
+  SystemBuilder& misuse_policy(MisusePolicy policy);
+
+  // -- graph-composition phase -------------------------------------------------
+  SystemBuilder& beacon_period(sim::SimTime t);
+  SystemBuilder& spanning_tree_deadline(sim::SimTime t);
+
+  // -- workload / fault plan (build_session only) ------------------------------
+  SystemBuilder& workload(proto::WorkloadSpec spec);
+  SystemBuilder& fault(FaultKind kind);
+
+  /// Materializes the system alone.
+  std::unique_ptr<SystemBase> build() const;
+
+  /// Materializes the system plus its workload: behaviors are expanded
+  /// from the workload spec (deterministically from the seed), and a
+  /// WorkloadDriver is wired over the system's Client sessions.
+  Session build_session() const;
+
+ private:
+  enum class TopoKind { kUnset, kSpec, kTree, kGraph };
+
+  TopoKind topo_kind_ = TopoKind::kUnset;
+  TopologySpec spec_{};
+  std::optional<tree::Tree> tree_;
+  std::optional<stree::Graph> graph_;
+
+  int k_ = 1;
+  int l_ = 1;
+  proto::Features features_ = proto::Features::full();
+  int cmax_ = 4;
+  sim::DelayModel delays_{};
+  sim::SimTime timeout_period_ = 0;
+  std::uint64_t seed_ = support::Rng::kDefaultSeed;
+  bool seed_tokens_ = false;
+  bool manual_tokens_ = false;
+  bool literal_pusher_guard_ = false;
+  bool omit_prio_wrap_count_ = false;
+  MisusePolicy misuse_policy_ = MisusePolicy::kCheck;
+  sim::SimTime beacon_period_ = 256;
+  sim::SimTime spanning_tree_deadline_ = 4'000'000;
+
+  std::optional<proto::WorkloadSpec> workload_;
+  FaultKind fault_ = FaultKind::kNone;
+};
+
+}  // namespace klex

@@ -1,12 +1,16 @@
 #include "api/system_base.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace klex {
 
 SystemBase::SystemBase(core::Params params, sim::DelayModel delays,
                        std::uint64_t seed)
-    : params_(params), engine_(delays, seed), tracker_(&engine_, params.l) {
+    : params_(params),
+      engine_(delays, seed),
+      tracker_(&engine_, params.l, params.features) {
   KLEX_REQUIRE(params_.k >= 1 && params_.k <= params_.l,
                "need 1 <= k <= l");
 }
@@ -67,19 +71,71 @@ void SystemBase::add_observer(sim::SimObserver* observer) {
   engine_.add_observer(observer);
 }
 
+ClientPool& SystemBase::clients() {
+  if (clients_ == nullptr) {
+    clients_ =
+        std::make_unique<ClientPool>(*this, n(), params_.k, misuse_policy_);
+    add_listener(clients_.get());
+  }
+  return *clients_;
+}
+
+void SystemBase::set_misuse_policy(MisusePolicy policy) {
+  misuse_policy_ = policy;
+  if (clients_ != nullptr) clients_->set_policy(policy);
+}
+
 void SystemBase::request(NodeId node, int need) {
   KLEX_REQUIRE(node >= 0 && node < n(), "bad node id ", node);
-  participants_[static_cast<std::size_t>(node)]->request(need);
+  proto::ExclusionParticipant* participant =
+      participants_[static_cast<std::size_t>(node)];
+  // Historically a wrong-state request either threw out of the caller or
+  // -- worse -- desynced workload bookkeeping that assumed it took
+  // effect; route both misuse axes through the policy instead.
+  if (participant->app_state() != proto::AppState::kOut) {
+    KLEX_REQUIRE(misuse_policy_ != MisusePolicy::kCheck,
+                 "request() on node ", node, " requires State = Out (is ",
+                 proto::app_state_name(participant->app_state()),
+                 "); see MisusePolicy");
+    return;  // kClamp / kIgnore: drop
+  }
+  if (need < 0 || need > params_.k) {
+    switch (misuse_policy_) {
+      case MisusePolicy::kCheck:
+        KLEX_REQUIRE(false, "request() need must be in 0..k, got ", need);
+        return;
+      case MisusePolicy::kClamp:
+        need = std::clamp(need, 0, params_.k);
+        break;
+      case MisusePolicy::kIgnore:
+        return;
+    }
+  }
+  participant->request(need);
 }
 
 void SystemBase::release(NodeId node) {
   KLEX_REQUIRE(node >= 0 && node < n(), "bad node id ", node);
-  participants_[static_cast<std::size_t>(node)]->release();
+  proto::ExclusionParticipant* participant =
+      participants_[static_cast<std::size_t>(node)];
+  if (participant->app_state() != proto::AppState::kIn) {
+    KLEX_REQUIRE(misuse_policy_ != MisusePolicy::kCheck,
+                 "release() on node ", node, " requires State = In (is ",
+                 proto::app_state_name(participant->app_state()),
+                 "); see MisusePolicy");
+    return;  // kClamp / kIgnore: drop
+  }
+  participant->release();
 }
 
 proto::AppState SystemBase::state_of(NodeId node) const {
   KLEX_REQUIRE(node >= 0 && node < n(), "bad node id ", node);
   return participants_[static_cast<std::size_t>(node)]->app_state();
+}
+
+int SystemBase::need_of(NodeId node) const {
+  KLEX_REQUIRE(node >= 0 && node < n(), "bad node id ", node);
+  return participants_[static_cast<std::size_t>(node)]->need();
 }
 
 void SystemBase::run_until(sim::SimTime t) { engine_.run_until(t); }

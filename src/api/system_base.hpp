@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/client.hpp"
 #include "core/member_process.hpp"
 #include "core/params.hpp"
 #include "core/root_process.hpp"
@@ -54,10 +55,24 @@ class SystemBase : public proto::RequestPort {
   /// Registers a simulator observer (message sends/deliveries).
   void add_observer(sim::SimObserver* observer);
 
+  // -- client sessions ---------------------------------------------------------
+  /// The per-node Client sessions (lazily created and wired into the
+  /// listener fan-out on first use). This is the intended application
+  /// surface; the raw RequestPort below is the internal SPI.
+  ClientPool& clients();
+
+  /// How RequestPort misuse (request while not Out, release while not
+  /// In, need out of range) and Client misuse are handled. kCheck (the
+  /// default) throws; kClamp coerces what it can and drops the rest;
+  /// kIgnore drops silently. Applies to the existing pool too.
+  void set_misuse_policy(MisusePolicy policy);
+  MisusePolicy misuse_policy() const { return misuse_policy_; }
+
   // -- proto::RequestPort ------------------------------------------------------
   void request(NodeId node, int need) override;
   void release(NodeId node) override;
   proto::AppState state_of(NodeId node) const override;
+  int need_of(NodeId node) const override;
 
   // -- execution ---------------------------------------------------------------
   void run_until(sim::SimTime t);
@@ -146,6 +161,8 @@ class SystemBase : public proto::RequestPort {
   // The same pointers as const, prebuilt for the full-walk census oracle.
   std::vector<const proto::ExclusionParticipant*> census_participants_;
   std::vector<std::pair<sim::NodeId, int>> out_channels_;
+  MisusePolicy misuse_policy_ = MisusePolicy::kCheck;
+  std::unique_ptr<ClientPool> clients_;  // lazily created by clients()
 };
 
 }  // namespace klex

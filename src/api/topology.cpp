@@ -1,0 +1,60 @@
+#include "api/topology.hpp"
+
+#include <sstream>
+
+namespace klex {
+
+namespace {
+
+int balanced_size(int arity, int height) {
+  // 1 + arity + arity^2 + ... + arity^height.
+  int size = 1;
+  int layer = 1;
+  for (int d = 0; d < height; ++d) {
+    layer *= arity;
+    size += layer;
+  }
+  return size;
+}
+
+}  // namespace
+
+std::string TopologySpec::name() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kTreeLine: out << "tree:line(n=" << n << ")"; break;
+    case Kind::kTreeStar: out << "tree:star(n=" << n << ")"; break;
+    case Kind::kTreeBalanced:
+      out << "tree:balanced(arity=" << a << ",height=" << b << ")";
+      break;
+    case Kind::kTreeCaterpillar:
+      out << "tree:caterpillar(spine=" << a << ",legs=" << b << ")";
+      break;
+    case Kind::kTreeRandom:
+      out << "tree:random(n=" << n << ",topo_seed=" << a << ")";
+      break;
+    case Kind::kTreeFigure1: out << "tree:figure1"; break;
+    case Kind::kRing: out << "ring(n=" << n << ")"; break;
+    case Kind::kGraphGrid: out << "graph:grid(" << a << "x" << b << ")"; break;
+    case Kind::kGraphCycle: out << "graph:cycle(n=" << n << ")"; break;
+    case Kind::kGraphRandom:
+      out << "graph:random(n=" << n << ",extra=" << a
+          << ",topo_seed=" << b << ")";
+      break;
+    case Kind::kGraphComplete:
+      out << "graph:complete(n=" << n << ")";
+      break;
+  }
+  return out.str();
+}
+
+int TopologySpec::node_count() const {
+  switch (kind) {
+    case Kind::kTreeBalanced: return balanced_size(a, b);
+    case Kind::kTreeCaterpillar: return a * (1 + b);
+    case Kind::kGraphGrid: return a * b;
+    default: return n;
+  }
+}
+
+}  // namespace klex

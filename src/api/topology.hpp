@@ -1,0 +1,67 @@
+// Declarative topology descriptions.
+//
+// A TopologySpec is a value description, not a topology: the tree / graph
+// / ring is materialized per construction (by klex::SystemBuilder) so
+// that every run owns its engine. Specs name every topology family the
+// repository can run the protocol on; SystemBuilder also accepts an
+// explicit tree::Tree or stree::Graph for shapes outside these families.
+#pragma once
+
+#include <string>
+
+namespace klex {
+
+struct TopologySpec {
+  enum class Kind {
+    kTreeLine,
+    kTreeStar,
+    kTreeBalanced,     // a = arity, b = height
+    kTreeCaterpillar,  // a = spine length, b = legs per spine node
+    kTreeRandom,       // a = topology seed
+    kTreeFigure1,
+    kRing,
+    kGraphGrid,        // a = width, b = height
+    kGraphCycle,
+    kGraphRandom,      // a = extra edges, b = topology seed
+    kGraphComplete,
+  };
+
+  Kind kind = Kind::kTreeLine;
+  int n = 8;   // node count (derived for grid/balanced/caterpillar shapes)
+  int a = 0;
+  int b = 0;
+
+  static TopologySpec tree_line(int n) { return {Kind::kTreeLine, n, 0, 0}; }
+  static TopologySpec tree_star(int n) { return {Kind::kTreeStar, n, 0, 0}; }
+  static TopologySpec tree_balanced(int arity, int height) {
+    return {Kind::kTreeBalanced, 0, arity, height};
+  }
+  static TopologySpec tree_caterpillar(int spine, int legs) {
+    return {Kind::kTreeCaterpillar, 0, spine, legs};
+  }
+  static TopologySpec tree_random(int n, int topo_seed) {
+    return {Kind::kTreeRandom, n, topo_seed, 0};
+  }
+  static TopologySpec tree_figure1() { return {Kind::kTreeFigure1, 8, 0, 0}; }
+  static TopologySpec ring(int n) { return {Kind::kRing, n, 0, 0}; }
+  static TopologySpec graph_grid(int w, int h) {
+    return {Kind::kGraphGrid, 0, w, h};
+  }
+  static TopologySpec graph_cycle(int n) {
+    return {Kind::kGraphCycle, n, 0, 0};
+  }
+  static TopologySpec graph_random(int n, int extra_edges, int topo_seed) {
+    return {Kind::kGraphRandom, n, extra_edges, topo_seed};
+  }
+  static TopologySpec graph_complete(int n) {
+    return {Kind::kGraphComplete, n, 0, 0};
+  }
+
+  /// Human/JSON-facing name, e.g. "tree:line(n=16)" or "graph:grid(4x4)".
+  std::string name() const;
+
+  /// Node count of the materialized topology.
+  int node_count() const;
+};
+
+}  // namespace klex

@@ -1,0 +1,176 @@
+#include "api/workload_driver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace klex {
+
+WorkloadDriver::WorkloadDriver(sim::Engine& engine, ClientPool& clients,
+                               std::vector<proto::NodeBehavior> behaviors,
+                               support::Rng rng)
+    : engine_(engine), clients_(clients), rng_(rng) {
+  KLEX_REQUIRE(static_cast<int>(behaviors.size()) == clients_.size(),
+               "behaviors (", behaviors.size(), ") must cover every client (",
+               clients_.size(), ")");
+  nodes_.reserve(behaviors.size());
+  for (auto& behavior : behaviors) {
+    NodeState node_state;
+    node_state.behavior = behavior;
+    nodes_.push_back(std::move(node_state));
+  }
+  for (proto::NodeId node = 0; node < clients_.size(); ++node) {
+    Client& client = clients_.at(node);
+    client.on_granted([this, node](Lease lease) {
+      handle_grant(node, std::move(lease), /*expected=*/true);
+    });
+    client.on_denied([this, node](DenyReason) { handle_deny(node); });
+    // Critical sections this driver never requested (raw-port requests,
+    // corruption-induced entries) are adopted and released like normal
+    // ones so the system cannot wedge on a phantom critical section.
+    client.on_unexpected_grant([this, node](Lease lease) {
+      handle_grant(node, std::move(lease), /*expected=*/false);
+    });
+    client.on_revoked([this, node] { handle_revoked(node); });
+  }
+}
+
+WorkloadDriver::~WorkloadDriver() {
+  for (proto::NodeId node = 0; node < clients_.size(); ++node) {
+    // The sticky handlers capture `this`; events delivered after this
+    // destructor (the engine may keep running) must find no trace of us.
+    Client& client = clients_.at(node);
+    client.on_granted(nullptr);
+    client.on_denied(nullptr);
+    client.on_unexpected_grant(nullptr);
+    client.on_revoked(nullptr);
+    state(node).lease.detach();
+  }
+}
+
+void WorkloadDriver::begin() {
+  for (proto::NodeId node = 0; node < clients_.size(); ++node) {
+    if (state(node).behavior.active) schedule_cycle(node);
+  }
+}
+
+void WorkloadDriver::schedule_cycle(proto::NodeId node) {
+  NodeState& node_state = state(node);
+  const Client& client = clients_.at(node);
+  if (node_state.cycle_scheduled || client.waiting() || client.holding()) {
+    return;
+  }
+  if (node_state.behavior.max_requests >= 0 &&
+      node_state.issued >= node_state.behavior.max_requests) {
+    return;
+  }
+  node_state.cycle_scheduled = true;
+  sim::SimTime delay = node_state.behavior.think.sample(rng_);
+  engine_.schedule(delay, [this, node] { start_acquire(node); });
+}
+
+void WorkloadDriver::start_acquire(proto::NodeId node) {
+  NodeState& node_state = state(node);
+  node_state.cycle_scheduled = false;
+  Client& client = clients_.at(node);
+  if (!client.idle()) {
+    // The session changed underneath the pending think callback (e.g. a
+    // corruption-induced critical section was adopted): try again after
+    // another think time.
+    schedule_cycle(node);
+    return;
+  }
+  int need = static_cast<int>(node_state.behavior.need.sample(rng_));
+  need = std::clamp(need, 1, clients_.k());
+  // Outcome arrives through the sticky handlers, possibly synchronously
+  // (grant or busy-denial inside this call).
+  client.acquire(need);
+  if (client.last_acquire_issued()) ++node_state.issued;
+}
+
+void WorkloadDriver::handle_grant(proto::NodeId node, Lease lease,
+                                  bool expected) {
+  NodeState& node_state = state(node);
+  if (expected) ++node_state.granted;
+  node_state.lease = std::move(lease);
+  schedule_release(node);
+}
+
+void WorkloadDriver::handle_deny(proto::NodeId node) {
+  // The protocol is busy with a (possibly corruption-induced) request, or
+  // resync() cancelled a pending acquisition: try again after another
+  // think time.
+  if (state(node).behavior.active) schedule_cycle(node);
+}
+
+void WorkloadDriver::handle_revoked(proto::NodeId node) {
+  // The units vanished underneath the lease (protocol-side exit or
+  // transient fault). The stored Lease is stale (its destructor no-ops);
+  // re-enter the closed loop.
+  if (state(node).behavior.active) schedule_cycle(node);
+}
+
+void WorkloadDriver::schedule_release(proto::NodeId node) {
+  NodeState& node_state = state(node);
+  if (node_state.release_scheduled) return;
+  if (node_state.behavior.hold_forever) return;  // the set I never releases
+  node_state.release_scheduled = true;
+  sim::SimTime duration = node_state.behavior.cs_duration.sample(rng_);
+  engine_.schedule(duration, [this, node] {
+    NodeState& inner = state(node);
+    inner.release_scheduled = false;
+    inner.lease.release();  // stale-safe: a revoked lease is a no-op
+    if (inner.behavior.active) schedule_cycle(node);
+  });
+}
+
+void WorkloadDriver::resync() {
+  // Reconcile every session first (fires revocation / denial / adoption
+  // handlers), then restart the loop for whoever ended up idle.
+  clients_.resync();
+  for (proto::NodeId node = 0; node < clients_.size(); ++node) {
+    NodeState& node_state = state(node);
+    const Client& client = clients_.at(node);
+    if (client.holding() && !node_state.release_scheduled) {
+      schedule_release(node);
+    }
+    if (client.idle() && node_state.behavior.active) {
+      schedule_cycle(node);
+    }
+  }
+}
+
+std::int64_t WorkloadDriver::requests_issued(proto::NodeId node) const {
+  return nodes_[static_cast<std::size_t>(node)].issued;
+}
+
+std::int64_t WorkloadDriver::grants(proto::NodeId node) const {
+  return nodes_[static_cast<std::size_t>(node)].granted;
+}
+
+std::int64_t WorkloadDriver::total_requests() const {
+  std::int64_t total = 0;
+  for (const NodeState& node_state : nodes_) total += node_state.issued;
+  return total;
+}
+
+std::int64_t WorkloadDriver::total_grants() const {
+  std::int64_t total = 0;
+  for (const NodeState& node_state : nodes_) total += node_state.granted;
+  return total;
+}
+
+int WorkloadDriver::outstanding() const {
+  int count = 0;
+  for (proto::NodeId node = 0; node < clients_.size(); ++node) {
+    if (clients_.at(node).waiting()) ++count;
+  }
+  return count;
+}
+
+bool WorkloadDriver::holding(proto::NodeId node) const {
+  return nodes_[static_cast<std::size_t>(node)].lease.active();
+}
+
+}  // namespace klex

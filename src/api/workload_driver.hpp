@@ -1,0 +1,96 @@
+// Closed-loop workload driver, built on the Client/Lease session API.
+//
+// WorkloadDriver models the paper's application per node:
+//
+//   think ~ D_think  →  acquire(need ~ D_need)  →  [wait for Lease]
+//        →  critical section ~ D_cs  →  lease releases  →  think ...
+//
+// Per-node behaviors cover the paper's experimental scenarios (inactive
+// relays, the hold-forever set I of the (k,ℓ)-liveness definition,
+// bounded request budgets) -- see proto::NodeBehavior / BehaviorClass.
+//
+// All protocol interaction goes through klex::Client sessions: grants
+// arrive as RAII Leases, denials and post-fault revocations come back as
+// callbacks, and misuse is impossible by construction (the driver only
+// acquires on idle sessions). resync() re-establishes the closed loop
+// after a transient fault by reconciling every session with the
+// (possibly corrupted) protocol state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/client.hpp"
+#include "proto/workload.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace klex {
+
+class WorkloadDriver {
+ public:
+  /// `clients.size()` sessions drive `behaviors.size()` nodes (sizes must
+  /// match). The driver installs its sticky handlers on every session at
+  /// construction; call begin() after the harness is wired.
+  WorkloadDriver(sim::Engine& engine, ClientPool& clients,
+                 std::vector<proto::NodeBehavior> behaviors,
+                 support::Rng rng);
+
+  /// Uninstalls the driver's handlers and detaches outstanding leases
+  /// (the units stay reserved -- a destructor must not re-enter the
+  /// protocol and its listener fan-out). Think/release callbacks already
+  /// scheduled on the engine still reference the driver: destroy it only
+  /// when the engine is done running (as run_point and the examples do).
+  ~WorkloadDriver();
+
+  WorkloadDriver(const WorkloadDriver&) = delete;
+  WorkloadDriver& operator=(const WorkloadDriver&) = delete;
+
+  /// Schedules the initial think time of every active node.
+  void begin();
+
+  /// After transient-fault injection the sessions' view may disagree with
+  /// the corrupted protocol state; resync() reconciles every Client
+  /// (revoking vanished grants, adopting phantom critical sections) and
+  /// restarts the closed loop for idle active nodes.
+  void resync();
+
+  std::int64_t requests_issued(proto::NodeId node) const;
+  std::int64_t grants(proto::NodeId node) const;
+  std::int64_t total_requests() const;
+  std::int64_t total_grants() const;
+
+  /// Nodes with a request issued but not yet granted.
+  int outstanding() const;
+
+  /// Whether `node` currently holds an active lease.
+  bool holding(proto::NodeId node) const;
+
+ private:
+  struct NodeState {
+    proto::NodeBehavior behavior;
+    std::int64_t issued = 0;
+    std::int64_t granted = 0;
+    bool release_scheduled = false;
+    bool cycle_scheduled = false;  // a think/acquire callback is pending
+    Lease lease;
+  };
+
+  NodeState& state(proto::NodeId node) {
+    return nodes_[static_cast<std::size_t>(node)];
+  }
+
+  void schedule_cycle(proto::NodeId node);
+  void start_acquire(proto::NodeId node);
+  void schedule_release(proto::NodeId node);
+  void handle_grant(proto::NodeId node, Lease lease, bool expected);
+  void handle_deny(proto::NodeId node);
+  void handle_revoked(proto::NodeId node);
+
+  sim::Engine& engine_;
+  ClientPool& clients_;
+  std::vector<NodeState> nodes_;
+  support::Rng rng_;
+};
+
+}  // namespace klex

@@ -26,20 +26,24 @@ ExperimentRunner::ExperimentRunner(int threads) : threads_(threads) {
 
 std::vector<RunPoint> ExperimentRunner::expand(const ScenarioSpec& spec) {
   KLEX_REQUIRE(!spec.topologies.empty(), "scenario has no topologies");
+  KLEX_REQUIRE(!spec.features.empty(), "scenario has no ladder rungs");
   KLEX_REQUIRE(!spec.kl.empty(), "scenario has no (k,l) pairs");
   KLEX_REQUIRE(spec.seeds >= 1, "scenario needs at least one seed");
   std::vector<RunPoint> points;
-  points.reserve(spec.topologies.size() * spec.kl.size() *
-                 static_cast<std::size_t>(spec.seeds));
+  points.reserve(spec.topologies.size() * spec.features.size() *
+                 spec.kl.size() * static_cast<std::size_t>(spec.seeds));
   for (const TopologySpec& topology : spec.topologies) {
-    for (const auto& [k, l] : spec.kl) {
-      for (int s = 0; s < spec.seeds; ++s) {
-        RunPoint point;
-        point.topology = topology;
-        point.k = k;
-        point.l = l;
-        point.seed = spec.base_seed + static_cast<std::uint64_t>(s);
-        points.push_back(point);
+    for (const proto::Features& features : spec.features) {
+      for (const auto& [k, l] : spec.kl) {
+        for (int s = 0; s < spec.seeds; ++s) {
+          RunPoint point;
+          point.topology = topology;
+          point.features = features;
+          point.k = k;
+          point.l = l;
+          point.seed = spec.base_seed + static_cast<std::uint64_t>(s);
+          points.push_back(point);
+        }
       }
     }
   }
@@ -50,14 +54,25 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
                                       const RunPoint& point) {
   RunResult result;
   result.topology = point.topology.name();
+  result.features = point.features.name();
   result.k = point.k;
   result.l = point.l;
   result.seed = point.seed;
 
-  std::unique_ptr<SystemBase> system =
-      make_system(point.topology, point.k, point.l, spec.features, spec.cmax,
-                  spec.delays, point.seed);
-  result.n = system->n();
+  // Every grid point is one declarative construction: topology × params
+  // × workload × fault plan through the one SystemBuilder path.
+  Session session = SystemBuilder()
+                        .topology(point.topology)
+                        .kl(point.k, point.l)
+                        .features(point.features)
+                        .cmax(spec.cmax)
+                        .delays(spec.delays)
+                        .seed(point.seed)
+                        .workload(spec.workload)
+                        .fault(spec.fault)
+                        .build_session();
+  SystemBase& system = *session.system;
+  result.n = system.n();
 
   // The wall clock starts after construction so events_per_sec measures
   // the exclusion engine only (GraphSystem's constructor simulates a
@@ -67,40 +82,57 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   stats::WaitingTimeTracker waits(result.n);
   verify::SafetyMonitor safety(result.n, point.k, point.l);
   proto::MessageCounter messages;
-  system->add_listener(&waits);
-  system->add_listener(&safety);
-  system->add_observer(&messages);
+  system.add_listener(&waits);
+  system.add_listener(&safety);
+  system.add_observer(&messages);
 
-  // Phase 1: stabilize, then settle through the warmup window.
-  sim::SimTime stabilized = system->run_until_stabilized(
+  // Phase 1: stabilize, then settle through the warmup window. The
+  // legitimacy predicate is rung-aware, so reduced rungs (seeded token
+  // population, no controller) stabilize at t ~ 0.
+  sim::SimTime stabilized = system.run_until_stabilized(
       spec.stabilize_deadline);
   result.stabilized = stabilized != sim::kTimeInfinity;
   result.stabilization_time = stabilized;
-  system->run_until(system->engine().now() + spec.warmup);
+  system.run_until(system.engine().now() + spec.warmup);
 
   // Phase 2: closed-loop workload over the measurement window.
-  std::vector<proto::NodeBehavior> behaviors(
-      static_cast<std::size_t>(result.n));
-  for (auto& behavior : behaviors) {
-    behavior.think = spec.workload.think;
-    behavior.cs_duration = spec.workload.cs_duration;
-    behavior.need = spec.workload.need;
-  }
-  proto::WorkloadDriver driver(system->engine(), *system, point.k, behaviors,
-                               support::Rng(point.seed ^ 0xABCDull));
-  system->add_listener(&driver);
-  driver.begin();
+  WorkloadDriver& driver = *session.driver;
+  session.begin_workload();
 
   waits.reset_samples();
   messages.reset();
-  sim::SimTime window_start = system->engine().now();
-  std::uint64_t events_before = system->engine().events_executed();
-  system->run_until(window_start + spec.horizon);
+  sim::SimTime window_start = system.engine().now();
+  std::uint64_t events_before = system.engine().events_executed();
+  system.run_until(window_start + spec.horizon);
 
   result.grants = driver.total_grants();
   result.requests = driver.total_requests();
   result.grants_per_mtick = static_cast<double>(result.grants) * 1e6 /
                             static_cast<double>(spec.horizon);
+  result.outstanding_at_end = driver.outstanding();
+  result.quiescent_at_end =
+      system.engine().next_event_time() == sim::kTimeInfinity;
+  if (!spec.workload.classes.empty()) {
+    // Per-class slices, in class order plus a trailing "base" cell when
+    // any node fell through to the base behavior.
+    result.classes.resize(spec.workload.classes.size());
+    for (std::size_t c = 0; c < spec.workload.classes.size(); ++c) {
+      result.classes[c].name = spec.workload.classes[c].name;
+    }
+    ClassResult base_cell;
+    base_cell.name = "base";
+    for (proto::NodeId node = 0; node < result.n; ++node) {
+      int cls = session.workload.class_index[static_cast<std::size_t>(node)];
+      ClassResult& cell =
+          cls >= 0 ? result.classes[static_cast<std::size_t>(cls)]
+                   : base_cell;
+      ++cell.nodes;
+      cell.requests += driver.requests_issued(node);
+      cell.grants += driver.grants(node);
+      if (system.state_of(node) == proto::AppState::kIn) ++cell.holding_at_end;
+    }
+    if (base_cell.nodes > 0) result.classes.push_back(std::move(base_cell));
+  }
   if (waits.waits().count() > 0) {
     result.mean_wait_entries = waits.waits().mean();
     result.max_wait_entries = waits.waits().max();
@@ -119,22 +151,15 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   // re-stabilizing are expected and must not read as regressions; the
   // event count likewise covers the measurement window alone.
   result.safety_ok = !safety.any_violation();
-  result.events_executed = system->engine().events_executed() - events_before;
+  result.events_executed = system.engine().events_executed() - events_before;
 
   // Phase 3 (optional): fault + recovery.
   if (spec.fault != ScenarioSpec::FaultKind::kNone) {
     result.fault_injected = true;
-    sim::SimTime fault_at = system->engine().now();
-    if (spec.fault == ScenarioSpec::FaultKind::kTransient) {
-      support::Rng fault_rng(point.seed ^ 0xFA17ull);
-      system->inject_transient_fault(fault_rng);
-      driver.resync();  // corruption invalidated the driver's bookkeeping
-    } else {
-      // Channel wipe: process state (and the driver's view of it) is
-      // intact, only the in-flight tokens are lost.
-      system->engine().clear_channels();
-    }
-    sim::SimTime recovered = system->run_until_stabilized(
+    sim::SimTime fault_at = system.engine().now();
+    support::Rng fault_rng(point.seed ^ 0xFA17ull);
+    session.apply_planned_fault(fault_rng);
+    sim::SimTime recovered = system.run_until_stabilized(
         fault_at + spec.recovery_deadline);
     result.recovered = recovered != sim::kTimeInfinity;
     // Elapsed since the fault, so runs with different warmups/horizons
@@ -142,7 +167,7 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
     result.recovery_time = result.recovered ? recovered - fault_at : 0;
   }
 
-  result.engine_stats = system->engine().stats();
+  result.engine_stats = system.engine().stats();
 
   auto wall_end = std::chrono::steady_clock::now();
   result.wall_seconds =
@@ -184,15 +209,16 @@ std::vector<RunResult> ExperimentRunner::run(const ScenarioSpec& spec) const {
 
 std::vector<Aggregate> ExperimentRunner::aggregate(
     const std::vector<RunResult>& results) {
-  // Keyed by (topology, k, l), in first-appearance order.
-  std::map<std::tuple<std::string, int, int>, std::size_t> index;
+  // Keyed by (topology, features, k, l), in first-appearance order.
+  std::map<std::tuple<std::string, std::string, int, int>, std::size_t> index;
   std::vector<Aggregate> cells;
   for (const RunResult& run : results) {
-    auto key = std::tuple{run.topology, run.k, run.l};
+    auto key = std::tuple{run.topology, run.features, run.k, run.l};
     auto [it, inserted] = index.try_emplace(key, cells.size());
     if (inserted) {
       Aggregate cell;
       cell.topology = run.topology;
+      cell.features = run.features;
       cell.k = run.k;
       cell.l = run.l;
       cells.push_back(cell);
@@ -211,6 +237,7 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
     cell.max_wait_entries =
         std::max(cell.max_wait_entries, run.max_wait_entries);
     cell.mean_messages_per_grant += run.messages_per_grant;
+    cell.mean_outstanding_at_end += run.outstanding_at_end;
     cell.total_events_per_sec += run.events_per_sec;
   }
   for (Aggregate& cell : cells) {
@@ -221,6 +248,7 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
       cell.mean_grants_per_mtick /= cell.runs;
       cell.mean_wait_entries /= cell.runs;
       cell.mean_messages_per_grant /= cell.runs;
+      cell.mean_outstanding_at_end /= cell.runs;
     }
   }
   return cells;
@@ -240,6 +268,23 @@ void write_dist(support::JsonWriter& json, const proto::Dist& dist) {
     case proto::Dist::Kind::kExponential:
       json.field("kind", "exponential").field("mean", dist.a);
       break;
+  }
+  json.end_object();
+}
+
+void write_behavior(support::JsonWriter& json,
+                    const proto::NodeBehavior& behavior) {
+  json.begin_object();
+  json.field("active", behavior.active);
+  json.field("hold_forever", behavior.hold_forever);
+  json.key("think");
+  write_dist(json, behavior.think);
+  json.key("cs_duration");
+  write_dist(json, behavior.cs_duration);
+  json.key("need");
+  write_dist(json, behavior.need);
+  if (behavior.max_requests >= 0) {
+    json.field("max_requests", behavior.max_requests);
   }
   json.end_object();
 }
@@ -264,25 +309,43 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.value(topology.name());
   }
   json.end_array();
+  json.key("features").begin_array();
+  for (const proto::Features& features : spec.features) {
+    json.value(features.name());
+  }
+  json.end_array();
   json.key("kl").begin_array();
   for (const auto& [k, l] : spec.kl) {
     json.begin_object().field("k", k).field("l", l).end_object();
   }
   json.end_array();
-  json.field("features", spec.features.name());
   json.field("cmax", spec.cmax);
   json.key("delays").begin_object();
   json.field("min", spec.delays.min_delay);
   json.field("max", spec.delays.max_delay);
   json.end_object();
   json.key("workload").begin_object();
-  json.key("think");
-  write_dist(json, spec.workload.think);
-  json.key("cs_duration");
-  write_dist(json, spec.workload.cs_duration);
-  json.key("need");
-  write_dist(json, spec.workload.need);
-  json.end_object();
+  json.key("base");
+  write_behavior(json, spec.workload.base);
+  json.key("classes").begin_array();
+  for (const proto::BehaviorClass& cls : spec.workload.classes) {
+    json.begin_object();
+    json.field("name", cls.name);
+    if (!cls.nodes.empty()) {
+      json.key("nodes").begin_array();
+      for (proto::NodeId node : cls.nodes) json.value(node);
+      json.end_array();
+    } else if (cls.count >= 0) {
+      json.field("count", cls.count);
+    } else {
+      json.field("fraction", cls.fraction);
+    }
+    json.key("behavior");
+    write_behavior(json, cls.behavior);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();  // workload
   json.field("warmup", spec.warmup);
   json.field("horizon", spec.horizon);
   json.field("stabilize_deadline", spec.stabilize_deadline);
@@ -305,6 +368,7 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
   for (const RunResult& run : results) {
     json.begin_object();
     json.field("topology", run.topology);
+    json.field("features", run.features);
     json.field("n", run.n);
     json.field("k", run.k);
     json.field("l", run.l);
@@ -320,6 +384,21 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.field("grants", run.grants);
     json.field("requests", run.requests);
     json.field("grants_per_mtick", run.grants_per_mtick);
+    json.field("outstanding_at_end", run.outstanding_at_end);
+    json.field("quiescent_at_end", run.quiescent_at_end);
+    if (!run.classes.empty()) {
+      json.key("classes").begin_array();
+      for (const ClassResult& cls : run.classes) {
+        json.begin_object();
+        json.field("name", cls.name);
+        json.field("nodes", cls.nodes);
+        json.field("requests", cls.requests);
+        json.field("grants", cls.grants);
+        json.field("holding_at_end", cls.holding_at_end);
+        json.end_object();
+      }
+      json.end_array();
+    }
     json.field("mean_wait_entries", run.mean_wait_entries);
     json.field("max_wait_entries", run.max_wait_entries);
     json.field("p99_wait_entries", run.p99_wait_entries);
@@ -347,6 +426,7 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
   for (const Aggregate& cell : aggregates) {
     json.begin_object();
     json.field("topology", cell.topology);
+    json.field("features", cell.features);
     json.field("k", cell.k);
     json.field("l", cell.l);
     json.field("runs", cell.runs);
@@ -358,6 +438,7 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.field("mean_wait_entries", cell.mean_wait_entries);
     json.field("max_wait_entries", cell.max_wait_entries);
     json.field("mean_messages_per_grant", cell.mean_messages_per_grant);
+    json.field("mean_outstanding_at_end", cell.mean_outstanding_at_end);
     json.field("total_events_per_sec", cell.total_events_per_sec);
     json.end_object();
   }

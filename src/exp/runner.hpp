@@ -1,12 +1,13 @@
 // ExperimentRunner: fans a ScenarioSpec out over its
-// topology × (k,ℓ) × seed grid across worker threads and aggregates the
-// results.
+// topology × rung × (k,ℓ) × seed grid across worker threads and
+// aggregates the results.
 //
 // Parallelism model: the engine is single-threaded by design; one engine
 // per thread parallelizes experiments trivially (sim/engine.hpp). Every
 // grid point therefore constructs its own SystemBase (own engine, own
-// rng) inside the worker, so runs are bit-identical regardless of thread
-// count or scheduling -- only wall-clock fields vary.
+// rng) through klex::SystemBuilder inside the worker, so runs are
+// bit-identical regardless of thread count or scheduling -- only
+// wall-clock fields vary.
 //
 // Output: run() returns per-point results; write_json() /
 // write_json_file() emit the machine-readable artifact
@@ -25,14 +26,27 @@ namespace klex::exp {
 /// One expanded grid point.
 struct RunPoint {
   TopologySpec topology;
+  proto::Features features = proto::Features::full();
   int k = 1;
   int l = 1;
   std::uint64_t seed = 1;
 };
 
+/// Per-behavior-class slice of one run ("base" covers unassigned nodes).
+struct ClassResult {
+  std::string name;
+  int nodes = 0;
+  std::int64_t requests = 0;
+  std::int64_t grants = 0;
+  /// Members inside their critical section when the window closed (the
+  /// hold-forever set I shows up here).
+  int holding_at_end = 0;
+};
+
 /// Everything measured in one run of one grid point.
 struct RunResult {
   std::string topology;
+  std::string features;
   int n = 0;
   int k = 1;
   int l = 1;
@@ -50,6 +64,16 @@ struct RunResult {
   std::int64_t grants = 0;
   std::int64_t requests = 0;
   double grants_per_mtick = 0.0;
+  /// Requesters still waiting when the window closed (a wedged rung --
+  /// Figure 2's deadlock -- shows up here).
+  int outstanding_at_end = 0;
+  /// Nothing was scheduled when the window closed: no token circulates
+  /// and no workload timer is pending. With requesters still outstanding
+  /// this is the paper's Figure 2 deadlock signature (the naive rung goes
+  /// silent; the pusher rung keeps its token moving forever).
+  bool quiescent_at_end = false;
+  /// Per-class slices; empty for uniform (classless) workloads.
+  std::vector<ClassResult> classes;
   double mean_wait_entries = 0.0;  // paper's waiting-time unit
   double max_wait_entries = 0.0;
   double p99_wait_entries = 0.0;
@@ -67,9 +91,10 @@ struct RunResult {
   sim::EngineStats engine_stats{};
 };
 
-/// Cross-seed aggregate for one (topology, k, l) cell.
+/// Cross-seed aggregate for one (topology, features, k, l) cell.
 struct Aggregate {
   std::string topology;
+  std::string features;
   int k = 1;
   int l = 1;
   int runs = 0;
@@ -81,6 +106,7 @@ struct Aggregate {
   double mean_wait_entries = 0.0;
   double max_wait_entries = 0.0;
   double mean_messages_per_grant = 0.0;
+  double mean_outstanding_at_end = 0.0;
   double total_events_per_sec = 0.0;  // sum of per-run rates
 };
 
@@ -91,8 +117,8 @@ class ExperimentRunner {
 
   int threads() const { return threads_; }
 
-  /// Expands the grid (topologies × kl × seeds, seed-major last so
-  /// neighboring points differ only in seed).
+  /// Expands the grid (topologies × features × kl × seeds, seed-major
+  /// last so neighboring points differ only in seed).
   static std::vector<RunPoint> expand(const ScenarioSpec& spec);
 
   /// Executes one grid point (used by the workers; exposed for tests and
@@ -104,7 +130,8 @@ class ExperimentRunner {
   /// expand() order.
   std::vector<RunResult> run(const ScenarioSpec& spec) const;
 
-  /// Groups results by (topology, k, l) and averages across seeds.
+  /// Groups results by (topology, features, k, l) and averages across
+  /// seeds.
   static std::vector<Aggregate> aggregate(
       const std::vector<RunResult>& results);
 

@@ -1,135 +1,20 @@
 #include "exp/scenario.hpp"
 
-#include <sstream>
-
-#include "api/graph_system.hpp"
-#include "api/system.hpp"
-#include "ring/ring_system.hpp"
-#include "stree/graph.hpp"
-#include "support/check.hpp"
-#include "tree/tree.hpp"
-
 namespace klex::exp {
-
-namespace {
-
-int balanced_size(int arity, int height) {
-  // 1 + arity + arity^2 + ... + arity^height.
-  int size = 1;
-  int layer = 1;
-  for (int d = 0; d < height; ++d) {
-    layer *= arity;
-    size += layer;
-  }
-  return size;
-}
-
-}  // namespace
-
-std::string TopologySpec::name() const {
-  std::ostringstream out;
-  switch (kind) {
-    case Kind::kTreeLine: out << "tree:line(n=" << n << ")"; break;
-    case Kind::kTreeStar: out << "tree:star(n=" << n << ")"; break;
-    case Kind::kTreeBalanced:
-      out << "tree:balanced(arity=" << a << ",height=" << b << ")";
-      break;
-    case Kind::kTreeCaterpillar:
-      out << "tree:caterpillar(spine=" << a << ",legs=" << b << ")";
-      break;
-    case Kind::kTreeRandom:
-      out << "tree:random(n=" << n << ",topo_seed=" << a << ")";
-      break;
-    case Kind::kTreeFigure1: out << "tree:figure1"; break;
-    case Kind::kRing: out << "ring(n=" << n << ")"; break;
-    case Kind::kGraphGrid: out << "graph:grid(" << a << "x" << b << ")"; break;
-    case Kind::kGraphCycle: out << "graph:cycle(n=" << n << ")"; break;
-    case Kind::kGraphRandom:
-      out << "graph:random(n=" << n << ",extra=" << a
-          << ",topo_seed=" << b << ")";
-      break;
-    case Kind::kGraphComplete:
-      out << "graph:complete(n=" << n << ")";
-      break;
-  }
-  return out.str();
-}
-
-int TopologySpec::node_count() const {
-  switch (kind) {
-    case Kind::kTreeBalanced: return balanced_size(a, b);
-    case Kind::kTreeCaterpillar: return a * (1 + b);
-    case Kind::kGraphGrid: return a * b;
-    default: return n;
-  }
-}
 
 std::unique_ptr<SystemBase> make_system(const TopologySpec& topology, int k,
                                         int l,
                                         const proto::Features& features,
                                         int cmax, sim::DelayModel delays,
                                         std::uint64_t seed) {
-  using Kind = TopologySpec::Kind;
-
-  auto make_tree = [&](tree::Tree tree) -> std::unique_ptr<SystemBase> {
-    SystemConfig config;
-    config.tree = std::move(tree);
-    config.k = k;
-    config.l = l;
-    config.features = features;
-    config.cmax = cmax;
-    config.delays = delays;
-    config.seed = seed;
-    return std::make_unique<System>(std::move(config));
-  };
-  auto make_graph = [&](stree::Graph graph) -> std::unique_ptr<SystemBase> {
-    GraphSystemConfig config;
-    config.graph = std::move(graph);
-    config.k = k;
-    config.l = l;
-    config.features = features;
-    config.cmax = cmax;
-    config.delays = delays;
-    config.seed = seed;
-    return std::make_unique<GraphSystem>(std::move(config));
-  };
-
-  switch (topology.kind) {
-    case Kind::kTreeLine: return make_tree(tree::line(topology.n));
-    case Kind::kTreeStar: return make_tree(tree::star(topology.n));
-    case Kind::kTreeBalanced:
-      return make_tree(tree::balanced(topology.a, topology.b));
-    case Kind::kTreeCaterpillar:
-      return make_tree(tree::caterpillar(topology.a, topology.b));
-    case Kind::kTreeRandom: {
-      support::Rng topo_rng(static_cast<std::uint64_t>(topology.a));
-      return make_tree(tree::random_tree(topology.n, topo_rng));
-    }
-    case Kind::kTreeFigure1: return make_tree(tree::figure1_tree());
-    case Kind::kRing: {
-      ring::RingConfig config;
-      config.n = topology.n;
-      config.k = k;
-      config.l = l;
-      config.features = features;
-      config.cmax = cmax;
-      config.delays = delays;
-      config.seed = seed;
-      return std::make_unique<ring::RingSystem>(config);
-    }
-    case Kind::kGraphGrid:
-      return make_graph(stree::grid(topology.a, topology.b));
-    case Kind::kGraphCycle:
-      return make_graph(stree::cycle_graph(topology.n));
-    case Kind::kGraphRandom: {
-      support::Rng topo_rng(static_cast<std::uint64_t>(topology.b));
-      return make_graph(
-          stree::random_connected(topology.n, topology.a, topo_rng));
-    }
-    case Kind::kGraphComplete:
-      return make_graph(stree::complete_graph(topology.n));
-  }
-  KLEX_CHECK(false, "unreachable topology kind");
+  return SystemBuilder()
+      .topology(topology)
+      .kl(k, l)
+      .features(features)
+      .cmax(cmax)
+      .delays(delays)
+      .seed(seed)
+      .build();
 }
 
 }  // namespace klex::exp

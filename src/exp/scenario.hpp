@@ -1,14 +1,16 @@
 // Declarative experiment scenarios.
 //
-// A ScenarioSpec names a family of runs: a grid of topologies × (k,ℓ)
-// pairs × seeds, one workload shape, and the measurement windows. The
-// ExperimentRunner expands the grid, builds one SystemBase per point
-// (tree, ring, or arbitrary graph -- the runtime unification is what
-// makes this a single code path) and executes the points in parallel.
+// A ScenarioSpec names a family of runs: a grid of topologies × ladder
+// rungs × (k,ℓ) pairs × seeds, one workload (base behavior + named
+// behavior classes), and the measurement windows. The ExperimentRunner
+// expands the grid, builds one SystemBase per point through
+// klex::SystemBuilder (tree, ring, or arbitrary graph -- the runtime
+// unification is what makes this a single code path) and executes the
+// points in parallel.
 //
-// TopologySpec is a value description, not a topology: the topology is
-// materialized per run so that every run owns its engine (one engine per
-// thread, as sim/engine.hpp promises).
+// klex::TopologySpec is a value description, not a topology: the
+// topology is materialized per run so that every run owns its engine
+// (one engine per thread, as sim/engine.hpp promises).
 #pragma once
 
 #include <cstdint>
@@ -17,86 +19,35 @@
 #include <utility>
 #include <vector>
 
+#include "api/builder.hpp"
 #include "api/system_base.hpp"
+#include "api/topology.hpp"
 #include "proto/app.hpp"
 #include "proto/workload.hpp"
 #include "sim/engine.hpp"
 
 namespace klex::exp {
 
-struct TopologySpec {
-  enum class Kind {
-    kTreeLine,
-    kTreeStar,
-    kTreeBalanced,     // a = arity, b = height
-    kTreeCaterpillar,  // a = spine length, b = legs per spine node
-    kTreeRandom,       // a = topology seed
-    kTreeFigure1,
-    kRing,
-    kGraphGrid,        // a = width, b = height
-    kGraphCycle,
-    kGraphRandom,      // a = extra edges, b = topology seed
-    kGraphComplete,
-  };
-
-  Kind kind = Kind::kTreeLine;
-  int n = 8;   // node count (derived for grid/balanced/caterpillar shapes)
-  int a = 0;
-  int b = 0;
-
-  static TopologySpec tree_line(int n) { return {Kind::kTreeLine, n, 0, 0}; }
-  static TopologySpec tree_star(int n) { return {Kind::kTreeStar, n, 0, 0}; }
-  static TopologySpec tree_balanced(int arity, int height) {
-    return {Kind::kTreeBalanced, 0, arity, height};
-  }
-  static TopologySpec tree_caterpillar(int spine, int legs) {
-    return {Kind::kTreeCaterpillar, 0, spine, legs};
-  }
-  static TopologySpec tree_random(int n, int topo_seed) {
-    return {Kind::kTreeRandom, n, topo_seed, 0};
-  }
-  static TopologySpec tree_figure1() { return {Kind::kTreeFigure1, 8, 0, 0}; }
-  static TopologySpec ring(int n) { return {Kind::kRing, n, 0, 0}; }
-  static TopologySpec graph_grid(int w, int h) {
-    return {Kind::kGraphGrid, 0, w, h};
-  }
-  static TopologySpec graph_cycle(int n) {
-    return {Kind::kGraphCycle, n, 0, 0};
-  }
-  static TopologySpec graph_random(int n, int extra_edges, int topo_seed) {
-    return {Kind::kGraphRandom, n, extra_edges, topo_seed};
-  }
-  static TopologySpec graph_complete(int n) {
-    return {Kind::kGraphComplete, n, 0, 0};
-  }
-
-  /// Human/JSON-facing name, e.g. "tree:line(n=16)" or "graph:grid(4x4)".
-  std::string name() const;
-
-  /// Node count of the materialized topology.
-  int node_count() const;
-};
-
-/// Uniform closed-loop workload shape shared by every node of a run.
-struct WorkloadShape {
-  proto::Dist think = proto::Dist::exponential(64);
-  proto::Dist cs_duration = proto::Dist::exponential(32);
-  proto::Dist need = proto::Dist::fixed(1);  // clamped to 1..k per run
-};
+using TopologySpec = klex::TopologySpec;
 
 struct ScenarioSpec {
   /// Scenario id; the JSON artifact is written to BENCH_<name>.json.
   std::string name;
 
   std::vector<TopologySpec> topologies;
-  /// (k, ℓ) grid; every pair runs on every topology.
+  /// Ladder rungs; every rung runs on every topology (the Figure 2
+  /// deadlock artifact contrasts naive vs pusher vs full this way).
+  std::vector<proto::Features> features = {proto::Features::full()};
+  /// (k, ℓ) grid; every pair runs on every (topology, rung).
   std::vector<std::pair<int, int>> kl = {{1, 1}};
 
-  proto::Features features = proto::Features::full();
   int cmax = 4;
   sim::DelayModel delays{};
 
-  WorkloadShape workload{};
+  /// Base behavior + named behavior classes (hold-forever sets, inactive
+  /// relays, bounded budgets); materialized per run, deterministically
+  /// from the run seed. An empty class list is the uniform workload.
+  proto::WorkloadSpec workload{};
   /// Extra settle time after stabilization before measuring.
   sim::SimTime warmup = 50'000;
   /// Measurement window length (simulated ticks).
@@ -104,18 +55,8 @@ struct ScenarioSpec {
   /// Deadline for the initial stabilization phase.
   sim::SimTime stabilize_deadline = 10'000'000;
 
-  /// Post-measurement fault phase.
-  ///   kTransient   -- the paper's transient fault: every process variable
-  ///                   randomized in-domain, channels wiped then preloaded
-  ///                   with up to CMAX garbage messages each. Recovery is
-  ///                   protocol-dominated (surplus tokens must drain
-  ///                   through a reset).
-  ///   kChannelWipe -- pure deficit fault: all in-flight messages lost,
-  ///                   process state intact. Recovery is detection-
-  ///                   dominated (idle wait for the root timeout, one
-  ///                   circulation, a mint) -- the stabilization-detection
-  ///                   scaling bench measures this one.
-  enum class FaultKind { kNone, kTransient, kChannelWipe };
+  /// Post-measurement fault phase (see klex::FaultKind).
+  using FaultKind = klex::FaultKind;
   FaultKind fault = FaultKind::kNone;
   sim::SimTime recovery_deadline = 40'000'000;
 
@@ -124,9 +65,7 @@ struct ScenarioSpec {
   std::uint64_t base_seed = 1;
 };
 
-/// Materializes one grid point as a runnable system. This is the payoff
-/// of the SystemBase unification: trees, rings and arbitrary graphs come
-/// back behind one pointer.
+/// Materializes one grid point as a runnable system, via SystemBuilder.
 std::unique_ptr<SystemBase> make_system(const TopologySpec& topology, int k,
                                         int l,
                                         const proto::Features& features,

@@ -27,8 +27,12 @@ TokenCensus take_census(
   return census;
 }
 
-CensusTracker::CensusTracker(const sim::Engine* engine, int l)
-    : engine_(engine), l_(l) {
+CensusTracker::CensusTracker(const sim::Engine* engine, int l,
+                             Features features)
+    : engine_(engine),
+      l_(l),
+      expected_pusher_(features.pusher ? 1 : 0),
+      expected_priority_(features.priority ? 1 : 0) {
   KLEX_REQUIRE(engine_ != nullptr, "tracker needs an engine");
   KLEX_REQUIRE(l_ >= 1, "need l >= 1");
 }

@@ -41,8 +41,14 @@ struct TokenCensus {
 
   /// True when the network carries exactly the legitimate token
   /// population: ℓ resource tokens, one pusher, one priority token.
-  bool correct(int l) const {
-    return resource() == l && pusher == 1 && priority() == 1;
+  bool correct(int l) const { return correct(l, Features::full()); }
+
+  /// Rung-aware legitimacy: reduced ladder rungs legitimately carry no
+  /// pusher and/or no priority token, so their expected population is
+  /// ℓ resource tokens plus one of each *enabled* auxiliary token.
+  bool correct(int l, const Features& features) const {
+    return resource() == l && pusher == (features.pusher ? 1 : 0) &&
+           priority() == (features.priority ? 1 : 0);
   }
 };
 
@@ -56,10 +62,13 @@ TokenCensus take_census(
 class CensusTracker final : public ParticipantDeltaSink {
  public:
   /// `engine` must outlive the tracker. `l` is the legitimate resource
-  /// population. The aggregate starts at zero, matching participants that
-  /// attach in their pristine state (empty RSet, Prio = ⊥); use resync()
-  /// when attaching to a system that already holds tokens.
-  CensusTracker(const sim::Engine* engine, int l);
+  /// population; `features` names the ladder rung, which determines the
+  /// expected pusher / priority population (reduced rungs carry none).
+  /// The aggregate starts at zero, matching participants that attach in
+  /// their pristine state (empty RSet, Prio = ⊥); use resync() when
+  /// attaching to a system that already holds tokens.
+  CensusTracker(const sim::Engine* engine, int l,
+                Features features = Features::full());
 
   // -- ParticipantDeltaSink ---------------------------------------------------
   void on_reserved_delta(int delta) override { reserved_resource_ += delta; }
@@ -73,17 +82,19 @@ class CensusTracker final : public ParticipantDeltaSink {
   /// counters and the integrated deltas.
   TokenCensus counts() const;
 
-  /// The legitimacy predicate (ℓ resource tokens, one pusher, one
-  /// priority token) as a handful of integer compares -- no walk.
+  /// The legitimacy predicate (ℓ resource tokens, one pusher and one
+  /// priority token where the rung circulates them) as a handful of
+  /// integer compares -- no walk.
   bool correct() const {
     return static_cast<int>(engine_->in_flight_of_type(
                static_cast<std::int32_t>(TokenType::kResource))) +
                    reserved_resource_ == l_ &&
-           engine_->in_flight_of_type(
-               static_cast<std::int32_t>(TokenType::kPusher)) == 1 &&
+           static_cast<int>(engine_->in_flight_of_type(
+               static_cast<std::int32_t>(TokenType::kPusher))) ==
+               expected_pusher_ &&
            static_cast<int>(engine_->in_flight_of_type(
                static_cast<std::int32_t>(TokenType::kPriority))) +
-                   held_priority_ == 1;
+                   held_priority_ == expected_priority_;
   }
 
   int l() const { return l_; }
@@ -91,6 +102,8 @@ class CensusTracker final : public ParticipantDeltaSink {
  private:
   const sim::Engine* engine_;
   int l_;
+  int expected_pusher_ = 1;
+  int expected_priority_ = 1;
   int reserved_resource_ = 0;
   int held_priority_ = 0;
 };

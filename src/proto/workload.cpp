@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "support/check.hpp"
 
@@ -32,130 +33,108 @@ std::vector<NodeBehavior> uniform_behaviors(int n,
   return std::vector<NodeBehavior>(static_cast<std::size_t>(n), proto);
 }
 
-WorkloadDriver::WorkloadDriver(sim::Engine& engine, RequestPort& port, int k,
-                               std::vector<NodeBehavior> behaviors,
-                               support::Rng rng)
-    : engine_(engine), port_(port), k_(k), rng_(rng) {
-  KLEX_REQUIRE(k_ >= 1, "k must be >= 1");
-  nodes_.reserve(behaviors.size());
-  for (auto& behavior : behaviors) {
-    NodeState state;
-    state.behavior = behavior;
-    nodes_.push_back(state);
-  }
+BehaviorClass BehaviorClass::holders(std::string name, int count, int units) {
+  BehaviorClass cls;
+  cls.name = std::move(name);
+  cls.count = count;
+  cls.behavior.hold_forever = true;
+  cls.behavior.need = Dist::fixed(units);
+  // No request budget: hold_forever already ends the loop at the first
+  // grant, and an unlimited budget lets the set I re-acquire (and camp
+  // again) after a transient fault revokes its leases.
+  return cls;
 }
 
-void WorkloadDriver::begin() {
-  for (NodeId node = 0; node < static_cast<NodeId>(nodes_.size()); ++node) {
-    if (nodes_[static_cast<std::size_t>(node)].behavior.active) {
-      schedule_request(node);
+BehaviorClass BehaviorClass::relays(std::string name, double fraction) {
+  BehaviorClass cls;
+  cls.name = std::move(name);
+  cls.fraction = fraction;
+  cls.behavior.active = false;
+  return cls;
+}
+
+BehaviorClass BehaviorClass::budgeted(std::string name, int count, int units,
+                                      std::int64_t budget) {
+  BehaviorClass cls;
+  cls.name = std::move(name);
+  cls.count = count;
+  cls.behavior.need = Dist::fixed(units);
+  cls.behavior.max_requests = budget;
+  return cls;
+}
+
+int BehaviorClass::size_for(int n) const {
+  if (!nodes.empty()) return static_cast<int>(nodes.size());
+  if (count >= 0) return std::min(count, n);
+  int share = static_cast<int>(std::llround(fraction * n));
+  return std::clamp(share, 0, n);
+}
+
+WorkloadSpec::WorkloadSpec() {
+  base.think = Dist::exponential(64);
+  base.cs_duration = Dist::exponential(32);
+  base.need = Dist::fixed(1);
+}
+
+MaterializedWorkload materialize(const WorkloadSpec& spec, int n,
+                                 support::Rng& rng) {
+  KLEX_REQUIRE(n >= 0, "negative node count");
+  MaterializedWorkload out;
+  out.behaviors.assign(static_cast<std::size_t>(n), spec.base);
+  out.class_index.assign(static_cast<std::size_t>(n), -1);
+
+  auto assign = [&](NodeId node, int cls) {
+    KLEX_REQUIRE(node >= 0 && node < n, "class node ", node,
+                 " outside 0..n-1");
+    KLEX_REQUIRE(out.class_index[static_cast<std::size_t>(node)] == -1,
+                 "node ", node, " assigned to two behavior classes");
+    out.class_index[static_cast<std::size_t>(node)] = cls;
+    out.behaviors[static_cast<std::size_t>(node)] =
+        spec.classes[static_cast<std::size_t>(cls)].behavior;
+  };
+
+  // Explicit members first: paper reconstructions pin exact nodes.
+  bool needs_draw = false;
+  for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+    const BehaviorClass& cls = spec.classes[c];
+    if (cls.nodes.empty()) {
+      needs_draw = cls.size_for(n) > 0 || needs_draw;
+      continue;
+    }
+    for (NodeId node : cls.nodes) assign(node, static_cast<int>(c));
+  }
+  if (!needs_draw) return out;
+
+  // Count/fraction classes claim nodes from one deterministic shuffle of
+  // the remainder, in listed order.
+  std::vector<NodeId> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (NodeId node = 0; node < n; ++node) {
+    if (out.class_index[static_cast<std::size_t>(node)] == -1) {
+      pool.push_back(node);
     }
   }
-}
-
-void WorkloadDriver::schedule_request(NodeId node) {
-  NodeState& state = nodes_[static_cast<std::size_t>(node)];
-  if (state.cycle_scheduled || state.waiting_grant) return;
-  if (state.behavior.max_requests >= 0 &&
-      state.issued >= state.behavior.max_requests) {
-    return;
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(pool[i - 1], pool[j]);
   }
-  state.cycle_scheduled = true;
-  sim::SimTime delay = state.behavior.think.sample(rng_);
-  engine_.schedule(delay, [this, node] { issue_request(node); });
-}
-
-void WorkloadDriver::issue_request(NodeId node) {
-  NodeState& state = nodes_[static_cast<std::size_t>(node)];
-  state.cycle_scheduled = false;
-  if (port_.state_of(node) != AppState::kOut) {
-    // The protocol is busy with a (possibly corruption-induced) request;
-    // try again after another think time.
-    schedule_request(node);
-    return;
-  }
-  int need = static_cast<int>(state.behavior.need.sample(rng_));
-  need = std::clamp(need, 1, k_);
-  state.waiting_grant = true;
-  ++state.issued;
-  port_.request(node, need);
-}
-
-void WorkloadDriver::schedule_release(NodeId node) {
-  NodeState& state = nodes_[static_cast<std::size_t>(node)];
-  if (state.release_scheduled) return;
-  if (state.behavior.hold_forever) return;  // the set I never releases
-  state.release_scheduled = true;
-  sim::SimTime duration = state.behavior.cs_duration.sample(rng_);
-  engine_.schedule(duration, [this, node] {
-    NodeState& inner = nodes_[static_cast<std::size_t>(node)];
-    inner.release_scheduled = false;
-    if (port_.state_of(node) == AppState::kIn) {
-      port_.release(node);
-    }
-  });
-}
-
-void WorkloadDriver::on_enter_cs(NodeId node, int /*need*/,
-                                 sim::SimTime /*at*/) {
-  NodeState& state = nodes_[static_cast<std::size_t>(node)];
-  if (state.waiting_grant) {
-    state.waiting_grant = false;
-    ++state.granted;
-  }
-  // Spurious entries (corrupted State=Req) are released like normal ones so
-  // the system cannot wedge on a phantom critical section.
-  schedule_release(node);
-}
-
-void WorkloadDriver::on_exit_cs(NodeId node, sim::SimTime /*at*/) {
-  NodeState& state = nodes_[static_cast<std::size_t>(node)];
-  if (state.behavior.active) {
-    schedule_request(node);
-  }
-  (void)state;
-}
-
-void WorkloadDriver::resync() {
-  for (NodeId node = 0; node < static_cast<NodeId>(nodes_.size()); ++node) {
-    NodeState& state = nodes_[static_cast<std::size_t>(node)];
-    AppState app = port_.state_of(node);
-    if (app == AppState::kIn && !state.release_scheduled) {
-      schedule_release(node);
-    }
-    if (app == AppState::kOut) {
-      state.waiting_grant = false;
-      if (state.behavior.active) schedule_request(node);
+  std::size_t next = 0;
+  for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+    const BehaviorClass& cls = spec.classes[c];
+    if (!cls.nodes.empty()) continue;
+    int want = cls.size_for(n);
+    // Oversubscription is a spec error, not a quiet truncation: a class
+    // that reports fewer members than declared would silently skew every
+    // per-class result slice.
+    KLEX_REQUIRE(static_cast<std::size_t>(want) <= pool.size() - next,
+                 "behavior classes oversubscribe the ", n, " nodes: class '",
+                 cls.name, "' wants ", want, " but only ", pool.size() - next,
+                 " remain unassigned");
+    for (int taken = 0; taken < want; ++taken) {
+      assign(pool[next++], static_cast<int>(c));
     }
   }
-}
-
-std::int64_t WorkloadDriver::requests_issued(NodeId node) const {
-  return nodes_[static_cast<std::size_t>(node)].issued;
-}
-
-std::int64_t WorkloadDriver::grants(NodeId node) const {
-  return nodes_[static_cast<std::size_t>(node)].granted;
-}
-
-std::int64_t WorkloadDriver::total_requests() const {
-  std::int64_t total = 0;
-  for (const NodeState& state : nodes_) total += state.issued;
-  return total;
-}
-
-std::int64_t WorkloadDriver::total_grants() const {
-  std::int64_t total = 0;
-  for (const NodeState& state : nodes_) total += state.granted;
-  return total;
-}
-
-int WorkloadDriver::outstanding() const {
-  int count = 0;
-  for (const NodeState& state : nodes_) {
-    if (state.waiting_grant) ++count;
-  }
-  return count;
+  return out;
 }
 
 }  // namespace klex::proto

@@ -1,24 +1,33 @@
-// Workload generation: the "application" side of the paper's interface.
+// Workload description: the "application" side of the paper's interface.
 //
 // The paper's application issues requests (Out→Req with a Need in 1..k),
-// runs its critical section for a finite but unbounded time, and releases.
-// WorkloadDriver models that as a closed loop per process:
+// runs its critical section for a finite but unbounded time, and
+// releases. This header holds the *description* half of that loop:
 //
-//   think ~ D_think  →  request(need ~ D_need)  →  [wait for grant]
-//        →  critical section ~ D_cs  →  release  →  think ...
+//   * Dist           -- integer-valued distributions for times and needs;
+//   * NodeBehavior   -- one node's closed-loop parameters;
+//   * BehaviorClass  -- a named group of nodes sharing a behavior
+//                       (explicit members, a count, or a fraction of n);
+//   * WorkloadSpec   -- base behavior + classes, materialized into
+//                       per-node behaviors deterministically per seed;
+//   * RequestPort    -- the protocol-side SPI a harness exposes.
 //
 // Per-node behaviors cover the paper's experimental scenarios:
 //   * inactive nodes (never request) -- non-requesters that just relay;
 //   * hold_forever nodes -- the set I of the (k,ℓ)-liveness definition,
 //     which enter the CS once and never leave;
 //   * bounded request budgets -- one-shot scenarios such as Figure 2.
+//
+// The execution half -- klex::Client / klex::Lease sessions and the
+// closed-loop klex::WorkloadDriver -- lives in src/api/ on top of the
+// RequestPort SPI.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "proto/app.hpp"
-#include "sim/engine.hpp"
 #include "support/rng.hpp"
 
 namespace klex::proto {
@@ -56,62 +65,68 @@ struct NodeBehavior {
 /// Uniform behavior helpers.
 std::vector<NodeBehavior> uniform_behaviors(int n, const NodeBehavior& proto);
 
-/// The surface a protocol harness exposes to the workload.
+/// A named group of nodes sharing one behavior. Membership is given (in
+/// priority order) by an explicit node list, an explicit count, or a
+/// fraction of n; count/fraction members are drawn deterministically from
+/// the not-yet-assigned nodes by the materialization rng.
+struct BehaviorClass {
+  std::string name = "class";
+  std::vector<NodeId> nodes;  // explicit members (wins over count/fraction)
+  int count = -1;             // explicit size (wins over fraction)
+  double fraction = 0.0;      // rounded share of n
+  NodeBehavior behavior;
+
+  /// The (k,ℓ)-liveness set I: members reserve `units` once and camp in
+  /// their critical section forever.
+  static BehaviorClass holders(std::string name, int count, int units);
+  /// Pure relays: never request, only forward tokens.
+  static BehaviorClass relays(std::string name, double fraction);
+  /// One-shot / budgeted requesters (Figure 2 style).
+  static BehaviorClass budgeted(std::string name, int count, int units,
+                                std::int64_t budget);
+
+  /// Resolved member count for a system of n nodes.
+  int size_for(int n) const;
+};
+
+/// A full heterogeneous workload: the base behavior every unassigned node
+/// runs, plus any number of named classes.
+struct WorkloadSpec {
+  WorkloadSpec();  // base defaults: think exp(64), cs exp(32), need 1
+
+  NodeBehavior base;
+  std::vector<BehaviorClass> classes;
+};
+
+/// Per-node behaviors plus the class each node landed in (-1 = base).
+struct MaterializedWorkload {
+  std::vector<NodeBehavior> behaviors;
+  std::vector<int> class_index;
+};
+
+/// Expands `spec` over n nodes. Explicit node lists are honored first;
+/// count/fraction classes then claim nodes from a deterministic shuffle
+/// of the remainder (one rng stream, so assignment is reproducible per
+/// seed and independent of class order only up to the listed priority).
+MaterializedWorkload materialize(const WorkloadSpec& spec, int n,
+                                 support::Rng& rng);
+
+/// The surface a protocol harness exposes to the application layer.
+/// This is the internal SPI: it transcribes the paper's interface
+/// verbatim and performs no bookkeeping of its own. Application code
+/// should prefer the session objects (klex::Client / klex::Lease) built
+/// on top, which make the usage discipline explicit.
 class RequestPort {
  public:
   virtual ~RequestPort() = default;
   virtual void request(NodeId node, int need) = 0;
   virtual void release(NodeId node) = 0;
   virtual AppState state_of(NodeId node) const = 0;
-};
-
-/// Closed-loop workload driver. Register it as a protocol Listener and
-/// call begin() after the engine is wired.
-class WorkloadDriver : public Listener {
- public:
-  WorkloadDriver(sim::Engine& engine, RequestPort& port, int k,
-                 std::vector<NodeBehavior> behaviors, support::Rng rng);
-
-  /// Schedules the initial think time of every active node.
-  void begin();
-
-  /// After transient-fault injection the driver's bookkeeping may disagree
-  /// with the (corrupted) protocol state; resync() re-establishes the
-  /// closed loop: schedules a release for nodes stuck In, and a fresh
-  /// request cycle for idle active nodes.
-  void resync();
-
-  // Listener:
-  void on_enter_cs(NodeId node, int need, sim::SimTime at) override;
-  void on_exit_cs(NodeId node, sim::SimTime at) override;
-
-  std::int64_t requests_issued(NodeId node) const;
-  std::int64_t grants(NodeId node) const;
-  std::int64_t total_requests() const;
-  std::int64_t total_grants() const;
-
-  /// Nodes with a request issued but not yet granted.
-  int outstanding() const;
-
- private:
-  struct NodeState {
-    NodeBehavior behavior;
-    std::int64_t issued = 0;
-    std::int64_t granted = 0;
-    bool waiting_grant = false;    // request() done, grant pending
-    bool release_scheduled = false;
-    bool cycle_scheduled = false;  // a think/request callback is pending
-  };
-
-  void schedule_request(NodeId node);
-  void issue_request(NodeId node);
-  void schedule_release(NodeId node);
-
-  sim::Engine& engine_;
-  RequestPort& port_;
-  int k_;
-  std::vector<NodeState> nodes_;
-  support::Rng rng_;
+  /// Units currently requested/held by `node` (0 when unknown).
+  virtual int need_of(NodeId node) const {
+    (void)node;
+    return 0;
+  }
 };
 
 }  // namespace klex::proto

@@ -1,0 +1,119 @@
+// Regression coverage for the silent-misuse bug: a raw
+// SystemBase::request on a node already waiting (or release on a node in
+// state Out) used to escape as a low-level participant exception -- or,
+// raced through a workload driver, desync its bookkeeping. Both axes now
+// route through MisusePolicy at the harness boundary.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/builder.hpp"
+#include "api/workload_driver.hpp"
+
+namespace klex {
+namespace {
+
+std::unique_ptr<SystemBase> small_system(MisusePolicy policy) {
+  auto system = SystemBuilder()
+                    .topology(TopologySpec::tree_balanced(2, 2))  // n = 7
+                    .kl(2, 3)
+                    .seed(77)
+                    .misuse_policy(policy)
+                    .build();
+  EXPECT_NE(system->run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  return system;
+}
+
+TEST(MisusePolicy, RequestWhileWaitingThrowsUnderCheck) {
+  auto system = small_system(MisusePolicy::kCheck);
+  system->request(3, 2);  // Out -> Req, grant still in flight
+  ASSERT_EQ(system->state_of(3), proto::AppState::kReq);
+  EXPECT_THROW(system->request(3, 1), std::invalid_argument);
+}
+
+TEST(MisusePolicy, RequestWhileWaitingIsDroppedUnderIgnore) {
+  auto system = small_system(MisusePolicy::kIgnore);
+  system->request(3, 2);
+  ASSERT_EQ(system->state_of(3), proto::AppState::kReq);
+  system->request(3, 1);  // dropped, not corrupting Need mid-flight
+  EXPECT_EQ(system->need_of(3), 2);
+  // The original request is still served.
+  system->run_until(system->engine().now() + 500'000);
+  EXPECT_EQ(system->state_of(3), proto::AppState::kIn);
+  EXPECT_EQ(system->need_of(3), 2);
+}
+
+TEST(MisusePolicy, ReleaseOnOutNode) {
+  auto check = small_system(MisusePolicy::kCheck);
+  EXPECT_THROW(check->release(2), std::invalid_argument);
+  auto ignore = small_system(MisusePolicy::kIgnore);
+  ignore->release(2);  // dropped
+  EXPECT_EQ(ignore->state_of(2), proto::AppState::kOut);
+  EXPECT_TRUE(ignore->token_counts_correct());
+}
+
+TEST(MisusePolicy, NeedOutOfRangeClampsOrThrows) {
+  auto check = small_system(MisusePolicy::kCheck);
+  EXPECT_THROW(check->request(3, 9), std::invalid_argument);
+  auto clamp = small_system(MisusePolicy::kClamp);
+  clamp->request(3, 9);  // k = 2
+  EXPECT_EQ(clamp->need_of(3), 2);
+}
+
+TEST(MisusePolicy, RawMisuseCannotDesyncDriverBookkeeping) {
+  // The historical bug scenario: a driver runs the closed loop while raw
+  // request/release calls race it. Under kIgnore the misuse is dropped at
+  // the harness boundary and the driver's sessions stay consistent.
+  auto system = small_system(MisusePolicy::kIgnore);
+  proto::NodeBehavior behavior;
+  behavior.think = proto::Dist::fixed(40);
+  behavior.cs_duration = proto::Dist::fixed(20);
+  WorkloadDriver driver(system->engine(), system->clients(),
+                        proto::uniform_behaviors(system->n(), behavior),
+                        support::Rng(78));
+  driver.begin();
+  support::Rng chaos(79);
+  for (int round = 0; round < 200; ++round) {
+    system->run_until(system->engine().now() + 100);
+    // Fire raw misuse at a random node: request whatever its state,
+    // release whatever its state.
+    auto node = static_cast<proto::NodeId>(chaos.next_below(
+        static_cast<std::uint64_t>(system->n())));
+    system->request(node, 1);
+    node = static_cast<proto::NodeId>(chaos.next_below(
+        static_cast<std::uint64_t>(system->n())));
+    system->release(node);
+  }
+  system->run_until(system->engine().now() + 500'000);
+  // The loop is still making progress and the census is intact.
+  std::int64_t before = driver.total_grants();
+  system->run_until(system->engine().now() + 500'000);
+  EXPECT_GT(driver.total_grants(), before);
+  EXPECT_TRUE(system->token_counts_correct());
+  // Session bookkeeping agrees with the protocol for every node.
+  for (proto::NodeId v = 0; v < system->n(); ++v) {
+    const Client& client = system->clients().at(v);
+    if (client.holding()) {
+      EXPECT_EQ(system->state_of(v), proto::AppState::kIn) << "node " << v;
+    }
+    if (client.waiting()) {
+      EXPECT_NE(system->state_of(v), proto::AppState::kOut) << "node " << v;
+    }
+  }
+}
+
+TEST(MisusePolicy, BuilderAppliesPolicyToPoolAndPort) {
+  auto system = SystemBuilder()
+                    .topology(TopologySpec::tree_line(4))
+                    .kl(1, 2)
+                    .seed(80)
+                    .misuse_policy(MisusePolicy::kClamp)
+                    .build();
+  EXPECT_EQ(system->misuse_policy(), MisusePolicy::kClamp);
+  EXPECT_EQ(system->clients().policy(), MisusePolicy::kClamp);
+  system->set_misuse_policy(MisusePolicy::kCheck);
+  EXPECT_EQ(system->clients().at(1).policy(), MisusePolicy::kCheck);
+}
+
+}  // namespace
+}  // namespace klex

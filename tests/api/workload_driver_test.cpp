@@ -1,0 +1,242 @@
+// WorkloadDriver over Client/Lease sessions, driven by a scripted
+// RequestPort: closed-loop reissue, budgets, hold-forever, inactive
+// relays, and resync() reconciliation.
+#include "api/workload_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace klex {
+namespace {
+
+using proto::AppState;
+using proto::Dist;
+using proto::NodeBehavior;
+using proto::NodeId;
+
+/// RequestPort that grants instantly (or on demand) without a protocol.
+class FakePort : public proto::RequestPort {
+ public:
+  explicit FakePort(int n)
+      : states(static_cast<std::size_t>(n), AppState::kOut),
+        needs(static_cast<std::size_t>(n), 0) {}
+
+  void request(NodeId node, int need) override {
+    states[static_cast<std::size_t>(node)] = AppState::kReq;
+    needs[static_cast<std::size_t>(node)] = need;
+    last_need = need;
+    ++requests;
+  }
+
+  void release(NodeId node) override {
+    states[static_cast<std::size_t>(node)] = AppState::kOut;
+    ++releases;
+  }
+
+  AppState state_of(NodeId node) const override {
+    return states[static_cast<std::size_t>(node)];
+  }
+
+  int need_of(NodeId node) const override {
+    return needs[static_cast<std::size_t>(node)];
+  }
+
+  /// Simulates the protocol granting node's request.
+  void grant(NodeId node, ClientPool& pool, sim::SimTime at) {
+    states[static_cast<std::size_t>(node)] = AppState::kIn;
+    pool.on_enter_cs(node, needs[static_cast<std::size_t>(node)], at);
+  }
+
+  std::vector<AppState> states;
+  std::vector<int> needs;
+  int last_need = 0;
+  int requests = 0;
+  int releases = 0;
+};
+
+struct Harness {
+  Harness(int n, int k, std::vector<NodeBehavior> behaviors,
+          std::uint64_t seed)
+      : port(n),
+        pool(port, n, k, MisusePolicy::kClamp),
+        driver(engine, pool, std::move(behaviors), support::Rng(seed)) {}
+
+  sim::Engine engine;
+  FakePort port;
+  ClientPool pool;
+  WorkloadDriver driver;
+};
+
+TEST(WorkloadDriver, ClosedLoopIssuesAndReissues) {
+  NodeBehavior behavior;
+  behavior.think = Dist::fixed(10);
+  behavior.cs_duration = Dist::fixed(5);
+  Harness h(2, 1, proto::uniform_behaviors(2, behavior), 7);
+  h.driver.begin();
+  h.engine.run_until(10);
+  EXPECT_EQ(h.port.requests, 2);
+  EXPECT_EQ(h.driver.outstanding(), 2);
+
+  // Grant node 0; the driver's lease releases after cs_duration.
+  h.port.grant(0, h.pool, h.engine.now());
+  EXPECT_EQ(h.driver.outstanding(), 1);
+  EXPECT_EQ(h.driver.grants(0), 1);
+  EXPECT_TRUE(h.driver.holding(0));
+  h.engine.run_until(h.engine.now() + 5);
+  EXPECT_EQ(h.port.releases, 1);
+  EXPECT_FALSE(h.driver.holding(0));
+  // After release + think the driver must re-request.
+  h.engine.run_until(h.engine.now() + 10);
+  EXPECT_EQ(h.driver.requests_issued(0), 2);
+}
+
+TEST(WorkloadDriver, MaxRequestsStopsCycle) {
+  NodeBehavior behavior;
+  behavior.think = Dist::fixed(1);
+  behavior.cs_duration = Dist::fixed(1);
+  behavior.max_requests = 3;
+  Harness h(1, 1, {behavior}, 8);
+  h.driver.begin();
+  for (int round = 0; round < 10; ++round) {
+    h.engine.run_until(h.engine.now() + 2);
+    if (h.port.state_of(0) == AppState::kReq) {
+      h.port.grant(0, h.pool, h.engine.now());
+      h.engine.run_until(h.engine.now() + 2);
+    }
+  }
+  EXPECT_EQ(h.driver.requests_issued(0), 3);
+}
+
+TEST(WorkloadDriver, InactiveNodesNeverRequest) {
+  NodeBehavior active;
+  NodeBehavior inactive;
+  inactive.active = false;
+  Harness h(2, 1, {active, inactive}, 9);
+  h.driver.begin();
+  h.engine.run_until(1000);
+  EXPECT_EQ(h.driver.requests_issued(0), 1);
+  EXPECT_EQ(h.driver.requests_issued(1), 0);
+}
+
+TEST(WorkloadDriver, HoldForeverKeepsTheLease) {
+  NodeBehavior behavior;
+  behavior.hold_forever = true;
+  behavior.think = Dist::fixed(1);
+  Harness h(1, 1, {behavior}, 10);
+  h.driver.begin();
+  h.engine.run_until(5);
+  h.port.grant(0, h.pool, h.engine.now());
+  h.engine.run_until(h.engine.now() + 10000);
+  EXPECT_EQ(h.port.releases, 0);
+  EXPECT_TRUE(h.driver.holding(0));
+}
+
+TEST(WorkloadDriver, NeedClampedToK) {
+  NodeBehavior behavior;
+  behavior.think = Dist::fixed(1);
+  behavior.need = Dist::fixed(99);
+  Harness h(1, 3, {behavior}, 11);
+  h.driver.begin();
+  h.engine.run_until(5);
+  EXPECT_EQ(h.port.last_need, 3);
+}
+
+TEST(WorkloadDriver, AdoptsSpuriousEntryAndReleasesIt) {
+  // A corrupted State=Req served by the protocol: the driver never asked,
+  // but must release it so the system cannot wedge on a phantom CS.
+  NodeBehavior behavior;
+  behavior.active = false;  // not even a requester
+  behavior.cs_duration = Dist::fixed(7);
+  Harness h(1, 1, {behavior}, 12);
+  h.driver.begin();
+  h.port.request(0, 1);  // raw-port request behind the driver's back
+  h.port.grant(0, h.pool, h.engine.now());
+  h.engine.run_until(20);
+  EXPECT_EQ(h.port.releases, 1);
+  EXPECT_EQ(h.driver.grants(0), 0);  // adopted, not counted as a grant
+}
+
+TEST(WorkloadDriver, ResyncSchedulesReleaseForStuckIn) {
+  NodeBehavior behavior;
+  behavior.cs_duration = Dist::fixed(7);
+  Harness h(1, 1, {behavior}, 12);
+  // Simulate corruption: node is In but the driver never saw an entry.
+  h.port.states[0] = AppState::kIn;
+  h.driver.resync();
+  h.engine.run_until(20);
+  EXPECT_EQ(h.port.releases, 1);
+}
+
+TEST(WorkloadDriver, ResyncRestartsIdleActiveNodes) {
+  NodeBehavior behavior;
+  behavior.think = Dist::fixed(3);
+  Harness h(1, 1, {behavior}, 13);
+  // No begin(): resync alone must start the loop for an Out node.
+  h.driver.resync();
+  h.engine.run_until(10);
+  EXPECT_EQ(h.driver.requests_issued(0), 1);
+}
+
+TEST(WorkloadDriver, ResyncUnderHeterogeneousBehaviors) {
+  // One holder camping, one relay, one active node waiting, one active
+  // node mid-CS. A transient fault scrambles the protocol state; resync
+  // must revoke what vanished, adopt what appeared, and keep the closed
+  // loop running for exactly the active nodes.
+  NodeBehavior holder;
+  holder.hold_forever = true;
+  holder.think = Dist::fixed(1);
+  holder.max_requests = 1;
+  NodeBehavior relay;
+  relay.active = false;
+  NodeBehavior active;
+  active.think = Dist::fixed(4);
+  active.cs_duration = Dist::fixed(6);
+  Harness h(4, 2, {holder, relay, active, active}, 14);
+  h.driver.begin();
+  h.engine.run_until(2);
+  h.port.grant(0, h.pool, h.engine.now());  // holder camps
+  h.engine.run_until(5);                    // nodes 2,3 request
+  h.port.grant(2, h.pool, h.engine.now());  // node 2 enters its CS
+  ASSERT_TRUE(h.driver.holding(0));
+  ASSERT_TRUE(h.driver.holding(2));
+  ASSERT_EQ(h.port.state_of(3), AppState::kReq);
+
+  // "Fault": the holder's units vanish, node 2 stays In, node 3's request
+  // evaporates, and the relay wakes up inside a phantom CS.
+  h.port.states[0] = AppState::kOut;
+  h.port.states[1] = AppState::kIn;
+  h.port.needs[1] = 1;
+  h.port.states[3] = AppState::kOut;
+  h.driver.resync();
+
+  EXPECT_FALSE(h.driver.holding(0));  // revoked
+  EXPECT_TRUE(h.driver.holding(1));   // phantom adopted
+  EXPECT_TRUE(h.driver.holding(2));   // intact
+  // Run past the phantom's cs_duration (default 32) and a few cycles.
+  h.engine.run_until(h.engine.now() + 40);
+  // The phantom CS was released, and the relay did not join the loop.
+  EXPECT_EQ(h.port.state_of(1), AppState::kOut);
+  EXPECT_FALSE(h.driver.holding(1));
+  EXPECT_EQ(h.driver.requests_issued(1), 0);
+  // The holder (budget spent) stays out; nodes 2 and 3 keep cycling.
+  EXPECT_EQ(h.driver.requests_issued(0), 1);
+  EXPECT_GE(h.driver.requests_issued(2), 2);
+  EXPECT_GE(h.driver.requests_issued(3), 2);
+}
+
+TEST(WorkloadDriver, TotalsAggregate) {
+  NodeBehavior behavior;
+  behavior.think = Dist::fixed(1);
+  Harness h(3, 1, proto::uniform_behaviors(3, behavior), 14);
+  h.driver.begin();
+  h.engine.run_until(5);
+  EXPECT_EQ(h.driver.total_requests(), 3);
+  h.port.grant(1, h.pool, h.engine.now());
+  EXPECT_EQ(h.driver.total_grants(), 1);
+}
+
+}  // namespace
+}  // namespace klex

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "api/system.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 
 namespace klex {
@@ -39,9 +40,9 @@ TEST(KlLiveness, RequestersProceedDespiteForeverHolders) {
     b.cs_duration = proto::Dist::fixed(64);
     b.need = proto::Dist::fixed(2);
   }
-  proto::WorkloadDriver driver(system.engine(), system, config.k, behaviors,
+  WorkloadDriver driver(system.engine(), system.clients(),
+                               behaviors,
                                support::Rng(302));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + 3'000'000);
 

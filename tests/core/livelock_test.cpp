@@ -15,6 +15,7 @@
 
 #include "api/system.hpp"
 #include "proto/messages.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 #include "verify/fairness_monitor.hpp"
 
@@ -49,9 +50,9 @@ Figure3Result run_figure3(proto::Features features, std::uint64_t seed,
   behaviors[1].cs_duration = proto::Dist::fixed(32);
   behaviors[1].need = proto::Dist::fixed(2);
 
-  proto::WorkloadDriver driver(system.engine(), system, config.k, behaviors,
+  WorkloadDriver driver(system.engine(), system.clients(),
+                               behaviors,
                                support::Rng(seed ^ 0x9e37));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(horizon);
 
@@ -120,14 +121,13 @@ struct ExactFigure3 {
     behaviors[2] = behaviors[0];
     behaviors[1] = behaviors[0];
     behaviors[1].need = proto::Dist::fixed(2);
-    driver = std::make_unique<proto::WorkloadDriver>(
-        engine, *system, 2, behaviors, support::Rng(99));
-    system->add_listener(driver.get());
+    driver = std::make_unique<WorkloadDriver>(
+        engine, system->clients(), behaviors, support::Rng(99));
     driver->begin();
   }
 
   std::unique_ptr<System> system;
-  std::unique_ptr<proto::WorkloadDriver> driver;
+  std::unique_ptr<WorkloadDriver> driver;
 };
 
 TEST(Livelock, ExactFigure3CycleStarvesForeverUnderPusherOnly) {
@@ -212,9 +212,9 @@ TEST(Livelock, FairnessMonitorSeesBoundedLatencyWithPriority) {
     b.think = proto::Dist::fixed(8);
     b.cs_duration = proto::Dist::fixed(16);
   }
-  proto::WorkloadDriver driver(system.engine(), system, config.k, behaviors,
+  WorkloadDriver driver(system.engine(), system.clients(),
+                               behaviors,
                                support::Rng(99));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(500'000);
 

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "api/system.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 #include "verify/convergence.hpp"
 #include "verify/safety_monitor.hpp"
@@ -94,10 +95,9 @@ TEST_P(StabilizationTest, ServesRequestsAfterRecovery) {
   behavior.think = proto::Dist::exponential(64);
   behavior.cs_duration = proto::Dist::exponential(32);
   behavior.need = proto::Dist::uniform(1, 2);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(seed ^ 0xAB));
-  system.add_listener(&driver);
   driver.begin();
 
   system.run_until(500'000);

@@ -14,8 +14,8 @@ ScenarioSpec small_scenario() {
   spec.name = "test_scenario";
   spec.topologies = {TopologySpec::tree_line(5), TopologySpec::ring(5)};
   spec.kl = {{1, 2}};
-  spec.workload.think = proto::Dist::exponential(64);
-  spec.workload.cs_duration = proto::Dist::exponential(32);
+  spec.workload.base.think = proto::Dist::exponential(64);
+  spec.workload.base.cs_duration = proto::Dist::exponential(32);
   spec.warmup = 10'000;
   spec.horizon = 300'000;
   spec.seeds = 2;

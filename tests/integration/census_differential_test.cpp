@@ -12,6 +12,7 @@
 
 #include "exp/scenario.hpp"
 #include "proto/census.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 
 namespace klex {
@@ -49,10 +50,9 @@ TEST_P(CensusDifferentialTest, TrackerMatchesOracleAfterEveryBatch) {
   behavior.think = proto::Dist::exponential(48);
   behavior.cs_duration = proto::Dist::exponential(24);
   behavior.need = proto::Dist::uniform(1, k);
-  proto::WorkloadDriver driver(
-      system->engine(), *system, k,
-      proto::uniform_behaviors(system->n(), behavior), support::Rng(7));
-  system->add_listener(&driver);
+  WorkloadDriver driver(system->engine(), system->clients(),
+                               proto::uniform_behaviors(system->n(), behavior),
+                               support::Rng(7));
   driver.begin();
 
   support::Rng fault_rng(0xD1FFu);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "api/system.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 #include "stree/spanning_tree.hpp"
 #include "verify/safety_monitor.hpp"
@@ -36,10 +37,9 @@ void exercise_exclusion_on(tree::Tree t, std::uint64_t seed) {
   behavior.think = proto::Dist::exponential(64);
   behavior.cs_duration = proto::Dist::exponential(32);
   behavior.need = proto::Dist::uniform(1, 2);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(seed ^ 0x51));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + 2'000'000);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "api/system.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 
 namespace klex {
@@ -31,10 +32,9 @@ Fingerprint run_once(std::uint64_t seed) {
   behavior.think = proto::Dist::exponential(64);
   behavior.cs_duration = proto::Dist::exponential(32);
   behavior.need = proto::Dist::uniform(1, 2);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(seed));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + 1'000'000);
 

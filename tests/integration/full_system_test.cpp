@@ -4,6 +4,7 @@
 
 #include "api/system.hpp"
 #include "proto/trace.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 #include "verify/fairness_monitor.hpp"
 #include "verify/safety_monitor.hpp"
@@ -39,10 +40,9 @@ RunResult run_loaded_system(tree::Tree t, int k, int l, std::uint64_t seed,
   behavior.think = proto::Dist::exponential(96);
   behavior.cs_duration = proto::Dist::exponential(48);
   behavior.need = proto::Dist::uniform(1, k);
-  proto::WorkloadDriver driver(system.engine(), system, k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(seed ^ 0xBEEF));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + horizon);
 
@@ -125,10 +125,9 @@ TEST(FullSystem, MessageOverheadIsBoundedPerGrant) {
   behavior.think = proto::Dist::fixed(64);
   behavior.cs_duration = proto::Dist::fixed(32);
   behavior.need = proto::Dist::fixed(1);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(20));
-  system.add_listener(&driver);
   driver.begin();
   counter.reset();
   system.run_until(system.engine().now() + 2'000'000);

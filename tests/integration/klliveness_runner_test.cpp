@@ -1,0 +1,119 @@
+// Acceptance pin for the heterogeneous-workload redesign: the paper's
+// (k,ℓ)-liveness result (Lemma 14) reproduced through the declarative
+// ExperimentRunner path -- a ScenarioSpec with a non-empty hold-forever
+// class, no hand-rolled driving.
+//
+// With the set I holding α units forever, the effective capacity drops to
+// ℓ − α: requesters within that bound keep making progress on every seed,
+// a requester demanding more than ℓ − α starves.
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+
+namespace klex::exp {
+namespace {
+
+const ClassResult* find_class(const RunResult& run, const std::string& name) {
+  for (const ClassResult& cls : run.classes) {
+    if (cls.name == name) return &cls;
+  }
+  return nullptr;
+}
+
+TEST(KlLivenessRunner, HoldForeverClassReducesEffectiveCapacity) {
+  // ℓ = 4, k = 4 on the 7-node balanced tree. I = two holders pinning one
+  // unit each (α = 2); the remaining requesters ask for ≤ ℓ − α = 2.
+  ScenarioSpec spec;
+  spec.name = "klliveness_pin";
+  spec.topologies = {TopologySpec::tree_balanced(2, 2)};
+  spec.kl = {{4, 4}};
+  spec.workload.classes.push_back(proto::BehaviorClass::holders("I", 2, 1));
+  spec.workload.base.think = proto::Dist::exponential(64);
+  spec.workload.base.cs_duration = proto::Dist::exponential(32);
+  spec.workload.base.need = proto::Dist::uniform(1, 2);
+  spec.horizon = 1'000'000;
+  spec.seeds = 3;
+  spec.base_seed = 900;
+
+  std::vector<RunResult> results = ExperimentRunner(2).run(spec);
+  ASSERT_EQ(results.size(), 3u);
+  for (const RunResult& run : results) {
+    EXPECT_TRUE(run.stabilized) << "seed " << run.seed;
+    EXPECT_TRUE(run.safety_ok) << "seed " << run.seed;
+    const ClassResult* holders = find_class(run, "I");
+    ASSERT_NE(holders, nullptr) << "seed " << run.seed;
+    EXPECT_EQ(holders->nodes, 2);
+    // The set I is camping when the window closes...
+    EXPECT_EQ(holders->holding_at_end, 2) << "seed " << run.seed;
+    EXPECT_EQ(holders->grants, 2) << "seed " << run.seed;
+    // ...and the outside requesters still make progress against the
+    // residual capacity ℓ − α = 2.
+    const ClassResult* base = find_class(run, "base");
+    ASSERT_NE(base, nullptr) << "seed " << run.seed;
+    EXPECT_GT(base->grants, 100) << "seed " << run.seed;
+  }
+}
+
+TEST(KlLivenessRunner, OversizedResidualRequestStarves) {
+  // Same set I (α = 2), but the probe demands ℓ − α + 1 = 3 units: it can
+  // never be served while I holds. The property's premise is violated for
+  // that node only; the holders keep camping.
+  ScenarioSpec spec;
+  spec.name = "klliveness_oversized_pin";
+  spec.topologies = {TopologySpec::tree_balanced(2, 2)};
+  spec.kl = {{4, 4}};
+  spec.workload.base.active = false;  // isolate the probe
+  auto holders = proto::BehaviorClass::holders("I", 2, 1);
+  holders.behavior.think = proto::Dist::fixed(16);
+  spec.workload.classes.push_back(holders);
+  proto::BehaviorClass probe;
+  probe.name = "probe";
+  probe.count = 1;
+  probe.behavior.need = proto::Dist::fixed(3);
+  // First request only after the holders have settled in.
+  probe.behavior.think = proto::Dist::fixed(50'000);
+  spec.workload.classes.push_back(probe);
+  spec.horizon = 1'500'000;
+  spec.seeds = 2;
+  spec.base_seed = 910;
+
+  std::vector<RunResult> results = ExperimentRunner(2).run(spec);
+  ASSERT_EQ(results.size(), 2u);
+  for (const RunResult& run : results) {
+    const ClassResult* holding = find_class(run, "I");
+    ASSERT_NE(holding, nullptr);
+    EXPECT_EQ(holding->holding_at_end, 2) << "seed " << run.seed;
+    const ClassResult* probe_cell = find_class(run, "probe");
+    ASSERT_NE(probe_cell, nullptr);
+    EXPECT_EQ(probe_cell->grants, 0)
+        << "seed " << run.seed << ": an oversized request was served";
+    EXPECT_GE(run.outstanding_at_end, 1) << "seed " << run.seed;
+  }
+}
+
+TEST(KlLivenessRunner, HoldersSurviveTransientFaultPhase) {
+  // The JSON-artifact configuration of bench_klliveness: hold-forever
+  // class + transient fault. After the fault the sessions resync, the
+  // holders re-acquire, and the census re-stabilizes.
+  ScenarioSpec spec;
+  spec.name = "klliveness_fault_pin";
+  spec.topologies = {TopologySpec::tree_balanced(2, 2)};
+  spec.kl = {{2, 4}};
+  spec.workload.classes.push_back(proto::BehaviorClass::holders("I", 2, 1));
+  spec.workload.base.think = proto::Dist::exponential(64);
+  spec.workload.base.cs_duration = proto::Dist::exponential(32);
+  spec.horizon = 400'000;
+  spec.fault = ScenarioSpec::FaultKind::kTransient;
+  spec.seeds = 2;
+  spec.base_seed = 920;
+
+  std::vector<RunResult> results = ExperimentRunner(2).run(spec);
+  for (const RunResult& run : results) {
+    EXPECT_TRUE(run.fault_injected);
+    EXPECT_TRUE(run.recovered) << "seed " << run.seed;
+    EXPECT_GT(run.recovery_time, 0u) << "seed " << run.seed;
+  }
+}
+
+}  // namespace
+}  // namespace klex::exp

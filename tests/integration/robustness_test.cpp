@@ -5,6 +5,7 @@
 
 #include "api/system.hpp"
 #include "proto/messages.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 #include "ring/ring_system.hpp"
 #include "verify/conservation.hpp"
@@ -29,10 +30,9 @@ TEST(Robustness, RingConservesTokensEventByEvent) {
   behavior.think = proto::Dist::exponential(48);
   behavior.cs_duration = proto::Dist::exponential(24);
   behavior.need = proto::Dist::uniform(1, 2);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(config.n, behavior),
                                support::Rng(1112));
-  system.add_listener(&driver);
   driver.begin();
   checker.arm();
   system.run_until(system.engine().now() + 500'000);
@@ -109,10 +109,9 @@ TEST(Robustness, SaturatedContentionStaysSafeAndLive) {
   behavior.think = proto::Dist::fixed(0);
   behavior.cs_duration = proto::Dist::fixed(16);
   behavior.need = proto::Dist::fixed(2);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(1118));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + 3'000'000);
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/workload_driver.hpp"
 #include "api/graph_system.hpp"
 #include "api/system.hpp"
 #include "ring/ring_system.hpp"
@@ -66,10 +67,9 @@ TEST_P(TopologyGeneric, StabilizesServesAndSurvivesFaults) {
   behavior.think = proto::Dist::exponential(96);
   behavior.cs_duration = proto::Dist::exponential(48);
   behavior.need = proto::Dist::uniform(1, system->k());
-  proto::WorkloadDriver driver(system->engine(), *system, system->k(),
+  WorkloadDriver driver(system->engine(), system->clients(),
                                proto::uniform_behaviors(n, behavior),
                                support::Rng(77));
-  system->add_listener(&driver);
   driver.begin();
   system->run_until(system->engine().now() + 1'500'000);
   EXPECT_GT(driver.total_grants(), 0) << "workload starved";

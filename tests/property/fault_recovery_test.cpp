@@ -5,6 +5,7 @@
 
 #include "api/system.hpp"
 #include "proto/messages.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 #include "verify/convergence.hpp"
 
@@ -88,10 +89,9 @@ TEST(FaultRecovery, CorruptionDuringLoadRecoversAndResumes) {
   behavior.think = proto::Dist::exponential(64);
   behavior.cs_duration = proto::Dist::exponential(32);
   behavior.need = proto::Dist::uniform(1, 2);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(1718));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + 300'000);
   std::int64_t grants_before = driver.total_grants();

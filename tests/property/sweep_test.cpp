@@ -11,6 +11,7 @@
 #include <tuple>
 
 #include "api/system.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 #include "verify/safety_monitor.hpp"
 
@@ -64,10 +65,9 @@ TEST_P(SweepTest, StabilizedInvariantsHold) {
   behavior.think = proto::Dist::exponential(48);
   behavior.cs_duration = proto::Dist::exponential(24);
   behavior.need = proto::Dist::uniform(1, k);
-  proto::WorkloadDriver driver(system.engine(), system, k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(seed ^ 0x5EED));
-  system.add_listener(&driver);
   driver.begin();
 
   // P1 + P4: poll censuses and RSet bounds through the loaded run.

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "api/system.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 #include "stats/waiting_time.hpp"
 
@@ -42,10 +43,9 @@ TEST_P(WaitingTimeBoundTest, MeasuredWaitStaysUnderTheorem2Bound) {
   behavior.think = proto::Dist::fixed(1);
   behavior.cs_duration = proto::Dist::fixed(8);
   behavior.need = proto::Dist::uniform(1, k);
-  proto::WorkloadDriver driver(system.engine(), system, k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(seed ^ 0x7A17));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + 3'000'000);
 
@@ -86,10 +86,9 @@ TEST(WaitingTimeBound, BoundIsNotVacuous) {
   behavior.think = proto::Dist::fixed(1);
   behavior.cs_duration = proto::Dist::fixed(8);
   behavior.need = proto::Dist::fixed(2);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(100));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + 2'000'000);
 

@@ -2,45 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <vector>
-
-#include "sim/engine.hpp"
 
 namespace klex::proto {
 namespace {
-
-/// RequestPort that grants instantly (or on demand) without a protocol.
-class FakePort : public RequestPort {
- public:
-  explicit FakePort(int n) : states(static_cast<std::size_t>(n),
-                                    AppState::kOut) {}
-
-  void request(NodeId node, int need) override {
-    states[static_cast<std::size_t>(node)] = AppState::kReq;
-    last_need = need;
-    ++requests;
-  }
-
-  void release(NodeId node) override {
-    states[static_cast<std::size_t>(node)] = AppState::kOut;
-    ++releases;
-  }
-
-  AppState state_of(NodeId node) const override {
-    return states[static_cast<std::size_t>(node)];
-  }
-
-  /// Simulates the protocol granting node's request.
-  void grant(NodeId node, WorkloadDriver& driver, sim::SimTime at) {
-    states[static_cast<std::size_t>(node)] = AppState::kIn;
-    driver.on_enter_cs(node, last_need, at);
-  }
-
-  std::vector<AppState> states;
-  int last_need = 0;
-  int requests = 0;
-  int releases = 0;
-};
 
 TEST(Dist, FixedSamplesConstant) {
   support::Rng rng(1);
@@ -71,128 +37,117 @@ TEST(Dist, NegativeFixedClampsToZero) {
   EXPECT_EQ(Dist::fixed(-5).sample(rng), 0u);
 }
 
-TEST(Workload, ClosedLoopIssuesAndReissues) {
-  sim::Engine engine;
-  FakePort port(2);
-  NodeBehavior behavior;
-  behavior.think = Dist::fixed(10);
-  behavior.cs_duration = Dist::fixed(5);
-  WorkloadDriver driver(engine, port, 1, uniform_behaviors(2, behavior),
-                        support::Rng(7));
-  driver.begin();
-  engine.run_until(10);
-  EXPECT_EQ(port.requests, 2);
-  EXPECT_EQ(driver.outstanding(), 2);
-
-  // Grant node 0; driver schedules its release after cs_duration.
-  port.grant(0, driver, engine.now());
-  EXPECT_EQ(driver.outstanding(), 1);
-  EXPECT_EQ(driver.grants(0), 1);
-  engine.run_until(engine.now() + 5);
-  EXPECT_EQ(port.releases, 1);
-  // After release + think the driver must re-request.
-  driver.on_exit_cs(0, engine.now());
-  engine.run_until(engine.now() + 10);
-  EXPECT_EQ(driver.requests_issued(0), 2);
+TEST(BehaviorClass, SizeForResolvesPriorityOrder) {
+  BehaviorClass cls;
+  cls.fraction = 0.5;
+  EXPECT_EQ(cls.size_for(10), 5);
+  cls.count = 3;
+  EXPECT_EQ(cls.size_for(10), 3);
+  cls.nodes = {1, 2};
+  EXPECT_EQ(cls.size_for(10), 2);
+  // Counts never exceed n.
+  cls.nodes.clear();
+  cls.count = 99;
+  EXPECT_EQ(cls.size_for(10), 10);
 }
 
-TEST(Workload, MaxRequestsStopsCycle) {
-  sim::Engine engine;
-  FakePort port(1);
-  NodeBehavior behavior;
-  behavior.think = Dist::fixed(1);
-  behavior.cs_duration = Dist::fixed(1);
-  behavior.max_requests = 3;
-  WorkloadDriver driver(engine, port, 1, {behavior}, support::Rng(8));
-  driver.begin();
-  for (int round = 0; round < 10; ++round) {
-    engine.run_until(engine.now() + 2);
-    if (port.state_of(0) == AppState::kReq) {
-      port.grant(0, driver, engine.now());
-      engine.run_until(engine.now() + 2);
-      driver.on_exit_cs(0, engine.now());
-    }
+TEST(BehaviorClass, HoldersHelperShapesTheSetI) {
+  BehaviorClass holders = BehaviorClass::holders("I", 2, 3);
+  EXPECT_EQ(holders.count, 2);
+  EXPECT_TRUE(holders.behavior.hold_forever);
+  // Unlimited budget: the set I must be able to re-acquire (and camp
+  // again) after a transient fault revokes its leases.
+  EXPECT_EQ(holders.behavior.max_requests, -1);
+  support::Rng rng(1);
+  EXPECT_EQ(holders.behavior.need.sample(rng), 3u);
+}
+
+TEST(Materialize, ExplicitNodesWin) {
+  WorkloadSpec spec;
+  BehaviorClass relays = BehaviorClass::relays("relays", 0.0);
+  relays.nodes = {0, 3};
+  spec.classes = {relays};
+  support::Rng rng(7);
+  MaterializedWorkload out = materialize(spec, 5, rng);
+  ASSERT_EQ(out.behaviors.size(), 5u);
+  EXPECT_FALSE(out.behaviors[0].active);
+  EXPECT_TRUE(out.behaviors[1].active);
+  EXPECT_FALSE(out.behaviors[3].active);
+  EXPECT_EQ(out.class_index[0], 0);
+  EXPECT_EQ(out.class_index[1], -1);
+  EXPECT_EQ(out.class_index[3], 0);
+}
+
+TEST(Materialize, CountClassesDrawDeterministically) {
+  WorkloadSpec spec;
+  spec.classes = {BehaviorClass::holders("I", 3, 1)};
+  support::Rng rng_a(11);
+  support::Rng rng_b(11);
+  MaterializedWorkload a = materialize(spec, 16, rng_a);
+  MaterializedWorkload b = materialize(spec, 16, rng_b);
+  EXPECT_EQ(a.class_index, b.class_index);
+  int members = 0;
+  for (int cls : a.class_index) {
+    if (cls == 0) ++members;
   }
-  EXPECT_EQ(driver.requests_issued(0), 3);
+  EXPECT_EQ(members, 3);
 }
 
-TEST(Workload, InactiveNodesNeverRequest) {
-  sim::Engine engine;
-  FakePort port(2);
-  NodeBehavior active;
-  NodeBehavior inactive;
-  inactive.active = false;
-  WorkloadDriver driver(engine, port, 1, {active, inactive},
-                        support::Rng(9));
-  driver.begin();
-  engine.run_until(1000);
-  EXPECT_EQ(driver.requests_issued(0), 1);
-  EXPECT_EQ(driver.requests_issued(1), 0);
+TEST(Materialize, FractionRoundsAgainstN) {
+  WorkloadSpec spec;
+  spec.classes = {BehaviorClass::relays("relays", 0.5)};
+  support::Rng rng(13);
+  MaterializedWorkload out = materialize(spec, 9, rng);
+  int relays = 0;
+  for (int cls : out.class_index) {
+    if (cls == 0) ++relays;
+  }
+  EXPECT_EQ(relays, 5);  // llround(0.5 * 9)
 }
 
-TEST(Workload, HoldForeverNeverReleases) {
-  sim::Engine engine;
-  FakePort port(1);
-  NodeBehavior behavior;
-  behavior.hold_forever = true;
-  behavior.think = Dist::fixed(1);
-  WorkloadDriver driver(engine, port, 1, {behavior}, support::Rng(10));
-  driver.begin();
-  engine.run_until(5);
-  port.grant(0, driver, engine.now());
-  engine.run_until(engine.now() + 10000);
-  EXPECT_EQ(port.releases, 0);
+TEST(Materialize, ClassesSplitDisjointly) {
+  WorkloadSpec spec;
+  BehaviorClass pinned = BehaviorClass::holders("I", -1, 1);
+  pinned.nodes = {2};
+  spec.classes = {pinned, BehaviorClass::relays("relays", 0.25),
+                  BehaviorClass::budgeted("shots", 4, 2, 1)};
+  support::Rng rng(17);
+  MaterializedWorkload out = materialize(spec, 12, rng);
+  std::vector<int> sizes(3, 0);
+  for (int cls : out.class_index) {
+    if (cls >= 0) ++sizes[static_cast<std::size_t>(cls)];
+  }
+  EXPECT_EQ(out.class_index[2], 0);
+  EXPECT_EQ(sizes[0], 1);
+  EXPECT_EQ(sizes[1], 3);  // llround(0.25 * 12)
+  EXPECT_EQ(sizes[2], 4);
 }
 
-TEST(Workload, NeedClampedToK) {
-  sim::Engine engine;
-  FakePort port(1);
-  NodeBehavior behavior;
-  behavior.think = Dist::fixed(1);
-  behavior.need = Dist::fixed(99);
-  WorkloadDriver driver(engine, port, 3, {behavior}, support::Rng(11));
-  driver.begin();
-  engine.run_until(5);
-  EXPECT_EQ(port.last_need, 3);
+TEST(Materialize, OversubscriptionIsAnError) {
+  WorkloadSpec spec;
+  spec.classes = {BehaviorClass::relays("a", 0.6),
+                  BehaviorClass::relays("b", 0.6)};
+  support::Rng rng(21);
+  EXPECT_THROW(materialize(spec, 10, rng), std::invalid_argument);
 }
 
-TEST(Workload, ResyncSchedulesReleaseForStuckIn) {
-  sim::Engine engine;
-  FakePort port(1);
-  NodeBehavior behavior;
-  behavior.cs_duration = Dist::fixed(7);
-  WorkloadDriver driver(engine, port, 1, {behavior}, support::Rng(12));
-  // Simulate corruption: node is In but the driver never saw an entry.
-  port.states[0] = AppState::kIn;
-  driver.resync();
-  engine.run_until(20);
-  EXPECT_EQ(port.releases, 1);
+TEST(Materialize, DoubleAssignmentIsAnError) {
+  WorkloadSpec spec;
+  BehaviorClass a = BehaviorClass::relays("a", 0.0);
+  a.nodes = {1};
+  BehaviorClass b = BehaviorClass::relays("b", 0.0);
+  b.nodes = {1};
+  spec.classes = {a, b};
+  support::Rng rng(19);
+  EXPECT_THROW(materialize(spec, 4, rng), std::invalid_argument);
 }
 
-TEST(Workload, ResyncRestartsIdleActiveNodes) {
-  sim::Engine engine;
-  FakePort port(1);
-  NodeBehavior behavior;
-  behavior.think = Dist::fixed(3);
-  WorkloadDriver driver(engine, port, 1, {behavior}, support::Rng(13));
-  // No begin(): resync alone must start the loop for an Out node.
-  driver.resync();
-  engine.run_until(10);
-  EXPECT_EQ(driver.requests_issued(0), 1);
-}
-
-TEST(Workload, TotalsAggregate) {
-  sim::Engine engine;
-  FakePort port(3);
-  NodeBehavior behavior;
-  behavior.think = Dist::fixed(1);
-  WorkloadDriver driver(engine, port, 1, uniform_behaviors(3, behavior),
-                        support::Rng(14));
-  driver.begin();
-  engine.run_until(5);
-  EXPECT_EQ(driver.total_requests(), 3);
-  port.grant(1, driver, engine.now());
-  EXPECT_EQ(driver.total_grants(), 1);
+TEST(Materialize, UniformBehaviorsHelper) {
+  NodeBehavior proto;
+  proto.hold_forever = true;
+  std::vector<NodeBehavior> all = uniform_behaviors(4, proto);
+  ASSERT_EQ(all.size(), 4u);
+  for (const NodeBehavior& b : all) EXPECT_TRUE(b.hold_forever);
 }
 
 }  // namespace

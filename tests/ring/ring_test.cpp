@@ -1,6 +1,7 @@
 // Ring baseline: the same token machinery on an oriented ring.
 #include <gtest/gtest.h>
 
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 #include "ring/ring_system.hpp"
 #include "verify/safety_monitor.hpp"
@@ -60,10 +61,9 @@ TEST(Ring, WorkloadRunsSafely) {
   behavior.think = proto::Dist::exponential(32);
   behavior.cs_duration = proto::Dist::exponential(24);
   behavior.need = proto::Dist::uniform(1, 2);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(config.n, behavior),
                                support::Rng(24));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + 2'000'000);
 

@@ -5,6 +5,7 @@
 
 #include "api/system.hpp"
 #include "proto/messages.hpp"
+#include "api/workload_driver.hpp"
 #include "proto/workload.hpp"
 #include "verify/conservation.hpp"
 
@@ -27,10 +28,9 @@ TEST(Conservation, EveryEventConservesTokensUnderLoad) {
   behavior.think = proto::Dist::exponential(48);
   behavior.cs_duration = proto::Dist::exponential(24);
   behavior.need = proto::Dist::uniform(1, 2);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(778));
-  system.add_listener(&driver);
   driver.begin();
 
   checker.arm();
@@ -63,10 +63,9 @@ TEST(Conservation, RootParticipationDoesNotBreakConservation) {
   behavior.think = proto::Dist::fixed(4);  // root hammers requests
   behavior.cs_duration = proto::Dist::fixed(16);
   behavior.need = proto::Dist::fixed(1);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(780));
-  system.add_listener(&driver);
   driver.begin();
 
   checker.arm();
@@ -133,10 +132,9 @@ TEST(Conservation, NaiveRungConservesSeededTokensExactly) {
   behavior.think = proto::Dist::exponential(32);
   behavior.cs_duration = proto::Dist::exponential(16);
   behavior.need = proto::Dist::uniform(1, 2);
-  proto::WorkloadDriver driver(system.engine(), system, config.k,
+  WorkloadDriver driver(system.engine(), system.clients(),
                                proto::uniform_behaviors(system.n(), behavior),
                                support::Rng(784));
-  system.add_listener(&driver);
   driver.begin();
   system.run_until(system.engine().now() + 500'000);
   EXPECT_TRUE(checker.clean());

@@ -10,15 +10,16 @@ build directory holds the freshly produced ones). For every scenario
 present on both sides the tool compares:
 
   * throughput: per-aggregate-cell total_events_per_sec (keyed by
-    topology, k, l). A drop of more than --rate-tolerance is a
-    REGRESSION. Wall-clock rates vary between machines, so CI calls this
-    with a generous tolerance while same-machine commit-to-commit runs
-    use the strict default.
+    topology, features, k, l -- "features" names the protocol rung and
+    defaults to "full" for artifacts that predate the rung grid). A drop
+    of more than --rate-tolerance is a REGRESSION. Wall-clock rates vary
+    between machines, so CI calls this with a generous tolerance while
+    same-machine commit-to-commit runs use the strict default.
   * allocation / walk counters: per-run engine.callback_slots_created and
-    engine.in_flight_walks (keyed by topology, k, l, seed). These are
-    bit-deterministic per seed, so any growth beyond --counter-tolerance
-    plus --counter-slack means per-event allocations or O(channels)
-    census walks crept back into a hot path: REGRESSION.
+    engine.in_flight_walks (keyed by topology, features, k, l, seed).
+    These are bit-deterministic per seed, so any growth beyond
+    --counter-tolerance plus --counter-slack means per-event allocations
+    or O(channels) census walks crept back into a hot path: REGRESSION.
 
 Cells or scenarios present on one side only are reported but never fail
 the run (short/smoke sweeps are strict subsets of the committed full
@@ -50,22 +51,24 @@ def load_benches(directory):
 
 def aggregate_cells(data):
     return {
-        (cell["topology"], cell["k"], cell["l"]): cell
+        (cell["topology"], cell.get("features", "full"), cell["k"],
+         cell["l"]): cell
         for cell in data.get("aggregates", [])
     }
 
 
 def run_cells(data):
     return {
-        (run["topology"], run["k"], run["l"], run["seed"]): run
+        (run["topology"], run.get("features", "full"), run["k"], run["l"],
+         run["seed"]): run
         for run in data.get("runs", [])
     }
 
 
 def fmt_key(key):
-    if len(key) == 4:
-        return f"{key[0]} k={key[1]} l={key[2]} seed={key[3]}"
-    return f"{key[0]} k={key[1]} l={key[2]}"
+    if len(key) == 5:
+        return f"{key[0]} [{key[1]}] k={key[2]} l={key[3]} seed={key[4]}"
+    return f"{key[0]} [{key[1]}] k={key[2]} l={key[3]}"
 
 
 def main():

@@ -12,55 +12,35 @@
 // overwhelmingly likely, which is exactly what the table shows. The
 // adversarial worst case (garbage crafted to chase the root's counter)
 // is what the bound exists to exclude.
+//
+// Declared as an ExperimentRunner scenario: the G sweep is the
+// ScenarioSpec::fault_garbage grid over a kGarbageFlood fault, 10 seeds
+// per cell; BENCH_cmax_garbage.json pins recovery_events and the
+// scheduler counters per (cell, seed) in the gated perf trajectory.
 #include "bench_common.hpp"
-#include "proto/messages.hpp"
+
+#include "exp/scenario.hpp"
 
 namespace klex {
 namespace {
 
-struct GarbageCell {
-  int recovered = 0;
-  support::Histogram ticks;
-};
-
-GarbageCell run_garbage(int garbage_per_channel, int trials,
-                        std::uint64_t seed_base) {
-  GarbageCell cell;
-  for (int trial = 0; trial < trials; ++trial) {
-    SystemConfig config;
-    config.tree = tree::line(8);
-    config.k = 2;
-    config.l = 3;
-    config.cmax = 2;  // the protocol is SIZED for at most 2 garbage msgs
-    config.seed = seed_base + static_cast<std::uint64_t>(trial);
-    System system(config);
-    if (system.run_until_stabilized(20'000'000) == sim::kTimeInfinity) {
-      continue;
-    }
-    // Corrupt memory, then flood every channel with G garbage messages
-    // (G may exceed the configured CMAX).
-    support::Rng rng(seed_base * 131 + static_cast<std::uint64_t>(trial));
-    system.engine().clear_channels();
-    proto::MessageDomains domains;
-    domains.myc_modulus = core::myc_modulus(system.n(), config.cmax);
-    domains.l = config.l;
-    for (tree::NodeId v = 0; v < system.n(); ++v) {
-      for (int c = 0; c < system.topology().degree(v); ++c) {
-        for (int g = 0; g < garbage_per_channel; ++g) {
-          system.engine().inject_message(
-              v, c, proto::random_message(domains, rng));
-        }
-      }
-    }
-    sim::SimTime fault_at = system.engine().now();
-    sim::SimTime recovered =
-        system.run_until_stabilized(fault_at + 100'000'000);
-    if (recovered != sim::kTimeInfinity) {
-      ++cell.recovered;
-      cell.ticks.add(static_cast<double>(recovered - fault_at));
-    }
-  }
-  return cell;
+exp::ScenarioSpec cmax_spec() {
+  exp::ScenarioSpec spec;
+  spec.name = "cmax_garbage";
+  spec.topologies = {exp::TopologySpec::tree_line(8)};
+  spec.kl = {{2, 3}};
+  spec.cmax = 2;  // the protocol is SIZED for at most 2 garbage msgs
+  // Pure convergence measurement, no application churn.
+  spec.workload.base.active = false;
+  spec.warmup = 1'000;
+  spec.horizon = 10'000;
+  spec.stabilize_deadline = 20'000'000;
+  spec.fault = exp::ScenarioSpec::FaultKind::kGarbageFlood;
+  spec.fault_garbage = {0, 1, 2, 4, 8, 16, 32};
+  spec.recovery_deadline = 100'000'000;
+  spec.seeds = 10;
+  spec.base_seed = 5001;
+  return spec;
 }
 
 void print_cmax_table() {
@@ -70,19 +50,23 @@ void print_cmax_table() {
       "random garbage floods of G messages per channel, G up to 16x the "
       "assumed bound");
 
+  exp::ScenarioSpec spec = cmax_spec();
+  bench::ScenarioOutput output = bench::run_scenario(spec);
+
   support::Table table({"garbage/channel", "within CMAX?", "recovered",
                         "mean ticks", "max ticks"});
-  const int trials = 10;
-  for (int garbage : {0, 1, 2, 4, 8, 16, 32}) {
-    GarbageCell cell = run_garbage(garbage, trials,
-                                   5000 + static_cast<std::uint64_t>(garbage));
+  for (const exp::Aggregate& cell : output.aggregates) {
     table.add_row(
-        {support::Table::cell(garbage), garbage <= 2 ? "yes" : "NO",
-         std::to_string(cell.recovered) + "/" + std::to_string(trials),
-         cell.ticks.count() > 0 ? support::Table::cell(cell.ticks.mean(), 0)
-                                : std::string("-"),
-         cell.ticks.count() > 0 ? support::Table::cell(cell.ticks.max(), 0)
-                                : std::string("-")});
+        {support::Table::cell(cell.fault_garbage),
+         cell.fault_garbage <= spec.cmax ? "yes" : "NO",
+         std::to_string(cell.recovered_runs) + "/" +
+             std::to_string(cell.runs),
+         cell.recovered_runs > 0
+             ? support::Table::cell(cell.mean_recovery_time, 0)
+             : std::string("-"),
+         cell.recovered_runs > 0
+             ? support::Table::cell(cell.max_recovery_time, 0)
+             : std::string("-")});
   }
   table.print(std::cout, "convergence under garbage floods (10 trials each)");
   std::cout << "\n(random garbage rarely collides with the root's counter "
@@ -94,8 +78,18 @@ void BM_GarbageRecovery(benchmark::State& state) {
   int garbage = static_cast<int>(state.range(0));
   std::uint64_t trial = 0;
   for (auto _ : state) {
-    GarbageCell cell = run_garbage(garbage, 1, 6000 + trial++);
-    benchmark::DoNotOptimize(cell);
+    auto system = SystemBuilder()
+                      .topology(exp::TopologySpec::tree_line(8))
+                      .kl(2, 3)
+                      .cmax(2)
+                      .seed(6000 + trial++)
+                      .build();
+    system->run_until_stabilized(20'000'000);
+    support::Rng rng(trial * 131);
+    system->flood_channels(rng, garbage);
+    sim::SimTime recovered = system->run_until_stabilized(
+        system->engine().now() + 100'000'000);
+    benchmark::DoNotOptimize(recovered);
   }
 }
 BENCHMARK(BM_GarbageRecovery)->Arg(2)->Arg(16)

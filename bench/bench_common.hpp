@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -88,6 +90,19 @@ inline ScenarioOutput run_scenario(const exp::ScenarioSpec& spec,
     std::cout << "wrote " << path << "\n";
   }
   return output;
+}
+
+/// The shared n-sweep of the scale-facing benches (bench_scale,
+/// bench_recovery): {128 .. 32768} capped by `hard_cap` and by the
+/// KLEX_SCALE_MAX_N environment variable (CI smoke runs use 2048).
+inline std::vector<int> scale_sweep_sizes(int hard_cap = 32768) {
+  std::vector<int> sizes = {128, 512, 2048, 8192, 32768};
+  int max_n = hard_cap;
+  if (const char* cap = std::getenv("KLEX_SCALE_MAX_N")) {
+    max_n = std::min(max_n, std::atoi(cap));
+  }
+  std::erase_if(sizes, [max_n](int n) { return n > max_n; });
+  return sizes;
 }
 
 }  // namespace klex::bench

@@ -17,26 +17,17 @@
 // KLEX_SCALE_MAX_N caps it for smoke runs (CI uses 2048).
 #include "bench_common.hpp"
 
-#include <cstdlib>
-
 #include "exp/scenario.hpp"
 
 namespace klex {
 namespace {
 
-std::vector<int> sweep_sizes() {
-  std::vector<int> sizes = {128, 512, 2048, 8192, 32768};
-  if (const char* cap = std::getenv("KLEX_SCALE_MAX_N")) {
-    int max_n = std::atoi(cap);
-    std::erase_if(sizes, [max_n](int n) { return n > max_n; });
-  }
-  return sizes;
-}
+using bench::scale_sweep_sizes;
 
 exp::ScenarioSpec scale_spec() {
   exp::ScenarioSpec spec;
   spec.name = "scale";
-  for (int n : sweep_sizes()) {
+  for (int n : scale_sweep_sizes()) {
     spec.topologies.push_back(exp::TopologySpec::tree_random(n, 5));
   }
   spec.kl = {{2, 4}};
@@ -112,7 +103,7 @@ void BM_WipeRecoveryDetection(benchmark::State& state) {
 // the large systems at all.
 void scale_bm_args(benchmark::internal::Benchmark* bench) {
   bool any = false;
-  for (int n : sweep_sizes()) {
+  for (int n : scale_sweep_sizes()) {
     if (n <= 8192) {
       bench->Arg(n);
       any = true;

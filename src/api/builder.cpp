@@ -25,20 +25,30 @@ void Session::begin_workload() {
 }
 
 void Session::apply_planned_fault(support::Rng& rng) {
+  bool state_changed = false;
   switch (planned_fault) {
     case FaultKind::kNone:
       return;
     case FaultKind::kTransient:
-      system->inject_transient_fault(rng);
-      // Corruption invalidated the sessions' view of the protocol.
-      if (driver != nullptr) driver->resync();
-      return;
+      system->inject_transient_fault(rng, fault_garbage);
+      state_changed = true;  // corruption invalidated the sessions' view
+      break;
     case FaultKind::kChannelWipe:
       // Process state (and the sessions' view of it) is intact; only the
       // in-flight tokens are lost.
       system->engine().clear_channels();
-      return;
+      break;
+    case FaultKind::kGarbageFlood:
+      system->flood_channels(rng, fault_garbage);
+      break;
   }
+  // Epoch-cut rung: the O(1) incremental census detects the illegitimate
+  // population the instant the fault lands; the batched drain models the
+  // management plane reacting to that detection.
+  if (system->params().features.epoch_cut && system->epoch_cut_recover()) {
+    state_changed = true;  // the drain erased stored tokens
+  }
+  if (driver != nullptr && state_changed) driver->resync();
 }
 
 SystemBuilder& SystemBuilder::topology(const TopologySpec& spec) {
@@ -80,6 +90,11 @@ SystemBuilder& SystemBuilder::cmax(int c) {
 
 SystemBuilder& SystemBuilder::delays(sim::DelayModel d) {
   delays_ = d;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::scheduler(sim::SchedulerKind kind) {
+  scheduler_ = kind;
   return *this;
 }
 
@@ -138,54 +153,51 @@ SystemBuilder& SystemBuilder::fault(FaultKind kind) {
   return *this;
 }
 
+SystemBuilder& SystemBuilder::fault_garbage(int per_channel) {
+  fault_garbage_ = per_channel;
+  return *this;
+}
+
 std::unique_ptr<SystemBase> SystemBuilder::build() const {
   KLEX_REQUIRE(topo_kind_ != TopoKind::kUnset,
                "SystemBuilder needs a topology");
 
-  auto make_tree_system =
-      [this](tree::Tree t) -> std::unique_ptr<SystemBase> {
-    SystemConfig config;
-    config.tree = std::move(t);
+  // The knobs every topology's config shares; new builder knobs belong
+  // here once, not in each per-topology block.
+  auto apply_common = [this](auto& config) {
     config.k = k_;
     config.l = l_;
     config.features = features_;
     config.cmax = cmax_;
     config.delays = delays_;
+    config.scheduler = scheduler_;
     config.timeout_period = timeout_period_;
     config.seed = seed_;
     config.seed_tokens = seed_tokens_;
+  };
+  auto make_tree_system =
+      [&, this](tree::Tree t) -> std::unique_ptr<SystemBase> {
+    SystemConfig config;
+    config.tree = std::move(t);
+    apply_common(config);
     config.manual_tokens = manual_tokens_;
     config.literal_pusher_guard = literal_pusher_guard_;
     config.omit_prio_wrap_count = omit_prio_wrap_count_;
     return std::make_unique<System>(std::move(config));
   };
   auto make_graph_system =
-      [this](stree::Graph g) -> std::unique_ptr<SystemBase> {
+      [&, this](stree::Graph g) -> std::unique_ptr<SystemBase> {
     GraphSystemConfig config;
     config.graph = std::move(g);
-    config.k = k_;
-    config.l = l_;
-    config.features = features_;
-    config.cmax = cmax_;
-    config.delays = delays_;
-    config.timeout_period = timeout_period_;
-    config.seed = seed_;
-    config.seed_tokens = seed_tokens_;
+    apply_common(config);
     config.beacon_period = beacon_period_;
     config.spanning_tree_deadline = spanning_tree_deadline_;
     return std::make_unique<GraphSystem>(std::move(config));
   };
-  auto make_ring_system = [this](int n) -> std::unique_ptr<SystemBase> {
+  auto make_ring_system = [&](int n) -> std::unique_ptr<SystemBase> {
     ring::RingConfig config;
     config.n = n;
-    config.k = k_;
-    config.l = l_;
-    config.features = features_;
-    config.cmax = cmax_;
-    config.delays = delays_;
-    config.timeout_period = timeout_period_;
-    config.seed = seed_;
-    config.seed_tokens = seed_tokens_;
+    apply_common(config);
     return std::make_unique<ring::RingSystem>(config);
   };
 
@@ -251,9 +263,13 @@ std::unique_ptr<SystemBase> SystemBuilder::build() const {
 }
 
 Session SystemBuilder::build_session() const {
+  KLEX_REQUIRE(fault_ != FaultKind::kGarbageFlood || fault_garbage_ >= 0,
+               "FaultKind::kGarbageFlood needs fault_garbage(count) -- the "
+               "flood size has no default");
   Session session;
   session.system = build();
   session.planned_fault = fault_;
+  session.fault_garbage = fault_garbage_;
   if (workload_.has_value()) {
     support::Rng class_rng(seed_ ^ kClassSalt);
     session.workload =

@@ -40,16 +40,22 @@
 namespace klex {
 
 /// Post-measurement fault plans.
-///   kTransient   -- the paper's transient fault: every process variable
-///                   randomized in-domain, channels wiped then preloaded
-///                   with up to CMAX garbage messages each. Recovery is
-///                   protocol-dominated (surplus tokens must drain
-///                   through a reset).
-///   kChannelWipe -- pure deficit fault: all in-flight messages lost,
-///                   process state intact. Recovery is detection-
-///                   dominated (idle wait for the root timeout, one
-///                   circulation, a mint).
-enum class FaultKind { kNone, kTransient, kChannelWipe };
+///   kTransient    -- the paper's transient fault: every process variable
+///                    randomized in-domain, channels wiped then preloaded
+///                    with garbage messages (up to CMAX each by default;
+///                    SystemBuilder::fault_garbage pins an exact count).
+///                    Recovery is protocol-dominated (surplus tokens must
+///                    drain through a reset).
+///   kChannelWipe  -- pure deficit fault: all in-flight messages lost,
+///                    process state intact. Recovery is detection-
+///                    dominated (idle wait for the root timeout, one
+///                    circulation, a mint).
+///   kGarbageFlood -- pure surplus fault: channels wiped then preloaded
+///                    with exactly fault_garbage random messages each,
+///                    process memory intact (the CMAX-violation ablation:
+///                    the flood may exceed the CMAX the protocol's myC
+///                    domain was sized for).
+enum class FaultKind { kNone, kTransient, kChannelWipe, kGarbageFlood };
 
 /// A built system together with its materialized workload: the driver is
 /// wired over the system's Client sessions but not yet started (call
@@ -59,11 +65,19 @@ struct Session {
   proto::MaterializedWorkload workload;
   std::unique_ptr<WorkloadDriver> driver;  // null without a workload()
   FaultKind planned_fault = FaultKind::kNone;
+  /// Garbage messages per channel for kGarbageFlood / kTransient;
+  /// -1 = the fault kind's default (uniform 0..CMAX for kTransient).
+  int fault_garbage = -1;
 
   void begin_workload();
 
-  /// Executes the planned fault (and, for transient faults, resyncs the
-  /// driver's sessions with the corrupted protocol state). No-op for
+  /// Executes the planned fault, then -- when the system runs the
+  /// epoch-cut rung (Features::epoch_cut) and the fault left the token
+  /// population illegitimate -- the batched epoch-cut recovery drain
+  /// (the O(1) census detects the fault the moment it is injected; the
+  /// drain models the management plane reacting to that detection).
+  /// Whenever the protocol state changed (transient corruption or a
+  /// drain), the driver's sessions are resynced. No-op for
   /// FaultKind::kNone.
   void apply_planned_fault(support::Rng& rng);
 };
@@ -83,6 +97,7 @@ class SystemBuilder {
   SystemBuilder& features(proto::Features f);
   SystemBuilder& cmax(int c);
   SystemBuilder& delays(sim::DelayModel d);
+  SystemBuilder& scheduler(sim::SchedulerKind kind);
   SystemBuilder& timeout_period(sim::SimTime t);
   SystemBuilder& seed(std::uint64_t s);
   SystemBuilder& seed_tokens(bool on = true);
@@ -98,6 +113,8 @@ class SystemBuilder {
   // -- workload / fault plan (build_session only) ------------------------------
   SystemBuilder& workload(proto::WorkloadSpec spec);
   SystemBuilder& fault(FaultKind kind);
+  /// Garbage messages per channel for the planned fault (see Session).
+  SystemBuilder& fault_garbage(int per_channel);
 
   /// Materializes the system alone.
   std::unique_ptr<SystemBase> build() const;
@@ -120,6 +137,7 @@ class SystemBuilder {
   proto::Features features_ = proto::Features::full();
   int cmax_ = 4;
   sim::DelayModel delays_{};
+  sim::SchedulerKind scheduler_ = sim::SchedulerKind::kCalendar;
   sim::SimTime timeout_period_ = 0;
   std::uint64_t seed_ = support::Rng::kDefaultSeed;
   bool seed_tokens_ = false;
@@ -132,6 +150,7 @@ class SystemBuilder {
 
   std::optional<proto::WorkloadSpec> workload_;
   FaultKind fault_ = FaultKind::kNone;
+  int fault_garbage_ = -1;
 };
 
 }  // namespace klex

@@ -45,7 +45,8 @@ tree::Tree GraphSystem::run_spanning_phase(const GraphSystemConfig& config,
 }
 
 GraphSystem::GraphSystem(GraphSystemConfig config)
-    : SystemBase(make_params(config), config.delays, config.seed),
+    : SystemBase(make_params(config), config.delays, config.seed,
+                 config.scheduler),
       config_(std::move(config)),
       overlay_(run_spanning_phase(config_, stree_converged_at_)) {
   nodes_ = build_tree_protocol(overlay_);

@@ -35,6 +35,10 @@ struct GraphSystemConfig {
   std::uint64_t seed = support::Rng::kDefaultSeed;
   bool seed_tokens = false;
 
+  /// Event scheduler (kCalendar unless differentially testing the
+  /// binary-heap reference -- see sim::SchedulerKind).
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
+
   /// Spanning-tree construction phase (its own engine, derived seed).
   sim::SimTime beacon_period = 256;
   sim::SimTime spanning_tree_deadline = 4'000'000;

@@ -24,7 +24,8 @@ core::Params make_params(const SystemConfig& config) {
 }  // namespace
 
 System::System(SystemConfig config)
-    : SystemBase(make_params(config), config.delays, config.seed),
+    : SystemBase(make_params(config), config.delays, config.seed,
+                 config.scheduler),
       config_(std::move(config)) {
   nodes_ = build_tree_protocol(config_.tree);
 }

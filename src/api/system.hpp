@@ -52,6 +52,9 @@ struct SystemConfig {
   /// Fidelity ablations -- see core::Params.
   bool literal_pusher_guard = false;
   bool omit_prio_wrap_count = false;
+  /// Event scheduler (kCalendar unless differentially testing the
+  /// binary-heap reference -- see sim::SchedulerKind).
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
 };
 
 class System : public SystemBase {

@@ -7,9 +7,9 @@
 namespace klex {
 
 SystemBase::SystemBase(core::Params params, sim::DelayModel delays,
-                       std::uint64_t seed)
+                       std::uint64_t seed, sim::SchedulerKind scheduler)
     : params_(params),
-      engine_(delays, seed),
+      engine_(delays, seed, scheduler),
       tracker_(&engine_, params.l, params.features) {
   KLEX_REQUIRE(params_.k >= 1 && params_.k <= params_.l,
                "need 1 <= k <= l");
@@ -200,20 +200,61 @@ proto::MessageDomains SystemBase::message_domains() const {
 
 bool SystemBase::token_counts_correct() const { return tracker_.correct(); }
 
-void SystemBase::inject_transient_fault(support::Rng& rng) {
+void SystemBase::inject_transient_fault(support::Rng& rng,
+                                        int garbage_per_channel) {
   engine_.clear_channels();
   for (proto::ExclusionParticipant* participant : participants_) {
     participant->corrupt(rng);
   }
   proto::MessageDomains domains = message_domains();
   for (const auto& [node, channel] : out_channels_) {
-    int garbage = static_cast<int>(rng.next_below(
-        static_cast<std::uint64_t>(params_.cmax) + 1));
+    // Default: up to CMAX arbitrary messages per channel (the paper's
+    // bound); an explicit count overrides it -- possibly beyond CMAX,
+    // which is exactly what the CMAX-violation ablation measures.
+    int garbage = garbage_per_channel >= 0
+                      ? garbage_per_channel
+                      : static_cast<int>(rng.next_below(
+                            static_cast<std::uint64_t>(params_.cmax) + 1));
     for (int i = 0; i < garbage; ++i) {
       engine_.inject_message(node, channel,
                              proto::random_message(domains, rng));
     }
   }
+}
+
+void SystemBase::flood_channels(support::Rng& rng, int garbage_per_channel) {
+  KLEX_REQUIRE(garbage_per_channel >= 0, "need a garbage count");
+  engine_.clear_channels();
+  proto::MessageDomains domains = message_domains();
+  for (const auto& [node, channel] : out_channels_) {
+    for (int i = 0; i < garbage_per_channel; ++i) {
+      engine_.inject_message(node, channel,
+                             proto::random_message(domains, rng));
+    }
+  }
+}
+
+bool SystemBase::epoch_cut_recover() {
+  KLEX_REQUIRE(params_.features.epoch_cut,
+               "epoch_cut_recover() needs Features::epoch_cut (the drain "
+               "is an opt-in rung, not part of the paper's protocol)");
+  if (tracker_.correct()) return false;
+  KLEX_REQUIRE(!participants_.empty(), "no participants to drain");
+  // One batched drain pass, O(channels + n): every in-flight message
+  // (garbage and legitimate tokens alike) is dropped via the channel
+  // epoch bump, every stored token is erased through the delta-reporting
+  // drain hook, and the root re-mints the legitimate population. The
+  // incremental census tracks all of it, so the cut is visible to
+  // run_until_stabilized at its exact timestamp.
+  engine_.clear_channels();
+  for (proto::ExclusionParticipant* participant : participants_) {
+    participant->epoch_drain();
+  }
+  // Node 0 is the distinguished root in every topology this repository
+  // builds (tree, spanning-tree overlay, ring).
+  const bool restarted = participants_[0]->epoch_restart();
+  KLEX_CHECK(restarted, "participant 0 must be the root (epoch_restart)");
+  return true;
 }
 
 }  // namespace klex

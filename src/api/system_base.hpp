@@ -105,9 +105,27 @@ class SystemBase : public proto::RequestPort {
   const proto::CensusTracker& census_tracker() const { return tracker_; }
 
   /// Transient fault: randomizes every process's protocol variables
-  /// in-domain and replaces every channel's content with up to CMAX
-  /// arbitrary well-formed messages.
-  void inject_transient_fault(support::Rng& rng);
+  /// in-domain and replaces every channel's content with arbitrary
+  /// well-formed messages -- up to CMAX per channel (drawn uniformly)
+  /// when `garbage_per_channel` is the default -1, or exactly
+  /// `garbage_per_channel` each otherwise (the CMAX-violation ablation).
+  void inject_transient_fault(support::Rng& rng,
+                              int garbage_per_channel = -1);
+
+  /// Pure channel-garbage fault: wipes every channel, then preloads each
+  /// with exactly `garbage_per_channel` random well-formed messages.
+  /// Process memory is untouched (contrast inject_transient_fault).
+  void flood_channels(support::Rng& rng, int garbage_per_channel);
+
+  /// Epoch-cut batched recovery drain (requires Features::epoch_cut; see
+  /// the Features comment). If the incremental census already reports a
+  /// legitimate population this is a no-op returning false. Otherwise it
+  /// performs the one batched O(n) pass -- wipe every channel, drain
+  /// every process's stored tokens, re-boot the root (fresh census
+  /// machinery, fresh token mint, restarted controller) -- and returns
+  /// true. The garbage population is absorbed in O(n) work instead of
+  /// circulating for Θ(n) ticks through the protocol's own reset.
+  bool epoch_cut_recover();
 
   /// Applies the harness-side parameter defaults shared by every topology:
   /// derives the controller timeout when unset and forces token seeding for
@@ -117,7 +135,8 @@ class SystemBase : public proto::RequestPort {
                                       sim::SimTime derived_timeout);
 
  protected:
-  SystemBase(core::Params params, sim::DelayModel delays, std::uint64_t seed);
+  SystemBase(core::Params params, sim::DelayModel delays, std::uint64_t seed,
+             sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar);
 
   /// Registers a process that participates in the exclusion protocol; the
   /// engine id is the registration index. Returns a raw pointer (the

@@ -45,6 +45,7 @@ class KlProcessBase : public sim::Process,
   int need() const final { return need_; }
   proto::LocalSnapshot snapshot() const override;
   void corrupt(support::Rng& rng) override;
+  void epoch_drain() override { erase_local_tokens(); }
 
   int degree() const { return degree_; }
   const Params& params() const { return params_; }

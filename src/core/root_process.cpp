@@ -165,6 +165,25 @@ void RootProcess::handle_control(int channel, const proto::CtrlFields& f) {
   restart_timer();
 }
 
+bool RootProcess::epoch_restart() {
+  // Epoch-cut recovery (Features::epoch_cut): the harness has just wiped
+  // every channel and drained every process's stored tokens, so the
+  // network is token-free. Re-boot the root exactly like a seeded start:
+  // fresh census, a fresh myC value (orphaning any corrupted counters the
+  // next circulation would otherwise have to flush over several loops),
+  // the legitimate token population for the enabled rungs, and a new
+  // controller circulation.
+  reset_ = false;
+  stoken_ = 0;
+  spush_ = 0;
+  sprio_ = 0;
+  succ_ = 0;
+  myc_ = static_cast<std::int32_t>((myc_ + 1) % myc_modulus_);
+  mint_tokens(params_.l, params_.features.pusher, params_.features.priority);
+  if (params_.features.controller) on_timeout();
+  return true;
+}
+
 proto::LocalSnapshot RootProcess::snapshot() const {
   proto::LocalSnapshot snap = KlProcessBase::snapshot();
   snap.reset = reset_;

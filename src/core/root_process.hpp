@@ -24,6 +24,7 @@ class RootProcess : public KlProcessBase {
 
   proto::LocalSnapshot snapshot() const override;
   void corrupt(support::Rng& rng) override;
+  bool epoch_restart() override;
 
   bool in_reset() const { return reset_; }
 

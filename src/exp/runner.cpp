@@ -29,20 +29,26 @@ std::vector<RunPoint> ExperimentRunner::expand(const ScenarioSpec& spec) {
   KLEX_REQUIRE(!spec.features.empty(), "scenario has no ladder rungs");
   KLEX_REQUIRE(!spec.kl.empty(), "scenario has no (k,l) pairs");
   KLEX_REQUIRE(spec.seeds >= 1, "scenario needs at least one seed");
+  KLEX_REQUIRE(!spec.fault_garbage.empty(),
+               "scenario has no fault_garbage entries");
   std::vector<RunPoint> points;
   points.reserve(spec.topologies.size() * spec.features.size() *
-                 spec.kl.size() * static_cast<std::size_t>(spec.seeds));
+                 spec.kl.size() * spec.fault_garbage.size() *
+                 static_cast<std::size_t>(spec.seeds));
   for (const TopologySpec& topology : spec.topologies) {
     for (const proto::Features& features : spec.features) {
       for (const auto& [k, l] : spec.kl) {
-        for (int s = 0; s < spec.seeds; ++s) {
-          RunPoint point;
-          point.topology = topology;
-          point.features = features;
-          point.k = k;
-          point.l = l;
-          point.seed = spec.base_seed + static_cast<std::uint64_t>(s);
-          points.push_back(point);
+        for (int garbage : spec.fault_garbage) {
+          for (int s = 0; s < spec.seeds; ++s) {
+            RunPoint point;
+            point.topology = topology;
+            point.features = features;
+            point.k = k;
+            point.l = l;
+            point.fault_garbage = garbage;
+            point.seed = spec.base_seed + static_cast<std::uint64_t>(s);
+            points.push_back(point);
+          }
         }
       }
     }
@@ -57,6 +63,7 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   result.features = point.features.name();
   result.k = point.k;
   result.l = point.l;
+  result.fault_garbage = point.fault_garbage;
   result.seed = point.seed;
 
   // Every grid point is one declarative construction: topology × params
@@ -70,6 +77,7 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
                         .seed(point.seed)
                         .workload(spec.workload)
                         .fault(spec.fault)
+                        .fault_garbage(point.fault_garbage)
                         .build_session();
   SystemBase& system = *session.system;
   result.n = system.n();
@@ -81,10 +89,14 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
 
   stats::WaitingTimeTracker waits(result.n);
   verify::SafetyMonitor safety(result.n, point.k, point.l);
-  proto::MessageCounter messages;
   system.add_listener(&waits);
   system.add_listener(&safety);
-  system.add_observer(&messages);
+  // Message-overhead accounting reads the engine's inline per-type send
+  // counters (window deltas) instead of attaching a per-send observer, so
+  // the measured window runs with an empty observer list.
+  auto sent_of = [&system](proto::TokenType type) {
+    return system.engine().sent_of_type(static_cast<std::int32_t>(type));
+  };
 
   // Phase 1: stabilize, then settle through the warmup window. The
   // legitimacy predicate is rung-aware, so reduced rungs (seeded token
@@ -100,7 +112,10 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   session.begin_workload();
 
   waits.reset_samples();
-  messages.reset();
+  const std::uint64_t resource_before = sent_of(proto::TokenType::kResource);
+  const std::uint64_t pusher_before = sent_of(proto::TokenType::kPusher);
+  const std::uint64_t priority_before = sent_of(proto::TokenType::kPriority);
+  const std::uint64_t control_before = sent_of(proto::TokenType::kControl);
   sim::SimTime window_start = system.engine().now();
   std::uint64_t events_before = system.engine().events_executed();
   system.run_until(window_start + spec.horizon);
@@ -138,14 +153,22 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
     result.max_wait_entries = waits.waits().max();
     result.p99_wait_entries = waits.waits().p99();
   }
+  result.control_messages = sent_of(proto::TokenType::kControl) -
+                            control_before;
+  result.resource_messages = sent_of(proto::TokenType::kResource) -
+                             resource_before;
+  result.pusher_messages = sent_of(proto::TokenType::kPusher) -
+                           pusher_before;
+  result.priority_messages = sent_of(proto::TokenType::kPriority) -
+                             priority_before;
   if (result.grants > 0) {
-    result.messages_per_grant = static_cast<double>(messages.total()) /
-                                static_cast<double>(result.grants);
+    result.messages_per_grant =
+        static_cast<double>(result.control_messages +
+                            result.resource_messages +
+                            result.pusher_messages +
+                            result.priority_messages) /
+        static_cast<double>(result.grants);
   }
-  result.control_messages = messages.control();
-  result.resource_messages = messages.resource();
-  result.pusher_messages = messages.pusher();
-  result.priority_messages = messages.priority();
   // Snapshotted before any fault injection: self-stabilization only
   // guarantees eventual safety, so transient violations while
   // re-stabilizing are expected and must not read as regressions; the
@@ -156,7 +179,9 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   // Phase 3 (optional): fault + recovery.
   if (spec.fault != ScenarioSpec::FaultKind::kNone) {
     result.fault_injected = true;
+    auto recovery_start = std::chrono::steady_clock::now();
     sim::SimTime fault_at = system.engine().now();
+    std::uint64_t events_at_fault = system.engine().events_executed();
     support::Rng fault_rng(point.seed ^ 0xFA17ull);
     session.apply_planned_fault(fault_rng);
     sim::SimTime recovered = system.run_until_stabilized(
@@ -165,6 +190,12 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
     // Elapsed since the fault, so runs with different warmups/horizons
     // stay comparable.
     result.recovery_time = result.recovered ? recovered - fault_at : 0;
+    result.recovery_events =
+        system.engine().events_executed() - events_at_fault;
+    result.recovery_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      recovery_start)
+            .count();
   }
 
   result.engine_stats = system.engine().stats();
@@ -209,11 +240,14 @@ std::vector<RunResult> ExperimentRunner::run(const ScenarioSpec& spec) const {
 
 std::vector<Aggregate> ExperimentRunner::aggregate(
     const std::vector<RunResult>& results) {
-  // Keyed by (topology, features, k, l), in first-appearance order.
-  std::map<std::tuple<std::string, std::string, int, int>, std::size_t> index;
+  // Keyed by (topology, features, k, l, fault_garbage), in
+  // first-appearance order.
+  std::map<std::tuple<std::string, std::string, int, int, int>, std::size_t>
+      index;
   std::vector<Aggregate> cells;
   for (const RunResult& run : results) {
-    auto key = std::tuple{run.topology, run.features, run.k, run.l};
+    auto key = std::tuple{run.topology, run.features, run.k, run.l,
+                          run.fault_garbage};
     auto [it, inserted] = index.try_emplace(key, cells.size());
     if (inserted) {
       Aggregate cell;
@@ -221,6 +255,8 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
       cell.features = run.features;
       cell.k = run.k;
       cell.l = run.l;
+      cell.fault_garbage = run.fault_garbage;
+      cell.n = run.n;
       cells.push_back(cell);
     }
     Aggregate& cell = cells[it->second];
@@ -231,6 +267,14 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
       cell.mean_stabilization_time += t;
       cell.max_stabilization_time = std::max(cell.max_stabilization_time, t);
     }
+    if (run.recovered) {
+      ++cell.recovered_runs;
+      double t = static_cast<double>(run.recovery_time);
+      cell.mean_recovery_time += t;
+      cell.max_recovery_time = std::max(cell.max_recovery_time, t);
+      cell.mean_recovery_events += static_cast<double>(run.recovery_events);
+      cell.mean_recovery_wall_seconds += run.recovery_wall_seconds;
+    }
     if (run.safety_ok) ++cell.safe_runs;
     cell.mean_grants_per_mtick += run.grants_per_mtick;
     cell.mean_wait_entries += run.mean_wait_entries;
@@ -238,17 +282,24 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
         std::max(cell.max_wait_entries, run.max_wait_entries);
     cell.mean_messages_per_grant += run.messages_per_grant;
     cell.mean_outstanding_at_end += run.outstanding_at_end;
+    cell.mean_wall_seconds += run.wall_seconds;
     cell.total_events_per_sec += run.events_per_sec;
   }
   for (Aggregate& cell : cells) {
     if (cell.stabilized_runs > 0) {
       cell.mean_stabilization_time /= cell.stabilized_runs;
     }
+    if (cell.recovered_runs > 0) {
+      cell.mean_recovery_time /= cell.recovered_runs;
+      cell.mean_recovery_events /= cell.recovered_runs;
+      cell.mean_recovery_wall_seconds /= cell.recovered_runs;
+    }
     if (cell.runs > 0) {
       cell.mean_grants_per_mtick /= cell.runs;
       cell.mean_wait_entries /= cell.runs;
       cell.mean_messages_per_grant /= cell.runs;
       cell.mean_outstanding_at_end /= cell.runs;
+      cell.mean_wall_seconds /= cell.runs;
     }
   }
   return cells;
@@ -304,6 +355,7 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
   json.field("scenario", spec.name);
 
   json.key("spec").begin_object();
+  if (!spec.note.empty()) json.field("note", spec.note);
   json.key("topologies").begin_array();
   for (const TopologySpec& topology : spec.topologies) {
     json.value(topology.name());
@@ -359,7 +411,13 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     case ScenarioSpec::FaultKind::kChannelWipe:
       json.field("fault", "channel_wipe");
       break;
+    case ScenarioSpec::FaultKind::kGarbageFlood:
+      json.field("fault", "garbage_flood");
+      break;
   }
+  json.key("fault_garbage").begin_array();
+  for (int garbage : spec.fault_garbage) json.value(garbage);
+  json.end_array();
   json.field("seeds", spec.seeds);
   json.field("base_seed", spec.base_seed);
   json.end_object();  // spec
@@ -378,8 +436,15 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
       json.field("stabilization_time", run.stabilization_time);
     }
     if (run.fault_injected) {
+      if (run.fault_garbage >= 0) {
+        json.field("fault_garbage", run.fault_garbage);
+      }
       json.field("recovered", run.recovered);
-      if (run.recovered) json.field("recovery_time", run.recovery_time);
+      if (run.recovered) {
+        json.field("recovery_time", run.recovery_time);
+        json.field("recovery_events", run.recovery_events);
+        json.field("recovery_wall_seconds", run.recovery_wall_seconds);
+      }
     }
     json.field("grants", run.grants);
     json.field("requests", run.requests);
@@ -417,6 +482,11 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
                run.engine_stats.callback_slots_created);
     json.field("max_heap_size", run.engine_stats.max_heap_size);
     json.field("in_flight_walks", run.engine_stats.in_flight_walks);
+    json.field("bucket_inserts", run.engine_stats.scheduler.bucket_inserts);
+    json.field("bucket_scans", run.engine_stats.scheduler.bucket_scans);
+    json.field("overflow_pushes",
+               run.engine_stats.scheduler.overflow_pushes);
+    json.field("overflow_pops", run.engine_stats.scheduler.overflow_pops);
     json.end_object();
     json.end_object();
   }
@@ -429,11 +499,22 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.field("features", cell.features);
     json.field("k", cell.k);
     json.field("l", cell.l);
+    if (cell.fault_garbage >= 0) {
+      json.field("fault_garbage", cell.fault_garbage);
+    }
+    json.field("n", cell.n);
     json.field("runs", cell.runs);
     json.field("stabilized_runs", cell.stabilized_runs);
     json.field("safe_runs", cell.safe_runs);
+    json.field("recovered_runs", cell.recovered_runs);
     json.field("mean_stabilization_time", cell.mean_stabilization_time);
     json.field("max_stabilization_time", cell.max_stabilization_time);
+    json.field("mean_recovery_time", cell.mean_recovery_time);
+    json.field("max_recovery_time", cell.max_recovery_time);
+    json.field("mean_recovery_events", cell.mean_recovery_events);
+    json.field("mean_recovery_wall_seconds",
+               cell.mean_recovery_wall_seconds);
+    json.field("mean_wall_seconds", cell.mean_wall_seconds);
     json.field("mean_grants_per_mtick", cell.mean_grants_per_mtick);
     json.field("mean_wait_entries", cell.mean_wait_entries);
     json.field("max_wait_entries", cell.max_wait_entries);

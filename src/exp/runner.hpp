@@ -29,6 +29,8 @@ struct RunPoint {
   proto::Features features = proto::Features::full();
   int k = 1;
   int l = 1;
+  /// Fault-phase garbage per channel (-1 = fault kind's default).
+  int fault_garbage = -1;
   std::uint64_t seed = 1;
 };
 
@@ -56,9 +58,16 @@ struct RunResult {
   bool stabilized = false;
   sim::SimTime stabilization_time = 0;
   bool fault_injected = false;
+  int fault_garbage = -1;
   bool recovered = false;
   /// Elapsed ticks from fault injection to re-stabilization.
   sim::SimTime recovery_time = 0;
+  /// Engine events executed between fault injection and re-stabilization
+  /// (deterministic per seed): the recovery *work*. The epoch-cut rung
+  /// keeps it ~O(n) where the protocol's own drain is ~O(n^2).
+  std::uint64_t recovery_events = 0;
+  /// Wall clock of the fault + recovery phase alone (non-deterministic).
+  double recovery_wall_seconds = 0.0;
 
   // Workload window.
   std::int64_t grants = 0;
@@ -97,11 +106,19 @@ struct Aggregate {
   std::string features;
   int k = 1;
   int l = 1;
+  int fault_garbage = -1;
+  int n = 0;
   int runs = 0;
   int stabilized_runs = 0;
   int safe_runs = 0;
+  int recovered_runs = 0;
   double mean_stabilization_time = 0.0;
   double max_stabilization_time = 0.0;
+  double mean_recovery_time = 0.0;
+  double max_recovery_time = 0.0;
+  double mean_recovery_events = 0.0;
+  double mean_recovery_wall_seconds = 0.0;
+  double mean_wall_seconds = 0.0;
   double mean_grants_per_mtick = 0.0;
   double mean_wait_entries = 0.0;
   double max_wait_entries = 0.0;
@@ -117,8 +134,8 @@ class ExperimentRunner {
 
   int threads() const { return threads_; }
 
-  /// Expands the grid (topologies × features × kl × seeds, seed-major
-  /// last so neighboring points differ only in seed).
+  /// Expands the grid (topologies × features × kl × fault_garbage ×
+  /// seeds, seed-major last so neighboring points differ only in seed).
   static std::vector<RunPoint> expand(const ScenarioSpec& spec);
 
   /// Executes one grid point (used by the workers; exposed for tests and
@@ -130,8 +147,8 @@ class ExperimentRunner {
   /// expand() order.
   std::vector<RunResult> run(const ScenarioSpec& spec) const;
 
-  /// Groups results by (topology, features, k, l) and averages across
-  /// seeds.
+  /// Groups results by (topology, features, k, l, fault_garbage) and
+  /// averages across seeds.
   static std::vector<Aggregate> aggregate(
       const std::vector<RunResult>& results);
 

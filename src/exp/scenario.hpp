@@ -33,6 +33,9 @@ using TopologySpec = klex::TopologySpec;
 struct ScenarioSpec {
   /// Scenario id; the JSON artifact is written to BENCH_<name>.json.
   std::string name;
+  /// Free-text caveat emitted into the artifact's spec section (e.g. a
+  /// bench that merges asymmetric sweeps documents which cells ran).
+  std::string note;
 
   std::vector<TopologySpec> topologies;
   /// Ladder rungs; every rung runs on every topology (the Figure 2
@@ -59,6 +62,12 @@ struct ScenarioSpec {
   using FaultKind = klex::FaultKind;
   FaultKind fault = FaultKind::kNone;
   sim::SimTime recovery_deadline = 40'000'000;
+  /// Per-channel garbage grid for the fault phase: every entry runs on
+  /// every (topology, rung, k, l) cell. -1 (the default single entry)
+  /// keeps the fault kind's own behavior (uniform 0..CMAX garbage for
+  /// kTransient); explicit counts pin the flood size -- the
+  /// CMAX-violation ablation sweeps counts beyond the configured CMAX.
+  std::vector<int> fault_garbage = {-1};
 
   /// Seeds base_seed, base_seed+1, ... base_seed+seeds-1.
   int seeds = 4;

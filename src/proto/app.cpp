@@ -43,11 +43,19 @@ void ListenerSet::on_tokens_minted(std::int32_t token_type, int count,
 }
 
 const char* Features::name() const {
-  if (!pusher && !priority && !controller) return "naive";
-  if (pusher && !priority && !controller) return "pusher";
-  if (pusher && priority && !controller) return "pusher+priority";
-  if (pusher && priority && controller) return "full";
-  return "custom";
+  if (!pusher && !priority && !controller) {
+    return epoch_cut ? "naive+cut" : "naive";
+  }
+  if (pusher && !priority && !controller) {
+    return epoch_cut ? "pusher+cut" : "pusher";
+  }
+  if (pusher && priority && !controller) {
+    return epoch_cut ? "pusher+priority+cut" : "pusher+priority";
+  }
+  if (pusher && priority && controller) {
+    return epoch_cut ? "full+cut" : "full";
+  }
+  return epoch_cut ? "custom+cut" : "custom";
 }
 
 }  // namespace klex::proto

@@ -85,6 +85,19 @@ class ExclusionParticipant {
   /// random in-domain value. (Channel corruption is done by the harness.)
   virtual void corrupt(support::Rng& rng) = 0;
 
+  /// Epoch-cut drain hook (Features::epoch_cut): drop every token this
+  /// process stores -- RSet entries and a held priority token -- exactly
+  /// like a reset visitation would, reporting the deltas through the
+  /// sink. Part of the harness's single batched O(n) drain pass; the
+  /// channel half is Engine::clear_channels().
+  virtual void epoch_drain() = 0;
+
+  /// Epoch-cut restart hook, meaningful only at the root (node 0): reset
+  /// the census/reset machinery, mint a fresh legitimate token population
+  /// for the enabled rungs and restart the controller circulation.
+  /// Returns false at non-root processes (the default).
+  virtual bool epoch_restart() { return false; }
+
   /// Attaches the (single) delta sink. The sink must start from this
   /// participant's current snapshot() -- attaching at construction time
   /// (all counts zero) is the usual way to keep that trivial. Detach with
@@ -157,15 +170,34 @@ class ListenerSet : public Listener {
 ///   pusher         -- + pusher token (no deadlock, but livelocks, Fig 3)
 ///   pusher+priority-- + priority token (correct, but not fault-tolerant)
 ///   full           -- + controller (self-stabilizing; Algorithms 1 & 2)
+///
+/// Orthogonal "+cut" rung: epoch-cut batched recovery. The pure protocol
+/// lets a transient fault's garbage-token population circulate for Θ(n)
+/// ticks (Θ(n²) deliveries) until the root's counter-flushed census
+/// absorbs it. With epoch_cut the deployment's management plane may react
+/// to a *detected* illegitimate population (the O(1) incremental census)
+/// with SystemBase::epoch_cut_recover(): one batched O(n) drain pass --
+/// wipe channels, drain every process's stored tokens, re-mint -- instead
+/// of the Θ(n)-tick distributed reset. Opt-in: it trades the paper's
+/// pure message-passing self-stabilization for engineered recovery speed,
+/// and every committed baseline runs without it.
 struct Features {
   bool pusher = true;
   bool priority = true;
   bool controller = true;
+  bool epoch_cut = false;
 
   static Features naive() { return {false, false, false}; }
   static Features with_pusher() { return {true, false, false}; }
   static Features with_priority() { return {true, true, false}; }
   static Features full() { return {true, true, true}; }
+
+  /// This rung plus the epoch-cut batched recovery drain.
+  Features with_epoch_cut() const {
+    Features f = *this;
+    f.epoch_cut = true;
+    return f;
+  }
 
   const char* name() const;
 

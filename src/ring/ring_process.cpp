@@ -152,12 +152,18 @@ RingRootProcess::RingRootProcess(core::Params params, std::int32_t modulus,
     : RingProcessBase(params, modulus, listener) {}
 
 void RingRootProcess::on_start() {
-  if (params_.seed_tokens) {
-    if (params_.features.priority) forward(proto::make_priority());
-    for (int i = 0; i < params_.l; ++i) forward(proto::make_resource());
-    if (params_.features.pusher) forward(proto::make_pusher());
-  }
+  if (params_.seed_tokens) mint_tokens();
   if (params_.features.controller) on_timeout();
+}
+
+void RingRootProcess::mint_tokens() {
+  // The mint order (priority, resources, pusher) is load-bearing: it is
+  // the seq/delivery-order contract the seeded-start trajectories pin;
+  // epoch_restart() must boot the identical population in the identical
+  // order.
+  if (params_.features.priority) forward(proto::make_priority());
+  for (int i = 0; i < params_.l; ++i) forward(proto::make_resource());
+  if (params_.features.pusher) forward(proto::make_pusher());
 }
 
 void RingRootProcess::on_timer(int timer_id) {
@@ -263,6 +269,20 @@ void RingRootProcess::handle_control(const proto::CtrlFields& f) {
   spush_ = 0;
   forward(proto::make_ctrl(proto::CtrlFields{myc_, reset_, 0, 0}));
   restart_timer();
+}
+
+bool RingRootProcess::epoch_restart() {
+  // Epoch-cut recovery: channels wiped and stored tokens drained by the
+  // harness; re-boot like a seeded start (see RootProcess::epoch_restart
+  // for the rationale).
+  reset_ = false;
+  stoken_ = 0;
+  spush_ = 0;
+  sprio_ = 0;
+  myc_ = static_cast<std::int32_t>((myc_ + 1) % myc_modulus_);
+  mint_tokens();
+  if (params_.features.controller) on_timeout();
+  return true;
 }
 
 proto::LocalSnapshot RingRootProcess::snapshot() const {

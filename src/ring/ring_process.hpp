@@ -50,6 +50,7 @@ class RingProcessBase : public sim::Process,
   int need() const final { return need_; }
   proto::LocalSnapshot snapshot() const override;
   void corrupt(support::Rng& rng) override;
+  void epoch_drain() override { erase_local_tokens(); }
 
  protected:
   static constexpr int kNoPrio = -1;
@@ -103,6 +104,7 @@ class RingRootProcess : public RingProcessBase {
 
   proto::LocalSnapshot snapshot() const override;
   void corrupt(support::Rng& rng) override;
+  bool epoch_restart() override;
 
   bool in_reset() const { return reset_; }
 
@@ -120,6 +122,9 @@ class RingRootProcess : public RingProcessBase {
 
   void on_timeout();
   void restart_timer();
+  /// Sends the legitimate token population for the enabled rungs (seeded
+  /// starts and epoch-cut restarts; the order is a pinned contract).
+  void mint_tokens();
   void forward_resource_counting();
 
   bool reset_ = false;

@@ -22,6 +22,9 @@ struct RingConfig {
   sim::SimTime timeout_period = 0;  // 0 = derived (n hops per loop)
   std::uint64_t seed = support::Rng::kDefaultSeed;
   bool seed_tokens = false;
+  /// Event scheduler (kCalendar unless differentially testing the
+  /// binary-heap reference -- see sim::SchedulerKind).
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
 };
 
 class RingSystem : public SystemBase {

@@ -33,53 +33,12 @@ SimTime Process::now() const {
 }
 
 // ---------------------------------------------------------------------------
-// Engine::EventHeap
-// ---------------------------------------------------------------------------
-
-void Engine::EventHeap::push(const Event& event) {
-  // Hole-based sift-up: bubble the hole to the insertion point, one copy
-  // per level (a std::push_heap-style swap chain does ~3x the stores).
-  std::size_t hole = heap_.size();
-  heap_.resize(hole + 1);
-  while (hole > 0) {
-    std::size_t parent = (hole - 1) / 2;
-    if (!event.before(heap_[parent])) break;
-    heap_[hole] = heap_[parent];
-    hole = parent;
-  }
-  heap_[hole] = event;
-}
-
-void Engine::EventHeap::pop() {
-  KLEX_CHECK(!heap_.empty(), "pop on an empty event heap");
-  std::size_t last = heap_.size() - 1;
-  if (last == 0) {
-    heap_.clear();
-    return;
-  }
-  // Move the last element's value down from the root hole.
-  const Event moved = heap_[last];
-  heap_.pop_back();
-  std::size_t hole = 0;
-  std::size_t half = last / 2;  // first index without children
-  while (hole < half) {
-    std::size_t child = 2 * hole + 1;
-    if (child + 1 < last && heap_[child + 1].before(heap_[child])) {
-      ++child;
-    }
-    if (!heap_[child].before(moved)) break;
-    heap_[hole] = heap_[child];
-    hole = child;
-  }
-  heap_[hole] = moved;
-}
-
-// ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::Engine(DelayModel delays, std::uint64_t seed)
-    : delays_(delays), rng_(seed) {
+Engine::Engine(DelayModel delays, std::uint64_t seed,
+               SchedulerKind scheduler)
+    : delays_(delays), rng_(seed), queue_(scheduler) {
   KLEX_REQUIRE(delays_.min_delay >= 1, "min_delay must be >= 1");
   KLEX_REQUIRE(delays_.max_delay >= delays_.min_delay,
                "max_delay must be >= min_delay");
@@ -128,8 +87,7 @@ const Process& Engine::process(NodeId id) const {
   return *processes_[static_cast<std::size_t>(id)];
 }
 
-void Engine::start() {
-  if (started_) return;
+void Engine::boot() {
   started_ = true;
   for (auto& process : processes_) {
     process->on_start();
@@ -171,6 +129,7 @@ void Engine::send_from(NodeId from, int channel, const Message& msg) {
   int index = channel_index_of(from, channel);
   schedule_delivery(index, msg);
   ++messages_sent_;
+  ++sent_by_type_[type_bucket(msg.type)];
   if (!observers_.empty()) notify_send(from, channel, msg);
 }
 
@@ -272,16 +231,15 @@ EngineStats Engine::stats() const {
   stats.messages_delivered = messages_delivered_;
   stats.callbacks_scheduled = callbacks_scheduled_;
   stats.callback_slots_created = callback_slots_created_;
-  stats.max_heap_size = max_heap_size_;
+  stats.max_heap_size = static_cast<std::uint64_t>(queue_.max_size());
   stats.in_flight_walks = in_flight_walks_;
+  stats.scheduler = queue_.counters();
   return stats;
 }
 
 void Engine::push_event(Event event) {
   event.seq = next_seq_++;
   queue_.push(event);
-  max_heap_size_ = std::max(max_heap_size_,
-                            static_cast<std::uint64_t>(queue_.size()));
 }
 
 void Engine::dispatch(const Event& event) {
@@ -334,30 +292,45 @@ void Engine::dispatch(const Event& event) {
   }
 }
 
-bool Engine::step() {
-  start();
-  if (queue_.empty()) return false;
-  Event event = queue_.top();
-  queue_.pop();
+void Engine::execute(const Event& event) {
   KLEX_CHECK(event.at >= now_, "event queue went backwards");
-  now_ = event.at;
+  if (event.at != now_) {
+    // Time advanced: slide the calendar window that routes pushes before
+    // the handler can schedule anything at the new time.
+    now_ = event.at;
+    queue_.advance_to(now_);
+  }
   ++events_executed_;
   dispatch(event);
+}
+
+bool Engine::step() {
+  start();
+  Event event;
+  if (!queue_.pop_min_until(kTimeInfinity, &event)) return false;
+  execute(event);
   return true;
 }
 
 void Engine::run_until(SimTime t) {
   start();
-  while (!queue_.empty() && queue_.top().at <= t) {
-    step();
+  Event event;
+  while (queue_.pop_min_until(t, &event)) {
+    execute(event);
   }
-  now_ = std::max(now_, t);
+  if (now_ < t) {
+    now_ = t;
+    queue_.advance_to(now_);
+  }
 }
 
 std::uint64_t Engine::run_events(std::uint64_t max_events) {
   start();
   std::uint64_t executed = 0;
-  while (executed < max_events && step()) {
+  Event event;
+  while (executed < max_events &&
+         queue_.pop_min_until(kTimeInfinity, &event)) {
+    execute(event);
     ++executed;
   }
   return executed;
@@ -371,9 +344,13 @@ bool Engine::run_until_message_quiescence(std::uint64_t max_events) {
   // controller set no timers, and for the full protocol the root's timeout
   // keeps the system live forever (so this method only makes sense for the
   // ladder variants and for drained workloads).
+  Event event;
   while (in_flight_ > 0 || pending_callbacks_ > 0) {
     if (executed >= max_events) return false;
-    if (!step()) return in_flight_ == 0 && pending_callbacks_ == 0;
+    if (!queue_.pop_min_until(kTimeInfinity, &event)) {
+      return in_flight_ == 0 && pending_callbacks_ == 0;
+    }
+    execute(event);
     ++executed;
   }
   return true;

@@ -23,12 +23,13 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/message.hpp"
+#include "sim/message_ring.hpp"
 #include "sim/time.hpp"
 #include "support/rng.hpp"
 
@@ -122,19 +123,27 @@ struct EngineStats {
   /// Slab slots ever constructed; stays flat once the slab warms up
   /// (callback scheduling then does zero slot allocations).
   std::uint64_t callback_slots_created = 0;
-  /// High-water mark of the event heap.
+  /// High-water mark of the pending-event set (ring + overflow heap).
   std::uint64_t max_heap_size = 0;
   /// Full in-flight walks (for_each_in_flight calls). The incremental
   /// census keeps this at zero during run_until_stabilized; the counter is
   /// in the BENCH_*.json trajectory so O(channels) polling cannot silently
   /// creep back into a hot loop.
   std::uint64_t in_flight_walks = 0;
+  /// Deterministic scheduler-op counters (see sim::SchedulerCounters):
+  /// calendar-ring inserts, find-min bitmap scans and heap-fallback
+  /// traffic. Pinned by tests/sim/event_core_test and carried in the
+  /// BENCH_*.json trajectory, so "schedule/pop are O(1) amortized" is a
+  /// gated invariant: overflow_pushes growing toward bucket_inserts means
+  /// the heap fallback became the hot path again.
+  SchedulerCounters scheduler{};
 };
 
 class Engine {
  public:
   explicit Engine(DelayModel delays = {},
-                  std::uint64_t seed = support::Rng::kDefaultSeed);
+                  std::uint64_t seed = support::Rng::kDefaultSeed,
+                  SchedulerKind scheduler = SchedulerKind::kCalendar);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -157,7 +166,9 @@ class Engine {
   // -- execution ------------------------------------------------------------
 
   /// Calls on_start() on every process (once); implicit in the run methods.
-  void start();
+  void start() {
+    if (!started_) boot();
+  }
 
   /// Executes a single event. Returns false if the queue was empty.
   bool step();
@@ -179,9 +190,11 @@ class Engine {
   /// Timestamp of the earliest pending event, or kTimeInfinity if the
   /// queue is empty. Lets callers prove "nothing can happen before t"
   /// without executing anything (event-driven stabilization detection).
-  SimTime next_event_time() const {
-    return queue_.empty() ? kTimeInfinity : queue_.top().at;
-  }
+  SimTime next_event_time() const { return queue_.top_time(); }
+
+  /// Which scheduler this engine runs on (kCalendar unless the caller
+  /// opted into the binary-heap reference for differential testing).
+  SchedulerKind scheduler() const { return queue_.scheduler(); }
 
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
@@ -219,9 +232,7 @@ class Engine {
   void for_each_in_flight(Fn&& fn) const {
     ++in_flight_walks_;
     for (const DirectedChannel& dc : channels_) {
-      for (const Message& msg : dc.in_flight) {
-        fn(dc.info, msg);
-      }
+      dc.in_flight.for_each([&](const Message& msg) { fn(dc.info, msg); });
     }
   }
 
@@ -235,6 +246,15 @@ class Engine {
 
   /// Per-type counters are exact for types in [0, kTrackedMessageTypes).
   static constexpr std::int32_t kTrackedMessageTypes = 8;
+
+  /// Cumulative messages sent whose `type` equals `type` (same bucketing
+  /// as in_flight_of_type), maintained inline on the send path.
+  /// inject_message is excluded: preloaded fault garbage "was already in
+  /// the channel" and is not protocol traffic. Replaces the per-send
+  /// observer the message-overhead accounting used to need.
+  std::uint64_t sent_of_type(std::int32_t type) const {
+    return sent_by_type_[type_bucket(type)];
+  }
 
   /// Per-channel in-flight count for (from, from_channel).
   int channel_backlog(NodeId from, int from_channel) const;
@@ -250,57 +270,13 @@ class Engine {
   static constexpr int kMaxTimers = 16;
 
  private:
-  enum class EventKind : std::uint8_t { kDelivery, kTimer, kCallback };
-
-  // One inline 32-byte record per pending event -- no heap payloads. A
-  // delivery does not carry its Message: per-channel delivery times are
-  // monotone with ties in send order, so the message is always the head
-  // of the channel's in-flight deque at dispatch time. clear_channels()
-  // bumps the channel epoch, which orphans every pending delivery event
-  // of the old epoch -- post-fault traffic keeps its sampled delays
-  // instead of being pulled forward by stale events.
-  struct Event {
-    SimTime at = 0;
-    std::uint64_t seq = 0;       // insertion order; ties on `at` keep it
-    std::uint64_t payload = 0;   // timer generation / callback slot /
-                                 // channel epoch (delivery)
-    std::int32_t target = -1;    // channel index (delivery) / node (timer)
-    std::uint8_t timer_id = 0;   // < kMaxTimers
-    EventKind kind = EventKind::kDelivery;
-
-    bool before(const Event& other) const {
-      if (at != other.at) return at < other.at;
-      return seq < other.seq;
-    }
-  };
-  static_assert(sizeof(Event) == 32, "the event core stores events inline;"
-                " keep the record one 32-byte slot");
-
-  /// Min-heap on (at, seq) over a flat vector. Versus std::priority_queue:
-  /// hole-based sifting (one copy per level instead of a swap), an
-  /// in-place pop that never copies the extracted element twice, and a
-  /// high-water mark for the stats. The (at, seq) key is a total order,
-  /// so heap extraction order is deterministic.
-  class EventHeap {
-   public:
-    bool empty() const { return heap_.empty(); }
-    std::size_t size() const { return heap_.size(); }
-    const Event& top() const { return heap_.front(); }
-    void push(const Event& event);
-    /// Removes the top event; `top()` must have been consumed first.
-    void pop();
-
-   private:
-    std::vector<Event> heap_;
-  };
-
   struct DirectedChannel {
     ChannelInfo info;
     SimTime last_scheduled = 0;
     // Bumped by clear_channels(); delivery events from older epochs are
     // stale and dropped at dispatch.
     std::uint64_t epoch = 0;
-    std::deque<Message> in_flight;
+    MessageRing in_flight;
   };
 
   static std::size_t type_bucket(std::int32_t type) {
@@ -312,7 +288,10 @@ class Engine {
   }
 
   int channel_index_of(NodeId from, int from_channel) const;
+  void boot();  // out-of-line once-only part of start()
   void dispatch(const Event& event);
+  /// Advances the clock to `event.at` and dispatches it.
+  void execute(const Event& event);
   void push_event(Event event);
   void schedule_delivery(int channel_index, const Message& msg);
   // Observer fan-out, out of line: the hot send/deliver paths only test
@@ -335,12 +314,13 @@ class Engine {
   // processes, so the staleness check in dispatch is one indexed load.
   std::vector<std::uint64_t> timer_generations_;
 
-  EventHeap queue_;
-  std::uint64_t max_heap_size_ = 0;
+  EventQueue queue_;
 
   // In-flight message count per type bucket, the channel half of the
   // incremental token census (proto::CensusTracker reads these).
   std::array<std::uint64_t, kTrackedMessageTypes> in_flight_by_type_{};
+  // Cumulative sends per type bucket (see sent_of_type).
+  std::array<std::uint64_t, kTrackedMessageTypes> sent_by_type_{};
   mutable std::uint64_t in_flight_walks_ = 0;
 
   // Callback slab: slots are recycled through a free list, so steady-state

@@ -1,0 +1,204 @@
+// The engine's pending-event set.
+//
+// Two schedulers implement the same total order (at, seq):
+//
+//   * CalendarQueue (the default) -- a hierarchical bucket ring
+//     ("calendar") over the next kBucketCount integer ticks, with a
+//     two-level bitmap (64-bit summary word over 64 group words) locating
+//     the earliest non-empty bucket in O(1), plus the binary heap for
+//     everything the ring is wrong for. It exploits what the simulation
+//     guarantees: integer SimTime ticks, bounded per-channel delay
+//     windows and monotone per-channel delivery times, so under load
+//     every push lands inside the ring window and schedule/pop are O(1)
+//     amortized. The heap keeps two jobs: far-future events (root
+//     timeouts beyond the window) and the *sparse* regime -- while the
+//     queue holds at most kSparseThreshold events a binary heap fits in
+//     two cache lines and beats the ring's bucket traffic, so small
+//     queues route there wholesale. pop() compares the two minima by
+//     (at, seq), so the split is invisible to event order.
+//
+//   * EventHeap -- the indexed binary min-heap (the pre-calendar
+//     scheduler, O(log m) per op). Kept both as the calendar's fallback
+//     structure and as a standalone SchedulerKind so the two engines can
+//     be differentially tested against each other
+//     (tests/integration/scheduler_differential_test.cpp pins them
+//     bit-identical).
+//
+// Ordering contract (both schedulers, pinned by the differential tests):
+// events pop in strictly increasing (at, seq). The calendar preserves it
+// because (a) within one bucket events are appended in push order, which
+// is seq order; (b) buckets are consumed in tick order; and (c) the heap
+// side is an exact min-heap on (at, seq) and pop() takes whichever
+// structure holds the smaller key.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace klex::sim {
+
+enum class EventKind : std::uint8_t { kDelivery, kTimer, kCallback };
+
+// One inline 32-byte record per pending event -- no heap payloads. A
+// delivery does not carry its Message: per-channel delivery times are
+// monotone with ties in send order, so the message is always the head
+// of the channel's in-flight deque at dispatch time. clear_channels()
+// bumps the channel epoch, which orphans every pending delivery event
+// of the old epoch -- post-fault traffic keeps its sampled delays
+// instead of being pulled forward by stale events.
+struct Event {
+  SimTime at = 0;
+  std::uint64_t seq = 0;       // insertion order; ties on `at` keep it
+  std::uint64_t payload = 0;   // timer generation / callback slot /
+                               // channel epoch (delivery)
+  std::int32_t target = -1;    // channel index (delivery) / node (timer)
+  std::uint8_t timer_id = 0;   // < kMaxTimers
+  EventKind kind = EventKind::kDelivery;
+
+  bool before(const Event& other) const {
+    if (at != other.at) return at < other.at;
+    return seq < other.seq;
+  }
+};
+static_assert(sizeof(Event) == 32, "the event core stores events inline;"
+              " keep the record one 32-byte slot");
+
+/// Which scheduler the engine runs on. kCalendar is the default;
+/// kBinaryHeap forces every event through the heap (the historical
+/// scheduler) for differential testing.
+enum class SchedulerKind : std::uint8_t { kCalendar, kBinaryHeap };
+
+/// Deterministic scheduler-op counters (exposed through EngineStats and
+/// the BENCH_*.json trajectory): per seed they are bit-reproducible, so
+/// the O(1)-amortized claim is a gated invariant -- under load,
+/// overflow_pushes creeping toward bucket_inserts means the heap
+/// fallback became the hot path.
+struct SchedulerCounters {
+  /// Events that entered the calendar ring.
+  std::uint64_t bucket_inserts = 0;
+  /// Find-min bitmap scans (each O(1): at most three word probes).
+  std::uint64_t bucket_scans = 0;
+  /// Events pushed to the heap side (sparse regime, beyond the ring
+  /// window, or every event in kBinaryHeap mode).
+  std::uint64_t overflow_pushes = 0;
+  /// Events popped off the heap side.
+  std::uint64_t overflow_pops = 0;
+};
+
+/// Min-heap on (at, seq) over a flat vector. Versus std::priority_queue:
+/// hole-based sifting (one copy per level instead of a swap), an
+/// in-place pop that never copies the extracted element twice. The
+/// (at, seq) key is a total order, so heap extraction order is
+/// deterministic.
+class EventHeap {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  const Event& top() const { return heap_.front(); }
+  void push(const Event& event);
+  /// Removes the top event; `top()` must have been consumed first.
+  void pop();
+
+ private:
+  std::vector<Event> heap_;
+};
+
+/// The pending-event set: calendar ring + heap (see file comment).
+/// advance_to(now) MUST be called whenever simulated time advances; it
+/// slides the ring window that routes pushes.
+class EventQueue {
+ public:
+  /// Ring window: events within [now, now + kBucketCount) are eligible
+  /// for the ring, one tick per bucket. 1024 ticks cover every delivery
+  /// the delay models can schedule and most workload timers while
+  /// keeping the bucket headers L1-resident.
+  static constexpr std::uint32_t kLogBucketCount = 10;
+  static constexpr std::size_t kBucketCount = std::size_t{1}
+                                              << kLogBucketCount;
+
+  /// Below this pending-event count pushes prefer the heap: a tiny heap
+  /// is two hot cache lines, while ring traffic touches a cold bucket
+  /// per event. Measured crossover is ~10 events on the sparse protocol
+  /// rungs (bench_fig2_deadlock's naive cell).
+  static constexpr std::size_t kSparseThreshold = 8;
+
+  explicit EventQueue(SchedulerKind scheduler = SchedulerKind::kCalendar);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t max_size() const { return max_size_; }
+
+  /// The minimum pending event by (at, seq). Queue must be non-empty.
+  const Event& top() const;
+  /// Timestamp of top(), or kTimeInfinity when empty -- O(1).
+  SimTime top_time() const;
+  /// Removes top(); the reference obtained from top() is invalidated.
+  void pop();
+  /// Fused test+top+pop: if the minimum event's time is <= `t`, pops it
+  /// into *out and returns true -- one min computation per event where
+  /// top_time()/top()/pop() would do three. False on empty or when the
+  /// minimum lies beyond `t` (nothing is popped).
+  bool pop_min_until(SimTime t, Event* out);
+  /// Inserts `event`; `event.at` must be >= the last advance_to() time.
+  void push(const Event& event);
+
+  /// Advances the ring window to `now`. Call when simulated time moves.
+  void advance_to(SimTime now) {
+    now_ = now;
+    window_end_ = now + kBucketCount;
+  }
+
+  SchedulerKind scheduler() const { return scheduler_; }
+  const SchedulerCounters& counters() const { return counters_; }
+
+ private:
+  struct Bucket {
+    std::vector<Event> events;  // seq-ordered; consumed from `head`
+    std::uint32_t head = 0;
+  };
+
+  static constexpr std::size_t kMask = kBucketCount - 1;
+  static constexpr std::size_t kGroupCount = kBucketCount / 64;
+  static_assert(kGroupCount <= 64,
+                "the two-level bitmap needs one summary word");
+
+  std::size_t tick_position(SimTime at) const {
+    return static_cast<std::size_t>(at) & kMask;
+  }
+  SimTime tick_of(std::size_t bucket) const {
+    return now_ + ((bucket - tick_position(now_)) & kMask);
+  }
+
+  /// Head event of the earliest non-empty bucket (ring_count_ > 0).
+  const Event& ring_top() const;
+  void ring_pop();
+  /// Index of the earliest non-empty bucket (ring_count_ must be > 0).
+  std::size_t min_bucket() const;
+  /// Circular two-level bitmap scan starting at bucket position `from`.
+  std::size_t scan_from(std::size_t from) const;
+
+  SchedulerKind scheduler_;
+  SimTime now_ = 0;
+  SimTime window_end_ = kBucketCount;
+
+  std::vector<Bucket> buckets_;             // kBucketCount entries
+  std::array<std::uint64_t, kGroupCount> bits_{};
+  std::uint64_t summary_ = 0;
+
+  EventHeap overflow_;
+  std::size_t ring_count_ = 0;
+  std::size_t size_ = 0;
+  std::size_t max_size_ = 0;
+
+  // Find-min cache: valid when cached_min_bucket_ >= 0; maintained by
+  // push (a smaller tick steals it) and invalidated when the min bucket
+  // empties. Mutable: top()/top_time() are logically const.
+  mutable std::int64_t cached_min_bucket_ = -1;
+  mutable SimTime cached_min_tick_ = 0;
+  mutable SchedulerCounters counters_;
+};
+
+}  // namespace klex::sim

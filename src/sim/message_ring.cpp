@@ -1,0 +1,18 @@
+#include "sim/message_ring.hpp"
+
+namespace klex::sim {
+
+void MessageRing::grow() {
+  std::size_t capacity = buf_.empty() ? 8 : buf_.size() * 2;
+  std::vector<Message> next(capacity);
+  std::size_t count = size();
+  for (std::size_t i = 0; i < count; ++i) {
+    next[i] = buf_[(head_ + i) & mask_];
+  }
+  buf_ = std::move(next);
+  mask_ = capacity - 1;
+  head_ = 0;
+  tail_ = count;
+}
+
+}  // namespace klex::sim

@@ -19,6 +19,7 @@ class FakeParticipant : public ExclusionParticipant {
   int need() const override { return 0; }
   LocalSnapshot snapshot() const override { return snap; }
   void corrupt(support::Rng&) override {}
+  void epoch_drain() override {}
 
   void emit_reserved(int delta) { notify_reserved_delta(delta); }
   void emit_priority(int delta) { notify_priority_delta(delta); }

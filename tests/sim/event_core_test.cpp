@@ -145,6 +145,115 @@ TEST(EventCore, ClearedChannelsDoNotAccelerateLaterTraffic) {
   EXPECT_EQ(net.engine.now(), before + 4);  // full min_delay honored
 }
 
+// -- calendar-queue scheduler ------------------------------------------------
+//
+// The routing policy as a gated invariant, with deterministic counters:
+// sparse queues (<= kSparseThreshold pending) stay on the tiny hot heap,
+// loaded queues move the bulk onto the O(1) calendar ring, far-future
+// events always take the heap, and the (at, seq) merge keeps the split
+// invisible to event order. Any drift in the counts below means the
+// scheduling policy changed.
+
+TEST(EventCore, SparseTrafficPrefersTheHeap) {
+  Net net;  // one outstanding delivery at a time: always sparse
+  net.engine.start();
+  for (int round = 0; round < 200; ++round) {
+    net.a->send(0, Message{1, round, 0, 0, 0});
+    net.engine.run_until(net.engine.now() + 20);
+  }
+  EngineStats stats = net.engine.stats();
+  EXPECT_EQ(net.b->deliveries, 200);
+  EXPECT_EQ(stats.scheduler.bucket_inserts, 0u);
+  EXPECT_EQ(stats.scheduler.bucket_scans, 0u);
+  EXPECT_EQ(stats.scheduler.overflow_pushes, 200u);
+  EXPECT_EQ(stats.scheduler.overflow_pops, 200u);
+}
+
+TEST(EventCore, LoadedQueueMovesTheBulkToTheRing) {
+  // A standing burst: the first kSparseThreshold pushes seed the heap,
+  // everything past the threshold lands in calendar buckets, and the
+  // merge delivers all of it in time order.
+  Net net(DelayModel{1, 16}, 9);
+  net.engine.start();
+  for (int i = 0; i < 100; ++i) net.a->send(0, Message{1, i, 0, 0, 0});
+  EngineStats queued = net.engine.stats();
+  EXPECT_EQ(queued.scheduler.overflow_pushes, 8u);  // kSparseThreshold
+  EXPECT_EQ(queued.scheduler.bucket_inserts, 92u);
+  SimTime last = 0;
+  while (net.engine.step()) {
+    EXPECT_GE(net.engine.now(), last);
+    last = net.engine.now();
+  }
+  EXPECT_EQ(net.b->deliveries, 100);
+}
+
+TEST(EventCore, FarFutureTimerPaysOneHeapRoundTrip) {
+  Net net;
+  net.engine.start();
+  net.a->set_timer(0, 10'000);  // beyond the 1024-tick ring window
+  EngineStats armed = net.engine.stats();
+  EXPECT_EQ(armed.scheduler.overflow_pushes, 1u);
+  EXPECT_EQ(armed.scheduler.overflow_pops, 0u);
+  net.engine.run_until(20'000);
+  ASSERT_EQ(net.a->timer_fires.size(), 1u);
+  EngineStats fired = net.engine.stats();
+  EXPECT_EQ(fired.scheduler.overflow_pushes, 1u);
+  EXPECT_EQ(fired.scheduler.overflow_pops, 1u);
+}
+
+TEST(EventCore, SameTickBurstStaysFifoInOneBucket) {
+  // Fixed 4-tick delay, 2000 sends at t=0: the FIFO clamp
+  // (max(now+delay, last_scheduled)) lands every delivery on tick 4 --
+  // a deep backlog piles onto ONE bucket (after the sparse-threshold
+  // heap seed), and the (at, seq) merge drains heap seqs 0..7 then ring
+  // seqs 8..1999: exact send order.
+  Net net(DelayModel{4, 4}, 5);
+  net.engine.start();
+  for (int i = 0; i < 2000; ++i) net.a->send(0, Message{1, i, 0, 0, 0});
+  EngineStats queued = net.engine.stats();
+  EXPECT_EQ(queued.scheduler.overflow_pushes, 8u);
+  EXPECT_EQ(queued.scheduler.bucket_inserts, 1992u);
+  net.engine.run_until(10'000);
+  EXPECT_EQ(net.b->deliveries, 2000);
+  EXPECT_EQ(net.engine.stats().scheduler.bucket_scans, 1u);  // one bucket
+}
+
+TEST(EventCore, FarEventOutwaitsRingTrafficAndFiresOnTime) {
+  // A callback beyond the ring window sits on the heap while in-window
+  // ring traffic churns past it, and still fires at its exact tick.
+  Net net(DelayModel{1, 16}, 13);
+  net.engine.start();
+  int fired_at = -1;
+  net.engine.schedule(1'500, [&net, &fired_at] {
+    fired_at = static_cast<int>(net.engine.now());
+  });                                          // beyond 1024: heap
+  for (int i = 0; i < 64; ++i) net.a->send(0, Message{1, i, 0, 0, 0});
+  EXPECT_EQ(net.engine.stats().scheduler.overflow_pushes, 8u);  // incl. cb
+  net.engine.run_until(1'000);
+  EXPECT_EQ(net.b->deliveries, 64);
+  EXPECT_EQ(fired_at, -1);
+  net.engine.run_until(2'000);
+  EXPECT_EQ(fired_at, 1500);
+}
+
+TEST(EventCore, BinaryHeapModeBypassesTheRing) {
+  Engine engine(DelayModel{}, 1, SchedulerKind::kBinaryHeap);
+  auto p0 = std::make_unique<Sink>();
+  Sink* a = p0.get();
+  engine.add_process(std::move(p0));
+  engine.add_process(std::make_unique<Sink>());
+  engine.connect(0, 0, 1, 0);
+  engine.start();
+  for (int i = 0; i < 50; ++i) a->send(0, Message{1, i, 0, 0, 0});
+  engine.run_until(1'000);
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.messages_delivered, 50u);
+  EXPECT_EQ(stats.scheduler.bucket_inserts, 0u);
+  EXPECT_EQ(stats.scheduler.bucket_scans, 0u);
+  EXPECT_EQ(stats.scheduler.overflow_pushes, 50u);
+  EXPECT_EQ(stats.scheduler.overflow_pops, 50u);
+}
+
 TEST(EventCore, StatsCountersAreCoherent) {
   Net net;
   net.engine.start();

@@ -10,30 +10,50 @@ build directory holds the freshly produced ones). For every scenario
 present on both sides the tool compares:
 
   * throughput: per-aggregate-cell total_events_per_sec (keyed by
-    topology, features, k, l -- "features" names the protocol rung and
-    defaults to "full" for artifacts that predate the rung grid). A drop
-    of more than --rate-tolerance is a REGRESSION. Wall-clock rates vary
-    between machines, so CI calls this with a generous tolerance while
-    same-machine commit-to-commit runs use the strict default.
-  * allocation / walk counters: per-run engine.callback_slots_created and
-    engine.in_flight_walks (keyed by topology, features, k, l, seed).
-    These are bit-deterministic per seed, so any growth beyond
-    --counter-tolerance plus --counter-slack means per-event allocations
-    or O(channels) census walks crept back into a hot path: REGRESSION.
+    topology, features, k, l, fault_garbage -- "features" names the
+    protocol rung and defaults to "full" for artifacts that predate the
+    rung grid; fault_garbage defaults to -1). A drop of more than
+    --rate-tolerance is a REGRESSION. Wall-clock rates vary between
+    machines, so CI calls this with a generous tolerance while
+    same-machine commit-to-commit runs use the strict default. Cells
+    carrying mean_wall_seconds and n also report wall-time per node.
+  * deterministic counters: per-run engine.callback_slots_created,
+    engine.in_flight_walks, engine.overflow_pushes and the run-level
+    recovery_events (keyed by topology, features, k, l, fault_garbage,
+    seed). These are bit-deterministic per seed, so any growth beyond
+    --counter-tolerance plus --counter-slack means per-event allocations,
+    O(channels) census walks or heap-fallback scheduling crept back into
+    a hot path: REGRESSION.
 
-Cells or scenarios present on one side only are reported but never fail
-the run (short/smoke sweeps are strict subsets of the committed full
-sweeps). Exit status: 0 = clean, 1 = at least one regression, 2 = usage
-or data error.
+Coverage is part of the contract: an aggregate cell (or a per-seed run)
+present in the baseline but missing from the current artifact is a
+FAILURE (a renamed or silently dropped cell must not read as "no
+regressions"). --allow-missing-cells SCENARIO[=MAXN] waives exactly the
+cells a capped smoke sweep cannot produce: with =MAXN only cells whose
+network size exceeds MAXN are waived (CI passes the KLEX_SCALE_MAX_N cap
+here); without =MAXN the whole scenario's missing cells are waived.
+Scenarios present on one side only are reported; a baseline scenario
+absent from the current side fails unless --scenario restricts the
+comparison or --allow-missing-cells covers it. A baseline run that
+recovered from its fault must still recover (a missing or false
+"recovered" in the current run is a REGRESSION). Exit status: 0 = clean,
+1 = at least one regression or coverage failure, 2 = usage or data
+error.
 """
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
 RATE_FIELD = "total_events_per_sec"
-COUNTER_FIELDS = ("callback_slots_created", "in_flight_walks")
+ENGINE_COUNTER_FIELDS = (
+    "callback_slots_created",
+    "in_flight_walks",
+    "overflow_pushes",
+)
+RUN_COUNTER_FIELDS = ("recovery_events",)
 
 
 def load_benches(directory):
@@ -49,26 +69,50 @@ def load_benches(directory):
     return benches
 
 
+def cell_key(cell):
+    return (
+        cell["topology"],
+        cell.get("features", "full"),
+        cell["k"],
+        cell["l"],
+        cell.get("fault_garbage", -1),
+    )
+
+
 def aggregate_cells(data):
-    return {
-        (cell["topology"], cell.get("features", "full"), cell["k"],
-         cell["l"]): cell
-        for cell in data.get("aggregates", [])
-    }
+    return {cell_key(cell): cell for cell in data.get("aggregates", [])}
 
 
 def run_cells(data):
-    return {
-        (run["topology"], run.get("features", "full"), run["k"], run["l"],
-         run["seed"]): run
-        for run in data.get("runs", [])
-    }
+    return {cell_key(run) + (run["seed"],): run for run in data.get("runs", [])}
 
 
 def fmt_key(key):
-    if len(key) == 5:
-        return f"{key[0]} [{key[1]}] k={key[2]} l={key[3]} seed={key[4]}"
-    return f"{key[0]} [{key[1]}] k={key[2]} l={key[3]}"
+    base = f"{key[0]} [{key[1]}] k={key[2]} l={key[3]}"
+    if key[4] != -1:
+        base += f" g={key[4]}"
+    if len(key) == 6:
+        base += f" seed={key[5]}"
+    return base
+
+
+def cell_n(topology, record=None):
+    """Network size of a cell: the explicit n field, else parsed from the
+    topology name (older artifacts embed it, e.g. "tree:random(n=8192,...)").
+    """
+    if record and record.get("n"):
+        return record["n"]
+    match = re.search(r"n=(\d+)", topology)
+    return int(match.group(1)) if match else None
+
+
+def fmt_wall_per_node(cell):
+    """Wall-time per node in us, or None for artifacts predating the fields."""
+    wall = cell.get("mean_wall_seconds")
+    n = cell.get("n")
+    if not wall or not n:
+        return None
+    return wall * 1e6 / n
 
 
 def main():
@@ -108,6 +152,16 @@ def main():
         default=None,
         help="restrict to these scenario names (repeatable)",
     )
+    parser.add_argument(
+        "--allow-missing-cells",
+        action="append",
+        default=[],
+        metavar="SCENARIO[=MAXN]",
+        help="scenario whose current artifact may omit baseline cells; with "
+        "=MAXN only cells with network size > MAXN are waived (the smoke "
+        "run's n-cap), without it all of the scenario's missing cells are. "
+        "Repeatable",
+    )
     args = parser.parse_args()
 
     baseline = load_benches(args.baseline)
@@ -119,23 +173,56 @@ def main():
         print(f"error: no BENCH_*.json under {args.current}", file=sys.stderr)
         sys.exit(2)
 
+    # scenario -> n-cap above which missing cells are waived (None = all).
+    allow_missing = {}
+    for entry in args.allow_missing_cells:
+        name, _, cap = entry.partition("=")
+        allow_missing[name] = int(cap) if cap else None
+
+    def missing_waived(name, topology, record):
+        if name not in allow_missing:
+            return False
+        cap = allow_missing[name]
+        if cap is None:
+            return True
+        n = cell_n(topology, record)
+        # Unknown size: waive (conservative; named-size sweeps always parse).
+        return n is None or n > cap
     names = sorted(set(baseline) & set(current))
     if args.scenario:
         names = [n for n in names if n in set(args.scenario)]
-    for name in sorted(set(baseline) ^ set(current)):
-        side = "baseline" if name in baseline else "current"
-        print(f"note: scenario '{name}' only in {side}; skipped")
+
+    failures = 0
+    for name in sorted(set(baseline) - set(current)):
+        if args.scenario and name not in set(args.scenario):
+            continue
+        if name in allow_missing:
+            print(f"note: scenario '{name}' only in baseline; allowed")
+        else:
+            failures += 1
+            print(
+                f"FAILURE: scenario '{name}' in baseline but missing from "
+                f"current (restrict with --scenario or allow with "
+                f"--allow-missing-cells)"
+            )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: scenario '{name}' only in current; skipped")
     if not names:
         print("error: no scenario present on both sides", file=sys.stderr)
         sys.exit(2)
 
-    regressions = 0
     for name in names:
         base_cells = aggregate_cells(baseline[name])
         cur_cells = aggregate_cells(current[name])
         shared = sorted(set(base_cells) & set(cur_cells))
         for key in sorted(set(base_cells) - set(cur_cells)):
-            print(f"note: [{name}] {fmt_key(key)} missing from current; skipped")
+            if missing_waived(name, key[0], base_cells[key]):
+                print(f"note: [{name}] {fmt_key(key)} missing from current; "
+                      f"allowed (capped sweep)")
+            else:
+                failures += 1
+                print(f"FAILURE: [{name}] {fmt_key(key)} in baseline but "
+                      f"missing from current artifact")
         print(f"== scenario '{name}': {len(shared)} aggregate cell(s) ==")
         for key in shared:
             base_rate = base_cells[key].get(RATE_FIELD, 0.0)
@@ -148,32 +235,65 @@ def main():
                         status = "slow(adv)"
                     else:
                         status = "REGRESSION"
-                        regressions += 1
+                        failures += 1
+                wall = ""
+                base_wpn = fmt_wall_per_node(base_cells[key])
+                cur_wpn = fmt_wall_per_node(cur_cells[key])
+                if cur_wpn is not None:
+                    wall = f", wall/node {cur_wpn:.3f}us"
+                    if base_wpn is not None:
+                        wall = (f", wall/node {base_wpn:.3f} -> "
+                                f"{cur_wpn:.3f}us")
                 print(
                     f"  {status:>10}  {fmt_key(key)}: events/s "
                     f"{base_rate:,.0f} -> {cur_rate:,.0f} ({change:+.1%})"
+                    f"{wall}"
                 )
 
         base_runs = run_cells(baseline[name])
         cur_runs = run_cells(current[name])
+        for key in sorted(set(base_runs) - set(cur_runs)):
+            # Run-level coverage: a baseline seed silently vanishing from a
+            # still-present cell must not pass as "nothing to compare".
+            if missing_waived(name, key[0], base_runs[key]):
+                continue  # the cell-level note already covers capped sweeps
+            failures += 1
+            print(f"FAILURE: [{name}] {fmt_key(key)} run in baseline but "
+                  f"missing from current artifact")
         for key in sorted(set(base_runs) & set(cur_runs)):
-            base_engine = base_runs[key].get("engine", {})
-            cur_engine = cur_runs[key].get("engine", {})
-            for field in COUNTER_FIELDS:
-                if field not in base_engine or field not in cur_engine:
+            base_run = base_runs[key]
+            cur_run = cur_runs[key]
+            if base_run.get("recovered") and cur_run.get("recovered") \
+                    is not True:
+                # recovery_events is only emitted for recovered runs, so an
+                # un-recovering (or fault-phase-dropping) current run would
+                # otherwise dodge the counter gate entirely -- the worst
+                # recovery regression.
+                failures += 1
+                print(f"  REGRESSION  {fmt_key(key)}: recovered "
+                      f"true -> {cur_run.get('recovered')}")
+            counters = [
+                (f"engine.{field}",
+                 base_run.get("engine", {}).get(field),
+                 cur_run.get("engine", {}).get(field))
+                for field in ENGINE_COUNTER_FIELDS
+            ] + [
+                (field, base_run.get(field), cur_run.get(field))
+                for field in RUN_COUNTER_FIELDS
+            ]
+            for label, base_v, cur_v in counters:
+                if base_v is None or cur_v is None:
                     continue
-                base_v = base_engine[field]
-                cur_v = cur_engine[field]
                 limit = base_v * (1.0 + args.counter_tolerance) + args.counter_slack
                 if cur_v > limit:
-                    regressions += 1
+                    failures += 1
                     print(
-                        f"  REGRESSION  {fmt_key(key)}: engine.{field} "
+                        f"  REGRESSION  {fmt_key(key)}: {label} "
                         f"{base_v} -> {cur_v} (limit {limit:.0f})"
                     )
 
-    if regressions:
-        print(f"\n{regressions} regression(s) beyond tolerance")
+    if failures:
+        print(f"\n{failures} regression(s)/failure(s) beyond tolerance")
         return 1
     print("\nno regressions beyond tolerance")
     return 0

@@ -113,6 +113,17 @@ SystemBuilder& SystemBuilder::seed_tokens(bool on) {
   return *this;
 }
 
+SystemBuilder& SystemBuilder::threads(int count) {
+  KLEX_REQUIRE(count >= 1, "need at least one thread");
+  threads_ = count;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::spread_tokens(bool on) {
+  spread_tokens_ = on;
+  return *this;
+}
+
 SystemBuilder& SystemBuilder::manual_tokens(bool on) {
   manual_tokens_ = on;
   return *this;
@@ -174,12 +185,14 @@ std::unique_ptr<SystemBase> SystemBuilder::build() const {
     config.timeout_period = timeout_period_;
     config.seed = seed_;
     config.seed_tokens = seed_tokens_;
+    config.threads = threads_;
   };
   auto make_tree_system =
       [&, this](tree::Tree t) -> std::unique_ptr<SystemBase> {
     SystemConfig config;
     config.tree = std::move(t);
     apply_common(config);
+    config.spread_tokens = spread_tokens_;
     config.manual_tokens = manual_tokens_;
     config.literal_pusher_guard = literal_pusher_guard_;
     config.omit_prio_wrap_count = omit_prio_wrap_count_;
@@ -187,6 +200,9 @@ std::unique_ptr<SystemBase> SystemBuilder::build() const {
   };
   auto make_graph_system =
       [&, this](stree::Graph g) -> std::unique_ptr<SystemBase> {
+    KLEX_REQUIRE(!spread_tokens_,
+                 "spread_tokens() is tree-topology only (the overlay tour "
+                 "is not known to the builder)");
     GraphSystemConfig config;
     config.graph = std::move(g);
     apply_common(config);
@@ -195,6 +211,7 @@ std::unique_ptr<SystemBase> SystemBuilder::build() const {
     return std::make_unique<GraphSystem>(std::move(config));
   };
   auto make_ring_system = [&](int n) -> std::unique_ptr<SystemBase> {
+    KLEX_REQUIRE(!spread_tokens_, "spread_tokens() is tree-topology only");
     ring::RingConfig config;
     config.n = n;
     apply_common(config);

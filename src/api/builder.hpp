@@ -101,6 +101,13 @@ class SystemBuilder {
   SystemBuilder& timeout_period(sim::SimTime t);
   SystemBuilder& seed(std::uint64_t s);
   SystemBuilder& seed_tokens(bool on = true);
+  /// Worker lanes for the conservative-window parallel engine (1 =
+  /// serial; clamped to the topology size and Engine::kMaxLanes).
+  SystemBuilder& threads(int count);
+  /// Tree topologies only: seed the ℓ resources evenly spaced along the
+  /// Euler tour instead of as a convoy out of the root (see
+  /// SystemConfig::spread_tokens).
+  SystemBuilder& spread_tokens(bool on = true);
   SystemBuilder& manual_tokens(bool on = true);
   SystemBuilder& literal_pusher_guard(bool on = true);
   SystemBuilder& omit_prio_wrap_count(bool on = true);
@@ -141,6 +148,8 @@ class SystemBuilder {
   sim::SimTime timeout_period_ = 0;
   std::uint64_t seed_ = support::Rng::kDefaultSeed;
   bool seed_tokens_ = false;
+  int threads_ = 1;
+  bool spread_tokens_ = false;
   bool manual_tokens_ = false;
   bool literal_pusher_guard_ = false;
   bool omit_prio_wrap_count_ = false;

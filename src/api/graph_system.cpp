@@ -1,7 +1,10 @@
 #include "api/graph_system.hpp"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
+#include "stree/partition.hpp"
 #include "support/check.hpp"
 
 namespace klex {
@@ -49,7 +52,11 @@ GraphSystem::GraphSystem(GraphSystemConfig config)
                  config.scheduler),
       config_(std::move(config)),
       overlay_(run_spanning_phase(config_, stree_converged_at_)) {
-  nodes_ = build_tree_protocol(overlay_);
+  int lanes = std::clamp(config_.threads, 1,
+                         std::min(overlay_.size(), sim::Engine::kMaxLanes));
+  std::vector<int> node_lane;
+  if (lanes > 1) node_lane = stree::partition_tree(overlay_, lanes);
+  nodes_ = build_tree_protocol(overlay_, node_lane, lanes);
 }
 
 core::KlProcessBase& GraphSystem::node(NodeId id) {

@@ -42,6 +42,11 @@ struct GraphSystemConfig {
   /// Spanning-tree construction phase (its own engine, derived seed).
   sim::SimTime beacon_period = 256;
   sim::SimTime spanning_tree_deadline = 4'000'000;
+
+  /// Worker lanes for the exclusion phase, cut over the *extracted*
+  /// overlay tree's DFS preorder (see SystemConfig::threads). The
+  /// spanning-tree phase itself stays serial.
+  int threads = 1;
 };
 
 class GraphSystem : public SystemBase {

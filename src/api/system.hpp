@@ -55,6 +55,19 @@ struct SystemConfig {
   /// Event scheduler (kCalendar unless differentially testing the
   /// binary-heap reference -- see sim::SchedulerKind).
   sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
+  /// Worker lanes for the conservative-window parallel engine: the tree
+  /// is cut into `threads` contiguous DFS-preorder chunks, each with its
+  /// own event queue, clock and rng, executed concurrently in
+  /// [T, T + min_delay) windows (see sim/parallel_engine.hpp). 1 = the
+  /// serial engine, bit for bit. Clamped to [1, min(n, Engine::kMaxLanes)].
+  int threads = 1;
+  /// Seed the ℓ resource tokens evenly spaced along the virtual ring
+  /// (the Euler tour) instead of minting them all into the root's
+  /// channel 0. Breaks the boot-time convoy so parallel lanes have
+  /// independent work from tick 0; the population is the same legitimate
+  /// ℓ + pusher + priority, so the controller census confirms it as-is.
+  /// Implies manual seeding (seed_tokens is ignored).
+  bool spread_tokens = false;
 };
 
 class System : public SystemBase {
@@ -69,6 +82,10 @@ class System : public SystemBase {
   core::RootProcess& root();
 
  private:
+  /// Places the ℓ resource tokens evenly spaced along the Euler tour
+  /// (plus pusher and priority at the root) for spread_tokens mode.
+  void spread_seed_tokens();
+
   SystemConfig config_;
   std::vector<core::KlProcessBase*> nodes_;  // owned by engine
 };

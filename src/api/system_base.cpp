@@ -34,23 +34,33 @@ void SystemBase::connect_nodes(NodeId from, int from_channel, NodeId to,
 }
 
 std::vector<core::KlProcessBase*> SystemBase::build_tree_protocol(
-    const tree::Tree& tree) {
+    const tree::Tree& tree, const std::vector<int>& node_lane,
+    int lane_count) {
   KLEX_REQUIRE(tree.size() >= 2,
                "the protocol requires n >= 2 (see DESIGN.md)");
   KLEX_REQUIRE(!params_.features.controller ||
                    (params_.features.pusher && params_.features.priority),
                "the self-stabilizing rung requires pusher and priority");
+  KLEX_REQUIRE(arena_ == nullptr, "build_tree_protocol runs once");
+
+  std::vector<int> degrees(static_cast<std::size_t>(tree.size()));
+  for (tree::NodeId v = 0; v < tree.size(); ++v) {
+    degrees[static_cast<std::size_t>(v)] = tree.degree(v);
+  }
+  arena_ = std::make_unique<core::ProcessStateArena>(degrees, params_.k,
+                                                     node_lane);
 
   std::vector<core::KlProcessBase*> nodes;
   std::int32_t modulus = core::myc_modulus(tree.size(), params_.cmax);
   for (tree::NodeId v = 0; v < tree.size(); ++v) {
     std::unique_ptr<core::KlProcessBase> process;
+    int slot = arena_->slot_of(v);
     if (v == tree::kRoot) {
       process = std::make_unique<core::RootProcess>(
-          params_, tree.degree(v), modulus, &listeners_);
+          params_, tree.degree(v), modulus, &listeners_, *arena_, slot);
     } else {
       process = std::make_unique<core::MemberProcess>(
-          params_, tree.degree(v), modulus, &listeners_);
+          params_, tree.degree(v), modulus, &listeners_, *arena_, slot);
     }
     nodes.push_back(add_node(std::move(process)));
     KLEX_CHECK(nodes.back()->id() == v, "engine ids must match tree ids");
@@ -59,6 +69,10 @@ std::vector<core::KlProcessBase*> SystemBase::build_tree_protocol(
     for (int c = 0; c < tree.degree(v); ++c) {
       connect_nodes(v, c, tree.neighbor(v, c), tree.reverse_channel(v, c));
     }
+  }
+  if (lane_count > 1) {
+    engine_.configure_lanes(node_lane, lane_count);
+    parallel_ = std::make_unique<sim::ParallelEngine>(engine_);
   }
   return nodes;
 }
@@ -138,7 +152,17 @@ int SystemBase::need_of(NodeId node) const {
   return participants_[static_cast<std::size_t>(node)]->need();
 }
 
-void SystemBase::run_until(sim::SimTime t) { engine_.run_until(t); }
+void SystemBase::run_until(sim::SimTime t) {
+  // The window executor falls back to the trajectory-identical
+  // merged-serial loop on its own when callbacks or observers are live,
+  // so dispatching here never changes what happens -- only on how many
+  // threads.
+  if (parallel_ != nullptr) {
+    parallel_->run_until(t);
+  } else {
+    engine_.run_until(t);
+  }
+}
 
 bool SystemBase::run_until_message_quiescence(std::uint64_t max_events) {
   return engine_.run_until_message_quiescence(max_events);

@@ -22,11 +22,13 @@
 #include "core/member_process.hpp"
 #include "core/params.hpp"
 #include "core/root_process.hpp"
+#include "core/state_arena.hpp"
 #include "proto/app.hpp"
 #include "proto/census.hpp"
 #include "proto/messages.hpp"
 #include "proto/workload.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel_engine.hpp"
 #include "tree/tree.hpp"
 
 namespace klex {
@@ -44,6 +46,18 @@ class SystemBase : public proto::RequestPort {
   // -- accessors --------------------------------------------------------------
   sim::Engine& engine() { return engine_; }
   const sim::Engine& engine() const { return engine_; }
+
+  /// Worker lanes the engine was partitioned into (1 = serial).
+  int threads() const { return engine_.lane_count(); }
+
+  /// The window executor driving run_until when threads() > 1; null for
+  /// serial systems.
+  sim::ParallelEngine* parallel_engine() { return parallel_.get(); }
+
+  /// The SoA arena holding the protocol's hot per-node state; null for
+  /// topologies that keep per-process storage (the ring baseline).
+  const core::ProcessStateArena* state_arena() const { return arena_.get(); }
+
   int n() const { return static_cast<int>(participants_.size()); }
   int k() const { return params_.k; }
   int l() const { return params_.l; }
@@ -160,9 +174,13 @@ class SystemBase : public proto::RequestPort {
 
   /// Builds the paper's tree protocol (Algorithms 1 & 2) over `tree` and
   /// wires every channel; shared by the tree system and the spanning-tree
-  /// composition. Engine ids equal tree node ids.
+  /// composition. Engine ids equal tree node ids. The per-node protocol
+  /// state lands in the shared SoA arena (state_arena.hpp); `node_lane`
+  /// (empty = serial) partitions both the engine and the arena slots, and
+  /// `lane_count` > 1 attaches the conservative-window ParallelEngine.
   std::vector<core::KlProcessBase*> build_tree_protocol(
-      const tree::Tree& tree);
+      const tree::Tree& tree, const std::vector<int>& node_lane = {},
+      int lane_count = 1);
 
   /// Domains for random_message() during transient-fault injection.
   /// The default covers the tree-protocol topologies (myC domain of
@@ -172,7 +190,13 @@ class SystemBase : public proto::RequestPort {
 
   core::Params params_;
   proto::ListenerSet listeners_;
+  // SoA protocol state; declared before engine_ (which owns the process
+  // objects holding references into the arena) so it is destroyed last.
+  std::unique_ptr<core::ProcessStateArena> arena_;
   sim::Engine engine_;
+  // Window executor for threads() > 1; declared after engine_ so its
+  // worker threads join before the engine is torn down.
+  std::unique_ptr<sim::ParallelEngine> parallel_;
   // Incremental census (engine per-type counters + participant deltas);
   // declared after engine_ so it can hold a pointer to it at construction.
   proto::CensusTracker tracker_;

@@ -8,6 +8,11 @@ MemberProcess::MemberProcess(Params params, int degree, std::int32_t modulus,
                              proto::Listener* listener)
     : KlProcessBase(params, degree, modulus, listener) {}
 
+MemberProcess::MemberProcess(Params params, int degree, std::int32_t modulus,
+                             proto::Listener* listener,
+                             ProcessStateArena& arena, int slot)
+    : KlProcessBase(params, degree, modulus, listener, arena, slot) {}
+
 void MemberProcess::handle_control(int channel, const proto::CtrlFields& f) {
   // Alg. 2 lines 32-59.
   bool ok = false;

@@ -18,6 +18,9 @@ class MemberProcess : public KlProcessBase {
  public:
   MemberProcess(Params params, int degree, std::int32_t modulus,
                 proto::Listener* listener);
+  MemberProcess(Params params, int degree, std::int32_t modulus,
+                proto::Listener* listener, ProcessStateArena& arena,
+                int slot);
 
  protected:
   void handle_control(int channel, const proto::CtrlFields& f) override;

@@ -8,13 +8,53 @@ namespace klex::core {
 
 KlProcessBase::KlProcessBase(Params params, int degree, std::int32_t modulus,
                              proto::Listener* listener)
+    : KlProcessBase(params, degree, modulus, listener,
+                    std::make_unique<ProcessStateArena>(
+                        std::vector<int>{degree}, params.k),
+                    /*slot=*/0) {}
+
+KlProcessBase::KlProcessBase(Params params, int degree, std::int32_t modulus,
+                             proto::Listener* listener,
+                             std::unique_ptr<ProcessStateArena> owned,
+                             int slot)
     : params_(params),
       degree_(degree),
       myc_modulus_(modulus),
-      rset_(degree, params.k),
+      owned_state_(std::move(owned)),
+      myc_(owned_state_->myc(slot)),
+      succ_(owned_state_->succ(slot)),
+      rset_(owned_state_->rset(slot)),
+      need_(owned_state_->need(slot)),
+      state_(owned_state_->state(slot)),
+      prio_(owned_state_->prio(slot)),
+      release_pending_(owned_state_->release_pending(slot)),
       listener_(listener) {
   KLEX_REQUIRE(degree_ >= 1, "every process has at least one channel");
   KLEX_REQUIRE(myc_modulus_ >= 1, "bad myC modulus");
+  KLEX_REQUIRE(params_.k >= 1 && params_.k <= params_.l,
+               "need 1 <= k <= l, got k=", params_.k, " l=", params_.l);
+  KLEX_REQUIRE(listener_ != nullptr, "listener required");
+}
+
+KlProcessBase::KlProcessBase(Params params, int degree, std::int32_t modulus,
+                             proto::Listener* listener,
+                             ProcessStateArena& arena, int slot)
+    : params_(params),
+      degree_(degree),
+      myc_modulus_(modulus),
+      myc_(arena.myc(slot)),
+      succ_(arena.succ(slot)),
+      rset_(arena.rset(slot)),
+      need_(arena.need(slot)),
+      state_(arena.state(slot)),
+      prio_(arena.prio(slot)),
+      release_pending_(arena.release_pending(slot)),
+      listener_(listener) {
+  KLEX_REQUIRE(degree_ >= 1, "every process has at least one channel");
+  KLEX_REQUIRE(myc_modulus_ >= 1, "bad myC modulus");
+  KLEX_REQUIRE(rset_.label_domain() == degree_ && rset_.max_size() ==
+                   params_.k,
+               "arena slot shape must match (degree, k)");
   KLEX_REQUIRE(params_.k >= 1 && params_.k <= params_.l,
                "need 1 <= k <= l, got k=", params_.k, " l=", params_.l);
   KLEX_REQUIRE(listener_ != nullptr, "listener required");

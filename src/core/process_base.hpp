@@ -14,12 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/params.hpp"
+#include "core/state_arena.hpp"
 #include "proto/app.hpp"
 #include "proto/messages.hpp"
 #include "sim/engine.hpp"
-#include "support/fixed_multiset.hpp"
 #include "support/rng.hpp"
 
 namespace klex::core {
@@ -31,9 +32,18 @@ class KlProcessBase : public sim::Process,
                       public proto::ExclusionParticipant {
  public:
   /// `degree` is Δp (channels 0..degree−1 must be connected before the
-  /// simulation starts); `modulus` is the myC domain size.
+  /// simulation starts); `modulus` is the myC domain size. This form
+  /// owns a private single-slot arena -- convenient for harness tests
+  /// that build one process in isolation.
   KlProcessBase(Params params, int degree, std::int32_t modulus,
                 proto::Listener* listener);
+
+  /// Shared-arena form: the protocol variables live in `arena` at `slot`
+  /// (SoA hot state; see state_arena.hpp). The arena must outlive the
+  /// process and `arena.rset(slot).label_domain()` must equal `degree`.
+  KlProcessBase(Params params, int degree, std::int32_t modulus,
+                proto::Listener* listener, ProcessStateArena& arena,
+                int slot);
 
   // -- sim::Process ----------------------------------------------------------
   void on_message(int channel, const sim::Message& msg) final;
@@ -51,7 +61,7 @@ class KlProcessBase : public sim::Process,
   const Params& params() const { return params_; }
 
   /// Exposed for direct-manipulation tests: the reserved-token multiset.
-  const support::FixedMultiset& rset() const { return rset_; }
+  const RSetRef& rset() const { return rset_; }
 
  protected:
   /// Token handlers shared by Algorithms 1 and 2.
@@ -112,16 +122,27 @@ class KlProcessBase : public sim::Process,
   int degree_;
   std::int32_t myc_modulus_;
 
-  // Protocol variables (paper names in comments).
-  std::int32_t myc_ = 0;                // myC
-  int succ_ = 0;                        // Succ
-  support::FixedMultiset rset_;         // RSet
-  int need_ = 0;                        // Need
-  proto::AppState state_ = proto::AppState::kOut;  // State
-  int prio_ = kNoPrio;                  // Prio (−1 = ⊥)
-  bool release_pending_ = false;        // ReleaseCS() latch
+  // Backing store for the single-process constructor; null when the
+  // state lives in a shared arena. Declared before the references so it
+  // is constructed first and destroyed last.
+  std::unique_ptr<ProcessStateArena> owned_state_;
+
+  // Protocol variables (paper names in comments); references into the
+  // arena slot, so the handler code reads exactly as it did with inline
+  // members.
+  std::int32_t& myc_;                   // myC
+  int& succ_;                           // Succ
+  RSetRef rset_;                        // RSet
+  int& need_;                           // Need
+  proto::AppState& state_;              // State
+  int& prio_;                           // Prio (−1 = ⊥)
+  bool& release_pending_;               // ReleaseCS() latch
 
  private:
+  KlProcessBase(Params params, int degree, std::int32_t modulus,
+                proto::Listener* listener,
+                std::unique_ptr<ProcessStateArena> owned, int slot);
+
   proto::Listener* listener_;
 };
 

@@ -8,6 +8,11 @@ RootProcess::RootProcess(Params params, int degree, std::int32_t modulus,
                          proto::Listener* listener)
     : KlProcessBase(params, degree, modulus, listener) {}
 
+RootProcess::RootProcess(Params params, int degree, std::int32_t modulus,
+                         proto::Listener* listener, ProcessStateArena& arena,
+                         int slot)
+    : KlProcessBase(params, degree, modulus, listener, arena, slot) {}
+
 void RootProcess::on_start() {
   if (params_.seed_tokens) {
     mint_tokens(params_.l, params_.features.pusher,

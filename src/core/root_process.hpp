@@ -18,6 +18,8 @@ class RootProcess : public KlProcessBase {
  public:
   RootProcess(Params params, int degree, std::int32_t modulus,
               proto::Listener* listener);
+  RootProcess(Params params, int degree, std::int32_t modulus,
+              proto::Listener* listener, ProcessStateArena& arena, int slot);
 
   void on_start() override;
   void on_timer(int timer_id) override;

@@ -1,0 +1,56 @@
+#include "core/state_arena.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace klex::core {
+
+ProcessStateArena::ProcessStateArena(const std::vector<int>& degrees, int k,
+                                     const std::vector<int>& node_lane)
+    : k_(k) {
+  KLEX_REQUIRE(!degrees.empty(), "arena needs at least one node");
+  KLEX_REQUIRE(k >= 1, "need k >= 1");
+  KLEX_REQUIRE(node_lane.empty() || node_lane.size() == degrees.size(),
+               "lane map must cover every node");
+  const std::size_t n = degrees.size();
+
+  // Slot order: stable sort of node ids by lane. Without lanes (or with
+  // one lane) this is the identity, so serial systems keep slot == id.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (!node_lane.empty()) {
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return node_lane[static_cast<std::size_t>(a)] <
+             node_lane[static_cast<std::size_t>(b)];
+    });
+  }
+  slot_of_.resize(n);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    slot_of_[static_cast<std::size_t>(order[slot])] = static_cast<int>(slot);
+  }
+
+  // Pristine protocol state, matching the historical member initializers
+  // (myC = 0, Succ = 0, RSet = ∅, Need = 0, State = Out, Prio = ⊥).
+  myc_.assign(n, 0);
+  succ_.assign(n, 0);
+  need_.assign(n, 0);
+  prio_.assign(n, -1);
+  state_.assign(n, proto::AppState::kOut);
+  release_pending_ = std::make_unique<bool[]>(n);
+  std::fill(release_pending_.get(), release_pending_.get() + n, false);
+
+  rset_offset_.resize(n);
+  rset_domain_.resize(n);
+  std::size_t total = 0;
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    int degree = degrees[static_cast<std::size_t>(order[slot])];
+    KLEX_REQUIRE(degree >= 0, "negative degree");
+    rset_offset_[slot] = total;
+    rset_domain_[slot] = degree;
+    total += static_cast<std::size_t>(degree);
+  }
+  rset_counts_.assign(total, 0);
+  rset_size_.assign(n, 0);
+}
+
+}  // namespace klex::core

@@ -1,0 +1,157 @@
+// ProcessStateArena: structure-of-arrays storage for the protocol's hot
+// per-node variables (myC, Succ, RSet, Need, State, Prio, the ReleaseCS
+// latch).
+//
+// With one heap-allocated process object per node, n = 10^6 nodes scatter
+// the per-event working set (a handful of small integers each) across a
+// million allocations; the token walk then touches a fresh cache line per
+// hop. The arena packs each variable into one contiguous array indexed by
+// *slot*, and orders slots by (lane, node id) so every parallel-engine
+// lane works a dense region of each array instead of interleaving with
+// its siblings. KlProcessBase binds reference members into its slot, so
+// the protocol code (root_process.cpp / member_process.cpp) is unchanged
+// -- only the storage moved.
+//
+// The RSet multiset stores per-label multiplicities; labels are channel
+// indices, so each node needs degree(v) counters. They live in one shared
+// counts array with per-slot offsets (sum of degrees, the same size the
+// per-node FixedMultisets used), and RSetRef mirrors the FixedMultiset
+// API over that window.
+//
+// The arrays are sized once at construction and never reallocated: the
+// references handed out stay valid for the arena's lifetime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proto/app.hpp"
+#include "support/check.hpp"
+
+namespace klex::core {
+
+/// A FixedMultiset-shaped view over one slot's RSet storage (counts
+/// window + size cell inside the arena). See support/fixed_multiset.hpp
+/// for the modelled semantics; the API is kept identical so protocol
+/// code cannot tell the two apart.
+class RSetRef {
+ public:
+  RSetRef(std::int32_t* counts, std::int32_t* size, int label_domain,
+          int max_size)
+      : counts_(counts),
+        size_(size),
+        label_domain_(label_domain),
+        max_size_(max_size) {}
+
+  /// Total number of stored elements, |RSet|.
+  int size() const { return *size_; }
+
+  bool empty() const { return *size_ == 0; }
+
+  /// Capacity bound k; inserting beyond it is a contract violation.
+  int max_size() const { return max_size_; }
+
+  /// Number of distinct labels in the domain (Δp).
+  int label_domain() const { return label_domain_; }
+
+  /// Multiplicity of `label` -- the paper's |RSet|_q notation.
+  int count(int label) const {
+    KLEX_CHECK(label >= 0 && label < label_domain_,
+               "label ", label, " outside domain ", label_domain_);
+    return counts_[label];
+  }
+
+  /// Inserts one occurrence of `label`. Requires size() < max_size().
+  void insert(int label) {
+    KLEX_CHECK(*size_ < max_size_, "multiset is full (k = ", max_size_, ")");
+    KLEX_CHECK(label >= 0 && label < label_domain_,
+               "label ", label, " outside domain ", label_domain_);
+    ++counts_[label];
+    ++*size_;
+  }
+
+  /// Removes one occurrence of `label`; it must be present.
+  void erase_one(int label) {
+    KLEX_CHECK(count(label) > 0, "label ", label, " not present");
+    --counts_[label];
+    --*size_;
+  }
+
+  /// Empties the multiset (the paper's `RSet <- emptyset`).
+  void clear() {
+    for (int label = 0; label < label_domain_; ++label) counts_[label] = 0;
+    *size_ = 0;
+  }
+
+  /// Calls `fn(label, multiplicity)` for every label with multiplicity > 0.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (int label = 0; label < label_domain_; ++label) {
+      int c = counts_[label];
+      if (c > 0) fn(label, c);
+    }
+  }
+
+ private:
+  std::int32_t* counts_;
+  std::int32_t* size_;
+  int label_domain_;
+  int max_size_;
+};
+
+class ProcessStateArena {
+ public:
+  /// `degrees[v]` = Δv per node; `k` bounds every RSet. `node_lane`
+  /// (parallel partitions; empty = all lane 0) orders slots by
+  /// (lane, node id) so each lane's state is contiguous.
+  ProcessStateArena(const std::vector<int>& degrees, int k,
+                    const std::vector<int>& node_lane = {});
+
+  int size() const { return static_cast<int>(myc_.size()); }
+
+  /// Slot of `node` -- its rank under the (lane, id) order. Identity when
+  /// the arena was built without lanes.
+  int slot_of(int node) const {
+    KLEX_CHECK(node >= 0 && node < size(), "bad arena node ", node);
+    return slot_of_[static_cast<std::size_t>(node)];
+  }
+
+  // Per-slot variable access; the returned references stay valid for the
+  // arena's lifetime (the arrays never reallocate).
+  std::int32_t& myc(int slot) { return myc_[check_slot(slot)]; }
+  int& succ(int slot) { return succ_[check_slot(slot)]; }
+  int& need(int slot) { return need_[check_slot(slot)]; }
+  int& prio(int slot) { return prio_[check_slot(slot)]; }
+  proto::AppState& state(int slot) { return state_[check_slot(slot)]; }
+  bool& release_pending(int slot) {
+    return release_pending_[check_slot(slot)];
+  }
+  RSetRef rset(int slot) {
+    std::size_t s = check_slot(slot);
+    return RSetRef(rset_counts_.data() + rset_offset_[s],
+                   rset_size_.data() + s, rset_domain_[s], k_);
+  }
+
+ private:
+  std::size_t check_slot(int slot) const {
+    KLEX_CHECK(slot >= 0 && slot < size(), "bad arena slot ", slot);
+    return static_cast<std::size_t>(slot);
+  }
+
+  int k_;
+  std::vector<int> slot_of_;           // node id -> slot
+  std::vector<std::int32_t> myc_;      // myC
+  std::vector<int> succ_;              // Succ
+  std::vector<int> need_;              // Need
+  std::vector<int> prio_;              // Prio (-1 = ⊥)
+  std::vector<proto::AppState> state_; // State
+  std::unique_ptr<bool[]> release_pending_;  // ReleaseCS() latch
+  std::vector<std::size_t> rset_offset_;  // slot -> window in rset_counts_
+  std::vector<int> rset_domain_;          // slot -> degree (Δv)
+  std::vector<std::int32_t> rset_counts_; // concatenated multiplicities
+  std::vector<std::int32_t> rset_size_;   // |RSet| per slot
+};
+
+}  // namespace klex::core

@@ -31,23 +31,27 @@ std::vector<RunPoint> ExperimentRunner::expand(const ScenarioSpec& spec) {
   KLEX_REQUIRE(spec.seeds >= 1, "scenario needs at least one seed");
   KLEX_REQUIRE(!spec.fault_garbage.empty(),
                "scenario has no fault_garbage entries");
+  KLEX_REQUIRE(!spec.threads.empty(), "scenario has no thread counts");
   std::vector<RunPoint> points;
   points.reserve(spec.topologies.size() * spec.features.size() *
                  spec.kl.size() * spec.fault_garbage.size() *
-                 static_cast<std::size_t>(spec.seeds));
+                 spec.threads.size() * static_cast<std::size_t>(spec.seeds));
   for (const TopologySpec& topology : spec.topologies) {
     for (const proto::Features& features : spec.features) {
       for (const auto& [k, l] : spec.kl) {
         for (int garbage : spec.fault_garbage) {
-          for (int s = 0; s < spec.seeds; ++s) {
-            RunPoint point;
-            point.topology = topology;
-            point.features = features;
-            point.k = k;
-            point.l = l;
-            point.fault_garbage = garbage;
-            point.seed = spec.base_seed + static_cast<std::uint64_t>(s);
-            points.push_back(point);
+          for (int threads : spec.threads) {
+            for (int s = 0; s < spec.seeds; ++s) {
+              RunPoint point;
+              point.topology = topology;
+              point.features = features;
+              point.k = k;
+              point.l = l;
+              point.fault_garbage = garbage;
+              point.threads = threads;
+              point.seed = spec.base_seed + static_cast<std::uint64_t>(s);
+              points.push_back(point);
+            }
           }
         }
       }
@@ -64,6 +68,7 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   result.k = point.k;
   result.l = point.l;
   result.fault_garbage = point.fault_garbage;
+  result.threads = point.threads;
   result.seed = point.seed;
 
   // Every grid point is one declarative construction: topology × params
@@ -75,6 +80,9 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
                         .cmax(spec.cmax)
                         .delays(spec.delays)
                         .seed(point.seed)
+                        .seed_tokens(spec.seed_tokens)
+                        .spread_tokens(spec.spread_tokens)
+                        .threads(point.threads)
                         .workload(spec.workload)
                         .fault(spec.fault)
                         .fault_garbage(point.fault_garbage)
@@ -240,14 +248,15 @@ std::vector<RunResult> ExperimentRunner::run(const ScenarioSpec& spec) const {
 
 std::vector<Aggregate> ExperimentRunner::aggregate(
     const std::vector<RunResult>& results) {
-  // Keyed by (topology, features, k, l, fault_garbage), in
+  // Keyed by (topology, features, k, l, fault_garbage, threads), in
   // first-appearance order.
-  std::map<std::tuple<std::string, std::string, int, int, int>, std::size_t>
+  std::map<std::tuple<std::string, std::string, int, int, int, int>,
+           std::size_t>
       index;
   std::vector<Aggregate> cells;
   for (const RunResult& run : results) {
     auto key = std::tuple{run.topology, run.features, run.k, run.l,
-                          run.fault_garbage};
+                          run.fault_garbage, run.threads};
     auto [it, inserted] = index.try_emplace(key, cells.size());
     if (inserted) {
       Aggregate cell;
@@ -256,6 +265,7 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
       cell.k = run.k;
       cell.l = run.l;
       cell.fault_garbage = run.fault_garbage;
+      cell.threads = run.threads;
       cell.n = run.n;
       cells.push_back(cell);
     }
@@ -376,6 +386,11 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
   json.field("min", spec.delays.min_delay);
   json.field("max", spec.delays.max_delay);
   json.end_object();
+  json.key("threads").begin_array();
+  for (int threads : spec.threads) json.value(threads);
+  json.end_array();
+  json.field("seed_tokens", spec.seed_tokens);
+  json.field("spread_tokens", spec.spread_tokens);
   json.key("workload").begin_object();
   json.key("base");
   write_behavior(json, spec.workload.base);
@@ -430,6 +445,7 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.field("n", run.n);
     json.field("k", run.k);
     json.field("l", run.l);
+    json.field("threads", run.threads);
     json.field("seed", run.seed);
     json.field("stabilized", run.stabilized);
     if (run.stabilized) {
@@ -487,6 +503,7 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.field("overflow_pushes",
                run.engine_stats.scheduler.overflow_pushes);
     json.field("overflow_pops", run.engine_stats.scheduler.overflow_pops);
+    json.field("bucket_window", run.engine_stats.bucket_window);
     json.end_object();
     json.end_object();
   }
@@ -502,6 +519,7 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     if (cell.fault_garbage >= 0) {
       json.field("fault_garbage", cell.fault_garbage);
     }
+    json.field("threads", cell.threads);
     json.field("n", cell.n);
     json.field("runs", cell.runs);
     json.field("stabilized_runs", cell.stabilized_runs);

@@ -31,6 +31,8 @@ struct RunPoint {
   int l = 1;
   /// Fault-phase garbage per channel (-1 = fault kind's default).
   int fault_garbage = -1;
+  /// Engine worker lanes (1 = serial).
+  int threads = 1;
   std::uint64_t seed = 1;
 };
 
@@ -52,6 +54,7 @@ struct RunResult {
   int n = 0;
   int k = 1;
   int l = 1;
+  int threads = 1;
   std::uint64_t seed = 1;
 
   // Stabilization / recovery.
@@ -100,13 +103,14 @@ struct RunResult {
   sim::EngineStats engine_stats{};
 };
 
-/// Cross-seed aggregate for one (topology, features, k, l) cell.
+/// Cross-seed aggregate for one (topology, features, k, l, threads) cell.
 struct Aggregate {
   std::string topology;
   std::string features;
   int k = 1;
   int l = 1;
   int fault_garbage = -1;
+  int threads = 1;
   int n = 0;
   int runs = 0;
   int stabilized_runs = 0;
@@ -147,8 +151,8 @@ class ExperimentRunner {
   /// expand() order.
   std::vector<RunResult> run(const ScenarioSpec& spec) const;
 
-  /// Groups results by (topology, features, k, l, fault_garbage) and
-  /// averages across seeds.
+  /// Groups results by (topology, features, k, l, fault_garbage,
+  /// threads) and averages across seeds.
   static std::vector<Aggregate> aggregate(
       const std::vector<RunResult>& results);
 

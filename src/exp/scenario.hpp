@@ -47,6 +47,18 @@ struct ScenarioSpec {
   int cmax = 4;
   sim::DelayModel delays{};
 
+  /// Engine worker-lane grid: every entry runs on every
+  /// (topology, rung, k, ℓ) cell (SystemBuilder::threads; 1 = the serial
+  /// engine). Distinct from ExperimentRunner's own worker pool, which
+  /// parallelizes across grid points.
+  std::vector<int> threads = {1};
+  /// Seed the legitimate token population at boot
+  /// (SystemBuilder::seed_tokens).
+  bool seed_tokens = false;
+  /// Spread the seeded resources along the Euler tour instead of a root
+  /// convoy (tree topologies only; SystemBuilder::spread_tokens).
+  bool spread_tokens = false;
+
   /// Base behavior + named behavior classes (hold-forever sets, inactive
   /// relays, bounded budgets); materialized per run, deterministically
   /// from the run seed. An empty class list is the uniform workload.

@@ -39,13 +39,21 @@ CensusTracker::CensusTracker(const sim::Engine* engine, int l,
 
 void CensusTracker::resync(
     const std::vector<const ExclusionParticipant*>& participants) {
-  reserved_resource_ = 0;
-  held_priority_ = 0;
+  // Between-windows only (like every reader): the walk's totals go to
+  // cell 0, the cell the serial path and lane 0 write.
+  std::int64_t reserved = 0;
+  std::int64_t held = 0;
   for (const ExclusionParticipant* participant : participants) {
     LocalSnapshot snap = participant->snapshot();
-    reserved_resource_ += snap.rset_size;
-    if (snap.holds_priority) ++held_priority_;
+    reserved += snap.rset_size;
+    if (snap.holds_priority) ++held;
   }
+  for (LaneCell& cell : cells_) {
+    cell.reserved.store(0, std::memory_order_relaxed);
+    cell.held.store(0, std::memory_order_relaxed);
+  }
+  cells_[0].reserved.store(reserved, std::memory_order_relaxed);
+  cells_[0].held.store(held, std::memory_order_relaxed);
 }
 
 TokenCensus CensusTracker::counts() const {
@@ -55,10 +63,10 @@ TokenCensus CensusTracker::counts() const {
   };
   TokenCensus census;
   census.free_resource = in_flight(TokenType::kResource);
-  census.reserved_resource = reserved_resource_;
+  census.reserved_resource = reserved_resource();
   census.pusher = in_flight(TokenType::kPusher);
   census.free_priority = in_flight(TokenType::kPriority);
-  census.held_priority = held_priority_;
+  census.held_priority = held_priority();
   census.control = in_flight(TokenType::kControl);
   return census;
 }

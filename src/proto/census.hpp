@@ -20,6 +20,7 @@
 //     call it (EngineStats::in_flight_walks proves that).
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "proto/app.hpp"
@@ -71,8 +72,16 @@ class CensusTracker final : public ParticipantDeltaSink {
                 Features features = Features::full());
 
   // -- ParticipantDeltaSink ---------------------------------------------------
-  void on_reserved_delta(int delta) override { reserved_resource_ += delta; }
-  void on_priority_delta(int delta) override { held_priority_ += delta; }
+  // Deltas land in the cell of the lane executing the event (lane 0 for
+  // serial engines), so concurrent window execution never contends on a
+  // shared counter: each lane's worker is the only writer of its cell,
+  // and the load/add/store below is a plain single-writer update, not an
+  // atomic RMW -- the serial path pays one inlined TLS load per delta.
+  // Readers sum the cells; the sums are only meaningful between windows
+  // (the barrier's mutex hand-off orders the cells), which is where every
+  // caller of counts()/correct() lives.
+  void on_reserved_delta(int delta) override { bump(&LaneCell::reserved, delta); }
+  void on_priority_delta(int delta) override { bump(&LaneCell::held, delta); }
 
   /// Re-derives the participant half from snapshots (one O(n) walk; used
   /// when the sink is attached to already-running participants).
@@ -88,24 +97,54 @@ class CensusTracker final : public ParticipantDeltaSink {
   bool correct() const {
     return static_cast<int>(engine_->in_flight_of_type(
                static_cast<std::int32_t>(TokenType::kResource))) +
-                   reserved_resource_ == l_ &&
+                   reserved_resource() == l_ &&
            static_cast<int>(engine_->in_flight_of_type(
                static_cast<std::int32_t>(TokenType::kPusher))) ==
                expected_pusher_ &&
            static_cast<int>(engine_->in_flight_of_type(
                static_cast<std::int32_t>(TokenType::kPriority))) +
-                   held_priority_ == expected_priority_;
+                   held_priority() == expected_priority_;
   }
 
   int l() const { return l_; }
 
  private:
+  /// One delta accumulator per engine lane, cache-line separated so
+  /// worker threads never false-share. Single writer per cell.
+  struct alignas(64) LaneCell {
+    std::atomic<std::int64_t> reserved{0};
+    std::atomic<std::int64_t> held{0};
+  };
+
+  void bump(std::atomic<std::int64_t> LaneCell::* field, int delta) {
+    std::atomic<std::int64_t>& cell =
+        cells_[static_cast<std::size_t>(sim::Engine::current_lane())].*field;
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  }
+
+  // Only the engine's active lanes can have accumulated deltas (serial
+  // engines: exactly cell 0). correct() probes this once per executed
+  // event inside run_until_stabilized, so the scan must not touch the
+  // kMaxLanes - lane_count() cells that are guaranteed zero.
+  int sum(std::atomic<std::int64_t> LaneCell::* field) const {
+    std::int64_t total = 0;
+    const int lanes = engine_->lane_count();
+    for (int i = 0; i < lanes; ++i) {
+      total += (cells_[static_cast<std::size_t>(i)].*field)
+                   .load(std::memory_order_relaxed);
+    }
+    return static_cast<int>(total);
+  }
+
+  int reserved_resource() const { return sum(&LaneCell::reserved); }
+  int held_priority() const { return sum(&LaneCell::held); }
+
   const sim::Engine* engine_;
   int l_;
   int expected_pusher_ = 1;
   int expected_priority_ = 1;
-  int reserved_resource_ = 0;
-  int held_priority_ = 0;
+  LaneCell cells_[sim::Engine::kMaxLanes];
 };
 
 }  // namespace klex::proto

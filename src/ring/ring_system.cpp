@@ -1,8 +1,11 @@
 #include "ring/ring_system.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "proto/messages.hpp"
+#include "stree/partition.hpp"
 #include "support/check.hpp"
 
 namespace klex::ring {
@@ -44,6 +47,12 @@ RingSystem::RingSystem(RingConfig config)
   }
   for (int v = 0; v < config_.n; ++v) {
     connect_nodes(v, 0, (v + 1) % config_.n, 0);
+  }
+  int lanes = std::clamp(config_.threads, 1,
+                         std::min(config_.n, sim::Engine::kMaxLanes));
+  if (lanes > 1) {
+    engine_.configure_lanes(stree::partition_range(config_.n, lanes), lanes);
+    parallel_ = std::make_unique<sim::ParallelEngine>(engine_);
   }
 }
 

@@ -25,6 +25,8 @@ struct RingConfig {
   /// Event scheduler (kCalendar unless differentially testing the
   /// binary-heap reference -- see sim::SchedulerKind).
   sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
+  /// Worker lanes (contiguous node-id arcs; see SystemConfig::threads).
+  int threads = 1;
 };
 
 class RingSystem : public SystemBase {

@@ -8,6 +8,12 @@
 
 namespace klex::sim {
 
+namespace {
+// Salt for deriving the rng streams of lanes >= 1 from the engine seed;
+// lane 0 keeps the plain seed so one lane == the serial engine.
+constexpr std::uint64_t kLaneRngSalt = 0xC3D19A447E0155EDull;
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Process
 // ---------------------------------------------------------------------------
@@ -38,10 +44,11 @@ SimTime Process::now() const {
 
 Engine::Engine(DelayModel delays, std::uint64_t seed,
                SchedulerKind scheduler)
-    : delays_(delays), rng_(seed), queue_(scheduler) {
+    : delays_(delays), seed_(seed), scheduler_kind_(scheduler) {
   KLEX_REQUIRE(delays_.min_delay >= 1, "min_delay must be >= 1");
   KLEX_REQUIRE(delays_.max_delay >= delays_.min_delay,
                "max_delay must be >= min_delay");
+  lanes_.emplace_back(scheduler_kind_, support::Rng(seed_));
 }
 
 NodeId Engine::add_process(std::unique_ptr<Process> process) {
@@ -72,9 +79,45 @@ void Engine::connect(NodeId from, int from_channel, NodeId to,
 
   DirectedChannel channel;
   channel.info = ChannelInfo{from, from_channel, to, to_channel};
+  channel.src_lane = lane_of(from);
+  channel.dst_lane = lane_of(to);
   lookup[static_cast<std::size_t>(from_channel)] =
       static_cast<int>(channels_.size());
   channels_.push_back(std::move(channel));
+}
+
+void Engine::configure_lanes(const std::vector<int>& node_lane,
+                             int lane_count) {
+  KLEX_REQUIRE(!started_, "cannot repartition a started engine");
+  KLEX_REQUIRE(lane_count >= 1 && lane_count <= kMaxLanes,
+               "lane count must be in [1, ", kMaxLanes, "]");
+  KLEX_REQUIRE(static_cast<int>(node_lane.size()) == process_count(),
+               "one lane per node required");
+  for (const Lane& lane : lanes_) {
+    KLEX_REQUIRE(lane.queue.empty(),
+                 "cannot repartition with pending events");
+  }
+  node_lane_.assign(node_lane.begin(), node_lane.end());
+  for (std::int32_t lane : node_lane_) {
+    KLEX_REQUIRE(lane >= 0 && lane < lane_count, "lane out of range");
+  }
+
+  // Rebuild the lane set from scratch: lane 0 restarts on the engine
+  // seed (nothing has drawn from it before start), lanes >= 1 get
+  // independent salted streams.
+  lanes_.clear();
+  lanes_.reserve(static_cast<std::size_t>(lane_count));
+  lanes_.emplace_back(scheduler_kind_, support::Rng(seed_));
+  support::Rng lane_streams(seed_ ^ kLaneRngSalt);
+  for (int i = 1; i < lane_count; ++i) {
+    lanes_.emplace_back(scheduler_kind_,
+                        lane_streams.split(static_cast<std::uint64_t>(i)));
+  }
+
+  for (DirectedChannel& dc : channels_) {
+    dc.src_lane = lane_of(dc.info.from);
+    dc.dst_lane = lane_of(dc.info.to);
+  }
 }
 
 Process& Engine::process(NodeId id) {
@@ -87,8 +130,32 @@ const Process& Engine::process(NodeId id) const {
   return *processes_[static_cast<std::size_t>(id)];
 }
 
+void Engine::declare_timer_span(SimTime span) {
+  KLEX_REQUIRE(!started_, "declare timer spans before start");
+  declared_timer_span_ = std::max(declared_timer_span_, span);
+}
+
+void Engine::size_ring_windows() {
+  if (scheduler_kind_ != SchedulerKind::kCalendar) return;
+  // The ring can hold an event at now + span only if the window exceeds
+  // the span. Grow (never shrink, and only up to the bitmap cap) so the
+  // longest delivery delay and every declared timer span stay on the
+  // O(1) ring instead of falling through to the overflow heap.
+  SimTime span = std::max(delays_.max_delay, declared_timer_span_);
+  std::uint32_t log2 = EventQueue::kLogBucketCount;
+  while (log2 < EventQueue::kMaxLogBucketCount &&
+         static_cast<SimTime>(std::size_t{1} << log2) <= span) {
+    ++log2;
+  }
+  if (log2 == EventQueue::kLogBucketCount) return;  // default stays exact
+  for (Lane& lane : lanes_) {
+    if (lane.queue.empty()) lane.queue.set_log_bucket_count(log2);
+  }
+}
+
 void Engine::boot() {
   started_ = true;
+  size_ring_windows();
   for (auto& process : processes_) {
     process->on_start();
   }
@@ -106,42 +173,55 @@ int Engine::channel_index_of(NodeId from, int from_channel) const {
 
 void Engine::schedule_delivery(int channel_index, const Message& msg) {
   DirectedChannel& dc = channels_[static_cast<std::size_t>(channel_index)];
+  Lane& src = lanes_[static_cast<std::size_t>(dc.src_lane)];
   SimTime delay =
       delays_.min_delay +
-      static_cast<SimTime>(rng_.next_below(
+      static_cast<SimTime>(src.rng.next_below(
           delays_.max_delay - delays_.min_delay + 1));
   // FIFO: the delivery may not overtake earlier traffic on this channel.
-  SimTime deliver_at = std::max(now_ + delay, dc.last_scheduled);
+  SimTime deliver_at = std::max(src.now + delay, dc.last_scheduled);
   dc.last_scheduled = deliver_at;
-  dc.in_flight.push_back(msg);
-  ++in_flight_by_type_[type_bucket(msg.type)];
+  ++src.in_flight;
+  ++src.in_flight_by_type[type_bucket(msg.type)];
 
   Event event;
   event.at = deliver_at;
+  event.seq = src.next_seq++ * lanes_.size() +
+              static_cast<std::uint64_t>(dc.src_lane);
   event.kind = EventKind::kDelivery;
   event.target = channel_index;
   event.payload = dc.epoch;
-  push_event(event);
-  ++in_flight_;
+  if (in_window_ && dc.dst_lane != dc.src_lane) {
+    // Inside a parallel window the destination queue and the channel
+    // ring belong to another thread; park the delivery in the source
+    // lane's outbox -- end_window() merges it at the barrier, which is
+    // sound because the delivery time is >= the next window start.
+    src.outbox.push_back(Outbound{channel_index, event, msg});
+  } else {
+    dc.in_flight.push_back(msg);
+    lanes_[static_cast<std::size_t>(dc.dst_lane)].queue.push(event);
+  }
 }
 
 void Engine::send_from(NodeId from, int channel, const Message& msg) {
   int index = channel_index_of(from, channel);
+  Lane& src = lanes_[static_cast<std::size_t>(
+      channels_[static_cast<std::size_t>(index)].src_lane)];
   schedule_delivery(index, msg);
-  ++messages_sent_;
-  ++sent_by_type_[type_bucket(msg.type)];
+  ++src.messages_sent;
+  ++src.sent_by_type[type_bucket(msg.type)];
   if (!observers_.empty()) notify_send(from, channel, msg);
 }
 
 void Engine::notify_send(NodeId from, int channel, const Message& msg) {
   for (SimObserver* obs : observers_) {
-    obs->on_send(now_, from, channel, msg);
+    obs->on_send(now(), from, channel, msg);
   }
 }
 
 void Engine::notify_deliver(NodeId to, int channel, const Message& msg) {
   for (SimObserver* obs : observers_) {
-    obs->on_deliver(now_, to, channel, msg);
+    obs->on_deliver(now(), to, channel, msg);
   }
 }
 
@@ -154,13 +234,17 @@ void Engine::set_timer_for(NodeId node, int timer_id, SimTime delay) {
                          static_cast<std::size_t>(timer_id)];
   ++generation;  // invalidates any pending firing of this timer
 
+  int lane_index = lane_of(node);
+  Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
   Event event;
-  event.at = now_ + delay;
+  event.at = lane.now + delay;
+  event.seq = lane.next_seq++ * lanes_.size() +
+              static_cast<std::uint64_t>(lane_index);
   event.kind = EventKind::kTimer;
   event.target = node;
   event.timer_id = static_cast<std::uint8_t>(timer_id);
   event.payload = generation;
-  push_event(event);
+  lane.queue.push(event);
 }
 
 void Engine::cancel_timer_for(NodeId node, int timer_id) {
@@ -172,24 +256,28 @@ void Engine::cancel_timer_for(NodeId node, int timer_id) {
 }
 
 void Engine::schedule(SimTime delay, std::function<void()> fn) {
+  int lane_index = detail::t_current_lane;
+  Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
   std::uint32_t slot;
-  if (!callback_free_slots_.empty()) {
-    slot = callback_free_slots_.back();
-    callback_free_slots_.pop_back();
-    callback_slab_[slot] = std::move(fn);
+  if (!lane.callback_free_slots.empty()) {
+    slot = lane.callback_free_slots.back();
+    lane.callback_free_slots.pop_back();
+    lane.callback_slab[slot] = std::move(fn);
   } else {
-    slot = static_cast<std::uint32_t>(callback_slab_.size());
-    callback_slab_.push_back(std::move(fn));
-    ++callback_slots_created_;
+    slot = static_cast<std::uint32_t>(lane.callback_slab.size());
+    lane.callback_slab.push_back(std::move(fn));
+    ++lane.callback_slots_created;
   }
 
   Event event;
-  event.at = now_ + delay;
+  event.at = lane.now + delay;
+  event.seq = lane.next_seq++ * lanes_.size() +
+              static_cast<std::uint64_t>(lane_index);
   event.kind = EventKind::kCallback;
   event.payload = slot;
-  push_event(event);
-  ++pending_callbacks_;
-  ++callbacks_scheduled_;
+  lane.queue.push(event);
+  ++lane.pending_callbacks;
+  ++lane.callbacks_scheduled;
 }
 
 void Engine::inject_message(NodeId from, int from_channel,
@@ -208,14 +296,17 @@ void Engine::clear_channels() {
   // clamps, and without the epoch a stale event would deliver post-fault
   // traffic earlier than its sampled delay.
   for (DirectedChannel& dc : channels_) {
-    in_flight_ -= dc.in_flight.size();
     dc.in_flight.clear();
     ++dc.epoch;
     dc.last_scheduled = 0;
   }
-  // All channels are now empty: the per-type census counters reset as one
-  // write instead of a decrement per dropped message.
-  in_flight_by_type_.fill(0);
+  // All channels are now empty: the per-lane in-flight and per-type
+  // census counters reset as writes instead of a decrement per dropped
+  // message (their cross-lane sums are the tracked quantity).
+  for (Lane& lane : lanes_) {
+    lane.in_flight = 0;
+    lane.in_flight_by_type.fill(0);
+  }
 }
 
 int Engine::channel_backlog(NodeId from, int from_channel) const {
@@ -224,25 +315,71 @@ int Engine::channel_backlog(NodeId from, int from_channel) const {
       channels_[static_cast<std::size_t>(index)].in_flight.size());
 }
 
+SimTime Engine::now() const {
+  return lanes_[static_cast<std::size_t>(detail::t_current_lane)].now;
+}
+
+SimTime Engine::next_event_time() const {
+  if (lanes_.size() == 1) return lanes_[0].queue.top_time();
+  SimTime best = kTimeInfinity;
+  for (const Lane& lane : lanes_) {
+    best = std::min(best, lane.queue.top_time());
+  }
+  return best;
+}
+
+std::uint64_t Engine::messages_sent() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.messages_sent;
+  return total;
+}
+
+std::uint64_t Engine::messages_delivered() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.messages_delivered;
+  return total;
+}
+
+std::uint64_t Engine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.events_executed;
+  return total;
+}
+
+std::uint64_t Engine::in_flight_messages() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.in_flight;
+  return total;
+}
+
+std::uint64_t Engine::pending_callbacks() const {
+  std::uint64_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.pending_callbacks;
+  return total;
+}
+
 EngineStats Engine::stats() const {
   EngineStats stats;
-  stats.events_executed = events_executed_;
-  stats.messages_sent = messages_sent_;
-  stats.messages_delivered = messages_delivered_;
-  stats.callbacks_scheduled = callbacks_scheduled_;
-  stats.callback_slots_created = callback_slots_created_;
-  stats.max_heap_size = static_cast<std::uint64_t>(queue_.max_size());
+  for (const Lane& lane : lanes_) {
+    stats.events_executed += lane.events_executed;
+    stats.messages_sent += lane.messages_sent;
+    stats.messages_delivered += lane.messages_delivered;
+    stats.callbacks_scheduled += lane.callbacks_scheduled;
+    stats.callback_slots_created += lane.callback_slots_created;
+    stats.max_heap_size += static_cast<std::uint64_t>(lane.queue.max_size());
+    const SchedulerCounters& c = lane.queue.counters();
+    stats.scheduler.bucket_inserts += c.bucket_inserts;
+    stats.scheduler.bucket_scans += c.bucket_scans;
+    stats.scheduler.overflow_pushes += c.overflow_pushes;
+    stats.scheduler.overflow_pops += c.overflow_pops;
+  }
   stats.in_flight_walks = in_flight_walks_;
-  stats.scheduler = queue_.counters();
+  stats.bucket_window =
+      static_cast<std::uint64_t>(lanes_[0].queue.bucket_window());
   return stats;
 }
 
-void Engine::push_event(Event event) {
-  event.seq = next_seq_++;
-  queue_.push(event);
-}
-
-void Engine::dispatch(const Event& event) {
+void Engine::dispatch(Lane& lane, const Event& event) {
   switch (event.kind) {
     case EventKind::kDelivery: {
       DirectedChannel& dc =
@@ -257,9 +394,9 @@ void Engine::dispatch(const Event& event) {
       // (delivery times per channel are monotone, ties keep send order).
       Message msg = dc.in_flight.front();
       dc.in_flight.pop_front();
-      --in_flight_by_type_[type_bucket(msg.type)];
-      --in_flight_;
-      ++messages_delivered_;
+      --lane.in_flight_by_type[type_bucket(msg.type)];
+      --lane.in_flight;
+      ++lane.messages_delivered;
       NodeId to = dc.info.to;
       int channel = dc.info.to_channel;
       processes_[static_cast<std::size_t>(to)]->on_message(channel, msg);
@@ -281,56 +418,92 @@ void Engine::dispatch(const Event& event) {
       return;
     }
     case EventKind::kCallback: {
-      --pending_callbacks_;
+      --lane.pending_callbacks;
       std::uint32_t slot = static_cast<std::uint32_t>(event.payload);
-      std::function<void()> fn = std::move(callback_slab_[slot]);
-      callback_slab_[slot] = nullptr;
-      callback_free_slots_.push_back(slot);
+      std::function<void()> fn = std::move(lane.callback_slab[slot]);
+      lane.callback_slab[slot] = nullptr;
+      lane.callback_free_slots.push_back(slot);
       fn();
       return;
     }
   }
 }
 
-void Engine::execute(const Event& event) {
-  KLEX_CHECK(event.at >= now_, "event queue went backwards");
-  if (event.at != now_) {
-    // Time advanced: slide the calendar window that routes pushes before
-    // the handler can schedule anything at the new time.
-    now_ = event.at;
-    queue_.advance_to(now_);
+void Engine::execute(Lane& lane, int lane_index, const Event& event) {
+  KLEX_CHECK(event.at >= lane.now, "event queue went backwards");
+  if (event.at != lanes_[0].now) {
+    // Time advanced: slide every lane clock and calendar window (the
+    // merged-serial loop keeps all lanes in lockstep) before the handler
+    // can schedule anything at the new time.
+    for (Lane& l : lanes_) {
+      l.now = event.at;
+      l.queue.advance_to(event.at);
+    }
   }
-  ++events_executed_;
-  dispatch(event);
+  ++lane.events_executed;
+  if (lanes_.size() > 1) {
+    detail::t_current_lane = lane_index;
+    dispatch(lane, event);
+    detail::t_current_lane = 0;
+  } else {
+    dispatch(lane, event);
+  }
+}
+
+bool Engine::pop_next(SimTime t, Event* out, int* lane_out) {
+  if (lanes_.size() == 1) {
+    if (!lanes_[0].queue.pop_min_until(t, out)) return false;
+    *lane_out = 0;
+    return true;
+  }
+  // Merged-serial order: the global (at, seq) minimum across lanes. seq
+  // striping makes the key unique, so this order is identical whatever
+  // queue an event sits in -- and identical to the windowed execution.
+  int best = -1;
+  Event best_event;
+  for (int i = 0; i < static_cast<int>(lanes_.size()); ++i) {
+    const EventQueue& queue = lanes_[static_cast<std::size_t>(i)].queue;
+    if (queue.empty()) continue;
+    const Event& candidate = queue.top();
+    if (best < 0 || candidate.before(best_event)) {
+      best = i;
+      best_event = candidate;
+    }
+  }
+  if (best < 0 || best_event.at > t) return false;
+  lanes_[static_cast<std::size_t>(best)].queue.pop();
+  *out = best_event;
+  *lane_out = best;
+  return true;
 }
 
 bool Engine::step() {
   start();
   Event event;
-  if (!queue_.pop_min_until(kTimeInfinity, &event)) return false;
-  execute(event);
+  int lane;
+  if (!pop_next(kTimeInfinity, &event, &lane)) return false;
+  execute(lanes_[static_cast<std::size_t>(lane)], lane, event);
   return true;
 }
 
 void Engine::run_until(SimTime t) {
   start();
   Event event;
-  while (queue_.pop_min_until(t, &event)) {
-    execute(event);
+  int lane;
+  while (pop_next(t, &event, &lane)) {
+    execute(lanes_[static_cast<std::size_t>(lane)], lane, event);
   }
-  if (now_ < t) {
-    now_ = t;
-    queue_.advance_to(now_);
-  }
+  sync_lanes_to(t);
 }
 
 std::uint64_t Engine::run_events(std::uint64_t max_events) {
   start();
   std::uint64_t executed = 0;
   Event event;
+  int lane;
   while (executed < max_events &&
-         queue_.pop_min_until(kTimeInfinity, &event)) {
-    execute(event);
+         pop_next(kTimeInfinity, &event, &lane)) {
+    execute(lanes_[static_cast<std::size_t>(lane)], lane, event);
     ++executed;
   }
   return executed;
@@ -345,15 +518,71 @@ bool Engine::run_until_message_quiescence(std::uint64_t max_events) {
   // keeps the system live forever (so this method only makes sense for the
   // ladder variants and for drained workloads).
   Event event;
-  while (in_flight_ > 0 || pending_callbacks_ > 0) {
+  int lane;
+  while (in_flight_messages() > 0 || pending_callbacks() > 0) {
     if (executed >= max_events) return false;
-    if (!queue_.pop_min_until(kTimeInfinity, &event)) {
-      return in_flight_ == 0 && pending_callbacks_ == 0;
+    if (!pop_next(kTimeInfinity, &event, &lane)) {
+      return in_flight_messages() == 0 && pending_callbacks() == 0;
     }
-    execute(event);
+    execute(lanes_[static_cast<std::size_t>(lane)], lane, event);
     ++executed;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Window protocol (see sim::ParallelEngine)
+// ---------------------------------------------------------------------------
+
+void Engine::begin_window(SimTime start) {
+  KLEX_CHECK(!in_window_, "nested parallel window");
+  in_window_ = true;
+  for (Lane& lane : lanes_) {
+    KLEX_CHECK(lane.now <= start, "window opens behind a lane clock");
+    lane.now = start;
+    lane.queue.advance_to(start);
+  }
+}
+
+void Engine::run_lane_window(int lane_index, SimTime t) {
+  Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
+  detail::t_current_lane = lane_index;
+  Event event;
+  while (lane.queue.pop_min_until(t, &event)) {
+    if (event.at != lane.now) {
+      lane.now = event.at;
+      lane.queue.advance_to(event.at);
+    }
+    ++lane.events_executed;
+    dispatch(lane, event);
+  }
+  detail::t_current_lane = 0;
+}
+
+void Engine::end_window() {
+  KLEX_CHECK(in_window_, "end_window without begin_window");
+  in_window_ = false;
+  // Merge outboxes in lane order: each channel has exactly one source
+  // node, hence one source lane, so per-channel FIFO push order is
+  // preserved; destination queues order by (at, seq) regardless.
+  for (Lane& src : lanes_) {
+    for (const Outbound& out : src.outbox) {
+      DirectedChannel& dc =
+          channels_[static_cast<std::size_t>(out.channel)];
+      dc.in_flight.push_back(out.msg);
+      lanes_[static_cast<std::size_t>(dc.dst_lane)].queue.push(out.event);
+    }
+    src.outbox.clear();
+  }
+}
+
+void Engine::sync_lanes_to(SimTime t) {
+  for (Lane& lane : lanes_) {
+    if (lane.now < t) {
+      lane.now = t;
+      lane.queue.advance_to(t);
+    }
+  }
 }
 
 }  // namespace klex::sim

@@ -2,8 +2,8 @@
 // systems (the paper's model of computation, Section 2).
 //
 // The engine owns:
-//   * the event queue (ordered by time, ties broken by insertion order, so
-//     runs are bit-reproducible from the seed);
+//   * the pending-event set (ordered by (at, seq), so runs are
+//     bit-reproducible from the seed);
 //   * the directed FIFO channels between process channel endpoints;
 //   * the registered processes and their timers.
 //
@@ -16,9 +16,26 @@
 //   * Bounded initial channel content -- fault injection can preload each
 //     channel with up to CMAX arbitrary messages (see inject_garbage()).
 //
-// Single-threaded by design: determinism and introspection (global token
-// census) matter more than parallel speed at these network sizes, and one
-// engine instance per thread parallelizes experiments trivially.
+// Lanes. The engine is organized as `lane_count()` partitions ("lanes"),
+// each owning an EventQueue, an Rng stream, a clock, per-type census
+// counters and a callback slab. The default engine has exactly one lane
+// and runs the classic serial loop; configure_lanes() splits the node
+// set across lanes (sim::ParallelEngine then executes conservative
+// min_delay-wide time windows with one worker thread per lane). Every
+// event's seq is striped as `lane_seq * lane_count + lane`, which keeps
+// the (at, seq) total order globally unique and independent of which
+// lane queue holds the event -- with one lane this reduces to the plain
+// insertion counter, so the serial engine is bit-identical to before.
+//
+// Parallel-safety contract (all of it single-writer, no locks):
+//   * a channel's FIFO ring, last_scheduled clamp and rng draws belong to
+//     the channel's source lane; cross-lane deliveries created inside a
+//     window park in the source lane's outbox and are merged into the
+//     destination queue at the window barrier (single-threaded);
+//   * per-lane counters may individually wrap (a lane delivers messages
+//     another lane sent) but their mod-2^64 sums are exact, and they are
+//     only summed between windows;
+//   * channel epochs and clear_channels() are barrier-only operations.
 #pragma once
 
 #include <array>
@@ -38,6 +55,15 @@ namespace klex::sim {
 using NodeId = std::int32_t;
 
 class Engine;
+
+namespace detail {
+// Lane executing on this thread: a parallel-window worker sets it for the
+// duration of its window, the merged-serial loop for the duration of one
+// event dispatch. 0 everywhere else (the serial lane). Header-visible so
+// Engine::current_lane() inlines to a single TLS load on the per-delta
+// census path.
+inline thread_local int t_current_lane = 0;
+}  // namespace detail
 
 /// Base class for a simulated process (one per tree node).
 ///
@@ -73,7 +99,7 @@ class Process {
   /// Disarms timer `timer_id` if armed.
   void cancel_timer(int timer_id);
 
-  /// Current simulated time.
+  /// Current simulated time (the executing lane's clock).
   SimTime now() const;
 
  private:
@@ -84,6 +110,9 @@ class Process {
 
 /// Uniform-integer message delay model. delays are drawn from
 /// [min_delay, max_delay] per message (then clamped for FIFO order).
+/// min_delay doubles as the conservative lookahead of the parallel
+/// engine: a window of min_delay ticks can never receive a cross-lane
+/// delivery scheduled inside itself.
 struct DelayModel {
   SimTime min_delay = 1;
   SimTime max_delay = 16;
@@ -113,7 +142,8 @@ struct ChannelInfo {
 
 /// Event-core counters, exposed for benchmarks: the experiment output
 /// records them so perf regressions (per-event heap allocations creeping
-/// back in) are visible in the BENCH_*.json trajectory.
+/// back in) are visible in the BENCH_*.json trajectory. For multi-lane
+/// engines every field is the sum over lanes.
 struct EngineStats {
   std::uint64_t events_executed = 0;
   std::uint64_t messages_sent = 0;
@@ -123,13 +153,18 @@ struct EngineStats {
   /// Slab slots ever constructed; stays flat once the slab warms up
   /// (callback scheduling then does zero slot allocations).
   std::uint64_t callback_slots_created = 0;
-  /// High-water mark of the pending-event set (ring + overflow heap).
+  /// High-water mark of the pending-event set (ring + overflow heap),
+  /// summed over lanes.
   std::uint64_t max_heap_size = 0;
   /// Full in-flight walks (for_each_in_flight calls). The incremental
   /// census keeps this at zero during run_until_stabilized; the counter is
   /// in the BENCH_*.json trajectory so O(channels) polling cannot silently
   /// creep back into a hot loop.
   std::uint64_t in_flight_walks = 0;
+  /// Calendar ring window chosen at boot (satellite of the scheduler
+  /// auto-tune): 1024 unless the delay model or a declared timer span
+  /// outranged the default window.
+  std::uint64_t bucket_window = 0;
   /// Deterministic scheduler-op counters (see sim::SchedulerCounters):
   /// calendar-ring inserts, find-min bitmap scans and heap-fallback
   /// traffic. Pinned by tests/sim/event_core_test and carried in the
@@ -163,6 +198,33 @@ class Engine {
   Process& process(NodeId id);
   const Process& process(NodeId id) const;
 
+  // -- lanes (partitioned parallel execution) --------------------------------
+
+  /// Splits the node set into `lane_count` lanes: node v belongs to lane
+  /// `node_lane[v]`. Must be called after wiring and before start();
+  /// resets all lane-local state (queues must be empty). Lane 0 keeps the
+  /// engine's seed stream, so a 1-lane configuration is the serial engine.
+  void configure_lanes(const std::vector<int>& node_lane, int lane_count);
+
+  int lane_count() const { return static_cast<int>(lanes_.size()); }
+
+  /// Lane of `node` (0 for unconfigured engines).
+  int lane_of(NodeId node) const {
+    return node_lane_.empty() ? 0
+                              : node_lane_[static_cast<std::size_t>(node)];
+  }
+
+  /// Lane executing on the calling thread: the worker's lane inside a
+  /// parallel window, the dispatching lane in the merged-serial loop, 0
+  /// on any other thread. CensusTracker routes its per-lane accumulators
+  /// through this on every participant delta, so the read must inline
+  /// (one TLS load, no cross-TU call).
+  static int current_lane() { return detail::t_current_lane; }
+
+  /// Most lanes any engine supports (sized so per-lane padded census
+  /// cells stay tiny; the partitioners clamp to it).
+  static constexpr int kMaxLanes = 16;
+
   // -- execution ------------------------------------------------------------
 
   /// Calls on_start() on every process (once); implicit in the run methods.
@@ -171,6 +233,9 @@ class Engine {
   }
 
   /// Executes a single event. Returns false if the queue was empty.
+  /// With several lanes this is the merged-serial loop: the global
+  /// (at, seq) minimum across lanes, so any-P trajectories match the
+  /// windowed parallel execution event for event.
   bool step();
 
   /// Runs until simulated time exceeds `t` (events at exactly `t` are
@@ -185,29 +250,70 @@ class Engine {
   /// quiescence was reached -- how deadlocks (Figure 2) are detected.
   bool run_until_message_quiescence(std::uint64_t max_events);
 
-  SimTime now() const { return now_; }
+  SimTime now() const;
 
-  /// Timestamp of the earliest pending event, or kTimeInfinity if the
-  /// queue is empty. Lets callers prove "nothing can happen before t"
-  /// without executing anything (event-driven stabilization detection).
-  SimTime next_event_time() const { return queue_.top_time(); }
+  /// Timestamp of the earliest pending event across all lanes, or
+  /// kTimeInfinity if the queues are empty. Lets callers prove "nothing
+  /// can happen before t" without executing anything (event-driven
+  /// stabilization detection), and doubles as the next window start for
+  /// the parallel engine.
+  SimTime next_event_time() const;
 
   /// Which scheduler this engine runs on (kCalendar unless the caller
   /// opted into the binary-heap reference for differential testing).
-  SchedulerKind scheduler() const { return queue_.scheduler(); }
+  SchedulerKind scheduler() const { return scheduler_kind_; }
 
-  std::uint64_t messages_sent() const { return messages_sent_; }
-  std::uint64_t messages_delivered() const { return messages_delivered_; }
-  std::uint64_t events_executed() const { return events_executed_; }
+  std::uint64_t messages_sent() const;
+  std::uint64_t messages_delivered() const;
+  std::uint64_t events_executed() const;
 
   /// Number of in-flight (sent, not yet delivered) messages.
-  std::uint64_t in_flight_messages() const { return in_flight_; }
+  std::uint64_t in_flight_messages() const;
+
+  /// Number of scheduled-but-unfired callbacks across all lanes. The
+  /// parallel engine refuses to run windows while any are pending
+  /// (workload callbacks may touch any node) and falls back to the
+  /// merged-serial loop, which is trajectory-identical.
+  std::uint64_t pending_callbacks() const;
+
+  // -- window protocol (driven by sim::ParallelEngine) -----------------------
+  //
+  // begin_window(W) -> concurrent run_lane_window(lane, end) per lane ->
+  // end_window() -> repeat; finish with sync_lanes_to(t). Between
+  // begin_window and end_window only run_lane_window may touch the
+  // engine, each lane index from at most one thread.
+
+  /// Opens a window starting at `start` (>= every lane clock): advances
+  /// all lane clocks and ring windows, and flips sends into deferred
+  /// cross-lane outbox mode.
+  void begin_window(SimTime start);
+
+  /// Executes every pending event of `lane` with at <= `t` (the window
+  /// end, exclusive, minus one). Thread-safe across distinct lanes while
+  /// a window is open.
+  void run_lane_window(int lane, SimTime t);
+
+  /// Closes the window: merges every lane outbox (in lane order) into
+  /// the destination queues and channel rings. Single-threaded.
+  void end_window();
+
+  /// Advances every lane clock to at least `t` (end of a windowed run).
+  void sync_lanes_to(SimTime t);
+
+  bool has_observers() const { return !observers_.empty(); }
+
+  DelayModel delay_model() const { return delays_; }
 
   // -- sends / timers (used by Process) --------------------------------------
 
   void send_from(NodeId from, int channel, const Message& msg);
   void set_timer_for(NodeId node, int timer_id, SimTime delay);
   void cancel_timer_for(NodeId node, int timer_id);
+
+  /// Declares that timers up to `span` ticks out will be armed; boot()
+  /// grows the calendar ring window (up to its cap) so such timers do
+  /// not fall through to the overflow heap.
+  void declare_timer_span(SimTime span);
 
   /// Schedules `fn` to run at now() + delay as a standalone event (used by
   /// workloads / applications to model request arrivals and CS completion).
@@ -239,9 +345,13 @@ class Engine {
   /// Number of in-flight messages whose `type` equals `type`, maintained
   /// inline on the send/inject/deliver/clear paths (no walk, no callback).
   /// Exact for 0 <= type < kTrackedMessageTypes (covers every protocol
-  /// token type); out-of-range types alias the junk bucket 0.
+  /// token type); out-of-range types alias the junk bucket 0. Summed over
+  /// lanes (each addend may wrap; the sum is exact).
   std::uint64_t in_flight_of_type(std::int32_t type) const {
-    return in_flight_by_type_[type_bucket(type)];
+    std::size_t b = type_bucket(type);
+    std::uint64_t total = 0;
+    for (const Lane& lane : lanes_) total += lane.in_flight_by_type[b];
+    return total;
   }
 
   /// Per-type counters are exact for types in [0, kTrackedMessageTypes).
@@ -253,7 +363,10 @@ class Engine {
   /// the channel" and is not protocol traffic. Replaces the per-send
   /// observer the message-overhead accounting used to need.
   std::uint64_t sent_of_type(std::int32_t type) const {
-    return sent_by_type_[type_bucket(type)];
+    std::size_t b = type_bucket(type);
+    std::uint64_t total = 0;
+    for (const Lane& lane : lanes_) total += lane.sent_by_type[b];
+    return total;
   }
 
   /// Per-channel in-flight count for (from, from_channel).
@@ -261,7 +374,7 @@ class Engine {
 
   void add_observer(SimObserver* observer) { observers_.push_back(observer); }
 
-  support::Rng& rng() { return rng_; }
+  support::Rng& rng() { return lanes_[0].rng; }
 
   /// Event-core counters (see EngineStats).
   EngineStats stats() const;
@@ -276,7 +389,48 @@ class Engine {
     // Bumped by clear_channels(); delivery events from older epochs are
     // stale and dropped at dispatch.
     std::uint64_t epoch = 0;
+    // Owning lanes: the source lane samples delays, clamps FIFO times
+    // and pushes the ring; the destination lane pops it at delivery.
+    std::int32_t src_lane = 0;
+    std::int32_t dst_lane = 0;
     MessageRing in_flight;
+  };
+
+  /// A cross-lane delivery created inside a window: the ring push and
+  /// the destination queue push are deferred to the barrier.
+  struct Outbound {
+    std::int32_t channel = -1;
+    Event event;
+    Message msg;
+  };
+
+  /// One partition: queue, rng stream, clock, counters, callback slab.
+  struct Lane {
+    Lane(SchedulerKind kind, support::Rng lane_rng)
+        : queue(kind), rng(lane_rng) {}
+
+    EventQueue queue;
+    support::Rng rng;
+    SimTime now = 0;
+    std::uint64_t next_seq = 0;
+
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t events_executed = 0;
+    std::uint64_t in_flight = 0;  // may wrap per lane; sums are exact
+    std::uint64_t pending_callbacks = 0;
+    std::uint64_t callbacks_scheduled = 0;
+    std::uint64_t callback_slots_created = 0;
+    std::array<std::uint64_t, kTrackedMessageTypes> in_flight_by_type{};
+    std::array<std::uint64_t, kTrackedMessageTypes> sent_by_type{};
+
+    // Callback slab: slots are recycled through a free list, so
+    // steady-state scheduling constructs no new slots (the
+    // std::function's own capture allocation, if any, is the caller's).
+    std::vector<std::function<void()>> callback_slab;
+    std::vector<std::uint32_t> callback_free_slots;
+
+    std::vector<Outbound> outbox;
   };
 
   static std::size_t type_bucket(std::int32_t type) {
@@ -289,10 +443,13 @@ class Engine {
 
   int channel_index_of(NodeId from, int from_channel) const;
   void boot();  // out-of-line once-only part of start()
-  void dispatch(const Event& event);
-  /// Advances the clock to `event.at` and dispatches it.
-  void execute(const Event& event);
-  void push_event(Event event);
+  void size_ring_windows();
+  void dispatch(Lane& lane, const Event& event);
+  /// Advances the clocks to `event.at` and dispatches on `lane`.
+  void execute(Lane& lane, int lane_index, const Event& event);
+  /// Pops the global (at, seq) minimum with at <= t across all lanes.
+  bool pop_next(SimTime t, Event* out, int* lane_out);
+  void push_event(Event event, int seq_lane, int queue_lane);
   void schedule_delivery(int channel_index, const Message& msg);
   // Observer fan-out, out of line: the hot send/deliver paths only test
   // observers_.empty(), so unmonitored runs pay no indirect call (and no
@@ -301,10 +458,14 @@ class Engine {
   void notify_deliver(NodeId to, int channel, const Message& msg);
 
   DelayModel delays_;
-  support::Rng rng_;
-  SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t seed_;
+  SchedulerKind scheduler_kind_;
   bool started_ = false;
+  bool in_window_ = false;
+  SimTime declared_timer_span_ = 0;
+
+  std::vector<Lane> lanes_;        // >= 1; lanes_[0] is the serial lane
+  std::vector<std::int32_t> node_lane_;  // empty until configure_lanes
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<DirectedChannel> channels_;
@@ -312,32 +473,12 @@ class Engine {
   std::vector<std::vector<int>> channel_lookup_;
   // Flat [node * kMaxTimers + timer_id] -> generation; sized with the
   // processes, so the staleness check in dispatch is one indexed load.
+  // Only ever touched by the owning node's lane.
   std::vector<std::uint64_t> timer_generations_;
 
-  EventQueue queue_;
-
-  // In-flight message count per type bucket, the channel half of the
-  // incremental token census (proto::CensusTracker reads these).
-  std::array<std::uint64_t, kTrackedMessageTypes> in_flight_by_type_{};
-  // Cumulative sends per type bucket (see sent_of_type).
-  std::array<std::uint64_t, kTrackedMessageTypes> sent_by_type_{};
   mutable std::uint64_t in_flight_walks_ = 0;
 
-  // Callback slab: slots are recycled through a free list, so steady-state
-  // scheduling constructs no new slots (the std::function's own capture
-  // allocation, if any, is the caller's).
-  std::vector<std::function<void()>> callback_slab_;
-  std::vector<std::uint32_t> callback_free_slots_;
-
   std::vector<SimObserver*> observers_;
-
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t messages_delivered_ = 0;
-  std::uint64_t events_executed_ = 0;
-  std::uint64_t in_flight_ = 0;
-  std::uint64_t pending_callbacks_ = 0;
-  std::uint64_t callbacks_scheduled_ = 0;
-  std::uint64_t callback_slots_created_ = 0;
 };
 
 }  // namespace klex::sim

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "support/check.hpp"
@@ -55,6 +56,29 @@ void EventHeap::pop() {
 EventQueue::EventQueue(SchedulerKind scheduler)
     : scheduler_(scheduler), buckets_(kBucketCount) {}
 
+void EventQueue::set_log_bucket_count(std::uint32_t log2) {
+  KLEX_REQUIRE(size_ == 0, "the ring window can only move while empty");
+  KLEX_REQUIRE(log2 <= kMaxLogBucketCount, "ring window beyond bitmap cap");
+  if (log2 < kLogBucketCount) log2 = kLogBucketCount;  // grow-only
+  bucket_count_ = std::size_t{1} << log2;
+  mask_ = bucket_count_ - 1;
+  group_count_ = bucket_count_ / 64;
+  buckets_.assign(bucket_count_, Bucket{});
+  bits_.fill(0);
+  summary_ = 0;
+  cached_min_bucket_ = -1;
+  window_end_ = now_ + bucket_count_;
+}
+
+void EventQueue::maybe_sort(Bucket& bucket) const {
+  if (!bucket.unsorted) return;
+  // One tick per bucket position, so every event here shares `at` and
+  // seq alone restores the total order.
+  std::sort(bucket.events.begin() + bucket.head, bucket.events.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  bucket.unsorted = false;
+}
+
 std::size_t EventQueue::scan_from(std::size_t from) const {
   ++counters_.bucket_scans;
   // Word containing `from`, bits at and after it.
@@ -67,8 +91,8 @@ std::size_t EventQueue::scan_from(std::size_t from) const {
   // wrapped range the low bits of bits_[group] need no masking: its high
   // bits were just probed and found clear.
   std::uint64_t after =
-      group + 1 < kGroupCount ? summary_ & (~std::uint64_t{0} << (group + 1))
-                              : 0;
+      group + 1 < group_count_ ? summary_ & (~std::uint64_t{0} << (group + 1))
+                               : 0;
   std::uint64_t candidates = after != 0 ? after : summary_;
   KLEX_CHECK(candidates != 0, "bitmap scan over an empty calendar ring");
   std::size_t g = static_cast<std::size_t>(std::countr_zero(candidates));
@@ -85,12 +109,14 @@ std::size_t EventQueue::min_bucket() const {
 }
 
 const Event& EventQueue::ring_top() const {
-  const Bucket& bucket = buckets_[min_bucket()];
+  Bucket& bucket = buckets_[min_bucket()];
+  maybe_sort(bucket);
   return bucket.events[bucket.head];
 }
 
 void EventQueue::ring_pop() {
   Bucket& bucket = buckets_[min_bucket()];
+  maybe_sort(bucket);
   if (++bucket.head == bucket.events.size()) {
     std::size_t index = static_cast<std::size_t>(cached_min_bucket_);
     bucket.events.clear();  // keeps capacity: steady state reallocates nothing
@@ -175,6 +201,8 @@ void EventQueue::push(const Event& event) {
   if (bucket.events.empty()) {
     bits_[index >> 6] |= std::uint64_t{1} << (index & 63);
     summary_ |= std::uint64_t{1} << (index >> 6);
+  } else if (event.seq < bucket.events.back().seq) {
+    bucket.unsorted = true;  // cross-lane barrier merge; sorted lazily
   }
   bucket.events.push_back(event);
   ++ring_count_;

@@ -111,11 +111,17 @@ class EventHeap {
 /// slides the ring window that routes pushes.
 class EventQueue {
  public:
-  /// Ring window: events within [now, now + kBucketCount) are eligible
-  /// for the ring, one tick per bucket. 1024 ticks cover every delivery
-  /// the delay models can schedule and most workload timers while
-  /// keeping the bucket headers L1-resident.
+  /// Default ring window: events within [now, now + bucket_count) are
+  /// eligible for the ring, one tick per bucket. 1024 ticks cover every
+  /// delivery the stock delay models can schedule and most workload
+  /// timers while keeping the bucket headers L1-resident. Engines with
+  /// exotic delay models or declared far timer spans may grow the window
+  /// (set_log_bucket_count) up to kMaxLogBucketCount so overflow_pushes
+  /// stays at zero; the window never shrinks below the default, keeping
+  /// the routing counters of default-configured queues bit-identical.
   static constexpr std::uint32_t kLogBucketCount = 10;
+  /// Hard cap: 4096 buckets = 64 group words under one summary word.
+  static constexpr std::uint32_t kMaxLogBucketCount = 12;
   static constexpr std::size_t kBucketCount = std::size_t{1}
                                               << kLogBucketCount;
 
@@ -148,8 +154,18 @@ class EventQueue {
   /// Advances the ring window to `now`. Call when simulated time moves.
   void advance_to(SimTime now) {
     now_ = now;
-    window_end_ = now + kBucketCount;
+    window_end_ = now + bucket_count_;
   }
+
+  /// Grows the ring window to 2^log2 ticks (at most kMaxLogBucketCount).
+  /// Only legal while the queue is empty; the engine calls it at boot
+  /// when the delay model or a declared timer span outranges the default
+  /// window. Values below the default are clamped up -- the window never
+  /// shrinks, so default-configuration routing stays bit-identical.
+  void set_log_bucket_count(std::uint32_t log2);
+
+  /// Current ring window width in ticks.
+  std::size_t bucket_window() const { return bucket_count_; }
 
   SchedulerKind scheduler() const { return scheduler_; }
   const SchedulerCounters& counters() const { return counters_; }
@@ -158,18 +174,22 @@ class EventQueue {
   struct Bucket {
     std::vector<Event> events;  // seq-ordered; consumed from `head`
     std::uint32_t head = 0;
+    // Barrier merges from several partition lanes may append out of seq
+    // order; the bucket is sorted lazily on first read. Single-lane
+    // traffic pushes in seq order and never sets this.
+    bool unsorted = false;
   };
 
-  static constexpr std::size_t kMask = kBucketCount - 1;
-  static constexpr std::size_t kGroupCount = kBucketCount / 64;
-  static_assert(kGroupCount <= 64,
+  static constexpr std::size_t kMaxGroupCount =
+      (std::size_t{1} << kMaxLogBucketCount) / 64;
+  static_assert(kMaxGroupCount <= 64,
                 "the two-level bitmap needs one summary word");
 
   std::size_t tick_position(SimTime at) const {
-    return static_cast<std::size_t>(at) & kMask;
+    return static_cast<std::size_t>(at) & mask_;
   }
   SimTime tick_of(std::size_t bucket) const {
-    return now_ + ((bucket - tick_position(now_)) & kMask);
+    return now_ + ((bucket - tick_position(now_)) & mask_);
   }
 
   /// Head event of the earliest non-empty bucket (ring_count_ > 0).
@@ -179,13 +199,19 @@ class EventQueue {
   std::size_t min_bucket() const;
   /// Circular two-level bitmap scan starting at bucket position `from`.
   std::size_t scan_from(std::size_t from) const;
+  /// Restores seq order in `bucket` if cross-lane merges broke it.
+  void maybe_sort(Bucket& bucket) const;
 
   SchedulerKind scheduler_;
   SimTime now_ = 0;
   SimTime window_end_ = kBucketCount;
 
-  std::vector<Bucket> buckets_;             // kBucketCount entries
-  std::array<std::uint64_t, kGroupCount> bits_{};
+  std::size_t bucket_count_ = kBucketCount;
+  std::size_t mask_ = kBucketCount - 1;
+  std::size_t group_count_ = kBucketCount / 64;
+
+  mutable std::vector<Bucket> buckets_;     // bucket_count_ entries
+  std::array<std::uint64_t, kMaxGroupCount> bits_{};
   std::uint64_t summary_ = 0;
 
   EventHeap overflow_;

@@ -1,0 +1,92 @@
+// Conservative time-window execution over a lane-partitioned Engine.
+//
+// The paper's model guarantees every channel delay is at least
+// DelayModel::min_delay -- that lower bound is exactly the lookahead a
+// conservative parallel discrete-event simulator needs. The loop:
+//
+//   W   = earliest pending event across all lanes
+//   end = min(W + min_delay, horizon + 1)
+//   every lane executes its events with timestamps in [W, end)
+//       concurrently (one worker thread per lane, lane 0 inline on the
+//       calling thread);
+//   barrier: cross-lane deliveries created inside the window are merged
+//       into their destination queues (Engine::end_window).
+//
+// Soundness: a delivery created at time s >= W is scheduled at
+// s + delay >= W + min_delay >= end, so no lane can receive an event
+// inside the very window that created it -- each lane's [W, end) slice
+// is causally closed and the merge at the barrier cannot be late.
+//
+// Determinism: per (seed, lane partition) the trajectory is a pure
+// function -- each lane executes its own events in (at, seq) order with
+// its own rng stream, and cross-lane interaction is FIFO per channel --
+// and it equals the merged-serial trajectory Engine::run_until produces
+// for the same partition. With one lane the loop degenerates to the
+// serial engine, bit for bit (pinned by parallel_differential_test).
+//
+// The window loop requires causal closure within a lane, which workload
+// callbacks (free-function events that may touch any node) and
+// observers (shared mutable state) break; run_until falls back to the
+// trajectory-identical merged-serial loop while any are present.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace klex::sim {
+
+class ParallelEngine {
+ public:
+  /// Binds to `engine` and spawns one persistent worker per lane beyond
+  /// the first (lane 0 always runs on the thread calling run_until).
+  /// The engine must outlive this object and must not be repartitioned
+  /// while bound.
+  explicit ParallelEngine(Engine& engine);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Runs until simulated time exceeds `t` (events at exactly `t` are
+  /// still executed) or the queues empty; windowed while no callbacks
+  /// are pending and (for multi-lane engines) no observers are attached,
+  /// merged-serial otherwise. `t` must be finite.
+  void run_until(SimTime t);
+
+  struct WindowStats {
+    /// Windows executed (== barriers crossed).
+    std::uint64_t windows = 0;
+    /// run_until calls (or tails of calls) that fell back to the
+    /// merged-serial loop because callbacks or observers were live.
+    std::uint64_t merged_fallbacks = 0;
+  };
+
+  const WindowStats& window_stats() const { return stats_; }
+
+ private:
+  void worker_main(int lane);
+
+  Engine& engine_;
+  WindowStats stats_;
+
+  // Generation barrier: run_until publishes {window_end_, generation_}
+  // under mu_ and wakes the workers; each worker runs its lane's window
+  // and decrements outstanding_; the last one wakes the main thread.
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable window_done_;
+  std::uint64_t generation_ = 0;
+  SimTime window_last_ = 0;  // inclusive end of the open window
+  int outstanding_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;  // lanes 1..P-1
+};
+
+}  // namespace klex::sim

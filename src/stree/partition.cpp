@@ -1,0 +1,62 @@
+#include "stree/partition.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace klex::stree {
+
+namespace {
+
+/// Chunk index of position `i` when n positions split into `parts`
+/// near-equal contiguous chunks (the first n % parts chunks are one
+/// longer).
+std::vector<int> chunk_of_position(int n, int parts) {
+  std::vector<int> chunk(static_cast<std::size_t>(n));
+  int base = n / parts;
+  int remainder = n % parts;
+  int position = 0;
+  for (int part = 0; part < parts; ++part) {
+    int size = base + (part < remainder ? 1 : 0);
+    for (int i = 0; i < size; ++i) {
+      chunk[static_cast<std::size_t>(position++)] = part;
+    }
+  }
+  KLEX_CHECK(position == n, "partition chunks must cover every position");
+  return chunk;
+}
+
+}  // namespace
+
+std::vector<int> partition_tree(const tree::Tree& tree, int parts) {
+  int n = tree.size();
+  parts = std::clamp(parts, 1, n);
+  std::vector<tree::NodeId> order = tree.dfs_preorder();
+  std::vector<int> position_chunk = chunk_of_position(n, parts);
+  std::vector<int> lane(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    lane[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+        position_chunk[static_cast<std::size_t>(i)];
+  }
+  KLEX_CHECK(lane[tree::kRoot] == 0, "the root leads the DFS preorder");
+  return lane;
+}
+
+std::vector<int> partition_range(int n, int parts) {
+  KLEX_REQUIRE(n >= 1, "partition of an empty range");
+  parts = std::clamp(parts, 1, n);
+  return chunk_of_position(n, parts);
+}
+
+int edge_cut(const tree::Tree& tree, const std::vector<int>& lane) {
+  int cut = 0;
+  for (tree::NodeId v = 1; v < tree.size(); ++v) {
+    if (lane[static_cast<std::size_t>(v)] !=
+        lane[static_cast<std::size_t>(tree.parent(v))]) {
+      ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace klex::stree

@@ -1,0 +1,29 @@
+// Tree partitioning for the parallel engine.
+//
+// The conservative window scheme needs the node set split into lanes so
+// that most token traffic stays lane-local: tokens walk the virtual ring
+// (the DFS/Euler tour of the tree), so cutting the DFS preorder into
+// contiguous chunks puts every partition boundary on O(parts) tour
+// edges -- the edge cut is small and independent of n. Rings partition
+// by contiguous node-id arcs for the same reason (node ids are the
+// physical token order there).
+#pragma once
+
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace klex::stree {
+
+/// Lane per node: the DFS preorder split into `parts` contiguous chunks
+/// of near-equal size (first chunks take the remainder). The root is in
+/// lane 0. `parts` is clamped to [1, n].
+std::vector<int> partition_tree(const tree::Tree& tree, int parts);
+
+/// Lane per node for a ring of `n` nodes: contiguous id arcs.
+std::vector<int> partition_range(int n, int parts);
+
+/// Number of tree edges whose endpoints landed in different lanes.
+int edge_cut(const tree::Tree& tree, const std::vector<int>& lane);
+
+}  // namespace klex::stree

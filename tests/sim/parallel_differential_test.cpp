@@ -1,0 +1,419 @@
+// Differential tests for the conservative time-window parallel engine
+// (sim/parallel_engine.hpp).
+//
+// The contract under test, in increasing strength:
+//   * with one lane the windowed loop is the serial engine bit for bit
+//     (same delivery trace, same timestamps, same counters);
+//   * with P lanes the windowed execution equals the merged-serial loop
+//     (Engine::run_until over the same partition) event for event --
+//     checked through final process snapshots, token census, clocks and
+//     message counters at several cut points;
+//   * that equality survives transient faults and garbage floods on
+//     every topology family (tree, ring, spanning-tree composition),
+//     and both executions re-stabilize to the legitimate population.
+//
+// Also pinned here, as satellites of the same PR: the calendar ring's
+// auto-sized bucket window (delay models or declared timer spans beyond
+// the 1024-tick default grow the window instead of spilling events to
+// the overflow heap) and the 64-bit width of every per-event counter
+// (at n = 10^6 a run executes ~10^9+ events; a 32-bit accumulator would
+// wrap silently).
+#include "sim/parallel_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "api/builder.hpp"
+#include "api/system.hpp"
+#include "api/system_base.hpp"
+#include "api/topology.hpp"
+#include "proto/app.hpp"
+#include "proto/census.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+#include "tree/tree.hpp"
+
+namespace klex {
+namespace {
+
+// -- shared fixtures ---------------------------------------------------------
+
+/// A mid-size random tree exercising uneven lane cuts (subtree sizes
+/// differ, so lanes genuinely interleave at every window barrier).
+SystemConfig tree_config(int threads, std::uint64_t seed = 11) {
+  SystemConfig config;
+  support::Rng topo_rng(7);
+  config.tree = tree::random_tree(48, topo_rng);
+  config.k = 2;
+  config.l = 5;
+  config.seed = seed;
+  config.seed_tokens = true;
+  config.threads = threads;
+  return config;
+}
+
+/// Records every send and delivery the engine reports, in order. Two
+/// equal traces mean two equal executions -- timestamps, event order,
+/// payloads and all.
+struct TraceObserver : sim::SimObserver {
+  struct Record {
+    sim::SimTime at = 0;
+    bool deliver = false;
+    sim::NodeId node = -1;
+    int channel = -1;
+    sim::Message msg;
+
+    friend bool operator==(const Record&, const Record&) = default;
+  };
+
+  void on_send(sim::SimTime at, sim::NodeId from, int channel,
+               const sim::Message& msg) override {
+    records.push_back({at, false, from, channel, msg});
+  }
+  void on_deliver(sim::SimTime at, sim::NodeId to, int channel,
+                  const sim::Message& msg) override {
+    records.push_back({at, true, to, channel, msg});
+  }
+
+  std::vector<Record> records;
+};
+
+void expect_same_census(const proto::TokenCensus& a,
+                        const proto::TokenCensus& b) {
+  EXPECT_EQ(a.free_resource, b.free_resource);
+  EXPECT_EQ(a.reserved_resource, b.reserved_resource);
+  EXPECT_EQ(a.pusher, b.pusher);
+  EXPECT_EQ(a.free_priority, b.free_priority);
+  EXPECT_EQ(a.held_priority, b.held_priority);
+  EXPECT_EQ(a.control, b.control);
+}
+
+void expect_same_clocks_and_counters(const sim::Engine& a,
+                                     const sim::Engine& b) {
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_EQ(a.events_executed(), b.events_executed());
+  EXPECT_EQ(a.messages_sent(), b.messages_sent());
+  EXPECT_EQ(a.messages_delivered(), b.messages_delivered());
+  EXPECT_EQ(a.in_flight_messages(), b.in_flight_messages());
+}
+
+void expect_same_snapshots(const System& a, const System& b) {
+  ASSERT_EQ(a.n(), b.n());
+  for (NodeId v = 0; v < a.n(); ++v) {
+    proto::LocalSnapshot sa = a.node(v).snapshot();
+    proto::LocalSnapshot sb = b.node(v).snapshot();
+    EXPECT_EQ(sa.state, sb.state) << "node " << v;
+    EXPECT_EQ(sa.need, sb.need) << "node " << v;
+    EXPECT_EQ(sa.rset_size, sb.rset_size) << "node " << v;
+    EXPECT_EQ(sa.holds_priority, sb.holds_priority) << "node " << v;
+    EXPECT_EQ(sa.reset, sb.reset) << "node " << v;
+    EXPECT_EQ(sa.myc, sb.myc) << "node " << v;
+    EXPECT_EQ(sa.succ, sb.succ) << "node " << v;
+    EXPECT_EQ(sa.stoken, sb.stoken) << "node " << v;
+    EXPECT_EQ(sa.spush, sb.spush) << "node " << v;
+    EXPECT_EQ(sa.sprio, sb.sprio) << "node " << v;
+  }
+}
+
+// -- one lane: bit-identical to the serial engine ----------------------------
+
+TEST(ParallelDifferential, OneLaneWindowedIsBitIdenticalToSerial) {
+  System serial(tree_config(/*threads=*/1));
+  System windowed(tree_config(/*threads=*/1));
+  ASSERT_EQ(windowed.parallel_engine(), nullptr);  // 1 lane: serial system
+
+  TraceObserver serial_trace;
+  TraceObserver windowed_trace;
+  serial.add_observer(&serial_trace);
+  windowed.add_observer(&windowed_trace);
+
+  // Drive the windowed loop directly over the 1-lane engine; chunked cut
+  // points also exercise window resumption across run_until calls.
+  sim::ParallelEngine windows(windowed.engine());
+  for (sim::SimTime t : {sim::SimTime{1'000}, sim::SimTime{7'000},
+                         sim::SimTime{40'000}, sim::SimTime{200'000}}) {
+    serial.run_until(t);
+    windows.run_until(t);
+    expect_same_clocks_and_counters(serial.engine(), windowed.engine());
+  }
+  EXPECT_GT(windows.window_stats().windows, 0u);
+  EXPECT_EQ(windows.window_stats().merged_fallbacks, 0u);
+
+  ASSERT_EQ(serial_trace.records.size(), windowed_trace.records.size());
+  EXPECT_TRUE(serial_trace.records == windowed_trace.records)
+      << "the 1-lane windowed trace diverged from the serial engine";
+  expect_same_snapshots(serial, windowed);
+  expect_same_census(serial.census(), windowed.census());
+}
+
+// -- P lanes: windowed == merged-serial --------------------------------------
+
+class WindowedVsMerged : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowedVsMerged, SameTrajectoryAsMergedSerial) {
+  const int lanes = GetParam();
+  System windowed(tree_config(lanes));
+  System merged(tree_config(lanes));
+  ASSERT_EQ(windowed.threads(), lanes);
+  ASSERT_NE(windowed.parallel_engine(), nullptr);
+
+  for (sim::SimTime t : {sim::SimTime{2'000}, sim::SimTime{15'000},
+                         sim::SimTime{80'000}, sim::SimTime{250'000}}) {
+    windowed.run_until(t);         // conservative windows, worker threads
+    merged.engine().run_until(t);  // global (at, seq) min across lanes
+    expect_same_clocks_and_counters(windowed.engine(), merged.engine());
+  }
+  EXPECT_GT(windowed.parallel_engine()->window_stats().windows, 0u);
+  EXPECT_EQ(windowed.parallel_engine()->window_stats().merged_fallbacks, 0u);
+
+  expect_same_snapshots(windowed, merged);
+  expect_same_census(windowed.census(), merged.census());
+  // The per-lane census cells must agree with the full-walk oracle.
+  expect_same_census(windowed.census(), windowed.census_oracle());
+  expect_same_census(merged.census(), merged.census_oracle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, WindowedVsMerged, ::testing::Values(2, 4, 8));
+
+// -- faults, across topology families ----------------------------------------
+
+struct FaultCase {
+  TopologySpec topo;
+  FaultKind fault = FaultKind::kTransient;
+};
+
+std::string fault_case_name(const ::testing::TestParamInfo<FaultCase>& info) {
+  std::string name = info.param.topo.name();
+  name += info.param.fault == FaultKind::kTransient ? "_transient" : "_flood";
+  for (char& c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)))) c = '_';
+  }
+  return name;
+}
+
+class ParallelFaultRecovery : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(ParallelFaultRecovery, WindowedRecoveryMatchesMergedSerial) {
+  const FaultCase& fault_case = GetParam();
+  auto build = [&]() {
+    SystemBuilder builder;
+    builder.topology(fault_case.topo).kl(2, 4).seed(17).threads(2);
+    return builder.build();
+  };
+  std::unique_ptr<SystemBase> windowed = build();
+  std::unique_ptr<SystemBase> merged = build();
+  ASSERT_EQ(windowed->threads(), 2);
+
+  // Identical pre-fault trajectories: run_until_stabilized drives the
+  // merged-serial loop on both systems.
+  sim::SimTime stab_w = windowed->run_until_stabilized(10'000'000);
+  sim::SimTime stab_m = merged->run_until_stabilized(10'000'000);
+  ASSERT_NE(stab_w, sim::kTimeInfinity);
+  EXPECT_EQ(stab_w, stab_m);
+  ASSERT_TRUE(windowed->token_counts_correct());
+
+  // The same fault, from the same rng stream, lands identically.
+  support::Rng fault_rng_w(99);
+  support::Rng fault_rng_m(99);
+  if (fault_case.fault == FaultKind::kTransient) {
+    windowed->inject_transient_fault(fault_rng_w);
+    merged->inject_transient_fault(fault_rng_m);
+  } else {
+    windowed->flood_channels(fault_rng_w, 3);
+    merged->flood_channels(fault_rng_m, 3);
+  }
+  expect_same_census(windowed->census_oracle(), merged->census_oracle());
+
+  // Recovery: the windowed loop on one side, merged-serial on the other.
+  // Advance in lockstep until both report the legitimate population
+  // again (same 40M-tick allowance as the topology-generic test).
+  sim::SimTime t = windowed->engine().now();
+  const sim::SimTime deadline = t + 40'000'000;
+  while (t < deadline && !(windowed->token_counts_correct() &&
+                           merged->token_counts_correct())) {
+    t += 250'000;
+    windowed->run_until(t);
+    merged->engine().run_until(t);
+  }
+  t += 100'000;  // settle one more slice past the census transition
+  windowed->run_until(t);
+  merged->engine().run_until(t);
+
+  EXPECT_TRUE(windowed->token_counts_correct()) << "windowed never recovered";
+  EXPECT_TRUE(merged->token_counts_correct()) << "merged never recovered";
+  EXPECT_GT(windowed->parallel_engine()->window_stats().windows, 0u);
+
+  expect_same_clocks_and_counters(windowed->engine(), merged->engine());
+  expect_same_census(windowed->census(), merged->census());
+  expect_same_census(windowed->census(), windowed->census_oracle());
+  for (NodeId v = 0; v < windowed->n(); ++v) {
+    EXPECT_EQ(windowed->state_of(v), merged->state_of(v)) << "node " << v;
+    EXPECT_EQ(windowed->need_of(v), merged->need_of(v)) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologiesAndFaults, ParallelFaultRecovery,
+    ::testing::Values(
+        FaultCase{TopologySpec::tree_random(40, 5), FaultKind::kTransient},
+        FaultCase{TopologySpec::tree_random(40, 5), FaultKind::kGarbageFlood},
+        FaultCase{TopologySpec::ring(32), FaultKind::kTransient},
+        FaultCase{TopologySpec::ring(32), FaultKind::kGarbageFlood},
+        FaultCase{TopologySpec::graph_random(20, 8, 3),
+                  FaultKind::kTransient},
+        FaultCase{TopologySpec::graph_random(20, 8, 3),
+                  FaultKind::kGarbageFlood}),
+    fault_case_name);
+
+// -- calendar ring auto-sizing (scheduler satellite) -------------------------
+
+/// Echoes each message back with f0 decremented until it reaches zero.
+class EchoProcess : public sim::Process {
+ public:
+  void on_message(int channel, const sim::Message& msg) override {
+    ++deliveries;
+    if (msg.f0 > 0) {
+      sim::Message reply = msg;
+      --reply.f0;
+      send(channel, reply);
+    }
+  }
+  void on_timer(int timer_id) override { timer_fires.push_back(timer_id); }
+
+  int deliveries = 0;
+  std::vector<int> timer_fires;
+
+  using sim::Process::send;
+  using sim::Process::set_timer;
+};
+
+struct EchoPair {
+  explicit EchoPair(sim::DelayModel delays = {}, std::uint64_t seed = 1)
+      : engine(delays, seed) {
+    auto p0 = std::make_unique<EchoProcess>();
+    auto p1 = std::make_unique<EchoProcess>();
+    a = p0.get();
+    b = p1.get();
+    engine.add_process(std::move(p0));
+    engine.add_process(std::move(p1));
+    engine.connect(0, 0, 1, 0);
+    engine.connect(1, 0, 0, 0);
+  }
+  sim::Engine engine;
+  EchoProcess* a = nullptr;
+  EchoProcess* b = nullptr;
+};
+
+TEST(CalendarAutoSize, DefaultDelayModelKeepsTheDefaultWindow) {
+  EchoPair net;  // DelayModel{1, 16}
+  net.engine.start();
+  // The default window must not move: its routing counters are pinned
+  // elsewhere (event_core_test) and must stay bit-identical.
+  EXPECT_EQ(net.engine.stats().bucket_window, 1024u);
+}
+
+TEST(CalendarAutoSize, WideDelayModelGrowsTheWindow) {
+  EchoPair net(sim::DelayModel{1000, 3000}, /*seed=*/5);
+  net.engine.start();
+  ASSERT_EQ(net.engine.stats().bucket_window, 4096u);
+
+  // 64 concurrent echo chains keep the queue far above the sparse
+  // regime (where pushes legitimately prefer the overflow heap), so
+  // every delay <= 3000 must land on the grown ring. Stop well before
+  // the chains drain (100 hops at >= 1000 ticks each) so the queue
+  // never falls back into the sparse regime mid-measurement.
+  for (int i = 0; i < 64; ++i) {
+    sim::Message msg;
+    msg.type = 1;
+    msg.f0 = 100;
+    net.a->send(0, msg);
+  }
+  net.engine.run_until(150'000);
+
+  sim::EngineStats stats = net.engine.stats();
+  EXPECT_GT(stats.scheduler.bucket_inserts, 1000u);
+  // Only the initial sparse ramp-up (first ~dozen sends) may overflow.
+  EXPECT_LE(stats.scheduler.overflow_pushes, 32u);
+}
+
+TEST(CalendarAutoSize, DeclaredTimerSpanGrowsTheWindow) {
+  EchoPair net;  // default delays would keep the 1024 window
+  net.engine.declare_timer_span(1500);
+  net.engine.start();
+  EXPECT_EQ(net.engine.stats().bucket_window, 2048u);
+
+  net.a->set_timer(0, 1500);
+  net.engine.run_until(5'000);
+  ASSERT_EQ(net.a->timer_fires.size(), 1u);
+}
+
+// -- counter widths (overflow satellite) -------------------------------------
+
+TEST(EngineStatsWidth, PerEventCountersAreSixtyFourBit) {
+  // A 10^6-node run executes well beyond 2^32 events; every counter that
+  // grows per event (or per scheduler operation) must be 64-bit. These
+  // are compile-time pins so a narrowing refactor fails loudly here.
+  using sim::Engine;
+  using sim::EngineStats;
+  using sim::SchedulerCounters;
+  static_assert(
+      std::is_same_v<decltype(EngineStats::events_executed), std::uint64_t>);
+  static_assert(
+      std::is_same_v<decltype(EngineStats::messages_sent), std::uint64_t>);
+  static_assert(
+      std::is_same_v<decltype(EngineStats::messages_delivered), std::uint64_t>);
+  static_assert(std::is_same_v<decltype(EngineStats::callbacks_scheduled),
+                               std::uint64_t>);
+  static_assert(std::is_same_v<decltype(EngineStats::callback_slots_created),
+                               std::uint64_t>);
+  static_assert(
+      std::is_same_v<decltype(EngineStats::max_heap_size), std::uint64_t>);
+  static_assert(
+      std::is_same_v<decltype(EngineStats::in_flight_walks), std::uint64_t>);
+  static_assert(
+      std::is_same_v<decltype(EngineStats::bucket_window), std::uint64_t>);
+  static_assert(std::is_same_v<decltype(SchedulerCounters::bucket_inserts),
+                               std::uint64_t>);
+  static_assert(std::is_same_v<decltype(SchedulerCounters::bucket_scans),
+                               std::uint64_t>);
+  static_assert(std::is_same_v<decltype(SchedulerCounters::overflow_pushes),
+                               std::uint64_t>);
+  static_assert(std::is_same_v<decltype(SchedulerCounters::overflow_pops),
+                               std::uint64_t>);
+  static_assert(
+      std::is_same_v<decltype(sim::ParallelEngine::WindowStats::windows),
+                     std::uint64_t>);
+  static_assert(std::is_same_v<
+                decltype(sim::ParallelEngine::WindowStats::merged_fallbacks),
+                std::uint64_t>);
+  // Accessor return types must not narrow either.
+  static_assert(std::is_same_v<decltype(std::declval<const Engine&>()
+                                            .messages_sent()),
+                               std::uint64_t>);
+  static_assert(std::is_same_v<decltype(std::declval<const Engine&>()
+                                            .messages_delivered()),
+                               std::uint64_t>);
+  static_assert(std::is_same_v<decltype(std::declval<const Engine&>()
+                                            .events_executed()),
+                               std::uint64_t>);
+  static_assert(std::is_same_v<decltype(std::declval<const Engine&>()
+                                            .in_flight_messages()),
+                               std::uint64_t>);
+  static_assert(std::is_same_v<decltype(std::declval<const Engine&>()
+                                            .in_flight_of_type(1)),
+                               std::uint64_t>);
+  static_assert(std::is_same_v<decltype(std::declval<const Engine&>()
+                                            .sent_of_type(1)),
+                               std::uint64_t>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace klex

@@ -10,9 +10,13 @@ build directory holds the freshly produced ones). For every scenario
 present on both sides the tool compares:
 
   * throughput: per-aggregate-cell total_events_per_sec (keyed by
-    topology, features, k, l, fault_garbage -- "features" names the
-    protocol rung and defaults to "full" for artifacts that predate the
-    rung grid; fault_garbage defaults to -1). A drop of more than
+    topology, features, k, l, fault_garbage, threads -- "features" names
+    the protocol rung and defaults to "full" for artifacts that predate
+    the rung grid; fault_garbage defaults to -1; threads is the engine's
+    worker-lane count and defaults to 1 for pre-parallel artifacts). A
+    baseline n x threads cell missing from the current artifact fails
+    like any other dropped cell, so a partition count cannot silently
+    vanish from the sweep. A drop of more than
     --rate-tolerance is a REGRESSION. Wall-clock rates vary between
     machines, so CI calls this with a generous tolerance while
     same-machine commit-to-commit runs use the strict default. Cells
@@ -76,6 +80,7 @@ def cell_key(cell):
         cell["k"],
         cell["l"],
         cell.get("fault_garbage", -1),
+        cell.get("threads", 1),
     )
 
 
@@ -91,8 +96,10 @@ def fmt_key(key):
     base = f"{key[0]} [{key[1]}] k={key[2]} l={key[3]}"
     if key[4] != -1:
         base += f" g={key[4]}"
-    if len(key) == 6:
-        base += f" seed={key[5]}"
+    if key[5] != 1:
+        base += f" p={key[5]}"
+    if len(key) == 7:
+        base += f" seed={key[6]}"
     return base
 
 

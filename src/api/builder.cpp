@@ -51,6 +51,43 @@ void Session::apply_planned_fault(support::Rng& rng) {
   if (driver != nullptr && state_changed) driver->resync();
 }
 
+TopologyFaultResult Session::apply_fault_event(const FaultEvent& event,
+                                               support::Rng& rng) {
+  TopologyFaultResult result;
+  bool state_changed = false;
+  bool topology_fault = false;
+  switch (event.kind) {
+    case FaultKind::kNone:
+      return result;
+    case FaultKind::kTransient:
+      system->inject_transient_fault(rng, event.garbage);
+      state_changed = true;
+      break;
+    case FaultKind::kChannelWipe:
+      system->engine().clear_channels();
+      break;
+    case FaultKind::kGarbageFlood:
+      KLEX_REQUIRE(event.garbage >= 0,
+                   "kGarbageFlood events need an explicit garbage count");
+      system->flood_channels(rng, event.garbage);
+      break;
+    case FaultKind::kLinkChurn:
+    case FaultKind::kNodeCrash:
+      // The repair performs its own epoch-cut (drain + re-mint) with the
+      // state migration spliced in between; do not cut again on top.
+      result = system->apply_topology_fault(event, rng);
+      topology_fault = true;
+      state_changed = true;
+      break;
+  }
+  if (!topology_fault && system->params().features.epoch_cut &&
+      system->epoch_cut_recover()) {
+    state_changed = true;
+  }
+  if (driver != nullptr && state_changed) driver->resync();
+  return result;
+}
+
 SystemBuilder& SystemBuilder::topology(const TopologySpec& spec) {
   KLEX_REQUIRE(topo_kind_ == TopoKind::kUnset, "topology already set");
   topo_kind_ = TopoKind::kSpec;
@@ -169,9 +206,24 @@ SystemBuilder& SystemBuilder::fault_garbage(int per_channel) {
   return *this;
 }
 
+SystemBuilder& SystemBuilder::fault_plan(FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::live_topology(bool on) {
+  live_topology_ = on;
+  return *this;
+}
+
 std::unique_ptr<SystemBase> SystemBuilder::build() const {
   KLEX_REQUIRE(topo_kind_ != TopoKind::kUnset,
                "SystemBuilder needs a topology");
+
+  // A plan with topology events needs the physical wiring even if the
+  // caller never said live_topology() -- the repair cannot reroute over
+  // channels that were never connected.
+  const bool live = live_topology_ || fault_plan_.has_topology_events();
 
   // The knobs every topology's config shares; new builder knobs belong
   // here once, not in each per-topology block.
@@ -189,6 +241,9 @@ std::unique_ptr<SystemBase> SystemBuilder::build() const {
   };
   auto make_tree_system =
       [&, this](tree::Tree t) -> std::unique_ptr<SystemBase> {
+    KLEX_REQUIRE(!live,
+                 "topology churn requires a graph topology (a tree has no "
+                 "redundant links to reroute over)");
     SystemConfig config;
     config.tree = std::move(t);
     apply_common(config);
@@ -208,10 +263,14 @@ std::unique_ptr<SystemBase> SystemBuilder::build() const {
     apply_common(config);
     config.beacon_period = beacon_period_;
     config.spanning_tree_deadline = spanning_tree_deadline_;
+    config.live_topology = live;
     return std::make_unique<GraphSystem>(std::move(config));
   };
   auto make_ring_system = [&](int n) -> std::unique_ptr<SystemBase> {
     KLEX_REQUIRE(!spread_tokens_, "spread_tokens() is tree-topology only");
+    KLEX_REQUIRE(!live,
+                 "topology churn requires a graph topology (the ring "
+                 "baseline has no spanning-tree layer to repair)");
     ring::RingConfig config;
     config.n = n;
     apply_common(config);
@@ -283,10 +342,14 @@ Session SystemBuilder::build_session() const {
   KLEX_REQUIRE(fault_ != FaultKind::kGarbageFlood || fault_garbage_ >= 0,
                "FaultKind::kGarbageFlood needs fault_garbage(count) -- the "
                "flood size has no default");
+  KLEX_REQUIRE(fault_ == FaultKind::kNone || fault_plan_.empty(),
+               "fault() and fault_plan() are mutually exclusive (put the "
+               "single fault into the plan)");
   Session session;
   session.system = build();
   session.planned_fault = fault_;
   session.fault_garbage = fault_garbage_;
+  session.fault_plan = fault_plan_;
   if (workload_.has_value()) {
     support::Rng class_rng(seed_ ^ kClassSalt);
     session.workload =

@@ -30,6 +30,7 @@
 #include <optional>
 
 #include "api/client.hpp"
+#include "api/fault.hpp"
 #include "api/system_base.hpp"
 #include "api/topology.hpp"
 #include "api/workload_driver.hpp"
@@ -39,23 +40,9 @@
 
 namespace klex {
 
-/// Post-measurement fault plans.
-///   kTransient    -- the paper's transient fault: every process variable
-///                    randomized in-domain, channels wiped then preloaded
-///                    with garbage messages (up to CMAX each by default;
-///                    SystemBuilder::fault_garbage pins an exact count).
-///                    Recovery is protocol-dominated (surplus tokens must
-///                    drain through a reset).
-///   kChannelWipe  -- pure deficit fault: all in-flight messages lost,
-///                    process state intact. Recovery is detection-
-///                    dominated (idle wait for the root timeout, one
-///                    circulation, a mint).
-///   kGarbageFlood -- pure surplus fault: channels wiped then preloaded
-///                    with exactly fault_garbage random messages each,
-///                    process memory intact (the CMAX-violation ablation:
-///                    the flood may exceed the CMAX the protocol's myC
-///                    domain was sized for).
-enum class FaultKind { kNone, kTransient, kChannelWipe, kGarbageFlood };
+// FaultKind, FaultEvent and FaultPlan live in api/fault.hpp (shared with
+// SystemBase); the spellings klex::FaultKind / klex::FaultPlan used
+// throughout the harnesses are unchanged.
 
 /// A built system together with its materialized workload: the driver is
 /// wired over the system's Client sessions but not yet started (call
@@ -68,6 +55,12 @@ struct Session {
   /// Garbage messages per channel for kGarbageFlood / kTransient;
   /// -1 = the fault kind's default (uniform 0..CMAX for kTransient).
   int fault_garbage = -1;
+  /// Staged fault schedule (SystemBuilder::fault_plan). The session does
+  /// not time the events itself -- the experiment loop (or any caller)
+  /// advances the engine to each event's time and calls
+  /// apply_fault_event; `at` is carried here so the schedule travels with
+  /// the session.
+  FaultPlan fault_plan;
 
   void begin_workload();
 
@@ -80,6 +73,14 @@ struct Session {
   /// drain), the driver's sessions are resynced. No-op for
   /// FaultKind::kNone.
   void apply_planned_fault(support::Rng& rng);
+
+  /// Executes one staged fault event. Legacy kinds behave exactly like
+  /// apply_planned_fault (with the event's own garbage count); topology
+  /// kinds (kLinkChurn / kNodeCrash) run the live GraphSystem's online
+  /// repair and return its cost breakdown. The driver's sessions are
+  /// resynced whenever protocol or topology state changed.
+  TopologyFaultResult apply_fault_event(const FaultEvent& event,
+                                        support::Rng& rng);
 };
 
 class SystemBuilder {
@@ -122,6 +123,15 @@ class SystemBuilder {
   SystemBuilder& fault(FaultKind kind);
   /// Garbage messages per channel for the planned fault (see Session).
   SystemBuilder& fault_garbage(int per_channel);
+  /// Staged schedule of timed fault events (generalizes the single
+  /// post-measurement fault(); the two are mutually exclusive). A plan
+  /// containing topology events (kLinkChurn / kNodeCrash) implies
+  /// live_topology().
+  SystemBuilder& fault_plan(FaultPlan plan);
+  /// Builds the graph topology in live mode: the engine is wired over
+  /// every physical link so topology faults can be applied and repaired
+  /// at runtime (graph topologies only; see GraphSystemConfig).
+  SystemBuilder& live_topology(bool on = true);
 
   /// Materializes the system alone.
   std::unique_ptr<SystemBase> build() const;
@@ -160,6 +170,8 @@ class SystemBuilder {
   std::optional<proto::WorkloadSpec> workload_;
   FaultKind fault_ = FaultKind::kNone;
   int fault_garbage_ = -1;
+  FaultPlan fault_plan_{};
+  bool live_topology_ = false;
 };
 
 }  // namespace klex

@@ -23,6 +23,7 @@ const char* deny_reason_name(DenyReason reason) {
     case DenyReason::kHolding: return "holding";
     case DenyReason::kBadNeed: return "bad_need";
     case DenyReason::kRevoked: return "revoked";
+    case DenyReason::kUnreachable: return "unreachable";
   }
   return "?";
 }
@@ -150,6 +151,11 @@ PendingAcquire Client::acquire(int need) {
         return deny(DenyReason::kBadNeed);
     }
   }
+  if (!reachable_) {
+    // Not misuse either: the node is partitioned or crashed. Retryable
+    // once a repair reattaches it (see WorkloadDriver's backoff).
+    return deny(DenyReason::kUnreachable);
+  }
   if (port_.state_of(node_) != proto::AppState::kOut) {
     // Not misuse: the protocol is busy with an external or
     // corruption-induced request this session cannot know about.
@@ -267,6 +273,26 @@ void Client::release_lease(std::uint64_t serial) {
   }
 }
 
+void Client::set_reachable(bool up) {
+  if (reachable_ == up) return;  // idempotent: repairs may re-report
+  reachable_ = up;
+  if (up) return;  // re-opened; the application re-acquires when ready
+  switch (phase_) {
+    case Phase::kWaiting:
+      // The pending acquisition cannot complete on a detached node.
+      phase_ = Phase::kIdle;
+      deny(DenyReason::kUnreachable);
+      return;
+    case Phase::kHolding:
+      // The lease's units were drained with the node; never lose it
+      // silently -- on_revoked fires exactly once.
+      revoke();
+      return;
+    case Phase::kIdle:
+      return;
+  }
+}
+
 void Client::resync() {
   proto::AppState app = port_.state_of(node_);
   switch (phase_) {
@@ -324,6 +350,11 @@ void ClientPool::set_policy(MisusePolicy policy) {
 
 void ClientPool::resync() {
   for (auto& client : clients_) client->resync();
+}
+
+void ClientPool::set_reachable(proto::NodeId node, bool up) {
+  KLEX_REQUIRE(node >= 0 && node < size(), "bad node id ", node);
+  clients_[static_cast<std::size_t>(node)]->set_reachable(up);
 }
 
 void ClientPool::on_enter_cs(proto::NodeId node, int need,

@@ -62,6 +62,8 @@ enum class DenyReason {
   kHolding,  // this session already holds a lease
   kBadNeed,  // need outside 1..k (kIgnore only; kClamp coerces)
   kRevoked,  // a pending acquisition was cancelled by resync()
+  kUnreachable,  // node crashed / partitioned by a topology fault; retryable
+                 // once the topology heals (WorkloadDriver backs off on it)
 };
 
 const char* deny_reason_name(DenyReason reason);
@@ -168,6 +170,17 @@ class Client {
   /// (on_granted / on_unexpected_grant).
   void resync();
 
+  /// Whether the node is currently reachable (true until a topology
+  /// fault detaches it). Unreachable sessions deny every acquire with
+  /// kUnreachable instead of touching the protocol.
+  bool reachable() const { return reachable_; }
+
+  /// Graceful degradation on topology faults (GraphSystem repair calls
+  /// this through ClientPool). Going down revokes an outstanding lease
+  /// (on_revoked, exactly once) and denies a pending acquisition with
+  /// kUnreachable; coming back up just re-opens the session. Idempotent.
+  void set_reachable(bool up);
+
  private:
   friend class Lease;
   friend class PendingAcquire;
@@ -196,6 +209,7 @@ class Client {
   MisusePolicy policy_;
 
   Phase phase_ = Phase::kIdle;
+  bool reachable_ = true;   // false while detached by a topology fault
   bool releasing_ = false;  // a lease release is driving the exit
   std::uint64_t serial_ = 0;
   int held_units_ = 0;
@@ -226,6 +240,9 @@ class ClientPool final : public proto::Listener {
 
   /// Client::resync() for every session (post-fault reconciliation).
   void resync();
+
+  /// Client::set_reachable for one node (topology-repair degradation).
+  void set_reachable(proto::NodeId node, bool up);
 
   // proto::Listener:
   void on_enter_cs(proto::NodeId node, int need, sim::SimTime at) override;

@@ -1,0 +1,17 @@
+#include "api/fault.hpp"
+
+namespace klex {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kChannelWipe: return "channel_wipe";
+    case FaultKind::kGarbageFlood: return "garbage_flood";
+    case FaultKind::kLinkChurn: return "link_churn";
+    case FaultKind::kNodeCrash: return "node_crash";
+  }
+  return "?";
+}
+
+}  // namespace klex

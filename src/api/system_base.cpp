@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "stree/graph.hpp"
 #include "support/check.hpp"
 
 namespace klex {
@@ -35,17 +36,23 @@ void SystemBase::connect_nodes(NodeId from, int from_channel, NodeId to,
 
 std::vector<core::KlProcessBase*> SystemBase::build_tree_protocol(
     const tree::Tree& tree, const std::vector<int>& node_lane,
-    int lane_count) {
+    int lane_count, const stree::Graph* physical) {
   KLEX_REQUIRE(tree.size() >= 2,
                "the protocol requires n >= 2 (see DESIGN.md)");
   KLEX_REQUIRE(!params_.features.controller ||
                    (params_.features.pusher && params_.features.priority),
                "the self-stabilizing rung requires pusher and priority");
   KLEX_REQUIRE(arena_ == nullptr, "build_tree_protocol runs once");
+  KLEX_REQUIRE(physical == nullptr || physical->size() == tree.size(),
+               "live wiring needs graph and tree over the same node ids");
 
+  // Live mode sizes every slot by the node's physical degree so any later
+  // overlay fits without moving storage; the process constructors narrow
+  // their RSet view to the current tree degree.
   std::vector<int> degrees(static_cast<std::size_t>(tree.size()));
   for (tree::NodeId v = 0; v < tree.size(); ++v) {
-    degrees[static_cast<std::size_t>(v)] = tree.degree(v);
+    degrees[static_cast<std::size_t>(v)] =
+        physical != nullptr ? physical->degree(v) : tree.degree(v);
   }
   arena_ = std::make_unique<core::ProcessStateArena>(degrees, params_.k,
                                                      node_lane);
@@ -65,9 +72,42 @@ std::vector<core::KlProcessBase*> SystemBase::build_tree_protocol(
     nodes.push_back(add_node(std::move(process)));
     KLEX_CHECK(nodes.back()->id() == v, "engine ids must match tree ids");
   }
-  for (tree::NodeId v = 0; v < tree.size(); ++v) {
-    for (int c = 0; c < tree.degree(v); ++c) {
-      connect_nodes(v, c, tree.neighbor(v, c), tree.reverse_channel(v, c));
+  if (physical == nullptr) {
+    for (tree::NodeId v = 0; v < tree.size(); ++v) {
+      for (int c = 0; c < tree.degree(v); ++c) {
+        connect_nodes(v, c, tree.neighbor(v, c), tree.reverse_channel(v, c));
+      }
+    }
+  } else {
+    // Live wiring: engine channel c of node v IS graph adjacency index c.
+    // Every physical link exists from boot, so a repair only swaps the
+    // per-node translation maps -- the engine is never rewired.
+    for (tree::NodeId v = 0; v < physical->size(); ++v) {
+      for (int c = 0; c < physical->degree(v); ++c) {
+        connect_nodes(v, c, physical->neighbor(v, c),
+                      physical->reverse_channel(v, c));
+      }
+    }
+    for (tree::NodeId v = 0; v < tree.size(); ++v) {
+      std::vector<int> phys_of(static_cast<std::size_t>(tree.degree(v)));
+      std::vector<int> logical_of(
+          static_cast<std::size_t>(physical->degree(v)), -1);
+      for (int c = 0; c < tree.degree(v); ++c) {
+        tree::NodeId w = tree.neighbor(v, c);
+        int pc = -1;
+        for (int q = 0; q < physical->degree(v); ++q) {
+          if (physical->neighbor(v, q) == w) {
+            pc = q;
+            break;
+          }
+        }
+        KLEX_CHECK(pc >= 0, "overlay edge ", v, "-", w,
+                   " is not a physical link");
+        phys_of[static_cast<std::size_t>(c)] = pc;
+        logical_of[static_cast<std::size_t>(pc)] = c;
+      }
+      nodes[static_cast<std::size_t>(v)]->bind_channel_map(
+          std::move(phys_of), std::move(logical_of));
     }
   }
   if (lane_count > 1) {
@@ -279,6 +319,16 @@ bool SystemBase::epoch_cut_recover() {
   const bool restarted = participants_[0]->epoch_restart();
   KLEX_CHECK(restarted, "participant 0 must be the root (epoch_restart)");
   return true;
+}
+
+TopologyFaultResult SystemBase::apply_topology_fault(const FaultEvent&,
+                                                     support::Rng&) {
+  KLEX_REQUIRE(false,
+               "topology faults need a live GraphSystem: use a graph "
+               "topology and SystemBuilder::live_topology() (a fault plan "
+               "with kLinkChurn / kNodeCrash events enables it "
+               "automatically)");
+  return {};
 }
 
 }  // namespace klex

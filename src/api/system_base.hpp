@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "api/client.hpp"
+#include "api/fault.hpp"
 #include "core/member_process.hpp"
 #include "core/params.hpp"
 #include "core/root_process.hpp"
@@ -30,6 +31,10 @@
 #include "sim/engine.hpp"
 #include "sim/parallel_engine.hpp"
 #include "tree/tree.hpp"
+
+namespace klex::stree {
+class Graph;
+}  // namespace klex::stree
 
 namespace klex {
 
@@ -141,6 +146,15 @@ class SystemBase : public proto::RequestPort {
   /// circulating for Θ(n) ticks through the protocol's own reset.
   bool epoch_cut_recover();
 
+  /// Applies a topology fault (FaultKind::kLinkChurn / kNodeCrash) and
+  /// runs the online spanning-tree repair: rebuild the overlay over the
+  /// surviving graph, migrate per-node state, drain orphaned tokens and
+  /// re-mint from the root. Only a live GraphSystem implements it; every
+  /// other topology refuses (the wiring is the tree, there is nothing to
+  /// reroute over).
+  virtual TopologyFaultResult apply_topology_fault(const FaultEvent& event,
+                                                   support::Rng& rng);
+
   /// Applies the harness-side parameter defaults shared by every topology:
   /// derives the controller timeout when unset and forces token seeding for
   /// non-controller rungs (nothing else would mint tokens) unless the
@@ -178,9 +192,18 @@ class SystemBase : public proto::RequestPort {
   /// state lands in the shared SoA arena (state_arena.hpp); `node_lane`
   /// (empty = serial) partitions both the engine and the arena slots, and
   /// `lane_count` > 1 attaches the conservative-window ParallelEngine.
+  ///
+  /// When `physical` is non-null (the live-topology mode) the engine is
+  /// wired over every *physical* graph link (engine channel c = graph
+  /// adjacency index c) while the protocol keeps logical tree channels;
+  /// each process gets the logical<->physical translation maps and its
+  /// arena slot is sized for the physical degree, so a later repair can
+  /// rebind any overlay the surviving graph supports without moving
+  /// storage. `physical` must have the same node ids as `tree` and
+  /// contain every tree edge.
   std::vector<core::KlProcessBase*> build_tree_protocol(
       const tree::Tree& tree, const std::vector<int>& node_lane = {},
-      int lane_count = 1);
+      int lane_count = 1, const stree::Graph* physical = nullptr);
 
   /// Domains for random_message() during transient-fault injection.
   /// The default covers the tree-protocol topologies (myC domain of

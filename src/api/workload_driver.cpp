@@ -25,7 +25,8 @@ WorkloadDriver::WorkloadDriver(sim::Engine& engine, ClientPool& clients,
     client.on_granted([this, node](Lease lease) {
       handle_grant(node, std::move(lease), /*expected=*/true);
     });
-    client.on_denied([this, node](DenyReason) { handle_deny(node); });
+    client.on_denied(
+        [this, node](DenyReason reason) { handle_deny(node, reason); });
     // Critical sections this driver never requested (raw-port requests,
     // corruption-induced entries) are adopted and released like normal
     // ones so the system cannot wedge on a phantom critical section.
@@ -55,7 +56,8 @@ void WorkloadDriver::begin() {
   }
 }
 
-void WorkloadDriver::schedule_cycle(proto::NodeId node) {
+void WorkloadDriver::schedule_cycle(proto::NodeId node,
+                                    sim::SimTime extra_delay) {
   NodeState& node_state = state(node);
   const Client& client = clients_.at(node);
   if (node_state.cycle_scheduled || client.waiting() || client.holding()) {
@@ -66,7 +68,7 @@ void WorkloadDriver::schedule_cycle(proto::NodeId node) {
     return;
   }
   node_state.cycle_scheduled = true;
-  sim::SimTime delay = node_state.behavior.think.sample(rng_);
+  sim::SimTime delay = node_state.behavior.think.sample(rng_) + extra_delay;
   engine_.schedule(delay, [this, node] { start_acquire(node); });
 }
 
@@ -93,15 +95,29 @@ void WorkloadDriver::handle_grant(proto::NodeId node, Lease lease,
                                   bool expected) {
   NodeState& node_state = state(node);
   if (expected) ++node_state.granted;
+  node_state.backoff_exponent = 0;  // the node is demonstrably reachable
   node_state.lease = std::move(lease);
   schedule_release(node);
 }
 
-void WorkloadDriver::handle_deny(proto::NodeId node) {
+void WorkloadDriver::handle_deny(proto::NodeId node, DenyReason reason) {
+  NodeState& node_state = state(node);
+  if (!node_state.behavior.active) return;
+  if (reason == DenyReason::kUnreachable) {
+    // Crashed / partitioned node: retry with capped exponential backoff
+    // (256, 512, ... 65536 ticks on top of the think time) so detached
+    // nodes do not spin while the topology is down, yet re-acquire
+    // promptly after a repair reattaches them.
+    sim::SimTime backoff = sim::SimTime{256}
+                           << std::min(node_state.backoff_exponent, 8);
+    if (node_state.backoff_exponent < 8) ++node_state.backoff_exponent;
+    schedule_cycle(node, backoff);
+    return;
+  }
   // The protocol is busy with a (possibly corruption-induced) request, or
   // resync() cancelled a pending acquisition: try again after another
   // think time.
-  if (state(node).behavior.active) schedule_cycle(node);
+  schedule_cycle(node);
 }
 
 void WorkloadDriver::handle_revoked(proto::NodeId node) {

@@ -73,6 +73,10 @@ class WorkloadDriver {
     std::int64_t granted = 0;
     bool release_scheduled = false;
     bool cycle_scheduled = false;  // a think/acquire callback is pending
+    // Capped exponential backoff against unreachable (crashed /
+    // partitioned) nodes: each kUnreachable denial doubles the extra
+    // delay before the next attempt, a grant resets it.
+    int backoff_exponent = 0;
     Lease lease;
   };
 
@@ -80,11 +84,11 @@ class WorkloadDriver {
     return nodes_[static_cast<std::size_t>(node)];
   }
 
-  void schedule_cycle(proto::NodeId node);
+  void schedule_cycle(proto::NodeId node, sim::SimTime extra_delay = 0);
   void start_acquire(proto::NodeId node);
   void schedule_release(proto::NodeId node);
   void handle_grant(proto::NodeId node, Lease lease, bool expected);
-  void handle_deny(proto::NodeId node);
+  void handle_deny(proto::NodeId node, DenyReason reason);
   void handle_revoked(proto::NodeId node);
 
   sim::Engine& engine_;

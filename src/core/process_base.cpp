@@ -1,6 +1,7 @@
 #include "core/process_base.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/check.hpp"
 
@@ -28,7 +29,9 @@ KlProcessBase::KlProcessBase(Params params, int degree, std::int32_t modulus,
       state_(owned_state_->state(slot)),
       prio_(owned_state_->prio(slot)),
       release_pending_(owned_state_->release_pending(slot)),
-      listener_(listener) {
+      listener_(listener),
+      arena_(owned_state_.get()),
+      slot_(slot) {
   KLEX_REQUIRE(degree_ >= 1, "every process has at least one channel");
   KLEX_REQUIRE(myc_modulus_ >= 1, "bad myC modulus");
   KLEX_REQUIRE(params_.k >= 1 && params_.k <= params_.l,
@@ -49,12 +52,19 @@ KlProcessBase::KlProcessBase(Params params, int degree, std::int32_t modulus,
       state_(arena.state(slot)),
       prio_(arena.prio(slot)),
       release_pending_(arena.release_pending(slot)),
-      listener_(listener) {
+      listener_(listener),
+      arena_(&arena),
+      slot_(slot) {
   KLEX_REQUIRE(degree_ >= 1, "every process has at least one channel");
   KLEX_REQUIRE(myc_modulus_ >= 1, "bad myC modulus");
-  KLEX_REQUIRE(rset_.label_domain() == degree_ && rset_.max_size() ==
+  // Live-topology arenas size slots by physical degree; the overlay view
+  // may be narrower but never wider.
+  KLEX_REQUIRE(rset_.label_domain() >= degree_ && rset_.max_size() ==
                    params_.k,
-               "arena slot shape must match (degree, k)");
+               "arena slot must be sized for at least (degree, k)");
+  if (rset_.label_domain() > degree_) {
+    rset_ = arena.rset_view(slot, degree_);
+  }
   KLEX_REQUIRE(params_.k >= 1 && params_.k <= params_.l,
                "need 1 <= k <= l, got k=", params_.k, " l=", params_.l);
   KLEX_REQUIRE(listener_ != nullptr, "listener required");
@@ -66,6 +76,14 @@ std::int32_t KlProcessBase::sat_add(std::int32_t value, std::int32_t delta,
 }
 
 void KlProcessBase::on_message(int channel, const sim::Message& msg) {
+  if (detached_) return;  // crashed / partitioned: the node is dead air
+  if (!logical_of_.empty()) {
+    KLEX_CHECK(channel >= 0 &&
+                   channel < static_cast<int>(logical_of_.size()),
+               "bad physical delivery channel");
+    channel = logical_of_[static_cast<std::size_t>(channel)];
+    if (channel < 0) return;  // physical link outside the overlay tree
+  }
   KLEX_CHECK(channel >= 0 && channel < degree_, "bad delivery channel");
   if (!proto::is_protocol_message(msg)) {
     return;  // arbitrary junk: no handler matches, message disappears
@@ -215,6 +233,53 @@ void KlProcessBase::release() {
                "release() requires State = In");
   release_pending_ = true;
   post_step();
+}
+
+// -- live topology ------------------------------------------------------------
+
+void KlProcessBase::bind_channel_map(std::vector<int> phys_of,
+                                     std::vector<int> logical_of) {
+  KLEX_REQUIRE(static_cast<int>(phys_of.size()) == degree_,
+               "channel map must cover every overlay channel (", degree_,
+               "), got ", phys_of.size());
+  phys_of_ = std::move(phys_of);
+  logical_of_ = std::move(logical_of);
+}
+
+void KlProcessBase::rebind_topology(int new_degree, std::vector<int> phys_of,
+                                    std::vector<int> logical_of) {
+  KLEX_REQUIRE(new_degree >= 1,
+               "every attached process has at least one channel");
+  KLEX_REQUIRE(rset_.empty() && prio_ == kNoPrio,
+               "rebind requires a drained process (epoch_drain first)");
+  KLEX_REQUIRE(new_degree <= arena_->rset_capacity(slot_),
+               "overlay degree ", new_degree,
+               " exceeds the slot's physical capacity ",
+               arena_->rset_capacity(slot_));
+  // Clear the full-capacity window before narrowing: a count stranded at
+  // a label >= the new domain would silently resurface if a later repair
+  // widened the view again.
+  arena_->rset(slot_).clear();
+  rset_ = arena_->rset_view(slot_, new_degree);
+  degree_ = new_degree;
+  // Fresh-parent position: forward toward the first child (or back to
+  // the parent at a leaf), exactly where a freshly booted process starts.
+  succ_ = std::min(1, degree_ - 1);
+  detached_ = false;
+  bind_channel_map(std::move(phys_of), std::move(logical_of));
+}
+
+void KlProcessBase::set_detached(bool detached) {
+  if (detached) {
+    KLEX_REQUIRE(rset_.empty() && prio_ == kNoPrio,
+                 "detach requires a drained process (epoch_drain first)");
+    // The node leaves the protocol population: any application state dies
+    // with it (the client layer revokes the lease; see set_reachable).
+    need_ = 0;
+    state_ = proto::AppState::kOut;
+    release_pending_ = false;
+  }
+  detached_ = detached;
 }
 
 // -- introspection / faults ---------------------------------------------------

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/params.hpp"
 #include "core/state_arena.hpp"
@@ -62,6 +63,33 @@ class KlProcessBase : public sim::Process,
 
   /// Exposed for direct-manipulation tests: the reserved-token multiset.
   const RSetRef& rset() const { return rset_; }
+
+  // -- live topology (online spanning-tree repair) ---------------------------
+  // A live system wires the engine over every *physical* link and keeps
+  // the protocol on *logical* overlay channels (0 = parent, children
+  // ascending -- the tree convention). The maps translate between the
+  // two: sends go logical -> physical, deliveries physical -> logical
+  // (dropping traffic on non-tree links). On a topology repair the
+  // harness drains the process, recomputes the maps and rebinds the
+  // state views; the protocol code itself never learns the tree moved.
+
+  /// Installs the translation maps without touching protocol state (the
+  /// live boot path). `phys_of[logical]` must cover every overlay
+  /// channel; `logical_of[physical]` is -1 on links outside the tree.
+  void bind_channel_map(std::vector<int> phys_of, std::vector<int> logical_of);
+
+  /// Re-binds a *drained* process (epoch_drain first) to a new overlay
+  /// degree + channel maps after a repair: clears the full-capacity RSet
+  /// window, narrows the view to the new degree, resets Succ to the
+  /// fresh-parent position and re-attaches the process.
+  void rebind_topology(int new_degree, std::vector<int> phys_of,
+                       std::vector<int> logical_of);
+
+  /// Detaches a crashed / partitioned node: every delivery is dropped and
+  /// the application state is forced back to Out (the node must already
+  /// be drained). Reattachment happens through rebind_topology.
+  void set_detached(bool detached);
+  bool detached() const { return detached_; }
 
  protected:
   /// Token handlers shared by Algorithms 1 and 2.
@@ -111,6 +139,17 @@ class KlProcessBase : public sim::Process,
   /// Erase reserved tokens and the held priority token (reset visitation).
   void erase_local_tokens();
 
+  /// Logical-channel send: shadows sim::Process::send so every protocol
+  /// send is translated through the live-topology map when one is bound
+  /// (no map = the channels are already physical, zero overhead).
+  void send(int logical_channel, const sim::Message& msg) {
+    sim::Process::send(
+        phys_of_.empty()
+            ? logical_channel
+            : phys_of_[static_cast<std::size_t>(logical_channel)],
+        msg);
+  }
+
   int next_channel(int channel) const { return (channel + 1) % degree_; }
 
   static std::int32_t sat_add(std::int32_t value, std::int32_t delta,
@@ -144,6 +183,14 @@ class KlProcessBase : public sim::Process,
                 std::unique_ptr<ProcessStateArena> owned, int slot);
 
   proto::Listener* listener_;
+  // The slot behind the reference members, kept so rebind_topology can
+  // re-derive views after a repair (null only mid-construction).
+  ProcessStateArena* arena_ = nullptr;
+  int slot_ = 0;
+  // Live-topology translation (empty = channels are physical already).
+  std::vector<int> phys_of_;     // logical overlay channel -> engine channel
+  std::vector<int> logical_of_;  // engine channel -> overlay channel or -1
+  bool detached_ = false;
 };
 
 }  // namespace klex::core

@@ -134,6 +134,26 @@ class ProcessStateArena {
                    rset_size_.data() + s, rset_domain_[s], k_);
   }
 
+  /// A view over the same window restricted to the first `label_domain`
+  /// labels. Live-topology systems size each slot's window by the node's
+  /// *physical* degree and rebind a view narrowed to its current overlay
+  /// degree -- the storage capacity never moves while the tree around it
+  /// does. The caller must clear the full-capacity window (rset()) before
+  /// narrowing, or counts beyond the narrowed domain would go dark.
+  RSetRef rset_view(int slot, int label_domain) {
+    std::size_t s = check_slot(slot);
+    KLEX_CHECK(label_domain >= 1 && label_domain <= rset_domain_[s],
+               "rset view domain ", label_domain, " exceeds slot capacity ",
+               rset_domain_[s]);
+    return RSetRef(rset_counts_.data() + rset_offset_[s],
+                   rset_size_.data() + s, label_domain, k_);
+  }
+
+  /// Physical capacity (label domain the slot was sized with).
+  int rset_capacity(int slot) const {
+    return rset_domain_[check_slot(slot)];
+  }
+
  private:
   std::size_t check_slot(int slot) const {
     KLEX_CHECK(slot >= 0 && slot < size(), "bad arena slot ", slot);

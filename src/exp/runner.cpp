@@ -82,10 +82,13 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
                         .seed(point.seed)
                         .seed_tokens(spec.seed_tokens)
                         .spread_tokens(spec.spread_tokens)
+                        .beacon_period(spec.beacon_period)
+                        .spanning_tree_deadline(spec.spanning_tree_deadline)
                         .threads(point.threads)
                         .workload(spec.workload)
                         .fault(spec.fault)
                         .fault_garbage(point.fault_garbage)
+                        .fault_plan(spec.fault_plan)
                         .build_session();
   SystemBase& system = *session.system;
   result.n = system.n();
@@ -184,8 +187,51 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   result.safety_ok = !safety.any_violation();
   result.events_executed = system.engine().events_executed() - events_before;
 
-  // Phase 3 (optional): fault + recovery.
-  if (spec.fault != ScenarioSpec::FaultKind::kNone) {
+  // Phase 3 (optional): fault + recovery. A staged plan generalizes the
+  // single post-measurement fault: the engine advances to each event's
+  // scheduled time (relative to the end of the measurement window),
+  // applies it, re-stabilizes, and records the materialized incident.
+  if (!spec.fault_plan.events.empty()) {
+    result.fault_injected = true;
+    auto recovery_start = std::chrono::steady_clock::now();
+    const sim::SimTime phase_start = system.engine().now();
+    support::Rng fault_rng(point.seed ^ 0xFA17ull);
+    bool all_recovered = true;
+    for (const FaultEvent& event : spec.fault_plan.events) {
+      system.run_until(phase_start + event.at);
+      const sim::SimTime fault_at = system.engine().now();
+      const std::uint64_t events_at_fault = system.engine().events_executed();
+      TopologyFaultResult repair = session.apply_fault_event(event, fault_rng);
+      const sim::SimTime recovered_at =
+          system.run_until_stabilized(fault_at + spec.recovery_deadline);
+      FaultEventResult record;
+      record.at = fault_at;
+      record.kind = to_string(event.kind);
+      record.links_changed = repair.links_changed;
+      record.nodes_changed = repair.nodes_changed;
+      record.detached = repair.detached;
+      record.reattached = repair.reattached;
+      record.attached_nodes = repair.attached_nodes;
+      record.parent_changes = repair.parent_changes;
+      record.stree_events = repair.stree_events;
+      record.stree_time = repair.stree_time;
+      record.repair_seed = repair.repair_seed;
+      record.recovered = recovered_at != sim::kTimeInfinity;
+      record.recovery_time =
+          record.recovered ? recovered_at - fault_at : 0;
+      record.recovery_events =
+          system.engine().events_executed() - events_at_fault;
+      all_recovered = all_recovered && record.recovered;
+      result.recovery_time += record.recovery_time;
+      result.recovery_events += record.recovery_events;
+      result.fault_events.push_back(std::move(record));
+    }
+    result.recovered = all_recovered;
+    result.recovery_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      recovery_start)
+            .count();
+  } else if (spec.fault != ScenarioSpec::FaultKind::kNone) {
     result.fault_injected = true;
     auto recovery_start = std::chrono::steady_clock::now();
     sim::SimTime fault_at = system.engine().now();
@@ -294,6 +340,11 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
     cell.mean_outstanding_at_end += run.outstanding_at_end;
     cell.mean_wall_seconds += run.wall_seconds;
     cell.total_events_per_sec += run.events_per_sec;
+    cell.mean_fault_events += static_cast<double>(run.fault_events.size());
+    for (const FaultEventResult& event : run.fault_events) {
+      cell.mean_parent_changes += event.parent_changes;
+      cell.mean_stree_events += static_cast<double>(event.stree_events);
+    }
   }
   for (Aggregate& cell : cells) {
     if (cell.stabilized_runs > 0) {
@@ -310,6 +361,9 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
       cell.mean_messages_per_grant /= cell.runs;
       cell.mean_outstanding_at_end /= cell.runs;
       cell.mean_wall_seconds /= cell.runs;
+      cell.mean_fault_events /= cell.runs;
+      cell.mean_parent_changes /= cell.runs;
+      cell.mean_stree_events /= cell.runs;
     }
   }
   return cells;
@@ -416,19 +470,32 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
   json.field("warmup", spec.warmup);
   json.field("horizon", spec.horizon);
   json.field("stabilize_deadline", spec.stabilize_deadline);
-  switch (spec.fault) {
-    case ScenarioSpec::FaultKind::kNone:
-      json.field("fault", "none");
-      break;
-    case ScenarioSpec::FaultKind::kTransient:
-      json.field("fault", "transient");
-      break;
-    case ScenarioSpec::FaultKind::kChannelWipe:
-      json.field("fault", "channel_wipe");
-      break;
-    case ScenarioSpec::FaultKind::kGarbageFlood:
-      json.field("fault", "garbage_flood");
-      break;
+  json.field("beacon_period", spec.beacon_period);
+  json.field("fault", to_string(spec.fault));
+  if (!spec.fault_plan.events.empty()) {
+    json.key("fault_plan").begin_array();
+    for (const FaultEvent& event : spec.fault_plan.events) {
+      json.begin_object();
+      json.field("at", event.at);
+      json.field("kind", to_string(event.kind));
+      json.field("count", event.count);
+      json.field("restore", event.restore);
+      if (!event.links.empty()) {
+        json.key("links").begin_array();
+        for (const auto& [a, b] : event.links) {
+          json.begin_array().value(a).value(b).end_array();
+        }
+        json.end_array();
+      }
+      if (!event.nodes.empty()) {
+        json.key("nodes").begin_array();
+        for (int node : event.nodes) json.value(node);
+        json.end_array();
+      }
+      if (event.garbage >= 0) json.field("garbage", event.garbage);
+      json.end_object();
+    }
+    json.end_array();
   }
   json.key("fault_garbage").begin_array();
   for (int garbage : spec.fault_garbage) json.value(garbage);
@@ -460,6 +527,28 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
         json.field("recovery_time", run.recovery_time);
         json.field("recovery_events", run.recovery_events);
         json.field("recovery_wall_seconds", run.recovery_wall_seconds);
+      }
+      if (!run.fault_events.empty()) {
+        json.key("fault_events").begin_array();
+        for (const FaultEventResult& event : run.fault_events) {
+          json.begin_object();
+          json.field("at", event.at);
+          json.field("kind", event.kind);
+          json.field("links_changed", event.links_changed);
+          json.field("nodes_changed", event.nodes_changed);
+          json.field("detached", event.detached);
+          json.field("reattached", event.reattached);
+          json.field("attached_nodes", event.attached_nodes);
+          json.field("parent_changes", event.parent_changes);
+          json.field("stree_events", event.stree_events);
+          json.field("stree_time", event.stree_time);
+          json.field("repair_seed", event.repair_seed);
+          json.field("recovered", event.recovered);
+          json.field("recovery_time", event.recovery_time);
+          json.field("recovery_events", event.recovery_events);
+          json.end_object();
+        }
+        json.end_array();
       }
     }
     json.field("grants", run.grants);
@@ -539,6 +628,11 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.field("mean_messages_per_grant", cell.mean_messages_per_grant);
     json.field("mean_outstanding_at_end", cell.mean_outstanding_at_end);
     json.field("total_events_per_sec", cell.total_events_per_sec);
+    if (cell.mean_fault_events > 0.0) {
+      json.field("mean_fault_events", cell.mean_fault_events);
+      json.field("mean_parent_changes", cell.mean_parent_changes);
+      json.field("mean_stree_events", cell.mean_stree_events);
+    }
     json.end_object();
   }
   json.end_array();  // aggregates

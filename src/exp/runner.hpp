@@ -47,6 +47,30 @@ struct ClassResult {
   int holding_at_end = 0;
 };
 
+/// One staged fault event as it actually happened in one run: the
+/// materialized schedule (absolute injection time), what the fault
+/// changed, the repair cost and the re-stabilization cost. Together with
+/// the spec's fault_plan this makes every churn incident reproducible
+/// from the JSON artifact alone.
+struct FaultEventResult {
+  sim::SimTime at = 0;  // absolute simulated injection time
+  std::string kind;     // to_string(FaultKind)
+  int links_changed = 0;
+  int nodes_changed = 0;
+  int detached = 0;
+  int reattached = 0;
+  int attached_nodes = 0;
+  int parent_changes = 0;
+  /// Online spanning-tree repair cost (its own engine).
+  std::uint64_t stree_events = 0;
+  sim::SimTime stree_time = 0;
+  std::uint64_t repair_seed = 0;
+  /// Re-stabilization after this event.
+  bool recovered = false;
+  sim::SimTime recovery_time = 0;
+  std::uint64_t recovery_events = 0;
+};
+
 /// Everything measured in one run of one grid point.
 struct RunResult {
   std::string topology;
@@ -71,6 +95,9 @@ struct RunResult {
   std::uint64_t recovery_events = 0;
   /// Wall clock of the fault + recovery phase alone (non-deterministic).
   double recovery_wall_seconds = 0.0;
+  /// Per-event records when the scenario ran a staged fault plan; the
+  /// recovery_* totals above then sum over the events.
+  std::vector<FaultEventResult> fault_events;
 
   // Workload window.
   std::int64_t grants = 0;
@@ -129,6 +156,12 @@ struct Aggregate {
   double mean_messages_per_grant = 0.0;
   double mean_outstanding_at_end = 0.0;
   double total_events_per_sec = 0.0;  // sum of per-run rates
+  // Staged fault plans (zero for single-fault / fault-free scenarios):
+  // per-run means of the event count, the overlay parent churn and the
+  // online repair's own engine events.
+  double mean_fault_events = 0.0;
+  double mean_parent_changes = 0.0;
+  double mean_stree_events = 0.0;
 };
 
 class ExperimentRunner {

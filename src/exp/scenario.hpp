@@ -55,6 +55,13 @@ struct ScenarioSpec {
   /// Seed the legitimate token population at boot
   /// (SystemBuilder::seed_tokens).
   bool seed_tokens = false;
+  /// Spanning-tree phase knobs (graph topologies only; ignored
+  /// elsewhere). The beacon period must exceed the worst-case flood
+  /// settle time (~max_delay x diameter) for convergence to be
+  /// *detectable*: with a short period on a large-diameter graph a new
+  /// epoch is always mid-flood somewhere and no snapshot is ever exact.
+  sim::SimTime beacon_period = 256;
+  sim::SimTime spanning_tree_deadline = 4'000'000;
   /// Spread the seeded resources along the Euler tour instead of a root
   /// convoy (tree topologies only; SystemBuilder::spread_tokens).
   bool spread_tokens = false;
@@ -80,6 +87,11 @@ struct ScenarioSpec {
   /// kTransient); explicit counts pin the flood size -- the
   /// CMAX-violation ablation sweeps counts beyond the configured CMAX.
   std::vector<int> fault_garbage = {-1};
+  /// Staged fault schedule (mutually exclusive with `fault`): each event
+  /// fires at measurement-end + event.at, the runner re-stabilizes after
+  /// every event and records a per-event FaultEventResult. Topology
+  /// events (kLinkChurn / kNodeCrash) imply live-topology graph systems.
+  klex::FaultPlan fault_plan{};
 
   /// Seeds base_seed, base_seed+1, ... base_seed+seeds-1.
   int seeds = 4;

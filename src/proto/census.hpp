@@ -26,6 +26,7 @@
 #include "proto/app.hpp"
 #include "proto/messages.hpp"
 #include "sim/engine.hpp"
+#include "support/check.hpp"
 
 namespace klex::proto {
 
@@ -107,6 +108,19 @@ class CensusTracker final : public ParticipantDeltaSink {
   }
 
   int l() const { return l_; }
+
+  /// Re-targets the expected legitimate population. The *stored* half
+  /// already tracks a shrinking or growing node population by itself
+  /// (detached nodes drain through the delta sink, reattached ones start
+  /// pristine); this hook is for harnesses whose *expected* population
+  /// changes too -- e.g. a topology repair that re-mints a different ℓ or
+  /// switches ladder rungs for the surviving cluster.
+  void set_expected_population(int l, const Features& features) {
+    KLEX_REQUIRE(l >= 1, "need l >= 1");
+    l_ = l;
+    expected_pusher_ = features.pusher ? 1 : 0;
+    expected_priority_ = features.priority ? 1 : 0;
+  }
 
  private:
   /// One delta accumulator per engine lane, cache-line separated so

@@ -1,0 +1,360 @@
+// Live topology churn: online spanning-tree repair + graceful client
+// degradation.
+//
+// Pins the robustness contract of GraphSystem::apply_topology_fault and
+// the client surface around it:
+//   * a lease on a crashed / partitioned node is revoked through
+//     on_revoked exactly once -- never silently lost, never double-fired;
+//   * acquires on unreachable nodes are denied with the retryable
+//     kUnreachable reason instead of touching the protocol;
+//   * the incremental census stays exact through detach / rebind /
+//     re-mint, and the system re-stabilizes after every repair;
+//   * restoring the topology reattaches nodes and they grant again;
+//   * the WorkloadDriver keeps making progress across churn (retry with
+//     capped backoff + resync), including on reattached nodes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "api/builder.hpp"
+#include "api/graph_system.hpp"
+#include "exp/scenario.hpp"
+#include "proto/census.hpp"
+#include "stree/graph.hpp"
+
+namespace klex {
+namespace {
+
+std::unique_ptr<SystemBase> make_live_grid(int w, int h, std::uint64_t seed) {
+  return SystemBuilder()
+      .graph(stree::grid(w, h))
+      .kl(2, 4)
+      .cmax(3)
+      .features(proto::Features::full().with_epoch_cut())
+      .seed(seed)
+      .live_topology()
+      .build();
+}
+
+FaultEvent crash_nodes(std::vector<int> nodes, bool restore = false) {
+  FaultEvent event;
+  event.kind = FaultKind::kNodeCrash;
+  event.nodes = std::move(nodes);
+  event.restore = restore;
+  return event;
+}
+
+FaultEvent churn_links_random(int count, bool restore = false) {
+  FaultEvent event;
+  event.kind = FaultKind::kLinkChurn;
+  event.count = count;
+  event.restore = restore;
+  return event;
+}
+
+void expect_census_exact(SystemBase& system) {
+  proto::TokenCensus tracked = system.census();
+  proto::TokenCensus oracle = system.census_oracle();
+  EXPECT_EQ(tracked.free_resource, oracle.free_resource);
+  EXPECT_EQ(tracked.reserved_resource, oracle.reserved_resource);
+  EXPECT_EQ(tracked.pusher, oracle.pusher);
+  EXPECT_EQ(tracked.free_priority, oracle.free_priority);
+  EXPECT_EQ(tracked.held_priority, oracle.held_priority);
+}
+
+TEST(Churn, TopologyFaultRefusedOffLiveMode) {
+  auto tree_system = SystemBuilder()
+                         .topology(exp::TopologySpec::tree_line(8))
+                         .kl(1, 2)
+                         .build();
+  support::Rng rng(1);
+  EXPECT_THROW(tree_system->apply_topology_fault(crash_nodes({3}), rng),
+               std::logic_error);
+
+  // A non-live graph system refuses too: the physical wiring is absent.
+  auto static_graph = SystemBuilder()
+                          .topology(exp::TopologySpec::graph_grid(4, 4))
+                          .kl(1, 2)
+                          .build();
+  EXPECT_THROW(static_graph->apply_topology_fault(crash_nodes({3}), rng),
+               std::logic_error);
+
+  // And live mode on a tree / ring is rejected at build time.
+  EXPECT_THROW(SystemBuilder()
+                   .topology(exp::TopologySpec::tree_line(8))
+                   .live_topology()
+                   .build(),
+               std::logic_error);
+  EXPECT_THROW(SystemBuilder()
+                   .topology(exp::TopologySpec::ring(8))
+                   .live_topology()
+                   .build(),
+               std::logic_error);
+}
+
+TEST(Churn, LiveBootMatchesStaticOverlayParents) {
+  // Live wiring changes the engine's channel layout but not the overlay:
+  // the spanning tree extracted at boot is identical to the static one.
+  auto live = make_live_grid(4, 4, 11);
+  auto snap = SystemBuilder()
+                  .graph(stree::grid(4, 4))
+                  .kl(2, 4)
+                  .cmax(3)
+                  .features(proto::Features::full().with_epoch_cut())
+                  .seed(11)
+                  .build();
+  auto* live_graph = dynamic_cast<GraphSystem*>(live.get());
+  auto* snap_graph = dynamic_cast<GraphSystem*>(snap.get());
+  ASSERT_NE(live_graph, nullptr);
+  ASSERT_NE(snap_graph, nullptr);
+  EXPECT_TRUE(live_graph->overlay_tree() == snap_graph->overlay_tree());
+  for (NodeId v = 0; v < live->n(); ++v) {
+    EXPECT_TRUE(live_graph->attached(v));
+    EXPECT_EQ(live_graph->current_parents()[static_cast<std::size_t>(v)],
+              live_graph->overlay_tree().parent(v));
+  }
+  // Both stabilize.
+  ASSERT_NE(live->run_until_stabilized(10'000'000), sim::kTimeInfinity);
+}
+
+TEST(Churn, NodeCrashRevokesLeaseExactlyOnce) {
+  auto system = make_live_grid(4, 4, 23);
+  auto* graph = dynamic_cast<GraphSystem*>(system.get());
+  ASSERT_NE(graph, nullptr);
+  ASSERT_NE(system->run_until_stabilized(10'000'000), sim::kTimeInfinity);
+
+  const NodeId victim = 5;
+  Client& client = system->clients().at(victim);
+  int revoked = 0;
+  Lease lease;
+  client.on_revoked([&revoked] { ++revoked; });
+  client.on_granted([&lease](Lease granted) { lease = std::move(granted); });
+  client.acquire(1);
+  sim::SimTime deadline = system->engine().now() + 5'000'000;
+  while (!client.holding() && system->engine().now() < deadline) {
+    system->run_until(system->engine().now() + 10'000);
+  }
+  ASSERT_TRUE(client.holding()) << "grant never arrived";
+  ASSERT_TRUE(lease.active());
+
+  support::Rng rng(0xC0DEu);
+  TopologyFaultResult repair =
+      graph->apply_topology_fault(crash_nodes({victim}), rng);
+  EXPECT_EQ(repair.nodes_changed, 1);
+  EXPECT_EQ(repair.detached, 1);
+  EXPECT_EQ(repair.attached_nodes, system->n() - 1);
+
+  // The lease was revoked exactly once, not silently lost.
+  EXPECT_EQ(revoked, 1);
+  EXPECT_FALSE(client.holding());
+  EXPECT_FALSE(client.reachable());
+  EXPECT_FALSE(lease.active());
+  lease.release();  // stale: must be a silent no-op
+
+  // A second, unrelated repair must not re-fire the revocation.
+  graph->apply_topology_fault(crash_nodes({10}), rng);
+  EXPECT_EQ(revoked, 1);
+
+  // Census stays exact and the survivors re-stabilize.
+  expect_census_exact(*system);
+  sim::SimTime now = system->engine().now();
+  ASSERT_NE(system->run_until_stabilized(now + 10'000'000),
+            sim::kTimeInfinity);
+}
+
+TEST(Churn, UnreachableAcquireDeniedRetryably) {
+  auto system = make_live_grid(4, 4, 31);
+  auto* graph = dynamic_cast<GraphSystem*>(system.get());
+  ASSERT_NE(graph, nullptr);
+  ASSERT_NE(system->run_until_stabilized(10'000'000), sim::kTimeInfinity);
+
+  const NodeId victim = 7;
+  Client& client = system->clients().at(victim);
+  std::vector<DenyReason> denies;
+  client.on_denied([&denies](DenyReason reason) { denies.push_back(reason); });
+
+  support::Rng rng(0xF00Du);
+  graph->apply_topology_fault(crash_nodes({victim}), rng);
+  ASSERT_FALSE(client.reachable());
+
+  // Idle acquire on a detached node: denied immediately, retryably.
+  client.acquire(1);
+  ASSERT_EQ(denies.size(), 1u);
+  EXPECT_EQ(denies[0], DenyReason::kUnreachable);
+  EXPECT_STREQ(deny_reason_name(denies[0]), "unreachable");
+  EXPECT_TRUE(client.idle());
+
+  // A *pending* acquire elsewhere is denied when its node detaches.
+  const NodeId pending_victim = 10;
+  Client& pending = system->clients().at(pending_victim);
+  std::vector<DenyReason> pending_denies;
+  pending.on_denied(
+      [&pending_denies](DenyReason reason) { pending_denies.push_back(reason); });
+  pending.acquire(2);
+  if (pending.waiting()) {
+    graph->apply_topology_fault(crash_nodes({pending_victim}), rng);
+    ASSERT_EQ(pending_denies.size(), 1u);
+    EXPECT_EQ(pending_denies[0], DenyReason::kUnreachable);
+    EXPECT_TRUE(pending.idle());
+  }
+}
+
+TEST(Churn, RestoreReattachesAndGrantsAgain) {
+  auto system = make_live_grid(4, 4, 43);
+  auto* graph = dynamic_cast<GraphSystem*>(system.get());
+  ASSERT_NE(graph, nullptr);
+  ASSERT_NE(system->run_until_stabilized(10'000'000), sim::kTimeInfinity);
+
+  const NodeId victim = 9;
+  support::Rng rng(0xBEEFu);
+  graph->apply_topology_fault(crash_nodes({victim}), rng);
+  EXPECT_FALSE(graph->attached(victim));
+  sim::SimTime now = system->engine().now();
+  ASSERT_NE(system->run_until_stabilized(now + 10'000'000),
+            sim::kTimeInfinity);
+
+  TopologyFaultResult repair = graph->apply_topology_fault(
+      crash_nodes({victim}, /*restore=*/true), rng);
+  EXPECT_EQ(repair.reattached, 1);
+  EXPECT_EQ(repair.attached_nodes, system->n());
+  EXPECT_TRUE(graph->attached(victim));
+  Client& client = system->clients().at(victim);
+  EXPECT_TRUE(client.reachable());
+
+  now = system->engine().now();
+  ASSERT_NE(system->run_until_stabilized(now + 10'000'000),
+            sim::kTimeInfinity);
+  client.acquire(1);
+  sim::SimTime deadline = system->engine().now() + 5'000'000;
+  while (!client.holding() && system->engine().now() < deadline) {
+    system->run_until(system->engine().now() + 10'000);
+  }
+  EXPECT_TRUE(client.holding()) << "reattached node never granted";
+}
+
+TEST(Churn, LinkChurnWithRedundancyKeepsEveryoneAttached) {
+  // A grid has no bridges: failing any single link must detach nobody;
+  // the repair reroutes the overlay instead.
+  auto system = make_live_grid(4, 4, 53);
+  auto* graph = dynamic_cast<GraphSystem*>(system.get());
+  ASSERT_NE(graph, nullptr);
+  ASSERT_NE(system->run_until_stabilized(10'000'000), sim::kTimeInfinity);
+
+  support::Rng rng(0x11Cu);
+  for (int round = 0; round < 3; ++round) {
+    TopologyFaultResult repair =
+        graph->apply_topology_fault(churn_links_random(1), rng);
+    EXPECT_EQ(repair.links_changed, 1);
+    EXPECT_EQ(repair.detached, 0);
+    EXPECT_EQ(repair.attached_nodes, system->n());
+    expect_census_exact(*system);
+    sim::SimTime now = system->engine().now();
+    ASSERT_NE(system->run_until_stabilized(now + 10'000'000),
+              sim::kTimeInfinity)
+        << "round " << round;
+  }
+  EXPECT_EQ(graph->repair_count(), 3);
+}
+
+TEST(Churn, DriverRetriesWithBackoffAndRecoversThroughput) {
+  proto::WorkloadSpec workload;
+  workload.base.think = proto::Dist::exponential(40);
+  workload.base.cs_duration = proto::Dist::exponential(20);
+  workload.base.need = proto::Dist::uniform(1, 2);
+
+  FaultPlan plan;
+  plan.events.push_back(crash_nodes({5, 6}));
+  plan.events.push_back(crash_nodes({5, 6}, /*restore=*/true));
+  ASSERT_TRUE(plan.has_topology_events());
+
+  Session session = SystemBuilder()
+                        .graph(stree::grid(4, 4))
+                        .kl(2, 4)
+                        .cmax(3)
+                        .features(proto::Features::full().with_epoch_cut())
+                        .seed(67)
+                        .workload(workload)
+                        .fault_plan(plan)
+                        .build_session();
+  SystemBase& system = *session.system;
+  ASSERT_NE(system.run_until_stabilized(10'000'000), sim::kTimeInfinity);
+  session.begin_workload();
+  system.run_until(system.engine().now() + 200'000);
+  std::int64_t grants_before = session.driver->total_grants();
+  EXPECT_GT(grants_before, 0);
+
+  // Crash two nodes; the driver resyncs, survivors keep granting while
+  // the detached clients back off on kUnreachable denials.
+  support::Rng rng(0xFA17u);
+  session.apply_fault_event(plan.events[0], rng);
+  system.run_until(system.engine().now() + 400'000);
+  std::int64_t grants_during = session.driver->total_grants();
+  EXPECT_GT(grants_during, grants_before);
+
+  // Restore: the reattached nodes grant again after resync + backoff.
+  std::int64_t victim_grants_before =
+      session.driver->grants(5) + session.driver->grants(6);
+  session.apply_fault_event(plan.events[1], rng);
+  system.run_until(system.engine().now() + 1'500'000);
+  EXPECT_GT(session.driver->grants(5) + session.driver->grants(6),
+            victim_grants_before);
+  EXPECT_GT(session.driver->total_grants(), grants_during);
+}
+
+TEST(Churn, PartitionRevokesEveryLostLeaseNeverSilently) {
+  // Crash a block of nodes while many hold leases; every lease on a lost
+  // node must surface through on_revoked (count == lost holders), every
+  // lease on a survivor must stay intact.
+  auto system = make_live_grid(4, 4, 71);
+  auto* graph = dynamic_cast<GraphSystem*>(system.get());
+  ASSERT_NE(graph, nullptr);
+  ASSERT_NE(system->run_until_stabilized(10'000'000), sim::kTimeInfinity);
+
+  std::vector<int> revoked(static_cast<std::size_t>(system->n()), 0);
+  for (NodeId v = 0; v < system->n(); ++v) {
+    Client& client = system->clients().at(v);
+    client.on_revoked([&revoked, v] { ++revoked[static_cast<std::size_t>(v)]; });
+    client.on_granted([](Lease lease) { lease.detach(); });
+  }
+  // Saturate: l=4 units, ask 1 each from four nodes, run until grants.
+  for (NodeId v : {5, 6, 9, 10}) system->clients().at(v).acquire(1);
+  sim::SimTime deadline = system->engine().now() + 5'000'000;
+  auto holders = [&] {
+    int count = 0;
+    for (NodeId v = 0; v < system->n(); ++v) {
+      if (system->clients().at(v).holding()) ++count;
+    }
+    return count;
+  };
+  while (holders() < 2 && system->engine().now() < deadline) {
+    system->run_until(system->engine().now() + 10'000);
+  }
+  ASSERT_GE(holders(), 2);
+
+  std::vector<int> lost_holders;
+  for (NodeId v : {5, 6, 9, 10}) {
+    if (system->clients().at(v).holding()) lost_holders.push_back(v);
+  }
+  support::Rng rng(0xD00Du);
+  TopologyFaultResult repair =
+      graph->apply_topology_fault(crash_nodes({5, 6, 9, 10}), rng);
+  EXPECT_EQ(repair.detached, 4);
+  for (int v : lost_holders) {
+    EXPECT_EQ(revoked[static_cast<std::size_t>(v)], 1)
+        << "lease on crashed node " << v << " not revoked exactly once";
+  }
+  for (NodeId v = 0; v < system->n(); ++v) {
+    if (graph->attached(v)) {
+      EXPECT_EQ(revoked[static_cast<std::size_t>(v)], 0)
+          << "surviving node " << v << " spuriously revoked";
+    }
+  }
+  expect_census_exact(*system);
+  sim::SimTime now = system->engine().now();
+  ASSERT_NE(system->run_until_stabilized(now + 10'000'000),
+            sim::kTimeInfinity);
+}
+
+}  // namespace
+}  // namespace klex

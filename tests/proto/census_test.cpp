@@ -140,6 +140,41 @@ TEST(CensusTracker, DetachedParticipantNotifiesNothing) {
   EXPECT_EQ(tracker.counts().reserved_resource, 1);
 }
 
+TEST(CensusTracker, SetExpectedPopulationRetargetsThePredicate) {
+  sim::Engine engine;
+  engine.add_process(std::make_unique<Sink>());
+  engine.add_process(std::make_unique<Sink>());
+  engine.connect(0, 0, 1, 0);
+  CensusTracker tracker(&engine, /*l=*/2);
+
+  // Legitimate full-rung population for l = 2.
+  engine.inject_message(0, 0, make_resource());
+  engine.inject_message(0, 0, make_resource());
+  engine.inject_message(0, 0, make_pusher());
+  engine.inject_message(0, 0, make_priority());
+  EXPECT_TRUE(tracker.correct());
+
+  // Re-target to l = 3: the same population is now one resource short.
+  tracker.set_expected_population(3, Features::full());
+  EXPECT_EQ(tracker.l(), 3);
+  EXPECT_FALSE(tracker.correct());
+  engine.inject_message(0, 0, make_resource());
+  EXPECT_TRUE(tracker.correct());
+
+  // Re-target to a reduced rung: the circulating pusher and priority
+  // token are now illegitimate surplus.
+  tracker.set_expected_population(3, Features::naive());
+  EXPECT_FALSE(tracker.correct());
+  engine.clear_channels();
+  engine.inject_message(0, 0, make_resource());
+  engine.inject_message(0, 0, make_resource());
+  engine.inject_message(0, 0, make_resource());
+  EXPECT_TRUE(tracker.correct());
+
+  EXPECT_THROW(tracker.set_expected_population(0, Features::full()),
+               std::invalid_argument);
+}
+
 TEST(Census, CorrectPredicate) {
   TokenCensus census;
   census.free_resource = 2;

@@ -272,6 +272,84 @@ INSTANTIATE_TEST_SUITE_P(
                   FaultKind::kGarbageFlood}),
     fault_case_name);
 
+// -- topology churn: windowed repair == merged-serial repair -----------------
+
+/// The online spanning-tree repair (clear channels, epoch drain, rebind
+/// every process to the new overlay, re-mint) must leave the windowed
+/// and merged-serial executions on identical trajectories -- the repair
+/// mutates engine wiring and process state outside the event loop, so a
+/// lane-visibility bug would show up here as a post-repair divergence.
+class ParallelChurnDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelChurnDifferential, WindowedRepairMatchesMergedSerial) {
+  const int lanes = GetParam();
+  auto build = [&]() {
+    return SystemBuilder()
+        .topology(TopologySpec::graph_grid(5, 4))
+        .kl(2, 4)
+        .features(proto::Features::full().with_epoch_cut())
+        .seed(29)
+        .threads(lanes)
+        .live_topology()
+        .build();
+  };
+  std::unique_ptr<SystemBase> windowed = build();
+  std::unique_ptr<SystemBase> merged = build();
+  ASSERT_EQ(windowed->threads(), lanes);
+
+  sim::SimTime stab_w = windowed->run_until_stabilized(10'000'000);
+  sim::SimTime stab_m = merged->run_until_stabilized(10'000'000);
+  ASSERT_NE(stab_w, sim::kTimeInfinity);
+  EXPECT_EQ(stab_w, stab_m);
+
+  // The same churn from identical rng streams picks the same links and
+  // draws the same repair construction seed on both systems.
+  FaultEvent event;
+  event.kind = FaultKind::kLinkChurn;
+  event.count = 2;
+  support::Rng rng_w(123);
+  support::Rng rng_m(123);
+  TopologyFaultResult repair_w = windowed->apply_topology_fault(event, rng_w);
+  TopologyFaultResult repair_m = merged->apply_topology_fault(event, rng_m);
+  EXPECT_EQ(repair_w.links_changed, repair_m.links_changed);
+  EXPECT_EQ(repair_w.parent_changes, repair_m.parent_changes);
+  EXPECT_EQ(repair_w.repair_seed, repair_m.repair_seed);
+  EXPECT_EQ(repair_w.attached_nodes, 20);
+  expect_same_census(windowed->census_oracle(), merged->census_oracle());
+
+  // Post-repair: the windowed loop on one side, merged-serial on the
+  // other, in lockstep until both carry the legitimate population again.
+  sim::SimTime t = windowed->engine().now();
+  const sim::SimTime deadline = t + 40'000'000;
+  while (t < deadline && !(windowed->token_counts_correct() &&
+                           merged->token_counts_correct())) {
+    t += 250'000;
+    windowed->run_until(t);
+    merged->engine().run_until(t);
+  }
+  t += 100'000;
+  windowed->run_until(t);
+  merged->engine().run_until(t);
+
+  EXPECT_TRUE(windowed->token_counts_correct()) << "windowed never recovered";
+  EXPECT_TRUE(merged->token_counts_correct()) << "merged never recovered";
+  if (lanes > 1) {
+    ASSERT_NE(windowed->parallel_engine(), nullptr);
+    EXPECT_GT(windowed->parallel_engine()->window_stats().windows, 0u);
+  }
+
+  expect_same_clocks_and_counters(windowed->engine(), merged->engine());
+  expect_same_census(windowed->census(), merged->census());
+  expect_same_census(windowed->census(), windowed->census_oracle());
+  for (NodeId v = 0; v < windowed->n(); ++v) {
+    EXPECT_EQ(windowed->state_of(v), merged->state_of(v)) << "node " << v;
+    EXPECT_EQ(windowed->need_of(v), merged->need_of(v)) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, ParallelChurnDifferential,
+                         ::testing::Values(1, 2, 4));
+
 // -- calendar ring auto-sizing (scheduler satellite) -------------------------
 
 /// Echoes each message back with f0 decremented until it reaches zero.

@@ -1,0 +1,148 @@
+// Property: online spanning-tree repair == offline re-extraction.
+//
+// After every GraphSystem topology repair, re-running the stree
+// construction offline over the surviving graph -- same delay model, same
+// beacon period, and the repair's own derived seed
+// (last_repair().repair_seed) -- must extract exactly the parent set the
+// live system rebound its processes to. This pins the repair path to the
+// same convergence the boot path promises: the online overlay is never an
+// approximation of the spanning-tree layer, it IS the spanning-tree
+// layer's output on the surviving component.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "api/builder.hpp"
+#include "api/graph_system.hpp"
+#include "stree/graph.hpp"
+#include "stree/spanning_tree.hpp"
+#include "support/rng.hpp"
+#include "tree/tree.hpp"
+
+namespace klex {
+namespace {
+
+std::unique_ptr<SystemBase> make_live(stree::Graph graph, std::uint64_t seed) {
+  return SystemBuilder()
+      .graph(std::move(graph))
+      .kl(2, 4)
+      .features(proto::Features::full().with_epoch_cut())
+      .seed(seed)
+      .live_topology()
+      .build();
+}
+
+// Replays the repair's spanning-tree construction offline and compares
+// the extracted parents (mapped back to original ids) against the parents
+// the live system actually installed.
+void expect_repair_matches_offline(GraphSystem& graph) {
+  stree::SpanningTreeSystem::Config config;
+  config.graph = graph.surviving_graph();
+  config.beacon_period = 256;  // GraphSystemConfig default, unchanged here
+  config.seed = graph.last_repair().repair_seed;
+  stree::SpanningTreeSystem offline(std::move(config));
+  ASSERT_NE(offline.run_until_converged(4'000'000), sim::kTimeInfinity);
+  auto extracted = offline.try_extract_tree();
+  ASSERT_TRUE(extracted.has_value());
+
+  std::vector<NodeId> ids = graph.surviving_ids();
+  ASSERT_EQ(extracted->size(), static_cast<int>(ids.size()));
+  EXPECT_EQ(ids[0], 0) << "the root must survive as original node 0";
+  const std::vector<tree::NodeId>& live_parents = graph.current_parents();
+  std::vector<std::uint8_t> surviving(
+      static_cast<std::size_t>(graph.graph().size()), 0);
+  for (std::size_t cv = 0; cv < ids.size(); ++cv) {
+    surviving[static_cast<std::size_t>(ids[cv])] = 1;
+    tree::NodeId parent = extracted->parent(static_cast<tree::NodeId>(cv));
+    tree::NodeId expected =
+        parent == tree::kNoParent ? tree::kNoParent
+                                  : ids[static_cast<std::size_t>(parent)];
+    EXPECT_EQ(live_parents[static_cast<std::size_t>(ids[cv])], expected)
+        << "node " << ids[cv] << " rebound to a different parent than the "
+        << "offline construction extracts";
+  }
+  // Detached nodes carry no parent at all.
+  for (NodeId v = 0; v < graph.graph().size(); ++v) {
+    if (surviving[static_cast<std::size_t>(v)] == 0) {
+      EXPECT_FALSE(graph.attached(v));
+      EXPECT_EQ(live_parents[static_cast<std::size_t>(v)], tree::kNoParent);
+    }
+  }
+}
+
+FaultEvent random_event(FaultKind kind, int count, bool restore) {
+  FaultEvent event;
+  event.kind = kind;
+  event.count = count;
+  event.restore = restore;
+  return event;
+}
+
+TEST(ChurnRepairProperty, GridLinkChurnRounds) {
+  auto system = make_live(stree::grid(6, 5), 101);
+  auto* graph = dynamic_cast<GraphSystem*>(system.get());
+  ASSERT_NE(graph, nullptr);
+  support::Rng rng(0x617Du);
+  // Fail rounds of links, then restore some: every repair must match its
+  // offline replay, whatever the surviving component looks like.
+  const FaultEvent plan[] = {
+      random_event(FaultKind::kLinkChurn, 3, false),
+      random_event(FaultKind::kLinkChurn, 4, false),
+      random_event(FaultKind::kLinkChurn, 5, true),
+      random_event(FaultKind::kLinkChurn, 2, false),
+  };
+  int round = 0;
+  for (const FaultEvent& event : plan) {
+    SCOPED_TRACE(round++);
+    graph->apply_topology_fault(event, rng);
+    expect_repair_matches_offline(*graph);
+    sim::SimTime now = system->engine().now();
+    ASSERT_NE(system->run_until_stabilized(now + 10'000'000),
+              sim::kTimeInfinity);
+  }
+  EXPECT_EQ(graph->repair_count(), 4);
+}
+
+TEST(ChurnRepairProperty, RandomGraphMixedChurn) {
+  support::Rng topo_rng(7);
+  auto system = make_live(stree::random_connected(40, 30, topo_rng), 211);
+  auto* graph = dynamic_cast<GraphSystem*>(system.get());
+  ASSERT_NE(graph, nullptr);
+  support::Rng rng(0x52BDu);
+  const FaultEvent plan[] = {
+      random_event(FaultKind::kNodeCrash, 4, false),
+      random_event(FaultKind::kLinkChurn, 6, false),
+      random_event(FaultKind::kNodeCrash, 3, true),
+      random_event(FaultKind::kLinkChurn, 6, true),
+      random_event(FaultKind::kNodeCrash, 2, false),
+  };
+  int round = 0;
+  for (const FaultEvent& event : plan) {
+    SCOPED_TRACE(round++);
+    graph->apply_topology_fault(event, rng);
+    expect_repair_matches_offline(*graph);
+    sim::SimTime now = system->engine().now();
+    ASSERT_NE(system->run_until_stabilized(now + 10'000'000),
+              sim::kTimeInfinity);
+  }
+  EXPECT_EQ(graph->repair_count(), 5);
+}
+
+TEST(ChurnRepairProperty, RepairSeedsAreDistinctPerRepair) {
+  auto system = make_live(stree::grid(4, 4), 307);
+  auto* graph = dynamic_cast<GraphSystem*>(system.get());
+  ASSERT_NE(graph, nullptr);
+  support::Rng rng(0x5EEDu);
+  graph->apply_topology_fault(random_event(FaultKind::kLinkChurn, 1, false),
+                              rng);
+  std::uint64_t first = graph->last_repair().repair_seed;
+  graph->apply_topology_fault(random_event(FaultKind::kLinkChurn, 1, true),
+                              rng);
+  std::uint64_t second = graph->last_repair().repair_seed;
+  EXPECT_NE(first, second)
+      << "successive repairs must draw independent construction seeds";
+}
+
+}  // namespace
+}  // namespace klex

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "api/fleet.hpp"
 #include "api/graph_system.hpp"
 #include "api/system.hpp"
 #include "ring/ring_system.hpp"
@@ -15,6 +16,9 @@ namespace {
 // workload materialization and the driver must not share its sequence.
 constexpr std::uint64_t kClassSalt = 0xC1A55ull;
 constexpr std::uint64_t kDriverSalt = 0xABCDull;
+// Cross-tenant class membership (materialize_fleet) draws from its own
+// stream so adding a cross class never perturbs per-tenant assignment.
+constexpr std::uint64_t kCrossTenantSalt = 0xC705ull;
 
 }  // namespace
 
@@ -161,6 +165,12 @@ SystemBuilder& SystemBuilder::spread_tokens(bool on) {
   return *this;
 }
 
+SystemBuilder& SystemBuilder::fleet(int tenants) {
+  KLEX_REQUIRE(tenants >= 1, "a fleet needs at least one tenant");
+  fleet_ = tenants;
+  return *this;
+}
+
 SystemBuilder& SystemBuilder::manual_tokens(bool on) {
   manual_tokens_ = on;
   return *this;
@@ -224,6 +234,57 @@ std::unique_ptr<SystemBase> SystemBuilder::build() const {
   // caller never said live_topology() -- the repair cannot reroute over
   // channels that were never connected.
   const bool live = live_topology_ || fault_plan_.has_topology_events();
+
+  if (fleet_ >= 1) {
+    KLEX_REQUIRE(!live,
+                 "fleet() has no live-topology mode (tenants are trees; "
+                 "there are no redundant links to reroute over)");
+    KLEX_REQUIRE(!manual_tokens_ && !literal_pusher_guard_ &&
+                     !omit_prio_wrap_count_,
+                 "fleet() does not support manual tokens or the fidelity "
+                 "ablations");
+    tree::Tree fleet_tree = [this]() -> tree::Tree {
+      if (topo_kind_ == TopoKind::kTree) return *tree_;
+      KLEX_REQUIRE(topo_kind_ == TopoKind::kSpec,
+                   "fleet() needs a tree topology");
+      using Kind = TopologySpec::Kind;
+      switch (spec_.kind) {
+        case Kind::kTreeLine: return tree::line(spec_.n);
+        case Kind::kTreeStar: return tree::star(spec_.n);
+        case Kind::kTreeBalanced: return tree::balanced(spec_.a, spec_.b);
+        case Kind::kTreeCaterpillar:
+          return tree::caterpillar(spec_.a, spec_.b);
+        case Kind::kTreeRandom: {
+          support::Rng topo_rng(static_cast<std::uint64_t>(spec_.a));
+          return tree::random_tree(spec_.n, topo_rng);
+        }
+        case Kind::kTreeFigure1: return tree::figure1_tree();
+        default: break;
+      }
+      KLEX_REQUIRE(false,
+                   "fleet() needs a tree topology (ring / graph fleets are "
+                   "not supported)");
+      return tree::line(2);
+    }();
+    FleetConfig config;
+    TenantSpec tenant;
+    tenant.tree = std::move(fleet_tree);
+    tenant.k = k_;
+    tenant.l = l_;
+    tenant.features = features_;
+    config.tenants.assign(static_cast<std::size_t>(fleet_), tenant);
+    config.cmax = cmax_;
+    config.delays = delays_;
+    config.timeout_period = timeout_period_;
+    config.seed = seed_;
+    config.seed_tokens = seed_tokens_;
+    config.spread_tokens = spread_tokens_;
+    config.threads = threads_;
+    config.scheduler = scheduler_;
+    auto fleet_system = std::make_unique<FleetSystem>(std::move(config));
+    fleet_system->set_misuse_policy(misuse_policy_);
+    return fleet_system;
+  }
 
   // The knobs every topology's config shares; new builder knobs belong
   // here once, not in each per-topology block.
@@ -351,12 +412,38 @@ Session SystemBuilder::build_session() const {
   session.fault_garbage = fault_garbage_;
   session.fault_plan = fault_plan_;
   if (workload_.has_value()) {
-    support::Rng class_rng(seed_ ^ kClassSalt);
-    session.workload =
-        proto::materialize(*workload_, session.system->n(), class_rng);
-    session.driver = std::make_unique<WorkloadDriver>(
-        session.system->engine(), session.system->clients(),
-        session.workload.behaviors, support::Rng(seed_ ^ kDriverSalt));
+    if (fleet_ >= 1) {
+      // Per-tenant derived streams: tenant t's workload materializes and
+      // drives from (seed + t)-salted rngs -- the exact rngs a standalone
+      // build_session with seed + t would use, which is what pins every
+      // tenant's workload trajectory to its standalone twin.
+      auto* fleet_system = static_cast<FleetSystem*>(session.system.get());
+      const int tenants = fleet_system->tenant_count();
+      const int per_tenant_n = fleet_system->tenant_n(0);
+      std::vector<support::Rng> class_rngs;
+      std::vector<support::Rng> driver_rngs;
+      class_rngs.reserve(static_cast<std::size_t>(tenants));
+      driver_rngs.reserve(static_cast<std::size_t>(tenants));
+      for (int t = 0; t < tenants; ++t) {
+        const std::uint64_t tenant_seed =
+            seed_ + static_cast<std::uint64_t>(t);
+        class_rngs.emplace_back(tenant_seed ^ kClassSalt);
+        driver_rngs.emplace_back(tenant_seed ^ kDriverSalt);
+      }
+      support::Rng cross_rng(seed_ ^ kClassSalt ^ kCrossTenantSalt);
+      session.workload = proto::materialize_fleet(
+          *workload_, tenants, per_tenant_n, class_rngs, cross_rng);
+      session.driver = std::make_unique<WorkloadDriver>(
+          session.system->engine(), session.system->clients(),
+          session.workload.behaviors, std::move(driver_rngs));
+    } else {
+      support::Rng class_rng(seed_ ^ kClassSalt);
+      session.workload =
+          proto::materialize(*workload_, session.system->n(), class_rng);
+      session.driver = std::make_unique<WorkloadDriver>(
+          session.system->engine(), session.system->clients(),
+          session.workload.behaviors, support::Rng(seed_ ^ kDriverSalt));
+    }
   }
   return session;
 }

@@ -28,6 +28,8 @@ const char* deny_reason_name(DenyReason reason) {
   return "?";
 }
 
+const char* to_string(DenyReason reason) { return deny_reason_name(reason); }
+
 // -- Lease --------------------------------------------------------------------
 
 Lease::Lease(Client* client, std::uint64_t serial, int units)
@@ -66,6 +68,10 @@ bool Lease::active() const {
 
 proto::NodeId Lease::node() const {
   return client_ != nullptr ? client_->node() : -1;
+}
+
+TenantId Lease::tenant() const {
+  return client_ != nullptr ? client_->tenant() : -1;
 }
 
 void Lease::release() {

@@ -56,6 +56,10 @@ enum class MisusePolicy { kCheck, kClamp, kIgnore };
 
 const char* misuse_policy_name(MisusePolicy policy);
 
+/// Tenant (protocol instance) a session belongs to in a multi-tenant
+/// fleet (api/fleet.hpp). Single systems are tenant 0.
+using TenantId = std::int32_t;
+
 enum class DenyReason {
   kBusy,     // protocol not in Out (external request or corruption)
   kWaiting,  // this session already has an acquisition in flight
@@ -67,6 +71,13 @@ enum class DenyReason {
 };
 
 const char* deny_reason_name(DenyReason reason);
+
+/// Alias of deny_reason_name for generic logging code (matches the
+/// to_string(FaultKind) idiom in api/fault.hpp).
+const char* to_string(DenyReason reason);
+
+/// Number of DenyReason values (sizes per-reason stat counters).
+inline constexpr int kDenyReasonCount = 6;
 
 /// RAII grant handle: destruction (or release()) returns the units to
 /// circulation. Move-only -- ownership of the grant transfers with the
@@ -87,6 +98,10 @@ class Lease {
   /// Units granted (0 for an empty lease).
   int units() const { return units_; }
   proto::NodeId node() const;
+  /// Tenant the granting session belongs to (-1 for an empty lease, 0
+  /// outside fleets). An application juggling leases from several tenants
+  /// routes each back to its pool by this id.
+  TenantId tenant() const;
 
   /// Returns the units explicitly. Double release is misuse (policy);
   /// releasing an empty / moved-from / revoked lease is a no-op.
@@ -139,6 +154,12 @@ class Client {
   int k() const { return k_; }
   MisusePolicy policy() const { return policy_; }
   void set_policy(MisusePolicy policy) { policy_ = policy; }
+
+  /// Tenant this session belongs to (0 outside fleets). Stamped by the
+  /// owning harness (FleetSystem) right after pool creation; leases carry
+  /// it so cross-tenant applications can tell their grants apart.
+  TenantId tenant() const { return tenant_; }
+  void set_tenant(TenantId tenant) { tenant_ = tenant; }
 
   /// Session state.
   bool idle() const { return phase_ == Phase::kIdle; }
@@ -207,6 +228,7 @@ class Client {
   proto::NodeId node_;
   int k_;
   MisusePolicy policy_;
+  TenantId tenant_ = 0;
 
   Phase phase_ = Phase::kIdle;
   bool reachable_ = true;   // false while detached by a topology fault

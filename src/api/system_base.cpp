@@ -37,14 +37,30 @@ void SystemBase::connect_nodes(NodeId from, int from_channel, NodeId to,
 std::vector<core::KlProcessBase*> SystemBase::build_tree_protocol(
     const tree::Tree& tree, const std::vector<int>& node_lane,
     int lane_count, const stree::Graph* physical) {
+  std::vector<core::KlProcessBase*> nodes =
+      build_tree_instance(tree, params_, 0, node_lane, physical);
+  if (lane_count > 1) {
+    engine_.configure_lanes(node_lane, lane_count);
+    parallel_ = std::make_unique<sim::ParallelEngine>(engine_);
+  }
+  return nodes;
+}
+
+std::vector<core::KlProcessBase*> SystemBase::build_tree_instance(
+    const tree::Tree& tree, const core::Params& params, NodeId id_base,
+    const std::vector<int>& node_lane, const stree::Graph* physical) {
   KLEX_REQUIRE(tree.size() >= 2,
                "the protocol requires n >= 2 (see DESIGN.md)");
-  KLEX_REQUIRE(!params_.features.controller ||
-                   (params_.features.pusher && params_.features.priority),
+  KLEX_REQUIRE(!params.features.controller ||
+                   (params.features.pusher && params.features.priority),
                "the self-stabilizing rung requires pusher and priority");
-  KLEX_REQUIRE(arena_ == nullptr, "build_tree_protocol runs once");
+  KLEX_REQUIRE(id_base == engine_.process_count(),
+               "protocol instances append contiguously (id_base must be "
+               "the current process count)");
   KLEX_REQUIRE(physical == nullptr || physical->size() == tree.size(),
                "live wiring needs graph and tree over the same node ids");
+  KLEX_REQUIRE(physical == nullptr || id_base == 0,
+               "live wiring is single-instance");
 
   // Live mode sizes every slot by the node's physical degree so any later
   // overlay fits without moving storage; the process constructors narrow
@@ -54,28 +70,31 @@ std::vector<core::KlProcessBase*> SystemBase::build_tree_protocol(
     degrees[static_cast<std::size_t>(v)] =
         physical != nullptr ? physical->degree(v) : tree.degree(v);
   }
-  arena_ = std::make_unique<core::ProcessStateArena>(degrees, params_.k,
-                                                     node_lane);
+  arenas_.push_back(std::make_unique<core::ProcessStateArena>(
+      degrees, params.k, node_lane));
+  core::ProcessStateArena& arena = *arenas_.back();
 
   std::vector<core::KlProcessBase*> nodes;
-  std::int32_t modulus = core::myc_modulus(tree.size(), params_.cmax);
+  std::int32_t modulus = core::myc_modulus(tree.size(), params.cmax);
   for (tree::NodeId v = 0; v < tree.size(); ++v) {
     std::unique_ptr<core::KlProcessBase> process;
-    int slot = arena_->slot_of(v);
+    int slot = arena.slot_of(v);
     if (v == tree::kRoot) {
       process = std::make_unique<core::RootProcess>(
-          params_, tree.degree(v), modulus, &listeners_, *arena_, slot);
+          params, tree.degree(v), modulus, &listeners_, arena, slot);
     } else {
       process = std::make_unique<core::MemberProcess>(
-          params_, tree.degree(v), modulus, &listeners_, *arena_, slot);
+          params, tree.degree(v), modulus, &listeners_, arena, slot);
     }
     nodes.push_back(add_node(std::move(process)));
-    KLEX_CHECK(nodes.back()->id() == v, "engine ids must match tree ids");
+    KLEX_CHECK(nodes.back()->id() == id_base + v,
+               "engine ids must match tree ids plus the instance base");
   }
   if (physical == nullptr) {
     for (tree::NodeId v = 0; v < tree.size(); ++v) {
       for (int c = 0; c < tree.degree(v); ++c) {
-        connect_nodes(v, c, tree.neighbor(v, c), tree.reverse_channel(v, c));
+        connect_nodes(id_base + v, c, id_base + tree.neighbor(v, c),
+                      tree.reverse_channel(v, c));
       }
     }
   } else {
@@ -110,10 +129,6 @@ std::vector<core::KlProcessBase*> SystemBase::build_tree_protocol(
           std::move(phys_of), std::move(logical_of));
     }
   }
-  if (lane_count > 1) {
-    engine_.configure_lanes(node_lane, lane_count);
-    parallel_ = std::make_unique<sim::ParallelEngine>(engine_);
-  }
   return nodes;
 }
 
@@ -130,6 +145,7 @@ ClientPool& SystemBase::clients() {
     clients_ =
         std::make_unique<ClientPool>(*this, n(), params_.k, misuse_policy_);
     add_listener(clients_.get());
+    on_clients_created(*clients_);
   }
   return *clients_;
 }
@@ -222,7 +238,7 @@ sim::SimTime SystemBase::run_until_stabilized(sim::SimTime deadline,
   // is the start of the current correct stretch; a stretch that survives
   // `window` ticks is confirmed and reported at its transition edge.
   engine_.start();  // on_start() may mint tokens; count them before probing
-  bool correct = tracker_.correct();
+  bool correct = census_correct(/*resync_probe=*/true);
   sim::SimTime correct_since = correct ? engine_.now() : sim::kTimeInfinity;
   for (;;) {
     if (correct) {
@@ -239,7 +255,7 @@ sim::SimTime SystemBase::run_until_stabilized(sim::SimTime deadline,
     }
     if (!correct && engine_.now() >= deadline) break;
     engine_.step();
-    bool now_correct = tracker_.correct();
+    bool now_correct = census_correct(/*resync_probe=*/false);
     if (now_correct && !correct) correct_since = engine_.now();
     correct = now_correct;
   }
@@ -247,6 +263,10 @@ sim::SimTime SystemBase::run_until_stabilized(sim::SimTime deadline,
   // callers that retry with a later deadline resume from a known point.
   if (engine_.now() < deadline) engine_.run_until(deadline);
   return sim::kTimeInfinity;
+}
+
+bool SystemBase::census_correct(bool /*resync_probe*/) {
+  return tracker_.correct();
 }
 
 proto::TokenCensus SystemBase::census() const { return tracker_.counts(); }

@@ -60,8 +60,11 @@ class SystemBase : public proto::RequestPort {
   sim::ParallelEngine* parallel_engine() { return parallel_.get(); }
 
   /// The SoA arena holding the protocol's hot per-node state; null for
-  /// topologies that keep per-process storage (the ring baseline).
-  const core::ProcessStateArena* state_arena() const { return arena_.get(); }
+  /// topologies that keep per-process storage (the ring baseline). Fleets
+  /// build one arena per tenant; this returns the first.
+  const core::ProcessStateArena* state_arena() const {
+    return arenas_.empty() ? nullptr : arenas_.front().get();
+  }
 
   int n() const { return static_cast<int>(participants_.size()); }
   int k() const { return params_.k; }
@@ -110,9 +113,12 @@ class SystemBase : public proto::RequestPort {
   /// The (poll, consecutive) pair is kept from the polling era so existing
   /// call sites confirm over the same ~poll*consecutive horizon they
   /// always did; they no longer quantize the reported time.
-  sim::SimTime run_until_stabilized(sim::SimTime deadline,
-                                    sim::SimTime poll = 64,
-                                    int consecutive = 3);
+  /// Virtual so a fleet can keep the same control flow while swapping the
+  /// per-event census probe for its incremental per-tenant variant (see
+  /// census_correct).
+  virtual sim::SimTime run_until_stabilized(sim::SimTime deadline,
+                                            sim::SimTime poll = 64,
+                                            int consecutive = 3);
 
   // -- observation / faults ------------------------------------------------------
   /// O(1): assembled from the incrementally maintained tracker.
@@ -128,13 +134,17 @@ class SystemBase : public proto::RequestPort {
   /// well-formed messages -- up to CMAX per channel (drawn uniformly)
   /// when `garbage_per_channel` is the default -1, or exactly
   /// `garbage_per_channel` each otherwise (the CMAX-violation ablation).
-  void inject_transient_fault(support::Rng& rng,
-                              int garbage_per_channel = -1);
+  /// Virtual: a fleet faults tenant by tenant so each tenant's garbage is
+  /// drawn from its own message domains and attributed to its own census
+  /// stream.
+  virtual void inject_transient_fault(support::Rng& rng,
+                                      int garbage_per_channel = -1);
 
   /// Pure channel-garbage fault: wipes every channel, then preloads each
   /// with exactly `garbage_per_channel` random well-formed messages.
   /// Process memory is untouched (contrast inject_transient_fault).
-  void flood_channels(support::Rng& rng, int garbage_per_channel);
+  /// Virtual for the same per-tenant reasons as inject_transient_fault.
+  virtual void flood_channels(support::Rng& rng, int garbage_per_channel);
 
   /// Epoch-cut batched recovery drain (requires Features::epoch_cut; see
   /// the Features comment). If the incremental census already reports a
@@ -144,7 +154,8 @@ class SystemBase : public proto::RequestPort {
   /// machinery, fresh token mint, restarted controller) -- and returns
   /// true. The garbage population is absorbed in O(n) work instead of
   /// circulating for Θ(n) ticks through the protocol's own reset.
-  bool epoch_cut_recover();
+  /// Virtual: a fleet recovers only the tenants whose census is incorrect.
+  virtual bool epoch_cut_recover();
 
   /// Applies a topology fault (FaultKind::kLinkChurn / kNodeCrash) and
   /// runs the online spanning-tree repair: rebuild the overlay over the
@@ -205,6 +216,29 @@ class SystemBase : public proto::RequestPort {
       const tree::Tree& tree, const std::vector<int>& node_lane = {},
       int lane_count = 1, const stree::Graph* physical = nullptr);
 
+  /// Tenant-capable variant: builds one protocol instance over `tree`
+  /// with the given params, at engine ids `id_base .. id_base +
+  /// tree.size() - 1` (id_base must equal the current process count, so
+  /// instances append contiguously). Each call owns a fresh arena. The
+  /// plain overload above is `build_tree_instance(tree, params_, 0, ...)`
+  /// with lane plumbing; fleets call this once per tenant and wire lanes
+  /// and streams themselves afterwards.
+  std::vector<core::KlProcessBase*> build_tree_instance(
+      const tree::Tree& tree, const core::Params& params, NodeId id_base,
+      const std::vector<int>& node_lane = {},
+      const stree::Graph* physical = nullptr);
+
+  /// The census probe run_until_stabilized evaluates after every event
+  /// (and once before its loop, with `resync_probe` = true). The base
+  /// implementation ignores `resync_probe` and returns the O(1) global
+  /// tracker predicate; the fleet re-scans all tenants on a resync probe
+  /// and otherwise re-checks only the tenant of the last executed event.
+  virtual bool census_correct(bool resync_probe);
+
+  /// Called once when the lazily created ClientPool comes up; a fleet
+  /// stamps each client's TenantId here.
+  virtual void on_clients_created(ClientPool& pool) { (void)pool; }
+
   /// Domains for random_message() during transient-fault injection.
   /// The default covers the tree-protocol topologies (myC domain of
   /// 2(n−1)(CMAX+1)+1 values); the ring overrides with its n(CMAX+1)+1
@@ -213,9 +247,10 @@ class SystemBase : public proto::RequestPort {
 
   core::Params params_;
   proto::ListenerSet listeners_;
-  // SoA protocol state; declared before engine_ (which owns the process
-  // objects holding references into the arena) so it is destroyed last.
-  std::unique_ptr<core::ProcessStateArena> arena_;
+  // SoA protocol state, one arena per protocol instance (single systems:
+  // exactly one); declared before engine_ (which owns the process objects
+  // holding references into the arenas) so it is destroyed last.
+  std::vector<std::unique_ptr<core::ProcessStateArena>> arenas_;
   sim::Engine engine_;
   // Window executor for threads() > 1; declared after engine_ so its
   // worker threads join before the engine is torn down.

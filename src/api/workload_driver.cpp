@@ -9,6 +9,17 @@ namespace klex {
 
 WorkloadDriver::WorkloadDriver(sim::Engine& engine, ClientPool& clients,
                                std::vector<proto::NodeBehavior> behaviors,
+                               std::vector<support::Rng> stream_rngs)
+    : WorkloadDriver(engine, clients, std::move(behaviors), support::Rng()) {
+  KLEX_REQUIRE(static_cast<int>(stream_rngs.size()) == engine.stream_count(),
+               "need one workload rng per engine stream (got ",
+               stream_rngs.size(), " for ", engine.stream_count(),
+               " streams)");
+  stream_rngs_ = std::move(stream_rngs);
+}
+
+WorkloadDriver::WorkloadDriver(sim::Engine& engine, ClientPool& clients,
+                               std::vector<proto::NodeBehavior> behaviors,
                                support::Rng rng)
     : engine_(engine), clients_(clients), rng_(rng) {
   KLEX_REQUIRE(static_cast<int>(behaviors.size()) == clients_.size(),
@@ -68,8 +79,13 @@ void WorkloadDriver::schedule_cycle(proto::NodeId node,
     return;
   }
   node_state.cycle_scheduled = true;
-  sim::SimTime delay = node_state.behavior.think.sample(rng_) + extra_delay;
-  engine_.schedule(delay, [this, node] { start_acquire(node); });
+  sim::SimTime delay =
+      node_state.behavior.think.sample(rng_for(node)) + extra_delay;
+  // Sequence the callback in the node's own stream: engines without
+  // explicit streams ignore the hint (identical to schedule()), fleets
+  // keep each tenant's callback sub-order independent of its neighbors.
+  engine_.schedule_in_stream(engine_.stream_of(node), delay,
+                             [this, node] { start_acquire(node); });
 }
 
 void WorkloadDriver::start_acquire(proto::NodeId node) {
@@ -83,7 +99,7 @@ void WorkloadDriver::start_acquire(proto::NodeId node) {
     schedule_cycle(node);
     return;
   }
-  int need = static_cast<int>(node_state.behavior.need.sample(rng_));
+  int need = static_cast<int>(node_state.behavior.need.sample(rng_for(node)));
   need = std::clamp(need, 1, clients_.k());
   // Outcome arrives through the sticky handlers, possibly synchronously
   // (grant or busy-denial inside this call).
@@ -101,6 +117,7 @@ void WorkloadDriver::handle_grant(proto::NodeId node, Lease lease,
 }
 
 void WorkloadDriver::handle_deny(proto::NodeId node, DenyReason reason) {
+  ++denials_[static_cast<std::size_t>(reason)];
   NodeState& node_state = state(node);
   if (!node_state.behavior.active) return;
   if (reason == DenyReason::kUnreachable) {
@@ -132,8 +149,8 @@ void WorkloadDriver::schedule_release(proto::NodeId node) {
   if (node_state.release_scheduled) return;
   if (node_state.behavior.hold_forever) return;  // the set I never releases
   node_state.release_scheduled = true;
-  sim::SimTime duration = node_state.behavior.cs_duration.sample(rng_);
-  engine_.schedule(duration, [this, node] {
+  sim::SimTime duration = node_state.behavior.cs_duration.sample(rng_for(node));
+  engine_.schedule_in_stream(engine_.stream_of(node), duration, [this, node] {
     NodeState& inner = state(node);
     inner.release_scheduled = false;
     inner.lease.release();  // stale-safe: a revoked lease is a no-op
@@ -187,6 +204,12 @@ int WorkloadDriver::outstanding() const {
 
 bool WorkloadDriver::holding(proto::NodeId node) const {
   return nodes_[static_cast<std::size_t>(node)].lease.active();
+}
+
+std::int64_t WorkloadDriver::total_denials() const {
+  std::int64_t total = 0;
+  for (std::int64_t count : denials_) total += count;
+  return total;
 }
 
 }  // namespace klex

@@ -17,6 +17,7 @@
 // (possibly corrupted) protocol state.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -35,6 +36,16 @@ class WorkloadDriver {
   WorkloadDriver(sim::Engine& engine, ClientPool& clients,
                  std::vector<proto::NodeBehavior> behaviors,
                  support::Rng rng);
+
+  /// Multi-tenant fleets: one rng per engine stream (tenant). A node's
+  /// think/cs/need samples come from its own tenant's rng and its
+  /// callbacks are sequenced in its own stream, so every tenant's
+  /// workload trajectory is byte-identical to a standalone driver built
+  /// with that tenant's rng -- whatever the other tenants do. Requires
+  /// one rng per engine stream.
+  WorkloadDriver(sim::Engine& engine, ClientPool& clients,
+                 std::vector<proto::NodeBehavior> behaviors,
+                 std::vector<support::Rng> stream_rngs);
 
   /// Uninstalls the driver's handlers and detaches outstanding leases
   /// (the units stay reserved -- a destructor must not re-enter the
@@ -66,6 +77,14 @@ class WorkloadDriver {
   /// Whether `node` currently holds an active lease.
   bool holding(proto::NodeId node) const;
 
+  /// Denials observed by the closed loop, per DenyReason (indexed by
+  /// static_cast<int>(reason); to_string(DenyReason) labels them in
+  /// logs / experiment artifacts).
+  std::int64_t deny_count(DenyReason reason) const {
+    return denials_[static_cast<std::size_t>(reason)];
+  }
+  std::int64_t total_denials() const;
+
  private:
   struct NodeState {
     proto::NodeBehavior behavior;
@@ -91,10 +110,22 @@ class WorkloadDriver {
   void handle_deny(proto::NodeId node, DenyReason reason);
   void handle_revoked(proto::NodeId node);
 
+  /// The sampling rng for `node`: the shared driver rng, or the node's
+  /// tenant rng when the driver was built with per-stream rngs.
+  support::Rng& rng_for(proto::NodeId node) {
+    return stream_rngs_.empty()
+               ? rng_
+               : stream_rngs_[static_cast<std::size_t>(
+                     engine_.stream_of(node))];
+  }
+
   sim::Engine& engine_;
   ClientPool& clients_;
   std::vector<NodeState> nodes_;
   support::Rng rng_;
+  std::vector<support::Rng> stream_rngs_;  // empty = single shared rng_
+  std::array<std::int64_t, static_cast<std::size_t>(kDenyReasonCount)>
+      denials_{};
 };
 
 }  // namespace klex

@@ -5,9 +5,11 @@
 #include <chrono>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <thread>
 #include <tuple>
 
+#include "api/fleet.hpp"
 #include "proto/trace.hpp"
 #include "stats/waiting_time.hpp"
 #include "support/check.hpp"
@@ -15,6 +17,14 @@
 #include "verify/safety_monitor.hpp"
 
 namespace klex::exp {
+
+namespace {
+
+RunResult run_fleet_shared(const ScenarioSpec& spec, const RunPoint& point);
+RunResult run_fleet_separate(const ScenarioSpec& spec,
+                             const RunPoint& point);
+
+}  // namespace
 
 ExperimentRunner::ExperimentRunner(int threads) : threads_(threads) {
   KLEX_REQUIRE(threads >= 0, "negative thread count");
@@ -32,25 +42,42 @@ std::vector<RunPoint> ExperimentRunner::expand(const ScenarioSpec& spec) {
   KLEX_REQUIRE(!spec.fault_garbage.empty(),
                "scenario has no fault_garbage entries");
   KLEX_REQUIRE(!spec.threads.empty(), "scenario has no thread counts");
+  KLEX_REQUIRE(!spec.fleet.empty(), "scenario has no fleet entries");
+  for (int fleet : spec.fleet) {
+    KLEX_REQUIRE(fleet >= 1, "fleet entries must be >= 1, got ", fleet);
+  }
   std::vector<RunPoint> points;
   points.reserve(spec.topologies.size() * spec.features.size() *
                  spec.kl.size() * spec.fault_garbage.size() *
-                 spec.threads.size() * static_cast<std::size_t>(spec.seeds));
+                 spec.threads.size() * spec.fleet.size() *
+                 static_cast<std::size_t>(spec.seeds) *
+                 (spec.fleet_compare_separate ? 2 : 1));
   for (const TopologySpec& topology : spec.topologies) {
     for (const proto::Features& features : spec.features) {
       for (const auto& [k, l] : spec.kl) {
         for (int garbage : spec.fault_garbage) {
           for (int threads : spec.threads) {
-            for (int s = 0; s < spec.seeds; ++s) {
-              RunPoint point;
-              point.topology = topology;
-              point.features = features;
-              point.k = k;
-              point.l = l;
-              point.fault_garbage = garbage;
-              point.threads = threads;
-              point.seed = spec.base_seed + static_cast<std::uint64_t>(s);
-              points.push_back(point);
+            for (int fleet : spec.fleet) {
+              // A fleet entry fans out into the shared-engine point and,
+              // when requested, the separate-engines baseline point.
+              const int modes =
+                  (fleet > 1 && spec.fleet_compare_separate) ? 2 : 1;
+              for (int mode = 0; mode < modes; ++mode) {
+                for (int s = 0; s < spec.seeds; ++s) {
+                  RunPoint point;
+                  point.topology = topology;
+                  point.features = features;
+                  point.k = k;
+                  point.l = l;
+                  point.fault_garbage = garbage;
+                  point.threads = threads;
+                  point.fleet = fleet;
+                  point.fleet_separate = mode == 1;
+                  point.seed =
+                      spec.base_seed + static_cast<std::uint64_t>(s);
+                  points.push_back(point);
+                }
+              }
             }
           }
         }
@@ -62,6 +89,10 @@ std::vector<RunPoint> ExperimentRunner::expand(const ScenarioSpec& spec) {
 
 RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
                                       const RunPoint& point) {
+  if (point.fleet > 1) {
+    return point.fleet_separate ? run_fleet_separate(spec, point)
+                                : run_fleet_shared(spec, point);
+  }
   RunResult result;
   result.topology = point.topology.name();
   result.features = point.features.name();
@@ -265,6 +296,389 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   return result;
 }
 
+namespace {
+
+// Fleet grid points support the single post-measurement transient fault
+// only (targeted at tenant 0). Staged fault plans imply live-topology
+// graph systems; fleets are tree-tenant only.
+void require_fleet_fault_supported(const ScenarioSpec& spec) {
+  KLEX_REQUIRE(spec.fault_plan.events.empty(),
+               "fleet grid points do not support staged fault plans");
+  KLEX_REQUIRE(spec.fault == ScenarioSpec::FaultKind::kNone ||
+                   spec.fault == ScenarioSpec::FaultKind::kTransient,
+               "fleet grid points support only none/transient faults");
+}
+
+// One FleetSystem: `point.fleet` copies of the grid point's topology on
+// one shared engine, tenant t seeded point.seed + t. Mirrors run_point's
+// phases; the fault phase corrupts tenant 0 alone so the per-tenant
+// slices exhibit fault isolation (every other tenant's recovery_events
+// stays 0 and its census stays correct throughout).
+RunResult run_fleet_shared(const ScenarioSpec& spec, const RunPoint& point) {
+  require_fleet_fault_supported(spec);
+  RunResult result;
+  result.topology = point.topology.name();
+  result.features = point.features.name();
+  result.k = point.k;
+  result.l = point.l;
+  result.fault_garbage = point.fault_garbage;
+  result.threads = point.threads;
+  result.fleet = point.fleet;
+  result.fleet_mode = "shared";
+  result.seed = point.seed;
+
+  // The fault phase is applied by hand below (tenant-scoped), so the
+  // builder carries no fault of its own.
+  Session session = SystemBuilder()
+                        .topology(point.topology)
+                        .kl(point.k, point.l)
+                        .features(point.features)
+                        .cmax(spec.cmax)
+                        .delays(spec.delays)
+                        .seed(point.seed)
+                        .seed_tokens(spec.seed_tokens)
+                        .spread_tokens(spec.spread_tokens)
+                        .threads(point.threads)
+                        .fleet(point.fleet)
+                        .workload(spec.workload)
+                        .build_session();
+  auto* fleet = dynamic_cast<FleetSystem*>(session.system.get());
+  KLEX_CHECK(fleet != nullptr, "fleet(R > 1) must build a FleetSystem");
+  SystemBase& system = *session.system;
+  result.n = system.n();
+
+  auto wall_start = std::chrono::steady_clock::now();
+
+  stats::WaitingTimeTracker waits(result.n);
+  // Fleet-wide bounds: k is the max per-node need, l the sum of the
+  // tenants' populations (SystemBase accessors aggregate for fleets).
+  verify::SafetyMonitor safety(result.n, system.k(), system.l());
+  system.add_listener(&waits);
+  system.add_listener(&safety);
+  auto sent_of = [&system](proto::TokenType type) {
+    return system.engine().sent_of_type(static_cast<std::int32_t>(type));
+  };
+
+  // Phase 1: every tenant stabilizes (the fleet predicate is the AND of
+  // the per-tenant O(1) predicates), then the warmup window.
+  sim::SimTime stabilized =
+      system.run_until_stabilized(spec.stabilize_deadline);
+  result.stabilized = stabilized != sim::kTimeInfinity;
+  result.stabilization_time = stabilized;
+  system.run_until(system.engine().now() + spec.warmup);
+
+  // Phase 2: closed-loop workload, one driver spanning every tenant.
+  WorkloadDriver& driver = *session.driver;
+  session.begin_workload();
+
+  waits.reset_samples();
+  const std::uint64_t resource_before = sent_of(proto::TokenType::kResource);
+  const std::uint64_t pusher_before = sent_of(proto::TokenType::kPusher);
+  const std::uint64_t priority_before = sent_of(proto::TokenType::kPriority);
+  const std::uint64_t control_before = sent_of(proto::TokenType::kControl);
+  sim::SimTime window_start = system.engine().now();
+  std::uint64_t events_before = system.engine().events_executed();
+  system.run_until(window_start + spec.horizon);
+
+  result.grants = driver.total_grants();
+  result.requests = driver.total_requests();
+  result.grants_per_mtick = static_cast<double>(result.grants) * 1e6 /
+                            static_cast<double>(spec.horizon);
+  result.outstanding_at_end = driver.outstanding();
+  result.quiescent_at_end =
+      system.engine().next_event_time() == sim::kTimeInfinity;
+  if (!spec.workload.classes.empty()) {
+    result.classes.resize(spec.workload.classes.size());
+    for (std::size_t c = 0; c < spec.workload.classes.size(); ++c) {
+      result.classes[c].name = spec.workload.classes[c].name;
+    }
+    ClassResult base_cell;
+    base_cell.name = "base";
+    for (proto::NodeId node = 0; node < result.n; ++node) {
+      int cls = session.workload.class_index[static_cast<std::size_t>(node)];
+      ClassResult& cell =
+          cls >= 0 ? result.classes[static_cast<std::size_t>(cls)]
+                   : base_cell;
+      ++cell.nodes;
+      cell.requests += driver.requests_issued(node);
+      cell.grants += driver.grants(node);
+      if (system.state_of(node) == proto::AppState::kIn) ++cell.holding_at_end;
+    }
+    if (base_cell.nodes > 0) result.classes.push_back(std::move(base_cell));
+  }
+  if (waits.waits().count() > 0) {
+    result.mean_wait_entries = waits.waits().mean();
+    result.max_wait_entries = waits.waits().max();
+    result.p99_wait_entries = waits.waits().p99();
+  }
+  result.control_messages = sent_of(proto::TokenType::kControl) -
+                            control_before;
+  result.resource_messages = sent_of(proto::TokenType::kResource) -
+                             resource_before;
+  result.pusher_messages = sent_of(proto::TokenType::kPusher) -
+                           pusher_before;
+  result.priority_messages = sent_of(proto::TokenType::kPriority) -
+                             priority_before;
+  if (result.grants > 0) {
+    result.messages_per_grant =
+        static_cast<double>(result.control_messages +
+                            result.resource_messages +
+                            result.pusher_messages +
+                            result.priority_messages) /
+        static_cast<double>(result.grants);
+  }
+  result.safety_ok = !safety.any_violation();
+  result.events_executed = system.engine().events_executed() - events_before;
+
+  // Per-tenant slices of the workload window (the per-node driver
+  // counters are cumulative, so they are read before the fault phase
+  // accrues more grants).
+  result.tenants.resize(static_cast<std::size_t>(point.fleet));
+  for (int t = 0; t < fleet->tenant_count(); ++t) {
+    TenantResult& cell = result.tenants[static_cast<std::size_t>(t)];
+    cell.tenant = t;
+    cell.n = fleet->tenant_n(t);
+    sim::SimTime since = fleet->tenant_stabilized_at(t);
+    cell.stabilized = since != sim::kTimeInfinity;
+    cell.stabilization_time = cell.stabilized ? since : 0;
+    for (proto::NodeId local = 0; local < fleet->tenant_n(t); ++local) {
+      proto::NodeId node = fleet->global_id(t, local);
+      cell.requests += driver.requests_issued(node);
+      cell.grants += driver.grants(node);
+    }
+  }
+
+  // Phase 3 (optional): transient fault into tenant 0 alone. Same rng
+  // formula as run_point; the other R-1 tenants keep circulating.
+  if (spec.fault == ScenarioSpec::FaultKind::kTransient) {
+    result.fault_injected = true;
+    auto recovery_start = std::chrono::steady_clock::now();
+    sim::SimTime fault_at = system.engine().now();
+    std::uint64_t events_at_fault = system.engine().events_executed();
+    support::Rng fault_rng(point.seed ^ 0xFA17ull);
+    fleet->inject_transient_fault_tenant(0, fault_rng, point.fault_garbage);
+    if (fleet->tenant_params(0).features.epoch_cut) {
+      fleet->epoch_cut_recover_tenant(0);  // no-op if the fault missed
+    }
+    driver.resync();
+    sim::SimTime recovered =
+        system.run_until_stabilized(fault_at + spec.recovery_deadline);
+    result.recovered = recovered != sim::kTimeInfinity;
+    result.recovery_time = result.recovered ? recovered - fault_at : 0;
+    result.recovery_events =
+        system.engine().events_executed() - events_at_fault;
+    result.recovery_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      recovery_start)
+            .count();
+  }
+
+  // Per-tenant end state: the isolation observables the artifact pins.
+  for (int t = 0; t < fleet->tenant_count(); ++t) {
+    TenantResult& cell = result.tenants[static_cast<std::size_t>(t)];
+    cell.events_executed = fleet->tenant_events_executed(t);
+    cell.recovery_events = fleet->tenant_recovery_events(t);
+    cell.correct_at_end = fleet->tenant_correct(t);
+  }
+
+  result.engine_stats = system.engine().stats();
+
+  auto wall_end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (result.wall_seconds > 0.0) {
+    result.events_per_sec =
+        static_cast<double>(result.engine_stats.events_executed) /
+        result.wall_seconds;
+  }
+  return result;
+}
+
+// The batching baseline: the same `point.fleet` tenants as that many
+// standalone serial systems -- seeds point.seed .. point.seed + R - 1,
+// exactly the twins the shared run's tenants replay
+// (tests/integration/fleet_differential_test.cpp) -- executed
+// sequentially on this worker. The batch pays R engine boots, R
+// calendars and R clocks; the wall clock spans the whole batch, so
+// events_per_sec is the rate bench_fleet compares the shared engine
+// against. Wait stats and class slices are not collected here (the
+// shared run carries them for the cell).
+RunResult run_fleet_separate(const ScenarioSpec& spec,
+                             const RunPoint& point) {
+  require_fleet_fault_supported(spec);
+  RunResult result;
+  result.topology = point.topology.name();
+  result.features = point.features.name();
+  result.k = point.k;
+  result.l = point.l;
+  result.fault_garbage = point.fault_garbage;
+  result.threads = point.threads;  // cell-key symmetry with the shared run
+  result.fleet = point.fleet;
+  result.fleet_mode = "separate";
+  result.seed = point.seed;
+
+  std::vector<Session> sessions;
+  sessions.reserve(static_cast<std::size_t>(point.fleet));
+  for (int t = 0; t < point.fleet; ++t) {
+    sessions.push_back(
+        SystemBuilder()
+            .topology(point.topology)
+            .kl(point.k, point.l)
+            .features(point.features)
+            .cmax(spec.cmax)
+            .delays(spec.delays)
+            .seed(point.seed + static_cast<std::uint64_t>(t))
+            .seed_tokens(spec.seed_tokens)
+            .spread_tokens(spec.spread_tokens)
+            .workload(spec.workload)
+            .build_session());
+    result.n += sessions.back().system->n();
+  }
+
+  auto wall_start = std::chrono::steady_clock::now();
+
+  result.tenants.resize(static_cast<std::size_t>(point.fleet));
+  std::vector<std::unique_ptr<verify::SafetyMonitor>> safety;
+  safety.reserve(static_cast<std::size_t>(point.fleet));
+  result.stabilized = true;
+  result.quiescent_at_end = true;
+
+  for (int t = 0; t < point.fleet; ++t) {
+    Session& session = sessions[static_cast<std::size_t>(t)];
+    SystemBase& system = *session.system;
+    TenantResult& cell = result.tenants[static_cast<std::size_t>(t)];
+    cell.tenant = t;
+    cell.n = system.n();
+    safety.push_back(std::make_unique<verify::SafetyMonitor>(
+        cell.n, system.k(), system.l()));
+    system.add_listener(safety.back().get());
+    auto sent_of = [&system](proto::TokenType type) {
+      return system.engine().sent_of_type(static_cast<std::int32_t>(type));
+    };
+
+    sim::SimTime stabilized =
+        system.run_until_stabilized(spec.stabilize_deadline);
+    cell.stabilized = stabilized != sim::kTimeInfinity;
+    cell.stabilization_time = cell.stabilized ? stabilized : 0;
+    result.stabilized = result.stabilized && cell.stabilized;
+    result.stabilization_time =
+        std::max(result.stabilization_time, stabilized);
+    system.run_until(system.engine().now() + spec.warmup);
+
+    WorkloadDriver& driver = *session.driver;
+    session.begin_workload();
+    const std::uint64_t resource_before =
+        sent_of(proto::TokenType::kResource);
+    const std::uint64_t pusher_before = sent_of(proto::TokenType::kPusher);
+    const std::uint64_t priority_before =
+        sent_of(proto::TokenType::kPriority);
+    const std::uint64_t control_before = sent_of(proto::TokenType::kControl);
+    sim::SimTime window_start = system.engine().now();
+    std::uint64_t events_before = system.engine().events_executed();
+    system.run_until(window_start + spec.horizon);
+
+    cell.requests = driver.total_requests();
+    cell.grants = driver.total_grants();
+    result.requests += cell.requests;
+    result.grants += cell.grants;
+    result.outstanding_at_end += driver.outstanding();
+    result.quiescent_at_end =
+        result.quiescent_at_end &&
+        system.engine().next_event_time() == sim::kTimeInfinity;
+    result.control_messages +=
+        sent_of(proto::TokenType::kControl) - control_before;
+    result.resource_messages +=
+        sent_of(proto::TokenType::kResource) - resource_before;
+    result.pusher_messages +=
+        sent_of(proto::TokenType::kPusher) - pusher_before;
+    result.priority_messages +=
+        sent_of(proto::TokenType::kPriority) - priority_before;
+    result.events_executed +=
+        system.engine().events_executed() - events_before;
+    result.safety_ok = result.safety_ok && !safety.back()->any_violation();
+  }
+  // Per-tenant windows all have length `horizon`, so the batch rate uses
+  // the same denominator as the shared run's single window.
+  result.grants_per_mtick = static_cast<double>(result.grants) * 1e6 /
+                            static_cast<double>(spec.horizon);
+  if (result.grants > 0) {
+    result.messages_per_grant =
+        static_cast<double>(result.control_messages +
+                            result.resource_messages +
+                            result.pusher_messages +
+                            result.priority_messages) /
+        static_cast<double>(result.grants);
+  }
+
+  // Phase 3 (optional): fault into system 0 only -- the same rng seed and
+  // draw order as the shared run's tenant-0 fault, so the two modes of a
+  // cell recover through identical trajectories.
+  if (spec.fault == ScenarioSpec::FaultKind::kTransient) {
+    result.fault_injected = true;
+    auto recovery_start = std::chrono::steady_clock::now();
+    Session& session = sessions.front();
+    SystemBase& system = *session.system;
+    sim::SimTime fault_at = system.engine().now();
+    std::uint64_t events_at_fault = system.engine().events_executed();
+    support::Rng fault_rng(point.seed ^ 0xFA17ull);
+    system.inject_transient_fault(fault_rng, point.fault_garbage);
+    std::int64_t drains = 0;
+    if (point.features.epoch_cut && system.epoch_cut_recover()) drains = 1;
+    session.driver->resync();
+    sim::SimTime recovered =
+        system.run_until_stabilized(fault_at + spec.recovery_deadline);
+    result.recovered = recovered != sim::kTimeInfinity;
+    result.recovery_time = result.recovered ? recovered - fault_at : 0;
+    result.recovery_events =
+        system.engine().events_executed() - events_at_fault;
+    result.tenants.front().recovery_events = drains;
+    result.recovery_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      recovery_start)
+            .count();
+  }
+
+  // Per-system end state + batch engine stats (sums across the R
+  // engines; the calendar window is a configuration, so it reports max).
+  for (int t = 0; t < point.fleet; ++t) {
+    SystemBase& system = *sessions[static_cast<std::size_t>(t)].system;
+    TenantResult& cell = result.tenants[static_cast<std::size_t>(t)];
+    cell.events_executed = system.engine().events_executed();
+    cell.correct_at_end = system.token_counts_correct();
+    const sim::EngineStats stats = system.engine().stats();
+    result.engine_stats.events_executed += stats.events_executed;
+    result.engine_stats.messages_sent += stats.messages_sent;
+    result.engine_stats.messages_delivered += stats.messages_delivered;
+    result.engine_stats.callbacks_scheduled += stats.callbacks_scheduled;
+    result.engine_stats.callback_slots_created +=
+        stats.callback_slots_created;
+    result.engine_stats.max_heap_size += stats.max_heap_size;
+    result.engine_stats.in_flight_walks += stats.in_flight_walks;
+    result.engine_stats.bucket_window =
+        std::max(result.engine_stats.bucket_window, stats.bucket_window);
+    result.engine_stats.scheduler.bucket_inserts +=
+        stats.scheduler.bucket_inserts;
+    result.engine_stats.scheduler.bucket_scans +=
+        stats.scheduler.bucket_scans;
+    result.engine_stats.scheduler.overflow_pushes +=
+        stats.scheduler.overflow_pushes;
+    result.engine_stats.scheduler.overflow_pops +=
+        stats.scheduler.overflow_pops;
+  }
+
+  auto wall_end = std::chrono::steady_clock::now();
+  result.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  if (result.wall_seconds > 0.0) {
+    result.events_per_sec =
+        static_cast<double>(result.engine_stats.events_executed) /
+        result.wall_seconds;
+  }
+  return result;
+}
+
+}  // namespace
+
 std::vector<RunResult> ExperimentRunner::run(const ScenarioSpec& spec) const {
   std::vector<RunPoint> points = expand(spec);
   std::vector<RunResult> results(points.size());
@@ -294,15 +708,17 @@ std::vector<RunResult> ExperimentRunner::run(const ScenarioSpec& spec) const {
 
 std::vector<Aggregate> ExperimentRunner::aggregate(
     const std::vector<RunResult>& results) {
-  // Keyed by (topology, features, k, l, fault_garbage, threads), in
-  // first-appearance order.
-  std::map<std::tuple<std::string, std::string, int, int, int, int>,
+  // Keyed by (topology, features, k, l, fault_garbage, threads, fleet,
+  // fleet_mode), in first-appearance order.
+  std::map<std::tuple<std::string, std::string, int, int, int, int, int,
+                      std::string>,
            std::size_t>
       index;
   std::vector<Aggregate> cells;
   for (const RunResult& run : results) {
-    auto key = std::tuple{run.topology, run.features, run.k, run.l,
-                          run.fault_garbage, run.threads};
+    auto key = std::tuple{run.topology, run.features,  run.k,
+                          run.l,        run.fault_garbage, run.threads,
+                          run.fleet,    run.fleet_mode};
     auto [it, inserted] = index.try_emplace(key, cells.size());
     if (inserted) {
       Aggregate cell;
@@ -312,6 +728,8 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
       cell.l = run.l;
       cell.fault_garbage = run.fault_garbage;
       cell.threads = run.threads;
+      cell.fleet = run.fleet;
+      cell.fleet_mode = run.fleet_mode;
       cell.n = run.n;
       cells.push_back(cell);
     }
@@ -443,6 +861,16 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
   json.key("threads").begin_array();
   for (int threads : spec.threads) json.value(threads);
   json.end_array();
+  // The fleet axis is emitted only when the scenario actually sweeps it,
+  // so pre-fleet artifacts stay byte-identical.
+  const bool fleet_grid = spec.fleet != std::vector<int>{1} ||
+                          spec.fleet_compare_separate;
+  if (fleet_grid) {
+    json.key("fleet").begin_array();
+    for (int fleet : spec.fleet) json.value(fleet);
+    json.end_array();
+    json.field("fleet_compare_separate", spec.fleet_compare_separate);
+  }
   json.field("seed_tokens", spec.seed_tokens);
   json.field("spread_tokens", spec.spread_tokens);
   json.key("workload").begin_object();
@@ -513,6 +941,10 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.field("k", run.k);
     json.field("l", run.l);
     json.field("threads", run.threads);
+    if (run.fleet > 1) {
+      json.field("fleet", run.fleet);
+      json.field("fleet_mode", run.fleet_mode);
+    }
     json.field("seed", run.seed);
     json.field("stabilized", run.stabilized);
     if (run.stabilized) {
@@ -569,6 +1001,25 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
       }
       json.end_array();
     }
+    if (!run.tenants.empty()) {
+      json.key("tenants").begin_array();
+      for (const TenantResult& cell : run.tenants) {
+        json.begin_object();
+        json.field("tenant", cell.tenant);
+        json.field("n", cell.n);
+        json.field("stabilized", cell.stabilized);
+        if (cell.stabilized) {
+          json.field("stabilization_time", cell.stabilization_time);
+        }
+        json.field("requests", cell.requests);
+        json.field("grants", cell.grants);
+        json.field("events_executed", cell.events_executed);
+        json.field("recovery_events", cell.recovery_events);
+        json.field("correct_at_end", cell.correct_at_end);
+        json.end_object();
+      }
+      json.end_array();
+    }
     json.field("mean_wait_entries", run.mean_wait_entries);
     json.field("max_wait_entries", run.max_wait_entries);
     json.field("p99_wait_entries", run.p99_wait_entries);
@@ -609,6 +1060,10 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
       json.field("fault_garbage", cell.fault_garbage);
     }
     json.field("threads", cell.threads);
+    if (cell.fleet > 1) {
+      json.field("fleet", cell.fleet);
+      json.field("fleet_mode", cell.fleet_mode);
+    }
     json.field("n", cell.n);
     json.field("runs", cell.runs);
     json.field("stabilized_runs", cell.stabilized_runs);

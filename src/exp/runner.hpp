@@ -33,6 +33,12 @@ struct RunPoint {
   int fault_garbage = -1;
   /// Engine worker lanes (1 = serial).
   int threads = 1;
+  /// Tenants (1 = plain single system; > 1 = FleetSystem).
+  int fleet = 1;
+  /// Fleet baseline mode: run the `fleet` tenants as separate engines
+  /// instead of one shared FleetSystem (ScenarioSpec::
+  /// fleet_compare_separate).
+  bool fleet_separate = false;
   std::uint64_t seed = 1;
 };
 
@@ -71,6 +77,25 @@ struct FaultEventResult {
   std::uint64_t recovery_events = 0;
 };
 
+/// Per-tenant slice of one fleet run (fleet runs only). The
+/// recovery_events field is the tenant's epoch-cut drain count -- the
+/// fault-isolation observable: a fault into tenant 0 leaves every other
+/// tenant's count at 0.
+struct TenantResult {
+  int tenant = 0;
+  int n = 0;
+  bool stabilized = false;
+  sim::SimTime stabilization_time = 0;
+  std::int64_t requests = 0;
+  std::int64_t grants = 0;
+  /// Engine events executed on behalf of this tenant.
+  std::uint64_t events_executed = 0;
+  /// Epoch-cut recovery drains performed for this tenant.
+  std::int64_t recovery_events = 0;
+  /// The tenant's census legitimacy when the run ended.
+  bool correct_at_end = false;
+};
+
 /// Everything measured in one run of one grid point.
 struct RunResult {
   std::string topology;
@@ -79,6 +104,13 @@ struct RunResult {
   int k = 1;
   int l = 1;
   int threads = 1;
+  /// Tenants in this run (1 = plain single system). For fleet runs, n is
+  /// the TOTAL node count (fleet x per-tenant size) and the per-tenant
+  /// slices live in `tenants`.
+  int fleet = 1;
+  /// "shared" (one FleetSystem) or "separate" (R engines) for fleet
+  /// runs; empty for plain runs.
+  std::string fleet_mode;
   std::uint64_t seed = 1;
 
   // Stabilization / recovery.
@@ -113,6 +145,8 @@ struct RunResult {
   bool quiescent_at_end = false;
   /// Per-class slices; empty for uniform (classless) workloads.
   std::vector<ClassResult> classes;
+  /// Per-tenant slices; empty for plain (fleet = 1) runs.
+  std::vector<TenantResult> tenants;
   double mean_wait_entries = 0.0;  // paper's waiting-time unit
   double max_wait_entries = 0.0;
   double p99_wait_entries = 0.0;
@@ -138,6 +172,10 @@ struct Aggregate {
   int l = 1;
   int fault_garbage = -1;
   int threads = 1;
+  /// Fleet axis (part of the cell key): tenants and shared/separate mode
+  /// ("" for plain single-system cells).
+  int fleet = 1;
+  std::string fleet_mode;
   int n = 0;
   int runs = 0;
   int stabilized_runs = 0;
@@ -172,7 +210,9 @@ class ExperimentRunner {
   int threads() const { return threads_; }
 
   /// Expands the grid (topologies × features × kl × fault_garbage ×
-  /// seeds, seed-major last so neighboring points differ only in seed).
+  /// threads × fleet × seeds, seed-major last so neighboring points
+  /// differ only in seed; fleet entries > 1 fan out into a shared point
+  /// plus, when fleet_compare_separate is set, a separate-engines one).
   static std::vector<RunPoint> expand(const ScenarioSpec& spec);
 
   /// Executes one grid point (used by the workers; exposed for tests and
@@ -185,7 +225,7 @@ class ExperimentRunner {
   std::vector<RunResult> run(const ScenarioSpec& spec) const;
 
   /// Groups results by (topology, features, k, l, fault_garbage,
-  /// threads) and averages across seeds.
+  /// threads, fleet, fleet_mode) and averages across seeds.
   static std::vector<Aggregate> aggregate(
       const std::vector<RunResult>& results);
 

@@ -37,8 +37,39 @@ CensusTracker::CensusTracker(const sim::Engine* engine, int l,
   KLEX_REQUIRE(l_ >= 1, "need l >= 1");
 }
 
+void CensusTracker::configure_tenants(
+    std::vector<TenantExpectation> expected) {
+  KLEX_REQUIRE(!expected.empty(), "need at least one tenant");
+  KLEX_REQUIRE(engine_->has_explicit_streams() &&
+                   engine_->stream_count() ==
+                       static_cast<int>(expected.size()),
+               "tenant axis needs one engine stream per tenant");
+  KLEX_REQUIRE(reserved_resource() == 0 && held_priority() == 0,
+               "configure tenants before any deltas accumulate");
+  for (const TenantExpectation& want : expected) {
+    KLEX_REQUIRE(want.l >= 1, "need l >= 1 per tenant");
+  }
+  if (static_cast<int>(expected.size()) > sim::Engine::kMaxLanes) {
+    overflow_cells_ = std::vector<LaneCell>(
+        expected.size() - static_cast<std::size_t>(sim::Engine::kMaxLanes));
+  }
+  // The global expected population is the fleet total, so correct()'s
+  // default-mode fields stay meaningful for debug output.
+  l_ = 0;
+  expected_pusher_ = 0;
+  expected_priority_ = 0;
+  for (const TenantExpectation& want : expected) {
+    l_ += want.l;
+    expected_pusher_ += want.features.pusher ? 1 : 0;
+    expected_priority_ += want.features.priority ? 1 : 0;
+  }
+  tenant_expected_ = std::move(expected);
+}
+
 void CensusTracker::resync(
     const std::vector<const ExclusionParticipant*>& participants) {
+  KLEX_REQUIRE(!tenant_mode(),
+               "resync has no tenant attribution; fleets rebuild instead");
   // Between-windows only (like every reader): the walk's totals go to
   // cell 0, the cell the serial path and lane 0 write.
   std::int64_t reserved = 0;

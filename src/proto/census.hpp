@@ -88,6 +88,56 @@ class CensusTracker final : public ParticipantDeltaSink {
   /// when the sink is attached to already-running participants).
   void resync(const std::vector<const ExclusionParticipant*>& participants);
 
+  // -- tenant axis (multi-tenant fleets) --------------------------------------
+
+  /// One tenant's legitimate token population.
+  struct TenantExpectation {
+    int l = 1;
+    Features features = Features::full();
+  };
+
+  /// Switches the tracker to the tenant axis: delta cells are indexed by
+  /// the engine's executing *stream* (one per tenant) instead of the
+  /// executing lane, and each tenant gets its own expected population.
+  /// Requires the engine to have explicit streams (one per expectation)
+  /// and pristine participants (no deltas accumulated yet). Single-writer
+  /// stays intact: a stream's deltas all come from its home lane's thread.
+  void configure_tenants(std::vector<TenantExpectation> expected);
+
+  bool tenant_mode() const { return !tenant_expected_.empty(); }
+  int tenant_count() const { return static_cast<int>(tenant_expected_.size()); }
+
+  /// The legitimacy predicate for one tenant, in O(1): reads the tenant's
+  /// engine stream cells and its own delta cell -- never scans the other
+  /// tenants. Tenant-mode only.
+  bool correct_of(int tenant) const {
+    const TenantExpectation& want =
+        tenant_expected_[static_cast<std::size_t>(tenant)];
+    const LaneCell& c = cell(tenant);
+    return static_cast<int>(engine_->in_flight_of_type_in(
+               tenant, static_cast<std::int32_t>(TokenType::kResource))) +
+                   static_cast<int>(
+                       c.reserved.load(std::memory_order_relaxed)) ==
+               want.l &&
+           static_cast<int>(engine_->in_flight_of_type_in(
+               tenant, static_cast<std::int32_t>(TokenType::kPusher))) ==
+               (want.features.pusher ? 1 : 0) &&
+           static_cast<int>(engine_->in_flight_of_type_in(
+               tenant, static_cast<std::int32_t>(TokenType::kPriority))) +
+                   static_cast<int>(c.held.load(std::memory_order_relaxed)) ==
+               (want.features.priority ? 1 : 0);
+  }
+
+  /// Reserved / held stored-token counts of one tenant (tenant-mode only).
+  int reserved_of(int tenant) const {
+    return static_cast<int>(
+        cell(tenant).reserved.load(std::memory_order_relaxed));
+  }
+  int held_of(int tenant) const {
+    return static_cast<int>(
+        cell(tenant).held.load(std::memory_order_relaxed));
+  }
+
   /// The full census, assembled in O(1) from the engine's per-type
   /// counters and the integrated deltas.
   TokenCensus counts() const;
@@ -96,6 +146,14 @@ class CensusTracker final : public ParticipantDeltaSink {
   /// priority token where the rung circulates them) as a handful of
   /// integer compares -- no walk.
   bool correct() const {
+    if (tenant_mode()) {
+      // All tenants legitimate. O(R) -- fleet hot loops go through
+      // correct_of (incrementally, via Engine::last_stream()) instead.
+      for (int t = 0; t < tenant_count(); ++t) {
+        if (!correct_of(t)) return false;
+      }
+      return true;
+    }
     return static_cast<int>(engine_->in_flight_of_type(
                static_cast<std::int32_t>(TokenType::kResource))) +
                    reserved_resource() == l_ &&
@@ -131,22 +189,45 @@ class CensusTracker final : public ParticipantDeltaSink {
   };
 
   void bump(std::atomic<std::int64_t> LaneCell::* field, int delta) {
-    std::atomic<std::int64_t>& cell =
-        cells_[static_cast<std::size_t>(sim::Engine::current_lane())].*field;
+    // Default mode indexes by executing lane; tenant mode by executing
+    // stream (same TLS-load cost -- the mode branch is one predictable
+    // test on a member already in cache).
+    std::size_t index = tenant_expected_.empty()
+                            ? static_cast<std::size_t>(
+                                  sim::Engine::current_lane())
+                            : static_cast<std::size_t>(
+                                  sim::Engine::current_stream());
+    std::atomic<std::int64_t>& cell = mutable_cell(index).*field;
     cell.store(cell.load(std::memory_order_relaxed) + delta,
                std::memory_order_relaxed);
   }
 
-  // Only the engine's active lanes can have accumulated deltas (serial
-  // engines: exactly cell 0). correct() probes this once per executed
-  // event inside run_until_stabilized, so the scan must not touch the
-  // kMaxLanes - lane_count() cells that are guaranteed zero.
+  /// Cell `i`: the first kMaxLanes live inline (the only ones the default
+  /// mode ever touches); fleets with more tenants than lanes spill into
+  /// the overflow vector sized by configure_tenants.
+  const LaneCell& cell(int i) const {
+    return i < sim::Engine::kMaxLanes
+               ? cells_[static_cast<std::size_t>(i)]
+               : overflow_cells_[static_cast<std::size_t>(
+                     i - sim::Engine::kMaxLanes)];
+  }
+  LaneCell& mutable_cell(std::size_t i) {
+    return i < static_cast<std::size_t>(sim::Engine::kMaxLanes)
+               ? cells_[i]
+               : overflow_cells_[i - static_cast<std::size_t>(
+                                         sim::Engine::kMaxLanes)];
+  }
+
+  // Only the engine's active lanes (or the fleet's tenants) can have
+  // accumulated deltas (serial engines: exactly cell 0). correct() probes
+  // this once per executed event inside run_until_stabilized, so the scan
+  // must not touch cells that are guaranteed zero.
   int sum(std::atomic<std::int64_t> LaneCell::* field) const {
     std::int64_t total = 0;
-    const int lanes = engine_->lane_count();
-    for (int i = 0; i < lanes; ++i) {
-      total += (cells_[static_cast<std::size_t>(i)].*field)
-                   .load(std::memory_order_relaxed);
+    const int active =
+        tenant_mode() ? tenant_count() : engine_->lane_count();
+    for (int i = 0; i < active; ++i) {
+      total += (cell(i).*field).load(std::memory_order_relaxed);
     }
     return static_cast<int>(total);
   }
@@ -159,6 +240,8 @@ class CensusTracker final : public ParticipantDeltaSink {
   int expected_pusher_ = 1;
   int expected_priority_ = 1;
   LaneCell cells_[sim::Engine::kMaxLanes];
+  std::vector<LaneCell> overflow_cells_;
+  std::vector<TenantExpectation> tenant_expected_;
 };
 
 }  // namespace klex::proto

@@ -63,6 +63,16 @@ BehaviorClass BehaviorClass::budgeted(std::string name, int count, int units,
   return cls;
 }
 
+BehaviorClass BehaviorClass::cross_tenant_sessions(std::string name,
+                                                   int count, int units) {
+  BehaviorClass cls;
+  cls.name = std::move(name);
+  cls.count = count;
+  cls.behavior.need = Dist::fixed(units);
+  cls.cross_tenant = true;
+  return cls;
+}
+
 int BehaviorClass::size_for(int n) const {
   if (!nodes.empty()) return static_cast<int>(nodes.size());
   if (count >= 0) return std::min(count, n);
@@ -132,6 +142,85 @@ MaterializedWorkload materialize(const WorkloadSpec& spec, int n,
                  " remain unassigned");
     for (int taken = 0; taken < want; ++taken) {
       assign(pool[next++], static_cast<int>(c));
+    }
+  }
+  return out;
+}
+
+MaterializedWorkload materialize_fleet(const WorkloadSpec& spec, int tenants,
+                                       int n_per_tenant,
+                                       std::vector<support::Rng>& tenant_rngs,
+                                       support::Rng& cross_rng) {
+  KLEX_REQUIRE(tenants >= 1, "need at least one tenant");
+  KLEX_REQUIRE(n_per_tenant >= 0, "negative node count");
+  KLEX_REQUIRE(static_cast<int>(tenant_rngs.size()) == tenants,
+               "need one materialization rng per tenant (got ",
+               tenant_rngs.size(), " for ", tenants, " tenants)");
+
+  // Per-tenant pass: cross_tenant classes are emptied (not removed, so
+  // class indices keep referring into spec.classes) -- their slots are
+  // stamped on top afterwards. Without cross classes this pass is the
+  // standalone materialization per tenant, verbatim.
+  WorkloadSpec per_tenant = spec;
+  for (BehaviorClass& cls : per_tenant.classes) {
+    if (cls.cross_tenant) {
+      cls.nodes.clear();
+      cls.count = 0;
+      cls.fraction = 0.0;
+    }
+  }
+  MaterializedWorkload out;
+  out.behaviors.reserve(
+      static_cast<std::size_t>(tenants) * static_cast<std::size_t>(n_per_tenant));
+  out.class_index.reserve(out.behaviors.capacity());
+  for (int t = 0; t < tenants; ++t) {
+    MaterializedWorkload one = materialize(
+        per_tenant, n_per_tenant, tenant_rngs[static_cast<std::size_t>(t)]);
+    out.behaviors.insert(out.behaviors.end(), one.behaviors.begin(),
+                         one.behaviors.end());
+    out.class_index.insert(out.class_index.end(), one.class_index.begin(),
+                           one.class_index.end());
+  }
+
+  // Cross pass: each cross_tenant class draws its member *local ids* once
+  // and occupies that slot in every tenant -- the same logical client in
+  // all of them. Explicit node lists are honored; count/fraction members
+  // come from one shuffle of the local ids shared by all cross classes.
+  std::vector<NodeId> pool;
+  pool.reserve(static_cast<std::size_t>(n_per_tenant));
+  for (NodeId local = 0; local < n_per_tenant; ++local) pool.push_back(local);
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(cross_rng.next_below(i));
+    std::swap(pool[i - 1], pool[j]);
+  }
+  std::size_t next = 0;
+  auto stamp = [&](NodeId local, int cls_index) {
+    KLEX_REQUIRE(local >= 0 && local < n_per_tenant, "cross-tenant node ",
+                 local, " outside 0..n_per_tenant-1");
+    const BehaviorClass& cls =
+        spec.classes[static_cast<std::size_t>(cls_index)];
+    for (int t = 0; t < tenants; ++t) {
+      std::size_t idx = static_cast<std::size_t>(t) *
+                            static_cast<std::size_t>(n_per_tenant) +
+                        static_cast<std::size_t>(local);
+      out.class_index[idx] = cls_index;
+      out.behaviors[idx] = cls.behavior;
+    }
+  };
+  for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+    const BehaviorClass& cls = spec.classes[c];
+    if (!cls.cross_tenant) continue;
+    if (!cls.nodes.empty()) {
+      for (NodeId local : cls.nodes) stamp(local, static_cast<int>(c));
+      continue;
+    }
+    int want = cls.size_for(n_per_tenant);
+    KLEX_REQUIRE(static_cast<std::size_t>(want) <= pool.size() - next,
+                 "cross-tenant classes oversubscribe the ", n_per_tenant,
+                 " local ids: class '", cls.name, "' wants ", want,
+                 " but only ", pool.size() - next, " remain");
+    for (int taken = 0; taken < want; ++taken) {
+      stamp(pool[next++], static_cast<int>(c));
     }
   }
   return out;

@@ -75,6 +75,11 @@ struct BehaviorClass {
   int count = -1;             // explicit size (wins over fraction)
   double fraction = 0.0;      // rounded share of n
   NodeBehavior behavior;
+  /// Multi-tenant fleets only (materialize_fleet): members are drawn once
+  /// and placed at the *same tenant-local ids in every tenant* -- one
+  /// logical application holding sessions (and leases) across all
+  /// tenants. Ignored by plain materialize().
+  bool cross_tenant = false;
 
   /// The (k,ℓ)-liveness set I: members reserve `units` once and camp in
   /// their critical section forever.
@@ -84,6 +89,10 @@ struct BehaviorClass {
   /// One-shot / budgeted requesters (Figure 2 style).
   static BehaviorClass budgeted(std::string name, int count, int units,
                                 std::int64_t budget);
+  /// Cross-tenant sessions for fleets: `count` logical clients, each
+  /// present at the same local id in every tenant, requesting `units`.
+  static BehaviorClass cross_tenant_sessions(std::string name, int count,
+                                             int units);
 
   /// Resolved member count for a system of n nodes.
   int size_for(int n) const;
@@ -110,6 +119,20 @@ struct MaterializedWorkload {
 /// seed and independent of class order only up to the listed priority).
 MaterializedWorkload materialize(const WorkloadSpec& spec, int n,
                                  support::Rng& rng);
+
+/// Expands `spec` over a homogeneous fleet of `tenants` instances of
+/// `n_per_tenant` nodes each, returning one global workload (behaviors
+/// indexed by engine id = tenant * n_per_tenant + local id). Non-cross
+/// classes materialize independently per tenant from tenant_rngs[t]
+/// (identical to the standalone materialization with that rng -- the
+/// fleet differential anchor); cross_tenant classes then draw their
+/// member *local ids* once from `cross_rng` and overwrite the same slot
+/// in every tenant, modelling one application spanning the fleet.
+/// tenant_rngs.size() must equal `tenants`.
+MaterializedWorkload materialize_fleet(const WorkloadSpec& spec, int tenants,
+                                       int n_per_tenant,
+                                       std::vector<support::Rng>& tenant_rngs,
+                                       support::Rng& cross_rng);
 
 /// The surface a protocol harness exposes to the application layer.
 /// This is the internal SPI: it transcribes the paper's interface

@@ -89,6 +89,8 @@ void Engine::connect(NodeId from, int from_channel, NodeId to,
 void Engine::configure_lanes(const std::vector<int>& node_lane,
                              int lane_count) {
   KLEX_REQUIRE(!started_, "cannot repartition a started engine");
+  KLEX_REQUIRE(!streams_explicit_,
+               "configure lanes before streams (streams nest inside lanes)");
   KLEX_REQUIRE(lane_count >= 1 && lane_count <= kMaxLanes,
                "lane count must be in [1, ", kMaxLanes, "]");
   KLEX_REQUIRE(static_cast<int>(node_lane.size()) == process_count(),
@@ -118,6 +120,52 @@ void Engine::configure_lanes(const std::vector<int>& node_lane,
     dc.src_lane = lane_of(dc.info.from);
     dc.dst_lane = lane_of(dc.info.to);
   }
+}
+
+void Engine::configure_streams(const std::vector<int>& node_stream,
+                               const std::vector<std::uint64_t>& stream_seeds) {
+  KLEX_REQUIRE(!started_, "cannot re-stream a started engine");
+  KLEX_REQUIRE(!streams_explicit_, "configure_streams runs once");
+  KLEX_REQUIRE(!stream_seeds.empty(), "need at least one stream");
+  KLEX_REQUIRE(static_cast<int>(node_stream.size()) == process_count(),
+               "one stream per node required");
+  for (const Lane& lane : lanes_) {
+    KLEX_REQUIRE(lane.queue.empty(), "cannot re-stream with pending events");
+  }
+
+  const int count = static_cast<int>(stream_seeds.size());
+  streams_.clear();
+  streams_.reserve(stream_seeds.size());
+  for (std::uint64_t seed : stream_seeds) {
+    streams_.emplace_back(support::Rng(seed));
+  }
+  node_stream_.assign(node_stream.begin(), node_stream.end());
+
+  // Every stream nests inside exactly one lane: that lane's thread is the
+  // single writer of the stream's rng, seq counter and census cells.
+  std::vector<std::int32_t> home(stream_seeds.size(), -1);
+  for (NodeId v = 0; v < process_count(); ++v) {
+    std::int32_t s = node_stream_[static_cast<std::size_t>(v)];
+    KLEX_REQUIRE(s >= 0 && s < count, "stream out of range for node ", v);
+    std::int32_t lane = static_cast<std::int32_t>(lane_of(v));
+    if (home[static_cast<std::size_t>(s)] == -1) {
+      home[static_cast<std::size_t>(s)] = lane;
+    }
+    KLEX_REQUIRE(home[static_cast<std::size_t>(s)] == lane,
+                 "stream ", s, " spans lanes (streams must nest in a lane)");
+  }
+  for (std::size_t s = 0; s < streams_.size(); ++s) {
+    streams_[s].home_lane = home[s] == -1 ? 0 : home[s];
+  }
+
+  for (DirectedChannel& dc : channels_) {
+    std::int32_t src = node_stream_[static_cast<std::size_t>(dc.info.from)];
+    std::int32_t dst = node_stream_[static_cast<std::size_t>(dc.info.to)];
+    KLEX_REQUIRE(src == dst, "channel ", dc.info.from, "->", dc.info.to,
+                 " crosses streams (tenants must be channel-independent)");
+    dc.stream = src;
+  }
+  streams_explicit_ = true;
 }
 
 Process& Engine::process(NodeId id) {
@@ -157,8 +205,17 @@ void Engine::boot() {
   started_ = true;
   size_ring_windows();
   for (auto& process : processes_) {
+    // Fleet mode: any participant delta fired from on_start must land in
+    // the node's own stream cell (boot runs outside event execution, so
+    // the TLS stream would otherwise stay 0). Default engines skip this
+    // -- their deltas aggregate over lanes and boot runs on lane 0.
+    if (streams_explicit_) {
+      detail::t_current_stream =
+          node_stream_[static_cast<std::size_t>(process->id())];
+    }
     process->on_start();
   }
+  if (streams_explicit_) detail::t_current_stream = 0;
 }
 
 int Engine::channel_index_of(NodeId from, int from_channel) const {
@@ -174,20 +231,36 @@ int Engine::channel_index_of(NodeId from, int from_channel) const {
 void Engine::schedule_delivery(int channel_index, const Message& msg) {
   DirectedChannel& dc = channels_[static_cast<std::size_t>(channel_index)];
   Lane& src = lanes_[static_cast<std::size_t>(dc.src_lane)];
-  SimTime delay =
-      delays_.min_delay +
-      static_cast<SimTime>(src.rng.next_below(
-          delays_.max_delay - delays_.min_delay + 1));
+  SimTime delay;
+  std::uint64_t seq;
+  if (streams_explicit_) {
+    // Stream sequencing: the channel's stream draws the delay and stripes
+    // the seq, so a tenant's sub-trajectory is independent of every other
+    // tenant sharing the engine.
+    Stream& stream = streams_[static_cast<std::size_t>(dc.stream)];
+    delay = delays_.min_delay +
+            static_cast<SimTime>(stream.rng.next_below(
+                delays_.max_delay - delays_.min_delay + 1));
+    seq = stream.next_seq++ * streams_.size() +
+          static_cast<std::uint64_t>(dc.stream);
+    ++stream.in_flight_by_type[type_bucket(msg.type)];
+    ++src.in_flight;
+  } else {
+    delay = delays_.min_delay +
+            static_cast<SimTime>(src.rng.next_below(
+                delays_.max_delay - delays_.min_delay + 1));
+    seq = src.next_seq++ * lanes_.size() +
+          static_cast<std::uint64_t>(dc.src_lane);
+    ++src.in_flight;
+    ++src.in_flight_by_type[type_bucket(msg.type)];
+  }
   // FIFO: the delivery may not overtake earlier traffic on this channel.
   SimTime deliver_at = std::max(src.now + delay, dc.last_scheduled);
   dc.last_scheduled = deliver_at;
-  ++src.in_flight;
-  ++src.in_flight_by_type[type_bucket(msg.type)];
 
   Event event;
   event.at = deliver_at;
-  event.seq = src.next_seq++ * lanes_.size() +
-              static_cast<std::uint64_t>(dc.src_lane);
+  event.seq = seq;
   event.kind = EventKind::kDelivery;
   event.target = channel_index;
   event.payload = dc.epoch;
@@ -205,11 +278,16 @@ void Engine::schedule_delivery(int channel_index, const Message& msg) {
 
 void Engine::send_from(NodeId from, int channel, const Message& msg) {
   int index = channel_index_of(from, channel);
-  Lane& src = lanes_[static_cast<std::size_t>(
-      channels_[static_cast<std::size_t>(index)].src_lane)];
+  const DirectedChannel& dc = channels_[static_cast<std::size_t>(index)];
+  Lane& src = lanes_[static_cast<std::size_t>(dc.src_lane)];
   schedule_delivery(index, msg);
   ++src.messages_sent;
-  ++src.sent_by_type[type_bucket(msg.type)];
+  if (streams_explicit_) {
+    ++streams_[static_cast<std::size_t>(dc.stream)]
+          .sent_by_type[type_bucket(msg.type)];
+  } else {
+    ++src.sent_by_type[type_bucket(msg.type)];
+  }
   if (!observers_.empty()) notify_send(from, channel, msg);
 }
 
@@ -238,8 +316,15 @@ void Engine::set_timer_for(NodeId node, int timer_id, SimTime delay) {
   Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
   Event event;
   event.at = lane.now + delay;
-  event.seq = lane.next_seq++ * lanes_.size() +
-              static_cast<std::uint64_t>(lane_index);
+  if (streams_explicit_) {
+    std::int32_t s = node_stream_[static_cast<std::size_t>(node)];
+    event.seq = streams_[static_cast<std::size_t>(s)].next_seq++ *
+                    streams_.size() +
+                static_cast<std::uint64_t>(s);
+  } else {
+    event.seq = lane.next_seq++ * lanes_.size() +
+                static_cast<std::uint64_t>(lane_index);
+  }
   event.kind = EventKind::kTimer;
   event.target = node;
   event.timer_id = static_cast<std::uint8_t>(timer_id);
@@ -257,6 +342,29 @@ void Engine::cancel_timer_for(NodeId node, int timer_id) {
 
 void Engine::schedule(SimTime delay, std::function<void()> fn) {
   int lane_index = detail::t_current_lane;
+  // Inside an event handler the executing stream is ambient (dispatch
+  // maintains it); without explicit streams the stream slot is the lane.
+  int stream = streams_explicit_ ? detail::t_current_stream : lane_index;
+  schedule_callback(stream, lane_index, delay, std::move(fn));
+}
+
+void Engine::schedule_in_stream(int stream, SimTime delay,
+                                std::function<void()> fn) {
+  if (!streams_explicit_) {
+    // The default engine sequences per lane; the caller's stream hint is
+    // the lane hint it would have gotten ambiently anyway.
+    schedule(delay, std::move(fn));
+    return;
+  }
+  KLEX_REQUIRE(stream >= 0 && stream < static_cast<int>(streams_.size()),
+               "bad stream ", stream);
+  schedule_callback(stream,
+                    streams_[static_cast<std::size_t>(stream)].home_lane,
+                    delay, std::move(fn));
+}
+
+void Engine::schedule_callback(int stream, int lane_index, SimTime delay,
+                               std::function<void()> fn) {
   Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
   std::uint32_t slot;
   if (!lane.callback_free_slots.empty()) {
@@ -271,8 +379,14 @@ void Engine::schedule(SimTime delay, std::function<void()> fn) {
 
   Event event;
   event.at = lane.now + delay;
-  event.seq = lane.next_seq++ * lanes_.size() +
-              static_cast<std::uint64_t>(lane_index);
+  if (streams_explicit_) {
+    event.seq = streams_[static_cast<std::size_t>(stream)].next_seq++ *
+                    streams_.size() +
+                static_cast<std::uint64_t>(stream);
+  } else {
+    event.seq = lane.next_seq++ * lanes_.size() +
+                static_cast<std::uint64_t>(lane_index);
+  }
   event.kind = EventKind::kCallback;
   event.payload = slot;
   lane.queue.push(event);
@@ -306,6 +420,31 @@ void Engine::clear_channels() {
   for (Lane& lane : lanes_) {
     lane.in_flight = 0;
     lane.in_flight_by_type.fill(0);
+  }
+  for (Stream& stream : streams_) {
+    stream.in_flight_by_type.fill(0);
+  }
+}
+
+void Engine::clear_channel_range(int begin, int end) {
+  KLEX_REQUIRE(streams_explicit_,
+               "clear_channel_range needs explicit streams (per-tenant "
+               "counter decrements route through the channel's stream)");
+  KLEX_REQUIRE(begin >= 0 && begin <= end && end <= channel_count(),
+               "bad channel range [", begin, ", ", end, ")");
+  for (int i = begin; i < end; ++i) {
+    DirectedChannel& dc = channels_[static_cast<std::size_t>(i)];
+    Stream& stream = streams_[static_cast<std::size_t>(dc.stream)];
+    Lane& src = lanes_[static_cast<std::size_t>(dc.src_lane)];
+    // Per-message decrements instead of clear_channels' reset-to-zero:
+    // other tenants' in-flight counts must survive untouched.
+    dc.in_flight.for_each([&](const Message& msg) {
+      --stream.in_flight_by_type[type_bucket(msg.type)];
+      --src.in_flight;
+    });
+    dc.in_flight.clear();
+    ++dc.epoch;
+    dc.last_scheduled = 0;
   }
 }
 
@@ -394,7 +533,15 @@ void Engine::dispatch(Lane& lane, const Event& event) {
       // (delivery times per channel are monotone, ties keep send order).
       Message msg = dc.in_flight.front();
       dc.in_flight.pop_front();
-      --lane.in_flight_by_type[type_bucket(msg.type)];
+      if (streams_explicit_) {
+        // The stream cell is exact (same cell as the increment); it is
+        // also same-thread, because streams nest inside lanes and
+        // channels never cross streams.
+        --streams_[static_cast<std::size_t>(dc.stream)]
+              .in_flight_by_type[type_bucket(msg.type)];
+      } else {
+        --lane.in_flight_by_type[type_bucket(msg.type)];
+      }
       --lane.in_flight;
       ++lane.messages_delivered;
       NodeId to = dc.info.to;
@@ -441,6 +588,19 @@ void Engine::execute(Lane& lane, int lane_index, const Event& event) {
     }
   }
   ++lane.events_executed;
+  if (streams_explicit_) {
+    // seq striping makes the executing stream recoverable from any event:
+    // seq = stream_seq * stream_count + stream.
+    int stream = static_cast<int>(event.seq % streams_.size());
+    ++streams_[static_cast<std::size_t>(stream)].events_executed;
+    last_stream_ = stream;
+    detail::t_current_stream = stream;
+    detail::t_current_lane = lane_index;
+    dispatch(lane, event);
+    detail::t_current_lane = 0;
+    detail::t_current_stream = 0;
+    return;
+  }
   if (lanes_.size() > 1) {
     detail::t_current_lane = lane_index;
     dispatch(lane, event);
@@ -547,6 +707,7 @@ void Engine::begin_window(SimTime start) {
 void Engine::run_lane_window(int lane_index, SimTime t) {
   Lane& lane = lanes_[static_cast<std::size_t>(lane_index)];
   detail::t_current_lane = lane_index;
+  const bool streams = streams_explicit_;
   Event event;
   while (lane.queue.pop_min_until(t, &event)) {
     if (event.at != lane.now) {
@@ -554,9 +715,19 @@ void Engine::run_lane_window(int lane_index, SimTime t) {
       lane.queue.advance_to(event.at);
     }
     ++lane.events_executed;
+    if (streams) {
+      // Safe concurrently: this lane's events only carry streams homed on
+      // this lane (streams nest in lanes), so the stream cell and the TLS
+      // slot are single-writer. last_stream_ is deliberately not updated
+      // here -- it serves the merged-serial stabilization loop only.
+      int stream = static_cast<int>(event.seq % streams_.size());
+      ++streams_[static_cast<std::size_t>(stream)].events_executed;
+      detail::t_current_stream = stream;
+    }
     dispatch(lane, event);
   }
   detail::t_current_lane = 0;
+  detail::t_current_stream = 0;
 }
 
 void Engine::end_window() {

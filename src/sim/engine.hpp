@@ -36,6 +36,19 @@
 //     another lane sent) but their mod-2^64 sums are exact, and they are
 //     only summed between windows;
 //   * channel epochs and clear_channels() are barrier-only operations.
+//
+// Streams (multi-tenant fleets). configure_streams() overlays an
+// independent *sequencing* axis on top of the lanes: each stream owns its
+// own rng, seq counter and per-type census cells, seeded independently of
+// the engine seed. The fleet layer (api/fleet.hpp) maps one protocol
+// instance ("tenant") to one stream, so a tenant's delay draws and its
+// (at, seq) sub-order are byte-identical to a standalone engine running
+// that tenant alone with the stream's seed -- whatever the other tenants
+// do. Streams must nest inside lanes (every node of a stream on one lane,
+// channels never crossing streams), which preserves the single-writer
+// contract above verbatim. Engines that never call configure_streams()
+// take none of these paths: the default mode is the pre-stream engine,
+// bit for bit.
 #pragma once
 
 #include <array>
@@ -63,7 +76,32 @@ namespace detail {
 // Engine::current_lane() inlines to a single TLS load on the per-delta
 // census path.
 inline thread_local int t_current_lane = 0;
+// Stream (tenant) of the event executing on this thread. Only maintained
+// by engines with explicit streams (configure_streams); 0 everywhere
+// else. Same inlining rationale as t_current_lane: the tenant-axis
+// census routes every participant delta through Engine::current_stream().
+inline thread_local int t_current_stream = 0;
 }  // namespace detail
+
+/// Routes *out-of-event* work to one stream's census cells. Management-
+/// plane operations that mutate processes outside event execution --
+/// fault injection, epoch-cut drains, client-driven releases -- fire
+/// participant deltas that the tenant-axis census attributes to
+/// Engine::current_stream(); wrapping the operation in a ScopedStream
+/// makes that attribution explicit instead of defaulting to stream 0.
+/// Meaningless (but harmless) for engines without explicit streams.
+class ScopedStream {
+ public:
+  explicit ScopedStream(int stream) : saved_(detail::t_current_stream) {
+    detail::t_current_stream = stream;
+  }
+  ~ScopedStream() { detail::t_current_stream = saved_; }
+  ScopedStream(const ScopedStream&) = delete;
+  ScopedStream& operator=(const ScopedStream&) = delete;
+
+ private:
+  int saved_;
+};
 
 /// Base class for a simulated process (one per tree node).
 ///
@@ -225,6 +263,45 @@ class Engine {
   /// cells stay tiny; the partitioners clamp to it).
   static constexpr int kMaxLanes = 16;
 
+  // -- streams (multi-tenant sequencing; see the file comment) ---------------
+
+  /// Overlays explicit streams on the engine: node v belongs to stream
+  /// `node_stream[v]`, and stream s draws delays from its own
+  /// Rng(stream_seeds[s]) and stripes its event seqs as
+  /// `stream_seq * stream_count + s`. Must be called after wiring (and
+  /// after configure_lanes, if any) and before start(). Every stream must
+  /// nest inside one lane and no channel may cross streams -- that is what
+  /// keeps stream state single-writer and tenants causally independent.
+  void configure_streams(const std::vector<int>& node_stream,
+                         const std::vector<std::uint64_t>& stream_seeds);
+
+  /// Number of explicit streams (lane_count() when none were configured:
+  /// the default engine sequences per lane).
+  int stream_count() const {
+    return streams_explicit_ ? static_cast<int>(streams_.size())
+                             : lane_count();
+  }
+
+  bool has_explicit_streams() const { return streams_explicit_; }
+
+  /// Stream of `node` (the node's lane for engines without explicit
+  /// streams).
+  int stream_of(NodeId node) const {
+    return streams_explicit_ ? node_stream_[static_cast<std::size_t>(node)]
+                             : lane_of(node);
+  }
+
+  /// Stream of the event executing on the calling thread (0 unless the
+  /// engine has explicit streams). The tenant-axis census routes its
+  /// per-tenant accumulators through this on every participant delta, so
+  /// the read must inline (one TLS load, no cross-TU call).
+  static int current_stream() { return detail::t_current_stream; }
+
+  /// Stream of the most recently executed merged-serial event (0 before
+  /// any). Lets a fleet's stabilization loop re-check only the tenant the
+  /// last event could have perturbed instead of scanning all R tenants.
+  int last_stream() const { return last_stream_; }
+
   // -- execution ------------------------------------------------------------
 
   /// Calls on_start() on every process (once); implicit in the run methods.
@@ -319,6 +396,14 @@ class Engine {
   /// workloads / applications to model request arrivals and CS completion).
   void schedule(SimTime delay, std::function<void()> fn);
 
+  /// schedule() with an explicit sequencing stream, for callers outside
+  /// any event context (a workload driver arming a tenant's first think
+  /// timer from the main thread). Engines without explicit streams ignore
+  /// `stream` and behave exactly like schedule(); with streams, the
+  /// callback is sequenced in `stream` and queued on its home lane.
+  void schedule_in_stream(int stream, SimTime delay,
+                          std::function<void()> fn);
+
   // -- fault injection / census ----------------------------------------------
 
   /// Appends `msg` to the channel (`from`,`from_channel`) as if it had been
@@ -328,6 +413,17 @@ class Engine {
   /// Drops every in-flight message from all channels (part of "transient
   /// fault" injection before re-seeding channels with garbage).
   void clear_channels();
+
+  /// Drops the in-flight content of channels_[begin, end) only -- the
+  /// per-tenant half of clear_channels(). The fleet layer keeps each
+  /// tenant's channels contiguous, so a single-tenant epoch cut clears
+  /// O(tenant) channels and decrements exactly that tenant's per-type
+  /// counters; other tenants' traffic, clamps and counters are untouched.
+  /// Requires explicit streams (the per-message decrement needs the
+  /// channel's stream cell).
+  void clear_channel_range(int begin, int end);
+
+  int channel_count() const { return static_cast<int>(channels_.size()); }
 
   /// Invokes `fn(info, msg)` for every in-flight message, in channel order
   /// then FIFO order. Statically dispatched (no std::function / virtual
@@ -350,8 +446,22 @@ class Engine {
   std::uint64_t in_flight_of_type(std::int32_t type) const {
     std::size_t b = type_bucket(type);
     std::uint64_t total = 0;
-    for (const Lane& lane : lanes_) total += lane.in_flight_by_type[b];
+    if (streams_explicit_) {
+      for (const Stream& s : streams_) total += s.in_flight_by_type[b];
+    } else {
+      for (const Lane& lane : lanes_) total += lane.in_flight_by_type[b];
+    }
     return total;
+  }
+
+  /// in_flight_of_type restricted to one stream. Exact per stream (not
+  /// merely sum-exact): with explicit streams the increment, the delivery
+  /// decrement and the range-clear decrement all land in the channel's
+  /// stream cell, so a tenant's census reads one cell in O(1) without
+  /// scanning the other tenants. Requires explicit streams.
+  std::uint64_t in_flight_of_type_in(int stream, std::int32_t type) const {
+    return streams_[static_cast<std::size_t>(stream)]
+        .in_flight_by_type[type_bucket(type)];
   }
 
   /// Per-type counters are exact for types in [0, kTrackedMessageTypes).
@@ -365,8 +475,25 @@ class Engine {
   std::uint64_t sent_of_type(std::int32_t type) const {
     std::size_t b = type_bucket(type);
     std::uint64_t total = 0;
-    for (const Lane& lane : lanes_) total += lane.sent_by_type[b];
+    if (streams_explicit_) {
+      for (const Stream& s : streams_) total += s.sent_by_type[b];
+    } else {
+      for (const Lane& lane : lanes_) total += lane.sent_by_type[b];
+    }
     return total;
+  }
+
+  /// sent_of_type restricted to one stream (per-tenant message-overhead
+  /// accounting). Requires explicit streams.
+  std::uint64_t sent_of_type_in(int stream, std::int32_t type) const {
+    return streams_[static_cast<std::size_t>(stream)]
+        .sent_by_type[type_bucket(type)];
+  }
+
+  /// Events executed on behalf of one stream (per-tenant recovery-cost
+  /// accounting). Requires explicit streams.
+  std::uint64_t events_executed_in(int stream) const {
+    return streams_[static_cast<std::size_t>(stream)].events_executed;
   }
 
   /// Per-channel in-flight count for (from, from_channel).
@@ -393,6 +520,9 @@ class Engine {
     // and pushes the ring; the destination lane pops it at delivery.
     std::int32_t src_lane = 0;
     std::int32_t dst_lane = 0;
+    // Sequencing stream (== src stream == dst stream: channels may not
+    // cross streams). 0 until configure_streams, unused before it.
+    std::int32_t stream = 0;
     MessageRing in_flight;
   };
 
@@ -433,6 +563,20 @@ class Engine {
     std::vector<Outbound> outbox;
   };
 
+  /// One explicit stream (tenant): its own rng, seq counter and per-type
+  /// census cells. Single writer: all of a stream's nodes live on one
+  /// lane, so only that lane's thread ever touches the stream.
+  struct Stream {
+    explicit Stream(support::Rng stream_rng) : rng(stream_rng) {}
+
+    support::Rng rng;
+    std::uint64_t next_seq = 0;
+    std::uint64_t events_executed = 0;
+    std::int32_t home_lane = 0;
+    std::array<std::uint64_t, kTrackedMessageTypes> in_flight_by_type{};
+    std::array<std::uint64_t, kTrackedMessageTypes> sent_by_type{};
+  };
+
   static std::size_t type_bucket(std::int32_t type) {
     // Types outside [0, kTrackedMessageTypes) alias the junk bucket 0;
     // protocol types live in 1..4, so they are always exact. The cast
@@ -451,6 +595,8 @@ class Engine {
   bool pop_next(SimTime t, Event* out, int* lane_out);
   void push_event(Event event, int seq_lane, int queue_lane);
   void schedule_delivery(int channel_index, const Message& msg);
+  void schedule_callback(int stream, int lane_index, SimTime delay,
+                         std::function<void()> fn);
   // Observer fan-out, out of line: the hot send/deliver paths only test
   // observers_.empty(), so unmonitored runs pay no indirect call (and no
   // loop setup) per event.
@@ -466,6 +612,12 @@ class Engine {
 
   std::vector<Lane> lanes_;        // >= 1; lanes_[0] is the serial lane
   std::vector<std::int32_t> node_lane_;  // empty until configure_lanes
+
+  // Explicit streams (empty / false until configure_streams).
+  bool streams_explicit_ = false;
+  std::vector<Stream> streams_;
+  std::vector<std::int32_t> node_stream_;
+  int last_stream_ = 0;
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<DirectedChannel> channels_;

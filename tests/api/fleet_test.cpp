@@ -1,0 +1,347 @@
+// FleetSystem unit tests: tenant geometry, per-tenant census and fault
+// isolation, per-tenant epoch-cut recovery, client sessions spanning
+// tenants (including topology-churn isolation), the cross-tenant
+// workload class, and the per-reason deny counters.
+//
+// The trace-level standalone-equivalence claims live in
+// tests/integration/fleet_differential_test.cpp; this file covers the
+// fleet surface itself.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/builder.hpp"
+#include "api/fleet.hpp"
+#include "support/rng.hpp"
+#include "tree/tree.hpp"
+
+namespace klex {
+namespace {
+
+FleetConfig heterogeneous_config() {
+  FleetConfig config;
+  config.tenants.push_back({tree::line(4), 1, 2, proto::Features::full()});
+  config.tenants.push_back({tree::balanced(2, 2), 2, 4,
+                            proto::Features::full()});
+  config.tenants.push_back({tree::star(5), 1, 3, proto::Features::full()});
+  config.seed = 321;
+  return config;
+}
+
+TEST(FleetSystemTest, GeometryMapsTenantsToContiguousRanges) {
+  FleetSystem fleet(heterogeneous_config());
+
+  ASSERT_EQ(fleet.tenant_count(), 3);
+  EXPECT_EQ(fleet.tenant_n(0), 4);
+  EXPECT_EQ(fleet.tenant_n(1), 7);
+  EXPECT_EQ(fleet.tenant_n(2), 5);
+  EXPECT_EQ(fleet.n(), 16);
+
+  EXPECT_EQ(fleet.node_begin(0), 0);
+  EXPECT_EQ(fleet.node_end(0), 4);
+  EXPECT_EQ(fleet.node_begin(1), 4);
+  EXPECT_EQ(fleet.node_end(1), 11);
+  EXPECT_EQ(fleet.node_begin(2), 11);
+  EXPECT_EQ(fleet.node_end(2), 16);
+
+  for (int t = 0; t < fleet.tenant_count(); ++t) {
+    for (NodeId local = 0; local < fleet.tenant_n(t); ++local) {
+      NodeId global = fleet.global_id(t, local);
+      EXPECT_EQ(fleet.tenant_of(global), t);
+      EXPECT_EQ(fleet.local_id(global), local);
+    }
+  }
+
+  // Per-tenant params carry each tenant's own k/ℓ; the fleet-wide
+  // RequestPort k is the max (validation is re-done per tenant).
+  EXPECT_EQ(fleet.tenant_params(0).k, 1);
+  EXPECT_EQ(fleet.tenant_params(1).k, 2);
+  EXPECT_EQ(fleet.tenant_params(1).l, 4);
+  EXPECT_EQ(fleet.k(), 2);
+  EXPECT_EQ(fleet.l(), 2 + 4 + 3);
+
+  // Serial fleet: everyone on lane 0.
+  EXPECT_EQ(fleet.threads(), 1);
+  for (int t = 0; t < fleet.tenant_count(); ++t) {
+    EXPECT_EQ(fleet.tenant_lane(t), 0);
+  }
+
+  // Clients are stamped with their tenant at pool creation.
+  ClientPool& pool = fleet.clients();
+  for (int t = 0; t < fleet.tenant_count(); ++t) {
+    for (NodeId local = 0; local < fleet.tenant_n(t); ++local) {
+      EXPECT_EQ(pool.at(fleet.global_id(t, local)).tenant(), t);
+    }
+  }
+}
+
+TEST(FleetSystemTest, LanePartitionIsTenantContiguousAndBalanced) {
+  FleetConfig config;
+  for (int t = 0; t < 6; ++t) {
+    config.tenants.push_back({tree::line(4), 1, 2, proto::Features::full()});
+  }
+  config.threads = 3;
+  FleetSystem fleet(config);
+
+  EXPECT_EQ(fleet.threads(), 3);
+  int last_lane = 0;
+  for (int t = 0; t < fleet.tenant_count(); ++t) {
+    int lane = fleet.tenant_lane(t);
+    EXPECT_GE(lane, last_lane) << "lanes must be tenant-contiguous";
+    EXPECT_LT(lane, 3);
+    last_lane = lane;
+  }
+  // 6 equal tenants over 3 lanes: 2 tenants per lane.
+  EXPECT_EQ(fleet.tenant_lane(1), 0);
+  EXPECT_EQ(fleet.tenant_lane(2), 1);
+  EXPECT_EQ(fleet.tenant_lane(5), 2);
+}
+
+TEST(FleetSystemTest, SingleTenantFaultLeavesOtherTenantsCorrect) {
+  FleetConfig config;
+  for (int t = 0; t < 4; ++t) {
+    config.tenants.push_back({tree::line(6), 1, 2, proto::Features::full()});
+  }
+  config.seed = 99;
+  FleetSystem fleet(config);
+
+  ASSERT_NE(fleet.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_TRUE(fleet.tenant_correct(t)) << "tenant " << t;
+  }
+
+  support::Rng fault(2024);
+  fleet.inject_transient_fault_tenant(2, fault);
+
+  // The O(1) per-tenant census notices the corruption immediately -- and
+  // only in the faulted tenant.
+  EXPECT_FALSE(fleet.tenant_correct(2));
+  for (int t : {0, 1, 3}) {
+    EXPECT_TRUE(fleet.tenant_correct(t)) << "tenant " << t;
+  }
+  EXPECT_FALSE(fleet.token_counts_correct());
+
+  // Self-stabilization recovers the faulted tenant; nobody ran an
+  // epoch-cut drain.
+  ASSERT_NE(fleet.run_until_stabilized(8'000'000), sim::kTimeInfinity);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_TRUE(fleet.tenant_correct(t)) << "tenant " << t;
+    EXPECT_NE(fleet.tenant_stabilized_at(t), sim::kTimeInfinity);
+    EXPECT_EQ(fleet.tenant_recovery_events(t), 0) << "tenant " << t;
+  }
+}
+
+TEST(FleetSystemTest, EpochCutRecoversExactlyTheFaultedTenant) {
+  FleetConfig config;
+  for (int t = 0; t < 3; ++t) {
+    config.tenants.push_back(
+        {tree::line(6), 1, 2, proto::Features::full().with_epoch_cut()});
+  }
+  config.seed = 7;
+  FleetSystem fleet(config);
+
+  ASSERT_NE(fleet.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+
+  // Legitimate tenant: the drain refuses (no-op, false).
+  EXPECT_FALSE(fleet.epoch_cut_recover_tenant(1));
+  EXPECT_EQ(fleet.tenant_recovery_events(1), 0);
+
+  support::Rng fault(11);
+  fleet.inject_transient_fault_tenant(1, fault);
+  ASSERT_FALSE(fleet.tenant_correct(1));
+
+  EXPECT_TRUE(fleet.epoch_cut_recover_tenant(1));
+  EXPECT_EQ(fleet.tenant_recovery_events(1), 1);
+  EXPECT_EQ(fleet.tenant_recovery_events(0), 0);
+  EXPECT_EQ(fleet.tenant_recovery_events(2), 0);
+
+  // The drain re-boots the tenant; it restabilizes, others untouched.
+  ASSERT_NE(fleet.run_until_stabilized(8'000'000), sim::kTimeInfinity);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_TRUE(fleet.tenant_correct(t)) << "tenant " << t;
+  }
+
+  // The fleet-wide epoch_cut_recover only drains illegitimate tenants:
+  // with everyone legitimate it is a no-op.
+  EXPECT_FALSE(fleet.epoch_cut_recover());
+  EXPECT_EQ(fleet.tenant_recovery_events(1), 1);
+}
+
+TEST(FleetSystemTest, ChurnInOneTenantDoesNotRevokeLeasesInAnother) {
+  // One logical application holding leases in two tenants through the
+  // same local id: taking its tenant-0 node unreachable (topology churn)
+  // must revoke exactly the tenant-0 lease and leave the tenant-1
+  // session untouched.
+  FleetConfig config;
+  config.tenants.push_back({tree::line(4), 1, 2, proto::Features::full()});
+  config.tenants.push_back({tree::line(4), 1, 2, proto::Features::full()});
+  config.seed = 5150;
+  FleetSystem fleet(config);
+  ASSERT_NE(fleet.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+
+  const NodeId local = 2;
+  const NodeId in_a = fleet.global_id(0, local);
+  const NodeId in_b = fleet.global_id(1, local);
+  ClientPool& pool = fleet.clients();
+
+  std::vector<Lease> held;
+  int revoked_a = 0;
+  int revoked_b = 0;
+  pool.at(in_a).on_granted([&](Lease lease) {
+    EXPECT_EQ(lease.tenant(), 0);
+    held.push_back(std::move(lease));
+  });
+  pool.at(in_b).on_granted([&](Lease lease) {
+    EXPECT_EQ(lease.tenant(), 1);
+    held.push_back(std::move(lease));
+  });
+  pool.at(in_a).on_revoked([&] { ++revoked_a; });
+  pool.at(in_b).on_revoked([&] { ++revoked_b; });
+
+  pool.at(in_a).acquire(1);
+  pool.at(in_b).acquire(1);
+  fleet.run_until(fleet.engine().now() + 200'000);
+  ASSERT_TRUE(pool.at(in_a).holding());
+  ASSERT_TRUE(pool.at(in_b).holding());
+  ASSERT_EQ(held.size(), 2u);
+
+  // Tenant 0's node churns out.
+  pool.set_reachable(in_a, false);
+  EXPECT_EQ(revoked_a, 1);
+  EXPECT_EQ(revoked_b, 0);
+  EXPECT_FALSE(pool.at(in_a).holding());
+  EXPECT_TRUE(pool.at(in_b).holding());
+
+  // The surviving tenant-1 lease still releases cleanly, and the downed
+  // session denies (kUnreachable) without touching tenant 1.
+  int denied_unreachable = 0;
+  pool.at(in_a).on_denied([&](DenyReason reason) {
+    if (reason == DenyReason::kUnreachable) ++denied_unreachable;
+  });
+  pool.at(in_a).acquire(1);
+  EXPECT_EQ(denied_unreachable, 1);
+  EXPECT_TRUE(pool.at(in_b).holding());
+
+  for (Lease& lease : held) lease.release();  // revoked tenant-0 lease no-ops
+  fleet.run_until(fleet.engine().now() + 100'000);
+  EXPECT_FALSE(pool.at(in_b).holding());
+
+  // Back up: the session re-opens. The protocol still has the node in
+  // its critical section (the revocation was session-side only), so the
+  // session adopts it on resync and can release it cleanly.
+  pool.set_reachable(in_a, true);
+  Lease adopted;
+  pool.at(in_a).on_unexpected_grant(
+      [&](Lease lease) { adopted = std::move(lease); });
+  pool.at(in_a).resync();
+  ASSERT_TRUE(adopted.active());
+  EXPECT_EQ(adopted.tenant(), 0);
+  adopted.release();
+  fleet.run_until(fleet.engine().now() + 200'000);
+  EXPECT_FALSE(pool.at(in_a).holding());
+  EXPECT_TRUE(fleet.tenant_correct(0));
+  EXPECT_TRUE(fleet.tenant_correct(1));
+}
+
+TEST(FleetSystemTest, CrossTenantClassOccupiesTheSameLocalIdEverywhere) {
+  proto::WorkloadSpec spec;
+  spec.classes.push_back(
+      proto::BehaviorClass::cross_tenant_sessions("span", 3, 1));
+  spec.classes.push_back(proto::BehaviorClass::relays("relays", 0.25));
+
+  SystemBuilder builder;
+  builder.topology(TopologySpec::tree_balanced(2, 3))
+      .kl(1, 2)
+      .seed(31)
+      .fleet(4)
+      .workload(spec);
+  Session session = builder.build_session();
+  auto* fleet = dynamic_cast<FleetSystem*>(session.system.get());
+  ASSERT_NE(fleet, nullptr);
+
+  const int n = fleet->tenant_n(0);
+  const std::vector<int>& cls = session.workload.class_index;
+  ASSERT_EQ(cls.size(), static_cast<std::size_t>(fleet->n()));
+
+  int span_members = 0;
+  for (NodeId local = 0; local < n; ++local) {
+    // Whatever class local id took in tenant 0, the cross-tenant class
+    // (index 0) occupies the same slot in every tenant -- and only it is
+    // forced to agree across tenants.
+    bool is_span = cls[static_cast<std::size_t>(local)] == 0;
+    if (is_span) ++span_members;
+    for (int t = 0; t < fleet->tenant_count(); ++t) {
+      std::size_t idx =
+          static_cast<std::size_t>(fleet->global_id(t, local));
+      if (is_span) {
+        EXPECT_EQ(cls[idx], 0) << "tenant " << t << " local " << local;
+      } else {
+        EXPECT_NE(cls[idx], 0) << "tenant " << t << " local " << local;
+      }
+    }
+  }
+  EXPECT_EQ(span_members, 3);
+}
+
+TEST(FleetSystemTest, RequestValidatesAgainstTheOwningTenantsK) {
+  // Tenant 0 has k = 1, tenant 1 has k = 2; the pool-wide k is 2, so
+  // per-tenant validation is what rejects need = 2 in tenant 0.
+  FleetConfig config;
+  config.tenants.push_back({tree::line(4), 1, 2, proto::Features::full()});
+  config.tenants.push_back({tree::line(4), 2, 4, proto::Features::full()});
+  FleetSystem fleet(config);
+
+  EXPECT_EQ(fleet.clients().k(), 2);
+  EXPECT_THROW(fleet.request(fleet.global_id(0, 1), 2),
+               std::invalid_argument);
+  // In-range requests in both tenants are accepted.
+  fleet.request(fleet.global_id(0, 1), 1);
+  fleet.request(fleet.global_id(1, 1), 2);
+
+  // kClamp coerces instead of throwing.
+  fleet.set_misuse_policy(MisusePolicy::kClamp);
+  fleet.request(fleet.global_id(0, 2), 2);  // clamped to k = 1
+  EXPECT_EQ(fleet.need_of(fleet.global_id(0, 2)), 1);
+}
+
+TEST(FleetSystemTest, DenyCountersLabelEveryReason) {
+  // satellite: to_string(DenyReason) + per-reason counters.
+  for (int r = 0; r < kDenyReasonCount; ++r) {
+    auto reason = static_cast<DenyReason>(r);
+    EXPECT_STREQ(to_string(reason), deny_reason_name(reason));
+    EXPECT_NE(std::string(to_string(reason)), "");
+  }
+
+  // An unreachable node makes the closed loop observe kUnreachable
+  // denials (retried with backoff) -- a deterministic way to exercise
+  // the per-reason tally.
+  proto::WorkloadSpec spec;
+  spec.base.think = proto::Dist::fixed(4);
+  spec.base.cs_duration = proto::Dist::fixed(8);
+  SystemBuilder builder;
+  builder.topology(TopologySpec::tree_line(6)).kl(1, 2).seed(12)
+      .workload(spec);
+  Session session = builder.build_session();
+  session.begin_workload();
+  session.system->run_until(100'000);
+  EXPECT_GT(session.driver->total_grants(), 0);
+  EXPECT_EQ(session.driver->total_denials(), 0);
+
+  session.system->clients().set_reachable(0, false);
+  session.driver->resync();
+  session.system->run_until(300'000);
+
+  EXPECT_GT(session.driver->deny_count(DenyReason::kUnreachable), 0);
+  std::int64_t sum = 0;
+  for (int r = 0; r < kDenyReasonCount; ++r) {
+    sum += session.driver->deny_count(static_cast<DenyReason>(r));
+  }
+  EXPECT_EQ(session.driver->total_denials(), sum);
+}
+
+}  // namespace
+}  // namespace klex

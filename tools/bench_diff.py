@@ -10,10 +10,16 @@ build directory holds the freshly produced ones). For every scenario
 present on both sides the tool compares:
 
   * throughput: per-aggregate-cell total_events_per_sec (keyed by
-    topology, features, k, l, fault_garbage, threads -- "features" names
-    the protocol rung and defaults to "full" for artifacts that predate
-    the rung grid; fault_garbage defaults to -1; threads is the engine's
-    worker-lane count and defaults to 1 for pre-parallel artifacts). A
+    topology, features, k, l, fault_garbage, threads, fleet, fleet_mode
+    -- "features" names the protocol rung and defaults to "full" for
+    artifacts that predate the rung grid; fault_garbage defaults to -1;
+    threads is the engine's worker-lane count and defaults to 1 for
+    pre-parallel artifacts; fleet is the tenant count (default 1) and
+    fleet_mode distinguishes a shared-engine fleet cell from its
+    separate-engines baseline for pre-fleet artifacts and plain cells it
+    is empty). A record missing one of the schema-mandatory keys
+    (topology, k, l, seed) aborts the comparison loudly instead of
+    keying onto a default. A
     baseline n x threads cell missing from the current artifact fails
     like any other dropped cell, so a partition count cannot silently
     vanish from the sweep. A drop of more than
@@ -74,14 +80,30 @@ def load_benches(directory):
 
 
 def cell_key(cell):
-    return (
-        cell["topology"],
-        cell.get("features", "full"),
-        cell["k"],
-        cell["l"],
-        cell.get("fault_garbage", -1),
-        cell.get("threads", 1),
-    )
+    """Identity of one aggregate cell / run. topology, k and l are part of
+    every artifact schema ever written; their absence means the file is not
+    a BENCH artifact (or the schema changed under us), which must fail
+    loudly rather than key every record onto a default.
+    """
+    try:
+        return (
+            cell["topology"],
+            cell.get("features", "full"),
+            cell["k"],
+            cell["l"],
+            cell.get("fault_garbage", -1),
+            cell.get("threads", 1),
+            cell.get("fleet", 1),
+            cell.get("fleet_mode", ""),
+        )
+    except KeyError as err:
+        print(
+            f"error: record is missing required key {err} -- not a BENCH "
+            f"artifact (or its key schema changed); refusing to compare: "
+            f"{json.dumps(cell)[:200]}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
 
 
 def aggregate_cells(data):
@@ -89,7 +111,18 @@ def aggregate_cells(data):
 
 
 def run_cells(data):
-    return {cell_key(run) + (run["seed"],): run for run in data.get("runs", [])}
+    runs = {}
+    for run in data.get("runs", []):
+        if "seed" not in run:
+            print(
+                f"error: run record has no seed -- not a BENCH artifact "
+                f"(or its key schema changed); refusing to compare: "
+                f"{json.dumps(run)[:200]}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        runs[cell_key(run) + (run["seed"],)] = run
+    return runs
 
 
 def fmt_key(key):
@@ -98,8 +131,10 @@ def fmt_key(key):
         base += f" g={key[4]}"
     if key[5] != 1:
         base += f" p={key[5]}"
-    if len(key) == 7:
-        base += f" seed={key[6]}"
+    if key[6] != 1:
+        base += f" R={key[6]}({key[7] or 'shared'})"
+    if len(key) == 9:
+        base += f" seed={key[8]}"
     return base
 
 

@@ -45,6 +45,14 @@ void Session::apply_planned_fault(support::Rng& rng) {
     case FaultKind::kGarbageFlood:
       system->flood_channels(rng, fault_garbage);
       break;
+    case FaultKind::kLinkChurn:
+    case FaultKind::kNodeCrash:
+    case FaultKind::kChaosBurst:
+      // Timed kinds carry per-event payloads (links / chaos config /
+      // duration) that the legacy single-fault path cannot express.
+      KLEX_REQUIRE(false, "FaultKind ", to_string(planned_fault),
+                   " needs a fault_plan() event, not fault()");
+      return;
   }
   // Epoch-cut rung: the O(1) incremental census detects the illegitimate
   // population the instant the fault lands; the batched drain models the
@@ -83,6 +91,36 @@ TopologyFaultResult Session::apply_fault_event(const FaultEvent& event,
       topology_fault = true;
       state_changed = true;
       break;
+    case FaultKind::kChaosBurst: {
+      sim::Engine& engine = system->engine();
+      KLEX_REQUIRE(engine.has_chaos(),
+                   "kChaosBurst event on a system without a ChaosModel "
+                   "(build this session through SystemBuilder with the "
+                   "burst in its fault_plan)");
+      if (event.links.empty()) {
+        engine.chaos_burst(event.chaos, event.duration);
+      } else {
+        engine.chaos_burst_links(event.links, event.chaos, event.duration);
+      }
+      // The burst's damage is in-model and accumulates over the episode,
+      // so an immediate epoch cut would fire before anything is wrong.
+      // On the full+cut rung, defer the cut to burst end: by then every
+      // drop/duplication has landed in the census, and the drain erases
+      // whatever imbalance the episode minted. Raw pointers are safe --
+      // the Session outlives the run that executes the callback.
+      if (system->params().features.epoch_cut && event.duration > 0) {
+        SystemBase* raw_system = system.get();
+        WorkloadDriver* raw_driver = driver.get();
+        engine.schedule(event.duration, [raw_system, raw_driver]() {
+          if (raw_system->epoch_cut_recover() && raw_driver != nullptr) {
+            raw_driver->resync();
+          }
+        });
+      }
+      // No immediate cut and no resync: protocol state is untouched at
+      // injection time.
+      return result;
+    }
   }
   if (!topology_fault && system->params().features.epoch_cut &&
       system->epoch_cut_recover()) {
@@ -191,6 +229,15 @@ SystemBuilder& SystemBuilder::misuse_policy(MisusePolicy policy) {
   return *this;
 }
 
+SystemBuilder& SystemBuilder::chaos(const sim::ChaosConfig& config) {
+  // Validate at the setter even though a disabled config is never
+  // attached: a typo'd negative probability has enabled() == false and
+  // would otherwise silently build a chaos-free system.
+  sim::validate_chaos(config);
+  chaos_ = config;
+  return *this;
+}
+
 SystemBuilder& SystemBuilder::beacon_period(sim::SimTime t) {
   beacon_period_ = t;
   return *this;
@@ -283,6 +330,7 @@ std::unique_ptr<SystemBase> SystemBuilder::build() const {
     config.scheduler = scheduler_;
     auto fleet_system = std::make_unique<FleetSystem>(std::move(config));
     fleet_system->set_misuse_policy(misuse_policy_);
+    attach_chaos(*fleet_system);
     return fleet_system;
   }
 
@@ -396,7 +444,18 @@ std::unique_ptr<SystemBase> SystemBuilder::build() const {
   }
   KLEX_CHECK(system != nullptr, "builder produced no system");
   system->set_misuse_policy(misuse_policy_);
+  attach_chaos(*system);
   return system;
+}
+
+void SystemBuilder::attach_chaos(SystemBase& system) const {
+  // Attach only when something will actually use the model: a non-trivial
+  // steady config, or a plan that schedules bursts (which may ride on an
+  // all-zero steady config -- the model still has to exist from t=0 so
+  // its sequencing governs the whole trajectory, not just the burst).
+  // Builds that mention neither keep the stock engine paths bit for bit.
+  if (!chaos_.enabled() && !fault_plan_.has_chaos_events()) return;
+  system.engine().configure_chaos(chaos_);
 }
 
 Session SystemBuilder::build_session() const {
@@ -406,6 +465,9 @@ Session SystemBuilder::build_session() const {
   KLEX_REQUIRE(fault_ == FaultKind::kNone || fault_plan_.empty(),
                "fault() and fault_plan() are mutually exclusive (put the "
                "single fault into the plan)");
+  KLEX_REQUIRE(fault_ != FaultKind::kChaosBurst,
+               "kChaosBurst needs a fault_plan() event (the burst's chaos "
+               "config and duration live on the FaultEvent)");
   Session session;
   session.system = build();
   session.planned_fault = fault_;

@@ -120,6 +120,12 @@ class SystemBuilder {
   SystemBuilder& literal_pusher_guard(bool on = true);
   SystemBuilder& omit_prio_wrap_count(bool on = true);
   SystemBuilder& misuse_policy(MisusePolicy policy);
+  /// Steady-state adversarial-channel behavior (sim::ChaosModel): every
+  /// link drops / duplicates / reorders / jitters per `config` for the
+  /// whole run. The model is attached only when the config is non-trivial
+  /// or the fault plan schedules kChaosBurst events; otherwise the build
+  /// is bit-identical to one that never mentioned chaos.
+  SystemBuilder& chaos(const sim::ChaosConfig& config);
 
   // -- graph-composition phase -------------------------------------------------
   SystemBuilder& beacon_period(sim::SimTime t);
@@ -151,6 +157,10 @@ class SystemBuilder {
  private:
   enum class TopoKind { kUnset, kSpec, kTree, kGraph };
 
+  /// Attaches the ChaosModel when the steady config is non-trivial or
+  /// the fault plan schedules kChaosBurst events (no-op otherwise).
+  void attach_chaos(SystemBase& system) const;
+
   TopoKind topo_kind_ = TopoKind::kUnset;
   TopologySpec spec_{};
   std::optional<tree::Tree> tree_;
@@ -172,6 +182,7 @@ class SystemBuilder {
   bool literal_pusher_guard_ = false;
   bool omit_prio_wrap_count_ = false;
   MisusePolicy misuse_policy_ = MisusePolicy::kCheck;
+  sim::ChaosConfig chaos_{};
   sim::SimTime beacon_period_ = 256;
   sim::SimTime spanning_tree_deadline_ = 4'000'000;
 

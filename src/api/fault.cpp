@@ -10,6 +10,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kGarbageFlood: return "garbage_flood";
     case FaultKind::kLinkChurn: return "link_churn";
     case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kChaosBurst: return "chaos_burst";
   }
   return "?";
 }

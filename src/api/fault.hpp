@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/chaos.hpp"
 #include "sim/time.hpp"
 
 namespace klex {
@@ -41,6 +42,15 @@ namespace klex {
 ///                    root (node 0) cannot crash. Same repair pipeline as
 ///                    kLinkChurn; crashed and partitioned nodes detach
 ///                    until a later restore reconnects them.
+///   kChaosBurst   -- adversarial-channel episode: the event's chaos
+///                    config (drop/duplicate/reorder/jitter) overrides
+///                    the steady sim::ChaosModel config on all links (or
+///                    the event's explicit `links`) for `duration`
+///                    ticks, then expires on its own. Damage is
+///                    in-model (lost and duplicated tokens), so
+///                    recovery runs through the protocol itself -- or
+///                    through a deferred epoch cut at burst end on the
+///                    full+cut rung.
 enum class FaultKind {
   kNone,
   kTransient,
@@ -48,11 +58,12 @@ enum class FaultKind {
   kGarbageFlood,
   kLinkChurn,
   kNodeCrash,
+  kChaosBurst,
 };
 
 /// Stable lowercase name ("none", "transient", "channel_wipe",
-/// "garbage_flood", "link_churn", "node_crash") -- the spelling used in
-/// BENCH_*.json artifacts and bench_diff.py keys.
+/// "garbage_flood", "link_churn", "node_crash", "chaos_burst") -- the
+/// spelling used in BENCH_*.json artifacts and bench_diff.py keys.
 const char* to_string(FaultKind kind);
 
 /// One timed fault in a staged plan. `at` is an offset from the start of
@@ -65,6 +76,8 @@ struct FaultEvent {
   /// kLinkChurn: explicit undirected endpoints to fail/restore. Empty =
   /// draw `count` random eligible links (up links when failing, down
   /// links when restoring) from the fault rng.
+  /// kChaosBurst: explicit undirected endpoints the burst is scoped to
+  /// (both directed channels each). Empty = every link.
   std::vector<std::pair<int, int>> links;
 
   /// kNodeCrash: explicit node ids to crash/revive (node 0 forbidden).
@@ -79,6 +92,14 @@ struct FaultEvent {
   /// kTransient / kGarbageFlood: garbage messages per channel
   /// (-1 = the kind's default, as in Session::fault_garbage).
   int garbage = -1;
+
+  /// kChaosBurst: the episode's adversarial-channel intensity and its
+  /// length in ticks. The burst is applied at `at` and expires lazily at
+  /// `at` + duration; a system whose fault plan schedules bursts gets a
+  /// ChaosModel attached at build time even when the steady config is
+  /// all-zero.
+  sim::ChaosConfig chaos{};
+  sim::SimTime duration = 0;
 };
 
 /// A schedule of timed fault events; generalizes the single
@@ -95,6 +116,15 @@ struct FaultPlan {
           event.kind == FaultKind::kNodeCrash) {
         return true;
       }
+    }
+    return false;
+  }
+
+  /// True when any event needs a sim::ChaosModel attached (the builder
+  /// then attaches one even with an all-zero steady config).
+  bool has_chaos_events() const {
+    for (const FaultEvent& event : events) {
+      if (event.kind == FaultKind::kChaosBurst) return true;
     }
     return false;
   }

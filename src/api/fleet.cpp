@@ -313,6 +313,16 @@ bool FleetSystem::epoch_cut_recover_tenant(int tenant) {
   return true;
 }
 
+void FleetSystem::chaos_burst_tenant(int tenant,
+                                     const sim::ChaosConfig& config,
+                                     sim::SimTime duration) {
+  KLEX_REQUIRE(tenant >= 0 && tenant < tenant_count(), "bad tenant ",
+               tenant);
+  engine().chaos_burst_channel_range(
+      chan_begin_[static_cast<std::size_t>(tenant)],
+      chan_begin_[static_cast<std::size_t>(tenant) + 1], config, duration);
+}
+
 bool FleetSystem::epoch_cut_recover() {
   bool any = false;
   for (int t = 0; t < tenant_count(); ++t) {

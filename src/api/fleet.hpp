@@ -166,6 +166,15 @@ class FleetSystem : public SystemBase {
   /// tenant was drained.
   bool epoch_cut_recover() override;
 
+  /// Chaos burst scoped to one tenant: the episode's adversarial config
+  /// overrides the steady one on exactly that tenant's channels (they
+  /// are engine-contiguous) for `duration` ticks. Other tenants' links
+  /// keep their steady behavior -- the chaos isolation twin of the
+  /// per-tenant fault entry points. Requires a ChaosModel
+  /// (SystemBuilder::chaos or kChaosBurst plan events).
+  void chaos_burst_tenant(int tenant, const sim::ChaosConfig& config,
+                          sim::SimTime duration);
+
   /// The fleet-wide transient fault / garbage flood: the per-tenant
   /// variant applied to every tenant, so each tenant's garbage comes
   /// from its own message domains and census stream.

@@ -1,0 +1,308 @@
+#include "exp/chaos_fuzz.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/check.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "tree/tree.hpp"
+
+namespace klex::exp {
+
+namespace {
+
+// Floor below which a shrink move zeroes a probability instead of
+// halving it forever, and the shortest burst the minimizer will try.
+constexpr double kProbFloor = 0.02;
+constexpr sim::SimTime kMinBurst = 500;
+// Bound on (dup_p - drop_p) x burst hops: the exponent of the in-flight
+// population's growth over the burst (see make_chaos_case).
+constexpr double kDupExponentBudget = 3.0;
+
+/// The default sampling pool: small trees of every family, so sampled
+/// failures come in different shapes and the link minimizer has
+/// structure to cut.
+std::vector<TopologySpec> default_topologies() {
+  return {
+      TopologySpec::tree_line(8),
+      TopologySpec::tree_star(9),
+      TopologySpec::tree_balanced(2, 3),
+      TopologySpec::tree_caterpillar(5, 2),
+      TopologySpec::tree_random(10, 7),
+  };
+}
+
+/// Materializes the undirected tree edges of a tree-kind TopologySpec
+/// (the same construction mapping SystemBuilder::build uses), parent →
+/// child per non-root node. Non-tree kinds return empty, which disables
+/// the link-narrowing moves.
+std::vector<std::pair<int, int>> tree_links(const TopologySpec& spec) {
+  using Kind = TopologySpec::Kind;
+  tree::Tree t = tree::line(2);
+  switch (spec.kind) {
+    case Kind::kTreeLine: t = tree::line(spec.n); break;
+    case Kind::kTreeStar: t = tree::star(spec.n); break;
+    case Kind::kTreeBalanced: t = tree::balanced(spec.a, spec.b); break;
+    case Kind::kTreeCaterpillar:
+      t = tree::caterpillar(spec.a, spec.b);
+      break;
+    case Kind::kTreeRandom: {
+      support::Rng topo_rng(static_cast<std::uint64_t>(spec.a));
+      t = tree::random_tree(spec.n, topo_rng);
+      break;
+    }
+    case Kind::kTreeFigure1: t = tree::figure1_tree(); break;
+    default: return {};
+  }
+  std::vector<std::pair<int, int>> links;
+  links.reserve(static_cast<std::size_t>(t.size()) - 1);
+  for (tree::NodeId v = 1; v < t.size(); ++v) {
+    links.emplace_back(t.parent(v), v);
+  }
+  return links;
+}
+
+RunResult run_case(const ScenarioSpec& spec) {
+  std::vector<RunPoint> points = ExperimentRunner::expand(spec);
+  KLEX_CHECK(points.size() == 1,
+             "a fuzz case must expand to exactly one grid point, got ",
+             points.size());
+  return ExperimentRunner::run_point(spec, points.front());
+}
+
+/// All one-step-smaller variants of `spec`, in the order the greedy
+/// shrinker tries them: duration first (cheapest to re-run), then the
+/// probabilities, then window / jitter, then the link split.
+std::vector<ScenarioSpec> shrink_candidates(const ScenarioSpec& spec) {
+  std::vector<ScenarioSpec> out;
+  const FaultEvent& event = spec.fault_plan.events.front();
+  auto with_event = [&spec](auto mutate) {
+    ScenarioSpec candidate = spec;
+    mutate(candidate.fault_plan.events.front());
+    return candidate;
+  };
+  if (event.duration >= 2 * kMinBurst) {
+    out.push_back(with_event(
+        [](FaultEvent& e) { e.duration /= 2; }));
+  }
+  auto halve = [](double& p) { p = p < 2 * kProbFloor ? 0.0 : p / 2; };
+  if (event.chaos.drop_p > 0.0) {
+    out.push_back(with_event([&](FaultEvent& e) { halve(e.chaos.drop_p); }));
+  }
+  if (event.chaos.dup_p > 0.0) {
+    out.push_back(with_event([&](FaultEvent& e) { halve(e.chaos.dup_p); }));
+  }
+  if (event.chaos.reorder_p > 0.0) {
+    out.push_back(
+        with_event([&](FaultEvent& e) { halve(e.chaos.reorder_p); }));
+  }
+  if (event.chaos.jitter > 0) {
+    out.push_back(with_event([](FaultEvent& e) { e.chaos.jitter /= 2; }));
+  }
+  if (event.chaos.reorder_p > 0.0 && event.chaos.reorder_window > 1) {
+    out.push_back(with_event([](FaultEvent& e) {
+      e.chaos.reorder_window = std::max(1, e.chaos.reorder_window / 2);
+    }));
+  }
+  // Link narrowing: an all-links burst (empty list) first materializes
+  // the tree's edges, then each round offers the two halves of the
+  // current set -- classic ddmin binary split.
+  std::vector<std::pair<int, int>> links =
+      event.links.empty() ? tree_links(spec.topologies.front())
+                          : event.links;
+  if (links.size() > 1) {
+    const std::size_t half = links.size() / 2;
+    std::vector<std::pair<int, int>> lo(links.begin(),
+                                        links.begin() +
+                                            static_cast<std::ptrdiff_t>(half));
+    std::vector<std::pair<int, int>> hi(links.begin() +
+                                            static_cast<std::ptrdiff_t>(half),
+                                        links.end());
+    out.push_back(with_event([&lo](FaultEvent& e) { e.links = lo; }));
+    out.push_back(with_event([&hi](FaultEvent& e) { e.links = hi; }));
+  }
+  return out;
+}
+
+void write_burst(support::JsonWriter& json, const FaultEvent& event) {
+  json.begin_object();
+  json.field("at", event.at);
+  json.field("duration", event.duration);
+  // 0 = every link (the sampler's default scope).
+  json.field("links", static_cast<std::int64_t>(event.links.size()));
+  json.field("drop_p", event.chaos.drop_p);
+  json.field("dup_p", event.chaos.dup_p);
+  json.field("reorder_p", event.chaos.reorder_p);
+  json.field("reorder_window", event.chaos.reorder_window);
+  json.field("jitter", event.chaos.jitter);
+  json.end_object();
+}
+
+}  // namespace
+
+std::string classify_chaos_failure(const RunResult& result) {
+  if (result.fault_events.empty()) return "";
+  if (result.fault_phase_violations > 0) return "safety";
+  if (!result.recovered) return "no_recovery";
+  return "";
+}
+
+ScenarioSpec make_chaos_case(const ChaosFuzzConfig& config, int index) {
+  KLEX_REQUIRE(index >= 0, "bad case index");
+  KLEX_REQUIRE(!config.kl.empty(), "fuzz config has no (k,l) pool");
+  KLEX_REQUIRE(config.max_burst >= config.min_burst &&
+                   config.min_burst >= 1,
+               "bad burst length range");
+  const std::vector<TopologySpec> pool =
+      config.topologies.empty() ? default_topologies() : config.topologies;
+
+  // One child stream per case: campaigns replay case-by-case from
+  // (seed, index) alone, independent of how many cases ran before.
+  support::Rng rng =
+      support::Rng(config.seed).split(static_cast<std::uint64_t>(index));
+
+  ScenarioSpec spec;
+  spec.name = "chaos_case";
+  spec.topologies = {pool[rng.pick_index(pool.size())]};
+  spec.features = {config.features};
+  spec.kl = {config.kl[rng.pick_index(config.kl.size())]};
+  spec.cmax = config.cmax;
+  spec.warmup = config.warmup;
+  spec.horizon = config.horizon;
+  spec.stabilize_deadline = config.stabilize_deadline;
+  spec.recovery_deadline = config.recovery_deadline;
+  spec.stall_threshold = config.stall_threshold;
+  spec.seeds = 1;
+  spec.base_seed = 1 + rng.next_below(1'000'000);
+
+  FaultEvent burst;
+  burst.kind = FaultKind::kChaosBurst;
+  burst.at = rng.next_below(2'000);
+  burst.duration =
+      config.min_burst +
+      static_cast<sim::SimTime>(
+          rng.next_below(config.max_burst - config.min_burst + 1));
+  const std::uint64_t percent_bound =
+      static_cast<std::uint64_t>(config.max_prob_percent) + 1;
+  burst.chaos.drop_p =
+      static_cast<double>(rng.next_below(percent_bound)) / 100.0;
+  burst.chaos.dup_p =
+      static_cast<double>(rng.next_below(percent_bound)) / 100.0;
+  burst.chaos.reorder_p =
+      static_cast<double>(rng.next_below(percent_bound)) / 100.0;
+  burst.chaos.reorder_window = 2 + static_cast<int>(rng.next_below(7));
+  burst.chaos.jitter = static_cast<sim::SimTime>(
+      rng.next_below(static_cast<std::uint64_t>(config.max_jitter) + 1));
+  // Keep every sampled burst token-destructive or token-duplicating:
+  // pure reorder/jitter episodes are FIFO-breaking but conserve the
+  // population, so they would dilute the campaign with near-certain
+  // passes.
+  if (burst.chaos.drop_p < 0.05 && burst.chaos.dup_p < 0.05) {
+    burst.chaos.dup_p =
+        0.05 + static_cast<double>(rng.next_below(percent_bound)) / 100.0;
+  }
+  // Duplication amplifies: a duplicated message re-enters circulation and
+  // can be duplicated again, so the in-flight population grows by roughly
+  // (1 + dup_p - drop_p) per delivery hop. Cap the burst's net
+  // amplification exponent (excess rate x hops at the ~8-tick mean hop
+  // delay) so every sampled case stays tractable -- a handful of
+  // net-minted units already breaks k-out-of-l safety; an exponential
+  // population bomb is just a hang.
+  const double hops = static_cast<double>(burst.duration) / 8.0;
+  const double max_excess = kDupExponentBudget / hops;
+  if (burst.chaos.dup_p > burst.chaos.drop_p + max_excess) {
+    burst.chaos.dup_p = burst.chaos.drop_p + max_excess;
+  }
+  spec.fault_plan.events.push_back(burst);
+  return spec;
+}
+
+ChaosFuzzReport run_chaos_fuzz(const ChaosFuzzConfig& config) {
+  KLEX_REQUIRE(config.cases >= 1, "campaign needs at least one case");
+  ChaosFuzzReport report;
+  for (int index = 0; index < config.cases; ++index) {
+    ScenarioSpec spec = make_chaos_case(config, index);
+    RunResult result = run_case(spec);
+    ++report.cases_run;
+    const std::string reason = classify_chaos_failure(result);
+    if (reason.empty()) continue;
+
+    ChaosFailure failure;
+    failure.case_index = index;
+    failure.reason = reason;
+    failure.violations = result.fault_phase_violations;
+    failure.recovered = result.recovered;
+    failure.spec = spec;
+    failure.minimized = spec;
+    failure.minimized_violations = result.fault_phase_violations;
+    failure.minimized_verified = true;  // the original run IS the witness
+
+    if (config.minimize) {
+      // Greedy ddmin: keep the first one-step-smaller variant that still
+      // fails the same way; restart the move list from the new spec.
+      // Every acceptance is itself a verifying run, so `minimized` never
+      // drifts from the failure class it reproduces.
+      bool progress = true;
+      while (progress && failure.shrink_runs < config.max_shrink_runs) {
+        progress = false;
+        for (ScenarioSpec& candidate : shrink_candidates(failure.minimized)) {
+          if (failure.shrink_runs >= config.max_shrink_runs) break;
+          ++failure.shrink_runs;
+          RunResult rerun = run_case(candidate);
+          if (classify_chaos_failure(rerun) != reason) continue;
+          failure.minimized = std::move(candidate);
+          failure.minimized_violations = rerun.fault_phase_violations;
+          ++failure.shrink_steps;
+          progress = true;
+          break;
+        }
+      }
+    }
+    report.failures.push_back(std::move(failure));
+  }
+  return report;
+}
+
+void write_chaos_fuzz_json(std::ostream& out, const ChaosFuzzConfig& config,
+                           const ChaosFuzzReport& report) {
+  support::JsonWriter json(out);
+  json.begin_object();
+  json.key("campaign").begin_object();
+  json.field("cases", config.cases);
+  json.field("seed", config.seed);
+  json.field("horizon", config.horizon);
+  json.field("recovery_deadline", config.recovery_deadline);
+  json.field("stall_threshold", config.stall_threshold);
+  json.field("max_prob_percent", config.max_prob_percent);
+  json.field("minimize", config.minimize);
+  json.end_object();
+  json.field("cases_run", report.cases_run);
+  json.field("failures", static_cast<std::int64_t>(report.failures.size()));
+  json.key("failing_cases").begin_array();
+  for (const ChaosFailure& failure : report.failures) {
+    json.begin_object();
+    json.field("case_index", failure.case_index);
+    json.field("reason", failure.reason);
+    json.field("violations", failure.violations);
+    json.field("recovered", failure.recovered);
+    json.field("topology", failure.spec.topologies.front().name());
+    json.field("k", failure.spec.kl.front().first);
+    json.field("l", failure.spec.kl.front().second);
+    json.field("run_seed", failure.spec.base_seed);
+    json.key("burst");
+    write_burst(json, failure.spec.fault_plan.events.front());
+    json.key("minimized_burst");
+    write_burst(json, failure.minimized.fault_plan.events.front());
+    json.field("minimized_violations", failure.minimized_violations);
+    json.field("shrink_steps", failure.shrink_steps);
+    json.field("shrink_runs", failure.shrink_runs);
+    json.field("minimized_verified", failure.minimized_verified);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << '\n';
+}
+
+}  // namespace klex::exp

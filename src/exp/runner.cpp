@@ -120,6 +120,7 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
                         .fault(spec.fault)
                         .fault_garbage(point.fault_garbage)
                         .fault_plan(spec.fault_plan)
+                        .chaos(spec.chaos)
                         .build_session();
   SystemBase& system = *session.system;
   result.n = system.n();
@@ -133,6 +134,13 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   verify::SafetyMonitor safety(result.n, point.k, point.l);
   system.add_listener(&waits);
   system.add_listener(&safety);
+  if (spec.stall_threshold > 0) {
+    // Continuous liveness watchdog: the monitor rides the engine as an
+    // observer so stalls are timestamped as they happen (merged-serial
+    // execution; chaos campaigns accept the trade).
+    safety.set_stall_threshold(spec.stall_threshold);
+    safety.watch(system.engine());
+  }
   // Message-overhead accounting reads the engine's inline per-type send
   // counters (window deltas) instead of attaching a per-send observer, so
   // the measured window runs with an empty observer list.
@@ -217,6 +225,7 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   // event count likewise covers the measurement window alone.
   result.safety_ok = !safety.any_violation();
   result.events_executed = system.engine().events_executed() - events_before;
+  const std::int64_t violations_at_measure_end = safety.violation_count();
 
   // Phase 3 (optional): fault + recovery. A staged plan generalizes the
   // single post-measurement fault: the engine advances to each event's
@@ -232,6 +241,8 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
       system.run_until(phase_start + event.at);
       const sim::SimTime fault_at = system.engine().now();
       const std::uint64_t events_at_fault = system.engine().events_executed();
+      const std::int64_t violations_at_event = safety.violation_count();
+      const sim::ChaosStats chaos_at_event = system.engine().chaos_stats();
       TopologyFaultResult repair = session.apply_fault_event(event, fault_rng);
       const sim::SimTime recovered_at =
           system.run_until_stabilized(fault_at + spec.recovery_deadline);
@@ -252,6 +263,19 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
           record.recovered ? recovered_at - fault_at : 0;
       record.recovery_events =
           system.engine().events_executed() - events_at_fault;
+      if (event.kind == FaultKind::kChaosBurst) {
+        // What the adversary actually did inside [injection,
+        // re-stabilization] and whether it managed to break safety.
+        const sim::ChaosStats chaos_now = system.engine().chaos_stats();
+        record.chaos = true;
+        record.chaos_dropped = chaos_now.dropped - chaos_at_event.dropped;
+        record.chaos_duplicated =
+            chaos_now.duplicated - chaos_at_event.duplicated;
+        record.chaos_reordered =
+            chaos_now.reordered - chaos_at_event.reordered;
+        record.chaos_jittered = chaos_now.jittered - chaos_at_event.jittered;
+        record.violations = safety.violation_count() - violations_at_event;
+      }
       all_recovered = all_recovered && record.recovered;
       result.recovery_time += record.recovery_time;
       result.recovery_events += record.recovery_events;
@@ -282,6 +306,16 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
                                       recovery_start)
             .count();
   }
+
+  // Continuous-monitoring totals: a final watchdog sweep catches stalls
+  // younger than the last delivery heartbeat, then the whole-run
+  // violation/stall totals are read off the monitor.
+  if (spec.stall_threshold > 0) safety.check_stalls(system.engine().now());
+  result.safety_violations = safety.violation_count();
+  result.last_violation_time = safety.last_violation_time();
+  result.liveness_stalls = safety.stall_count();
+  result.fault_phase_violations =
+      safety.violation_count() - violations_at_measure_end;
 
   result.engine_stats = system.engine().stats();
 
@@ -341,6 +375,7 @@ RunResult run_fleet_shared(const ScenarioSpec& spec, const RunPoint& point) {
                         .threads(point.threads)
                         .fleet(point.fleet)
                         .workload(spec.workload)
+                        .chaos(spec.chaos)
                         .build_session();
   auto* fleet = dynamic_cast<FleetSystem*>(session.system.get());
   KLEX_CHECK(fleet != nullptr, "fleet(R > 1) must build a FleetSystem");
@@ -355,6 +390,10 @@ RunResult run_fleet_shared(const ScenarioSpec& spec, const RunPoint& point) {
   verify::SafetyMonitor safety(result.n, system.k(), system.l());
   system.add_listener(&waits);
   system.add_listener(&safety);
+  if (spec.stall_threshold > 0) {
+    safety.set_stall_threshold(spec.stall_threshold);
+    safety.watch(system.engine());
+  }
   auto sent_of = [&system](proto::TokenType type) {
     return system.engine().sent_of_type(static_cast<std::int32_t>(type));
   };
@@ -429,6 +468,7 @@ RunResult run_fleet_shared(const ScenarioSpec& spec, const RunPoint& point) {
   }
   result.safety_ok = !safety.any_violation();
   result.events_executed = system.engine().events_executed() - events_before;
+  const std::int64_t violations_at_measure_end = safety.violation_count();
 
   // Per-tenant slices of the workload window (the per-node driver
   // counters are cumulative, so they are read before the fault phase
@@ -481,6 +521,13 @@ RunResult run_fleet_shared(const ScenarioSpec& spec, const RunPoint& point) {
     cell.correct_at_end = fleet->tenant_correct(t);
   }
 
+  if (spec.stall_threshold > 0) safety.check_stalls(system.engine().now());
+  result.safety_violations = safety.violation_count();
+  result.last_violation_time = safety.last_violation_time();
+  result.liveness_stalls = safety.stall_count();
+  result.fault_phase_violations =
+      safety.violation_count() - violations_at_measure_end;
+
   result.engine_stats = system.engine().stats();
 
   auto wall_end = std::chrono::steady_clock::now();
@@ -531,6 +578,7 @@ RunResult run_fleet_separate(const ScenarioSpec& spec,
             .seed_tokens(spec.seed_tokens)
             .spread_tokens(spec.spread_tokens)
             .workload(spec.workload)
+            .chaos(spec.chaos)
             .build_session());
     result.n += sessions.back().system->n();
   }
@@ -552,6 +600,10 @@ RunResult run_fleet_separate(const ScenarioSpec& spec,
     safety.push_back(std::make_unique<verify::SafetyMonitor>(
         cell.n, system.k(), system.l()));
     system.add_listener(safety.back().get());
+    if (spec.stall_threshold > 0) {
+      safety.back()->set_stall_threshold(spec.stall_threshold);
+      safety.back()->watch(system.engine());
+    }
     auto sent_of = [&system](proto::TokenType type) {
       return system.engine().sent_of_type(static_cast<std::int32_t>(type));
     };
@@ -645,6 +697,14 @@ RunResult run_fleet_separate(const ScenarioSpec& spec,
     TenantResult& cell = result.tenants[static_cast<std::size_t>(t)];
     cell.events_executed = system.engine().events_executed();
     cell.correct_at_end = system.token_counts_correct();
+    verify::SafetyMonitor& monitor = *safety[static_cast<std::size_t>(t)];
+    if (spec.stall_threshold > 0) {
+      monitor.check_stalls(system.engine().now());
+    }
+    result.safety_violations += monitor.violation_count();
+    result.last_violation_time =
+        std::max(result.last_violation_time, monitor.last_violation_time());
+    result.liveness_stalls += monitor.stall_count();
     const sim::EngineStats stats = system.engine().stats();
     result.engine_stats.events_executed += stats.events_executed;
     result.engine_stats.messages_sent += stats.messages_sent;
@@ -654,6 +714,10 @@ RunResult run_fleet_separate(const ScenarioSpec& spec,
         stats.callback_slots_created;
     result.engine_stats.max_heap_size += stats.max_heap_size;
     result.engine_stats.in_flight_walks += stats.in_flight_walks;
+    result.engine_stats.chaos_dropped += stats.chaos_dropped;
+    result.engine_stats.chaos_duplicated += stats.chaos_duplicated;
+    result.engine_stats.chaos_reordered += stats.chaos_reordered;
+    result.engine_stats.chaos_jittered += stats.chaos_jittered;
     result.engine_stats.bucket_window =
         std::max(result.engine_stats.bucket_window, stats.bucket_window);
     result.engine_stats.scheduler.bucket_inserts +=
@@ -763,6 +827,17 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
       cell.mean_parent_changes += event.parent_changes;
       cell.mean_stree_events += static_cast<double>(event.stree_events);
     }
+    cell.mean_chaos_dropped +=
+        static_cast<double>(run.engine_stats.chaos_dropped);
+    cell.mean_chaos_duplicated +=
+        static_cast<double>(run.engine_stats.chaos_duplicated);
+    cell.mean_chaos_reordered +=
+        static_cast<double>(run.engine_stats.chaos_reordered);
+    cell.mean_chaos_jittered +=
+        static_cast<double>(run.engine_stats.chaos_jittered);
+    cell.mean_fault_phase_violations +=
+        static_cast<double>(run.fault_phase_violations);
+    cell.mean_liveness_stalls += static_cast<double>(run.liveness_stalls);
   }
   for (Aggregate& cell : cells) {
     if (cell.stabilized_runs > 0) {
@@ -782,6 +857,12 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
       cell.mean_fault_events /= cell.runs;
       cell.mean_parent_changes /= cell.runs;
       cell.mean_stree_events /= cell.runs;
+      cell.mean_chaos_dropped /= cell.runs;
+      cell.mean_chaos_duplicated /= cell.runs;
+      cell.mean_chaos_reordered /= cell.runs;
+      cell.mean_chaos_jittered /= cell.runs;
+      cell.mean_fault_phase_violations /= cell.runs;
+      cell.mean_liveness_stalls /= cell.runs;
     }
   }
   return cells;
@@ -805,6 +886,18 @@ void write_dist(support::JsonWriter& json, const proto::Dist& dist) {
   json.end_object();
 }
 
+void write_chaos_config(support::JsonWriter& json,
+                        const sim::ChaosConfig& chaos) {
+  json.begin_object();
+  json.field("drop_p", chaos.drop_p);
+  json.field("dup_p", chaos.dup_p);
+  json.field("reorder_p", chaos.reorder_p);
+  json.field("reorder_window", chaos.reorder_window);
+  json.field("reorder_flush_delay", chaos.reorder_flush_delay);
+  json.field("jitter", chaos.jitter);
+  json.end_object();
+}
+
 void write_behavior(support::JsonWriter& json,
                     const proto::NodeBehavior& behavior) {
   json.begin_object();
@@ -822,21 +915,12 @@ void write_behavior(support::JsonWriter& json,
   json.end_object();
 }
 
-}  // namespace
-
-void write_json(std::ostream& out, const ScenarioSpec& spec,
-                const std::vector<RunResult>& results) {
-  write_json(out, spec, results, ExperimentRunner::aggregate(results));
-}
-
-void write_json(std::ostream& out, const ScenarioSpec& spec,
-                const std::vector<RunResult>& results,
-                const std::vector<Aggregate>& aggregates) {
-  support::JsonWriter json(out);
+// The artifact's "spec" object -- factored out of write_json so the
+// chaos fuzzer can emit a minimized reproducer as standalone,
+// replayable scenario JSON (write_scenario_json).
+void write_spec_object(support::JsonWriter& json,
+                       const ScenarioSpec& spec) {
   json.begin_object();
-  json.field("scenario", spec.name);
-
-  json.key("spec").begin_object();
   if (!spec.note.empty()) json.field("note", spec.note);
   json.key("topologies").begin_array();
   for (const TopologySpec& topology : spec.topologies) {
@@ -921,9 +1005,24 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
         json.end_array();
       }
       if (event.garbage >= 0) json.field("garbage", event.garbage);
+      if (event.kind == FaultKind::kChaosBurst) {
+        json.field("duration", event.duration);
+        json.key("chaos");
+        write_chaos_config(json, event.chaos);
+      }
       json.end_object();
     }
     json.end_array();
+  }
+  // Chaos / watchdog spec knobs, emitted only for scenarios that use
+  // them so every pre-chaos artifact stays byte-identical.
+  const bool monitored_spec = spec.chaos.enabled() ||
+                              spec.fault_plan.has_chaos_events() ||
+                              spec.stall_threshold > 0;
+  if (monitored_spec) {
+    json.key("chaos");
+    write_chaos_config(json, spec.chaos);
+    json.field("stall_threshold", spec.stall_threshold);
   }
   json.key("fault_garbage").begin_array();
   for (int garbage : spec.fault_garbage) json.value(garbage);
@@ -931,6 +1030,27 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
   json.field("seeds", spec.seeds);
   json.field("base_seed", spec.base_seed);
   json.end_object();  // spec
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const ScenarioSpec& spec,
+                const std::vector<RunResult>& results) {
+  write_json(out, spec, results, ExperimentRunner::aggregate(results));
+}
+
+void write_json(std::ostream& out, const ScenarioSpec& spec,
+                const std::vector<RunResult>& results,
+                const std::vector<Aggregate>& aggregates) {
+  support::JsonWriter json(out);
+  json.begin_object();
+  json.field("scenario", spec.name);
+
+  json.key("spec");
+  write_spec_object(json, spec);
+  const bool monitored_spec = spec.chaos.enabled() ||
+                              spec.fault_plan.has_chaos_events() ||
+                              spec.stall_threshold > 0;
 
   json.key("runs").begin_array();
   for (const RunResult& run : results) {
@@ -978,6 +1098,13 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
           json.field("recovered", event.recovered);
           json.field("recovery_time", event.recovery_time);
           json.field("recovery_events", event.recovery_events);
+          if (event.chaos) {
+            json.field("chaos_dropped", event.chaos_dropped);
+            json.field("chaos_duplicated", event.chaos_duplicated);
+            json.field("chaos_reordered", event.chaos_reordered);
+            json.field("chaos_jittered", event.chaos_jittered);
+            json.field("violations", event.violations);
+          }
           json.end_object();
         }
         json.end_array();
@@ -1029,6 +1156,12 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.field("pusher_messages", run.pusher_messages);
     json.field("priority_messages", run.priority_messages);
     json.field("safety_ok", run.safety_ok);
+    if (monitored_spec) {
+      json.field("safety_violations", run.safety_violations);
+      json.field("last_violation_time", run.last_violation_time);
+      json.field("liveness_stalls", run.liveness_stalls);
+      json.field("fault_phase_violations", run.fault_phase_violations);
+    }
     json.field("events_executed", run.events_executed);
     json.field("wall_seconds", run.wall_seconds);
     json.field("events_per_sec", run.events_per_sec);
@@ -1038,6 +1171,12 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
                run.engine_stats.callback_slots_created);
     json.field("max_heap_size", run.engine_stats.max_heap_size);
     json.field("in_flight_walks", run.engine_stats.in_flight_walks);
+    if (monitored_spec) {
+      json.field("chaos_dropped", run.engine_stats.chaos_dropped);
+      json.field("chaos_duplicated", run.engine_stats.chaos_duplicated);
+      json.field("chaos_reordered", run.engine_stats.chaos_reordered);
+      json.field("chaos_jittered", run.engine_stats.chaos_jittered);
+    }
     json.field("bucket_inserts", run.engine_stats.scheduler.bucket_inserts);
     json.field("bucket_scans", run.engine_stats.scheduler.bucket_scans);
     json.field("overflow_pushes",
@@ -1088,10 +1227,29 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
       json.field("mean_parent_changes", cell.mean_parent_changes);
       json.field("mean_stree_events", cell.mean_stree_events);
     }
+    if (monitored_spec) {
+      json.field("mean_chaos_dropped", cell.mean_chaos_dropped);
+      json.field("mean_chaos_duplicated", cell.mean_chaos_duplicated);
+      json.field("mean_chaos_reordered", cell.mean_chaos_reordered);
+      json.field("mean_chaos_jittered", cell.mean_chaos_jittered);
+      json.field("mean_fault_phase_violations",
+                 cell.mean_fault_phase_violations);
+      json.field("mean_liveness_stalls", cell.mean_liveness_stalls);
+    }
     json.end_object();
   }
   json.end_array();  // aggregates
 
+  json.end_object();
+  out << '\n';
+}
+
+void write_scenario_json(std::ostream& out, const ScenarioSpec& spec) {
+  support::JsonWriter json(out);
+  json.begin_object();
+  json.field("scenario", spec.name);
+  json.key("spec");
+  write_spec_object(json, spec);
   json.end_object();
   out << '\n';
 }

@@ -75,6 +75,17 @@ struct FaultEventResult {
   bool recovered = false;
   sim::SimTime recovery_time = 0;
   std::uint64_t recovery_events = 0;
+  /// kChaosBurst events only (chaos = true): what the adversary actually
+  /// did between injection and re-stabilization (deltas of the engine's
+  /// chaos counters) and how many safety violations the monitor
+  /// timestamped inside that window. Non-chaos events leave chaos =
+  /// false and these fields unset / unemitted.
+  bool chaos = false;
+  std::uint64_t chaos_dropped = 0;
+  std::uint64_t chaos_duplicated = 0;
+  std::uint64_t chaos_reordered = 0;
+  std::uint64_t chaos_jittered = 0;
+  std::int64_t violations = 0;
 };
 
 /// Per-tenant slice of one fleet run (fleet runs only). The
@@ -156,6 +167,16 @@ struct RunResult {
   std::uint64_t pusher_messages = 0;
   std::uint64_t priority_messages = 0;
   bool safety_ok = true;
+  /// Continuous-monitoring totals over the WHOLE run (measurement and
+  /// fault phases; safety_ok above still covers the measurement window
+  /// alone). Emitted into the artifact only for chaos / watchdog runs.
+  std::int64_t safety_violations = 0;
+  sim::SimTime last_violation_time = 0;
+  std::int64_t liveness_stalls = 0;
+  /// Violations timestamped inside the fault phase -- the chaos-campaign
+  /// failure signal (a duplicated token minting an extra unit shows up
+  /// here, not in the pre-fault snapshot).
+  std::int64_t fault_phase_violations = 0;
 
   // Simulator performance (wall clock; the only non-deterministic fields).
   std::uint64_t events_executed = 0;
@@ -200,6 +221,14 @@ struct Aggregate {
   double mean_fault_events = 0.0;
   double mean_parent_changes = 0.0;
   double mean_stree_events = 0.0;
+  // Chaos / continuous-monitoring means (all zero -- and unemitted --
+  // for cells whose runs never exercised a ChaosModel or watchdog).
+  double mean_chaos_dropped = 0.0;
+  double mean_chaos_duplicated = 0.0;
+  double mean_chaos_reordered = 0.0;
+  double mean_chaos_jittered = 0.0;
+  double mean_fault_phase_violations = 0.0;
+  double mean_liveness_stalls = 0.0;
 };
 
 class ExperimentRunner {
@@ -241,6 +270,11 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
                 const std::vector<Aggregate>& aggregates);
 void write_json(std::ostream& out, const ScenarioSpec& spec,
                 const std::vector<RunResult>& results);
+
+/// Writes just the scenario spec (no runs) as one JSON object -- the
+/// replayable-reproducer format the chaos fuzzer emits for minimized
+/// failing configs.
+void write_scenario_json(std::ostream& out, const ScenarioSpec& spec);
 
 /// Writes BENCH_<spec.name>.json into `directory`; returns the path.
 std::string write_json_file(const ScenarioSpec& spec,

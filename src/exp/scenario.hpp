@@ -105,6 +105,21 @@ struct ScenarioSpec {
   /// events (kLinkChurn / kNodeCrash) imply live-topology graph systems.
   klex::FaultPlan fault_plan{};
 
+  /// Steady-state adversarial-channel config (SystemBuilder::chaos):
+  /// every link drops / duplicates / reorders / jitters per this config
+  /// for the whole run. All-zero (the default) leaves the engine's stock
+  /// paths untouched; kChaosBurst plan events attach the model even
+  /// then. Chaos draws are keyed per channel off the run seed, so a
+  /// (seed, chaos, topology) triple replays bit for bit at any thread
+  /// count.
+  sim::ChaosConfig chaos{};
+  /// Liveness-watchdog threshold (verify::SafetyMonitor): a request
+  /// outstanding longer than this many ticks counts as a grant stall.
+  /// 0 (the default) disables the watchdog; enabling it attaches the
+  /// monitor as an engine observer (merged-serial execution -- intended
+  /// for chaos campaigns, not perf sweeps).
+  sim::SimTime stall_threshold = 0;
+
   /// Seeds base_seed, base_seed+1, ... base_seed+seeds-1.
   int seeds = 4;
   std::uint64_t base_seed = 1;

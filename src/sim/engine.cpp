@@ -229,6 +229,10 @@ int Engine::channel_index_of(NodeId from, int from_channel) const {
 }
 
 void Engine::schedule_delivery(int channel_index, const Message& msg) {
+  if (chaos_) {
+    chaos_send(channel_index, msg);
+    return;
+  }
   DirectedChannel& dc = channels_[static_cast<std::size_t>(channel_index)];
   Lane& src = lanes_[static_cast<std::size_t>(dc.src_lane)];
   SimTime delay;
@@ -273,6 +277,210 @@ void Engine::schedule_delivery(int channel_index, const Message& msg) {
   } else {
     dc.in_flight.push_back(msg);
     lanes_[static_cast<std::size_t>(dc.dst_lane)].queue.push(event);
+  }
+}
+
+void Engine::configure_chaos(const ChaosConfig& config) {
+  KLEX_REQUIRE(!started_, "configure chaos before start");
+  KLEX_REQUIRE(chaos_ == nullptr, "configure_chaos runs once");
+  chaos_ = std::make_unique<ChaosModel>(seed_, channel_count(),
+                                        process_count(), config);
+}
+
+void Engine::chaos_burst(const ChaosConfig& config, SimTime duration) {
+  KLEX_REQUIRE(chaos_ != nullptr, "chaos_burst needs configure_chaos");
+  chaos_->begin_burst(config, lanes_[0].now + duration);
+}
+
+void Engine::chaos_burst_channel_range(int begin, int end,
+                                       const ChaosConfig& config,
+                                       SimTime duration) {
+  KLEX_REQUIRE(chaos_ != nullptr, "chaos_burst needs configure_chaos");
+  chaos_->begin_burst_channels(begin, end, config, lanes_[0].now + duration);
+}
+
+void Engine::chaos_burst_links(const std::vector<std::pair<int, int>>& links,
+                               const ChaosConfig& config, SimTime duration) {
+  KLEX_REQUIRE(chaos_ != nullptr, "chaos_burst needs configure_chaos");
+  std::vector<char> member(channels_.size(), 0);
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const ChannelInfo& info = channels_[i].info;
+    for (const auto& [a, b] : links) {
+      if ((info.from == a && info.to == b) ||
+          (info.from == b && info.to == a)) {
+        member[i] = 1;
+        break;
+      }
+    }
+  }
+  chaos_->begin_burst_members(std::move(member), config,
+                              lanes_[0].now + duration);
+}
+
+void Engine::chaos_send(int channel_index, const Message& msg) {
+  DirectedChannel& dc = channels_[static_cast<std::size_t>(channel_index)];
+  Lane& src = lanes_[static_cast<std::size_t>(dc.src_lane)];
+  ChaosModel::Link& link = chaos_->link(channel_index);
+  const ChaosConfig& cfg = chaos_->effective(channel_index, src.now);
+
+  // Holds created before this send mature after it is scheduled (the
+  // send is the traffic that overtakes them); snapshot the boundary so a
+  // hold created by this very send does not age itself.
+  const std::uint64_t mature_below = link.next_hold_id;
+
+  if (cfg.drop_p > 0.0 && link.rng.next_bool(cfg.drop_p)) {
+    // Lost at send time: no ring entry, no event, no census increment.
+    // The sender already gave the token up, so the census goes short --
+    // real in-model damage the root timeout must repair.
+    ++link.stats.dropped;
+  } else if (cfg.dup_p > 0.0 && link.rng.next_bool(cfg.dup_p)) {
+    ++link.stats.duplicated;
+    chaos_schedule_copy(channel_index, msg, cfg, true);
+    chaos_schedule_copy(channel_index, msg, cfg, true);
+  } else if (cfg.reorder_p > 0.0 && link.rng.next_bool(cfg.reorder_p)) {
+    ++link.stats.reordered;
+    // Held back: stays in the in-flight census (released without
+    // re-counting), overtaken by up to reorder_window later sends.
+    ++src.in_flight;
+    if (streams_explicit_) {
+      ++streams_[static_cast<std::size_t>(dc.stream)]
+            .in_flight_by_type[type_bucket(msg.type)];
+    } else {
+      ++src.in_flight_by_type[type_bucket(msg.type)];
+    }
+    const std::uint64_t id = link.next_hold_id++;
+    const int release_after = 1 + static_cast<int>(link.rng.next_below(
+        static_cast<std::uint64_t>(cfg.reorder_window)));
+    link.held.push_back(ChaosModel::Held{msg, release_after, id});
+    // Guaranteed release on a quiet channel: a flush event on the source
+    // lane's own queue (safe to push mid-window). Stale flushes after a
+    // channel clear find an empty hold buffer (ids never reset).
+    Event flush;
+    flush.at = src.now + cfg.reorder_flush_delay;
+    if (streams_explicit_) {
+      Stream& stream = streams_[static_cast<std::size_t>(dc.stream)];
+      flush.seq = stream.next_seq++ * streams_.size() +
+                  static_cast<std::uint64_t>(dc.stream);
+    } else {
+      flush.seq = chaos_->delivery_seq(channel_index);
+    }
+    flush.kind = EventKind::kChaosFlush;
+    flush.target = channel_index;
+    flush.payload = id;
+    src.queue.push(flush);
+  } else {
+    chaos_schedule_copy(channel_index, msg, cfg, true);
+  }
+
+  chaos_mature_holds(channel_index, mature_below);
+}
+
+void Engine::chaos_schedule_copy(int channel_index, const Message& msg,
+                                 const ChaosConfig& cfg, bool fresh) {
+  DirectedChannel& dc = channels_[static_cast<std::size_t>(channel_index)];
+  Lane& src = lanes_[static_cast<std::size_t>(dc.src_lane)];
+  ChaosModel::Link& link = chaos_->link(channel_index);
+  SimTime delay;
+  std::uint64_t seq;
+  if (streams_explicit_) {
+    // Fleet engines keep their stream sequencing; only the chaos
+    // decisions and jitter come from the link rng.
+    Stream& stream = streams_[static_cast<std::size_t>(dc.stream)];
+    delay = delays_.min_delay +
+            static_cast<SimTime>(stream.rng.next_below(
+                delays_.max_delay - delays_.min_delay + 1));
+    seq = stream.next_seq++ * streams_.size() +
+          static_cast<std::uint64_t>(dc.stream);
+    if (fresh) {
+      ++stream.in_flight_by_type[type_bucket(msg.type)];
+      ++src.in_flight;
+    }
+  } else {
+    // Chaos sequencing: delay and seq from the per-channel state, so the
+    // trajectory is identical at every lane count.
+    delay = delays_.min_delay +
+            static_cast<SimTime>(link.rng.next_below(
+                delays_.max_delay - delays_.min_delay + 1));
+    seq = chaos_->delivery_seq(channel_index);
+    if (fresh) {
+      ++src.in_flight;
+      ++src.in_flight_by_type[type_bucket(msg.type)];
+    }
+  }
+  if (fresh && cfg.jitter > 0) {
+    SimTime extra = static_cast<SimTime>(link.rng.next_below(
+        static_cast<std::uint64_t>(cfg.jitter) + 1));
+    if (extra > 0) {
+      delay += extra;
+      ++link.stats.jittered;
+    }
+  }
+  SimTime deliver_at = std::max(src.now + delay, dc.last_scheduled);
+  dc.last_scheduled = deliver_at;
+
+  Event event;
+  event.at = deliver_at;
+  event.seq = seq;
+  event.kind = EventKind::kDelivery;
+  event.target = channel_index;
+  event.payload = dc.epoch;
+  if (in_window_ && dc.dst_lane != dc.src_lane) {
+    src.outbox.push_back(Outbound{channel_index, event, msg});
+  } else {
+    dc.in_flight.push_back(msg);
+    lanes_[static_cast<std::size_t>(dc.dst_lane)].queue.push(event);
+  }
+}
+
+void Engine::chaos_mature_holds(int channel_index, std::uint64_t below) {
+  ChaosModel::Link& link = chaos_->link(channel_index);
+  if (link.held.empty()) return;
+  // Collect the due holds first, then schedule: the release path draws
+  // from the link rng and must not interleave with the compaction.
+  std::vector<ChaosModel::Held> due;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < link.held.size(); ++i) {
+    ChaosModel::Held& held = link.held[i];
+    if (held.id < below && --held.release_after <= 0) {
+      due.push_back(held);
+    } else {
+      if (out != i) link.held[out] = std::move(held);
+      ++out;
+    }
+  }
+  link.held.resize(out);
+  const ChaosConfig& cfg = chaos_->effective(
+      channel_index,
+      lanes_[static_cast<std::size_t>(
+                 channels_[static_cast<std::size_t>(channel_index)].src_lane)]
+          .now);
+  for (const ChaosModel::Held& held : due) {
+    chaos_schedule_copy(channel_index, held.msg, cfg, false);
+  }
+}
+
+void Engine::chaos_flush(int channel_index, std::uint64_t up_to) {
+  ChaosModel::Link& link = chaos_->link(channel_index);
+  if (link.held.empty() || link.held.front().id > up_to) return;
+  std::vector<ChaosModel::Held> due;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < link.held.size(); ++i) {
+    ChaosModel::Held& held = link.held[i];
+    if (held.id <= up_to) {
+      due.push_back(held);
+    } else {
+      if (out != i) link.held[out] = std::move(held);
+      ++out;
+    }
+  }
+  link.held.resize(out);
+  const ChaosConfig& cfg = chaos_->effective(
+      channel_index,
+      lanes_[static_cast<std::size_t>(
+                 channels_[static_cast<std::size_t>(channel_index)].src_lane)]
+          .now);
+  for (const ChaosModel::Held& held : due) {
+    chaos_schedule_copy(channel_index, held.msg, cfg, false);
   }
 }
 
@@ -321,6 +529,10 @@ void Engine::set_timer_for(NodeId node, int timer_id, SimTime delay) {
     event.seq = streams_[static_cast<std::size_t>(s)].next_seq++ *
                     streams_.size() +
                 static_cast<std::uint64_t>(s);
+  } else if (chaos_) {
+    // Chaos sequencing: per-node timer counters keep the (at, seq)
+    // order lane-count-independent (see chaos.hpp).
+    event.seq = chaos_->timer_seq(node);
   } else {
     event.seq = lane.next_seq++ * lanes_.size() +
                 static_cast<std::uint64_t>(lane_index);
@@ -383,6 +595,8 @@ void Engine::schedule_callback(int stream, int lane_index, SimTime delay,
     event.seq = streams_[static_cast<std::size_t>(stream)].next_seq++ *
                     streams_.size() +
                 static_cast<std::uint64_t>(stream);
+  } else if (chaos_) {
+    event.seq = chaos_->callback_seq();
   } else {
     event.seq = lane.next_seq++ * lanes_.size() +
                 static_cast<std::uint64_t>(lane_index);
@@ -424,6 +638,9 @@ void Engine::clear_channels() {
   for (Stream& stream : streams_) {
     stream.in_flight_by_type.fill(0);
   }
+  // Held-back messages die with the channel content (their counters were
+  // zeroed above; pending flush events find empty hold buffers).
+  if (chaos_) chaos_->drop_all_holds();
 }
 
 void Engine::clear_channel_range(int begin, int end) {
@@ -443,6 +660,14 @@ void Engine::clear_channel_range(int begin, int end) {
       --src.in_flight;
     });
     dc.in_flight.clear();
+    if (chaos_) {
+      ChaosModel::Link& link = chaos_->link(i);
+      for (const ChaosModel::Held& held : link.held) {
+        --stream.in_flight_by_type[type_bucket(held.msg.type)];
+        --src.in_flight;
+      }
+      link.held.clear();
+    }
     ++dc.epoch;
     dc.last_scheduled = 0;
   }
@@ -515,6 +740,13 @@ EngineStats Engine::stats() const {
   stats.in_flight_walks = in_flight_walks_;
   stats.bucket_window =
       static_cast<std::uint64_t>(lanes_[0].queue.bucket_window());
+  if (chaos_) {
+    ChaosStats chaos = chaos_->totals();
+    stats.chaos_dropped = chaos.dropped;
+    stats.chaos_duplicated = chaos.duplicated;
+    stats.chaos_reordered = chaos.reordered;
+    stats.chaos_jittered = chaos.jittered;
+  }
   return stats;
 }
 
@@ -571,6 +803,12 @@ void Engine::dispatch(Lane& lane, const Event& event) {
       lane.callback_slab[slot] = nullptr;
       lane.callback_free_slots.push_back(slot);
       fn();
+      return;
+    }
+    case EventKind::kChaosFlush: {
+      // Runs on the channel's source lane (the queue the hold pushed
+      // it to), so the hold buffer stays single-writer.
+      chaos_flush(event.target, event.payload);
       return;
     }
   }

@@ -55,8 +55,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/chaos.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/message.hpp"
 #include "sim/message_ring.hpp"
@@ -203,6 +205,13 @@ struct EngineStats {
   /// auto-tune): 1024 unless the delay model or a declared timer span
   /// outranged the default window.
   std::uint64_t bucket_window = 0;
+  /// Chaos decision counters (zero unless a ChaosModel is attached);
+  /// deterministic per (seed, config), so they ride in the BENCH_*.json
+  /// trajectory like the scheduler counters.
+  std::uint64_t chaos_dropped = 0;
+  std::uint64_t chaos_duplicated = 0;
+  std::uint64_t chaos_reordered = 0;
+  std::uint64_t chaos_jittered = 0;
   /// Deterministic scheduler-op counters (see sim::SchedulerCounters):
   /// calendar-ring inserts, find-min bitmap scans and heap-fallback
   /// traffic. Pinned by tests/sim/event_core_test and carried in the
@@ -381,6 +390,54 @@ class Engine {
 
   DelayModel delay_model() const { return delays_; }
 
+  // -- chaos (adversarial channels; see sim/chaos.hpp) -----------------------
+
+  /// Attaches a ChaosModel over all channels. Must run after wiring
+  /// (and configure_lanes/configure_streams, if any) and before start();
+  /// runs once. Engines without explicit streams switch to the chaos
+  /// sequencing described in chaos.hpp, which makes the whole trajectory
+  /// lane-count-independent; engines that never call this take the stock
+  /// code paths bit for bit.
+  void configure_chaos(const ChaosConfig& config);
+
+  bool has_chaos() const { return chaos_ != nullptr; }
+
+  /// The steady-state chaos config (requires has_chaos()).
+  const ChaosConfig& chaos_config() const { return chaos_->steady(); }
+
+  /// Starts a burst episode: `config` overrides the steady config on
+  /// every link until now() + duration (replacing any active burst).
+  /// Expiry is lazy -- per-decision deadline checks, no events. Call
+  /// between windows only (fault application points).
+  void chaos_burst(const ChaosConfig& config, SimTime duration);
+
+  /// Burst scoped to channels_[begin, end) (fleet tenants are
+  /// channel-contiguous).
+  void chaos_burst_channel_range(int begin, int end,
+                                 const ChaosConfig& config,
+                                 SimTime duration);
+
+  /// Burst scoped to the directed channels between explicit undirected
+  /// endpoint pairs (both directions; pairs without a wired channel are
+  /// skipped). The fuzzer's minimizer shrinks bursts to fewer links
+  /// this way.
+  void chaos_burst_links(const std::vector<std::pair<int, int>>& links,
+                         const ChaosConfig& config, SimTime duration);
+
+  /// Chaos decision counters summed over links (zero stats without a
+  /// model).
+  ChaosStats chaos_stats() const {
+    return chaos_ ? chaos_->totals() : ChaosStats{};
+  }
+
+  /// Messages currently held back for reordering (they count as
+  /// in-flight).
+  std::uint64_t chaos_held_messages() const {
+    return chaos_ ? chaos_->held_messages() : 0;
+  }
+
+  const ChaosModel* chaos_model() const { return chaos_.get(); }
+
   // -- sends / timers (used by Process) --------------------------------------
 
   void send_from(NodeId from, int channel, const Message& msg);
@@ -433,8 +490,18 @@ class Engine {
   template <typename Fn>
   void for_each_in_flight(Fn&& fn) const {
     ++in_flight_walks_;
-    for (const DirectedChannel& dc : channels_) {
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      const DirectedChannel& dc = channels_[i];
       dc.in_flight.for_each([&](const Message& msg) { fn(dc.info, msg); });
+      if (chaos_) {
+        // Held-back messages are in flight (the census counted them at
+        // hold time); walk them after the ring so oracle and tracker
+        // agree under chaos.
+        for (const ChaosModel::Held& held :
+             chaos_->link(static_cast<int>(i)).held) {
+          fn(dc.info, held.msg);
+        }
+      }
     }
   }
 
@@ -595,6 +662,20 @@ class Engine {
   bool pop_next(SimTime t, Event* out, int* lane_out);
   void push_event(Event event, int seq_lane, int queue_lane);
   void schedule_delivery(int channel_index, const Message& msg);
+  // Chaos send path (schedule_delivery with an attached ChaosModel):
+  // decide drop/duplicate/hold/jitter from the link rng, then mature the
+  // channel's older holds (the new send is the overtaking traffic).
+  void chaos_send(int channel_index, const Message& msg);
+  /// Schedules one delivery under chaos sequencing. `fresh` marks a
+  /// first-time send (census increment + jitter draw); releases of held
+  /// messages pass false (counted at hold time, no second jitter).
+  void chaos_schedule_copy(int channel_index, const Message& msg,
+                           const ChaosConfig& cfg, bool fresh);
+  /// Ages holds with id < `below` by one send; releases the due ones in
+  /// hold order.
+  void chaos_mature_holds(int channel_index, std::uint64_t below);
+  /// kChaosFlush dispatch: force-releases holds with id <= `up_to`.
+  void chaos_flush(int channel_index, std::uint64_t up_to);
   void schedule_callback(int stream, int lane_index, SimTime delay,
                          std::function<void()> fn);
   // Observer fan-out, out of line: the hot send/deliver paths only test
@@ -629,6 +710,10 @@ class Engine {
   std::vector<std::uint64_t> timer_generations_;
 
   mutable std::uint64_t in_flight_walks_ = 0;
+
+  // Adversarial channel model; null (the reliable-FIFO engine) unless
+  // configure_chaos attached one.
+  std::unique_ptr<ChaosModel> chaos_;
 
   std::vector<SimObserver*> observers_;
 };

@@ -40,7 +40,10 @@
 
 namespace klex::sim {
 
-enum class EventKind : std::uint8_t { kDelivery, kTimer, kCallback };
+// kChaosFlush is the chaos model's hold-release deadline: target is the
+// channel, payload the highest hold id it may release (sim/chaos.hpp).
+enum class EventKind : std::uint8_t { kDelivery, kTimer, kCallback,
+                                      kChaosFlush };
 
 // One inline 32-byte record per pending event -- no heap payloads. A
 // delivery does not carry its Message: per-channel delivery times are

@@ -10,14 +10,30 @@ SafetyMonitor::SafetyMonitor(int n, int k, int l) : k_(k), l_(l) {
   KLEX_REQUIRE(n >= 1, "bad n");
   KLEX_REQUIRE(k >= 1 && k <= l, "need 1 <= k <= l");
   usage_.assign(static_cast<std::size_t>(n), 0);
+  pending_since_.assign(static_cast<std::size_t>(n), sim::kTimeInfinity);
+  stall_flagged_.assign(static_cast<std::size_t>(n), 0);
 }
 
 void SafetyMonitor::record(sim::SimTime at, std::string what) {
   last_violation_ = at;
+  ++violation_count_;
   // Cap stored violations: convergence runs can violate safety freely
   // before stabilizing, and we only need existence + last time.
   if (violations_.size() < 1024) {
     violations_.push_back(Violation{at, std::move(what)});
+  }
+}
+
+void SafetyMonitor::on_request(proto::NodeId node, int /*need*/,
+                               sim::SimTime at) {
+  std::size_t index = static_cast<std::size_t>(node);
+  KLEX_CHECK(index < pending_since_.size(), "unknown node ", node);
+  // Keep the earliest outstanding request: a re-request while waiting
+  // must not reset the stall clock.
+  if (pending_since_[index] == sim::kTimeInfinity) {
+    pending_since_[index] = at;
+    stall_flagged_[index] = 0;
+    ++pending_requests_;
   }
 }
 
@@ -26,6 +42,11 @@ void SafetyMonitor::on_enter_cs(proto::NodeId node, int need,
   std::size_t index = static_cast<std::size_t>(node);
   KLEX_CHECK(index < usage_.size(), "unknown node ", node);
   ++total_entries_;
+  if (pending_since_[index] != sim::kTimeInfinity) {
+    pending_since_[index] = sim::kTimeInfinity;
+    stall_flagged_[index] = 0;
+    --pending_requests_;
+  }
   if (usage_[index] != 0) {
     std::ostringstream what;
     what << "node " << node << " entered CS while already in CS";
@@ -64,6 +85,37 @@ int SafetyMonitor::in_cs_count() const {
     if (units > 0) ++count;
   }
   return count;
+}
+
+int SafetyMonitor::check_stalls(sim::SimTime now) {
+  if (stall_threshold_ == 0 || pending_requests_ == 0) return 0;
+  int flagged = 0;
+  for (std::size_t index = 0; index < pending_since_.size(); ++index) {
+    if (pending_since_[index] == sim::kTimeInfinity) continue;
+    if (stall_flagged_[index]) continue;
+    if (now < pending_since_[index] ||
+        now - pending_since_[index] <= stall_threshold_) {
+      continue;
+    }
+    stall_flagged_[index] = 1;
+    ++stall_count_;
+    ++flagged;
+    if (stalls_.size() < 1024) {
+      stalls_.push_back(Stall{static_cast<proto::NodeId>(index),
+                              pending_since_[index], now});
+    }
+  }
+  return flagged;
+}
+
+void SafetyMonitor::on_deliver(sim::SimTime at, sim::NodeId /*to*/,
+                               int /*channel*/, const sim::Message& /*msg*/) {
+  if (stall_threshold_ == 0 || at < next_stall_check_) return;
+  // Heartbeat at most every threshold/4 ticks: stall flagging stays
+  // continuous (timestamped within a quarter threshold of the earliest
+  // observable moment) without an O(n) scan per delivery.
+  next_stall_check_ = at + stall_threshold_ / 4 + 1;
+  check_stalls(at);
 }
 
 }  // namespace klex::verify

@@ -1,4 +1,5 @@
-// Safety monitor: checks the paper's safety property online.
+// Safety monitor: checks the paper's safety property online, plus a
+// liveness watchdog for grant stalls.
 //
 //   "At any given time, each resource unit is used by at most one process,
 //    each process uses at most k resource units, and at most ℓ resource
@@ -6,10 +7,25 @@
 //
 // In the token model, unit-exclusivity is structural (a token is a
 // message or an RSet entry, never both); what can be violated -- before
-// stabilization -- are the aggregate bounds: more than ℓ units in use, or
-// one process using more than k. The monitor tracks CS entries/exits as a
-// protocol Listener and records every violation with its time, so
-// convergence experiments can report the last-violation clock.
+// stabilization, or while an adversarial channel duplicates token
+// messages (sim::ChaosModel) -- are the aggregate bounds: more than ℓ
+// units in use, or one process using more than k. The monitor tracks CS
+// entries/exits as a protocol Listener and records every violation with
+// its time, so convergence experiments can report the last-violation
+// clock and chaos campaigns can prove a duplicated token really minted
+// an extra unit.
+//
+// Live-observer mode: watch(engine) additionally registers the monitor
+// as a sim::SimObserver. Every delivery then heartbeats the liveness
+// watchdog -- a request outstanding longer than stall_threshold ticks is
+// flagged as a grant stall (once per request), timestamped at the
+// heartbeat that noticed it. This is continuous invariant monitoring:
+// violations and stalls carry the simulated time they were observed at,
+// not a post-run summary. (Attaching an observer makes the windowed
+// parallel engine fall back to the merged-serial loop, which is
+// trajectory-identical; chaos campaigns run merged-serial anyway.)
+// Engines that should stay observer-free can poll check_stalls(now)
+// manually instead.
 #pragma once
 
 #include <cstdint>
@@ -17,13 +33,16 @@
 #include <vector>
 
 #include "proto/app.hpp"
+#include "sim/engine.hpp"
 
 namespace klex::verify {
 
-class SafetyMonitor : public proto::Listener {
+class SafetyMonitor : public proto::Listener, public sim::SimObserver {
  public:
   SafetyMonitor(int n, int k, int l);
 
+  // -- proto::Listener (safety + request tracking) ---------------------------
+  void on_request(proto::NodeId node, int need, sim::SimTime at) override;
   void on_enter_cs(proto::NodeId node, int need, sim::SimTime at) override;
   void on_exit_cs(proto::NodeId node, sim::SimTime at) override;
 
@@ -34,6 +53,10 @@ class SafetyMonitor : public proto::Listener {
 
   const std::vector<Violation>& violations() const { return violations_; }
   bool any_violation() const { return !violations_.empty(); }
+
+  /// Total violations observed (the stored list caps at 1024; this
+  /// count does not).
+  std::int64_t violation_count() const { return violation_count_; }
 
   /// Time of the most recent violation (0 when none occurred).
   sim::SimTime last_violation_time() const { return last_violation_; }
@@ -52,6 +75,42 @@ class SafetyMonitor : public proto::Listener {
 
   std::int64_t total_entries() const { return total_entries_; }
 
+  // -- liveness watchdog -----------------------------------------------------
+
+  /// One grant stall: `node`'s request from `requested_at` was still
+  /// ungranted at `flagged_at` (> requested_at + threshold). Flagged at
+  /// most once per request.
+  struct Stall {
+    proto::NodeId node = -1;
+    sim::SimTime requested_at = 0;
+    sim::SimTime flagged_at = 0;
+  };
+
+  /// Enables the watchdog: a request older than `threshold` ticks is a
+  /// stall (0, the default, disables it).
+  void set_stall_threshold(sim::SimTime threshold) {
+    stall_threshold_ = threshold;
+  }
+  sim::SimTime stall_threshold() const { return stall_threshold_; }
+
+  const std::vector<Stall>& stalls() const { return stalls_; }
+  std::int64_t stall_count() const { return stall_count_; }
+
+  /// Manual watchdog heartbeat: flags every unflagged request older
+  /// than the threshold at time `now`. Returns the number newly
+  /// flagged. The live-observer mode calls this from on_deliver (rate
+  /// limited); observer-free harnesses can poll it.
+  int check_stalls(sim::SimTime now);
+
+  // -- live engine observer --------------------------------------------------
+
+  /// Registers this monitor as an engine observer: deliveries heartbeat
+  /// the watchdog continuously (see the file comment).
+  void watch(sim::Engine& engine) { engine.add_observer(this); }
+
+  void on_deliver(sim::SimTime at, sim::NodeId to, int channel,
+                  const sim::Message& msg) override;
+
  private:
   void record(sim::SimTime at, std::string what);
 
@@ -61,7 +120,20 @@ class SafetyMonitor : public proto::Listener {
   int units_in_use_ = 0;
   std::int64_t total_entries_ = 0;
   std::vector<Violation> violations_;
+  std::int64_t violation_count_ = 0;
   sim::SimTime last_violation_ = 0;
+
+  // Watchdog state: pending request time per node (kTimeInfinity = no
+  // pending request) and whether that request was already flagged.
+  std::vector<sim::SimTime> pending_since_;
+  std::vector<char> stall_flagged_;
+  int pending_requests_ = 0;
+  sim::SimTime stall_threshold_ = 0;
+  // Deliveries heartbeat at most every threshold/4 ticks (deterministic:
+  // driven by simulated time, not wall clock).
+  sim::SimTime next_stall_check_ = 0;
+  std::vector<Stall> stalls_;
+  std::int64_t stall_count_ = 0;
 };
 
 }  // namespace klex::verify

@@ -1,0 +1,100 @@
+// Fault vocabulary tests: the FaultKind <-> artifact-name mapping and
+// the FaultPlan classification predicates.
+//
+// to_string(FaultKind) is the spelling BENCH_*.json artifacts and
+// bench_diff.py key on: it must stay stable, unique per kind and
+// exhaustive (a new enumerator falling through to a default would label
+// every artifact record of that kind identically and silently merge
+// cells in the perf gate).
+#include "api/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace klex {
+namespace {
+
+const std::vector<std::pair<FaultKind, std::string>>& all_kinds() {
+  // Exhaustive by construction: update together with the enum (the
+  // count check below fails loudly if a new kind is missing here).
+  static const std::vector<std::pair<FaultKind, std::string>> kinds = {
+      {FaultKind::kNone, "none"},
+      {FaultKind::kTransient, "transient"},
+      {FaultKind::kChannelWipe, "channel_wipe"},
+      {FaultKind::kGarbageFlood, "garbage_flood"},
+      {FaultKind::kLinkChurn, "link_churn"},
+      {FaultKind::kNodeCrash, "node_crash"},
+      {FaultKind::kChaosBurst, "chaos_burst"},
+  };
+  return kinds;
+}
+
+TEST(FaultKindNames, EveryKindHasItsPinnedArtifactSpelling) {
+  for (const auto& [kind, name] : all_kinds()) {
+    EXPECT_EQ(to_string(kind), name);
+  }
+}
+
+TEST(FaultKindNames, NamesAreUniqueAndRoundTrip) {
+  std::set<std::string> seen;
+  for (const auto& [kind, name] : all_kinds()) {
+    EXPECT_TRUE(seen.insert(to_string(kind)).second)
+        << "duplicate fault-kind name '" << to_string(kind)
+        << "': bench_diff.py would merge distinct kinds into one key";
+  }
+  // Reverse direction of the round trip: the pinned name list maps back
+  // to exactly one kind each.
+  for (const auto& [kind, name] : all_kinds()) {
+    int matches = 0;
+    FaultKind matched = FaultKind::kNone;
+    for (const auto& [other, other_name] : all_kinds()) {
+      if (to_string(other) == name) {
+        ++matches;
+        matched = other;
+      }
+    }
+    EXPECT_EQ(matches, 1) << name;
+    EXPECT_EQ(matched, kind) << name;
+  }
+}
+
+TEST(FaultKindNames, TableIsExhaustive) {
+  // kChaosBurst is the last enumerator; the table must cover the whole
+  // closed range. A new enumerator appended to the enum fails here
+  // until the table (and to_string) learn about it.
+  EXPECT_EQ(static_cast<int>(all_kinds().size()),
+            static_cast<int>(FaultKind::kChaosBurst) + 1);
+}
+
+TEST(FaultPlanPredicates, ClassifyTopologyAndChaosEvents) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.has_topology_events());
+  EXPECT_FALSE(plan.has_chaos_events());
+
+  FaultEvent transient;
+  transient.kind = FaultKind::kTransient;
+  plan.events.push_back(transient);
+  EXPECT_FALSE(plan.has_topology_events());
+  EXPECT_FALSE(plan.has_chaos_events());
+
+  FaultEvent churn;
+  churn.kind = FaultKind::kLinkChurn;
+  plan.events.push_back(churn);
+  EXPECT_TRUE(plan.has_topology_events());
+  EXPECT_FALSE(plan.has_chaos_events());
+
+  FaultEvent burst;
+  burst.kind = FaultKind::kChaosBurst;
+  burst.chaos.drop_p = 0.3;
+  burst.duration = 1'000;
+  plan.events.push_back(burst);
+  EXPECT_TRUE(plan.has_topology_events());
+  EXPECT_TRUE(plan.has_chaos_events());
+}
+
+}  // namespace
+}  // namespace klex

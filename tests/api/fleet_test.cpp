@@ -16,6 +16,7 @@
 
 #include "api/builder.hpp"
 #include "api/fleet.hpp"
+#include "sim/chaos.hpp"
 #include "support/rng.hpp"
 #include "tree/tree.hpp"
 
@@ -245,6 +246,68 @@ TEST(FleetSystemTest, ChurnInOneTenantDoesNotRevokeLeasesInAnother) {
   EXPECT_FALSE(pool.at(in_a).holding());
   EXPECT_TRUE(fleet.tenant_correct(0));
   EXPECT_TRUE(fleet.tenant_correct(1));
+}
+
+TEST(FleetSystemTest, ChaosBurstHitsExactlyTheTargetTenant) {
+  // chaos_burst_tenant is the chaos-isolation twin of the per-tenant
+  // fault entry points: a blackout burst on tenant 1 must drop tenant
+  // 1's traffic and be invisible to the other tenants' links.
+  FleetConfig config;
+  for (int t = 0; t < 3; ++t) {
+    config.tenants.push_back({tree::line(6), 1, 2, proto::Features::full()});
+  }
+  config.seed = 909;
+  FleetSystem fleet(config);
+  // Pass-through chaos model: steady config is reliable FIFO (zero
+  // knobs), only bursts perturb anything.
+  fleet.engine().configure_chaos(sim::ChaosConfig{});
+  ASSERT_NE(fleet.run_until_stabilized(2'000'000), sim::kTimeInfinity);
+  ASSERT_EQ(fleet.engine().chaos_stats().dropped, 0u);
+
+  // Black out tenant 1's channels while its transient-fault recovery
+  // traffic is trying to run: every repair message it sends is eaten.
+  sim::ChaosConfig blackout;
+  blackout.drop_p = 1.0;
+  fleet.chaos_burst_tenant(1, blackout, 200'000);
+  support::Rng fault(2025);
+  fleet.inject_transient_fault_tenant(1, fault);
+  EXPECT_FALSE(fleet.tenant_correct(1));
+
+  fleet.run_until(fleet.engine().now() + 150'000);
+  const sim::ChaosStats mid = fleet.engine().chaos_stats();
+  EXPECT_GT(mid.dropped, 0u) << "recovery traffic must hit the blackout";
+  // The blackout pins tenant 1 down; the other tenants never notice.
+  EXPECT_FALSE(fleet.tenant_correct(1));
+  for (int t : {0, 2}) {
+    EXPECT_TRUE(fleet.tenant_correct(t)) << "tenant " << t;
+  }
+
+  // Channel scoping, not time scoping: the drops land on a subset of
+  // links (tenant 1's contiguous range); plenty of links stayed clean.
+  const sim::ChaosModel* model = fleet.engine().chaos_model();
+  ASSERT_NE(model, nullptr);
+  int hit = 0;
+  int clean = 0;
+  for (int c = 0; c < fleet.engine().channel_count(); ++c) {
+    if (model->link(c).stats.dropped > 0) {
+      ++hit;
+    } else {
+      ++clean;
+    }
+  }
+  EXPECT_GT(hit, 0);
+  EXPECT_GT(clean, 0) << "a tenant burst must not cover every link";
+
+  // The burst expires lazily; the re-minted population restabilizes the
+  // faulted tenant and the steady pass-through config drops nothing.
+  ASSERT_NE(fleet.run_until_stabilized(8'000'000), sim::kTimeInfinity);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_TRUE(fleet.tenant_correct(t)) << "tenant " << t;
+  }
+  const sim::ChaosStats after = fleet.engine().chaos_stats();
+  fleet.run_until(fleet.engine().now() + 100'000);
+  EXPECT_EQ(fleet.engine().chaos_stats().dropped, after.dropped)
+      << "steady zero config must stop dropping once the burst expired";
 }
 
 TEST(FleetSystemTest, CrossTenantClassOccupiesTheSameLocalIdEverywhere) {

@@ -33,7 +33,13 @@ present on both sides the tool compares:
     seed). These are bit-deterministic per seed, so any growth beyond
     --counter-tolerance plus --counter-slack means per-event allocations,
     O(channels) census walks or heap-fallback scheduling crept back into
-    a hot path: REGRESSION.
+    a hot path: REGRESSION. A counter present in the baseline but absent
+    from the current artifact is a FAILURE (dropping a gated counter must
+    not read as "no regression"); one absent from the baseline is skipped
+    with a note (new counters gate once a baseline carrying them is
+    committed). Any non-finite gated value (NaN/Inf rate or counter) is a
+    data error: it would compare as "no regression" on every side and
+    silently disarm the gate.
 
 Coverage is part of the contract: an aggregate cell (or a per-seed run)
 present in the baseline but missing from the current artifact is a
@@ -53,6 +59,7 @@ error.
 
 import argparse
 import json
+import math
 import re
 import sys
 from pathlib import Path
@@ -62,6 +69,13 @@ ENGINE_COUNTER_FIELDS = (
     "callback_slots_created",
     "in_flight_walks",
     "overflow_pushes",
+    # Adversarial-channel decision counters: bit-deterministic per seed
+    # (per-link chaos rng), emitted only by chaos-enabled scenarios --
+    # absent baselines skip them via the absent-in-baseline rule.
+    "chaos_dropped",
+    "chaos_duplicated",
+    "chaos_reordered",
+    "chaos_jittered",
 )
 RUN_COUNTER_FIELDS = ("recovery_events",)
 
@@ -146,6 +160,27 @@ def cell_n(topology, record=None):
         return record["n"]
     match = re.search(r"n=(\d+)", topology)
     return int(match.group(1)) if match else None
+
+
+def checked_number(label, where, value):
+    """Validates a gated metric value. None passes through (the caller
+    decides what absence means); anything non-numeric or NaN is a data
+    error -- a NaN rate or counter would compare as 'not a regression'
+    on every side and silently disarm the gate.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or (
+        isinstance(value, float) and not math.isfinite(value)
+    ):
+        print(
+            f"error: {where}: {label} is {value!r} -- not a finite number; "
+            f"the artifact is corrupt (NaN/Inf compares as 'no regression' "
+            f"and would disarm the gate)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return value
 
 
 def fmt_wall_per_node(cell):
@@ -267,8 +302,12 @@ def main():
                       f"missing from current artifact")
         print(f"== scenario '{name}': {len(shared)} aggregate cell(s) ==")
         for key in shared:
-            base_rate = base_cells[key].get(RATE_FIELD, 0.0)
-            cur_rate = cur_cells[key].get(RATE_FIELD, 0.0)
+            base_rate = checked_number(
+                RATE_FIELD, f"[{name}] baseline {fmt_key(key)}",
+                base_cells[key].get(RATE_FIELD)) or 0.0
+            cur_rate = checked_number(
+                RATE_FIELD, f"[{name}] current {fmt_key(key)}",
+                cur_cells[key].get(RATE_FIELD)) or 0.0
             if base_rate > 0:
                 change = cur_rate / base_rate - 1.0
                 status = "ok"
@@ -324,7 +363,25 @@ def main():
                 for field in RUN_COUNTER_FIELDS
             ]
             for label, base_v, cur_v in counters:
-                if base_v is None or cur_v is None:
+                base_v = checked_number(
+                    label, f"[{name}] baseline {fmt_key(key)}", base_v)
+                cur_v = checked_number(
+                    label, f"[{name}] current {fmt_key(key)}", cur_v)
+                if base_v is None:
+                    # The baseline predates this counter: nothing to gate
+                    # against, but say so once rather than pass silently.
+                    if cur_v is not None:
+                        print(f"  note        {fmt_key(key)}: {label} absent "
+                              f"from baseline; skipped (new counter)")
+                    continue
+                if cur_v is None:
+                    # Present in the baseline but gone from the current
+                    # artifact: the counter was dropped or renamed, which
+                    # must not read as "no regression".
+                    failures += 1
+                    print(f"  FAILURE     {fmt_key(key)}: {label} present in "
+                          f"baseline ({base_v}) but absent from current "
+                          f"artifact")
                     continue
                 limit = base_v * (1.0 + args.counter_tolerance) + args.counter_slack
                 if cur_v > limit:

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py -- the CI perf gate.
+
+The gate's failure modes are the point: a comparison that silently skips
+a dropped counter, or treats a NaN rate as "no regression", is worse
+than no gate at all. Each test builds a pair of tiny BENCH artifacts in
+temp directories and asserts on bench_diff's exit status and output.
+
+Run directly (python3 tools/bench_diff_test.py) or under any unittest
+runner; CI runs it next to the real bench_diff invocation.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+BENCH_DIFF = Path(__file__).resolve().parent / "bench_diff.py"
+
+
+def artifact(rate=100000.0, counter=42, recovery=7, recovered=True):
+    """One minimal BENCH artifact with a single cell and a single run."""
+    return {
+        "scenario": "unit",
+        "aggregates": [
+            {
+                "topology": "tree:line(n=8)",
+                "features": "full",
+                "k": 1,
+                "l": 2,
+                "n": 8,
+                "total_events_per_sec": rate,
+                "mean_wall_seconds": 0.001,
+            }
+        ],
+        "runs": [
+            {
+                "topology": "tree:line(n=8)",
+                "features": "full",
+                "k": 1,
+                "l": 2,
+                "seed": 1,
+                "recovered": recovered,
+                "recovery_events": recovery,
+                "engine": {
+                    "callback_slots_created": counter,
+                    "in_flight_walks": counter,
+                    "overflow_pushes": 0,
+                },
+            }
+        ],
+    }
+
+
+def run_diff(base, cur, *extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = Path(tmp) / "base"
+        cur_dir = Path(tmp) / "cur"
+        base_dir.mkdir()
+        cur_dir.mkdir()
+        (base_dir / "BENCH_unit.json").write_text(json.dumps(base))
+        (cur_dir / "BENCH_unit.json").write_text(json.dumps(cur))
+        return subprocess.run(
+            [sys.executable, str(BENCH_DIFF), str(base_dir), str(cur_dir),
+             *extra],
+            capture_output=True,
+            text=True,
+        )
+
+
+class BenchDiffTest(unittest.TestCase):
+    def test_identical_artifacts_pass(self):
+        result = run_diff(artifact(), artifact())
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("no regressions", result.stdout)
+
+    def test_rate_drop_beyond_tolerance_fails(self):
+        result = run_diff(artifact(rate=100000.0), artifact(rate=50000.0))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_counter_growth_beyond_tolerance_fails(self):
+        result = run_diff(artifact(counter=100), artifact(counter=200))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_nan_rate_is_a_data_error(self):
+        cur = artifact()
+        cur["aggregates"][0]["total_events_per_sec"] = float("nan")
+        result = run_diff(artifact(), cur)
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("not a finite number", result.stderr)
+
+    def test_nan_counter_is_a_data_error(self):
+        cur = artifact()
+        cur["runs"][0]["engine"]["in_flight_walks"] = float("nan")
+        result = run_diff(artifact(), cur)
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+        self.assertIn("not a finite number", result.stderr)
+
+    def test_counter_dropped_from_current_fails(self):
+        cur = artifact()
+        del cur["runs"][0]["engine"]["in_flight_walks"]
+        result = run_diff(artifact(), cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("absent from current", result.stdout)
+
+    def test_counter_new_in_current_is_noted_not_failed(self):
+        base = artifact()
+        del base["runs"][0]["engine"]["in_flight_walks"]
+        result = run_diff(base, artifact())
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("absent from baseline; skipped", result.stdout)
+
+    def test_missing_baseline_cell_fails(self):
+        cur = artifact()
+        cur["aggregates"] = []
+        cur["runs"] = []
+        result = run_diff(artifact(), cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("missing from current", result.stdout)
+
+    def test_lost_recovery_fails(self):
+        result = run_diff(artifact(recovered=True),
+                          artifact(recovered=False))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("recovered", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,126 @@
+// chaos_fuzz -- deterministic chaos-campaign fuzzer CLI.
+//
+// Samples adversarial-channel burst configs over small trees, runs each
+// through the full runner pipeline with continuous invariant monitoring,
+// and delta-debugs every failure down to a minimal reproducer (see
+// src/exp/chaos_fuzz.hpp). The whole campaign is a pure function of
+// --seed, so CI can pin a bounded smoke campaign.
+//
+// Usage:
+//   chaos_fuzz [--cases N] [--seed S] [--out DIR] [--no-minimize]
+//              [--replay INDEX] [--expect-failures N]
+//
+// Outputs into DIR (default "."):
+//   CHAOS_fuzz.json            -- campaign summary (per-failure metadata)
+//   CHAOS_repro_<case>.json    -- replayable minimized ScenarioSpec per
+//                                 failing case (write_scenario_json)
+//
+// --replay INDEX re-runs one sampled case by index and reports its
+// classification (how a minimized reproducer's provenance is checked).
+// --expect-failures N exits nonzero unless at least N failures were
+// found -- the CI smoke assertion that the fuzzer still catches anything.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "exp/chaos_fuzz.hpp"
+#include "exp/runner.hpp"
+
+namespace {
+
+std::uint64_t parse_u64(const char* text) {
+  return static_cast<std::uint64_t>(std::strtoull(text, nullptr, 10));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  klex::exp::ChaosFuzzConfig config;
+  std::string out_dir = ".";
+  int replay_index = -1;
+  int expect_failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--cases") == 0) {
+      config.cases = std::atoi(next());
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      config.seed = parse_u64(next());
+    } else if (std::strcmp(arg, "--out") == 0) {
+      out_dir = next();
+    } else if (std::strcmp(arg, "--no-minimize") == 0) {
+      config.minimize = false;
+    } else if (std::strcmp(arg, "--replay") == 0) {
+      replay_index = std::atoi(next());
+    } else if (std::strcmp(arg, "--expect-failures") == 0) {
+      expect_failures = std::atoi(next());
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  // Stall watchdog on for every case: grant stalls during the burst are
+  // part of the campaign's observability, not just safety violations.
+  // ~100x the quiet-network grant latency on the sampled trees, and small
+  // enough to actually fire inside a case's horizon + recovery window.
+  config.stall_threshold = 25'000;
+
+  if (replay_index >= 0) {
+    klex::exp::ScenarioSpec spec =
+        klex::exp::make_chaos_case(config, replay_index);
+    auto points = klex::exp::ExperimentRunner::expand(spec);
+    klex::exp::RunResult result =
+        klex::exp::ExperimentRunner::run_point(spec, points.front());
+    const std::string reason = klex::exp::classify_chaos_failure(result);
+    std::cout << "case " << replay_index << ": "
+              << (reason.empty() ? "pass" : reason)
+              << " (fault_phase_violations=" << result.fault_phase_violations
+              << ", recovered=" << (result.recovered ? "yes" : "no")
+              << ", stalls=" << result.liveness_stalls << ")\n";
+    return 0;
+  }
+
+  klex::exp::ChaosFuzzReport report = klex::exp::run_chaos_fuzz(config);
+
+  const std::string summary_path = out_dir + "/CHAOS_fuzz.json";
+  std::ofstream summary(summary_path);
+  if (!summary.good()) {
+    std::cerr << "cannot open " << summary_path << " for writing\n";
+    return 1;
+  }
+  klex::exp::write_chaos_fuzz_json(summary, config, report);
+
+  for (const klex::exp::ChaosFailure& failure : report.failures) {
+    const std::string path = out_dir + "/CHAOS_repro_" +
+                             std::to_string(failure.case_index) + ".json";
+    std::ofstream repro(path);
+    if (!repro.good()) {
+      std::cerr << "cannot open " << path << " for writing\n";
+      return 1;
+    }
+    klex::exp::write_scenario_json(repro, failure.minimized);
+    std::cout << "case " << failure.case_index << ": " << failure.reason
+              << " (violations=" << failure.violations << ", shrink_steps="
+              << failure.shrink_steps << ", shrink_runs="
+              << failure.shrink_runs << ") -> " << path << "\n";
+  }
+  std::cout << report.cases_run << " cases, " << report.failures.size()
+            << " failures -> " << summary_path << "\n";
+
+  if (expect_failures > 0 &&
+      static_cast<int>(report.failures.size()) < expect_failures) {
+    std::cerr << "expected at least " << expect_failures
+              << " failures, found " << report.failures.size() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -238,6 +238,17 @@ SystemBuilder& SystemBuilder::chaos(const sim::ChaosConfig& config) {
   return *this;
 }
 
+SystemBuilder& SystemBuilder::retry_policy(const proto::RetryPolicy& policy) {
+  retry_policy_ = policy;
+  return *this;
+}
+
+SystemBuilder& SystemBuilder::admission_policy(
+    const proto::AdmissionPolicy& policy) {
+  admission_policy_ = policy;
+  return *this;
+}
+
 SystemBuilder& SystemBuilder::beacon_period(sim::SimTime t) {
   beacon_period_ = t;
   return *this;
@@ -330,6 +341,7 @@ std::unique_ptr<SystemBase> SystemBuilder::build() const {
     config.scheduler = scheduler_;
     auto fleet_system = std::make_unique<FleetSystem>(std::move(config));
     fleet_system->set_misuse_policy(misuse_policy_);
+    fleet_system->set_admission_policy(admission_policy_);
     attach_chaos(*fleet_system);
     return fleet_system;
   }
@@ -444,6 +456,7 @@ std::unique_ptr<SystemBase> SystemBuilder::build() const {
   }
   KLEX_CHECK(system != nullptr, "builder produced no system");
   system->set_misuse_policy(misuse_policy_);
+  system->set_admission_policy(admission_policy_);
   attach_chaos(*system);
   return system;
 }
@@ -506,6 +519,7 @@ Session SystemBuilder::build_session() const {
           session.system->engine(), session.system->clients(),
           session.workload.behaviors, support::Rng(seed_ ^ kDriverSalt));
     }
+    session.driver->set_retry_policy(retry_policy_);
   }
   return session;
 }

@@ -126,6 +126,14 @@ class SystemBuilder {
   /// or the fault plan schedules kChaosBurst events; otherwise the build
   /// is bit-identical to one that never mentioned chaos.
   SystemBuilder& chaos(const sim::ChaosConfig& config);
+  /// Degraded-mode client policy: denial backoff / jitter / attempt cap /
+  /// retry budget / per-acquire deadline applied by the session driver
+  /// (build_session only). The default reproduces the historical
+  /// behavior exactly.
+  SystemBuilder& retry_policy(const proto::RetryPolicy& policy);
+  /// Degraded-mode admission bounds enforced at SystemBase::request:
+  /// requests beyond them fast-fail with DenyReason::kOverloaded.
+  SystemBuilder& admission_policy(const proto::AdmissionPolicy& policy);
 
   // -- graph-composition phase -------------------------------------------------
   SystemBuilder& beacon_period(sim::SimTime t);
@@ -182,6 +190,8 @@ class SystemBuilder {
   bool literal_pusher_guard_ = false;
   bool omit_prio_wrap_count_ = false;
   MisusePolicy misuse_policy_ = MisusePolicy::kCheck;
+  proto::RetryPolicy retry_policy_{};
+  proto::AdmissionPolicy admission_policy_{};
   sim::ChaosConfig chaos_{};
   sim::SimTime beacon_period_ = 256;
   sim::SimTime spanning_tree_deadline_ = 4'000'000;

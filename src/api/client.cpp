@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/engine.hpp"
 #include "support/check.hpp"
 
 namespace klex {
@@ -24,6 +25,8 @@ const char* deny_reason_name(DenyReason reason) {
     case DenyReason::kBadNeed: return "bad_need";
     case DenyReason::kRevoked: return "revoked";
     case DenyReason::kUnreachable: return "unreachable";
+    case DenyReason::kDeadlineExceeded: return "deadline_exceeded";
+    case DenyReason::kOverloaded: return "overloaded";
   }
   return "?";
 }
@@ -110,8 +113,8 @@ bool PendingAcquire::pending() const { return client_->waiting(); }
 // -- Client -------------------------------------------------------------------
 
 Client::Client(proto::RequestPort& port, proto::NodeId node, int k,
-               MisusePolicy policy)
-    : port_(port), node_(node), k_(k), policy_(policy) {
+               MisusePolicy policy, sim::Engine* engine)
+    : port_(port), node_(node), k_(k), policy_(policy), engine_(engine) {
   KLEX_REQUIRE(node_ >= 0, "bad node id ", node_);
   KLEX_REQUIRE(k_ >= 1, "k must be >= 1");
 }
@@ -131,9 +134,12 @@ PendingAcquire Client::deny(DenyReason reason) {
   return PendingAcquire(this);
 }
 
-PendingAcquire Client::acquire(int need) {
+PendingAcquire Client::acquire(int need) { return acquire(need, 0); }
+
+PendingAcquire Client::acquire(int need, sim::SimTime deadline) {
   last_acquire_issued_ = false;
   undelivered_deny_.reset();
+  ++acquire_epoch_;  // any timer armed for a previous acquisition is stale
   if (phase_ == Phase::kWaiting) {
     if (policy_ == MisusePolicy::kCheck) {
       raise_misuse("acquire() while a request is already pending");
@@ -167,12 +173,32 @@ PendingAcquire Client::acquire(int need) {
     // corruption-induced request this session cannot know about.
     return deny(DenyReason::kBusy);
   }
+  if (!port_.admit(node_, need)) {
+    // Not misuse: the system's AdmissionPolicy is shedding load.
+    // Retryable once the wait queue drains (WorkloadDriver backs off).
+    return deny(DenyReason::kOverloaded);
+  }
   phase_ = Phase::kWaiting;
   releasing_ = false;
   last_acquire_issued_ = true;
   // May grant synchronously: request() → EnterCS → pool → handle_enter.
   port_.request(node_, need);
+  if (deadline > 0 && phase_ == Phase::kWaiting && engine_ != nullptr) {
+    const std::uint64_t epoch = acquire_epoch_;
+    engine_->schedule_in_stream(engine_->stream_of(node_), deadline,
+                                [this, epoch] { handle_deadline(epoch); });
+  }
   return PendingAcquire(this);
+}
+
+void Client::handle_deadline(std::uint64_t epoch) {
+  if (epoch != acquire_epoch_ || phase_ != Phase::kWaiting) return;  // stale
+  // Abandon the wait only: the protocol has no cancel verb, so the
+  // request stays pending and a late grant surfaces through the
+  // unexpected-grant path (the driver adopts and releases it).
+  phase_ = Phase::kIdle;
+  ++acquire_epoch_;
+  deny(DenyReason::kDeadlineExceeded);
 }
 
 void Client::on_granted(std::function<void(Lease)> fn) {
@@ -330,12 +356,13 @@ void Client::resync() {
 // -- ClientPool ---------------------------------------------------------------
 
 ClientPool::ClientPool(proto::RequestPort& port, int n, int k,
-                       MisusePolicy policy)
+                       MisusePolicy policy, sim::Engine* engine)
     : k_(k), policy_(policy) {
   KLEX_REQUIRE(n >= 0, "negative node count");
   clients_.reserve(static_cast<std::size_t>(n));
   for (proto::NodeId node = 0; node < n; ++node) {
-    clients_.push_back(std::make_unique<Client>(port, node, k, policy));
+    clients_.push_back(
+        std::make_unique<Client>(port, node, k, policy, engine));
   }
 }
 

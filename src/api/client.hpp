@@ -49,6 +49,10 @@
 
 namespace klex {
 
+namespace sim {
+class Engine;
+}  // namespace sim
+
 class Client;
 class ClientPool;
 
@@ -68,6 +72,10 @@ enum class DenyReason {
   kRevoked,  // a pending acquisition was cancelled by resync()
   kUnreachable,  // node crashed / partitioned by a topology fault; retryable
                  // once the topology heals (WorkloadDriver backs off on it)
+  kDeadlineExceeded,  // acquire(need, deadline) not granted in time; the
+                      // wait was abandoned (retryable)
+  kOverloaded,  // refused by the system's AdmissionPolicy: the wait queue
+                // or outstanding need is at its bound (retryable)
 };
 
 const char* deny_reason_name(DenyReason reason);
@@ -77,7 +85,7 @@ const char* deny_reason_name(DenyReason reason);
 const char* to_string(DenyReason reason);
 
 /// Number of DenyReason values (sizes per-reason stat counters).
-inline constexpr int kDenyReasonCount = 6;
+inline constexpr int kDenyReasonCount = 8;
 
 /// RAII grant handle: destruction (or release()) returns the units to
 /// circulation. Move-only -- ownership of the grant transfers with the
@@ -145,8 +153,10 @@ class PendingAcquire {
 /// PendingAcquires point back into it.
 class Client {
  public:
+  /// `engine` (optional) powers per-acquire deadlines; without one,
+  /// acquire(need, deadline) issues normally but cannot arm the timer.
   Client(proto::RequestPort& port, proto::NodeId node, int k,
-         MisusePolicy policy);
+         MisusePolicy policy, sim::Engine* engine = nullptr);
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
@@ -173,6 +183,15 @@ class Client {
   /// Requests `need` units (1..k). Grant/denial arrives through the
   /// sticky handlers -- possibly synchronously, before acquire returns.
   PendingAcquire acquire(int need);
+
+  /// acquire(need) with a deadline (ticks; 0 = none): if the grant has
+  /// not arrived within `deadline`, the *wait* is abandoned -- on_denied
+  /// fires with kDeadlineExceeded and the session returns to idle. The
+  /// protocol request itself stays pending (the paper's interface has no
+  /// cancel verb); a grant arriving after the deadline is surfaced as an
+  /// unexpected grant so the application can release it. Requires the
+  /// pool/client to have been built with an engine.
+  PendingAcquire acquire(int need, sim::SimTime deadline);
 
   /// Sticky handlers. on_granted/on_denied answer acquire();
   /// on_unexpected_grant adopts critical sections this session never
@@ -213,6 +232,9 @@ class Client {
   PendingAcquire deny(DenyReason reason);
   void deliver_grant(int need, bool expected);
   void revoke();
+  /// Deadline timer body: abandons the wait iff the acquisition it was
+  /// armed for is still the pending one (epoch + phase checked).
+  void handle_deadline(std::uint64_t epoch);
 
   /// Protocol events, routed by the owning ClientPool.
   void handle_enter(int need);
@@ -228,9 +250,13 @@ class Client {
   proto::NodeId node_;
   int k_;
   MisusePolicy policy_;
+  sim::Engine* engine_ = nullptr;  // null = deadlines unavailable
   TenantId tenant_ = 0;
 
   Phase phase_ = Phase::kIdle;
+  // Bumped on every acquisition-state transition; a deadline timer fires
+  // only if the epoch it captured is still current (stale timers no-op).
+  std::uint64_t acquire_epoch_ = 0;
   bool reachable_ = true;   // false while detached by a topology fault
   bool releasing_ = false;  // a lease release is driving the exit
   std::uint64_t serial_ = 0;
@@ -251,7 +277,11 @@ class Client {
 /// harness (SystemBase::clients() does both steps).
 class ClientPool final : public proto::Listener {
  public:
-  ClientPool(proto::RequestPort& port, int n, int k, MisusePolicy policy);
+  /// `engine` (optional) is handed to every Client so acquire(need,
+  /// deadline) can arm its timer; SystemBase::clients() always passes
+  /// one, bare-port test pools may omit it.
+  ClientPool(proto::RequestPort& port, int n, int k, MisusePolicy policy,
+             sim::Engine* engine = nullptr);
 
   Client& at(proto::NodeId node);
   const Client& at(proto::NodeId node) const;

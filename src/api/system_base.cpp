@@ -142,8 +142,8 @@ void SystemBase::add_observer(sim::SimObserver* observer) {
 
 ClientPool& SystemBase::clients() {
   if (clients_ == nullptr) {
-    clients_ =
-        std::make_unique<ClientPool>(*this, n(), params_.k, misuse_policy_);
+    clients_ = std::make_unique<ClientPool>(*this, n(), params_.k,
+                                            misuse_policy_, &engine_);
     add_listener(clients_.get());
     on_clients_created(*clients_);
   }
@@ -181,6 +181,7 @@ void SystemBase::request(NodeId node, int need) {
         return;
     }
   }
+  if (!admit(node, need)) return;  // admission shed (not misuse): drop
   participant->request(need);
 }
 
@@ -208,9 +209,39 @@ int SystemBase::need_of(NodeId node) const {
   return participants_[static_cast<std::size_t>(node)]->need();
 }
 
+bool SystemBase::admit(NodeId /*node*/, int need) const {
+  if (!admission_policy_.enabled()) return true;
+  // O(n) census of the wait queue; only paid when a policy is set.
+  int waiting = 0;
+  std::int64_t outstanding_need = 0;
+  for (const proto::ExclusionParticipant* participant : census_participants_) {
+    switch (participant->app_state()) {
+      case proto::AppState::kReq:
+        ++waiting;
+        outstanding_need += participant->need();
+        break;
+      case proto::AppState::kIn:
+        outstanding_need += participant->need();
+        break;
+      case proto::AppState::kOut:
+        break;
+    }
+  }
+  if (admission_policy_.max_waiting >= 0 &&
+      waiting >= admission_policy_.max_waiting) {
+    return false;
+  }
+  if (admission_policy_.max_outstanding_need >= 0 &&
+      outstanding_need + need > admission_policy_.max_outstanding_need) {
+    return false;
+  }
+  return true;
+}
+
 void SystemBase::run_until(sim::SimTime t) {
   // The window executor falls back to the trajectory-identical
-  // merged-serial loop on its own when callbacks or observers are live,
+  // merged-serial loop on its own when callbacks or blocking observers
+  // are live,
   // so dispatching here never changes what happens -- only on how many
   // threads.
   if (parallel_ != nullptr) {

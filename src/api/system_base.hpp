@@ -90,11 +90,24 @@ class SystemBase : public proto::RequestPort {
   void set_misuse_policy(MisusePolicy policy);
   MisusePolicy misuse_policy() const { return misuse_policy_; }
 
+  /// Admission bounds enforced at the request boundary: requests that
+  /// would exceed them are refused -- Client::acquire surfaces the
+  /// refusal as DenyReason::kOverloaded, raw request() drops it -- so a
+  /// degraded system sheds load instead of growing its wait queue
+  /// without bound. Default: admit everything.
+  void set_admission_policy(const proto::AdmissionPolicy& policy) {
+    admission_policy_ = policy;
+  }
+  const proto::AdmissionPolicy& admission_policy() const {
+    return admission_policy_;
+  }
+
   // -- proto::RequestPort ------------------------------------------------------
   void request(NodeId node, int need) override;
   void release(NodeId node) override;
   proto::AppState state_of(NodeId node) const override;
   int need_of(NodeId node) const override;
+  bool admit(NodeId node, int need) const override;
 
   // -- execution ---------------------------------------------------------------
   void run_until(sim::SimTime t);
@@ -263,6 +276,7 @@ class SystemBase : public proto::RequestPort {
   std::vector<const proto::ExclusionParticipant*> census_participants_;
   std::vector<std::pair<sim::NodeId, int>> out_channels_;
   MisusePolicy misuse_policy_ = MisusePolicy::kCheck;
+  proto::AdmissionPolicy admission_policy_;  // default: admit everything
   std::unique_ptr<ClientPool> clients_;  // lazily created by clients()
 };
 

@@ -101,17 +101,25 @@ void WorkloadDriver::start_acquire(proto::NodeId node) {
   }
   int need = static_cast<int>(node_state.behavior.need.sample(rng_for(node)));
   need = std::clamp(need, 1, clients_.k());
+  // Stamp the issue time before acquiring: a synchronous grant reaches
+  // handle_grant inside the acquire() call (latency 0).
+  node_state.acquire_started_at = engine_.now();
   // Outcome arrives through the sticky handlers, possibly synchronously
   // (grant or busy-denial inside this call).
-  client.acquire(need);
+  client.acquire(need, retry_.deadline);
   if (client.last_acquire_issued()) ++node_state.issued;
 }
 
 void WorkloadDriver::handle_grant(proto::NodeId node, Lease lease,
                                   bool expected) {
   NodeState& node_state = state(node);
-  if (expected) ++node_state.granted;
+  if (expected) {
+    ++node_state.granted;
+    node_state.latency.add(static_cast<double>(
+        engine_.now() - node_state.acquire_started_at));
+  }
   node_state.backoff_exponent = 0;  // the node is demonstrably reachable
+  node_state.deny_streak = 0;
   node_state.lease = std::move(lease);
   schedule_release(node);
 }
@@ -120,21 +128,48 @@ void WorkloadDriver::handle_deny(proto::NodeId node, DenyReason reason) {
   ++denials_[static_cast<std::size_t>(reason)];
   NodeState& node_state = state(node);
   if (!node_state.behavior.active) return;
-  if (reason == DenyReason::kUnreachable) {
-    // Crashed / partitioned node: retry with capped exponential backoff
-    // (256, 512, ... 65536 ticks on top of the think time) so detached
-    // nodes do not spin while the topology is down, yet re-acquire
-    // promptly after a repair reattaches them.
-    sim::SimTime backoff = sim::SimTime{256}
-                           << std::min(node_state.backoff_exponent, 8);
-    if (node_state.backoff_exponent < 8) ++node_state.backoff_exponent;
-    schedule_cycle(node, backoff);
+  ++node_state.deny_streak;
+  if (retry_.max_attempts >= 0 &&
+      node_state.deny_streak >= retry_.max_attempts) {
+    // Attempt cap hit: abandon this cycle, return to a plain think loop.
+    node_state.deny_streak = 0;
+    node_state.backoff_exponent = 0;
+    schedule_cycle(node);
     return;
   }
-  // The protocol is busy with a (possibly corruption-induced) request, or
-  // resync() cancelled a pending acquisition: try again after another
-  // think time.
-  schedule_cycle(node);
+  const bool backs_off = reason == DenyReason::kUnreachable ||
+                         reason == DenyReason::kOverloaded ||
+                         reason == DenyReason::kDeadlineExceeded;
+  if (!backs_off) {
+    // The protocol is busy with a (possibly corruption-induced) request,
+    // or resync() cancelled a pending acquisition: try again after
+    // another think time.
+    schedule_cycle(node);
+    return;
+  }
+  // Retryable degraded-mode denial (crashed / partitioned node, shed by
+  // admission, deadline ran out): capped exponential backoff per the
+  // RetryPolicy (default 256, 512, ... 65536 ticks on top of the think
+  // time) plus deterministic jitter drawn from the node's seeded rng, so
+  // detached nodes do not spin while the system is degraded yet
+  // re-acquire promptly once it heals -- and identically seeded runs
+  // replay bit-identically.
+  if (retry_.retry_budget >= 0 &&
+      node_state.retries_spent >= retry_.retry_budget) {
+    return;  // budget spent: shed this node's load instead of retrying
+  }
+  ++node_state.retries_spent;
+  sim::SimTime backoff =
+      retry_.backoff_base
+      << std::min(node_state.backoff_exponent, retry_.backoff_cap_exponent);
+  if (node_state.backoff_exponent < retry_.backoff_cap_exponent) {
+    ++node_state.backoff_exponent;
+  }
+  if (retry_.jitter > 0) {
+    backoff += static_cast<sim::SimTime>(rng_for(node).next_below(
+        static_cast<std::uint64_t>(retry_.jitter) + 1));
+  }
+  schedule_cycle(node, backoff);
 }
 
 void WorkloadDriver::handle_revoked(proto::NodeId node) {
@@ -209,6 +244,12 @@ bool WorkloadDriver::holding(proto::NodeId node) const {
 std::int64_t WorkloadDriver::total_denials() const {
   std::int64_t total = 0;
   for (std::int64_t count : denials_) total += count;
+  return total;
+}
+
+std::int64_t WorkloadDriver::retries_spent() const {
+  std::int64_t total = 0;
+  for (const NodeState& node_state : nodes_) total += node_state.retries_spent;
   return total;
 }
 

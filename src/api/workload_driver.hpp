@@ -24,6 +24,7 @@
 #include "api/client.hpp"
 #include "proto/workload.hpp"
 #include "sim/engine.hpp"
+#include "support/histogram.hpp"
 #include "support/rng.hpp"
 
 namespace klex {
@@ -57,6 +58,15 @@ class WorkloadDriver {
   WorkloadDriver(const WorkloadDriver&) = delete;
   WorkloadDriver& operator=(const WorkloadDriver&) = delete;
 
+  /// Installs the retry policy governing denial handling: which denials
+  /// back off and how (capped exponential + seeded jitter), the
+  /// per-cycle attempt cap, the lifetime retry budget, and the deadline
+  /// passed to every acquire. The default-constructed policy reproduces
+  /// the historical behavior exactly (see proto::RetryPolicy). Call
+  /// before begin().
+  void set_retry_policy(const proto::RetryPolicy& policy) { retry_ = policy; }
+  const proto::RetryPolicy& retry_policy() const { return retry_; }
+
   /// Schedules the initial think time of every active node.
   void begin();
 
@@ -85,6 +95,16 @@ class WorkloadDriver {
   }
   std::int64_t total_denials() const;
 
+  /// Backoff retries consumed against the policy's retry_budget.
+  std::int64_t retries_spent() const;
+
+  /// Grant latency (issue → expected grant, simulated ticks) observed at
+  /// `node`. Deadline-abandoned and adopted (unexpected) acquisitions
+  /// never record a sample.
+  const support::Histogram& grant_latency(proto::NodeId node) const {
+    return nodes_[static_cast<std::size_t>(node)].latency;
+  }
+
  private:
   struct NodeState {
     proto::NodeBehavior behavior;
@@ -92,10 +112,14 @@ class WorkloadDriver {
     std::int64_t granted = 0;
     bool release_scheduled = false;
     bool cycle_scheduled = false;  // a think/acquire callback is pending
-    // Capped exponential backoff against unreachable (crashed /
-    // partitioned) nodes: each kUnreachable denial doubles the extra
-    // delay before the next attempt, a grant resets it.
+    // Capped exponential backoff against retryable denials (unreachable,
+    // overloaded, deadline-exceeded): each one doubles the extra delay
+    // before the next attempt per the RetryPolicy, a grant resets it.
     int backoff_exponent = 0;
+    std::int64_t deny_streak = 0;   // consecutive denials this cycle
+    std::int64_t retries_spent = 0; // lifetime backoff retries (budget)
+    sim::SimTime acquire_started_at = 0;
+    support::Histogram latency;     // issue → grant, expected grants only
     Lease lease;
   };
 
@@ -122,6 +146,7 @@ class WorkloadDriver {
   sim::Engine& engine_;
   ClientPool& clients_;
   std::vector<NodeState> nodes_;
+  proto::RetryPolicy retry_;  // defaults reproduce historical behavior
   support::Rng rng_;
   std::vector<support::Rng> stream_rngs_;  // empty = single shared rng_
   std::array<std::int64_t, static_cast<std::size_t>(kDenyReasonCount)>

@@ -20,9 +20,11 @@ constexpr sim::SimTime kMinBurst = 500;
 // population's growth over the burst (see make_chaos_case).
 constexpr double kDupExponentBudget = 3.0;
 
-/// The default sampling pool: small trees of every family, so sampled
-/// failures come in different shapes and the link minimizer has
-/// structure to cut.
+/// The default sampling pool: every tree family at a small (8-15 node)
+/// and a chaos-at-scale (~64 node) size, so sampled failures come in
+/// different shapes AND different diameters (a burst that only breaks
+/// long circulations never fires on an 8-node line) and the topology /
+/// link minimizers have structure to cut.
 std::vector<TopologySpec> default_topologies() {
   return {
       TopologySpec::tree_line(8),
@@ -30,7 +32,46 @@ std::vector<TopologySpec> default_topologies() {
       TopologySpec::tree_balanced(2, 3),
       TopologySpec::tree_caterpillar(5, 2),
       TopologySpec::tree_random(10, 7),
+      TopologySpec::tree_line(48),
+      TopologySpec::tree_star(49),
+      TopologySpec::tree_balanced(2, 5),
+      TopologySpec::tree_caterpillar(16, 3),
+      TopologySpec::tree_random(64, 7),
   };
+}
+
+/// One-step-smaller topology via parameter halving. Every move is a
+/// subtree extraction in shape: line/star keep a prefix, balanced drops
+/// the bottom level, a caterpillar keeps half its spine (with the
+/// legs), and random_tree(n/2) with the SAME topology seed is literally
+/// the first n/2 nodes of the original (node v attaches to an
+/// rng-drawn earlier node, and the draw sequence is a prefix). Floor at
+/// ~4 nodes: below that the k-out-of-l machinery degenerates and the
+/// reproducer stops resembling the failure. Returns false when no
+/// smaller topology exists.
+bool shrink_topology(TopologySpec& spec) {
+  using Kind = TopologySpec::Kind;
+  switch (spec.kind) {
+    case Kind::kTreeLine:
+    case Kind::kTreeStar:
+    case Kind::kTreeRandom:
+      if (spec.n / 2 < 4) return false;
+      spec.n /= 2;
+      return true;
+    case Kind::kTreeBalanced:
+      // Height floor 2: arity >= 2 keeps >= 7 nodes.
+      if (spec.b <= 2) return false;
+      --spec.b;
+      return true;
+    case Kind::kTreeCaterpillar: {
+      const int spine = spec.a / 2;
+      if (spine < 2 || spine * (1 + spec.b) < 4) return false;
+      spec.a = spine;
+      return true;
+    }
+    default:
+      return false;
+  }
 }
 
 /// Materializes the undirected tree edges of a tree-kind TopologySpec
@@ -73,13 +114,25 @@ RunResult run_case(const ScenarioSpec& spec) {
 
 /// All one-step-smaller variants of `spec`, in the order the greedy
 /// shrinker tries them: duration first (cheapest to re-run), then the
-/// probabilities, then window / jitter, then the link split.
+/// probabilities, then window / jitter, then the topology shrink, then
+/// the link split.
 std::vector<ScenarioSpec> shrink_candidates(const ScenarioSpec& spec) {
   std::vector<ScenarioSpec> out;
   const FaultEvent& event = spec.fault_plan.events.front();
   auto with_event = [&spec](auto mutate) {
     ScenarioSpec candidate = spec;
-    mutate(candidate.fault_plan.events.front());
+    FaultEvent& e = candidate.fault_plan.events.front();
+    mutate(e);
+    // Re-impose the sampler's amplification budget after every move: a
+    // shrink that halves drop_p out from under a near-equal dup_p would
+    // otherwise leave the candidate net-minting on every hop -- the
+    // verification re-run becomes a population bomb instead of a
+    // smaller reproducer (see make_chaos_case on the exponent).
+    const double hops = std::max(static_cast<double>(e.duration) / 8.0, 1.0);
+    const double max_excess = kDupExponentBudget / hops;
+    if (e.chaos.dup_p > e.chaos.drop_p + max_excess) {
+      e.chaos.dup_p = e.chaos.drop_p + max_excess;
+    }
     return candidate;
   };
   if (event.duration >= 2 * kMinBurst) {
@@ -104,6 +157,20 @@ std::vector<ScenarioSpec> shrink_candidates(const ScenarioSpec& spec) {
     out.push_back(with_event([](FaultEvent& e) {
       e.chaos.reorder_window = std::max(1, e.chaos.reorder_window / 2);
     }));
+  }
+  // Topology shrink (subtree extraction by parameter halving): only
+  // while the burst still targets ALL links -- an explicit link list
+  // names node ids of the current topology, so once link narrowing has
+  // started the topology is pinned. Each accepted shrink is re-verified
+  // by the greedy loop like any other move, so the failure class is
+  // preserved across the size cut.
+  if (event.links.empty()) {
+    TopologySpec smaller = spec.topologies.front();
+    if (shrink_topology(smaller)) {
+      ScenarioSpec candidate = spec;
+      candidate.topologies = {smaller};
+      out.push_back(std::move(candidate));
+    }
   }
   // Link narrowing: an all-links burst (empty list) first materializes
   // the tree's edges, then each round offers the two halves of the
@@ -292,6 +359,11 @@ void write_chaos_fuzz_json(std::ostream& out, const ChaosFuzzConfig& config,
     json.field("run_seed", failure.spec.base_seed);
     json.key("burst");
     write_burst(json, failure.spec.fault_plan.events.front());
+    // The topology-shrink move can leave the reproducer on a smaller
+    // tree than the sampled case, so the minimized topology is part of
+    // the reproducer's identity.
+    json.field("minimized_topology",
+               failure.minimized.topologies.front().name());
     json.key("minimized_burst");
     write_burst(json, failure.minimized.fault_plan.events.front());
     json.field("minimized_violations", failure.minimized_violations);

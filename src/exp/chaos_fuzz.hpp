@@ -14,12 +14,15 @@
 //
 // Every failing case is then shrunk ddmin-style toward a minimal
 // reproducer: halve the burst duration, halve each probability (zeroing
-// it once negligible), shrink the reordering window and jitter, and
-// narrow the burst from all links to a binary-split subset of tree
-// edges. A shrink step is kept only if re-running the smaller scenario
-// reproduces the SAME failure class, so the minimized spec is verified
-// by construction; it is emitted as replayable ScenarioSpec JSON
-// (write_scenario_json) that any harness can re-run bit for bit.
+// it once negligible), shrink the reordering window and jitter, shrink
+// the topology itself (subtree extraction by parameter halving, down to
+// a ~4-node floor -- a failure sampled on a 64-node tree often survives
+// on a fraction of it), and narrow the burst from all links to a
+// binary-split subset of tree edges. A shrink step is kept only if
+// re-running the smaller scenario reproduces the SAME failure class, so
+// the minimized spec is verified by construction; it is emitted as
+// replayable ScenarioSpec JSON (write_scenario_json) that any harness
+// can re-run bit for bit.
 //
 // Everything -- sampling, execution, shrinking -- is a pure function of
 // ChaosFuzzConfig::seed; a campaign is reproducible from its config
@@ -53,9 +56,10 @@ struct ChaosFuzzConfig {
   int cmax = 4;
 
   /// Windows for each sampled case (short: campaigns run many cases;
-  /// the deadlines are sized for the default 8-10-node pool, where the
+  /// the deadlines are sized for the default 8-64-node pool, where the
   /// root timeout -- the slowest legitimate recovery mechanism -- is
-  /// ~1.2k ticks and the longest sampled burst is 30k).
+  /// ~1.2k ticks at the small shapes and ~8k at the 64-node ones, and
+  /// the longest sampled burst is 30k).
   sim::SimTime warmup = 2'000;
   sim::SimTime horizon = 40'000;
   sim::SimTime stabilize_deadline = 300'000;

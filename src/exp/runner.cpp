@@ -13,6 +13,7 @@
 #include "proto/trace.hpp"
 #include "stats/waiting_time.hpp"
 #include "support/check.hpp"
+#include "support/histogram.hpp"
 #include "support/json.hpp"
 #include "verify/safety_monitor.hpp"
 
@@ -23,6 +24,39 @@ namespace {
 RunResult run_fleet_shared(const ScenarioSpec& spec, const RunPoint& point);
 RunResult run_fleet_separate(const ScenarioSpec& spec,
                              const RunPoint& point);
+
+/// The grid point's policy variant (null when the scenario has no
+/// policy axis).
+const ScenarioSpec::PolicyVariant* variant_of(const ScenarioSpec& spec,
+                                              const RunPoint& point) {
+  if (point.policy < 0) return nullptr;
+  KLEX_CHECK(static_cast<std::size_t>(point.policy) < spec.policies.size(),
+             "policy index out of range");
+  return &spec.policies[static_cast<std::size_t>(point.policy)];
+}
+
+/// The chaos config a grid point actually runs under (a variant may
+/// override the scenario-level config).
+const sim::ChaosConfig& chaos_of(const ScenarioSpec& spec,
+                                 const ScenarioSpec::PolicyVariant* variant) {
+  return variant != nullptr && variant->override_chaos ? variant->chaos
+                                                       : spec.chaos;
+}
+
+/// Fills the run-level grant-latency percentiles from the driver's
+/// per-node histograms (per-class slices are filled where the class
+/// cells are built).
+void collect_latency(const WorkloadDriver& driver, int n, RunResult& result) {
+  support::Histogram latency;
+  for (proto::NodeId node = 0; node < n; ++node) {
+    latency.merge(driver.grant_latency(node));
+  }
+  if (latency.count() == 0) return;
+  result.latency_count = static_cast<std::int64_t>(latency.count());
+  result.latency_p50 = latency.quantile(0.5);
+  result.latency_p99 = latency.quantile(0.99);
+  result.latency_p999 = latency.quantile(0.999);
+}
 
 }  // namespace
 
@@ -46,10 +80,15 @@ std::vector<RunPoint> ExperimentRunner::expand(const ScenarioSpec& spec) {
   for (int fleet : spec.fleet) {
     KLEX_REQUIRE(fleet >= 1, "fleet entries must be >= 1, got ", fleet);
   }
+  // An empty policy list is one implicit default variant (policy = -1):
+  // artifacts gain no policy axis and stay byte-identical.
+  const int policy_count =
+      spec.policies.empty() ? 1 : static_cast<int>(spec.policies.size());
   std::vector<RunPoint> points;
   points.reserve(spec.topologies.size() * spec.features.size() *
                  spec.kl.size() * spec.fault_garbage.size() *
                  spec.threads.size() * spec.fleet.size() *
+                 static_cast<std::size_t>(policy_count) *
                  static_cast<std::size_t>(spec.seeds) *
                  (spec.fleet_compare_separate ? 2 : 1));
   for (const TopologySpec& topology : spec.topologies) {
@@ -63,19 +102,22 @@ std::vector<RunPoint> ExperimentRunner::expand(const ScenarioSpec& spec) {
               const int modes =
                   (fleet > 1 && spec.fleet_compare_separate) ? 2 : 1;
               for (int mode = 0; mode < modes; ++mode) {
-                for (int s = 0; s < spec.seeds; ++s) {
-                  RunPoint point;
-                  point.topology = topology;
-                  point.features = features;
-                  point.k = k;
-                  point.l = l;
-                  point.fault_garbage = garbage;
-                  point.threads = threads;
-                  point.fleet = fleet;
-                  point.fleet_separate = mode == 1;
-                  point.seed =
-                      spec.base_seed + static_cast<std::uint64_t>(s);
-                  points.push_back(point);
+                for (int policy = 0; policy < policy_count; ++policy) {
+                  for (int s = 0; s < spec.seeds; ++s) {
+                    RunPoint point;
+                    point.topology = topology;
+                    point.features = features;
+                    point.k = k;
+                    point.l = l;
+                    point.fault_garbage = garbage;
+                    point.threads = threads;
+                    point.fleet = fleet;
+                    point.fleet_separate = mode == 1;
+                    point.policy = spec.policies.empty() ? -1 : policy;
+                    point.seed =
+                        spec.base_seed + static_cast<std::uint64_t>(s);
+                    points.push_back(point);
+                  }
                 }
               }
             }
@@ -101,27 +143,32 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   result.fault_garbage = point.fault_garbage;
   result.threads = point.threads;
   result.seed = point.seed;
+  const ScenarioSpec::PolicyVariant* variant = variant_of(spec, point);
+  if (variant != nullptr) result.policy = variant->label;
 
   // Every grid point is one declarative construction: topology × params
   // × workload × fault plan through the one SystemBuilder path.
-  Session session = SystemBuilder()
-                        .topology(point.topology)
-                        .kl(point.k, point.l)
-                        .features(point.features)
-                        .cmax(spec.cmax)
-                        .delays(spec.delays)
-                        .seed(point.seed)
-                        .seed_tokens(spec.seed_tokens)
-                        .spread_tokens(spec.spread_tokens)
-                        .beacon_period(spec.beacon_period)
-                        .spanning_tree_deadline(spec.spanning_tree_deadline)
-                        .threads(point.threads)
-                        .workload(spec.workload)
-                        .fault(spec.fault)
-                        .fault_garbage(point.fault_garbage)
-                        .fault_plan(spec.fault_plan)
-                        .chaos(spec.chaos)
-                        .build_session();
+  SystemBuilder builder;
+  builder.topology(point.topology)
+      .kl(point.k, point.l)
+      .features(point.features)
+      .cmax(spec.cmax)
+      .delays(spec.delays)
+      .seed(point.seed)
+      .seed_tokens(spec.seed_tokens)
+      .spread_tokens(spec.spread_tokens)
+      .beacon_period(spec.beacon_period)
+      .spanning_tree_deadline(spec.spanning_tree_deadline)
+      .threads(point.threads)
+      .workload(spec.workload)
+      .fault(spec.fault)
+      .fault_garbage(point.fault_garbage)
+      .fault_plan(spec.fault_plan)
+      .chaos(chaos_of(spec, variant));
+  if (variant != nullptr) {
+    builder.retry_policy(variant->retry).admission_policy(variant->admission);
+  }
+  Session session = builder.build_session();
   SystemBase& system = *session.system;
   result.n = system.n();
 
@@ -136,8 +183,9 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
   system.add_listener(&safety);
   if (spec.stall_threshold > 0) {
     // Continuous liveness watchdog: the monitor rides the engine as an
-    // observer so stalls are timestamped as they happen (merged-serial
-    // execution; chaos campaigns accept the trade).
+    // observer so stalls are timestamped as they happen. The monitor is
+    // window-safe (lane-local buffers merged at the barrier), so this
+    // no longer forces the parallel engine into merged-serial.
     safety.set_stall_threshold(spec.stall_threshold);
     safety.watch(system.engine());
   }
@@ -186,18 +234,37 @@ RunResult ExperimentRunner::run_point(const ScenarioSpec& spec,
     }
     ClassResult base_cell;
     base_cell.name = "base";
+    // Class latency histograms, parallel to the cells (last = base).
+    std::vector<support::Histogram> class_latency(
+        spec.workload.classes.size() + 1);
     for (proto::NodeId node = 0; node < result.n; ++node) {
       int cls = session.workload.class_index[static_cast<std::size_t>(node)];
+      std::size_t slot = cls >= 0 ? static_cast<std::size_t>(cls)
+                                  : spec.workload.classes.size();
       ClassResult& cell =
           cls >= 0 ? result.classes[static_cast<std::size_t>(cls)]
                    : base_cell;
       ++cell.nodes;
       cell.requests += driver.requests_issued(node);
       cell.grants += driver.grants(node);
+      class_latency[slot].merge(driver.grant_latency(node));
       if (system.state_of(node) == proto::AppState::kIn) ++cell.holding_at_end;
     }
+    auto fill_latency = [](ClassResult& cell,
+                           const support::Histogram& latency) {
+      if (latency.count() == 0) return;
+      cell.latency_count = static_cast<std::int64_t>(latency.count());
+      cell.latency_p50 = latency.quantile(0.5);
+      cell.latency_p99 = latency.quantile(0.99);
+      cell.latency_p999 = latency.quantile(0.999);
+    };
+    for (std::size_t c = 0; c < spec.workload.classes.size(); ++c) {
+      fill_latency(result.classes[c], class_latency[c]);
+    }
+    fill_latency(base_cell, class_latency.back());
     if (base_cell.nodes > 0) result.classes.push_back(std::move(base_cell));
   }
+  collect_latency(driver, result.n, result);
   if (waits.waits().count() > 0) {
     result.mean_wait_entries = waits.waits().mean();
     result.max_wait_entries = waits.waits().max();
@@ -360,23 +427,28 @@ RunResult run_fleet_shared(const ScenarioSpec& spec, const RunPoint& point) {
   result.fleet = point.fleet;
   result.fleet_mode = "shared";
   result.seed = point.seed;
+  const ScenarioSpec::PolicyVariant* variant = variant_of(spec, point);
+  if (variant != nullptr) result.policy = variant->label;
 
   // The fault phase is applied by hand below (tenant-scoped), so the
   // builder carries no fault of its own.
-  Session session = SystemBuilder()
-                        .topology(point.topology)
-                        .kl(point.k, point.l)
-                        .features(point.features)
-                        .cmax(spec.cmax)
-                        .delays(spec.delays)
-                        .seed(point.seed)
-                        .seed_tokens(spec.seed_tokens)
-                        .spread_tokens(spec.spread_tokens)
-                        .threads(point.threads)
-                        .fleet(point.fleet)
-                        .workload(spec.workload)
-                        .chaos(spec.chaos)
-                        .build_session();
+  SystemBuilder builder;
+  builder.topology(point.topology)
+      .kl(point.k, point.l)
+      .features(point.features)
+      .cmax(spec.cmax)
+      .delays(spec.delays)
+      .seed(point.seed)
+      .seed_tokens(spec.seed_tokens)
+      .spread_tokens(spec.spread_tokens)
+      .threads(point.threads)
+      .fleet(point.fleet)
+      .workload(spec.workload)
+      .chaos(chaos_of(spec, variant));
+  if (variant != nullptr) {
+    builder.retry_policy(variant->retry).admission_policy(variant->admission);
+  }
+  Session session = builder.build_session();
   auto* fleet = dynamic_cast<FleetSystem*>(session.system.get());
   KLEX_CHECK(fleet != nullptr, "fleet(R > 1) must build a FleetSystem");
   SystemBase& system = *session.system;
@@ -445,6 +517,7 @@ RunResult run_fleet_shared(const ScenarioSpec& spec, const RunPoint& point) {
     }
     if (base_cell.nodes > 0) result.classes.push_back(std::move(base_cell));
   }
+  collect_latency(driver, result.n, result);
   if (waits.waits().count() > 0) {
     result.mean_wait_entries = waits.waits().mean();
     result.max_wait_entries = waits.waits().max();
@@ -563,23 +636,28 @@ RunResult run_fleet_separate(const ScenarioSpec& spec,
   result.fleet = point.fleet;
   result.fleet_mode = "separate";
   result.seed = point.seed;
+  const ScenarioSpec::PolicyVariant* variant = variant_of(spec, point);
+  if (variant != nullptr) result.policy = variant->label;
 
   std::vector<Session> sessions;
   sessions.reserve(static_cast<std::size_t>(point.fleet));
   for (int t = 0; t < point.fleet; ++t) {
-    sessions.push_back(
-        SystemBuilder()
-            .topology(point.topology)
-            .kl(point.k, point.l)
-            .features(point.features)
-            .cmax(spec.cmax)
-            .delays(spec.delays)
-            .seed(point.seed + static_cast<std::uint64_t>(t))
-            .seed_tokens(spec.seed_tokens)
-            .spread_tokens(spec.spread_tokens)
-            .workload(spec.workload)
-            .chaos(spec.chaos)
-            .build_session());
+    SystemBuilder builder;
+    builder.topology(point.topology)
+        .kl(point.k, point.l)
+        .features(point.features)
+        .cmax(spec.cmax)
+        .delays(spec.delays)
+        .seed(point.seed + static_cast<std::uint64_t>(t))
+        .seed_tokens(spec.seed_tokens)
+        .spread_tokens(spec.spread_tokens)
+        .workload(spec.workload)
+        .chaos(chaos_of(spec, variant));
+    if (variant != nullptr) {
+      builder.retry_policy(variant->retry)
+          .admission_policy(variant->admission);
+    }
+    sessions.push_back(builder.build_session());
     result.n += sessions.back().system->n();
   }
 
@@ -648,6 +726,22 @@ RunResult run_fleet_separate(const ScenarioSpec& spec,
     result.events_executed +=
         system.engine().events_executed() - events_before;
     result.safety_ok = result.safety_ok && !safety.back()->any_violation();
+  }
+  // Batch-wide grant latency across the R drivers (per-tenant windows
+  // are disjoint runs, so the merged distribution is the batch's).
+  {
+    support::Histogram latency;
+    for (Session& session : sessions) {
+      for (proto::NodeId node = 0; node < session.system->n(); ++node) {
+        latency.merge(session.driver->grant_latency(node));
+      }
+    }
+    if (latency.count() > 0) {
+      result.latency_count = static_cast<std::int64_t>(latency.count());
+      result.latency_p50 = latency.quantile(0.5);
+      result.latency_p99 = latency.quantile(0.99);
+      result.latency_p999 = latency.quantile(0.999);
+    }
   }
   // Per-tenant windows all have length `horizon`, so the batch rate uses
   // the same denominator as the shared run's single window.
@@ -773,16 +867,16 @@ std::vector<RunResult> ExperimentRunner::run(const ScenarioSpec& spec) const {
 std::vector<Aggregate> ExperimentRunner::aggregate(
     const std::vector<RunResult>& results) {
   // Keyed by (topology, features, k, l, fault_garbage, threads, fleet,
-  // fleet_mode), in first-appearance order.
+  // fleet_mode, policy), in first-appearance order.
   std::map<std::tuple<std::string, std::string, int, int, int, int, int,
-                      std::string>,
+                      std::string, std::string>,
            std::size_t>
       index;
   std::vector<Aggregate> cells;
   for (const RunResult& run : results) {
     auto key = std::tuple{run.topology, run.features,  run.k,
                           run.l,        run.fault_garbage, run.threads,
-                          run.fleet,    run.fleet_mode};
+                          run.fleet,    run.fleet_mode, run.policy};
     auto [it, inserted] = index.try_emplace(key, cells.size());
     if (inserted) {
       Aggregate cell;
@@ -794,6 +888,7 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
       cell.threads = run.threads;
       cell.fleet = run.fleet;
       cell.fleet_mode = run.fleet_mode;
+      cell.policy = run.policy;
       cell.n = run.n;
       cells.push_back(cell);
     }
@@ -838,6 +933,12 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
     cell.mean_fault_phase_violations +=
         static_cast<double>(run.fault_phase_violations);
     cell.mean_liveness_stalls += static_cast<double>(run.liveness_stalls);
+    if (run.latency_count > 0) {
+      ++cell.latency_runs;
+      cell.mean_latency_p50 += run.latency_p50;
+      cell.mean_latency_p99 += run.latency_p99;
+      cell.mean_latency_p999 += run.latency_p999;
+    }
   }
   for (Aggregate& cell : cells) {
     if (cell.stabilized_runs > 0) {
@@ -863,6 +964,11 @@ std::vector<Aggregate> ExperimentRunner::aggregate(
       cell.mean_chaos_jittered /= cell.runs;
       cell.mean_fault_phase_violations /= cell.runs;
       cell.mean_liveness_stalls /= cell.runs;
+    }
+    if (cell.latency_runs > 0) {
+      cell.mean_latency_p50 /= cell.latency_runs;
+      cell.mean_latency_p99 /= cell.latency_runs;
+      cell.mean_latency_p999 /= cell.latency_runs;
     }
   }
   return cells;
@@ -912,6 +1018,40 @@ void write_behavior(support::JsonWriter& json,
   if (behavior.max_requests >= 0) {
     json.field("max_requests", behavior.max_requests);
   }
+  json.end_object();
+}
+
+// True when any run of the scenario can exercise a ChaosModel or the
+// liveness watchdog -- gates the chaos/monitoring fields so pre-chaos
+// artifacts stay byte-identical.
+bool is_monitored_spec(const ScenarioSpec& spec) {
+  if (spec.chaos.enabled() || spec.fault_plan.has_chaos_events() ||
+      spec.stall_threshold > 0) {
+    return true;
+  }
+  for (const ScenarioSpec::PolicyVariant& variant : spec.policies) {
+    if (variant.override_chaos && variant.chaos.enabled()) return true;
+  }
+  return false;
+}
+
+void write_retry_policy(support::JsonWriter& json,
+                        const proto::RetryPolicy& retry) {
+  json.begin_object();
+  json.field("backoff_base", retry.backoff_base);
+  json.field("backoff_cap_exponent", retry.backoff_cap_exponent);
+  json.field("jitter", retry.jitter);
+  json.field("max_attempts", retry.max_attempts);
+  json.field("retry_budget", retry.retry_budget);
+  json.field("deadline", retry.deadline);
+  json.end_object();
+}
+
+void write_admission_policy(support::JsonWriter& json,
+                            const proto::AdmissionPolicy& admission) {
+  json.begin_object();
+  json.field("max_waiting", admission.max_waiting);
+  json.field("max_outstanding_need", admission.max_outstanding_need);
   json.end_object();
 }
 
@@ -1016,13 +1156,29 @@ void write_spec_object(support::JsonWriter& json,
   }
   // Chaos / watchdog spec knobs, emitted only for scenarios that use
   // them so every pre-chaos artifact stays byte-identical.
-  const bool monitored_spec = spec.chaos.enabled() ||
-                              spec.fault_plan.has_chaos_events() ||
-                              spec.stall_threshold > 0;
-  if (monitored_spec) {
+  if (is_monitored_spec(spec)) {
     json.key("chaos");
     write_chaos_config(json, spec.chaos);
     json.field("stall_threshold", spec.stall_threshold);
+  }
+  // Policy axis, emitted only when the scenario sweeps one (pre-policy
+  // artifacts stay byte-identical).
+  if (!spec.policies.empty()) {
+    json.key("policies").begin_array();
+    for (const ScenarioSpec::PolicyVariant& variant : spec.policies) {
+      json.begin_object();
+      json.field("label", variant.label);
+      json.key("retry");
+      write_retry_policy(json, variant.retry);
+      json.key("admission");
+      write_admission_policy(json, variant.admission);
+      if (variant.override_chaos) {
+        json.key("chaos");
+        write_chaos_config(json, variant.chaos);
+      }
+      json.end_object();
+    }
+    json.end_array();
   }
   json.key("fault_garbage").begin_array();
   for (int garbage : spec.fault_garbage) json.value(garbage);
@@ -1048,9 +1204,7 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
 
   json.key("spec");
   write_spec_object(json, spec);
-  const bool monitored_spec = spec.chaos.enabled() ||
-                              spec.fault_plan.has_chaos_events() ||
-                              spec.stall_threshold > 0;
+  const bool monitored_spec = is_monitored_spec(spec);
 
   json.key("runs").begin_array();
   for (const RunResult& run : results) {
@@ -1065,6 +1219,7 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
       json.field("fleet", run.fleet);
       json.field("fleet_mode", run.fleet_mode);
     }
+    if (!run.policy.empty()) json.field("policy", run.policy);
     json.field("seed", run.seed);
     json.field("stabilized", run.stabilized);
     if (run.stabilized) {
@@ -1124,6 +1279,12 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
         json.field("requests", cls.requests);
         json.field("grants", cls.grants);
         json.field("holding_at_end", cls.holding_at_end);
+        if (cls.latency_count > 0) {
+          json.field("latency_count", cls.latency_count);
+          json.field("grant_latency_p50", cls.latency_p50);
+          json.field("grant_latency_p99", cls.latency_p99);
+          json.field("grant_latency_p999", cls.latency_p999);
+        }
         json.end_object();
       }
       json.end_array();
@@ -1150,6 +1311,15 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.field("mean_wait_entries", run.mean_wait_entries);
     json.field("max_wait_entries", run.max_wait_entries);
     json.field("p99_wait_entries", run.p99_wait_entries);
+    // Grant-latency percentiles, only when the run recorded any grants
+    // (bench_diff treats a percentile present in the baseline but
+    // missing here as a loud failure).
+    if (run.latency_count > 0) {
+      json.field("latency_count", run.latency_count);
+      json.field("grant_latency_p50", run.latency_p50);
+      json.field("grant_latency_p99", run.latency_p99);
+      json.field("grant_latency_p999", run.latency_p999);
+    }
     json.field("messages_per_grant", run.messages_per_grant);
     json.field("control_messages", run.control_messages);
     json.field("resource_messages", run.resource_messages);
@@ -1203,6 +1373,7 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
       json.field("fleet", cell.fleet);
       json.field("fleet_mode", cell.fleet_mode);
     }
+    if (!cell.policy.empty()) json.field("policy", cell.policy);
     json.field("n", cell.n);
     json.field("runs", cell.runs);
     json.field("stabilized_runs", cell.stabilized_runs);
@@ -1219,6 +1390,11 @@ void write_json(std::ostream& out, const ScenarioSpec& spec,
     json.field("mean_grants_per_mtick", cell.mean_grants_per_mtick);
     json.field("mean_wait_entries", cell.mean_wait_entries);
     json.field("max_wait_entries", cell.max_wait_entries);
+    if (cell.latency_runs > 0) {
+      json.field("mean_grant_latency_p50", cell.mean_latency_p50);
+      json.field("mean_grant_latency_p99", cell.mean_latency_p99);
+      json.field("mean_grant_latency_p999", cell.mean_latency_p999);
+    }
     json.field("mean_messages_per_grant", cell.mean_messages_per_grant);
     json.field("mean_outstanding_at_end", cell.mean_outstanding_at_end);
     json.field("total_events_per_sec", cell.total_events_per_sec);

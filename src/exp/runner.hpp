@@ -39,6 +39,9 @@ struct RunPoint {
   /// instead of one shared FleetSystem (ScenarioSpec::
   /// fleet_compare_separate).
   bool fleet_separate = false;
+  /// Index into ScenarioSpec::policies (-1 = the scenario has no policy
+  /// axis; default retry/admission, scenario-level chaos).
+  int policy = -1;
   std::uint64_t seed = 1;
 };
 
@@ -51,6 +54,13 @@ struct ClassResult {
   /// Members inside their critical section when the window closed (the
   /// hold-forever set I shows up here).
   int holding_at_end = 0;
+  /// Grant-latency distribution over the class's expected grants
+  /// (request issue -> grant, simulated ticks). count = 0 (no grants)
+  /// leaves the percentiles unset / unemitted.
+  std::int64_t latency_count = 0;
+  double latency_p50 = 0.0;
+  double latency_p99 = 0.0;
+  double latency_p999 = 0.0;
 };
 
 /// One staged fault event as it actually happened in one run: the
@@ -122,6 +132,9 @@ struct RunResult {
   /// "shared" (one FleetSystem) or "separate" (R engines) for fleet
   /// runs; empty for plain runs.
   std::string fleet_mode;
+  /// Resilience-policy cell label (ScenarioSpec::PolicyVariant); empty
+  /// for scenarios without a policy axis.
+  std::string policy;
   std::uint64_t seed = 1;
 
   // Stabilization / recovery.
@@ -161,6 +174,13 @@ struct RunResult {
   double mean_wait_entries = 0.0;  // paper's waiting-time unit
   double max_wait_entries = 0.0;
   double p99_wait_entries = 0.0;
+  /// Whole-run grant-latency distribution (request issue -> grant,
+  /// simulated ticks, expected grants only -- deadline-abandoned waits
+  /// record nothing). count = 0 leaves the percentiles unemitted.
+  std::int64_t latency_count = 0;
+  double latency_p50 = 0.0;
+  double latency_p99 = 0.0;
+  double latency_p999 = 0.0;
   double messages_per_grant = 0.0;
   std::uint64_t control_messages = 0;
   std::uint64_t resource_messages = 0;
@@ -197,6 +217,8 @@ struct Aggregate {
   /// ("" for plain single-system cells).
   int fleet = 1;
   std::string fleet_mode;
+  /// Policy axis ("" for scenarios without one).
+  std::string policy;
   int n = 0;
   int runs = 0;
   int stabilized_runs = 0;
@@ -229,6 +251,13 @@ struct Aggregate {
   double mean_chaos_jittered = 0.0;
   double mean_fault_phase_violations = 0.0;
   double mean_liveness_stalls = 0.0;
+  // Grant-latency percentile means over the runs that recorded any
+  // grants (latency_runs of them); all zero -- and unemitted -- when no
+  // run did.
+  int latency_runs = 0;
+  double mean_latency_p50 = 0.0;
+  double mean_latency_p99 = 0.0;
+  double mean_latency_p999 = 0.0;
 };
 
 class ExperimentRunner {
@@ -254,7 +283,7 @@ class ExperimentRunner {
   std::vector<RunResult> run(const ScenarioSpec& spec) const;
 
   /// Groups results by (topology, features, k, l, fault_garbage,
-  /// threads, fleet, fleet_mode) and averages across seeds.
+  /// threads, fleet, fleet_mode, policy) and averages across seeds.
   static std::vector<Aggregate> aggregate(
       const std::vector<RunResult>& results);
 

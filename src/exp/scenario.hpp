@@ -116,9 +116,31 @@ struct ScenarioSpec {
   /// Liveness-watchdog threshold (verify::SafetyMonitor): a request
   /// outstanding longer than this many ticks counts as a grant stall.
   /// 0 (the default) disables the watchdog; enabling it attaches the
-  /// monitor as an engine observer (merged-serial execution -- intended
-  /// for chaos campaigns, not perf sweeps).
+  /// monitor as an engine observer. The monitor is window-safe, so
+  /// monitored runs still ride the windowed parallel executor.
   sim::SimTime stall_threshold = 0;
+
+  /// One point on the scenario's resilience-policy axis: a labeled
+  /// (retry, admission, optional chaos override) bundle. The degraded-
+  /// mode benches sweep {loss level} x {no policy, resilient policy}
+  /// cells this way and diff goodput / tail latency between them.
+  struct PolicyVariant {
+    /// Cell label ("" = unnamed); joins the aggregate key and the
+    /// bench_diff cell key as the "policy" axis.
+    std::string label;
+    /// Client retry/backoff/deadline policy (WorkloadDriver).
+    proto::RetryPolicy retry{};
+    /// Engine-side admission bounds (SystemBase::request fast-fail).
+    proto::AdmissionPolicy admission{};
+    /// When set, replaces the scenario-level `chaos` config for this
+    /// variant (so one scenario can sweep loss levels x policies).
+    bool override_chaos = false;
+    sim::ChaosConfig chaos{};
+  };
+  /// Policy grid: every variant runs on every cell. Empty (the default)
+  /// means one unlabeled variant with default policies -- artifacts gain
+  /// no "policy" field and stay byte-identical to pre-policy baselines.
+  std::vector<PolicyVariant> policies;
 
   /// Seeds base_seed, base_seed+1, ... base_seed+seeds-1.
   int seeds = 4;

@@ -134,6 +134,48 @@ MaterializedWorkload materialize_fleet(const WorkloadSpec& spec, int tenants,
                                        std::vector<support::Rng>& tenant_rngs,
                                        support::Rng& cross_rng);
 
+/// Declarative client-side retry behavior under degraded conditions
+/// (sustained lossy links, overload shedding, detached nodes). The
+/// defaults reproduce the historical WorkloadDriver behavior exactly --
+/// capped exponential backoff of 256 << min(e, 8) ticks against
+/// kUnreachable, no jitter, no deadline, unlimited attempts -- so runs
+/// without an explicit policy stay byte-identical.
+struct RetryPolicy {
+  /// First backoff step (ticks) after a retryable denial.
+  sim::SimTime backoff_base = 256;
+  /// Backoff doubles per consecutive retryable denial up to
+  /// backoff_base << backoff_cap_exponent.
+  int backoff_cap_exponent = 8;
+  /// Max extra ticks of deterministic jitter added to each backoff,
+  /// drawn uniformly from the driver's engine-stream-aligned seeded rng
+  /// (0 = none). Decorrelates retry storms without losing replay.
+  sim::SimTime jitter = 0;
+  /// Consecutive denials before the current acquire cycle is abandoned
+  /// and the node returns to a plain think cycle (-1 = never).
+  std::int64_t max_attempts = -1;
+  /// Lifetime budget of backoff retries per client; once spent, denied
+  /// nodes stop reissuing so retry storms cannot amplify an overload
+  /// (-1 = unlimited).
+  std::int64_t retry_budget = -1;
+  /// Per-acquire deadline (ticks; 0 = none): a request not granted
+  /// within it is abandoned with DenyReason::kDeadlineExceeded.
+  sim::SimTime deadline = 0;
+};
+
+/// Admission bounds enforced at the harness boundary (SystemBase):
+/// requests that would exceed them fast-fail with
+/// DenyReason::kOverloaded instead of growing the wait queue without
+/// bound. Defaults admit everything.
+struct AdmissionPolicy {
+  /// Max nodes simultaneously waiting (State = Req); -1 = unlimited.
+  int max_waiting = -1;
+  /// Max total units requested-or-held across the system, counting the
+  /// incoming request; -1 = unlimited.
+  int max_outstanding_need = -1;
+
+  bool enabled() const { return max_waiting >= 0 || max_outstanding_need >= 0; }
+};
+
 /// The surface a protocol harness exposes to the application layer.
 /// This is the internal SPI: it transcribes the paper's interface
 /// verbatim and performs no bookkeeping of its own. Application code
@@ -149,6 +191,15 @@ class RequestPort {
   virtual int need_of(NodeId node) const {
     (void)node;
     return 0;
+  }
+  /// Admission probe the session layer consults before issuing a
+  /// request. Default: always admit. SystemBase overrides it with its
+  /// AdmissionPolicy; a refusal surfaces as DenyReason::kOverloaded
+  /// (retryable -- WorkloadDriver backs off on it).
+  virtual bool admit(NodeId node, int need) const {
+    (void)node;
+    (void)need;
+    return true;
   }
 };
 

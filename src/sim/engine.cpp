@@ -834,14 +834,18 @@ void Engine::execute(Lane& lane, int lane_index, const Event& event) {
     last_stream_ = stream;
     detail::t_current_stream = stream;
     detail::t_current_lane = lane_index;
+    detail::t_current_event_seq = event.seq;
     dispatch(lane, event);
+    detail::t_current_event_seq = 0;
     detail::t_current_lane = 0;
     detail::t_current_stream = 0;
     return;
   }
   if (lanes_.size() > 1) {
     detail::t_current_lane = lane_index;
+    detail::t_current_event_seq = event.seq;
     dispatch(lane, event);
+    detail::t_current_event_seq = 0;
     detail::t_current_lane = 0;
   } else {
     dispatch(lane, event);
@@ -962,8 +966,10 @@ void Engine::run_lane_window(int lane_index, SimTime t) {
       ++streams_[static_cast<std::size_t>(stream)].events_executed;
       detail::t_current_stream = stream;
     }
+    detail::t_current_event_seq = event.seq;
     dispatch(lane, event);
   }
+  detail::t_current_event_seq = 0;
   detail::t_current_lane = 0;
   detail::t_current_stream = 0;
 }
@@ -982,6 +988,12 @@ void Engine::end_window() {
       lanes_[static_cast<std::size_t>(dc.dst_lane)].queue.push(out.event);
     }
     src.outbox.clear();
+  }
+  // Barrier hook for window-safe observers: serial context, every event
+  // of the closed window visible -- they merge their per-lane record
+  // buffers into (at, seq) order here.
+  for (SimObserver* observer : observers_) {
+    if (observer->window_safe()) observer->on_window_merge();
   }
 }
 

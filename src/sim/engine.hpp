@@ -83,6 +83,11 @@ inline thread_local int t_current_lane = 0;
 // else. Same inlining rationale as t_current_lane: the tenant-axis
 // census routes every participant delta through Engine::current_stream().
 inline thread_local int t_current_stream = 0;
+// Global (at, seq) sequence number of the event executing on this
+// thread, 0 outside event dispatch. Window-safe observers stamp their
+// per-lane records with it so a barrier-time merge by (at, seq)
+// reproduces the exact serial observation order.
+inline thread_local std::uint64_t t_current_event_seq = 0;
 }  // namespace detail
 
 /// Routes *out-of-event* work to one stream's census cells. Management-
@@ -159,6 +164,14 @@ struct DelayModel {
 };
 
 /// Observation points, used by the stats and verification layers.
+///
+/// By default an observer is *blocking*: it may keep shared mutable
+/// state, so the parallel engine falls back to the merged-serial loop
+/// while one is attached. An observer that only appends to per-lane
+/// buffers during callbacks (keyed by Engine::current_lane() /
+/// current_event_seq()) and merges them at the window barrier may
+/// declare itself window-safe; it then rides the windowed executor and
+/// receives on_window_merge() after every barrier (serial context).
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
@@ -170,6 +183,12 @@ class SimObserver {
                           const Message& msg) {
     (void)at; (void)to; (void)channel; (void)msg;
   }
+  /// True = callbacks are lane-local (no shared mutable state), so the
+  /// windowed ParallelEngine need not fall back to merged-serial.
+  virtual bool window_safe() const { return false; }
+  /// Window barrier (serial context, after the outbox merge): a
+  /// window-safe observer merges its per-lane buffers here.
+  virtual void on_window_merge() {}
 };
 
 /// Identifies a directed channel for census iteration.
@@ -386,7 +405,31 @@ class Engine {
   /// Advances every lane clock to at least `t` (end of a windowed run).
   void sync_lanes_to(SimTime t);
 
+  /// True between begin_window and end_window: observer callbacks may be
+  /// firing concurrently from several lane threads, so a window-safe
+  /// observer must buffer per lane instead of applying directly.
+  bool in_window() const { return in_window_; }
+
   bool has_observers() const { return !observers_.empty(); }
+
+  /// True while any attached observer is NOT window-safe (shared mutable
+  /// state): the parallel engine must fall back to merged-serial.
+  /// Window-safe observers (lane-local buffers merged at the barrier)
+  /// ride the windowed executor.
+  bool has_blocking_observers() const {
+    for (const SimObserver* observer : observers_) {
+      if (!observer->window_safe()) return true;
+    }
+    return false;
+  }
+
+  /// Global (at, seq) sequence number of the event executing on the
+  /// calling thread (0 outside event dispatch). Window-safe observers
+  /// stamp per-lane records with it; merged by (at, seq) at the barrier,
+  /// the records replay in the exact serial observation order.
+  static std::uint64_t current_event_seq() {
+    return detail::t_current_event_seq;
+  }
 
   DelayModel delay_model() const { return delays_; }
 

@@ -48,12 +48,14 @@ void ParallelEngine::run_until(SimTime t) {
   engine_.start();
   SimTime lookahead = engine_.delay_model().min_delay;
   bool observers_block =
-      engine_.lane_count() > 1 && engine_.has_observers();
+      engine_.lane_count() > 1 && engine_.has_blocking_observers();
   for (;;) {
     if (observers_block || engine_.pending_callbacks() > 0) {
-      // Callbacks may touch any node and observers share state across
-      // lanes; neither is window-safe. The merged-serial loop executes
-      // the exact same (at, seq) trajectory, just on one thread.
+      // Callbacks may touch any node and blocking observers share state
+      // across lanes; neither is window-safe. (Window-safe observers --
+      // lane-local buffers merged at the barrier -- do not force this
+      // path.) The merged-serial loop executes the exact same (at, seq)
+      // trajectory, just on one thread.
       ++stats_.merged_fallbacks;
       engine_.run_until(t);
       return;

@@ -26,8 +26,12 @@
 //
 // The window loop requires causal closure within a lane, which workload
 // callbacks (free-function events that may touch any node) and
-// observers (shared mutable state) break; run_until falls back to the
-// trajectory-identical merged-serial loop while any are present.
+// *blocking* observers (shared mutable state) break; run_until falls
+// back to the trajectory-identical merged-serial loop while any are
+// present. Observers that declare themselves window_safe() -- lane-local
+// record buffers merged at the window barrier, like the buffered
+// SafetyMonitor -- ride the windowed executor (they get
+// on_window_merge() after Engine::end_window).
 #pragma once
 
 #include <condition_variable>
@@ -55,7 +59,8 @@ class ParallelEngine {
 
   /// Runs until simulated time exceeds `t` (events at exactly `t` are
   /// still executed) or the queues empty; windowed while no callbacks
-  /// are pending and (for multi-lane engines) no observers are attached,
+  /// are pending and (for multi-lane engines) no *blocking* observers
+  /// are attached (window-safe observers ride the windows),
   /// merged-serial otherwise. `t` must be finite.
   void run_until(SimTime t);
 

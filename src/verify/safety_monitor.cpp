@@ -12,6 +12,7 @@ SafetyMonitor::SafetyMonitor(int n, int k, int l) : k_(k), l_(l) {
   usage_.assign(static_cast<std::size_t>(n), 0);
   pending_since_.assign(static_cast<std::size_t>(n), sim::kTimeInfinity);
   stall_flagged_.assign(static_cast<std::size_t>(n), 0);
+  lane_records_.resize(static_cast<std::size_t>(sim::Engine::kMaxLanes));
 }
 
 void SafetyMonitor::record(sim::SimTime at, std::string what) {
@@ -24,8 +25,24 @@ void SafetyMonitor::record(sim::SimTime at, std::string what) {
   }
 }
 
+void SafetyMonitor::buffer(RecordKind kind, proto::NodeId node, int need,
+                           sim::SimTime at) {
+  std::size_t lane = static_cast<std::size_t>(sim::Engine::current_lane());
+  KLEX_CHECK(lane < lane_records_.size(), "bad lane ", lane);
+  lane_records_[lane].push_back(
+      Record{at, sim::Engine::current_event_seq(), kind, node, need});
+}
+
 void SafetyMonitor::on_request(proto::NodeId node, int /*need*/,
                                sim::SimTime at) {
+  if (buffering()) {
+    buffer(RecordKind::kRequest, node, 0, at);
+    return;
+  }
+  apply_request(node, at);
+}
+
+void SafetyMonitor::apply_request(proto::NodeId node, sim::SimTime at) {
   std::size_t index = static_cast<std::size_t>(node);
   KLEX_CHECK(index < pending_since_.size(), "unknown node ", node);
   // Keep the earliest outstanding request: a re-request while waiting
@@ -38,6 +55,15 @@ void SafetyMonitor::on_request(proto::NodeId node, int /*need*/,
 }
 
 void SafetyMonitor::on_enter_cs(proto::NodeId node, int need,
+                                sim::SimTime at) {
+  if (buffering()) {
+    buffer(RecordKind::kEnter, node, need, at);
+    return;
+  }
+  apply_enter(node, need, at);
+}
+
+void SafetyMonitor::apply_enter(proto::NodeId node, int need,
                                 sim::SimTime at) {
   std::size_t index = static_cast<std::size_t>(node);
   KLEX_CHECK(index < usage_.size(), "unknown node ", node);
@@ -67,7 +93,15 @@ void SafetyMonitor::on_enter_cs(proto::NodeId node, int need,
   }
 }
 
-void SafetyMonitor::on_exit_cs(proto::NodeId node, sim::SimTime /*at*/) {
+void SafetyMonitor::on_exit_cs(proto::NodeId node, sim::SimTime at) {
+  if (buffering()) {
+    buffer(RecordKind::kExit, node, 0, at);
+    return;
+  }
+  apply_exit(node);
+}
+
+void SafetyMonitor::apply_exit(proto::NodeId node) {
   std::size_t index = static_cast<std::size_t>(node);
   KLEX_CHECK(index < usage_.size(), "unknown node ", node);
   units_in_use_ -= usage_[index];
@@ -110,12 +144,65 @@ int SafetyMonitor::check_stalls(sim::SimTime now) {
 
 void SafetyMonitor::on_deliver(sim::SimTime at, sim::NodeId /*to*/,
                                int /*channel*/, const sim::Message& /*msg*/) {
+  // With the watchdog disabled deliveries are pure no-ops; skip the
+  // buffer entirely (keeps windowed memory proportional to protocol
+  // activity, not raw traffic).
+  if (stall_threshold_ == 0) return;
+  if (buffering()) {
+    buffer(RecordKind::kDeliver, -1, 0, at);
+    return;
+  }
+  apply_deliver(at);
+}
+
+void SafetyMonitor::apply_deliver(sim::SimTime at) {
   if (stall_threshold_ == 0 || at < next_stall_check_) return;
   // Heartbeat at most every threshold/4 ticks: stall flagging stays
   // continuous (timestamped within a quarter threshold of the earliest
   // observable moment) without an O(n) scan per delivery.
   next_stall_check_ = at + stall_threshold_ / 4 + 1;
   check_stalls(at);
+}
+
+void SafetyMonitor::on_window_merge() {
+  // k-way merge of the lane buffers by (at, seq). (at, seq) is unique
+  // per event across lanes and one event's records are consecutive in
+  // one lane's buffer, so `<=` with first-lane-wins tie-breaking is a
+  // stable total order matching the merged-serial observation order.
+  std::vector<std::size_t> cursor(lane_records_.size(), 0);
+  for (;;) {
+    std::size_t best_lane = lane_records_.size();
+    for (std::size_t lane = 0; lane < lane_records_.size(); ++lane) {
+      if (cursor[lane] >= lane_records_[lane].size()) continue;
+      const Record& candidate = lane_records_[lane][cursor[lane]];
+      if (best_lane == lane_records_.size()) {
+        best_lane = lane;
+        continue;
+      }
+      const Record& best = lane_records_[best_lane][cursor[best_lane]];
+      if (candidate.at < best.at ||
+          (candidate.at == best.at && candidate.seq < best.seq)) {
+        best_lane = lane;
+      }
+    }
+    if (best_lane == lane_records_.size()) break;
+    const Record& next = lane_records_[best_lane][cursor[best_lane]++];
+    switch (next.kind) {
+      case RecordKind::kRequest:
+        apply_request(next.node, next.at);
+        break;
+      case RecordKind::kEnter:
+        apply_enter(next.node, next.need, next.at);
+        break;
+      case RecordKind::kExit:
+        apply_exit(next.node);
+        break;
+      case RecordKind::kDeliver:
+        apply_deliver(next.at);
+        break;
+    }
+  }
+  for (std::vector<Record>& records : lane_records_) records.clear();
 }
 
 }  // namespace klex::verify

@@ -21,11 +21,21 @@
 // flagged as a grant stall (once per request), timestamped at the
 // heartbeat that noticed it. This is continuous invariant monitoring:
 // violations and stalls carry the simulated time they were observed at,
-// not a post-run summary. (Attaching an observer makes the windowed
-// parallel engine fall back to the merged-serial loop, which is
-// trajectory-identical; chaos campaigns run merged-serial anyway.)
-// Engines that should stay observer-free can poll check_stalls(now)
-// manually instead.
+// not a post-run summary.
+//
+// The monitor is window-safe (SimObserver::window_safe), so it rides the
+// windowed ParallelEngine instead of forcing the merged-serial fallback:
+// while a parallel window is open, every observation is appended to the
+// executing lane's record buffer stamped with the event's global
+// (at, seq); at the window barrier (on_window_merge) the buffers are
+// merged back into (at, seq) order and replayed through the exact serial
+// logic. Since the merged order equals the merged-serial execution
+// order -- and the watchdog's heartbeat rate limit is applied at replay
+// time over that merged stream -- the monitor's output is bit-identical
+// at any lane count (pinned by parallel_differential_test). Outside
+// windows (serial engines, merged-serial fallbacks, out-of-event calls)
+// observations apply directly, as before. Engines that should stay
+// observer-free can poll check_stalls(now) manually instead.
 #pragma once
 
 #include <cstdint>
@@ -105,13 +115,55 @@ class SafetyMonitor : public proto::Listener, public sim::SimObserver {
   // -- live engine observer --------------------------------------------------
 
   /// Registers this monitor as an engine observer: deliveries heartbeat
-  /// the watchdog continuously (see the file comment).
-  void watch(sim::Engine& engine) { engine.add_observer(this); }
+  /// the watchdog continuously (see the file comment). The engine
+  /// reference also powers the lane-local buffering that keeps the
+  /// windowed ParallelEngine from falling back to merged-serial.
+  void watch(sim::Engine& engine) {
+    engine_ = &engine;
+    engine.add_observer(this);
+  }
 
   void on_deliver(sim::SimTime at, sim::NodeId to, int channel,
                   const sim::Message& msg) override;
 
+  // -- sim::SimObserver window protocol --------------------------------------
+
+  /// Lane-local record buffers + barrier merge: never forces the
+  /// parallel engine into its merged-serial fallback.
+  bool window_safe() const override { return true; }
+
+  /// Merges the per-lane record buffers into global (at, seq) order and
+  /// replays them through the serial observation logic.
+  void on_window_merge() override;
+
  private:
+  enum class RecordKind : std::uint8_t { kRequest, kEnter, kExit, kDeliver };
+
+  /// One buffered observation. All records of one event share (at, seq)
+  /// and sit consecutively in one lane's buffer (an event executes on
+  /// exactly one lane), so a stable merge by (at, seq) reproduces the
+  /// serial observation order exactly.
+  struct Record {
+    sim::SimTime at = 0;
+    std::uint64_t seq = 0;
+    RecordKind kind = RecordKind::kRequest;
+    proto::NodeId node = -1;
+    int need = 0;
+  };
+
+  /// True while a parallel window is open: observations must be
+  /// buffered per lane (concurrent callbacks), not applied directly.
+  bool buffering() const { return engine_ != nullptr && engine_->in_window(); }
+
+  void buffer(RecordKind kind, proto::NodeId node, int need, sim::SimTime at);
+
+  // The serial observation logic (shared by the direct path and the
+  // barrier replay).
+  void apply_request(proto::NodeId node, sim::SimTime at);
+  void apply_enter(proto::NodeId node, int need, sim::SimTime at);
+  void apply_exit(proto::NodeId node);
+  void apply_deliver(sim::SimTime at);
+
   void record(sim::SimTime at, std::string what);
 
   int k_;
@@ -130,10 +182,17 @@ class SafetyMonitor : public proto::Listener, public sim::SimObserver {
   int pending_requests_ = 0;
   sim::SimTime stall_threshold_ = 0;
   // Deliveries heartbeat at most every threshold/4 ticks (deterministic:
-  // driven by simulated time, not wall clock).
+  // driven by simulated time, not wall clock). In windowed mode the rate
+  // limit is applied at replay time over the merged record stream, so it
+  // picks the same heartbeats at every lane count.
   sim::SimTime next_stall_check_ = 0;
   std::vector<Stall> stalls_;
   std::int64_t stall_count_ = 0;
+
+  sim::Engine* engine_ = nullptr;  // set by watch(); null = listener-only
+  // One record buffer per lane (indexed by Engine::current_lane();
+  // single-writer during a window).
+  std::vector<std::vector<Record>> lane_records_;
 };
 
 }  // namespace klex::verify

@@ -284,8 +284,9 @@ TEST(FleetDifferentialTest, WorkerLaneCountDoesNotChangeTenantTrajectories) {
   const int kTenants = 4;
   const sim::SimTime kHorizon = 250'000;
 
-  // No observers here: observers force the parallel engine's merged-serial
-  // fallback, and this test exists to exercise the real windowed path.
+  // No observers here: blocking observers force the parallel engine's
+  // merged-serial fallback, and this test exists to exercise the real
+  // windowed path.
   auto fingerprint = [&](int threads) {
     SystemBuilder builder = base_builder(seed);
     builder.fleet(kTenants).threads(threads);

@@ -36,9 +36,11 @@
 #include "api/topology.hpp"
 #include "proto/app.hpp"
 #include "proto/census.hpp"
+#include "sim/chaos.hpp"
 #include "sim/engine.hpp"
 #include "support/rng.hpp"
 #include "tree/tree.hpp"
+#include "verify/safety_monitor.hpp"
 
 namespace klex {
 namespace {
@@ -349,6 +351,113 @@ TEST_P(ParallelChurnDifferential, WindowedRepairMatchesMergedSerial) {
 
 INSTANTIATE_TEST_SUITE_P(Lanes, ParallelChurnDifferential,
                          ::testing::Values(1, 2, 4));
+
+// -- window-safe monitor: lane-buffered observations == direct ---------------
+
+/// Everything the SafetyMonitor can report after a run, plus the engine
+/// clock/counters the run ended on. Two equal outcomes mean the
+/// lane-buffered observation path reproduced the direct path exactly.
+struct MonitoredOutcome {
+  std::int64_t total_entries = 0;
+  std::int64_t violation_count = 0;
+  sim::SimTime last_violation = 0;
+  std::int64_t stall_count = 0;
+  std::vector<verify::SafetyMonitor::Stall> stalls;
+  int units_in_use = 0;
+  int in_cs_count = 0;
+  sim::SimTime now = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t messages_delivered = 0;
+};
+
+/// Runs a monitored chaos run at `lanes` threads: steady drop/dup chaos,
+/// a watching SafetyMonitor with the stall watchdog armed, and more
+/// requested units than l so some requests stall forever. Chaos engines
+/// use per-entity sequencing, so the trajectory -- and therefore the
+/// monitor's observation stream -- must be identical at every P.
+MonitoredOutcome run_monitored(int lanes) {
+  // dup_p well below drop_p: the in-flight population multiplies by
+  // ~(1 + dup_p - drop_p) per hop, so dup-dominant configs explode
+  // (see bench_chaos.cpp).
+  sim::ChaosConfig chaos;
+  chaos.drop_p = 0.02;
+  chaos.dup_p = 0.005;
+  SystemBuilder builder;
+  builder.topology(TopologySpec::tree_random(48, 7))
+      .kl(2, 5)
+      .seed(11)
+      .seed_tokens()
+      .threads(lanes)
+      .chaos(chaos);
+  std::unique_ptr<SystemBase> system = builder.build();
+
+  verify::SafetyMonitor safety(system->n(), 2, 5);
+  system->add_listener(&safety);
+  safety.set_stall_threshold(5'000);
+  safety.watch(system->engine());
+
+  // Raw requests, no WorkloadDriver: driver cycles are engine callbacks,
+  // which force the merged-serial fallback -- this test exists to prove
+  // the monitor alone does not.
+  for (int v : {3, 9, 17, 25, 33, 41}) system->request(v, 2);
+  system->run_until(120'000);
+
+  if (lanes > 1) {
+    EXPECT_NE(system->parallel_engine(), nullptr);
+    // The monitor is window-safe: the run must have executed on the
+    // windowed path, never the merged-serial fallback.
+    EXPECT_GT(system->parallel_engine()->window_stats().windows, 0u);
+    EXPECT_EQ(system->parallel_engine()->window_stats().merged_fallbacks, 0u);
+  }
+
+  MonitoredOutcome outcome;
+  outcome.total_entries = safety.total_entries();
+  outcome.violation_count = safety.violation_count();
+  outcome.last_violation = safety.last_violation_time();
+  outcome.stall_count = safety.stall_count();
+  outcome.stalls = safety.stalls();
+  outcome.units_in_use = safety.units_in_use();
+  outcome.in_cs_count = safety.in_cs_count();
+  outcome.now = system->engine().now();
+  outcome.events_executed = system->engine().events_executed();
+  outcome.messages_delivered = system->engine().messages_delivered();
+  return outcome;
+}
+
+void expect_same_outcome(const MonitoredOutcome& a, const MonitoredOutcome& b,
+                         int lanes) {
+  EXPECT_EQ(a.total_entries, b.total_entries) << "P=" << lanes;
+  EXPECT_EQ(a.violation_count, b.violation_count) << "P=" << lanes;
+  EXPECT_EQ(a.last_violation, b.last_violation) << "P=" << lanes;
+  EXPECT_EQ(a.stall_count, b.stall_count) << "P=" << lanes;
+  ASSERT_EQ(a.stalls.size(), b.stalls.size()) << "P=" << lanes;
+  for (std::size_t i = 0; i < a.stalls.size(); ++i) {
+    EXPECT_EQ(a.stalls[i].node, b.stalls[i].node) << "stall " << i;
+    EXPECT_EQ(a.stalls[i].requested_at, b.stalls[i].requested_at)
+        << "stall " << i;
+    EXPECT_EQ(a.stalls[i].flagged_at, b.stalls[i].flagged_at) << "stall " << i;
+  }
+  EXPECT_EQ(a.units_in_use, b.units_in_use) << "P=" << lanes;
+  EXPECT_EQ(a.in_cs_count, b.in_cs_count) << "P=" << lanes;
+  EXPECT_EQ(a.now, b.now) << "P=" << lanes;
+  EXPECT_EQ(a.events_executed, b.events_executed) << "P=" << lanes;
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered) << "P=" << lanes;
+}
+
+TEST(MonitoredWindowed, ChaosRunBitIdenticalAcrossLaneCounts) {
+  MonitoredOutcome direct = run_monitored(1);
+  // The scenario must exercise the watchdog (6 x need-2 against l = 5
+  // leaves permanently stalled requesters) and CS entries, or the
+  // differential below would be comparing silence to silence.
+  EXPECT_GT(direct.total_entries, 0);
+  EXPECT_GT(direct.stall_count, 0);
+  EXPECT_GT(direct.messages_delivered, 0u);
+
+  for (int lanes : {2, 4}) {
+    MonitoredOutcome windowed = run_monitored(lanes);
+    expect_same_outcome(direct, windowed, lanes);
+  }
+}
 
 // -- calendar ring auto-sizing (scheduler satellite) -------------------------
 

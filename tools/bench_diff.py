@@ -10,14 +10,16 @@ build directory holds the freshly produced ones). For every scenario
 present on both sides the tool compares:
 
   * throughput: per-aggregate-cell total_events_per_sec (keyed by
-    topology, features, k, l, fault_garbage, threads, fleet, fleet_mode
-    -- "features" names the protocol rung and defaults to "full" for
-    artifacts that predate the rung grid; fault_garbage defaults to -1;
-    threads is the engine's worker-lane count and defaults to 1 for
+    topology, features, k, l, fault_garbage, threads, fleet, fleet_mode,
+    policy -- "features" names the protocol rung and defaults to "full"
+    for artifacts that predate the rung grid; fault_garbage defaults to
+    -1; threads is the engine's worker-lane count and defaults to 1 for
     pre-parallel artifacts; fleet is the tenant count (default 1) and
     fleet_mode distinguishes a shared-engine fleet cell from its
     separate-engines baseline for pre-fleet artifacts and plain cells it
-    is empty). A record missing one of the schema-mandatory keys
+    is empty; policy is the resilience-policy variant label of the
+    degraded-mode sweeps and is empty for scenarios without a policy
+    axis). A record missing one of the schema-mandatory keys
     (topology, k, l, seed) aborts the comparison loudly instead of
     keying onto a default. A
     baseline n x threads cell missing from the current artifact fails
@@ -40,6 +42,15 @@ present on both sides the tool compares:
     committed). Any non-finite gated value (NaN/Inf rate or counter) is a
     data error: it would compare as "no regression" on every side and
     silently disarm the gate.
+  * grant-latency percentiles: per-run grant_latency_p50 / p99 / p999
+    and the per-cell mean_grant_latency_* aggregates (emitted by
+    scenarios whose workload recorded grant-latency samples -- the
+    degraded-mode sweeps' SLO surface). Single-threaded runs of a fixed
+    seed are bit-deterministic, chaos draws included, so these gate like
+    counters: growth beyond tolerance is a latency REGRESSION, and a
+    percentile present in the baseline but missing from the current
+    artifact is a FAILURE (dropping the tail metric must not read as
+    "the tail is fine").
 
 Coverage is part of the contract: an aggregate cell (or a per-seed run)
 present in the baseline but missing from the current artifact is a
@@ -78,6 +89,20 @@ ENGINE_COUNTER_FIELDS = (
     "chaos_jittered",
 )
 RUN_COUNTER_FIELDS = ("recovery_events",)
+# Grant-latency tail percentiles (simulated ticks): bit-deterministic
+# per seed like the counters, but a *latency* gate -- growth is the
+# regression. Emitted only by scenarios whose runs recorded samples;
+# absent baselines skip them via the absent-in-baseline rule.
+RUN_LATENCY_FIELDS = (
+    "grant_latency_p50",
+    "grant_latency_p99",
+    "grant_latency_p999",
+)
+AGGREGATE_LATENCY_FIELDS = (
+    "mean_grant_latency_p50",
+    "mean_grant_latency_p99",
+    "mean_grant_latency_p999",
+)
 
 
 def load_benches(directory):
@@ -109,6 +134,7 @@ def cell_key(cell):
             cell.get("threads", 1),
             cell.get("fleet", 1),
             cell.get("fleet_mode", ""),
+            cell.get("policy", ""),
         )
     except KeyError as err:
         print(
@@ -147,8 +173,10 @@ def fmt_key(key):
         base += f" p={key[5]}"
     if key[6] != 1:
         base += f" R={key[6]}({key[7] or 'shared'})"
-    if len(key) == 9:
-        base += f" seed={key[8]}"
+    if key[8]:
+        base += f" policy={key[8]}"
+    if len(key) == 10:
+        base += f" seed={key[9]}"
     return base
 
 
@@ -330,6 +358,34 @@ def main():
                     f"{base_rate:,.0f} -> {cur_rate:,.0f} ({change:+.1%})"
                     f"{wall}"
                 )
+            # Aggregate grant-latency tail: deterministic means over the
+            # cell's seeds, gated like the counters (growth = worse tail).
+            for field in AGGREGATE_LATENCY_FIELDS:
+                base_v = checked_number(
+                    field, f"[{name}] baseline {fmt_key(key)}",
+                    base_cells[key].get(field))
+                cur_v = checked_number(
+                    field, f"[{name}] current {fmt_key(key)}",
+                    cur_cells[key].get(field))
+                if base_v is None:
+                    if cur_v is not None:
+                        print(f"  note        {fmt_key(key)}: {field} absent "
+                              f"from baseline; skipped (new metric)")
+                    continue
+                if cur_v is None:
+                    failures += 1
+                    print(f"  FAILURE     {fmt_key(key)}: {field} present in "
+                          f"baseline ({base_v:.0f}) but absent from current "
+                          f"artifact")
+                    continue
+                limit = (base_v * (1.0 + args.counter_tolerance)
+                         + args.counter_slack)
+                if cur_v > limit:
+                    failures += 1
+                    print(
+                        f"  REGRESSION  {fmt_key(key)}: {field} "
+                        f"{base_v:.0f} -> {cur_v:.0f} (limit {limit:.0f})"
+                    )
 
         base_runs = run_cells(baseline[name])
         cur_runs = run_cells(current[name])
@@ -361,6 +417,12 @@ def main():
             ] + [
                 (field, base_run.get(field), cur_run.get(field))
                 for field in RUN_COUNTER_FIELDS
+            ] + [
+                # Per-run latency percentiles: same gate semantics --
+                # growth beyond tolerance is a (tail-latency) regression,
+                # and present-in-baseline-but-absent is a FAILURE.
+                (field, base_run.get(field), cur_run.get(field))
+                for field in RUN_LATENCY_FIELDS
             ]
             for label, base_v, cur_v in counters:
                 base_v = checked_number(

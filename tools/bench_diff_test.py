@@ -20,38 +20,49 @@ from pathlib import Path
 BENCH_DIFF = Path(__file__).resolve().parent / "bench_diff.py"
 
 
-def artifact(rate=100000.0, counter=42, recovery=7, recovered=True):
-    """One minimal BENCH artifact with a single cell and a single run."""
-    return {
-        "scenario": "unit",
-        "aggregates": [
-            {
-                "topology": "tree:line(n=8)",
-                "features": "full",
-                "k": 1,
-                "l": 2,
-                "n": 8,
-                "total_events_per_sec": rate,
-                "mean_wall_seconds": 0.001,
-            }
-        ],
-        "runs": [
-            {
-                "topology": "tree:line(n=8)",
-                "features": "full",
-                "k": 1,
-                "l": 2,
-                "seed": 1,
-                "recovered": recovered,
-                "recovery_events": recovery,
-                "engine": {
-                    "callback_slots_created": counter,
-                    "in_flight_walks": counter,
-                    "overflow_pushes": 0,
-                },
-            }
-        ],
+def artifact(rate=100000.0, counter=42, recovery=7, recovered=True,
+             latency_p99=None, mean_latency_p99=None, policy=None):
+    """One minimal BENCH artifact with a single cell and a single run.
+
+    latency_p99 / mean_latency_p99 add the degraded-mode grant-latency
+    percentile fields (run-level and aggregate-level); policy adds the
+    resilience-policy axis label to both records.
+    """
+    cell = {
+        "topology": "tree:line(n=8)",
+        "features": "full",
+        "k": 1,
+        "l": 2,
+        "n": 8,
+        "total_events_per_sec": rate,
+        "mean_wall_seconds": 0.001,
     }
+    run = {
+        "topology": "tree:line(n=8)",
+        "features": "full",
+        "k": 1,
+        "l": 2,
+        "seed": 1,
+        "recovered": recovered,
+        "recovery_events": recovery,
+        "engine": {
+            "callback_slots_created": counter,
+            "in_flight_walks": counter,
+            "overflow_pushes": 0,
+        },
+    }
+    if latency_p99 is not None:
+        run["grant_latency_p50"] = latency_p99 / 4
+        run["grant_latency_p99"] = latency_p99
+        run["grant_latency_p999"] = latency_p99 * 2
+    if mean_latency_p99 is not None:
+        cell["mean_grant_latency_p50"] = mean_latency_p99 / 4
+        cell["mean_grant_latency_p99"] = mean_latency_p99
+        cell["mean_grant_latency_p999"] = mean_latency_p99 * 2
+    if policy is not None:
+        cell["policy"] = policy
+        run["policy"] = policy
+    return {"scenario": "unit", "aggregates": [cell], "runs": [run]}
 
 
 def run_diff(base, cur, *extra):
@@ -127,6 +138,67 @@ class BenchDiffTest(unittest.TestCase):
                           artifact(recovered=False))
         self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
         self.assertIn("recovered", result.stdout)
+
+    def test_identical_latency_percentiles_pass(self):
+        base = artifact(latency_p99=4000.0, mean_latency_p99=4000.0,
+                        policy="drop2/resilient")
+        cur = artifact(latency_p99=4000.0, mean_latency_p99=4000.0,
+                       policy="drop2/resilient")
+        result = run_diff(base, cur)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("no regressions", result.stdout)
+
+    def test_run_latency_growth_beyond_tolerance_fails(self):
+        result = run_diff(artifact(latency_p99=4000.0),
+                          artifact(latency_p99=9000.0))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("grant_latency_p99", result.stdout)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_aggregate_latency_growth_beyond_tolerance_fails(self):
+        result = run_diff(artifact(mean_latency_p99=4000.0),
+                          artifact(mean_latency_p99=9000.0))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("mean_grant_latency_p99", result.stdout)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_latency_percentile_dropped_from_current_fails(self):
+        # The degraded-mode satellite's pinned failure mode: a percentile
+        # present in the baseline but missing from the current artifact
+        # must fail loudly, not read as "the tail is fine".
+        base = artifact(latency_p99=4000.0)
+        cur = artifact(latency_p99=4000.0)
+        del cur["runs"][0]["grant_latency_p99"]
+        result = run_diff(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("grant_latency_p99", result.stdout)
+        self.assertIn("absent from current", result.stdout)
+
+    def test_aggregate_latency_dropped_from_current_fails(self):
+        base = artifact(mean_latency_p99=4000.0)
+        cur = artifact(mean_latency_p99=4000.0)
+        del cur["aggregates"][0]["mean_grant_latency_p99"]
+        result = run_diff(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("mean_grant_latency_p99", result.stdout)
+        self.assertIn("absent from current", result.stdout)
+
+    def test_latency_new_in_current_is_noted_not_failed(self):
+        result = run_diff(artifact(), artifact(latency_p99=4000.0,
+                                               mean_latency_p99=4000.0))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("absent from baseline; skipped", result.stdout)
+
+    def test_policy_cell_dropped_from_current_fails(self):
+        # The policy label joins the cell key: a current artifact that
+        # loses the policy axis (or renames a variant) must fail coverage
+        # rather than silently comparing mismatched cells.
+        base = artifact(policy="drop2/resilient")
+        cur = artifact(policy="drop2/none")
+        result = run_diff(base, cur)
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertIn("policy=drop2/resilient", result.stdout)
+        self.assertIn("missing from current", result.stdout)
 
 
 if __name__ == "__main__":
